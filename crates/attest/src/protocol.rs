@@ -1,0 +1,291 @@
+//! Wire protocol of the delegation session (paper Fig. 1).
+//!
+//! The paper's workflow exchanges five kinds of messages between the data
+//! owner, the code provider and the bootstrap enclave. This module pins the
+//! byte format so sessions can cross a real transport: every message is
+//! `[tag][fields…]` with length-prefixed variable parts, parsed with the
+//! same fail-closed discipline as the object format (the enclave parses
+//! hostile bytes).
+
+use crate::{AttestError, Quote, Role};
+
+/// Payload kinds a [`Message::SealedPayload`] can deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// The instrumented target binary (code-provider channel).
+    Code,
+    /// User data (data-owner channel).
+    Data,
+}
+
+impl PayloadKind {
+    fn tag(self) -> u8 {
+        match self {
+            PayloadKind::Code => 0,
+            PayloadKind::Data => 1,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(PayloadKind::Code),
+            1 => Some(PayloadKind::Data),
+            _ => None,
+        }
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Party → enclave: role declaration and ephemeral DH value.
+    ClientHello {
+        /// Declared role.
+        role: Role,
+        /// The party's DH public value.
+        dh_public: [u8; 32],
+    },
+    /// Enclave → party: its DH value plus the quote binding the handshake.
+    AttestationResponse {
+        /// The enclave's DH public value.
+        dh_public: [u8; 32],
+        /// Quote over the handshake binding.
+        quote: Quote,
+    },
+    /// Party → enclave: sealed code or data.
+    SealedPayload {
+        /// What the ciphertext contains.
+        kind: PayloadKind,
+        /// Delivery nonce counter.
+        counter: u64,
+        /// AEAD ciphertext.
+        ciphertext: Vec<u8>,
+    },
+    /// Enclave → data owner: hash of the loaded service binary
+    /// (Section III-A: the owner checks it against the hash she was
+    /// promised before sending data).
+    CodeHashReport {
+        /// SHA-256 of the delivered binary.
+        hash: [u8; 32],
+    },
+    /// Enclave → data owner: one sealed, fixed-length output record.
+    SealedRecord {
+        /// Record nonce counter.
+        counter: u64,
+        /// AEAD ciphertext (constant length under P0).
+        ciphertext: Vec<u8>,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_ATTEST: u8 = 2;
+const TAG_PAYLOAD: u8 = 3;
+const TAG_HASH: u8 = 4;
+const TAG_RECORD: u8 = 5;
+
+fn role_tag(role: Role) -> u8 {
+    match role {
+        Role::DataOwner => 1,
+        Role::CodeProvider => 2,
+    }
+}
+
+fn role_from_tag(t: u8) -> Option<Role> {
+    match t {
+        1 => Some(Role::DataOwner),
+        2 => Some(Role::CodeProvider),
+        _ => None,
+    }
+}
+
+impl Message {
+    /// Serializes the message.
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::ClientHello { role, dh_public } => {
+                out.push(TAG_HELLO);
+                out.push(role_tag(*role));
+                out.extend_from_slice(dh_public);
+            }
+            Message::AttestationResponse { dh_public, quote } => {
+                out.push(TAG_ATTEST);
+                out.extend_from_slice(dh_public);
+                let q = quote.serialize();
+                out.extend_from_slice(&(q.len() as u32).to_le_bytes());
+                out.extend_from_slice(&q);
+            }
+            Message::SealedPayload { kind, counter, ciphertext } => {
+                out.push(TAG_PAYLOAD);
+                out.push(kind.tag());
+                out.extend_from_slice(&counter.to_le_bytes());
+                out.extend_from_slice(&(ciphertext.len() as u32).to_le_bytes());
+                out.extend_from_slice(ciphertext);
+            }
+            Message::CodeHashReport { hash } => {
+                out.push(TAG_HASH);
+                out.extend_from_slice(hash);
+            }
+            Message::SealedRecord { counter, ciphertext } => {
+                out.push(TAG_RECORD);
+                out.extend_from_slice(&counter.to_le_bytes());
+                out.extend_from_slice(&(ciphertext.len() as u32).to_le_bytes());
+                out.extend_from_slice(ciphertext);
+            }
+        }
+        out
+    }
+
+    /// Parses a message; fails closed on any malformation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttestError::Malformed`] for unknown tags, truncation or
+    /// trailing bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Message, AttestError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_HELLO => {
+                let role = role_from_tag(r.u8()?).ok_or(AttestError::Malformed)?;
+                Message::ClientHello { role, dh_public: r.arr32()? }
+            }
+            TAG_ATTEST => {
+                let dh_public = r.arr32()?;
+                let qlen = r.u32()? as usize;
+                if qlen > 4096 {
+                    return Err(AttestError::Malformed);
+                }
+                let quote = Quote::parse(r.take(qlen)?)?;
+                Message::AttestationResponse { dh_public, quote }
+            }
+            TAG_PAYLOAD => {
+                let kind = PayloadKind::from_tag(r.u8()?).ok_or(AttestError::Malformed)?;
+                let counter = r.u64()?;
+                let len = r.u32()? as usize;
+                if len > 256 * 1024 * 1024 {
+                    return Err(AttestError::Malformed);
+                }
+                Message::SealedPayload { kind, counter, ciphertext: r.take(len)?.to_vec() }
+            }
+            TAG_HASH => Message::CodeHashReport { hash: r.arr32()? },
+            TAG_RECORD => {
+                let counter = r.u64()?;
+                let len = r.u32()? as usize;
+                if len > 1024 * 1024 {
+                    return Err(AttestError::Malformed);
+                }
+                Message::SealedRecord { counter, ciphertext: r.take(len)?.to_vec() }
+            }
+            _ => return Err(AttestError::Malformed),
+        };
+        if r.pos != bytes.len() {
+            return Err(AttestError::Malformed);
+        }
+        Ok(msg)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], AttestError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(AttestError::Malformed);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, AttestError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, AttestError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    fn u64(&mut self) -> Result<u64, AttestError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn arr32(&mut self) -> Result<[u8; 32], AttestError> {
+        Ok(self.take(32)?.try_into().expect("sized"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_quote;
+    use deflection_sgx_sim::measure::Platform;
+
+    fn samples() -> Vec<Message> {
+        let platform = Platform::new(3, &[9u8; 32]);
+        vec![
+            Message::ClientHello { role: Role::DataOwner, dh_public: [7; 32] },
+            Message::ClientHello { role: Role::CodeProvider, dh_public: [8; 32] },
+            Message::AttestationResponse {
+                dh_public: [1; 32],
+                quote: generate_quote(&platform, [2; 32], [3; 64]),
+            },
+            Message::SealedPayload {
+                kind: PayloadKind::Code,
+                counter: 0,
+                ciphertext: vec![1, 2, 3],
+            },
+            Message::SealedPayload { kind: PayloadKind::Data, counter: 9, ciphertext: vec![] },
+            Message::CodeHashReport { hash: [0xAB; 32] },
+            Message::SealedRecord { counter: 5, ciphertext: vec![9; 276] },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_message() {
+        for msg in samples() {
+            let bytes = msg.serialize();
+            assert_eq!(Message::parse(&bytes).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncations_rejected() {
+        for msg in samples() {
+            let bytes = msg.serialize();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Message::parse(&bytes[..cut]).is_err(),
+                    "{msg:?} truncated to {cut} must not parse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = samples()[0].serialize();
+        bytes.push(0);
+        assert!(Message::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(Message::parse(&[99]).is_err());
+        assert!(Message::parse(&[TAG_HELLO, 7, 0]).is_err()); // bad role
+        assert!(Message::parse(&[TAG_PAYLOAD, 9]).is_err()); // bad kind
+    }
+
+    #[test]
+    fn oversized_lengths_rejected() {
+        // A record claiming 2 MiB of ciphertext.
+        let mut bytes = vec![TAG_RECORD];
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&(2u32 * 1024 * 1024).to_le_bytes());
+        assert!(Message::parse(&bytes).is_err());
+    }
+}

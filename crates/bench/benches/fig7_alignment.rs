@@ -1,0 +1,68 @@
+//! **Fig. 7** — sequence alignment time vs input length.
+//!
+//! The paper aligns FASTA sequences of growing length and reports per-level
+//! overhead: ≤10% for P1 on small inputs, ~19.7% for P1+P2 and ~22.2% for
+//! P1–P5 at ≥500 bytes, ≤25% with P6. We sweep the same x-axis and print
+//! the per-level series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deflection_bench::{fmt_pct, overhead_pct, sweep_levels};
+use deflection_core::policy::PolicySet;
+use deflection_sgx_sim::layout::MemConfig;
+use deflection_workloads::genome;
+use std::time::Duration;
+
+const LENGTHS: [u32; 5] = [50, 100, 200, 500, 800];
+
+fn print_table() {
+    println!("\n=== Fig. 7: Needleman-Wunsch alignment vs input length ===\n");
+    println!(
+        "{:<10} {:>14} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "length", "base instrs", "P1", "P1+P2", "P1-P5", "P1-P6", "wall (base)"
+    );
+    println!("{:-<82}", "");
+    let source = genome::nw_source();
+    let config = MemConfig::small();
+    for len in LENGTHS {
+        let input = genome::nw_input(len);
+        let (base, levels) = sweep_levels(&source, &input, &config);
+        let pcts: Vec<f64> = levels
+            .iter()
+            .map(|s| overhead_pct(base.instructions, s.instructions))
+            .collect();
+        println!(
+            "{:<10} {:>14} {:>10} {:>10} {:>10} {:>10} {:>9.1?}",
+            len,
+            base.instructions,
+            fmt_pct(pcts[0]),
+            fmt_pct(pcts[1]),
+            fmt_pct(pcts[2]),
+            fmt_pct(pcts[3]),
+            base.wall
+        );
+    }
+    println!(
+        "\npaper: overall ≤20% without P6 (P1 alone ≤10% on small inputs), ≤25% with P6;\n\
+         expect the same flat-in-length overhead series here.\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let source = genome::nw_source();
+    let config = MemConfig::small();
+    for (label, policy) in [("baseline", PolicySet::none()), ("p1-p6", PolicySet::full())] {
+        let src = source.clone();
+        let input = genome::nw_input(200);
+        c.bench_function(&format!("fig7/nw_200/{label}"), move |b| {
+            b.iter(|| deflection_bench::measure(&src, &input, &policy, &config))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

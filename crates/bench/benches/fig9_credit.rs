@@ -1,0 +1,68 @@
+//! **Fig. 9** — credit scoring time vs number of records.
+//!
+//! The paper trains a BP network on 10,000 records and scores 1K–100K test
+//! cases, reporting ~15% overhead for P1–P5 at 1K/10K records and <20% at
+//! 50K+ (the P6 column dips below 10% at 100K because the fixed
+//! verification/marker cost amortizes). We sweep scored-record counts at a
+//! fixed training run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deflection_bench::{fmt_pct, overhead_pct, sweep_levels};
+use deflection_core::policy::PolicySet;
+use deflection_sgx_sim::layout::MemConfig;
+use deflection_workloads::credit;
+use std::time::Duration;
+
+const TRAIN: u64 = 500;
+const RECORD_COUNTS: [u64; 4] = [1_000, 5_000, 10_000, 20_000];
+
+fn print_table() {
+    println!("\n=== Fig. 9: credit scoring vs number of records ===\n");
+    println!(
+        "{:<10} {:>14} {:>10} {:>10} {:>10} {:>10}",
+        "records", "base instrs", "P1", "P1+P2", "P1-P5", "P1-P6"
+    );
+    println!("{:-<70}", "");
+    let source = credit::source();
+    let config = MemConfig::small();
+    for records in RECORD_COUNTS {
+        let input = credit::input(TRAIN, records);
+        let (base, levels) = sweep_levels(&source, &input, &config);
+        let pcts: Vec<f64> = levels
+            .iter()
+            .map(|s| overhead_pct(base.instructions, s.instructions))
+            .collect();
+        println!(
+            "{:<10} {:>14} {:>10} {:>10} {:>10} {:>10}",
+            records,
+            base.instructions,
+            fmt_pct(pcts[0]),
+            fmt_pct(pcts[1]),
+            fmt_pct(pcts[2]),
+            fmt_pct(pcts[3])
+        );
+    }
+    println!(
+        "\npaper: ~15% for P1-P5 at 1K/10K records, <20% at 50K+ for the full check.\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let source = credit::source();
+    let config = MemConfig::small();
+    for (label, policy) in [("baseline", PolicySet::none()), ("p1-p5", PolicySet::p1_p5())] {
+        let src = source.clone();
+        let input = credit::input(TRAIN, 1_000);
+        c.bench_function(&format!("fig9/credit_1k/{label}"), move |b| {
+            b.iter(|| deflection_bench::measure(&src, &input, &policy, &config))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! **Table II** — nBench overhead under P1 / P1+P2 / P1–P5 / P1–P6.
+//!
+//! Regenerates the paper's per-kernel overhead table. Overheads are
+//! computed from executed-instruction counts (deterministic; wall time is
+//! reported alongside). The shape to compare against the paper: FP
+//! EMULATION cheapest, ASSIGNMENT worst under P1–P5 (function pointers),
+//! P6 adds the largest increment everywhere, and the geometric mean lands
+//! in the tens of percent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deflection_bench::{fmt_pct, geomean_overhead_pct, overhead_pct, sweep_levels};
+use deflection_core::policy::PolicySet;
+use deflection_sgx_sim::layout::MemConfig;
+use deflection_workloads::nbench;
+use std::time::Duration;
+
+const SCALE: u32 = 3;
+
+fn print_table() {
+    println!("\n=== Table II: performance overhead on nBench (instruction counts) ===\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10}   {:>12}",
+        "Program Name", "P1", "P1+P2", "P1-P5", "P1-P6", "base instrs"
+    );
+    println!("{:-<78}", "");
+    let config = MemConfig::small();
+    let mut per_level: [Vec<f64>; 4] = Default::default();
+    for kernel in nbench::all() {
+        let source = (kernel.source)();
+        let input = (kernel.input)(SCALE);
+        let (base, levels) = sweep_levels(&source, &input, &config);
+        let pcts: Vec<f64> = levels
+            .iter()
+            .map(|s| overhead_pct(base.instructions, s.instructions))
+            .collect();
+        for (i, p) in pcts.iter().enumerate() {
+            per_level[i].push(*p);
+        }
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>10}   {:>12}",
+            kernel.name,
+            fmt_pct(pcts[0]),
+            fmt_pct(pcts[1]),
+            fmt_pct(pcts[2]),
+            fmt_pct(pcts[3]),
+            base.instructions
+        );
+        // Sanity: monotone across levels for every kernel.
+        assert!(pcts.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{}: {pcts:?}", kernel.name);
+    }
+    println!("{:-<78}", "");
+    let geo: Vec<f64> = per_level.iter().map(|v| geomean_overhead_pct(v)).collect();
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10}",
+        "geometric mean",
+        fmt_pct(geo[0]),
+        fmt_pct(geo[1]),
+        fmt_pct(geo[2]),
+        fmt_pct(geo[3])
+    );
+    println!(
+        "\npaper reports ~10% average without P6 and ~20% with P6 on its hardware;\n\
+         compare the *shape*: per-kernel ordering and the P6 increment.\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    // Representative wall-time criterion benches: the cheapest and the most
+    // store-heavy kernel at baseline and full policy.
+    let config = MemConfig::small();
+    for kernel in nbench::all() {
+        if kernel.name != "FP EMULATION" && kernel.name != "NUMERIC SORT" {
+            continue;
+        }
+        let source = (kernel.source)();
+        let input = (kernel.input)(1);
+        for (label, policy) in [("baseline", PolicySet::none()), ("p1-p6", PolicySet::full())] {
+            let id = format!("nbench/{}/{label}", kernel.name.to_lowercase().replace(' ', "_"));
+            let src = source.clone();
+            let inp = input.clone();
+            c.bench_function(&id, move |b| {
+                b.iter(|| deflection_bench::measure(&src, &inp, &policy, &config))
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Cost models for the shielding-runtime comparison (paper Fig. 11).
+//!
+//! The paper compares its HTTPS server against the same server hosted in
+//! Graphene-SGX and Occlum and finds: "unprotected Graphene-SGX has the
+//! best transfer rate with relatively small files. However, with the size
+//! growing, DEFLECTION outperforms both runtimes (77% of running the
+//! server on the native Linux)". We cannot re-host those runtimes, so this
+//! module captures the *cost structure* that produces exactly that shape:
+//!
+//! * every runtime pays a **fixed per-request cost** (TLS handshake
+//!   amortization, enclave transitions, syscall forwarding) and a
+//!   **per-byte cost** (copy across the enclave boundary, encryption,
+//!   paging);
+//! * LibOS-style runtimes (Graphene) have a *small* fixed cost but a
+//!   *large* per-byte cost — every byte crosses their OS-interface shim
+//!   and, past the EPC working set, triggers paging;
+//! * DEFLECTION has a *moderate* fixed cost (loading/verification is
+//!   amortized; per-request P0 sealing has setup cost) but a per-byte cost
+//!   close to native, inflated only by the measured instrumentation
+//!   overhead, which is how it overtakes as size grows.
+//!
+//! The constants are calibrated so the small-file and large-file orderings
+//! match the paper's Fig. 11; EXPERIMENTS.md documents this as a modeled
+//! (not measured) comparison.
+
+/// A runtime's cost model: `time(bytes) = fixed + per_byte * bytes
+/// (+ paging for the excess past the EPC working set)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Fixed per-request cost (µs).
+    pub fixed_us: f64,
+    /// Per-byte streaming cost (µs/KiB).
+    pub per_kib_us: f64,
+    /// Working-set size after which paging multiplies per-byte cost (KiB);
+    /// `f64::INFINITY` disables paging effects.
+    pub paging_threshold_kib: f64,
+    /// Multiplier applied to bytes past the threshold.
+    pub paging_factor: f64,
+}
+
+impl RuntimeModel {
+    /// Service time for one `size_kib`-KiB transfer, in µs.
+    #[must_use]
+    pub fn service_us(&self, size_kib: f64) -> f64 {
+        let base = self.fixed_us + self.per_kib_us * size_kib.min(self.paging_threshold_kib);
+        let excess = (size_kib - self.paging_threshold_kib).max(0.0);
+        base + self.per_kib_us * self.paging_factor * excess
+    }
+
+    /// Transfer rate in MiB/s for one transfer of `size_kib`.
+    #[must_use]
+    pub fn rate_mib_s(&self, size_kib: f64) -> f64 {
+        let us = self.service_us(size_kib);
+        (size_kib / 1024.0) / (us / 1_000_000.0)
+    }
+}
+
+/// Native Linux (no enclave): tiny fixed cost, fastest per byte.
+#[must_use]
+pub fn native() -> RuntimeModel {
+    RuntimeModel {
+        name: "native",
+        fixed_us: 40.0,
+        per_kib_us: 0.80,
+        paging_threshold_kib: f64::INFINITY,
+        paging_factor: 1.0,
+    }
+}
+
+/// Graphene-SGX-like LibOS: minimal fixed cost (paper: best on small
+/// files), heavy per-byte shim cost and EPC paging past ~64 MiB working
+/// sets scaled to our window.
+#[must_use]
+pub fn graphene_like() -> RuntimeModel {
+    RuntimeModel {
+        name: "graphene-like",
+        fixed_us: 45.0,
+        per_kib_us: 1.65,
+        paging_threshold_kib: 128.0,
+        paging_factor: 2.6,
+    }
+}
+
+/// Occlum-like LibOS: slightly higher fixed cost (SFI-era toolchain),
+/// similar per-byte shim cost, milder paging cliff.
+#[must_use]
+pub fn occlum_like() -> RuntimeModel {
+    RuntimeModel {
+        name: "occlum-like",
+        fixed_us: 70.0,
+        per_kib_us: 1.45,
+        paging_threshold_kib: 192.0,
+        paging_factor: 2.2,
+    }
+}
+
+/// DEFLECTION: moderate fixed cost (P0 record setup), near-native per-byte
+/// cost inflated by the *measured* instrumentation overhead fraction
+/// `overhead` (e.g. `0.14` for the paper's average P1–P6 response-time
+/// cost).
+#[must_use]
+pub fn deflection(overhead: f64) -> RuntimeModel {
+    RuntimeModel {
+        name: "deflection",
+        fixed_us: 110.0,
+        per_kib_us: 0.80 * (1.0 + overhead) * 1.12, // sealing + padding
+        paging_threshold_kib: f64::INFINITY,
+        paging_factor: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_fig11() {
+        let n = native();
+        let g = graphene_like();
+        let o = occlum_like();
+        let d = deflection(0.14);
+        // Small files: Graphene fastest among shielded runtimes (paper).
+        let small = 4.0;
+        assert!(g.rate_mib_s(small) > d.rate_mib_s(small));
+        assert!(g.rate_mib_s(small) > o.rate_mib_s(small));
+        // Large files: DEFLECTION overtakes both LibOSes...
+        let large = 1024.0;
+        assert!(d.rate_mib_s(large) > g.rate_mib_s(large));
+        assert!(d.rate_mib_s(large) > o.rate_mib_s(large));
+        // ...and reaches roughly 77% of native (paper's figure).
+        let ratio = d.rate_mib_s(large) / n.rate_mib_s(large);
+        assert!((0.70..0.85).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn crossover_exists() {
+        // There must be a size where DEFLECTION overtakes Graphene.
+        let g = graphene_like();
+        let d = deflection(0.14);
+        let mut crossed = false;
+        let mut prev = d.rate_mib_s(1.0) > g.rate_mib_s(1.0);
+        for kib in [2.0, 8.0, 32.0, 128.0, 512.0, 2048.0] {
+            let now = d.rate_mib_s(kib) > g.rate_mib_s(kib);
+            if now != prev {
+                crossed = true;
+            }
+            prev = now;
+        }
+        assert!(crossed, "no crossover in the sweep");
+    }
+
+    #[test]
+    fn service_time_is_monotone_in_size() {
+        for model in [native(), graphene_like(), occlum_like(), deflection(0.2)] {
+            let mut last = 0.0;
+            for kib in [1.0, 10.0, 100.0, 1000.0] {
+                let t = model.service_us(kib);
+                assert!(t > last, "{} not monotone", model.name);
+                last = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,764 @@
+//! Security-annotation templates: the exact instruction sequences the code
+//! producer implants (paper Section V-A, Fig. 5) and the matchers the
+//! in-enclave verifier uses to re-recognize them after disassembly.
+//!
+//! Emission and matching live in one module **on purpose**: the verifier's
+//! soundness depends on recognizing precisely what the producer emits, and
+//! keeping both sides of each template adjacent makes divergence impossible
+//! to miss (the round-trip is property-tested).
+//!
+//! All templates use `r11` (and where noted `r10`) as scratch — registers
+//! the DCL code generator never allocates — plus the save/restore pattern of
+//! the paper's Fig. 5 for the store guard. Bounds and table addresses are
+//! *placeholder immediates* (`PH_*`): magic 64-bit values the in-enclave
+//! rewriter replaces with the real region bounds after verification, exactly
+//! like the paper's `0x3FFFFFFFFFFFFFFF`/`0x4FFFFFFFFFFFFFFF` immediates.
+
+use crate::policy::abort_codes;
+use deflection_lang::mir::{MFunction, MInst};
+use deflection_isa::{AluOp, CondCode, Inst, MemOperand, Reg};
+
+/// Placeholder for the store window's lower bound (P1/P3/P4).
+pub const PH_STORE_LO: u64 = 0x3FFF_FFFF_FFFF_FF01;
+/// Placeholder for the store window's upper bound (P1/P3/P4).
+pub const PH_STORE_HI: u64 = 0x4FFF_FFFF_FFFF_FF02;
+/// Placeholder for the stack window's lower bound (P2).
+pub const PH_STACK_LO: u64 = 0x5FFF_FFFF_FFFF_FF03;
+/// Placeholder for the stack window's upper bound (P2).
+pub const PH_STACK_HI: u64 = 0x5FFF_FFFF_FFFF_FF04;
+/// Placeholder for the indirect-branch table base (P5).
+pub const PH_BT_BASE: u64 = 0x6FFF_FFFF_FFFF_FF05;
+/// Placeholder for the indirect-branch table length (P5).
+pub const PH_BT_LEN: u64 = 0x6FFF_FFFF_FFFF_FF06;
+/// Placeholder for the shadow-stack top-pointer slot address (P5).
+pub const PH_SS_SLOT: u64 = 0x7FFF_FFFF_FFFF_FF07;
+/// Placeholder for the SSA marker address (P6).
+pub const PH_SSA_MARKER: u64 = 0x8FFF_FFFF_FFFF_FF08;
+/// Placeholder for the AEX counter slot address (P6).
+pub const PH_AEX_SLOT: u64 = 0x8FFF_FFFF_FFFF_FF09;
+/// Placeholder for the AEX abort threshold (P6).
+pub const PH_AEX_MAX: u64 = 0x8FFF_FFFF_FFFF_FF0A;
+
+/// The marker value P6 annotations plant in the SSA; an AEX overwrites it
+/// with the saved `rip`, which can never equal this value because the code
+/// window never sits at this address.
+pub const SSA_MARKER_VALUE: i32 = 0x5AA5_0FF0;
+
+/// Maximum negative `rbp`-relative displacement exempt from store guards.
+///
+/// Frame-local scalar stores `mov [rbp - d], r` with `0 < d ≤` this bound
+/// need no P1 annotation: the verifier separately enforces that `rbp` is
+/// only ever written by the frame idiom (`mov rbp, rsp` / `pop rbp`), so
+/// `rbp` always lies inside the stack window, and a displacement bounded by
+/// one page can at worst land on the guard page below the stack — which
+/// faults. This is the classic SFI guard-page optimization (XFI's scoped
+/// stack accesses) and the reason the paper's loader "assigns two
+/// non-writable blank guard pages right before and after the target
+/// binary's stack".
+pub const FRAME_STORE_LIMIT: i64 = 4032;
+
+/// Whether a store to `mem` is a guard-page-contained frame store that
+/// needs no P1 annotation.
+#[must_use]
+pub fn is_exempt_frame_store(mem: &MemOperand) -> bool {
+    mem.base == Some(Reg::RBP)
+        && mem.index.is_none()
+        && mem.disp < 0
+        && (mem.disp as i64) >= -FRAME_STORE_LIMIT
+}
+
+/// Kinds of annotation template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemplateKind {
+    /// P1/P3/P4 store-bounds guard; subject = the guarded store.
+    StoreGuard,
+    /// P2 stack-pointer guard (follows an rsp-writing instruction).
+    RspGuard,
+    /// P5 forward-edge CFI with bounds check; subject = the indirect branch.
+    CfiChecked,
+    /// Baseline branch-table lowering without the bounds check; subject =
+    /// the indirect branch.
+    CfiUnchecked,
+    /// P5 shadow-stack push at function entry.
+    Prologue,
+    /// P5 shadow-stack pop + compare; subject = the `ret`.
+    Epilogue,
+    /// P6 SSA marker check with AEX counting.
+    AexCheck,
+}
+
+/// A matched template instance over the disassembled instruction list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Which template.
+    pub kind: TemplateKind,
+    /// Index of the first instruction in the instance.
+    pub start_idx: usize,
+    /// Index of the last instruction (the subject where one exists).
+    pub end_idx: usize,
+    /// Index of the subject instruction, if this template guards one.
+    pub subject_idx: Option<usize>,
+}
+
+// ---------------------------------------------------------------------------
+// Emission (producer side)
+// ---------------------------------------------------------------------------
+
+fn abort(f: &mut MFunction, code: u8) {
+    f.real(Inst::Abort { code });
+}
+
+/// Emits the P1/P3/P4 store guard (paper Fig. 5) for a store whose
+/// destination operand is `mem`, followed by nothing — the caller emits the
+/// store itself immediately after.
+///
+/// # Panics
+///
+/// Panics if `mem` uses `rsp` (the guard's `lea` would observe a shifted
+/// stack pointer); the DCL code generator never produces such stores.
+pub fn emit_store_guard(f: &mut MFunction, mem: &MemOperand) {
+    assert!(!mem.uses(Reg::RSP), "store guard cannot check rsp-relative stores");
+    let ok1 = f.new_label();
+    let ok2 = f.new_label();
+    f.real(Inst::Push { reg: Reg::RBX });
+    f.real(Inst::Push { reg: Reg::RAX });
+    f.real(Inst::Lea { dst: Reg::RAX, mem: *mem });
+    f.real(Inst::MovRI { dst: Reg::RBX, imm: PH_STORE_LO });
+    f.real(Inst::CmpRR { lhs: Reg::RAX, rhs: Reg::RBX });
+    f.push(MInst::Jcc(CondCode::Ae, ok1));
+    abort(f, abort_codes::STORE_BOUNDS);
+    f.push(MInst::Label(ok1));
+    f.real(Inst::MovRI { dst: Reg::RBX, imm: PH_STORE_HI });
+    f.real(Inst::CmpRR { lhs: Reg::RAX, rhs: Reg::RBX });
+    f.push(MInst::Jcc(CondCode::B, ok2));
+    abort(f, abort_codes::STORE_BOUNDS);
+    f.push(MInst::Label(ok2));
+    f.real(Inst::Pop { reg: Reg::RAX });
+    f.real(Inst::Pop { reg: Reg::RBX });
+}
+
+/// Emits the P2 stack-pointer guard; the caller emits it immediately after
+/// every instruction that explicitly writes `rsp`.
+pub fn emit_rsp_guard(f: &mut MFunction) {
+    let ok1 = f.new_label();
+    let ok2 = f.new_label();
+    f.real(Inst::MovRI { dst: Reg::R11, imm: PH_STACK_LO });
+    f.real(Inst::CmpRR { lhs: Reg::RSP, rhs: Reg::R11 });
+    f.push(MInst::Jcc(CondCode::Ae, ok1));
+    abort(f, abort_codes::RSP_BOUNDS);
+    f.push(MInst::Label(ok1));
+    f.real(Inst::MovRI { dst: Reg::R11, imm: PH_STACK_HI });
+    f.real(Inst::CmpRR { lhs: Reg::RSP, rhs: Reg::R11 });
+    f.push(MInst::Jcc(CondCode::Be, ok2));
+    abort(f, abort_codes::RSP_BOUNDS);
+    f.push(MInst::Label(ok2));
+}
+
+/// Emits the branch-table lowering of an indirect branch whose register
+/// holds a table *index*: optionally bounds-checked (P5), then the table
+/// load and the actual branch (`call` when `is_call`, `jmp` otherwise).
+pub fn emit_cfi_branch(f: &mut MFunction, reg: Reg, is_call: bool, checked: bool) {
+    assert!(
+        reg != Reg::R11,
+        "indirect-branch register must not be the annotation scratch"
+    );
+    if checked {
+        let ok = f.new_label();
+        f.real(Inst::MovRI { dst: Reg::R11, imm: PH_BT_LEN });
+        f.real(Inst::CmpRR { lhs: reg, rhs: Reg::R11 });
+        f.push(MInst::Jcc(CondCode::B, ok));
+        abort(f, abort_codes::CFI_FORWARD);
+        f.push(MInst::Label(ok));
+    }
+    f.real(Inst::MovRI { dst: Reg::R11, imm: PH_BT_BASE });
+    f.real(Inst::Load { dst: reg, mem: MemOperand::base_index(Reg::R11, reg, 8, 0) });
+    if is_call {
+        f.real(Inst::CallInd { reg });
+    } else {
+        f.real(Inst::JmpInd { reg });
+    }
+}
+
+/// Emits the P5 shadow-stack prologue at function entry: pushes the return
+/// address (`[rsp]`) onto the downward-growing shadow stack.
+pub fn emit_prologue(f: &mut MFunction) {
+    f.real(Inst::MovRI { dst: Reg::R11, imm: PH_SS_SLOT });
+    f.real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::R11, 0) });
+    f.real(Inst::AluRI { op: AluOp::Sub, dst: Reg::RAX, imm: 8 });
+    f.real(Inst::Load { dst: Reg::RBX, mem: MemOperand::base_disp(Reg::RSP, 0) });
+    f.real(Inst::Store { mem: MemOperand::base_disp(Reg::RAX, 0), src: Reg::RBX });
+    f.real(Inst::Store { mem: MemOperand::base_disp(Reg::R11, 0), src: Reg::RAX });
+}
+
+/// Emits the P5 shadow-stack epilogue followed by the `ret` it protects:
+/// pops the saved return address and aborts on mismatch with `[rsp]`.
+pub fn emit_epilogue_and_ret(f: &mut MFunction) {
+    let ok = f.new_label();
+    f.real(Inst::MovRI { dst: Reg::R11, imm: PH_SS_SLOT });
+    f.real(Inst::Load { dst: Reg::RBX, mem: MemOperand::base_disp(Reg::R11, 0) });
+    f.real(Inst::Load { dst: Reg::R10, mem: MemOperand::base_disp(Reg::RBX, 0) });
+    f.real(Inst::AluRI { op: AluOp::Add, dst: Reg::RBX, imm: 8 });
+    f.real(Inst::Store { mem: MemOperand::base_disp(Reg::R11, 0), src: Reg::RBX });
+    f.real(Inst::CmpMem { reg: Reg::R10, mem: MemOperand::base_disp(Reg::RSP, 0) });
+    f.push(MInst::Jcc(CondCode::E, ok));
+    abort(f, abort_codes::CFI_RETURN);
+    f.push(MInst::Label(ok));
+    f.push(MInst::Ret);
+}
+
+/// Emits the P6 SSA marker check: on a clobbered marker it runs the
+/// co-location probe, counts the AEX, aborts past the threshold, and
+/// re-arms the marker (HyperRace-style, paper Section IV-C).
+pub fn emit_aex_check(f: &mut MFunction) {
+    let ok = f.new_label();
+    let counted = f.new_label();
+    let rearm = f.new_label();
+    f.real(Inst::MovRI { dst: Reg::R11, imm: PH_SSA_MARKER });
+    f.real(Inst::Load { dst: Reg::R10, mem: MemOperand::base_disp(Reg::R11, 0) });
+    f.real(Inst::CmpRI { lhs: Reg::R10, imm: SSA_MARKER_VALUE as i64 });
+    f.push(MInst::Jcc(CondCode::E, ok));
+    // AEX detected: co-location probe first.
+    f.real(Inst::Push { reg: Reg::RAX });
+    f.real(Inst::AexProbe);
+    f.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
+    f.real(Inst::Pop { reg: Reg::RAX });
+    f.push(MInst::Jcc(CondCode::Ne, counted));
+    abort(f, abort_codes::AEX);
+    f.push(MInst::Label(counted));
+    // Count the AEX and compare against the threshold.
+    f.real(Inst::MovRI { dst: Reg::R11, imm: PH_AEX_SLOT });
+    f.real(Inst::Load { dst: Reg::R10, mem: MemOperand::base_disp(Reg::R11, 0) });
+    f.real(Inst::AluRI { op: AluOp::Add, dst: Reg::R10, imm: 1 });
+    f.real(Inst::Store { mem: MemOperand::base_disp(Reg::R11, 0), src: Reg::R10 });
+    f.real(Inst::MovRI { dst: Reg::R11, imm: PH_AEX_MAX });
+    f.real(Inst::CmpRR { lhs: Reg::R10, rhs: Reg::R11 });
+    f.push(MInst::Jcc(CondCode::B, rearm));
+    abort(f, abort_codes::AEX);
+    f.push(MInst::Label(rearm));
+    // Re-arm the marker.
+    f.real(Inst::MovRI { dst: Reg::R11, imm: PH_SSA_MARKER });
+    f.real(Inst::StoreImm { mem: MemOperand::base_disp(Reg::R11, 0), imm: SSA_MARKER_VALUE });
+    f.push(MInst::Label(ok));
+}
+
+// ---------------------------------------------------------------------------
+// Matching (consumer side)
+// ---------------------------------------------------------------------------
+
+/// A view over the disassembled, address-ordered instruction list.
+#[derive(Debug, Clone, Copy)]
+pub struct Code<'a> {
+    /// `(offset, instruction, encoded length)` sorted by offset.
+    pub insts: &'a [(usize, Inst, usize)],
+}
+
+impl<'a> Code<'a> {
+    /// Instruction at list index `i`.
+    #[must_use]
+    pub fn inst(&self, i: usize) -> Option<&'a Inst> {
+        self.insts.get(i).map(|(_, inst, _)| inst)
+    }
+
+    /// Offset of instruction `i`.
+    #[must_use]
+    pub fn offset(&self, i: usize) -> Option<usize> {
+        self.insts.get(i).map(|(off, _, _)| *off)
+    }
+
+    /// Offset one past instruction `i`.
+    #[must_use]
+    pub fn end_offset(&self, i: usize) -> Option<usize> {
+        self.insts.get(i).map(|(off, _, len)| off + len)
+    }
+
+    /// Whether instructions `i` and `i+1` are byte-adjacent (no gap).
+    fn adjacent(&self, i: usize) -> bool {
+        match (self.end_offset(i), self.offset(i + 1)) {
+            (Some(e), Some(s)) => e == s,
+            _ => false,
+        }
+    }
+
+    /// Whether the `Jcc` at index `i` jumps exactly to the instruction at
+    /// index `target_idx`.
+    fn jcc_lands_at(&self, i: usize, cc: CondCode, target_idx: usize) -> bool {
+        let Some(Inst::Jcc { cc: actual_cc, rel }) = self.inst(i) else { return false };
+        if *actual_cc != cc {
+            return false;
+        }
+        let (Some(end), Some(target)) = (self.end_offset(i), self.offset(target_idx)) else {
+            return false;
+        };
+        end as i64 + *rel as i64 == target as i64
+    }
+
+    /// Whether the `Jcc` at index `i` jumps exactly to the byte *after*
+    /// instruction `last_idx` (used when the landing pad is outside the
+    /// template).
+    fn jcc_lands_after(&self, i: usize, cc: CondCode, last_idx: usize) -> bool {
+        let Some(Inst::Jcc { cc: actual_cc, rel }) = self.inst(i) else { return false };
+        if *actual_cc != cc {
+            return false;
+        }
+        let (Some(end), Some(target)) = (self.end_offset(i), self.end_offset(last_idx)) else {
+            return false;
+        };
+        end as i64 + *rel as i64 == target as i64
+    }
+
+    /// Checks that instructions `start..=end` form one byte-contiguous run.
+    fn contiguous(&self, start: usize, end: usize) -> bool {
+        (start..end).all(|i| self.adjacent(i))
+    }
+}
+
+fn is_movri(inst: Option<&Inst>, dst: Reg, imm: u64) -> bool {
+    matches!(inst, Some(Inst::MovRI { dst: d, imm: v }) if *d == dst && *v == imm)
+}
+
+fn is_abort(inst: Option<&Inst>, code: u8) -> bool {
+    matches!(inst, Some(Inst::Abort { code: c }) if *c == code)
+}
+
+/// Tries to match the store guard starting at index `i`; the guarded store
+/// is the 14th instruction.
+#[must_use]
+pub fn match_store_guard(code: &Code<'_>, i: usize) -> Option<Instance> {
+    if !matches!(code.inst(i), Some(Inst::Push { reg: Reg::RBX })) {
+        return None;
+    }
+    if !matches!(code.inst(i + 1), Some(Inst::Push { reg: Reg::RAX })) {
+        return None;
+    }
+    let Some(Inst::Lea { dst: Reg::RAX, mem: lea_mem }) = code.inst(i + 2) else { return None };
+    if !is_movri(code.inst(i + 3), Reg::RBX, PH_STORE_LO) {
+        return None;
+    }
+    if !matches!(code.inst(i + 4), Some(Inst::CmpRR { lhs: Reg::RAX, rhs: Reg::RBX })) {
+        return None;
+    }
+    if !code.jcc_lands_at(i + 5, CondCode::Ae, i + 7) {
+        return None;
+    }
+    if !is_abort(code.inst(i + 6), abort_codes::STORE_BOUNDS) {
+        return None;
+    }
+    if !is_movri(code.inst(i + 7), Reg::RBX, PH_STORE_HI) {
+        return None;
+    }
+    if !matches!(code.inst(i + 8), Some(Inst::CmpRR { lhs: Reg::RAX, rhs: Reg::RBX })) {
+        return None;
+    }
+    if !code.jcc_lands_at(i + 9, CondCode::B, i + 11) {
+        return None;
+    }
+    if !is_abort(code.inst(i + 10), abort_codes::STORE_BOUNDS) {
+        return None;
+    }
+    if !matches!(code.inst(i + 11), Some(Inst::Pop { reg: Reg::RAX })) {
+        return None;
+    }
+    if !matches!(code.inst(i + 12), Some(Inst::Pop { reg: Reg::RBX })) {
+        return None;
+    }
+    // The subject store: same memory operand as the lea checked, no rsp.
+    let store_mem = code.inst(i + 13)?.stored_mem()?;
+    if store_mem != lea_mem || store_mem.uses(Reg::RSP) {
+        return None;
+    }
+    if !code.contiguous(i, i + 13) {
+        return None;
+    }
+    Some(Instance { kind: TemplateKind::StoreGuard, start_idx: i, end_idx: i + 13, subject_idx: Some(i + 13) })
+}
+
+/// Tries to match the rsp guard starting at index `i`.
+#[must_use]
+pub fn match_rsp_guard(code: &Code<'_>, i: usize) -> Option<Instance> {
+    if !is_movri(code.inst(i), Reg::R11, PH_STACK_LO) {
+        return None;
+    }
+    if !matches!(code.inst(i + 1), Some(Inst::CmpRR { lhs: Reg::RSP, rhs: Reg::R11 })) {
+        return None;
+    }
+    if !code.jcc_lands_at(i + 2, CondCode::Ae, i + 4) {
+        return None;
+    }
+    if !is_abort(code.inst(i + 3), abort_codes::RSP_BOUNDS) {
+        return None;
+    }
+    if !is_movri(code.inst(i + 4), Reg::R11, PH_STACK_HI) {
+        return None;
+    }
+    if !matches!(code.inst(i + 5), Some(Inst::CmpRR { lhs: Reg::RSP, rhs: Reg::R11 })) {
+        return None;
+    }
+    if !code.jcc_lands_at(i + 6, CondCode::Be, i + 8) {
+        return None;
+    }
+    if !is_abort(code.inst(i + 7), abort_codes::RSP_BOUNDS) {
+        return None;
+    }
+    if !code.contiguous(i, i + 7) {
+        return None;
+    }
+    Some(Instance { kind: TemplateKind::RspGuard, start_idx: i, end_idx: i + 7, subject_idx: None })
+}
+
+fn match_cfi_tail(code: &Code<'_>, i: usize) -> Option<(usize, Reg)> {
+    if !is_movri(code.inst(i), Reg::R11, PH_BT_BASE) {
+        return None;
+    }
+    let Some(Inst::Load { dst, mem }) = code.inst(i + 1) else { return None };
+    let expected = MemOperand::base_index(Reg::R11, *dst, 8, 0);
+    if *mem != expected {
+        return None;
+    }
+    match code.inst(i + 2) {
+        Some(Inst::CallInd { reg }) | Some(Inst::JmpInd { reg }) if reg == dst => {
+            Some((i + 2, *reg))
+        }
+        _ => None,
+    }
+}
+
+/// Tries to match a *checked* CFI lowering starting at index `i`.
+#[must_use]
+pub fn match_cfi_checked(code: &Code<'_>, i: usize) -> Option<Instance> {
+    if !is_movri(code.inst(i), Reg::R11, PH_BT_LEN) {
+        return None;
+    }
+    let Some(Inst::CmpRR { lhs, rhs: Reg::R11 }) = code.inst(i + 1) else { return None };
+    if !code.jcc_lands_at(i + 2, CondCode::B, i + 4) {
+        return None;
+    }
+    if !is_abort(code.inst(i + 3), abort_codes::CFI_FORWARD) {
+        return None;
+    }
+    let (subject, reg) = match_cfi_tail(code, i + 4)?;
+    if reg != *lhs {
+        return None;
+    }
+    if !code.contiguous(i, subject) {
+        return None;
+    }
+    Some(Instance { kind: TemplateKind::CfiChecked, start_idx: i, end_idx: subject, subject_idx: Some(subject) })
+}
+
+/// Tries to match an *unchecked* (baseline) CFI lowering at index `i`.
+#[must_use]
+pub fn match_cfi_unchecked(code: &Code<'_>, i: usize) -> Option<Instance> {
+    let (subject, _) = match_cfi_tail(code, i)?;
+    if !code.contiguous(i, subject) {
+        return None;
+    }
+    Some(Instance { kind: TemplateKind::CfiUnchecked, start_idx: i, end_idx: subject, subject_idx: Some(subject) })
+}
+
+/// Tries to match the shadow-stack prologue at index `i`.
+#[must_use]
+pub fn match_prologue(code: &Code<'_>, i: usize) -> Option<Instance> {
+    if !is_movri(code.inst(i), Reg::R11, PH_SS_SLOT) {
+        return None;
+    }
+    if !matches!(code.inst(i + 1), Some(Inst::Load { dst: Reg::RAX, mem }) if *mem == MemOperand::base_disp(Reg::R11, 0))
+    {
+        return None;
+    }
+    if !matches!(code.inst(i + 2), Some(Inst::AluRI { op: AluOp::Sub, dst: Reg::RAX, imm: 8 })) {
+        return None;
+    }
+    if !matches!(code.inst(i + 3), Some(Inst::Load { dst: Reg::RBX, mem }) if *mem == MemOperand::base_disp(Reg::RSP, 0))
+    {
+        return None;
+    }
+    if !matches!(code.inst(i + 4), Some(Inst::Store { mem, src: Reg::RBX }) if *mem == MemOperand::base_disp(Reg::RAX, 0))
+    {
+        return None;
+    }
+    if !matches!(code.inst(i + 5), Some(Inst::Store { mem, src: Reg::RAX }) if *mem == MemOperand::base_disp(Reg::R11, 0))
+    {
+        return None;
+    }
+    if !code.contiguous(i, i + 5) {
+        return None;
+    }
+    Some(Instance { kind: TemplateKind::Prologue, start_idx: i, end_idx: i + 5, subject_idx: None })
+}
+
+/// Tries to match the shadow-stack epilogue (ending in `ret`) at index `i`.
+#[must_use]
+pub fn match_epilogue(code: &Code<'_>, i: usize) -> Option<Instance> {
+    if !is_movri(code.inst(i), Reg::R11, PH_SS_SLOT) {
+        return None;
+    }
+    if !matches!(code.inst(i + 1), Some(Inst::Load { dst: Reg::RBX, mem }) if *mem == MemOperand::base_disp(Reg::R11, 0))
+    {
+        return None;
+    }
+    if !matches!(code.inst(i + 2), Some(Inst::Load { dst: Reg::R10, mem }) if *mem == MemOperand::base_disp(Reg::RBX, 0))
+    {
+        return None;
+    }
+    if !matches!(code.inst(i + 3), Some(Inst::AluRI { op: AluOp::Add, dst: Reg::RBX, imm: 8 })) {
+        return None;
+    }
+    if !matches!(code.inst(i + 4), Some(Inst::Store { mem, src: Reg::RBX }) if *mem == MemOperand::base_disp(Reg::R11, 0))
+    {
+        return None;
+    }
+    if !matches!(code.inst(i + 5), Some(Inst::CmpMem { reg: Reg::R10, mem }) if *mem == MemOperand::base_disp(Reg::RSP, 0))
+    {
+        return None;
+    }
+    if !code.jcc_lands_at(i + 6, CondCode::E, i + 8) {
+        return None;
+    }
+    if !is_abort(code.inst(i + 7), abort_codes::CFI_RETURN) {
+        return None;
+    }
+    if !matches!(code.inst(i + 8), Some(Inst::Ret)) {
+        return None;
+    }
+    if !code.contiguous(i, i + 8) {
+        return None;
+    }
+    Some(Instance { kind: TemplateKind::Epilogue, start_idx: i, end_idx: i + 8, subject_idx: Some(i + 8) })
+}
+
+/// Tries to match the P6 AEX check at index `i` (19 instructions).
+#[must_use]
+pub fn match_aex_check(code: &Code<'_>, i: usize) -> Option<Instance> {
+    if !is_movri(code.inst(i), Reg::R11, PH_SSA_MARKER) {
+        return None;
+    }
+    if !matches!(code.inst(i + 1), Some(Inst::Load { dst: Reg::R10, mem }) if *mem == MemOperand::base_disp(Reg::R11, 0))
+    {
+        return None;
+    }
+    if !matches!(
+        code.inst(i + 2),
+        Some(Inst::CmpRI { lhs: Reg::R10, imm }) if *imm == SSA_MARKER_VALUE as i64
+    ) {
+        return None;
+    }
+    // Fast path jumps past the whole AEX path, landing right after the
+    // re-arm store at i+19.
+    if !code.jcc_lands_after(i + 3, CondCode::E, i + 19) {
+        return None;
+    }
+    if !matches!(code.inst(i + 4), Some(Inst::Push { reg: Reg::RAX })) {
+        return None;
+    }
+    if !matches!(code.inst(i + 5), Some(Inst::AexProbe)) {
+        return None;
+    }
+    if !matches!(code.inst(i + 6), Some(Inst::CmpRI { lhs: Reg::RAX, imm: 0 })) {
+        return None;
+    }
+    if !matches!(code.inst(i + 7), Some(Inst::Pop { reg: Reg::RAX })) {
+        return None;
+    }
+    if !code.jcc_lands_at(i + 8, CondCode::Ne, i + 10) {
+        return None;
+    }
+    if !is_abort(code.inst(i + 9), abort_codes::AEX) {
+        return None;
+    }
+    if !is_movri(code.inst(i + 10), Reg::R11, PH_AEX_SLOT) {
+        return None;
+    }
+    if !matches!(code.inst(i + 11), Some(Inst::Load { dst: Reg::R10, mem }) if *mem == MemOperand::base_disp(Reg::R11, 0))
+    {
+        return None;
+    }
+    if !matches!(code.inst(i + 12), Some(Inst::AluRI { op: AluOp::Add, dst: Reg::R10, imm: 1 })) {
+        return None;
+    }
+    if !matches!(code.inst(i + 13), Some(Inst::Store { mem, src: Reg::R10 }) if *mem == MemOperand::base_disp(Reg::R11, 0))
+    {
+        return None;
+    }
+    if !is_movri(code.inst(i + 14), Reg::R11, PH_AEX_MAX) {
+        return None;
+    }
+    if !matches!(code.inst(i + 15), Some(Inst::CmpRR { lhs: Reg::R10, rhs: Reg::R11 })) {
+        return None;
+    }
+    if !code.jcc_lands_at(i + 16, CondCode::B, i + 18) {
+        return None;
+    }
+    if !is_abort(code.inst(i + 17), abort_codes::AEX) {
+        return None;
+    }
+    if !is_movri(code.inst(i + 18), Reg::R11, PH_SSA_MARKER) {
+        return None;
+    }
+    // The re-arm store completes the template.
+    if !matches!(
+        code.inst(i + 19),
+        Some(Inst::StoreImm { mem, imm }) if *mem == MemOperand::base_disp(Reg::R11, 0)
+            && *imm == SSA_MARKER_VALUE
+    ) {
+        return None;
+    }
+    if !code.contiguous(i, i + 19) {
+        return None;
+    }
+    Some(Instance { kind: TemplateKind::AexCheck, start_idx: i, end_idx: i + 19, subject_idx: None })
+}
+
+/// Attempts all templates at index `i`, in signature-disambiguated order.
+#[must_use]
+pub fn match_any(code: &Code<'_>, i: usize) -> Option<Instance> {
+    match_store_guard(code, i)
+        .or_else(|| match_rsp_guard(code, i))
+        .or_else(|| match_cfi_checked(code, i))
+        .or_else(|| match_cfi_unchecked(code, i))
+        .or_else(|| match_aex_check(code, i))
+        .or_else(|| match_epilogue(code, i))
+        .or_else(|| match_prologue(code, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deflection_lang::asm::assemble;
+    use deflection_lang::mir::MirProgram;
+    use deflection_isa::disassemble;
+
+    /// Assembles one function and returns the ordered instruction list.
+    fn roundtrip(f: MFunction, ibt: &[usize]) -> Vec<(usize, Inst, usize)> {
+        let p = MirProgram {
+            entry: f.name.clone(),
+            functions: vec![f],
+            data: vec![],
+            indirect_targets: vec![],
+        };
+        let obj = assemble(&p).unwrap();
+        let d = disassemble(&obj.text, 0, ibt).unwrap();
+        d.instrs.iter().map(|(&o, &(i, l))| (o, i, l)).collect()
+    }
+
+    #[test]
+    fn store_guard_roundtrip() {
+        let mut f = MFunction::new("t");
+        let mem = MemOperand::base_index(Reg::RCX, Reg::RDX, 8, 16);
+        emit_store_guard(&mut f, &mem);
+        f.real(Inst::Store { mem, src: Reg::RSI });
+        f.real(Inst::Halt);
+        let insts = roundtrip(f, &[]);
+        let code = Code { insts: &insts };
+        let m = match_store_guard(&code, 0).expect("emitted guard must match");
+        assert_eq!(m.end_idx, 13);
+        assert_eq!(m.subject_idx, Some(13));
+        assert_eq!(match_any(&code, 0).unwrap().kind, TemplateKind::StoreGuard);
+    }
+
+    #[test]
+    fn store_guard_wrong_operand_rejected() {
+        // Guard checks [rcx] but the store writes [rdx] — classic evasion.
+        let mut f = MFunction::new("t");
+        emit_store_guard(&mut f, &MemOperand::base_disp(Reg::RCX, 0));
+        f.real(Inst::Store { mem: MemOperand::base_disp(Reg::RDX, 0), src: Reg::RSI });
+        f.real(Inst::Halt);
+        let insts = roundtrip(f, &[]);
+        let code = Code { insts: &insts };
+        assert!(match_store_guard(&code, 0).is_none());
+    }
+
+    #[test]
+    fn rsp_guard_roundtrip() {
+        let mut f = MFunction::new("t");
+        emit_rsp_guard(&mut f);
+        f.real(Inst::Halt);
+        let insts = roundtrip(f, &[]);
+        let code = Code { insts: &insts };
+        let m = match_rsp_guard(&code, 0).expect("must match");
+        assert_eq!(m.end_idx, 7);
+        assert_eq!(match_any(&code, 0).unwrap().kind, TemplateKind::RspGuard);
+    }
+
+    #[test]
+    fn cfi_checked_roundtrip() {
+        let mut f = MFunction::new("t");
+        emit_cfi_branch(&mut f, Reg::R10, true, true);
+        f.real(Inst::Halt);
+        let insts = roundtrip(f, &[]);
+        let code = Code { insts: &insts };
+        let m = match_cfi_checked(&code, 0).expect("must match");
+        assert_eq!(m.subject_idx, Some(6));
+        assert!(matches!(code.inst(6), Some(Inst::CallInd { reg: Reg::R10 })));
+    }
+
+    #[test]
+    fn cfi_unchecked_roundtrip() {
+        let mut f = MFunction::new("t");
+        emit_cfi_branch(&mut f, Reg::R10, false, false);
+        f.real(Inst::Halt);
+        let insts = roundtrip(f, &[]);
+        let code = Code { insts: &insts };
+        let m = match_cfi_unchecked(&code, 0).expect("must match");
+        assert_eq!(m.subject_idx, Some(2));
+        assert!(matches!(code.inst(2), Some(Inst::JmpInd { reg: Reg::R10 })));
+        assert_eq!(match_any(&code, 0).unwrap().kind, TemplateKind::CfiUnchecked);
+    }
+
+    #[test]
+    fn prologue_epilogue_roundtrip() {
+        let mut f = MFunction::new("t");
+        emit_prologue(&mut f);
+        emit_epilogue_and_ret(&mut f);
+        let insts = roundtrip(f, &[]);
+        let code = Code { insts: &insts };
+        let p = match_prologue(&code, 0).expect("prologue must match");
+        assert_eq!(p.end_idx, 5);
+        let e = match_epilogue(&code, 6).expect("epilogue must match");
+        assert_eq!(e.subject_idx, Some(14));
+        assert!(matches!(code.inst(14), Some(Inst::Ret)));
+        // match_any disambiguates the shared PH_SS_SLOT signature.
+        assert_eq!(match_any(&code, 0).unwrap().kind, TemplateKind::Prologue);
+        assert_eq!(match_any(&code, 6).unwrap().kind, TemplateKind::Epilogue);
+    }
+
+    #[test]
+    fn aex_check_roundtrip() {
+        let mut f = MFunction::new("t");
+        emit_aex_check(&mut f);
+        f.real(Inst::Halt);
+        let insts = roundtrip(f, &[]);
+        let code = Code { insts: &insts };
+        let m = match_aex_check(&code, 0).expect("must match");
+        assert_eq!(m.end_idx, 19);
+        assert_eq!(match_any(&code, 0).unwrap().kind, TemplateKind::AexCheck);
+        // The instruction after the template is the halt.
+        assert!(matches!(code.inst(20), Some(Inst::Halt)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rsp-relative")]
+    fn store_guard_refuses_rsp_operands() {
+        let mut f = MFunction::new("t");
+        emit_store_guard(&mut f, &MemOperand::base_disp(Reg::RSP, 8));
+    }
+
+    #[test]
+    fn tampered_placeholder_rejected() {
+        let mut f = MFunction::new("t");
+        emit_rsp_guard(&mut f);
+        f.real(Inst::Halt);
+        let p = MirProgram {
+            entry: "t".into(),
+            functions: vec![f],
+            data: vec![],
+            indirect_targets: vec![],
+        };
+        let mut obj = assemble(&p).unwrap();
+        // Flip one byte of the PH_STACK_LO immediate (starts at offset 2).
+        obj.text[4] ^= 1;
+        let d = disassemble(&obj.text, 0, &[]).unwrap();
+        let insts: Vec<_> = d.instrs.iter().map(|(&o, &(i, l))| (o, i, l)).collect();
+        let code = Code { insts: &insts };
+        assert!(match_rsp_guard(&code, 0).is_none());
+    }
+}

@@ -1,0 +1,432 @@
+//! The in-enclave policy verifier.
+//!
+//! After the loader has relocated the target binary into the code window,
+//! the verifier performs the paper's *just-enough disassembling and
+//! verification* (Section IV-D): recursive-descent disassembly from the
+//! entry, continued across indirect flows via the indirect-branch target
+//! list, followed by a structural check that every security-relevant
+//! instruction carries its annotation and that no control flow can skip an
+//! annotation. Any failure rejects the binary — the verifier never repairs.
+
+use crate::annotations::{is_exempt_frame_store, match_any, Code, Instance, TemplateKind};
+use crate::policy::PolicySet;
+use deflection_isa::{disassemble, Disassembly, DisasmError, Inst};
+use std::collections::HashMap;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Why a binary was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// Disassembly failed (decode error, overlap, target out of range).
+    Disasm(DisasmError),
+    /// A store instruction has no (or a mismatched) P1 guard.
+    UnguardedStore {
+        /// Offset of the offending store.
+        offset: usize,
+    },
+    /// An instruction writes `rsp` without a following P2 guard.
+    UnguardedRspWrite {
+        /// Offset of the offending instruction.
+        offset: usize,
+    },
+    /// An indirect branch is not the subject of a branch-table lowering.
+    RawIndirectBranch {
+        /// Offset of the offending branch.
+        offset: usize,
+    },
+    /// Policy requires the CFI bounds check but the lowering is unchecked.
+    MissingCfiCheck {
+        /// Offset of the offending branch.
+        offset: usize,
+    },
+    /// A `ret` lacks the shadow-stack epilogue.
+    MissingEpilogue {
+        /// Offset of the offending `ret`.
+        offset: usize,
+    },
+    /// A call target / indirect-branch-table entry lacks the shadow-stack
+    /// prologue.
+    MissingPrologue {
+        /// Offset of the function entry.
+        offset: usize,
+    },
+    /// A branch from outside an annotation targets its interior.
+    BranchIntoAnnotation {
+        /// Offset of the branching instruction.
+        source: usize,
+        /// The interior offset it targets.
+        target: usize,
+    },
+    /// An indirect-branch-table entry points inside an annotation.
+    IndirectTargetIntoAnnotation {
+        /// The offending table target.
+        target: usize,
+    },
+    /// The entry point sits inside an annotation.
+    EntryInsideAnnotation,
+    /// More than `q` program instructions ran without an AEX marker check.
+    AexGapExceeded {
+        /// Offset where the gap limit was crossed.
+        offset: usize,
+    },
+    /// `rbp` written by something other than the frame idiom
+    /// (`mov rbp, rsp` / `pop rbp`) — would break the frame-store
+    /// exemption's containment argument.
+    IllegalRbpWrite {
+        /// Offset of the offending instruction.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Disasm(e) => write!(f, "disassembly rejected: {e}"),
+            VerifyError::UnguardedStore { offset } => {
+                write!(f, "store at {offset:#x} lacks a valid P1 annotation")
+            }
+            VerifyError::UnguardedRspWrite { offset } => {
+                write!(f, "rsp write at {offset:#x} lacks a P2 annotation")
+            }
+            VerifyError::RawIndirectBranch { offset } => {
+                write!(f, "indirect branch at {offset:#x} bypasses the branch table")
+            }
+            VerifyError::MissingCfiCheck { offset } => {
+                write!(f, "indirect branch at {offset:#x} lacks the P5 bounds check")
+            }
+            VerifyError::MissingEpilogue { offset } => {
+                write!(f, "ret at {offset:#x} lacks the shadow-stack epilogue")
+            }
+            VerifyError::MissingPrologue { offset } => {
+                write!(f, "call target {offset:#x} lacks the shadow-stack prologue")
+            }
+            VerifyError::BranchIntoAnnotation { source, target } => {
+                write!(f, "branch at {source:#x} jumps into annotation interior {target:#x}")
+            }
+            VerifyError::IndirectTargetIntoAnnotation { target } => {
+                write!(f, "indirect-branch table entry {target:#x} is annotation interior")
+            }
+            VerifyError::EntryInsideAnnotation => write!(f, "entry point inside an annotation"),
+            VerifyError::AexGapExceeded { offset } => {
+                write!(f, "more than q instructions without an AEX check near {offset:#x}")
+            }
+            VerifyError::IllegalRbpWrite { offset } => {
+                write!(f, "illegal rbp write at {offset:#x} (only `mov rbp, rsp` / `pop rbp`)")
+            }
+        }
+    }
+}
+
+impl StdError for VerifyError {}
+
+impl From<DisasmError> for VerifyError {
+    fn from(e: DisasmError) -> Self {
+        VerifyError::Disasm(e)
+    }
+}
+
+/// Role of each instruction after template discovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Ordinary program instruction.
+    Program,
+    /// Inside annotation `id` (not its subject).
+    Interior(usize),
+    /// The guarded subject of annotation `id`.
+    Subject(usize),
+}
+
+/// The verifier's accepted output: everything the rewriter and runtime need.
+#[derive(Debug, Clone)]
+pub struct Verified {
+    /// The recursive-descent disassembly.
+    pub disassembly: Disassembly,
+    /// Address-ordered instruction list `(offset, inst, len)`.
+    pub insts: Vec<(usize, Inst, usize)>,
+    /// Every recognized annotation instance.
+    pub instances: Vec<Instance>,
+}
+
+/// Verifies the relocated target binary at `code` against `policy`.
+///
+/// `entry` and `indirect_targets` are code-relative offsets (the loader
+/// translates the symbolic proof list before calling).
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered; acceptance means every
+/// rule of the enforced policy set holds on every reachable instruction.
+pub fn verify(
+    code: &[u8],
+    entry: usize,
+    indirect_targets: &[usize],
+    policy: &PolicySet,
+) -> Result<Verified, VerifyError> {
+    let disassembly = disassemble(code, entry, indirect_targets)?;
+    let insts: Vec<(usize, Inst, usize)> =
+        disassembly.instrs.iter().map(|(&o, &(i, l))| (o, i, l)).collect();
+    let code_view = Code { insts: &insts };
+    let index_of: HashMap<usize, usize> =
+        insts.iter().enumerate().map(|(i, (o, _, _))| (*o, i)).collect();
+
+    // --- Template discovery (greedy, in address order). -------------------
+    let mut roles = vec![Role::Program; insts.len()];
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut i = 0;
+    while i < insts.len() {
+        if roles[i] != Role::Program {
+            i += 1;
+            continue;
+        }
+        if let Some(inst) = match_any(&code_view, i) {
+            let id = instances.len();
+            roles[inst.start_idx..=inst.end_idx].fill(Role::Interior(id));
+            if let Some(s) = inst.subject_idx {
+                roles[s] = Role::Subject(id);
+            }
+            i = inst.end_idx + 1;
+            instances.push(inst);
+        } else {
+            i += 1;
+        }
+    }
+
+    let instance_of = |idx: usize| -> Option<usize> {
+        match roles[idx] {
+            Role::Interior(id) | Role::Subject(id) => Some(id),
+            Role::Program => None,
+        }
+    };
+    // Instance-start index → kind, for O(1) rule lookups.
+    let starts_at: HashMap<usize, TemplateKind> =
+        instances.iter().map(|i| (i.start_idx, i.kind)).collect();
+
+    // --- Control flow may not skip into annotations. ----------------------
+    for (idx, (offset, inst, len)) in insts.iter().enumerate() {
+        if let Some(rel) = inst.direct_rel() {
+            let target = (offset + len) as i64 + rel as i64;
+            let target_idx = index_of[&(target as usize)];
+            if let Some(target_instance) = instance_of(target_idx) {
+                let lands_on_start = target_idx == instances[target_instance].start_idx;
+                let same_instance = instance_of(idx) == Some(target_instance);
+                if !lands_on_start && !same_instance {
+                    return Err(VerifyError::BranchIntoAnnotation {
+                        source: *offset,
+                        target: target as usize,
+                    });
+                }
+            }
+        }
+    }
+    for &t in indirect_targets {
+        let target_idx = index_of[&t];
+        if let Some(id) = instance_of(target_idx) {
+            if target_idx != instances[id].start_idx {
+                return Err(VerifyError::IndirectTargetIntoAnnotation { target: t });
+            }
+        }
+    }
+    {
+        let entry_idx = index_of[&entry];
+        if let Some(id) = instance_of(entry_idx) {
+            if entry_idx != instances[id].start_idx {
+                return Err(VerifyError::EntryInsideAnnotation);
+            }
+        }
+    }
+
+    // --- rbp write discipline (underpins the frame-store exemption). -------
+    #[allow(clippy::match_like_matches_macro)]
+    if policy.store_bounds {
+        use deflection_isa::Reg;
+        for (offset, inst, _) in &insts {
+            let writes_rbp = inst.written_reg() == Some(Reg::RBP);
+            let frame_idiom = matches!(
+                inst,
+                Inst::MovRR { dst: Reg::RBP, src: Reg::RSP } | Inst::Pop { reg: Reg::RBP }
+            );
+            if writes_rbp && !frame_idiom {
+                return Err(VerifyError::IllegalRbpWrite { offset: *offset });
+            }
+        }
+    }
+
+    // --- Per-policy structural rules. --------------------------------------
+    for (idx, (offset, inst, _)) in insts.iter().enumerate() {
+        match roles[idx] {
+            Role::Program => {
+                if policy.store_bounds {
+                    if let Some(mem) = inst.stored_mem() {
+                        if !is_exempt_frame_store(mem) {
+                            return Err(VerifyError::UnguardedStore { offset: *offset });
+                        }
+                    }
+                }
+                if policy.rsp_integrity && inst.writes_rsp_explicitly() {
+                    // The immediately following instruction must start a
+                    // P2 guard instance.
+                    if starts_at.get(&(idx + 1)) != Some(&TemplateKind::RspGuard) {
+                        return Err(VerifyError::UnguardedRspWrite { offset: *offset });
+                    }
+                }
+                if inst.is_indirect_branch() {
+                    return Err(VerifyError::RawIndirectBranch { offset: *offset });
+                }
+                if policy.cfi && matches!(inst, Inst::Ret) {
+                    return Err(VerifyError::MissingEpilogue { offset: *offset });
+                }
+            }
+            Role::Subject(id) => {
+                let kind = instances[id].kind;
+                if inst.is_indirect_branch() && policy.cfi && kind == TemplateKind::CfiUnchecked
+                {
+                    return Err(VerifyError::MissingCfiCheck { offset: *offset });
+                }
+            }
+            Role::Interior(_) => {}
+        }
+    }
+
+    // --- Shadow-stack prologues at every call target (P5). ----------------
+    if policy.cfi {
+        let mut call_targets: Vec<usize> = indirect_targets.to_vec();
+        for (offset, inst, len) in &insts {
+            if let Inst::Call { rel } = inst {
+                call_targets.push(((offset + len) as i64 + *rel as i64) as usize);
+            }
+        }
+        call_targets.sort_unstable();
+        call_targets.dedup();
+        for target in call_targets {
+            if target == entry {
+                continue;
+            }
+            let target_idx = index_of[&target];
+            if starts_at.get(&target_idx) != Some(&TemplateKind::Prologue) {
+                return Err(VerifyError::MissingPrologue { offset: target });
+            }
+        }
+    }
+
+    // --- AEX-check density (P6). -------------------------------------------
+    if policy.aex {
+        let slack = 8;
+        let mut since: u32 = 0;
+        for (idx, (offset, _, _)) in insts.iter().enumerate() {
+            if starts_at.get(&idx) == Some(&TemplateKind::AexCheck) {
+                since = 0;
+            }
+            if matches!(roles[idx], Role::Program | Role::Subject(_)) {
+                since += 1;
+                if since > policy.q + slack {
+                    return Err(VerifyError::AexGapExceeded { offset: *offset });
+                }
+            }
+        }
+    }
+
+    Ok(Verified { disassembly, insts, instances })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::producer::produce;
+    use deflection_obj::ObjectFile;
+
+    const SRC: &str = "
+        var data: [int; 32];
+        fn helper(x: int) -> int { return x * 3; }
+        fn main() -> int {
+            var i: int = 0;
+            var f: fn(int) -> int = &helper;
+            while (i < 32) { data[i] = f(i); i = i + 1; }
+            return data[31];
+        }
+    ";
+
+    fn entry_and_ibt(obj: &ObjectFile) -> (usize, Vec<usize>) {
+        let entry = obj.symbol(&obj.entry_symbol).unwrap().offset as usize;
+        let ibt = obj
+            .indirect_branch_table
+            .iter()
+            .map(|n| obj.symbol(n).unwrap().offset as usize)
+            .collect();
+        (entry, ibt)
+    }
+
+    #[test]
+    fn every_policy_level_verifies_its_own_output() {
+        for (name, policy) in PolicySet::levels() {
+            let obj = produce(SRC, &policy).unwrap();
+            let (entry, ibt) = entry_and_ibt(&obj);
+            let v = verify(&obj.text, entry, &ibt, &policy);
+            assert!(v.is_ok(), "level {name}: {:?}", v.err());
+        }
+    }
+
+    #[test]
+    fn baseline_verifies_under_empty_policy() {
+        let obj = produce(SRC, &PolicySet::none()).unwrap();
+        let (entry, ibt) = entry_and_ibt(&obj);
+        verify(&obj.text, entry, &ibt, &PolicySet::none()).unwrap();
+    }
+
+    #[test]
+    fn baseline_rejected_under_full_policy() {
+        let obj = produce(SRC, &PolicySet::none()).unwrap();
+        let (entry, ibt) = entry_and_ibt(&obj);
+        let err = verify(&obj.text, entry, &ibt, &PolicySet::full()).unwrap_err();
+        // Which rule fires first depends on instruction order; any of the
+        // enforced policies is a valid ground for rejection.
+        assert!(matches!(
+            err,
+            VerifyError::UnguardedStore { .. }
+                | VerifyError::UnguardedRspWrite { .. }
+                | VerifyError::MissingEpilogue { .. }
+                | VerifyError::MissingCfiCheck { .. }
+                | VerifyError::AexGapExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn p1_binary_rejected_when_p5_required() {
+        let obj = produce(SRC, &PolicySet::p1()).unwrap();
+        let (entry, ibt) = entry_and_ibt(&obj);
+        let err = verify(&obj.text, entry, &ibt, &PolicySet::p1_p5()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VerifyError::MissingCfiCheck { .. }
+                    | VerifyError::MissingEpilogue { .. }
+                    | VerifyError::MissingPrologue { .. }
+                    | VerifyError::UnguardedRspWrite { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn stronger_binary_accepted_by_weaker_policy() {
+        // A fully instrumented binary satisfies the P1-only verifier.
+        let obj = produce(SRC, &PolicySet::full()).unwrap();
+        let (entry, ibt) = entry_and_ibt(&obj);
+        verify(&obj.text, entry, &ibt, &PolicySet::p1()).unwrap();
+    }
+
+    #[test]
+    fn instances_are_discovered() {
+        let obj = produce(SRC, &PolicySet::full()).unwrap();
+        let (entry, ibt) = entry_and_ibt(&obj);
+        let v = verify(&obj.text, entry, &ibt, &PolicySet::full()).unwrap();
+        let kinds: Vec<TemplateKind> = v.instances.iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&TemplateKind::StoreGuard));
+        assert!(kinds.contains(&TemplateKind::RspGuard));
+        assert!(kinds.contains(&TemplateKind::CfiChecked));
+        assert!(kinds.contains(&TemplateKind::Prologue));
+        assert!(kinds.contains(&TemplateKind::Epilogue));
+        assert!(kinds.contains(&TemplateKind::AexCheck));
+    }
+}

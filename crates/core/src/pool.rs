@@ -1,0 +1,224 @@
+//! Concurrent request serving: a pool of bootstrap-enclave workers.
+//!
+//! The paper's HTTPS evaluation serves many clients concurrently and its
+//! Section VII discusses multi-threaded enclaves, warning that shared
+//! in-memory CFI metadata is TOCTOU-prone and suggesting per-thread
+//! isolation. This pool takes the robust variant of that advice: each
+//! worker is a fully isolated enclave instance (own EPC image, own shadow
+//! stack, own SSA/control state), so no annotation metadata is ever shared
+//! between threads and the TOCTOU surface does not exist. This mirrors how
+//! multi-tenant CCaaS deployments actually scale SGX services (one enclave
+//! per worker), at the cost of per-worker memory.
+//!
+//! `serve_parallel` runs requests on OS threads via crossbeam's scoped
+//! threads — real parallelism over the simulated enclaves, used by the
+//! examples and available to the Fig. 10 harness.
+
+use crate::policy::Manifest;
+use crate::runtime::{BootstrapEnclave, EcallError, RunReport};
+use deflection_sgx_sim::layout::EnclaveLayout;
+
+/// A pool of identically configured, identically loaded enclave workers.
+#[derive(Debug)]
+pub struct EnclavePool {
+    workers: Vec<BootstrapEnclave>,
+}
+
+impl EnclavePool {
+    /// Creates `count` workers over the same layout and manifest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn new(layout: &EnclaveLayout, manifest: &Manifest, count: usize) -> Self {
+        assert!(count > 0, "pool needs at least one worker");
+        let workers = (0..count)
+            .map(|_| BootstrapEnclave::new(layout.clone(), manifest.clone()))
+            .collect();
+        EnclavePool { workers }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Installs the owner session key in every worker.
+    pub fn set_owner_session(&mut self, key: [u8; 32]) {
+        for w in &mut self.workers {
+            w.set_owner_session(key);
+        }
+    }
+
+    /// Installs (load + verify + rewrite) the same target binary in every
+    /// worker; each worker verifies independently, exactly as independent
+    /// enclaves would.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first worker that rejects the binary (they all would —
+    /// verification is deterministic).
+    pub fn install_all(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
+        let mut hash = [0u8; 32];
+        for w in &mut self.workers {
+            hash = w.install_plain(binary)?;
+        }
+        Ok(hash)
+    }
+
+    /// Serves one request on a specific worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ECall errors (no binary installed).
+    pub fn serve_on(
+        &mut self,
+        worker: usize,
+        input: &[u8],
+        fuel: u64,
+    ) -> Result<RunReport, EcallError> {
+        let idx = worker % self.workers.len();
+        let w = &mut self.workers[idx];
+        w.provide_input(input)?;
+        w.run(fuel)
+    }
+
+    /// Serves a batch of requests across the pool with real OS-thread
+    /// parallelism: request `i` runs on worker `i % len`, requests mapped
+    /// to the same worker run serially on its thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first ECall error from any worker, after all threads
+    /// join.
+    pub fn serve_parallel(
+        &mut self,
+        requests: &[Vec<u8>],
+        fuel: u64,
+    ) -> Result<Vec<RunReport>, EcallError> {
+        let worker_count = self.workers.len();
+        // Distribute request indices per worker, preserving order.
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); worker_count];
+        for (i, _) in requests.iter().enumerate() {
+            assignments[i % worker_count].push(i);
+        }
+
+        let mut slots: Vec<Vec<(usize, Result<RunReport, EcallError>)>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (worker, idxs) in self.workers.iter_mut().zip(&assignments) {
+                let handle = scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(idxs.len());
+                    for &i in idxs {
+                        let result = worker
+                            .provide_input(&requests[i])
+                            .and_then(|()| worker.run(fuel));
+                        out.push((i, result));
+                    }
+                    out
+                });
+                handles.push(handle);
+            }
+            for h in handles {
+                slots.push(h.join().expect("worker thread must not panic"));
+            }
+        })
+        .expect("scope must not panic");
+
+        let mut results: Vec<Option<RunReport>> = (0..requests.len()).map(|_| None).collect();
+        for batch in slots {
+            for (i, result) in batch {
+                results[i] = Some(result?);
+            }
+        }
+        Ok(results.into_iter().map(|r| r.expect("every request served")).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicySet;
+    use crate::producer::produce;
+    use deflection_sgx_sim::layout::MemConfig;
+    use deflection_sgx_sim::vm::RunExit;
+
+    const ECHO_SUM: &str = "
+        fn main() -> int {
+            var n: int = input_len();
+            var s: int = 0;
+            var i: int = 0;
+            while (i < n) { s = s + input_byte(i); i = i + 1; }
+            return s;
+        }
+    ";
+
+    fn pool(workers: usize) -> EnclavePool {
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::full();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, workers);
+        let binary = produce(ECHO_SUM, &manifest.policy).unwrap().serialize();
+        pool.set_owner_session([1; 32]);
+        pool.install_all(&binary).unwrap();
+        pool
+    }
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let requests: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i, i + 1, i + 2]).collect();
+        let mut parallel_pool = pool(4);
+        let parallel = parallel_pool.serve_parallel(&requests, 10_000_000).unwrap();
+        let mut serial_pool = pool(1);
+        for (req, report) in requests.iter().zip(&parallel) {
+            let expected: u64 = req.iter().map(|&b| b as u64).sum();
+            assert_eq!(report.exit, RunExit::Halted { exit: expected });
+            let serial = serial_pool.serve_on(0, req, 10_000_000).unwrap();
+            assert_eq!(serial.exit, report.exit);
+        }
+    }
+
+    #[test]
+    fn workers_are_isolated() {
+        // A counter global must not bleed between workers.
+        let src = "
+            var hits: int;
+            fn main() -> int { hits = hits + 1; return hits; }
+        ";
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::p1();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, 3);
+        let binary = produce(src, &manifest.policy).unwrap().serialize();
+        pool.install_all(&binary).unwrap();
+        // Worker 0 runs twice; workers 1 and 2 once each.
+        assert_eq!(pool.serve_on(0, b"", 1_000_000).unwrap().exit.exit_value(), Some(1));
+        assert_eq!(pool.serve_on(0, b"", 1_000_000).unwrap().exit.exit_value(), Some(2));
+        assert_eq!(pool.serve_on(1, b"", 1_000_000).unwrap().exit.exit_value(), Some(1));
+        assert_eq!(pool.serve_on(2, b"", 1_000_000).unwrap().exit.exit_value(), Some(1));
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let mut p = pool(2);
+        // Worker index 5 lands on worker 1.
+        let r = p.serve_on(5, b"\x01", 1_000_000).unwrap();
+        assert_eq!(r.exit.exit_value(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let manifest = Manifest::ccaas();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let _ = EnclavePool::new(&layout, &manifest, 0);
+    }
+}

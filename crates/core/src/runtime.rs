@@ -1,0 +1,703 @@
+//! The bootstrap enclave runtime: ECall surface, P0 OCall wrappers and the
+//! execution loop.
+//!
+//! This is the public, attestable software layer of the DEFLECTION model
+//! (paper Section III-A): it receives the target binary and the user data
+//! over role-separated encrypted channels, drives the consumer pipeline
+//! (load → verify → rewrite), and mediates everything that crosses the
+//! enclave boundary at runtime. The P0 policy lives here:
+//!
+//! * only manifest-listed OCalls are serviced — anything else faults;
+//! * `send` encrypts with the data owner's session key and pads every
+//!   record to a fixed length (entropy control), under a lifetime budget;
+//! * `recv` only ever exposes data the owner provisioned.
+
+use crate::consumer::{install, InstallError, Installed};
+use crate::policy::Manifest;
+use deflection_crypto::aead::ChaCha20Poly1305;
+use deflection_crypto::CryptoError;
+use deflection_isa::{OcallCode, Reg};
+use deflection_sgx_sim::aex::AexInjector;
+use deflection_sgx_sim::coloc::{ColocationTester, PROFILES};
+use deflection_sgx_sim::cpu::Cpu;
+use deflection_sgx_sim::layout::EnclaveLayout;
+use deflection_sgx_sim::measure::{measure_enclave, Measurement};
+use deflection_sgx_sim::mem::Memory;
+use deflection_sgx_sim::vm::{ExecStats, RunExit, Vm, VmHost};
+use deflection_sgx_sim::Fault;
+use std::collections::VecDeque;
+
+/// The public consumer image: stands in for the loader/verifier binary whose
+/// hash anchors the remote attestation (both parties inspect and agree on
+/// this code, Section III-A).
+pub const CONSUMER_IMAGE: &[u8] = b"deflection-bootstrap-consumer image v1 \
+    {loader,verifier,imm-rewriter,p0-wrappers}";
+
+/// AAD binding every outgoing record to the P0 channel.
+const RECORD_AAD: &[u8] = b"deflection-p0-record";
+
+/// Where the I/O buffers were placed in the heap.
+#[derive(Debug, Clone, Copy)]
+struct IoPlan {
+    io_ctl_va: u64,
+    input_base: u64,
+    input_cap: u64,
+    output_base: u64,
+    output_cap: u64,
+}
+
+/// Runtime-side state the VM host callbacks mutate.
+#[derive(Debug)]
+struct HostState {
+    manifest: Manifest,
+    io: Option<IoPlan>,
+    owner_key: Option<[u8; 32]>,
+    inbox: VecDeque<Vec<u8>>,
+    /// Sealed records produced by `send` (ciphertext, fixed length).
+    outbox: Vec<Vec<u8>>,
+    sent_bytes: usize,
+    send_nonce: u64,
+    log_values: Vec<i64>,
+    clock: u64,
+    coloc: ColocationTester,
+}
+
+impl HostState {
+    fn load_input(&mut self, mem: &mut Memory, data: &[u8]) -> Result<u64, Fault> {
+        let io = self.io.expect("io plan set at install");
+        let len = (data.len() as u64).min(io.input_cap);
+        mem.poke_bytes(io.input_base, &data[..len as usize])?;
+        mem.poke_u64(io.io_ctl_va + 8, len)?;
+        Ok(len)
+    }
+}
+
+impl VmHost for HostState {
+    fn ocall(&mut self, code: u8, cpu: &mut Cpu, mem: &mut Memory) -> Result<(), Fault> {
+        if !self.manifest.allows(code) {
+            return Err(Fault::OcallDenied { code });
+        }
+        match OcallCode::from_u8(code) {
+            Some(OcallCode::Send) => {
+                let io = self.io.ok_or(Fault::OcallFailed {
+                    code,
+                    reason: "program has no I/O block".into(),
+                })?;
+                let ptr = cpu.get(Reg::RDI);
+                let len = cpu.get(Reg::RSI) as usize;
+                if ptr != io.output_base {
+                    return Err(Fault::OcallFailed {
+                        code,
+                        reason: "send pointer is not the staging buffer".into(),
+                    });
+                }
+                if len > io.output_cap as usize || len > self.manifest.output_record_len {
+                    return Err(Fault::OcallFailed {
+                        code,
+                        reason: "send length exceeds the record size".into(),
+                    });
+                }
+                if self.sent_bytes + len > self.manifest.output_budget {
+                    return Err(Fault::OcallFailed {
+                        code,
+                        reason: "output entropy budget exhausted".into(),
+                    });
+                }
+                let Some(key) = self.owner_key else {
+                    return Err(Fault::OcallFailed {
+                        code,
+                        reason: "no data-owner session".into(),
+                    });
+                };
+                let plaintext = mem.peek_bytes(ptr, len)?.to_vec();
+                self.outbox.push(seal_record(
+                    &key,
+                    self.send_nonce,
+                    &plaintext,
+                    self.manifest.output_record_len,
+                ));
+                self.send_nonce += 1;
+                self.sent_bytes += len;
+                cpu.set(Reg::RAX, len as u64);
+            }
+            Some(OcallCode::Recv) => {
+                let msg = self.inbox.pop_front();
+                let len = match msg {
+                    Some(data) => self.load_input(mem, &data)?,
+                    None => 0,
+                };
+                cpu.set(Reg::RAX, len);
+            }
+            Some(OcallCode::Log) => {
+                if self.log_values.len() < 1024 {
+                    self.log_values.push(cpu.get(Reg::RDI) as i64);
+                }
+                cpu.set(Reg::RAX, 0);
+            }
+            Some(OcallCode::Clock) => {
+                self.clock += 1;
+                cpu.set(Reg::RAX, self.clock);
+            }
+            None => return Err(Fault::OcallDenied { code }),
+        }
+        Ok(())
+    }
+
+    fn aex_probe(&mut self) -> bool {
+        self.coloc.probe()
+    }
+}
+
+/// Seals one P0 record: `[u32 length][payload][zero padding]` padded to
+/// `record_len`, AEAD-sealed under the owner session key with a counter
+/// nonce. Every record has identical ciphertext length.
+#[must_use]
+pub fn seal_record(key: &[u8; 32], counter: u64, payload: &[u8], record_len: usize) -> Vec<u8> {
+    let mut plain = Vec::with_capacity(4 + record_len);
+    plain.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    plain.extend_from_slice(payload);
+    plain.resize(4 + record_len, 0);
+    ChaCha20Poly1305::new(key).seal(&record_nonce(counter), RECORD_AAD, &plain)
+}
+
+/// Opens a sealed P0 record (the data owner's side), returning the payload.
+///
+/// # Errors
+///
+/// Returns a [`CryptoError`] if the record fails authentication or is
+/// structurally invalid.
+pub fn open_record(key: &[u8; 32], counter: u64, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let plain = ChaCha20Poly1305::new(key).open(&record_nonce(counter), RECORD_AAD, sealed)?;
+    if plain.len() < 4 {
+        return Err(CryptoError::TruncatedCiphertext);
+    }
+    let len = u32::from_le_bytes(plain[..4].try_into().expect("checked")) as usize;
+    if 4 + len > plain.len() {
+        return Err(CryptoError::TruncatedCiphertext);
+    }
+    Ok(plain[4..4 + len].to_vec())
+}
+
+fn record_nonce(counter: u64) -> [u8; 12] {
+    let mut nonce = [0u8; 12];
+    nonce[..4].copy_from_slice(b"SND\0");
+    nonce[4..].copy_from_slice(&counter.to_le_bytes());
+    nonce
+}
+
+/// Everything a finished run reports back.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// How the program stopped.
+    pub exit: RunExit,
+    /// Instruction and event counters.
+    pub stats: ExecStats,
+    /// Sealed output records (for the data owner).
+    pub records: Vec<Vec<u8>>,
+    /// Count of stores that landed outside ELRANGE during the run — must be
+    /// zero whenever the store-bounds policy is enforced.
+    pub untrusted_writes: u64,
+    /// Instructions of idle padding added by the time-blur extension
+    /// (paper Section VII); zero when blurring is off.
+    pub blur_padding: u64,
+}
+
+/// The bootstrap enclave (paper Fig. 1): public code layer hosting the
+/// consumer pipeline and the P0 runtime.
+#[derive(Debug)]
+pub struct BootstrapEnclave {
+    layout: EnclaveLayout,
+    manifest: Manifest,
+    vm: Option<Vm>,
+    installed: Option<Installed>,
+    host: HostState,
+    provider_key: Option<[u8; 32]>,
+    recv_nonce: u64,
+    /// Whether a directly-loaded input message is waiting for the next run.
+    direct_input_pending: bool,
+}
+
+/// ECall-surface failures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EcallError {
+    /// Decryption/authentication of a delivered payload failed.
+    Channel(CryptoError),
+    /// No session key established for the required role.
+    NoSession,
+    /// The consumer pipeline rejected the binary.
+    Install(InstallError),
+    /// The heap cannot fit the I/O buffers next to the loaded data.
+    NoRoomForIo,
+    /// No binary installed yet.
+    NotInstalled,
+}
+
+impl std::fmt::Display for EcallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcallError::Channel(e) => write!(f, "channel failure: {e}"),
+            EcallError::NoSession => write!(f, "no session established for this role"),
+            EcallError::Install(e) => write!(f, "{e}"),
+            EcallError::NoRoomForIo => write!(f, "heap cannot fit I/O buffers"),
+            EcallError::NotInstalled => write!(f, "no target binary installed"),
+        }
+    }
+}
+
+impl std::error::Error for EcallError {}
+
+impl From<InstallError> for EcallError {
+    fn from(e: InstallError) -> Self {
+        EcallError::Install(e)
+    }
+}
+
+impl From<CryptoError> for EcallError {
+    fn from(e: CryptoError) -> Self {
+        EcallError::Channel(e)
+    }
+}
+
+impl BootstrapEnclave {
+    /// Initializes a bootstrap enclave over a fresh memory image.
+    #[must_use]
+    pub fn new(layout: EnclaveLayout, manifest: Manifest) -> Self {
+        let host = HostState {
+            manifest: manifest.clone(),
+            io: None,
+            owner_key: None,
+            inbox: VecDeque::new(),
+            outbox: Vec::new(),
+            sent_bytes: 0,
+            send_nonce: 0,
+            log_values: Vec::new(),
+            clock: 0,
+            coloc: ColocationTester::new(PROFILES[0], 0xD5F1),
+        };
+        BootstrapEnclave {
+            layout,
+            manifest,
+            vm: None,
+            installed: None,
+            host,
+            provider_key: None,
+            recv_nonce: 0,
+            direct_input_pending: false,
+        }
+    }
+
+    /// The enclave's measurement, as the hardware would report it in a
+    /// quote (hash of the public consumer image and the enclave layout).
+    #[must_use]
+    pub fn measurement(&self) -> Measurement {
+        measure_enclave(CONSUMER_IMAGE, &self.layout)
+    }
+
+    /// The manifest in force.
+    #[must_use]
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Installs the data owner's session key (normally derived by the
+    /// RA-TLS handshake in `deflection-attest`).
+    pub fn set_owner_session(&mut self, key: [u8; 32]) {
+        self.host.owner_key = Some(key);
+    }
+
+    /// Installs the code provider's session key.
+    pub fn set_provider_session(&mut self, key: [u8; 32]) {
+        self.provider_key = Some(key);
+    }
+
+    /// `ecall_receive_binary`: decrypts the provider-sealed target binary,
+    /// runs the consumer pipeline and prepares the I/O buffers. Returns the
+    /// code hash the enclave later reports to the data owner.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no provider session exists, authentication fails, the
+    /// consumer rejects the binary, or the heap cannot host the buffers.
+    pub fn ecall_receive_binary(&mut self, sealed: &[u8]) -> Result<[u8; 32], EcallError> {
+        let key = self.provider_key.ok_or(EcallError::NoSession)?;
+        let nonce = delivery_nonce(b"BIN\0", self.recv_nonce);
+        self.recv_nonce += 1;
+        let binary = ChaCha20Poly1305::new(&key).open(&nonce, b"deflection-binary", sealed)?;
+        self.install_plain(&binary)
+    }
+
+    /// Installs an already-plaintext binary (used by tests and benches that
+    /// do not exercise the channel; the consumer pipeline is identical).
+    ///
+    /// # Errors
+    ///
+    /// Propagates consumer rejections and I/O-placement failures.
+    pub fn install_plain(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
+        let mut mem = Memory::new(self.layout.clone());
+        let installed = install(binary, &self.manifest, &mut mem)?;
+
+        // Place the I/O buffers in the free heap above the loaded image.
+        let input_base = (installed.program.data_end + 7) & !7;
+        let output_base = input_base + self.manifest.input_capacity as u64;
+        let end = output_base + self.manifest.output_capacity as u64;
+        if end > self.layout.heap.end {
+            return Err(EcallError::NoRoomForIo);
+        }
+        if let Some(&io_ctl_va) = installed.program.symbols.get("__io") {
+            let plan = IoPlan {
+                io_ctl_va,
+                input_base,
+                input_cap: self.manifest.input_capacity as u64,
+                output_base,
+                output_cap: self.manifest.output_capacity as u64,
+            };
+            mem.poke_u64(io_ctl_va, plan.input_base).expect("io block mapped");
+            mem.poke_u64(io_ctl_va + 8, 0).expect("io block mapped");
+            mem.poke_u64(io_ctl_va + 16, plan.output_base).expect("io block mapped");
+            mem.poke_u64(io_ctl_va + 24, plan.output_cap).expect("io block mapped");
+            self.host.io = Some(plan);
+        } else {
+            self.host.io = None;
+        }
+
+        let code_hash = installed.program.code_hash;
+        let entry = installed.program.entry_va;
+        self.installed = Some(installed);
+        self.vm = Some(Vm::new(mem, entry));
+        Ok(code_hash)
+    }
+
+    /// `ecall_receive_userdata`: decrypts owner-sealed input. The first
+    /// message is loaded straight into the input buffer; later messages
+    /// queue for `recv()`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no owner session or installed binary exists, or when
+    /// authentication fails.
+    pub fn ecall_receive_userdata(&mut self, sealed: &[u8]) -> Result<(), EcallError> {
+        let key = self.host.owner_key.ok_or(EcallError::NoSession)?;
+        let nonce = delivery_nonce(b"DAT\0", self.recv_nonce);
+        self.recv_nonce += 1;
+        let data = ChaCha20Poly1305::new(&key).open(&nonce, b"deflection-userdata", sealed)?;
+        self.provide_input(&data)
+    }
+
+    /// Provides plaintext input directly (test/bench path; same buffering
+    /// as the sealed ECall).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no binary is installed.
+    pub fn provide_input(&mut self, data: &[u8]) -> Result<(), EcallError> {
+        let vm = self.vm.as_mut().ok_or(EcallError::NotInstalled)?;
+        if self.host.io.is_some() && !self.direct_input_pending && self.host.inbox.is_empty() {
+            self.host
+                .load_input(&mut vm.mem, data)
+                .expect("input buffer mapped");
+            self.direct_input_pending = true;
+            return Ok(());
+        }
+        self.host.inbox.push_back(data.to_vec());
+        Ok(())
+    }
+
+    /// Replaces the AEX injection schedule (experiment control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no binary is installed.
+    pub fn set_aex(&mut self, injector: AexInjector) {
+        self.vm.as_mut().expect("binary installed").set_aex(injector);
+    }
+
+    /// Marks whether an attacker occupies the sibling hyper-thread (drives
+    /// the co-location probe outcomes).
+    pub fn set_attacker_present(&mut self, present: bool) {
+        self.host.coloc.attacker_present = present;
+    }
+
+    /// Logged values emitted through the `log` OCall.
+    #[must_use]
+    pub fn log_values(&self) -> &[i64] {
+        &self.host.log_values
+    }
+
+    /// Read-only view of the enclave memory (diagnostics/tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no binary is installed.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.vm.as_ref().expect("binary installed").mem
+    }
+
+    /// Runs the installed program from its entry with the given instruction
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when no binary is installed; program-level failures are
+    /// reported inside the [`RunReport`].
+    pub fn run(&mut self, fuel: u64) -> Result<RunReport, EcallError> {
+        let vm = self.vm.as_mut().ok_or(EcallError::NotInstalled)?;
+        let installed = self.installed.as_ref().expect("installed with vm");
+        // Reset the CPU to the entry; memory (globals, control slots)
+        // persists across runs.
+        vm.cpu = Cpu::new(installed.program.entry_va);
+        vm.cpu.set(Reg::RSP, self.layout.initial_rsp());
+        // The pending direct input is consumed by this run; the next
+        // provide_input call refreshes the buffer.
+        self.direct_input_pending = false;
+        let exit = vm.run(fuel, &mut self.host);
+        let mut stats = vm.stats;
+        // On-demand processing-time blurring (paper Section VII): idle until
+        // the next quantum boundary before releasing any output, so the
+        // completion time no longer modulates a covert channel.
+        let mut blur_padding = 0;
+        if let Some(q) = self.manifest.time_blur_quantum {
+            if q > 0 {
+                let rem = stats.instructions % q;
+                if rem != 0 {
+                    blur_padding = q - rem;
+                    stats.instructions += blur_padding;
+                }
+            }
+        }
+        Ok(RunReport {
+            exit,
+            stats,
+            records: std::mem::take(&mut self.host.outbox),
+            untrusted_writes: vm.mem.untrusted_write_count,
+            blur_padding,
+        })
+    }
+}
+
+/// Builds the nonce for a sealed code/data delivery.
+#[must_use]
+pub fn delivery_nonce(tag: &[u8; 4], counter: u64) -> [u8; 12] {
+    let mut nonce = [0u8; 12];
+    nonce[..4].copy_from_slice(tag);
+    nonce[4..].copy_from_slice(&counter.to_le_bytes());
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicySet;
+    use crate::producer::produce;
+    use deflection_sgx_sim::layout::MemConfig;
+
+    fn enclave(policy: PolicySet) -> BootstrapEnclave {
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = policy;
+        BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest)
+    }
+
+    const ECHO_SRC: &str = "
+        fn main() -> int {
+            var n: int = input_len();
+            var i: int = 0;
+            while (i < n) { output_byte(i, input_byte(i) + 1); i = i + 1; }
+            return send(n);
+        }
+    ";
+
+    #[test]
+    fn end_to_end_echo_with_sealed_output() {
+        let policy = PolicySet::full();
+        let obj = produce(ECHO_SRC, &policy).unwrap();
+        let mut enclave = enclave(policy);
+        let owner_key = [0x11u8; 32];
+        enclave.set_owner_session(owner_key);
+        enclave.install_plain(&obj.serialize()).unwrap();
+        enclave.provide_input(b"hello").unwrap();
+        let report = enclave.run(10_000_000).unwrap();
+        assert_eq!(report.exit, RunExit::Halted { exit: 5 });
+        assert_eq!(report.untrusted_writes, 0);
+        assert_eq!(report.records.len(), 1);
+        // All records are fixed-size (P0 padding).
+        assert_eq!(
+            report.records[0].len(),
+            4 + enclave.manifest().output_record_len + 16
+        );
+        let plain = open_record(&owner_key, 0, &report.records[0]).unwrap();
+        assert_eq!(plain, b"ifmmp");
+    }
+
+    #[test]
+    fn sealed_delivery_roundtrip() {
+        let policy = PolicySet::p1();
+        let obj = produce(ECHO_SRC, &policy).unwrap();
+        let mut e = enclave(policy);
+        let provider_key = [0x22u8; 32];
+        let owner_key = [0x33u8; 32];
+        e.set_provider_session(provider_key);
+        e.set_owner_session(owner_key);
+        let sealed_bin = ChaCha20Poly1305::new(&provider_key).seal(
+            &delivery_nonce(b"BIN\0", 0),
+            b"deflection-binary",
+            &obj.serialize(),
+        );
+        let hash = e.ecall_receive_binary(&sealed_bin).unwrap();
+        assert_eq!(hash, deflection_crypto::sha256::sha256(&obj.serialize()));
+        let sealed_data = ChaCha20Poly1305::new(&owner_key).seal(
+            &delivery_nonce(b"DAT\0", 1),
+            b"deflection-userdata",
+            b"abc",
+        );
+        e.ecall_receive_userdata(&sealed_data).unwrap();
+        let report = e.run(10_000_000).unwrap();
+        assert_eq!(report.exit, RunExit::Halted { exit: 3 });
+    }
+
+    #[test]
+    fn tampered_binary_delivery_rejected() {
+        let policy = PolicySet::p1();
+        let obj = produce(ECHO_SRC, &policy).unwrap();
+        let mut e = enclave(policy);
+        let provider_key = [0x22u8; 32];
+        e.set_provider_session(provider_key);
+        let mut sealed = ChaCha20Poly1305::new(&provider_key).seal(
+            &delivery_nonce(b"BIN\0", 0),
+            b"deflection-binary",
+            &obj.serialize(),
+        );
+        sealed[10] ^= 1;
+        assert!(matches!(
+            e.ecall_receive_binary(&sealed),
+            Err(EcallError::Channel(_))
+        ));
+    }
+
+    #[test]
+    fn send_without_owner_session_faults() {
+        let policy = PolicySet::p1();
+        let obj = produce("fn main() -> int { return send(1); }", &policy).unwrap();
+        let mut e = enclave(policy);
+        e.install_plain(&obj.serialize()).unwrap();
+        let report = e.run(1_000_000).unwrap();
+        assert!(matches!(report.exit, RunExit::Fault(Fault::OcallFailed { .. })));
+    }
+
+    #[test]
+    fn oversized_send_faults() {
+        let policy = PolicySet::p1();
+        let src = "fn main() -> int { return send(100000); }";
+        let obj = produce(src, &policy).unwrap();
+        let mut e = enclave(policy);
+        e.set_owner_session([1; 32]);
+        e.install_plain(&obj.serialize()).unwrap();
+        let report = e.run(1_000_000).unwrap();
+        assert!(matches!(report.exit, RunExit::Fault(Fault::OcallFailed { .. })));
+    }
+
+    #[test]
+    fn output_budget_enforced() {
+        let policy = PolicySet::p1();
+        // Send 100 bytes repeatedly until the budget trips.
+        let src = "
+            fn main() -> int {
+                var i: int = 0;
+                while (i < 100) { send(100); i = i + 1; }
+                return 0;
+            }
+        ";
+        let obj = produce(src, &policy).unwrap();
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = policy;
+        manifest.output_budget = 450; // allows 4 sends of 100
+        let mut e = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+        e.set_owner_session([1; 32]);
+        e.install_plain(&obj.serialize()).unwrap();
+        let report = e.run(10_000_000).unwrap();
+        assert!(matches!(report.exit, RunExit::Fault(Fault::OcallFailed { .. })));
+        assert_eq!(report.records.len(), 4);
+    }
+
+    #[test]
+    fn recv_dequeues_messages() {
+        let policy = PolicySet::p1();
+        let src = "
+            fn main() -> int {
+                var first: int = input_len();
+                var second: int = recv();
+                var third: int = recv();
+                return first * 10000 + second * 100 + third;
+            }
+        ";
+        let obj = produce(src, &policy).unwrap();
+        let mut e = enclave(policy);
+        e.set_owner_session([1; 32]);
+        e.install_plain(&obj.serialize()).unwrap();
+        e.provide_input(b"aaaa").unwrap(); // 4 bytes, loaded immediately
+        e.provide_input(b"bb").unwrap(); // queued
+        let report = e.run(10_000_000).unwrap();
+        assert_eq!(report.exit, RunExit::Halted { exit: 4 * 10000 + 2 * 100 });
+    }
+
+    #[test]
+    fn run_requires_install() {
+        let mut e = enclave(PolicySet::none());
+        assert!(matches!(e.run(100), Err(EcallError::NotInstalled)));
+    }
+
+    #[test]
+    fn measurement_is_stable_and_layout_bound() {
+        let e1 = enclave(PolicySet::none());
+        let e2 = enclave(PolicySet::none());
+        assert_eq!(e1.measurement(), e2.measurement());
+        let other = BootstrapEnclave::new(
+            EnclaveLayout::new(MemConfig::paper()),
+            Manifest::ccaas(),
+        );
+        assert_ne!(e1.measurement(), other.measurement());
+    }
+
+    #[test]
+    fn time_blur_hides_completion_time() {
+        // Two inputs with different true costs complete at identical
+        // (blurred) instruction counts.
+        let policy = PolicySet::p1();
+        let src = "
+            fn main() -> int {
+                var n: int = input_len();
+                var i: int = 0;
+                var s: int = 0;
+                while (i < n * 100) { s = s + i; i = i + 1; }
+                return s & 0xFF;
+            }
+        ";
+        let obj = produce(src, &policy).unwrap();
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = policy;
+        manifest.time_blur_quantum = Some(1_000_000);
+        let mut counts = Vec::new();
+        for input in [&b"ab"[..], &b"abcdefgh"[..]] {
+            let mut e =
+                BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest.clone());
+            e.set_owner_session([1; 32]);
+            e.install_plain(&obj.serialize()).unwrap();
+            e.provide_input(input).unwrap();
+            let report = e.run(10_000_000).unwrap();
+            assert!(matches!(report.exit, RunExit::Halted { .. }));
+            assert!(report.blur_padding > 0);
+            counts.push(report.stats.instructions);
+        }
+        assert_eq!(counts[0], counts[1], "blurred completion times must match");
+    }
+
+    #[test]
+    fn record_seal_open_roundtrip() {
+        let key = [9u8; 32];
+        let sealed = seal_record(&key, 7, b"result", 64);
+        assert_eq!(sealed.len(), 4 + 64 + 16);
+        assert_eq!(open_record(&key, 7, &sealed).unwrap(), b"result");
+        // Wrong counter (nonce) fails.
+        assert!(open_record(&key, 8, &sealed).is_err());
+    }
+}

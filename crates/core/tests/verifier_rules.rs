@@ -1,0 +1,176 @@
+//! Focused integration tests for individual verifier rules, exercised with
+//! hand-crafted machine IR (the granularity the unit tests inside the
+//! crate cannot reach without duplicating the attack corpus).
+
+use deflection_core::annotations::{self, FRAME_STORE_LIMIT};
+use deflection_core::consumer::verifier::{verify, VerifyError};
+use deflection_core::policy::PolicySet;
+use deflection_core::producer::produce_from_mir;
+use deflection_lang::mir::{MFunction, MInst, MirProgram};
+use deflection_isa::{Inst, MemOperand, Reg};
+
+fn program_of(f: MFunction) -> MirProgram {
+    MirProgram {
+        entry: f.name.clone(),
+        functions: vec![f],
+        data: vec![],
+        indirect_targets: vec![],
+    }
+}
+
+fn verify_obj(
+    obj: &deflection_obj::ObjectFile,
+    policy: &PolicySet,
+) -> Result<(), VerifyError> {
+    let entry = obj.symbol(&obj.entry_symbol).unwrap().offset as usize;
+    let ibt: Vec<usize> = obj
+        .indirect_branch_table
+        .iter()
+        .map(|n| obj.symbol(n).unwrap().offset as usize)
+        .collect();
+    verify(&obj.text, entry, &ibt, policy).map(|_| ())
+}
+
+#[test]
+fn frame_stores_within_limit_need_no_guard() {
+    let mut f = MFunction::new("__start");
+    f.real(Inst::Push { reg: Reg::RBP });
+    f.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    f.real(Inst::Store {
+        mem: MemOperand::base_disp(Reg::RBP, -(FRAME_STORE_LIMIT as i32)),
+        src: Reg::RAX,
+    });
+    f.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RAX });
+    f.real(Inst::Halt);
+    let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
+    verify_obj(&obj, &PolicySet::p1()).expect("frame stores are exempt");
+}
+
+#[test]
+fn frame_store_past_limit_requires_guard() {
+    let mut f = MFunction::new("__start");
+    f.real(Inst::Push { reg: Reg::RBP });
+    f.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    f.real(Inst::Store {
+        mem: MemOperand::base_disp(Reg::RBP, -(FRAME_STORE_LIMIT as i32) - 8),
+        src: Reg::RAX,
+    });
+    f.real(Inst::Halt);
+    let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
+    assert!(matches!(
+        verify_obj(&obj, &PolicySet::p1()),
+        Err(VerifyError::UnguardedStore { .. })
+    ));
+}
+
+#[test]
+fn positive_rbp_displacement_requires_guard() {
+    // [rbp + 8] is the return address — not frame-local, must be guarded.
+    let mut f = MFunction::new("__start");
+    f.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, 8), src: Reg::RAX });
+    f.real(Inst::Halt);
+    let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
+    assert!(matches!(
+        verify_obj(&obj, &PolicySet::p1()),
+        Err(VerifyError::UnguardedStore { .. })
+    ));
+}
+
+#[test]
+fn indexed_rbp_store_requires_guard() {
+    let mut f = MFunction::new("__start");
+    f.real(Inst::Store {
+        mem: MemOperand::base_index(Reg::RBP, Reg::RAX, 8, -64),
+        src: Reg::RBX,
+    });
+    f.real(Inst::Halt);
+    let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
+    assert!(matches!(
+        verify_obj(&obj, &PolicySet::p1()),
+        Err(VerifyError::UnguardedStore { .. })
+    ));
+}
+
+#[test]
+fn rbp_write_outside_frame_idiom_rejected() {
+    for bad in [
+        Inst::MovRI { dst: Reg::RBP, imm: 0x100 },
+        Inst::MovRR { dst: Reg::RBP, src: Reg::RAX },
+        Inst::AluRI { op: deflection_isa::AluOp::Add, dst: Reg::RBP, imm: 64 },
+        Inst::Load { dst: Reg::RBP, mem: MemOperand::abs(0x2000_0000) },
+    ] {
+        let mut f = MFunction::new("__start");
+        f.real(bad);
+        f.real(Inst::Halt);
+        let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
+        assert!(
+            matches!(
+                verify_obj(&obj, &PolicySet::p1()),
+                Err(VerifyError::IllegalRbpWrite { .. })
+            ),
+            "{bad:?} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn frame_idiom_writes_accepted() {
+    let mut f = MFunction::new("__start");
+    f.real(Inst::Push { reg: Reg::RBP });
+    f.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    f.real(Inst::Pop { reg: Reg::RBP });
+    f.real(Inst::Halt);
+    let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
+    verify_obj(&obj, &PolicySet::p1()).expect("frame idiom is legal");
+}
+
+#[test]
+fn rbp_discipline_not_enforced_without_store_bounds() {
+    // With no store policy there is no exemption to protect.
+    let mut f = MFunction::new("__start");
+    f.real(Inst::MovRI { dst: Reg::RBP, imm: 0x100 });
+    f.real(Inst::Halt);
+    let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
+    verify_obj(&obj, &PolicySet::none()).expect("no policy, no rule");
+}
+
+#[test]
+fn exemption_predicate_boundaries() {
+    let exempt = MemOperand::base_disp(Reg::RBP, -1);
+    assert!(annotations::is_exempt_frame_store(&exempt));
+    let at_limit = MemOperand::base_disp(Reg::RBP, -(FRAME_STORE_LIMIT as i32));
+    assert!(annotations::is_exempt_frame_store(&at_limit));
+    let past = MemOperand::base_disp(Reg::RBP, -(FRAME_STORE_LIMIT as i32) - 1);
+    assert!(!annotations::is_exempt_frame_store(&past));
+    let zero = MemOperand::base_disp(Reg::RBP, 0);
+    assert!(!annotations::is_exempt_frame_store(&zero));
+    let other_base = MemOperand::base_disp(Reg::RBX, -8);
+    assert!(!annotations::is_exempt_frame_store(&other_base));
+}
+
+#[test]
+fn guarded_and_exempt_stores_mix_in_one_binary() {
+    // A function with both kinds: frame spill (exempt) and a global write
+    // (guarded).  The producer must guard only the latter and the verifier
+    // must accept the mix.
+    let mut f = MFunction::new("__start");
+    f.real(Inst::Push { reg: Reg::RBP });
+    f.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    f.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -16), src: Reg::RAX });
+    f.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: "g".into(), addend: 0 });
+    f.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBX, 0), src: Reg::RAX });
+    f.real(Inst::Halt);
+    let mut mir = program_of(f);
+    mir.data.push(deflection_lang::mir::DataDef { name: "g".into(), size: 8, init: None });
+    let obj = produce_from_mir(&mir, &PolicySet::p1()).unwrap();
+    verify_obj(&obj, &PolicySet::p1()).expect("mixed binary verifies");
+    // Exactly one store guard was emitted (for the global write).
+    let entry = obj.symbol("__start").unwrap().offset as usize;
+    let v = verify(&obj.text, entry, &[], &PolicySet::p1()).unwrap();
+    let guards = v
+        .instances
+        .iter()
+        .filter(|i| i.kind == deflection_core::annotations::TemplateKind::StoreGuard)
+        .count();
+    assert_eq!(guards, 1);
+}

@@ -1,0 +1,150 @@
+//! ChaCha20-Poly1305 AEAD construction (RFC 8439).
+//!
+//! This is the record protection used on every DEFLECTION channel: code
+//! delivery (`ecall_receive_binary`), data delivery (`ecall_receive_userdata`)
+//! and the P0 `send`/`recv` OCall wrappers, where the plaintext is
+//! additionally padded to a fixed record length before sealing (entropy
+//! control; see `deflection_core::runtime`).
+
+use crate::chacha20::{chacha20_apply, chacha20_block, KEY_LEN, NONCE_LEN};
+use crate::poly1305::{Poly1305, TAG_LEN};
+use crate::{ct_eq, CryptoError};
+
+/// An authenticated encryption context bound to one 256-bit key.
+#[derive(Debug, Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; KEY_LEN],
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates an AEAD context for `key`.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        ChaCha20Poly1305 { key: *key }
+    }
+
+    fn mac(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let block0 = chacha20_block(&self.key, 0, nonce);
+        let otk: [u8; 32] = block0[..32].try_into().unwrap();
+        let mut mac = Poly1305::new(&otk);
+        mac.update(aad);
+        mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+        mac.update(ciphertext);
+        mac.update(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Encrypts `plaintext` bound to `aad`, returning `ciphertext || tag`.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = chacha20_apply(&self.key, nonce, 1, plaintext);
+        let tag = self.mac(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts and authenticates `sealed` (`ciphertext || tag`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::TruncatedCiphertext`] if `sealed` is shorter
+    /// than a tag, and [`CryptoError::TagMismatch`] if authentication fails.
+    pub fn open(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::TruncatedCiphertext);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.mac(nonce, aad, ct);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::TagMismatch);
+        }
+        Ok(chacha20_apply(&self.key, nonce, 1, ct))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_aead_vector() {
+        // RFC 8439 section 2.8.2
+        let key: [u8; 32] = unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+            .try_into()
+            .unwrap();
+        let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let cipher = ChaCha20Poly1305::new(&key);
+        let sealed = cipher.seal(&nonce, &aad, plaintext);
+        let (ct, tag) = sealed.split_at(sealed.len() - 16);
+        assert_eq!(
+            hex(&ct[..16]),
+            "d31a8d34648e60db7b86afbc53ef7ec2"
+        );
+        assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        let opened = cipher.open(&nonce, &aad, &sealed).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn tamper_ciphertext_detected() {
+        let cipher = ChaCha20Poly1305::new(&[9u8; 32]);
+        let nonce = [3u8; 12];
+        let mut sealed = cipher.seal(&nonce, b"", b"secret payload");
+        sealed[0] ^= 1;
+        assert_eq!(cipher.open(&nonce, b"", &sealed), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn tamper_tag_detected() {
+        let cipher = ChaCha20Poly1305::new(&[9u8; 32]);
+        let nonce = [3u8; 12];
+        let mut sealed = cipher.seal(&nonce, b"", b"secret payload");
+        let n = sealed.len();
+        sealed[n - 1] ^= 0x80;
+        assert_eq!(cipher.open(&nonce, b"", &sealed), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_aad_detected() {
+        let cipher = ChaCha20Poly1305::new(&[9u8; 32]);
+        let nonce = [3u8; 12];
+        let sealed = cipher.seal(&nonce, b"role=owner", b"data");
+        assert_eq!(
+            cipher.open(&nonce, b"role=provider", &sealed),
+            Err(CryptoError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let cipher = ChaCha20Poly1305::new(&[9u8; 32]);
+        assert_eq!(
+            cipher.open(&[0u8; 12], b"", &[0u8; 15]),
+            Err(CryptoError::TruncatedCiphertext)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let cipher = ChaCha20Poly1305::new(&[1u8; 32]);
+        let nonce = [0u8; 12];
+        let sealed = cipher.seal(&nonce, b"hdr", b"");
+        assert_eq!(sealed.len(), 16);
+        assert_eq!(cipher.open(&nonce, b"hdr", &sealed).unwrap(), b"");
+    }
+}

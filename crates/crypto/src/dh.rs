@@ -1,0 +1,172 @@
+//! Finite-field Diffie–Hellman key agreement.
+//!
+//! After both parties attest the bootstrap enclave (paper Section III-A, "Key
+//! agreement procedure"), they negotiate shared session keys by
+//! Diffie–Hellman. We use the prime field GF(2^255 − 19) with generator 2 and
+//! derive the symmetric session key from the shared secret with HKDF.
+
+use crate::hmac::hkdf;
+use crate::u256::U256;
+use crate::CryptoError;
+
+/// The field prime `2^255 - 19`.
+#[must_use]
+pub fn prime() -> U256 {
+    // 2^255 - 19 = 0x7fff...ffed
+    let mut bytes = [0xffu8; 32];
+    bytes[0] = 0x7f;
+    bytes[31] = 0xed;
+    U256::from_be_bytes(&bytes)
+}
+
+/// The group generator.
+#[must_use]
+pub fn generator() -> U256 {
+    U256::from_u64(2)
+}
+
+/// A Diffie–Hellman private key (a reduced field element).
+#[derive(Debug, Clone)]
+pub struct PrivateKey {
+    scalar: U256,
+}
+
+/// A Diffie–Hellman public value `g^x mod p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey {
+    value: U256,
+}
+
+impl PrivateKey {
+    /// Derives a private key from 32 bytes of secret randomness.
+    ///
+    /// The bytes are reduced into the field; values reducing to 0 or 1 are
+    /// nudged to a safe scalar so the key is never degenerate.
+    #[must_use]
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        let mut scalar = U256::from_be_bytes(seed).reduce(prime());
+        if scalar.is_zero() || scalar == U256::ONE {
+            scalar = U256::from_u64(0x1001);
+        }
+        PrivateKey { scalar }
+    }
+
+    /// Computes the public value for this key.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey { value: generator().mod_pow(self.scalar, prime()) }
+    }
+
+    /// Computes the raw shared secret with a peer's public value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPublicKey`] if the peer value is outside
+    /// `[2, p-2]` (which would force a degenerate shared secret).
+    pub fn shared_secret(&self, peer: &PublicKey) -> Result<[u8; 32], CryptoError> {
+        peer.validate()?;
+        let secret = peer.value.mod_pow(self.scalar, prime());
+        Ok(secret.to_be_bytes())
+    }
+
+    /// Derives a 32-byte symmetric session key bound to `context`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError::InvalidPublicKey`] from
+    /// [`PrivateKey::shared_secret`].
+    pub fn session_key(&self, peer: &PublicKey, context: &[u8]) -> Result<[u8; 32], CryptoError> {
+        let ss = self.shared_secret(peer)?;
+        let okm = hkdf(b"deflection-dh", &ss, context, 32);
+        Ok(okm.try_into().expect("hkdf returned requested length"))
+    }
+}
+
+impl PublicKey {
+    /// Serializes to 32 big-endian bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        self.value.to_be_bytes()
+    }
+
+    /// Deserializes from 32 big-endian bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPublicKey`] for values outside `[2, p-2]`.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, CryptoError> {
+        let pk = PublicKey { value: U256::from_be_bytes(bytes) };
+        pk.validate()?;
+        Ok(pk)
+    }
+
+    fn validate(&self) -> Result<(), CryptoError> {
+        let p = prime();
+        let two = U256::from_u64(2);
+        let (p_minus_1, _) = p.overflowing_sub(U256::ONE);
+        if self.value < two || self.value >= p_minus_1 {
+            return Err(CryptoError::InvalidPublicKey);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_agreement_matches() {
+        let alice = PrivateKey::from_seed(&[0xA5; 32]);
+        let bob = PrivateKey::from_seed(&[0x5A; 32]);
+        let s1 = alice.shared_secret(&bob.public_key()).unwrap();
+        let s2 = bob.shared_secret(&alice.public_key()).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_peers_different_secrets() {
+        let alice = PrivateKey::from_seed(&[1; 32]);
+        let bob = PrivateKey::from_seed(&[2; 32]);
+        let carol = PrivateKey::from_seed(&[3; 32]);
+        let ab = alice.shared_secret(&bob.public_key()).unwrap();
+        let ac = alice.shared_secret(&carol.public_key()).unwrap();
+        assert_ne!(ab, ac);
+    }
+
+    #[test]
+    fn session_key_context_separation() {
+        let alice = PrivateKey::from_seed(&[7; 32]);
+        let bob = PrivateKey::from_seed(&[8; 32]);
+        let owner = alice.session_key(&bob.public_key(), b"role:data-owner").unwrap();
+        let provider = alice.session_key(&bob.public_key(), b"role:code-provider").unwrap();
+        assert_ne!(owner, provider);
+    }
+
+    #[test]
+    fn rejects_degenerate_public_values() {
+        assert!(PublicKey::from_bytes(&[0u8; 32]).is_err());
+        let mut one = [0u8; 32];
+        one[31] = 1;
+        assert!(PublicKey::from_bytes(&one).is_err());
+        // p - 1 is also rejected.
+        let mut pm1 = prime().to_be_bytes();
+        pm1[31] -= 1;
+        assert!(PublicKey::from_bytes(&pm1).is_err());
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let key = PrivateKey::from_seed(&[0x33; 32]);
+        let pk = key.public_key();
+        let rt = PublicKey::from_bytes(&pk.to_bytes()).unwrap();
+        assert_eq!(pk, rt);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let key = PrivateKey::from_seed(&[0; 32]);
+        // Must still produce a valid, non-trivial public key.
+        assert!(PublicKey::from_bytes(&key.public_key().to_bytes()).is_ok());
+    }
+}

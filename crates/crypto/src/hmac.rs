@@ -1,0 +1,162 @@
+//! HMAC-SHA256 (RFC 2104 / 4231) and HKDF (RFC 5869).
+//!
+//! The simulated SGX platform signs quotes with HMAC under a platform key the
+//! Attestation Service shares (standing in for EPID/ECDSA quote signatures),
+//! and the RA-TLS-style handshake derives role-separated session keys via
+//! HKDF, as the paper's key agreement procedure requires.
+
+use crate::sha256::{sha256, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes HMAC-SHA256 of `data` under `key`.
+///
+/// ```
+/// use deflection_crypto::hmac::hmac_sha256;
+/// let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0], 0xf7);
+/// ```
+#[must_use]
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut k = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        k[..DIGEST_LEN].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+#[must_use]
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: expands `prk` into `out_len` bytes of keying material bound
+/// to `info`.
+///
+/// # Panics
+///
+/// Panics if `out_len > 255 * 32`, the RFC 5869 limit.
+#[must_use]
+pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * DIGEST_LEN, "hkdf output too long");
+    let mut out = Vec::with_capacity(out_len);
+    let mut prev: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < out_len {
+        let mut msg = prev.clone();
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let t = hmac_sha256(prk, &msg);
+        let take = (out_len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&t[..take]);
+        prev = t.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+    out
+}
+
+/// One-shot HKDF (extract + expand).
+#[must_use]
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    hkdf_expand(&hkdf_extract(salt, ikm), info, out_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2_short_key() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_key_longer_than_block() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let okm = hkdf(&salt, &ikm, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn hkdf_zero_length_output() {
+        assert!(hkdf(b"s", b"k", b"i", 0).is_empty());
+    }
+
+    #[test]
+    fn hkdf_different_info_different_keys() {
+        let a = hkdf(b"salt", b"secret", b"client", 32);
+        let b = hkdf(b"salt", b"secret", b"server", 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output too long")]
+    fn hkdf_output_limit_enforced() {
+        let _ = hkdf(b"s", b"k", b"i", 255 * 32 + 1);
+    }
+}

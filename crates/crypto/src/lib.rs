@@ -1,0 +1,121 @@
+//! # deflection-crypto
+//!
+//! From-scratch cryptographic substrate for the DEFLECTION reproduction.
+//!
+//! The DEFLECTION model (DSN 2021) needs a small set of primitives to realize
+//! the delegation workflow of its Figure 1:
+//!
+//! * [`sha256`] — enclave measurement (MRENCLAVE-style) and quote digests,
+//! * [`hmac`] — platform quote signing in the simulated SGX and HKDF key
+//!   derivation for session keys,
+//! * [`chacha20`] / [`poly1305`] / [`aead`] — the encrypted, padded record
+//!   channel between the data owner / code provider and the bootstrap enclave
+//!   (security policy **P0**: output encryption and entropy control),
+//! * [`u256`] / [`dh`] — finite-field Diffie–Hellman for the key agreement the
+//!   paper performs after remote attestation,
+//! * [`drbg`] — a deterministic random bit generator so every experiment in
+//!   the benchmark harness is reproducible.
+//!
+//! All algorithms are implemented in this crate against their published test
+//! vectors (RFC 8439 for ChaCha20/Poly1305, FIPS 180-4 for SHA-256, RFC 4231
+//! for HMAC, RFC 5869 for HKDF); no external cryptography crates are used.
+//!
+//! # Example
+//!
+//! ```
+//! use deflection_crypto::aead::ChaCha20Poly1305;
+//!
+//! let key = [7u8; 32];
+//! let cipher = ChaCha20Poly1305::new(&key);
+//! let nonce = [1u8; 12];
+//! let sealed = cipher.seal(&nonce, b"session header", b"patient record");
+//! let opened = cipher.open(&nonce, b"session header", &sealed).unwrap();
+//! assert_eq!(opened, b"patient record");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod dh;
+pub mod drbg;
+pub mod hmac;
+pub mod poly1305;
+pub mod sha256;
+pub mod u256;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by cryptographic operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An AEAD open failed because the authentication tag did not verify.
+    TagMismatch,
+    /// A ciphertext was too short to contain the mandatory tag.
+    TruncatedCiphertext,
+    /// A Diffie–Hellman public value was outside the valid group range.
+    InvalidPublicKey,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
+            CryptoError::TruncatedCiphertext => write!(f, "ciphertext shorter than tag"),
+            CryptoError::InvalidPublicKey => write!(f, "invalid diffie-hellman public key"),
+        }
+    }
+}
+
+impl StdError for CryptoError {}
+
+/// Constant-time equality comparison for secret material.
+///
+/// Returns `true` when `a` and `b` have equal length and contents, examining
+/// every byte regardless of where the first difference occurs.
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_equal() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn ct_eq_unequal_content() {
+        assert!(!ct_eq(b"abc", b"abd"));
+    }
+
+    #[test]
+    fn ct_eq_unequal_length() {
+        assert!(!ct_eq(b"abc", b"abcd"));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CryptoError::TagMismatch,
+            CryptoError::TruncatedCiphertext,
+            CryptoError::InvalidPublicKey,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Poly1305 one-time authenticator (RFC 8439).
+//!
+//! Authenticates every encrypted record in the P0 channel so the untrusted
+//! host cannot tamper with code or data in transit to the bootstrap enclave.
+
+/// Tag size in bytes.
+pub const TAG_LEN: usize = 16;
+/// Key size in bytes (`r || s`).
+pub const KEY_LEN: usize = 32;
+
+/// Incremental Poly1305 MAC using 26-bit limb arithmetic.
+#[derive(Debug, Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    h: [u32; 5],
+    pad: [u32; 4],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates a MAC instance from a 32-byte one-time key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // r is clamped per the RFC.
+        let r0 = u32::from_le_bytes(key[0..4].try_into().unwrap());
+        let r1 = u32::from_le_bytes(key[4..8].try_into().unwrap());
+        let r2 = u32::from_le_bytes(key[8..12].try_into().unwrap());
+        let r3 = u32::from_le_bytes(key[12..16].try_into().unwrap());
+        let r = [
+            r0 & 0x03ff_ffff,
+            ((r0 >> 26) | (r1 << 6)) & 0x03ff_ff03,
+            ((r1 >> 20) | (r2 << 12)) & 0x03ff_c0ff,
+            ((r2 >> 14) | (r3 << 18)) & 0x03f0_3fff,
+            (r3 >> 8) & 0x000f_ffff,
+        ];
+        let pad = [
+            u32::from_le_bytes(key[16..20].try_into().unwrap()),
+            u32::from_le_bytes(key[20..24].try_into().unwrap()),
+            u32::from_le_bytes(key[24..28].try_into().unwrap()),
+            u32::from_le_bytes(key[28..32].try_into().unwrap()),
+        ];
+        Poly1305 { r, h: [0; 5], pad, buf: [0; 16], buf_len: 0 }
+    }
+
+    fn block(&mut self, block: &[u8; 16], partial: bool) {
+        let hibit: u32 = if partial { 0 } else { 1 << 24 };
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap());
+
+        let h0 = (self.h[0] + (t0 & 0x03ff_ffff)) as u64;
+        let h1 = (self.h[1] + (((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff)) as u64;
+        let h2 = (self.h[2] + (((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff)) as u64;
+        let h3 = (self.h[3] + (((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff)) as u64;
+        let h4 = (self.h[4] + ((t3 >> 8) | hibit)) as u64;
+
+        let r0 = self.r[0] as u64;
+        let r1 = self.r[1] as u64;
+        let r2 = self.r[2] as u64;
+        let r3 = self.r[3] as u64;
+        let r4 = self.r[4] as u64;
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        let mut c: u64;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+        c = d0 >> 26;
+        d1 += c;
+        let h0 = (d0 & 0x03ff_ffff) as u32;
+        c = d1 >> 26;
+        d2 += c;
+        let h1 = (d1 & 0x03ff_ffff) as u32;
+        c = d2 >> 26;
+        d3 += c;
+        let h2 = (d2 & 0x03ff_ffff) as u32;
+        c = d3 >> 26;
+        d4 += c;
+        let h3 = (d3 & 0x03ff_ffff) as u32;
+        c = d4 >> 26;
+        let h4 = (d4 & 0x03ff_ffff) as u32;
+        let h0 = h0 + (c as u32) * 5;
+        let c2 = h0 >> 26;
+        let h0 = h0 & 0x03ff_ffff;
+        let h1 = h1 + c2;
+
+        self.h = [h0, h1, h2, h3, h4];
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 16 {
+                let b = self.buf;
+                self.block(&b, false);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 16 {
+            let (block, tail) = rest.split_at(16);
+            let mut b = [0u8; 16];
+            b.copy_from_slice(block);
+            self.block(&b, false);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Completes the MAC and returns the 16-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut b = [0u8; 16];
+            b[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            b[self.buf_len] = 1;
+            self.block(&b, true);
+        }
+        // Full carry propagation.
+        let mut h0 = self.h[0];
+        let mut h1 = self.h[1];
+        let mut h2 = self.h[2];
+        let mut h3 = self.h[3];
+        let mut h4 = self.h[4];
+        let mut c: u32;
+        c = h1 >> 26;
+        h1 &= 0x03ff_ffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x03ff_ffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x03ff_ffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x03ff_ffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += c;
+
+        // Compute h + (-p) and select based on overflow.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x03ff_ffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x03ff_ffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x03ff_ffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x03ff_ffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        let mask = (g4 >> 31).wrapping_sub(1); // all-ones if g4 >= 0 (h >= p)
+        h0 = (h0 & !mask) | (g0 & mask);
+        h1 = (h1 & !mask) | (g1 & mask);
+        h2 = (h2 & !mask) | (g2 & mask);
+        h3 = (h3 & !mask) | (g3 & mask);
+        h4 = (h4 & !mask) | (g4 & 0x03ff_ffff & mask);
+
+        // Serialize to 128 bits.
+        let w0 = h0 | (h1 << 26);
+        let w1 = (h1 >> 6) | (h2 << 20);
+        let w2 = (h2 >> 12) | (h3 << 14);
+        let w3 = (h3 >> 18) | (h4 << 8);
+
+        // Add s with carry.
+        let mut f: u64;
+        let mut out = [0u8; TAG_LEN];
+        f = w0 as u64 + self.pad[0] as u64;
+        out[0..4].copy_from_slice(&(f as u32).to_le_bytes());
+        f = w1 as u64 + self.pad[1] as u64 + (f >> 32);
+        out[4..8].copy_from_slice(&(f as u32).to_le_bytes());
+        f = w2 as u64 + self.pad[2] as u64 + (f >> 32);
+        out[8..12].copy_from_slice(&(f as u32).to_le_bytes());
+        f = w3 as u64 + self.pad[3] as u64 + (f >> 32);
+        out[12..16].copy_from_slice(&(f as u32).to_le_bytes());
+        out
+    }
+}
+
+/// One-shot Poly1305 MAC.
+#[must_use]
+pub fn poly1305(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(msg);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 section 2.5.2
+        let key: [u8; 32] = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+            .try_into()
+            .unwrap();
+        let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn zero_key_zero_tag_on_empty() {
+        let key = [0u8; 32];
+        // r = 0 so the polynomial evaluates to 0; tag = s = 0.
+        assert_eq!(poly1305(&key, b"anything"), [0u8; 16]);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key: [u8; 32] = core::array::from_fn(|i| (i * 3 + 1) as u8);
+        let msg: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 15, 16, 17, 31, 100, 200] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finalize(), poly1305(&key, &msg), "split {split}");
+        }
+    }
+
+    #[test]
+    fn tag_depends_on_message() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8 + 1);
+        assert_ne!(poly1305(&key, b"message one"), poly1305(&key, b"message two"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Minimal 256-bit unsigned integer arithmetic.
+//!
+//! Supports exactly the operations the finite-field Diffie–Hellman key
+//! agreement in [`crate::dh`] needs: comparison, modular addition, modular
+//! multiplication (binary method) and modular exponentiation (square and
+//! multiply). Handshakes are rare, so clarity is preferred over speed.
+
+// Limb arithmetic reads most clearly with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256 {
+    limbs: [u64; 4],
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "U256(0x{:016x}{:016x}{:016x}{:016x})",
+            self.limbs[3], self.limbs[2], self.limbs[1], self.limbs[0]
+        )
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl U256 {
+    /// The value 0.
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+    /// The value 1.
+    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+
+    /// Constructs from little-endian limbs.
+    #[must_use]
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256 { limbs }
+    }
+
+    /// Constructs from a `u64`.
+    #[must_use]
+    pub const fn from_u64(v: u64) -> Self {
+        U256 { limbs: [v, 0, 0, 0] }
+    }
+
+    /// Reads a big-endian 32-byte value.
+    #[must_use]
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let start = (3 - i) * 8;
+            limbs[i] = u64::from_be_bytes(bytes[start..start + 8].try_into().unwrap());
+        }
+        U256 { limbs }
+    }
+
+    /// Writes the value as 32 big-endian bytes.
+    #[must_use]
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let start = (3 - i) * 8;
+            out[start..start + 8].copy_from_slice(&self.limbs[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Returns `true` if the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; 4]
+    }
+
+    /// Tests bit `i` (0 = least significant).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < 256);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.limbs[i] != 0 {
+                return i * 64 + (64 - self.limbs[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Wrapping addition returning the carry-out.
+    #[must_use]
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s, c2) = s.overflowing_add(carry as u64);
+            out[i] = s;
+            carry = c1 || c2;
+        }
+        (U256 { limbs: out }, carry)
+    }
+
+    /// Wrapping subtraction returning the borrow-out.
+    #[must_use]
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d, b2) = d.overflowing_sub(borrow as u64);
+            out[i] = d;
+            borrow = b1 || b2;
+        }
+        (U256 { limbs: out }, borrow)
+    }
+
+    /// Shifts left by one bit, returning the shifted value and the bit
+    /// shifted out.
+    #[must_use]
+    pub fn shl1(self) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            out[i] = (self.limbs[i] << 1) | carry;
+            carry = self.limbs[i] >> 63;
+        }
+        (U256 { limbs: out }, carry == 1)
+    }
+
+    /// Modular addition: `(self + rhs) mod modulus`.
+    ///
+    /// Both inputs must already be reduced.
+    #[must_use]
+    pub fn mod_add(self, rhs: U256, modulus: U256) -> U256 {
+        debug_assert!(self < modulus && rhs < modulus);
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || sum >= modulus {
+            sum.overflowing_sub(modulus).0
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction: `(self - rhs) mod modulus`.
+    #[must_use]
+    pub fn mod_sub(self, rhs: U256, modulus: U256) -> U256 {
+        debug_assert!(self < modulus && rhs < modulus);
+        let (diff, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            diff.overflowing_add(modulus).0
+        } else {
+            diff
+        }
+    }
+
+    /// Reduces an arbitrary value modulo `modulus` (binary long division).
+    #[must_use]
+    pub fn reduce(self, modulus: U256) -> U256 {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        if self < modulus {
+            return self;
+        }
+        let mut rem = U256::ZERO;
+        for i in (0..256).rev() {
+            let (shifted, _) = rem.shl1();
+            rem = shifted;
+            if self.bit(i) {
+                rem.limbs[0] |= 1;
+            }
+            if rem >= modulus {
+                rem = rem.overflowing_sub(modulus).0;
+            }
+        }
+        rem
+    }
+
+    /// Modular multiplication via the binary (double-and-add) method.
+    #[must_use]
+    pub fn mod_mul(self, rhs: U256, modulus: U256) -> U256 {
+        let a = self.reduce(modulus);
+        let b = rhs.reduce(modulus);
+        let mut acc = U256::ZERO;
+        // Iterate over b's bits from most significant down.
+        for i in (0..b.bits()).rev() {
+            acc = acc.mod_add(acc, modulus);
+            if b.bit(i) {
+                acc = acc.mod_add(a, modulus);
+            }
+        }
+        acc
+    }
+
+    /// Modular exponentiation via square-and-multiply.
+    #[must_use]
+    pub fn mod_pow(self, exponent: U256, modulus: U256) -> U256 {
+        let base = self.reduce(modulus);
+        let mut acc = U256::ONE.reduce(modulus);
+        for i in (0..exponent.bits()).rev() {
+            acc = acc.mod_mul(acc, modulus);
+            if exponent.bit(i) {
+                acc = acc.mod_mul(base, modulus);
+            }
+        }
+        acc
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let bytes: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let v = U256::from_be_bytes(&bytes);
+        assert_eq!(v.to_be_bytes(), bytes);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(u(1) < u(2));
+        assert!(U256::from_limbs([0, 1, 0, 0]) > U256::from_limbs([u64::MAX, 0, 0, 0]));
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let max = U256::from_limbs([u64::MAX; 4]);
+        let (sum, carry) = max.overflowing_add(U256::ONE);
+        assert!(carry);
+        assert!(sum.is_zero());
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let (diff, borrow) = U256::ZERO.overflowing_sub(U256::ONE);
+        assert!(borrow);
+        assert_eq!(diff, U256::from_limbs([u64::MAX; 4]));
+    }
+
+    #[test]
+    fn mod_small_values() {
+        let p = u(97);
+        assert_eq!(u(50).mod_add(u(60), p), u(13));
+        assert_eq!(u(10).mod_sub(u(20), p), u(87));
+        assert_eq!(u(13).mod_mul(u(17), p), u(13 * 17 % 97));
+        assert_eq!(u(5).mod_pow(u(3), p), u(125 % 97));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) = 1 mod p for prime p not dividing a.
+        let p = u(1_000_000_007);
+        let a = u(123_456_789);
+        assert_eq!(a.mod_pow(u(1_000_000_006), p), U256::ONE);
+    }
+
+    #[test]
+    fn reduce_wide_value() {
+        let big = U256::from_limbs([5, 0, 0, 1]); // 2^192 + 5
+        let p = u(1000);
+        // 2^192 mod 1000 = 6277101735386680763835789423207666416102355444464034512896 mod 1000 = 896
+        assert_eq!(big.reduce(p), u(901));
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        assert_eq!(u(42).mod_pow(U256::ZERO, u(97)), U256::ONE);
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(u(1).bits(), 1);
+        assert_eq!(u(0xFF).bits(), 8);
+        assert_eq!(U256::from_limbs([0, 0, 0, 1]).bits(), 193);
+    }
+}

@@ -1,0 +1,495 @@
+//! Recursive-descent disassembly — the paper's "clipped disassembler".
+//!
+//! DEFLECTION's code consumer inspects the target binary with *just-enough
+//! disassembling* (Section IV-D): start at the program entry, follow direct
+//! control flow, and when an indirect branch is reached, continue from the
+//! addresses on the indirect-branch target list the code producer shipped as
+//! the proof. The engine here implements exactly that algorithm and, like the
+//! verifier requires, fails closed: decode errors, out-of-range targets and
+//! instruction overlap (a branch into the *middle* of an instruction —
+//! the classic way to skip an annotation) are all hard errors.
+
+use crate::{decode, DecodeError, Inst};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A disassembly failure; the verifier converts these into rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DisasmError {
+    /// An instruction failed to decode.
+    Decode(DecodeError),
+    /// A branch or provided target pointed outside the code region.
+    TargetOutOfRange {
+        /// The offending target offset.
+        target: i64,
+    },
+    /// Control flow reached a byte inside an already-decoded instruction.
+    InstructionOverlap {
+        /// The offset control flow arrived at.
+        target: usize,
+        /// The start of the instruction it falls inside.
+        within: usize,
+    },
+    /// The entry point is outside the code region.
+    EntryOutOfRange {
+        /// The offending entry offset.
+        entry: usize,
+    },
+}
+
+impl fmt::Display for DisasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisasmError::Decode(e) => write!(f, "decode failure: {e}"),
+            DisasmError::TargetOutOfRange { target } => {
+                write!(f, "control-flow target {target:#x} outside code region")
+            }
+            DisasmError::InstructionOverlap { target, within } => write!(
+                f,
+                "target {target:#x} lands inside instruction at {within:#x}"
+            ),
+            DisasmError::EntryOutOfRange { entry } => {
+                write!(f, "entry point {entry:#x} outside code region")
+            }
+        }
+    }
+}
+
+impl StdError for DisasmError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            DisasmError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for DisasmError {
+    fn from(e: DecodeError) -> Self {
+        DisasmError::Decode(e)
+    }
+}
+
+/// A basic block recovered by the disassembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Offset of the first instruction.
+    pub start: usize,
+    /// Offset one past the last byte of the block.
+    pub end: usize,
+    /// Offsets of the instructions in the block, in order.
+    pub inst_offsets: Vec<usize>,
+    /// Offsets of statically known successor blocks.
+    pub successors: Vec<usize>,
+    /// Whether the block ends in an indirect branch (successors are then the
+    /// whole indirect-branch target list).
+    pub ends_in_indirect: bool,
+}
+
+/// The result of recursive-descent disassembly over a code region.
+#[derive(Debug, Clone)]
+pub struct Disassembly {
+    /// Every reached instruction: offset → (instruction, encoded length).
+    pub instrs: BTreeMap<usize, (Inst, usize)>,
+    /// Offsets that start a basic block.
+    pub leaders: BTreeSet<usize>,
+    /// The entry offset disassembly started from.
+    pub entry: usize,
+    /// The indirect-branch targets provided as the proof.
+    pub indirect_targets: Vec<usize>,
+}
+
+impl Disassembly {
+    /// Whether `offset` is a decoded instruction boundary.
+    #[must_use]
+    pub fn is_instruction_start(&self, offset: usize) -> bool {
+        self.instrs.contains_key(&offset)
+    }
+
+    /// The instruction decoded at `offset`, if control flow reached it.
+    #[must_use]
+    pub fn inst_at(&self, offset: usize) -> Option<&Inst> {
+        self.instrs.get(&offset).map(|(i, _)| i)
+    }
+
+    /// The offset of the instruction following the one at `offset`.
+    #[must_use]
+    pub fn next_offset(&self, offset: usize) -> Option<usize> {
+        self.instrs.get(&offset).map(|(_, len)| offset + len)
+    }
+
+    /// Reconstructs the basic blocks and their static successor edges.
+    #[must_use]
+    pub fn blocks(&self) -> Vec<BasicBlock> {
+        let mut blocks = Vec::new();
+        let mut current: Option<BasicBlock> = None;
+        for (&off, &(inst, len)) in &self.instrs {
+            let starts_block = self.leaders.contains(&off);
+            if starts_block {
+                if let Some(b) = current.take() {
+                    blocks.push(b);
+                }
+                current = Some(BasicBlock {
+                    start: off,
+                    end: off,
+                    inst_offsets: Vec::new(),
+                    successors: Vec::new(),
+                    ends_in_indirect: false,
+                });
+            }
+            let Some(block) = current.as_mut() else {
+                // Instruction not reachable from any leader should not occur:
+                // every decoded instruction is on a path from a leader.
+                continue;
+            };
+            // A gap (unreached bytes) between instructions ends the block.
+            if !block.inst_offsets.is_empty() && block.end != off {
+                let done = current.take().expect("checked above");
+                blocks.push(done);
+                current = Some(BasicBlock {
+                    start: off,
+                    end: off,
+                    inst_offsets: Vec::new(),
+                    successors: Vec::new(),
+                    ends_in_indirect: false,
+                });
+            }
+            let block = current.as_mut().expect("just ensured");
+            block.inst_offsets.push(off);
+            block.end = off + len;
+            let next = off + len;
+            let mut terminate = false;
+            match inst {
+                Inst::Jmp { rel } => {
+                    block.successors.push(add_rel(next, rel));
+                    terminate = true;
+                }
+                Inst::Jcc { rel, .. } => {
+                    block.successors.push(add_rel(next, rel));
+                    block.successors.push(next);
+                    terminate = true;
+                }
+                Inst::JmpInd { .. } => {
+                    block.successors.extend(self.indirect_targets.iter().copied());
+                    block.ends_in_indirect = true;
+                    terminate = true;
+                }
+                Inst::Ret | Inst::Halt | Inst::Abort { .. } => {
+                    terminate = true;
+                }
+                _ => {
+                    // Calls fall through within the block for CFG purposes;
+                    // the callee is reached separately via the worklist.
+                    if self.leaders.contains(&next) {
+                        block.successors.push(next);
+                        terminate = true;
+                    }
+                }
+            }
+            if terminate {
+                blocks.push(current.take().expect("block present"));
+            }
+        }
+        if let Some(b) = current.take() {
+            blocks.push(b);
+        }
+        blocks
+    }
+}
+
+fn add_rel(next: usize, rel: i32) -> usize {
+    (next as i64 + rel as i64) as usize
+}
+
+/// Disassembles `code` by recursive descent from `entry`, additionally
+/// seeding the worklist with `indirect_targets` (the proof's legitimate
+/// indirect-branch targets).
+///
+/// # Errors
+///
+/// Fails closed on any decode error, any control-flow target outside
+/// `code`, and any target that lands inside an already-decoded instruction.
+pub fn disassemble(
+    code: &[u8],
+    entry: usize,
+    indirect_targets: &[usize],
+) -> Result<Disassembly, DisasmError> {
+    if entry >= code.len() {
+        return Err(DisasmError::EntryOutOfRange { entry });
+    }
+    let mut instrs: BTreeMap<usize, (Inst, usize)> = BTreeMap::new();
+    let mut leaders: BTreeSet<usize> = BTreeSet::new();
+    let mut work: VecDeque<usize> = VecDeque::new();
+
+    leaders.insert(entry);
+    work.push_back(entry);
+    for &t in indirect_targets {
+        if t >= code.len() {
+            return Err(DisasmError::TargetOutOfRange { target: t as i64 });
+        }
+        leaders.insert(t);
+        work.push_back(t);
+    }
+
+    // Checks `off` against the already-decoded instruction map; Ok(true)
+    // means already decoded at exactly this offset.
+    let check_overlap = |instrs: &BTreeMap<usize, (Inst, usize)>, off: usize| {
+        if instrs.contains_key(&off) {
+            return Ok(true);
+        }
+        if let Some((&prev, &(_, len))) = instrs.range(..off).next_back() {
+            if prev + len > off {
+                return Err(DisasmError::InstructionOverlap { target: off, within: prev });
+            }
+        }
+        Ok(false)
+    };
+
+    while let Some(start) = work.pop_front() {
+        let mut off = start;
+        loop {
+            if check_overlap(&instrs, off)? {
+                break; // already disassembled from here
+            }
+            if off >= code.len() {
+                return Err(DisasmError::TargetOutOfRange { target: off as i64 });
+            }
+            let (inst, len) = decode(code, off)?;
+            // The new instruction must not swallow the start of a following,
+            // already-decoded instruction.
+            if let Some((&nxt, _)) = instrs.range(off + 1..).next() {
+                if off + len > nxt {
+                    return Err(DisasmError::InstructionOverlap { target: nxt, within: off });
+                }
+            }
+            instrs.insert(off, (inst, len));
+            let next = off + len;
+            let mut enqueue = |target: i64| -> Result<usize, DisasmError> {
+                if target < 0 || target as usize >= code.len() {
+                    return Err(DisasmError::TargetOutOfRange { target });
+                }
+                let t = target as usize;
+                leaders.insert(t);
+                work.push_back(t);
+                Ok(t)
+            };
+            match inst {
+                Inst::Jmp { rel } => {
+                    enqueue(next as i64 + rel as i64)?;
+                    break;
+                }
+                Inst::Jcc { rel, .. } => {
+                    enqueue(next as i64 + rel as i64)?;
+                    leaders.insert(next);
+                    off = next;
+                }
+                Inst::Call { rel } => {
+                    enqueue(next as i64 + rel as i64)?;
+                    off = next;
+                }
+                Inst::JmpInd { .. } | Inst::Ret | Inst::Halt | Inst::Abort { .. } => break,
+                Inst::CallInd { .. } => {
+                    off = next;
+                }
+                _ => {
+                    off = next;
+                }
+            }
+        }
+    }
+
+    Ok(Disassembly {
+        instrs,
+        leaders,
+        entry,
+        indirect_targets: indirect_targets.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode_program, AluOp, CondCode, MemOperand, Reg};
+
+    #[test]
+    fn straight_line_program() {
+        let prog = [
+            Inst::MovRI { dst: Reg::RAX, imm: 1 },
+            Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: 2 },
+            Inst::Halt,
+        ];
+        let (code, offsets) = encode_program(&prog);
+        let d = disassemble(&code, 0, &[]).unwrap();
+        assert_eq!(d.instrs.len(), 3);
+        for off in offsets {
+            assert!(d.is_instruction_start(off));
+        }
+    }
+
+    #[test]
+    fn follows_both_branch_arms() {
+        // 0: cmp rax, 0
+        // 10: je +1 (to halt at 16)
+        // 15: nop  (fallthrough arm)
+        // 16: halt
+        let prog = [
+            Inst::CmpRI { lhs: Reg::RAX, imm: 0 },
+            Inst::Jcc { cc: CondCode::E, rel: 1 },
+            Inst::Nop,
+            Inst::Halt,
+        ];
+        let (code, offsets) = encode_program(&prog);
+        let d = disassemble(&code, 0, &[]).unwrap();
+        assert_eq!(d.instrs.len(), 4);
+        assert!(d.leaders.contains(&offsets[2])); // fallthrough leader
+        assert!(d.leaders.contains(&offsets[3])); // branch target leader
+    }
+
+    #[test]
+    fn code_after_unconditional_jmp_not_reached() {
+        let prog = [
+            Inst::Jmp { rel: 1 },    // skip the nop
+            Inst::Nop,               // dead unless targeted
+            Inst::Halt,
+        ];
+        let (code, offsets) = encode_program(&prog);
+        let d = disassemble(&code, 0, &[]).unwrap();
+        assert!(!d.is_instruction_start(offsets[1]));
+        assert!(d.is_instruction_start(offsets[2]));
+    }
+
+    #[test]
+    fn indirect_targets_continue_disassembly() {
+        // jmp rax; unreachable without the provided list.
+        let prog = [
+            Inst::JmpInd { reg: Reg::RAX },
+            Inst::MovRI { dst: Reg::RAX, imm: 9 },
+            Inst::Halt,
+        ];
+        let (code, offsets) = encode_program(&prog);
+        // Without the list the tail is invisible.
+        let d = disassemble(&code, 0, &[]).unwrap();
+        assert_eq!(d.instrs.len(), 1);
+        // With the list, disassembly continues (the paper's algorithm).
+        let d = disassemble(&code, 0, &[offsets[1]]).unwrap();
+        assert_eq!(d.instrs.len(), 3);
+    }
+
+    #[test]
+    fn follows_call_and_fallthrough() {
+        let prog = [
+            Inst::Call { rel: 2 },  // callee = ret at offset 7 (next inst is at 5)
+            Inst::Nop,              // fallthrough after return
+            Inst::Halt,
+            Inst::Ret,              // callee
+        ];
+        let (code, offsets) = encode_program(&prog);
+        let d = disassemble(&code, 0, &[]).unwrap();
+        assert_eq!(d.instrs.len(), 4);
+        assert!(d.leaders.contains(&offsets[3]));
+    }
+
+    #[test]
+    fn jump_into_instruction_middle_is_rejected() {
+        // jmp +(-4) targets inside the jmp's own rel32 bytes.
+        let prog = [Inst::Jmp { rel: -4 }];
+        let (code, _) = encode_program(&prog);
+        let err = disassemble(&code, 0, &[]).unwrap_err();
+        assert!(matches!(err, DisasmError::InstructionOverlap { .. }));
+    }
+
+    #[test]
+    fn branch_outside_code_rejected() {
+        let prog = [Inst::Jmp { rel: 1000 }];
+        let (code, _) = encode_program(&prog);
+        let err = disassemble(&code, 0, &[]).unwrap_err();
+        assert!(matches!(err, DisasmError::TargetOutOfRange { .. }));
+    }
+
+    #[test]
+    fn negative_branch_target_rejected() {
+        let prog = [Inst::Jmp { rel: -100 }];
+        let (code, _) = encode_program(&prog);
+        let err = disassemble(&code, 0, &[]).unwrap_err();
+        assert!(matches!(err, DisasmError::TargetOutOfRange { target } if target < 0));
+    }
+
+    #[test]
+    fn decode_error_propagates() {
+        let code = [0xFFu8];
+        let err = disassemble(&code, 0, &[]).unwrap_err();
+        assert!(matches!(err, DisasmError::Decode(_)));
+    }
+
+    #[test]
+    fn falling_off_the_end_rejected() {
+        let prog = [Inst::Nop]; // no terminator
+        let (code, _) = encode_program(&prog);
+        let err = disassemble(&code, 0, &[]).unwrap_err();
+        assert!(matches!(err, DisasmError::TargetOutOfRange { .. }));
+    }
+
+    #[test]
+    fn entry_out_of_range_rejected() {
+        assert!(matches!(
+            disassemble(&[], 0, &[]).unwrap_err(),
+            DisasmError::EntryOutOfRange { .. }
+        ));
+        let (code, _) = encode_program(&[Inst::Halt]);
+        assert!(matches!(
+            disassemble(&code, 5, &[]).unwrap_err(),
+            DisasmError::EntryOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn indirect_target_out_of_range_rejected() {
+        let (code, _) = encode_program(&[Inst::Halt]);
+        let err = disassemble(&code, 0, &[100]).unwrap_err();
+        assert!(matches!(err, DisasmError::TargetOutOfRange { .. }));
+    }
+
+    #[test]
+    fn basic_blocks_and_successors() {
+        // block A: cmp; je T --> successors [T, fall]
+        // block B (fall): store; jmp T
+        // block T: halt
+        let prog = [
+            Inst::CmpRI { lhs: Reg::RAX, imm: 5 },            // 0..10
+            Inst::Jcc { cc: CondCode::E, rel: 14 },           // 10..15
+            Inst::Store { mem: MemOperand::abs(64), src: Reg::RAX }, // 15..24
+            Inst::Jmp { rel: 0 },                             // 24..29
+            Inst::Halt,                                       // 29
+        ];
+        let (code, offsets) = encode_program(&prog);
+        let d = disassemble(&code, 0, &[]).unwrap();
+        let blocks = d.blocks();
+        assert_eq!(blocks.len(), 3);
+        let a = &blocks[0];
+        assert_eq!(a.start, 0);
+        assert_eq!(a.successors, vec![offsets[4], offsets[2]]);
+        let b = &blocks[1];
+        assert_eq!(b.start, offsets[2]);
+        assert_eq!(b.successors, vec![offsets[4]]);
+        let t = &blocks[2];
+        assert_eq!(t.start, offsets[4]);
+        assert!(t.successors.is_empty());
+    }
+
+    #[test]
+    fn indirect_block_successors_are_the_list() {
+        let prog = [
+            Inst::JmpInd { reg: Reg::RAX }, // block 0
+            Inst::Halt,                     // target 1
+            Inst::Halt,                     // target 2
+        ];
+        let (code, offsets) = encode_program(&prog);
+        let d = disassemble(&code, 0, &[offsets[1], offsets[2]]).unwrap();
+        let blocks = d.blocks();
+        let first = blocks.iter().find(|b| b.start == 0).unwrap();
+        assert!(first.ends_in_indirect);
+        assert_eq!(first.successors, vec![offsets[1], offsets[2]]);
+    }
+}

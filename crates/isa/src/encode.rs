@@ -1,0 +1,277 @@
+//! Binary encoding of instructions.
+//!
+//! The encoding is variable length (1–12 bytes) and canonical: for every
+//! instruction there is exactly one byte sequence, and the decoder rejects
+//! non-canonical forms. Canonicality matters to the verifier — the code
+//! consumer compares re-disassembled annotations against expected templates
+//! byte-for-byte at the instruction level.
+
+use crate::{Inst, MemOperand, Reg};
+
+/// Opcode constants (kept together so the decoder mirrors this table).
+pub(crate) mod op {
+    pub const NOP: u8 = 0x00;
+    pub const HALT: u8 = 0x01;
+    pub const ABORT: u8 = 0x02;
+    pub const OCALL: u8 = 0x03;
+    pub const AEXPROBE: u8 = 0x04;
+    pub const MOV_RR: u8 = 0x10;
+    pub const MOV_RI: u8 = 0x11;
+    pub const LEA: u8 = 0x12;
+    pub const LOAD: u8 = 0x13;
+    pub const LOAD8: u8 = 0x14;
+    pub const STORE: u8 = 0x15;
+    pub const STORE8: u8 = 0x16;
+    pub const STORE_IMM: u8 = 0x17;
+    pub const CMP_MEM: u8 = 0x18;
+    pub const ALU_RR_BASE: u8 = 0x20; // 0x20..=0x2C
+    pub const ALU_RI_BASE: u8 = 0x30; // 0x30..=0x3C
+    pub const NEG: u8 = 0x3D;
+    pub const NOT: u8 = 0x3E;
+    pub const CMP_RR: u8 = 0x40;
+    pub const CMP_RI: u8 = 0x41;
+    pub const TEST_RR: u8 = 0x42;
+    pub const SETCC: u8 = 0x43;
+    pub const JMP: u8 = 0x50;
+    pub const JCC_BASE: u8 = 0x51; // 0x51..=0x5A
+    pub const JMP_IND: u8 = 0x5B;
+    pub const CALL: u8 = 0x5C;
+    pub const CALL_IND: u8 = 0x5D;
+    pub const RET: u8 = 0x5E;
+    pub const PUSH: u8 = 0x5F;
+    pub const POP: u8 = 0x60;
+    pub const FPU_BASE: u8 = 0x70; // 0x70..=0x73
+    pub const FCMP: u8 = 0x74;
+    pub const CVT_IF: u8 = 0x75;
+    pub const CVT_FI: u8 = 0x76;
+    pub const FSQRT: u8 = 0x77;
+    pub const FNEG: u8 = 0x78;
+}
+
+fn regs_byte(hi: Reg, lo: Reg) -> u8 {
+    (hi.index() << 4) | lo.index()
+}
+
+pub(crate) fn encode_mem(mem: &MemOperand, out: &mut Vec<u8>) {
+    let mut flags = 0u8;
+    let mut regs = 0u8;
+    let mut scale_log2 = 0u8;
+    if let Some(base) = mem.base {
+        flags |= 1;
+        regs |= base.index() << 4;
+    }
+    if let Some((index, scale)) = mem.index {
+        flags |= 2;
+        regs |= index.index();
+        scale_log2 = scale.trailing_zeros() as u8;
+    }
+    out.push(flags);
+    out.push(regs);
+    out.push(scale_log2);
+    out.extend_from_slice(&mem.disp.to_le_bytes());
+}
+
+/// Appends the encoding of `inst` to `out`.
+pub fn encode(inst: &Inst, out: &mut Vec<u8>) {
+    match *inst {
+        Inst::Nop => out.push(op::NOP),
+        Inst::Halt => out.push(op::HALT),
+        Inst::Abort { code } => {
+            out.push(op::ABORT);
+            out.push(code);
+        }
+        Inst::Ocall { code } => {
+            out.push(op::OCALL);
+            out.push(code);
+        }
+        Inst::AexProbe => out.push(op::AEXPROBE),
+        Inst::MovRR { dst, src } => {
+            out.push(op::MOV_RR);
+            out.push(regs_byte(dst, src));
+        }
+        Inst::MovRI { dst, imm } => {
+            out.push(op::MOV_RI);
+            out.push(dst.index());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::Lea { dst, mem } => {
+            out.push(op::LEA);
+            out.push(dst.index());
+            encode_mem(&mem, out);
+        }
+        Inst::Load { dst, mem } => {
+            out.push(op::LOAD);
+            out.push(dst.index());
+            encode_mem(&mem, out);
+        }
+        Inst::Load8 { dst, mem } => {
+            out.push(op::LOAD8);
+            out.push(dst.index());
+            encode_mem(&mem, out);
+        }
+        Inst::Store { mem, src } => {
+            out.push(op::STORE);
+            out.push(src.index());
+            encode_mem(&mem, out);
+        }
+        Inst::Store8 { mem, src } => {
+            out.push(op::STORE8);
+            out.push(src.index());
+            encode_mem(&mem, out);
+        }
+        Inst::StoreImm { mem, imm } => {
+            out.push(op::STORE_IMM);
+            encode_mem(&mem, out);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::CmpMem { reg, mem } => {
+            out.push(op::CMP_MEM);
+            out.push(reg.index());
+            encode_mem(&mem, out);
+        }
+        Inst::AluRR { op: alu, dst, src } => {
+            out.push(op::ALU_RR_BASE + alu as u8);
+            out.push(regs_byte(dst, src));
+        }
+        Inst::AluRI { op: alu, dst, imm } => {
+            out.push(op::ALU_RI_BASE + alu as u8);
+            out.push(dst.index());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::Neg { reg } => {
+            out.push(op::NEG);
+            out.push(reg.index());
+        }
+        Inst::Not { reg } => {
+            out.push(op::NOT);
+            out.push(reg.index());
+        }
+        Inst::CmpRR { lhs, rhs } => {
+            out.push(op::CMP_RR);
+            out.push(regs_byte(lhs, rhs));
+        }
+        Inst::CmpRI { lhs, imm } => {
+            out.push(op::CMP_RI);
+            out.push(lhs.index());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::TestRR { lhs, rhs } => {
+            out.push(op::TEST_RR);
+            out.push(regs_byte(lhs, rhs));
+        }
+        Inst::SetCc { cc, dst } => {
+            out.push(op::SETCC);
+            out.push((cc.index() << 4) | dst.index());
+        }
+        Inst::Jmp { rel } => {
+            out.push(op::JMP);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::Jcc { cc, rel } => {
+            out.push(op::JCC_BASE + cc.index());
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::JmpInd { reg } => {
+            out.push(op::JMP_IND);
+            out.push(reg.index());
+        }
+        Inst::Call { rel } => {
+            out.push(op::CALL);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::CallInd { reg } => {
+            out.push(op::CALL_IND);
+            out.push(reg.index());
+        }
+        Inst::Ret => out.push(op::RET),
+        Inst::Push { reg } => {
+            out.push(op::PUSH);
+            out.push(reg.index());
+        }
+        Inst::Pop { reg } => {
+            out.push(op::POP);
+            out.push(reg.index());
+        }
+        Inst::FpuRR { op: fop, dst, src } => {
+            out.push(op::FPU_BASE + fop as u8);
+            out.push(regs_byte(dst, src));
+        }
+        Inst::FCmp { lhs, rhs } => {
+            out.push(op::FCMP);
+            out.push(regs_byte(lhs, rhs));
+        }
+        Inst::CvtIF { dst, src } => {
+            out.push(op::CVT_IF);
+            out.push(regs_byte(dst, src));
+        }
+        Inst::CvtFI { dst, src } => {
+            out.push(op::CVT_FI);
+            out.push(regs_byte(dst, src));
+        }
+        Inst::FSqrt { dst, src } => {
+            out.push(op::FSQRT);
+            out.push(regs_byte(dst, src));
+        }
+        Inst::FNeg { dst, src } => {
+            out.push(op::FNEG);
+            out.push(regs_byte(dst, src));
+        }
+    }
+}
+
+/// Returns the encoded length of `inst` in bytes.
+#[must_use]
+pub fn encoded_len(inst: &Inst) -> usize {
+    let mut buf = Vec::with_capacity(12);
+    encode(inst, &mut buf);
+    buf.len()
+}
+
+/// Encodes a straight-line sequence of instructions into one byte buffer and
+/// returns the byte offset of each instruction.
+#[must_use]
+pub fn encode_program(insts: &[Inst]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut offsets = Vec::with_capacity(insts.len());
+    for inst in insts {
+        offsets.push(bytes.len());
+        encode(inst, &mut bytes);
+    }
+    (bytes, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, CondCode};
+
+    #[test]
+    fn lengths_are_variable() {
+        assert_eq!(encoded_len(&Inst::Ret), 1);
+        assert_eq!(encoded_len(&Inst::Push { reg: Reg::RAX }), 2);
+        assert_eq!(encoded_len(&Inst::MovRI { dst: Reg::RAX, imm: 0 }), 10);
+        assert_eq!(encoded_len(&Inst::Jmp { rel: 0 }), 5);
+        assert_eq!(
+            encoded_len(&Inst::Store { mem: MemOperand::abs(0), src: Reg::RAX }),
+            9
+        );
+        assert_eq!(
+            encoded_len(&Inst::StoreImm { mem: MemOperand::abs(0), imm: 0 }),
+            12
+        );
+    }
+
+    #[test]
+    fn program_offsets_are_cumulative() {
+        let prog = [
+            Inst::Nop,
+            Inst::MovRI { dst: Reg::RAX, imm: 7 },
+            Inst::AluRR { op: AluOp::Add, dst: Reg::RAX, src: Reg::RBX },
+            Inst::Jcc { cc: CondCode::E, rel: -5 },
+            Inst::Halt,
+        ];
+        let (bytes, offsets) = encode_program(&prog);
+        assert_eq!(offsets, vec![0, 1, 11, 13, 18]);
+        assert_eq!(bytes.len(), 19);
+    }
+}

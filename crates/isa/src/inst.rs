@@ -1,0 +1,556 @@
+//! The instruction set.
+
+use crate::{CondCode, MemOperand, Reg};
+use std::fmt;
+
+/// Integer ALU operations (`dst = dst op src`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add = 0,
+    /// Wrapping subtraction.
+    Sub = 1,
+    /// Bitwise AND.
+    And = 2,
+    /// Bitwise OR.
+    Or = 3,
+    /// Bitwise XOR.
+    Xor = 4,
+    /// Logical shift left (count masked to 63).
+    Shl = 5,
+    /// Logical shift right.
+    Shr = 6,
+    /// Arithmetic shift right.
+    Sar = 7,
+    /// Wrapping multiplication (low 64 bits).
+    Mul = 8,
+    /// Unsigned division; faults on a zero divisor.
+    UDiv = 9,
+    /// Signed division; faults on zero divisor or `MIN / -1`.
+    SDiv = 10,
+    /// Unsigned remainder; faults on a zero divisor.
+    URem = 11,
+    /// Signed remainder; faults on zero divisor or `MIN % -1`.
+    SRem = 12,
+}
+
+impl AluOp {
+    /// All ALU operations in encoding order.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Mul,
+        AluOp::UDiv,
+        AluOp::SDiv,
+        AluOp::URem,
+        AluOp::SRem,
+    ];
+
+    /// Decodes from the opcode-relative index.
+    #[must_use]
+    pub const fn from_index(idx: u8) -> Option<AluOp> {
+        if (idx as usize) < Self::ALL.len() {
+            Some(Self::ALL[idx as usize])
+        } else {
+            None
+        }
+    }
+}
+
+/// Floating-point binary operations (`dst = dst op src`, IEEE 754 f64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FpuOp {
+    /// Addition.
+    FAdd = 0,
+    /// Subtraction.
+    FSub = 1,
+    /// Multiplication.
+    FMul = 2,
+    /// Division (IEEE semantics: produces ±inf/NaN, never faults).
+    FDiv = 3,
+}
+
+impl FpuOp {
+    /// All FPU operations in encoding order.
+    pub const ALL: [FpuOp; 4] = [FpuOp::FAdd, FpuOp::FSub, FpuOp::FMul, FpuOp::FDiv];
+
+    /// Decodes from the opcode-relative index.
+    #[must_use]
+    pub const fn from_index(idx: u8) -> Option<FpuOp> {
+        if (idx as usize) < Self::ALL.len() {
+            Some(Self::ALL[idx as usize])
+        } else {
+            None
+        }
+    }
+}
+
+/// Well-known OCall service codes the bootstrap enclave's manifest can allow.
+///
+/// The paper's P0 policy restricts the target binary to a small set of
+/// system-call wrappers defined in the EDL manifest; `send`/`recv` are the
+/// ones the CCaaS setting needs (Section IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OcallCode {
+    /// Send bytes to the data owner (encrypted and padded by the wrapper).
+    Send = 0,
+    /// Receive bytes from the data owner (decrypted by the wrapper).
+    Recv = 1,
+    /// Append a diagnostic line to the host log (plaintext-free: length only).
+    Log = 2,
+    /// Read a monotonic virtual clock (instruction count).
+    Clock = 3,
+}
+
+impl OcallCode {
+    /// Decodes a known OCall code.
+    #[must_use]
+    pub const fn from_u8(v: u8) -> Option<OcallCode> {
+        match v {
+            0 => Some(OcallCode::Send),
+            1 => Some(OcallCode::Recv),
+            2 => Some(OcallCode::Log),
+            3 => Some(OcallCode::Clock),
+            _ => None,
+        }
+    }
+}
+
+/// One machine instruction.
+///
+/// Relative branch displacements (`rel`) are measured from the address of the
+/// *next* instruction, exactly like x86-64 `rel32` operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// No operation.
+    Nop,
+    /// Normal program termination; the exit value is in `rax`.
+    Halt,
+    /// Policy-violation abort raised by security annotations.
+    Abort {
+        /// Which policy fired (see `deflection_core::policy::abort_codes`).
+        code: u8,
+    },
+    /// Trap to a runtime OCall wrapper (`rdi`, `rsi`, `rdx` arguments, result
+    /// in `rax`).
+    Ocall {
+        /// Service code, usually one of [`OcallCode`].
+        code: u8,
+    },
+    /// HyperRace-style co-location probe (P6): sets `rax` to 1 when the
+    /// sibling-thread data-race test passes, 0 when it raises an alarm.
+    AexProbe,
+    /// `dst = src`.
+    MovRR {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = imm` (full 64-bit immediate, like `movabs`).
+    MovRI {
+        /// Destination register.
+        dst: Reg,
+        /// 64-bit immediate.
+        imm: u64,
+    },
+    /// `dst = effective_address(mem)` without touching memory.
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Address expression.
+        mem: MemOperand,
+    },
+    /// 64-bit load.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Source address.
+        mem: MemOperand,
+    },
+    /// Byte load, zero-extended.
+    Load8 {
+        /// Destination register.
+        dst: Reg,
+        /// Source address.
+        mem: MemOperand,
+    },
+    /// 64-bit store — the operation policy **P1** guards.
+    Store {
+        /// Destination address.
+        mem: MemOperand,
+        /// Source register.
+        src: Reg,
+    },
+    /// Byte store (low 8 bits of `src`) — also guarded by **P1**.
+    Store8 {
+        /// Destination address.
+        mem: MemOperand,
+        /// Source register.
+        src: Reg,
+    },
+    /// 64-bit store of a sign-extended 32-bit immediate.
+    StoreImm {
+        /// Destination address.
+        mem: MemOperand,
+        /// Immediate value (sign-extended to 64 bits).
+        imm: i32,
+    },
+    /// `cmp reg, qword [mem]` — used by the shadow-stack epilogue to compare
+    /// the saved return address against the in-stack one.
+    CmpMem {
+        /// Left-hand register.
+        reg: Reg,
+        /// Right-hand memory operand.
+        mem: MemOperand,
+    },
+    /// Register-register ALU operation.
+    AluRR {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Right operand.
+        src: Reg,
+    },
+    /// Register-immediate ALU operation.
+    AluRI {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Right operand immediate.
+        imm: i64,
+    },
+    /// Two's-complement negation.
+    Neg {
+        /// Register negated in place.
+        reg: Reg,
+    },
+    /// Bitwise complement.
+    Not {
+        /// Register complemented in place.
+        reg: Reg,
+    },
+    /// Compare two registers and set flags.
+    CmpRR {
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// Compare a register against an immediate and set flags.
+    CmpRI {
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand immediate.
+        imm: i64,
+    },
+    /// Bitwise AND of two registers, setting flags and discarding the result.
+    TestRR {
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// Materializes a condition as 0/1 in a register (`setcc` + zero-extend).
+    SetCc {
+        /// Condition evaluated against the current flags.
+        cc: CondCode,
+        /// Destination register receiving 0 or 1.
+        dst: Reg,
+    },
+    /// Unconditional relative jump.
+    Jmp {
+        /// Displacement from the next instruction.
+        rel: i32,
+    },
+    /// Conditional relative jump.
+    Jcc {
+        /// Condition.
+        cc: CondCode,
+        /// Displacement from the next instruction.
+        rel: i32,
+    },
+    /// Indirect jump through a register — guarded by policy **P5**.
+    JmpInd {
+        /// Register holding the target address.
+        reg: Reg,
+    },
+    /// Relative call: pushes the return address, then jumps.
+    Call {
+        /// Displacement from the next instruction.
+        rel: i32,
+    },
+    /// Indirect call through a register — guarded by policy **P5**.
+    CallInd {
+        /// Register holding the target address.
+        reg: Reg,
+    },
+    /// Return: pops the return address and jumps to it — guarded by the
+    /// shadow stack of policy **P5**.
+    Ret,
+    /// Push a register (decrements `rsp` by 8, stores).
+    Push {
+        /// Register pushed.
+        reg: Reg,
+    },
+    /// Pop into a register (loads, increments `rsp` by 8).
+    Pop {
+        /// Register popped into.
+        reg: Reg,
+    },
+    /// Floating-point binary operation on register bit patterns.
+    FpuRR {
+        /// Operation.
+        op: FpuOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Right operand.
+        src: Reg,
+    },
+    /// Floating-point compare setting flags (`ucomisd`-like).
+    FCmp {
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// Convert signed integer to f64.
+    CvtIF {
+        /// Destination register (f64 bits).
+        dst: Reg,
+        /// Source register (i64).
+        src: Reg,
+    },
+    /// Convert f64 to signed integer (truncating, saturating).
+    CvtFI {
+        /// Destination register (i64).
+        dst: Reg,
+        /// Source register (f64 bits).
+        src: Reg,
+    },
+    /// Floating-point square root.
+    FSqrt {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Floating-point negation.
+    FNeg {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+}
+
+impl Inst {
+    /// Returns the memory operand this instruction writes, if any — the set
+    /// of instructions the P1 pass must annotate (the analogue of LLVM's
+    /// `MachineInstr::mayStore()` the paper calls out).
+    #[must_use]
+    pub fn stored_mem(&self) -> Option<&MemOperand> {
+        match self {
+            Inst::Store { mem, .. } | Inst::Store8 { mem, .. } | Inst::StoreImm { mem, .. } => {
+                Some(mem)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the register this instruction explicitly writes, if any.
+    ///
+    /// Implicit updates (the `rsp` adjustments of `push`/`pop`/`call`/`ret`,
+    /// `rax` results of `ocall`/`aexprobe`) are *not* reported; policy P2
+    /// only needs the explicit writes, while the implicit `rsp` moves are
+    /// structurally bounded (±8) and protected by the stack guard pages.
+    #[must_use]
+    pub fn written_reg(&self) -> Option<Reg> {
+        match *self {
+            Inst::MovRR { dst, .. }
+            | Inst::MovRI { dst, .. }
+            | Inst::Lea { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Load8 { dst, .. }
+            | Inst::AluRR { dst, .. }
+            | Inst::AluRI { dst, .. }
+            | Inst::FpuRR { dst, .. }
+            | Inst::CvtIF { dst, .. }
+            | Inst::CvtFI { dst, .. }
+            | Inst::FSqrt { dst, .. }
+            | Inst::FNeg { dst, .. } => Some(dst),
+            Inst::SetCc { dst, .. } => Some(dst),
+            Inst::Neg { reg } | Inst::Not { reg } | Inst::Pop { reg } => Some(reg),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction explicitly writes `rsp` — the trigger for a
+    /// P2 annotation.
+    #[must_use]
+    pub fn writes_rsp_explicitly(&self) -> bool {
+        self.written_reg() == Some(Reg::RSP)
+    }
+
+    /// Whether this is an indirect control transfer (P5 forward edge).
+    #[must_use]
+    pub fn is_indirect_branch(&self) -> bool {
+        matches!(self, Inst::JmpInd { .. } | Inst::CallInd { .. })
+    }
+
+    /// Whether control never falls through to the next instruction.
+    #[must_use]
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jmp { .. } | Inst::JmpInd { .. } | Inst::Ret | Inst::Halt | Inst::Abort { .. }
+        )
+    }
+
+    /// The relative displacement if this is a direct branch or call.
+    #[must_use]
+    pub fn direct_rel(&self) -> Option<i32> {
+        match *self {
+            Inst::Jmp { rel } | Inst::Jcc { rel, .. } | Inst::Call { rel } => Some(rel),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Abort { code } => write!(f, "abort {code}"),
+            Inst::Ocall { code } => write!(f, "ocall {code}"),
+            Inst::AexProbe => write!(f, "aexprobe"),
+            Inst::MovRR { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::MovRI { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
+            Inst::Lea { dst, mem } => write!(f, "lea {dst}, {mem}"),
+            Inst::Load { dst, mem } => write!(f, "mov {dst}, qword {mem}"),
+            Inst::Load8 { dst, mem } => write!(f, "movzx {dst}, byte {mem}"),
+            Inst::Store { mem, src } => write!(f, "mov qword {mem}, {src}"),
+            Inst::Store8 { mem, src } => write!(f, "mov byte {mem}, {src}"),
+            Inst::StoreImm { mem, imm } => write!(f, "mov qword {mem}, {imm}"),
+            Inst::CmpMem { reg, mem } => write!(f, "cmp {reg}, qword {mem}"),
+            Inst::AluRR { op, dst, src } => write!(f, "{} {dst}, {src}", alu_name(*op)),
+            Inst::AluRI { op, dst, imm } => write!(f, "{} {dst}, {imm}", alu_name(*op)),
+            Inst::Neg { reg } => write!(f, "neg {reg}"),
+            Inst::Not { reg } => write!(f, "not {reg}"),
+            Inst::CmpRR { lhs, rhs } => write!(f, "cmp {lhs}, {rhs}"),
+            Inst::CmpRI { lhs, imm } => write!(f, "cmp {lhs}, {imm:#x}"),
+            Inst::TestRR { lhs, rhs } => write!(f, "test {lhs}, {rhs}"),
+            Inst::SetCc { cc, dst } => write!(f, "set{cc} {dst}"),
+            Inst::Jmp { rel } => write!(f, "jmp {rel:+}"),
+            Inst::Jcc { cc, rel } => write!(f, "j{cc} {rel:+}"),
+            Inst::JmpInd { reg } => write!(f, "jmp {reg}"),
+            Inst::Call { rel } => write!(f, "call {rel:+}"),
+            Inst::CallInd { reg } => write!(f, "call {reg}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Push { reg } => write!(f, "push {reg}"),
+            Inst::Pop { reg } => write!(f, "pop {reg}"),
+            Inst::FpuRR { op, dst, src } => write!(f, "{} {dst}, {src}", fpu_name(*op)),
+            Inst::FCmp { lhs, rhs } => write!(f, "fcmp {lhs}, {rhs}"),
+            Inst::CvtIF { dst, src } => write!(f, "cvtsi2sd {dst}, {src}"),
+            Inst::CvtFI { dst, src } => write!(f, "cvttsd2si {dst}, {src}"),
+            Inst::FSqrt { dst, src } => write!(f, "sqrtsd {dst}, {src}"),
+            Inst::FNeg { dst, src } => write!(f, "fneg {dst}, {src}"),
+        }
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Sar => "sar",
+        AluOp::Mul => "imul",
+        AluOp::UDiv => "div",
+        AluOp::SDiv => "idiv",
+        AluOp::URem => "rem",
+        AluOp::SRem => "irem",
+    }
+}
+
+fn fpu_name(op: FpuOp) -> &'static str {
+    match op {
+        FpuOp::FAdd => "addsd",
+        FpuOp::FSub => "subsd",
+        FpuOp::FMul => "mulsd",
+        FpuOp::FDiv => "divsd",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_mem_only_on_stores() {
+        let m = MemOperand::base_disp(Reg::RAX, 0);
+        assert!(Inst::Store { mem: m, src: Reg::RBX }.stored_mem().is_some());
+        assert!(Inst::Store8 { mem: m, src: Reg::RBX }.stored_mem().is_some());
+        assert!(Inst::StoreImm { mem: m, imm: 5 }.stored_mem().is_some());
+        assert!(Inst::Load { dst: Reg::RBX, mem: m }.stored_mem().is_none());
+        assert!(Inst::Push { reg: Reg::RBX }.stored_mem().is_none());
+    }
+
+    #[test]
+    fn rsp_write_detection() {
+        assert!(Inst::MovRR { dst: Reg::RSP, src: Reg::RAX }.writes_rsp_explicitly());
+        assert!(Inst::AluRI { op: AluOp::Sub, dst: Reg::RSP, imm: 64 }.writes_rsp_explicitly());
+        assert!(Inst::Pop { reg: Reg::RSP }.writes_rsp_explicitly());
+        // Balanced push/pop of other registers are implicit, structurally
+        // bounded updates — not P2 triggers.
+        assert!(!Inst::Push { reg: Reg::RAX }.writes_rsp_explicitly());
+        assert!(!Inst::Ret.writes_rsp_explicitly());
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Inst::Ret.is_terminator());
+        assert!(Inst::Jmp { rel: 0 }.is_terminator());
+        assert!(Inst::Halt.is_terminator());
+        assert!(!Inst::Call { rel: 0 }.is_terminator());
+        assert!(!Inst::Jcc { cc: CondCode::E, rel: 0 }.is_terminator());
+    }
+
+    #[test]
+    fn indirect_branches() {
+        assert!(Inst::JmpInd { reg: Reg::RAX }.is_indirect_branch());
+        assert!(Inst::CallInd { reg: Reg::RAX }.is_indirect_branch());
+        assert!(!Inst::Jmp { rel: 4 }.is_indirect_branch());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let m = MemOperand::base_index(Reg::RAX, Reg::RCX, 8, 16);
+        assert_eq!(Inst::Store { mem: m, src: Reg::RDX }.to_string(), "mov qword [rax+rcx*8+16], rdx");
+        assert_eq!(Inst::Jcc { cc: CondCode::Ae, rel: -12 }.to_string(), "jae -12");
+    }
+
+    #[test]
+    fn ocall_code_roundtrip() {
+        for c in [OcallCode::Send, OcallCode::Recv, OcallCode::Log, OcallCode::Clock] {
+            assert_eq!(OcallCode::from_u8(c as u8), Some(c));
+        }
+        assert_eq!(OcallCode::from_u8(200), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! SIB-style memory operands: `[base + index*scale + disp]`.
+
+use crate::Reg;
+use std::fmt;
+
+/// A memory operand with optional base and scaled index registers plus a
+/// signed 32-bit displacement — the shape x86-64 Scale-Index-Base addressing
+/// takes and the reason store destinations must be *computed* before the P1
+/// bounds annotation can check them (the paper's Fig. 5 `lea`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemOperand {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register and scale (1, 2, 4 or 8), if any.
+    pub index: Option<(Reg, u8)>,
+    /// Signed displacement added to the address.
+    pub disp: i32,
+}
+
+impl MemOperand {
+    /// An absolute address operand `[disp]`.
+    #[must_use]
+    pub const fn abs(disp: i32) -> Self {
+        MemOperand { base: None, index: None, disp }
+    }
+
+    /// A `[base + disp]` operand.
+    #[must_use]
+    pub const fn base_disp(base: Reg, disp: i32) -> Self {
+        MemOperand { base: Some(base), index: None, disp }
+    }
+
+    /// A full `[base + index*scale + disp]` operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 1, 2, 4 or 8.
+    #[must_use]
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i32) -> Self {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "scale must be 1, 2, 4 or 8");
+        MemOperand { base: Some(base), index: Some((index, scale)), disp }
+    }
+
+    /// An `[index*scale + disp]` operand with no base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 1, 2, 4 or 8.
+    #[must_use]
+    pub fn index_disp(index: Reg, scale: u8, disp: i32) -> Self {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "scale must be 1, 2, 4 or 8");
+        MemOperand { base: None, index: Some((index, scale)), disp }
+    }
+
+    /// Returns every register the operand reads.
+    pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.base.into_iter().chain(self.index.map(|(r, _)| r))
+    }
+
+    /// Whether this operand references `reg`.
+    #[must_use]
+    pub fn uses(&self, reg: Reg) -> bool {
+        self.regs().any(|r| r == reg)
+    }
+}
+
+impl fmt::Display for MemOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((i, s)) = self.index {
+            if wrote {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{s}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote && self.disp >= 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{}", self.disp)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MemOperand::abs(64).to_string(), "[64]");
+        assert_eq!(MemOperand::base_disp(Reg::RSP, 8).to_string(), "[rsp+8]");
+        assert_eq!(MemOperand::base_disp(Reg::RBP, -16).to_string(), "[rbp-16]");
+        assert_eq!(
+            MemOperand::base_index(Reg::RAX, Reg::RCX, 8, 0).to_string(),
+            "[rax+rcx*8]"
+        );
+    }
+
+    #[test]
+    fn uses_reports_both_registers() {
+        let m = MemOperand::base_index(Reg::RAX, Reg::RCX, 4, 12);
+        assert!(m.uses(Reg::RAX));
+        assert!(m.uses(Reg::RCX));
+        assert!(!m.uses(Reg::RDX));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be 1, 2, 4 or 8")]
+    fn invalid_scale_panics() {
+        let _ = MemOperand::base_index(Reg::RAX, Reg::RCX, 3, 0);
+    }
+}

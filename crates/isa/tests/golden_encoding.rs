@@ -1,0 +1,113 @@
+//! Golden encodings: the byte format is a wire contract between the
+//! producer, the verifier and stored binaries — any change to these bytes
+//! is a breaking format change and must be deliberate (bump
+//! `deflection_obj::VERSION` and update this file).
+
+use deflection_isa::{encode, AluOp, CondCode, FpuOp, Inst, MemOperand, Reg};
+
+fn bytes_of(inst: Inst) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode(&inst, &mut out);
+    out
+}
+
+#[test]
+fn golden_simple_opcodes() {
+    assert_eq!(bytes_of(Inst::Nop), [0x00]);
+    assert_eq!(bytes_of(Inst::Halt), [0x01]);
+    assert_eq!(bytes_of(Inst::Abort { code: 6 }), [0x02, 6]);
+    assert_eq!(bytes_of(Inst::Ocall { code: 1 }), [0x03, 1]);
+    assert_eq!(bytes_of(Inst::AexProbe), [0x04]);
+    assert_eq!(bytes_of(Inst::Ret), [0x5E]);
+}
+
+#[test]
+fn golden_register_forms() {
+    // mov rax, rbx => opcode 0x10, regs byte dst<<4|src = 0x03
+    assert_eq!(bytes_of(Inst::MovRR { dst: Reg::RAX, src: Reg::RBX }), [0x10, 0x03]);
+    // push r15 / pop rbp
+    assert_eq!(bytes_of(Inst::Push { reg: Reg::R15 }), [0x5F, 15]);
+    assert_eq!(bytes_of(Inst::Pop { reg: Reg::RBP }), [0x60, 5]);
+    // setl rax => 0x43, cc(2)<<4 | rax(0)
+    assert_eq!(bytes_of(Inst::SetCc { cc: CondCode::L, dst: Reg::RAX }), [0x43, 0x20]);
+}
+
+#[test]
+fn golden_immediates_little_endian() {
+    assert_eq!(
+        bytes_of(Inst::MovRI { dst: Reg::RCX, imm: 0x1122_3344_5566_7788 }),
+        [0x11, 1, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]
+    );
+    assert_eq!(
+        bytes_of(Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: -1 }),
+        [0x30, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF]
+    );
+    assert_eq!(bytes_of(Inst::Jmp { rel: 0x0102_0304 }), [0x50, 0x04, 0x03, 0x02, 0x01]);
+}
+
+#[test]
+fn golden_memory_operand() {
+    // store [rax + rcx*8 + 0x10], rdx
+    // opcode 0x15, src byte, flags=3, regs=rax<<4|rcx=0x01, scale_log2=3, disp32
+    assert_eq!(
+        bytes_of(Inst::Store {
+            mem: MemOperand::base_index(Reg::RAX, Reg::RCX, 8, 0x10),
+            src: Reg::RDX
+        }),
+        [0x15, 2, 0x03, 0x01, 0x03, 0x10, 0x00, 0x00, 0x00]
+    );
+    // load rbx, [0x2000] (absolute)
+    assert_eq!(
+        bytes_of(Inst::Load { dst: Reg::RBX, mem: MemOperand::abs(0x2000) }),
+        [0x13, 3, 0x00, 0x00, 0x00, 0x00, 0x20, 0x00, 0x00]
+    );
+}
+
+#[test]
+fn golden_opcode_families() {
+    // ALU register forms occupy 0x20..=0x2C in AluOp order.
+    for (i, op) in AluOp::ALL.iter().enumerate() {
+        let b = bytes_of(Inst::AluRR { op: *op, dst: Reg::RAX, src: Reg::RAX });
+        assert_eq!(b[0], 0x20 + i as u8, "{op:?}");
+    }
+    // Jcc occupies 0x51..=0x5A in CondCode order.
+    for (i, cc) in CondCode::ALL.iter().enumerate() {
+        let b = bytes_of(Inst::Jcc { cc: *cc, rel: 0 });
+        assert_eq!(b[0], 0x51 + i as u8, "{cc:?}");
+    }
+    // FPU binary ops occupy 0x70..=0x73.
+    for (i, op) in FpuOp::ALL.iter().enumerate() {
+        let b = bytes_of(Inst::FpuRR { op: *op, dst: Reg::RAX, src: Reg::RAX });
+        assert_eq!(b[0], 0x70 + i as u8, "{op:?}");
+    }
+}
+
+#[test]
+fn golden_instruction_lengths() {
+    // The length table the assembler's first pass depends on.
+    let expect: &[(Inst, usize)] = &[
+        (Inst::Nop, 1),
+        (Inst::Ret, 1),
+        (Inst::Halt, 1),
+        (Inst::AexProbe, 1),
+        (Inst::Abort { code: 0 }, 2),
+        (Inst::MovRR { dst: Reg::RAX, src: Reg::RAX }, 2),
+        (Inst::MovRI { dst: Reg::RAX, imm: 0 }, 10),
+        (Inst::Lea { dst: Reg::RAX, mem: MemOperand::abs(0) }, 9),
+        (Inst::Load { dst: Reg::RAX, mem: MemOperand::abs(0) }, 9),
+        (Inst::Store { mem: MemOperand::abs(0), src: Reg::RAX }, 9),
+        (Inst::StoreImm { mem: MemOperand::abs(0), imm: 0 }, 12),
+        (Inst::CmpMem { reg: Reg::RAX, mem: MemOperand::abs(0) }, 9),
+        (Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: 0 }, 10),
+        (Inst::CmpRI { lhs: Reg::RAX, imm: 0 }, 10),
+        (Inst::Jmp { rel: 0 }, 5),
+        (Inst::Jcc { cc: CondCode::E, rel: 0 }, 5),
+        (Inst::Call { rel: 0 }, 5),
+        (Inst::JmpInd { reg: Reg::RAX }, 2),
+        (Inst::CallInd { reg: Reg::RAX }, 2),
+        (Inst::SetCc { cc: CondCode::E, dst: Reg::RAX }, 2),
+    ];
+    for (inst, len) in expect {
+        assert_eq!(bytes_of(*inst).len(), *len, "{inst:?}");
+    }
+}

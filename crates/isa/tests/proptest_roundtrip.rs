@@ -1,0 +1,121 @@
+//! Property-based tests for the instruction encoding.
+//!
+//! Invariants:
+//! 1. `decode(encode(inst)) == inst` for every representable instruction.
+//! 2. Decoding never panics on arbitrary bytes — it either yields an
+//!    instruction whose re-encoding reproduces the consumed bytes
+//!    (canonicality) or a structured error.
+
+use deflection_isa::{
+    decode, encode, encoded_len, AluOp, CondCode, FpuOp, Inst, MemOperand, Reg,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_mem() -> impl Strategy<Value = MemOperand> {
+    (
+        proptest::option::of(arb_reg()),
+        proptest::option::of((arb_reg(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, disp)| MemOperand { base, index, disp })
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    (0u8..13).prop_map(|i| AluOp::from_index(i).unwrap())
+}
+
+fn arb_cc() -> impl Strategy<Value = CondCode> {
+    (0u8..10).prop_map(|i| CondCode::from_index(i).unwrap())
+}
+
+fn arb_fpu() -> impl Strategy<Value = FpuOp> {
+    (0u8..4).prop_map(|i| FpuOp::from_index(i).unwrap())
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        any::<u8>().prop_map(|code| Inst::Abort { code }),
+        any::<u8>().prop_map(|code| Inst::Ocall { code }),
+        Just(Inst::AexProbe),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
+        (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
+        (arb_reg(), arb_mem()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
+        (arb_reg(), arb_mem()).prop_map(|(dst, mem)| Inst::Load { dst, mem }),
+        (arb_reg(), arb_mem()).prop_map(|(dst, mem)| Inst::Load8 { dst, mem }),
+        (arb_mem(), arb_reg()).prop_map(|(mem, src)| Inst::Store { mem, src }),
+        (arb_mem(), arb_reg()).prop_map(|(mem, src)| Inst::Store8 { mem, src }),
+        (arb_mem(), any::<i32>()).prop_map(|(mem, imm)| Inst::StoreImm { mem, imm }),
+        (arb_reg(), arb_mem()).prop_map(|(reg, mem)| Inst::CmpMem { reg, mem }),
+        (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Inst::AluRR { op, dst, src }),
+        (arb_alu(), arb_reg(), any::<i64>()).prop_map(|(op, dst, imm)| Inst::AluRI { op, dst, imm }),
+        arb_reg().prop_map(|reg| Inst::Neg { reg }),
+        arb_reg().prop_map(|reg| Inst::Not { reg }),
+        (arb_reg(), arb_reg()).prop_map(|(lhs, rhs)| Inst::CmpRR { lhs, rhs }),
+        (arb_reg(), any::<i64>()).prop_map(|(lhs, imm)| Inst::CmpRI { lhs, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(lhs, rhs)| Inst::TestRR { lhs, rhs }),
+        (arb_cc(), arb_reg()).prop_map(|(cc, dst)| Inst::SetCc { cc, dst }),
+        any::<i32>().prop_map(|rel| Inst::Jmp { rel }),
+        (arb_cc(), any::<i32>()).prop_map(|(cc, rel)| Inst::Jcc { cc, rel }),
+        arb_reg().prop_map(|reg| Inst::JmpInd { reg }),
+        any::<i32>().prop_map(|rel| Inst::Call { rel }),
+        arb_reg().prop_map(|reg| Inst::CallInd { reg }),
+        Just(Inst::Ret),
+        arb_reg().prop_map(|reg| Inst::Push { reg }),
+        arb_reg().prop_map(|reg| Inst::Pop { reg }),
+        (arb_fpu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Inst::FpuRR { op, dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(lhs, rhs)| Inst::FCmp { lhs, rhs }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::CvtIF { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::CvtFI { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::FSqrt { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::FNeg { dst, src }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let mut bytes = Vec::new();
+        encode(&inst, &mut bytes);
+        let (decoded, len) = decode(&bytes, 0).expect("canonical encoding must decode");
+        prop_assert_eq!(decoded, inst);
+        prop_assert_eq!(len, bytes.len());
+        prop_assert_eq!(len, encoded_len(&inst));
+    }
+
+    #[test]
+    fn decode_never_panics_and_is_canonical(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        match decode(&bytes, 0) {
+            Ok((inst, len)) => {
+                prop_assert!(len <= bytes.len());
+                let mut re = Vec::new();
+                encode(&inst, &mut re);
+                prop_assert_eq!(&re[..], &bytes[..len], "decoding must be canonical");
+            }
+            Err(e) => {
+                prop_assert_eq!(e.offset, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_stream_roundtrip(insts in proptest::collection::vec(arb_inst(), 1..64)) {
+        let mut bytes = Vec::new();
+        for i in &insts {
+            encode(i, &mut bytes);
+        }
+        let mut off = 0;
+        let mut decoded = Vec::new();
+        while off < bytes.len() {
+            let (inst, len) = decode(&bytes, off).expect("stream decodes");
+            decoded.push(inst);
+            off += len;
+        }
+        prop_assert_eq!(decoded, insts);
+    }
+}

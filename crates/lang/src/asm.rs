@@ -1,0 +1,281 @@
+//! Assembly of machine IR into a relocatable object file.
+//!
+//! Two passes per program: the first sizes every instruction and records
+//! label and symbol offsets, the second emits bytes, resolves function-local
+//! label displacements, and records relocations (`Rel32` for direct calls,
+//! `Abs64` for symbol-address loads) for the linker and the in-enclave
+//! loader.
+
+use crate::mir::{MFunction, MInst, MirProgram};
+use crate::{CompileError, Span};
+use deflection_isa::{encode, encoded_len, Inst};
+use deflection_obj::{ObjectFile, RelocKind, Relocation, SectionId, Symbol, SymbolKind};
+use std::collections::HashMap;
+
+fn minst_len(inst: &MInst) -> Result<usize, CompileError> {
+    Ok(match inst {
+        MInst::Real(i) => encoded_len(i),
+        MInst::Label(_) => 0,
+        MInst::Jmp(_) => 5,
+        MInst::Jcc(..) => 5,
+        MInst::CallSym(_) => 5,
+        MInst::CallReg(_) | MInst::JmpReg(_) => {
+            return Err(CompileError::new(
+                Span::default(),
+                "unlowered indirect branch reached the assembler; run the \
+                 producer's lowering pass first",
+            ))
+        }
+        MInst::LoadSymAddr { .. } => 10,
+        MInst::Ret => 1,
+    })
+}
+
+/// Assembles `program` into an object file.
+///
+/// # Errors
+///
+/// Fails on unlowered indirect branches, duplicate/undefined labels and
+/// `rel32` overflow.
+pub fn assemble(program: &MirProgram) -> Result<ObjectFile, CompileError> {
+    let mut obj = ObjectFile::new(program.entry.clone());
+
+    // Pass 1: function start offsets and label offsets.
+    let mut func_starts: Vec<usize> = Vec::with_capacity(program.functions.len());
+    let mut label_offsets: Vec<HashMap<u32, usize>> = Vec::with_capacity(program.functions.len());
+    let mut cursor = 0usize;
+    for f in &program.functions {
+        func_starts.push(cursor);
+        let mut labels = HashMap::new();
+        for inst in &f.insts {
+            if let MInst::Label(l) = inst {
+                if labels.insert(l.0, cursor).is_some() {
+                    return Err(CompileError::new(
+                        Span::default(),
+                        format!("duplicate label {} in `{}`", l.0, f.name),
+                    ));
+                }
+            }
+            cursor += minst_len(inst)?;
+        }
+        label_offsets.push(labels);
+    }
+
+    // Pass 2: emit.
+    for (idx, f) in program.functions.iter().enumerate() {
+        obj.symbols.push(Symbol {
+            name: f.name.clone(),
+            section: SectionId::Text,
+            offset: func_starts[idx] as u64,
+            kind: SymbolKind::Func,
+        });
+        emit_function(f, &label_offsets[idx], &mut obj)?;
+    }
+
+    // Data and bss.
+    for d in &program.data {
+        match &d.init {
+            Some(bytes) => {
+                assert_eq!(bytes.len() as u64, d.size, "initializer size mismatch");
+                let pad = (8 - obj.data.len() % 8) % 8;
+                obj.data.resize(obj.data.len() + pad, 0);
+                let offset = obj.data.len() as u64;
+                obj.data.extend_from_slice(bytes);
+                obj.symbols.push(Symbol {
+                    name: d.name.clone(),
+                    section: SectionId::Data,
+                    offset,
+                    kind: SymbolKind::Object,
+                });
+            }
+            None => {
+                let offset = (obj.bss_size + 7) & !7;
+                obj.bss_size = offset + d.size;
+                obj.symbols.push(Symbol {
+                    name: d.name.clone(),
+                    section: SectionId::Bss,
+                    offset,
+                    kind: SymbolKind::Object,
+                });
+            }
+        }
+    }
+
+    obj.indirect_branch_table = program.indirect_targets.clone();
+    Ok(obj)
+}
+
+fn emit_function(
+    f: &MFunction,
+    labels: &HashMap<u32, usize>,
+    obj: &mut ObjectFile,
+) -> Result<(), CompileError> {
+    for inst in &f.insts {
+        let here = obj.text.len();
+        match inst {
+            MInst::Real(i) => encode(i, &mut obj.text),
+            MInst::Label(_) => {}
+            MInst::Jmp(l) => {
+                let target = *labels.get(&l.0).ok_or_else(|| {
+                    CompileError::new(Span::default(), format!("undefined label in `{}`", f.name))
+                })?;
+                let rel = rel32(target, here + 5, &f.name)?;
+                encode(&Inst::Jmp { rel }, &mut obj.text);
+            }
+            MInst::Jcc(cc, l) => {
+                let target = *labels.get(&l.0).ok_or_else(|| {
+                    CompileError::new(Span::default(), format!("undefined label in `{}`", f.name))
+                })?;
+                let rel = rel32(target, here + 5, &f.name)?;
+                encode(&Inst::Jcc { cc: *cc, rel }, &mut obj.text);
+            }
+            MInst::CallSym(sym) => {
+                encode(&Inst::Call { rel: 0 }, &mut obj.text);
+                obj.relocations.push(Relocation {
+                    section: SectionId::Text,
+                    offset: (here + 1) as u64,
+                    symbol: sym.clone(),
+                    kind: RelocKind::Rel32,
+                    addend: 0,
+                });
+            }
+            MInst::CallReg(_) | MInst::JmpReg(_) => {
+                return Err(CompileError::new(
+                    Span::default(),
+                    "unlowered indirect branch reached the assembler",
+                ))
+            }
+            MInst::LoadSymAddr { dst, symbol, addend } => {
+                encode(&Inst::MovRI { dst: *dst, imm: 0 }, &mut obj.text);
+                obj.relocations.push(Relocation {
+                    section: SectionId::Text,
+                    offset: (here + 2) as u64,
+                    symbol: symbol.clone(),
+                    kind: RelocKind::Abs64,
+                    addend: *addend,
+                });
+            }
+            MInst::Ret => encode(&Inst::Ret, &mut obj.text),
+        }
+        debug_assert_eq!(obj.text.len() - here, minst_len(inst).expect("sized in pass 1"));
+    }
+    Ok(())
+}
+
+fn rel32(target: usize, from_end: usize, func: &str) -> Result<i32, CompileError> {
+    let rel = target as i64 - from_end as i64;
+    i32::try_from(rel).map_err(|_| {
+        CompileError::new(Span::default(), format!("branch out of rel32 range in `{func}`"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deflection_isa::Reg;
+    use crate::mir::{DataDef, Label, MirProgram};
+    use deflection_isa::CondCode;
+
+    fn one_func_program(f: MFunction) -> MirProgram {
+        MirProgram {
+            entry: f.name.clone(),
+            functions: vec![f],
+            data: vec![],
+            indirect_targets: vec![],
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut f = MFunction::new("main");
+        let top = f.new_label();
+        let out = f.new_label();
+        f.push(MInst::Label(top));
+        f.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
+        f.push(MInst::Jcc(CondCode::E, out));
+        f.real(Inst::AluRI { op: deflection_isa::AluOp::Sub, dst: Reg::RAX, imm: 1 });
+        f.push(MInst::Jmp(top));
+        f.push(MInst::Label(out));
+        f.real(Inst::Halt);
+        let obj = assemble(&one_func_program(f)).unwrap();
+        // Verify by recursive-descent disassembly: everything must decode.
+        let d = deflection_isa::disassemble(&obj.text, 0, &[]).unwrap();
+        assert_eq!(d.instrs.len(), 5);
+    }
+
+    #[test]
+    fn call_emits_rel32_reloc() {
+        let mut f = MFunction::new("main");
+        f.push(MInst::CallSym("callee".into()));
+        f.real(Inst::Halt);
+        let mut callee = MFunction::new("callee");
+        callee.push(MInst::Ret);
+        let p = MirProgram {
+            entry: "main".into(),
+            functions: vec![f, callee],
+            data: vec![],
+            indirect_targets: vec![],
+        };
+        let obj = assemble(&p).unwrap();
+        assert_eq!(obj.relocations.len(), 1);
+        assert_eq!(obj.relocations[0].kind, RelocKind::Rel32);
+        assert_eq!(obj.relocations[0].offset, 1);
+        assert_eq!(obj.symbol("callee").unwrap().offset, 6);
+    }
+
+    #[test]
+    fn loadsymaddr_emits_abs64_reloc() {
+        let mut f = MFunction::new("main");
+        f.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: "g".into(), addend: 8 });
+        f.real(Inst::Halt);
+        let mut p = one_func_program(f);
+        p.data.push(DataDef { name: "g".into(), size: 16, init: None });
+        let obj = assemble(&p).unwrap();
+        let r = &obj.relocations[0];
+        assert_eq!(r.kind, RelocKind::Abs64);
+        assert_eq!(r.offset, 2);
+        assert_eq!(r.addend, 8);
+        assert_eq!(obj.symbol("g").unwrap().section, SectionId::Bss);
+    }
+
+    #[test]
+    fn data_defs_lay_out_aligned() {
+        let mut f = MFunction::new("main");
+        f.real(Inst::Halt);
+        let mut p = one_func_program(f);
+        p.data.push(DataDef { name: "a".into(), size: 3, init: Some(vec![1, 2, 3]) });
+        p.data.push(DataDef { name: "b".into(), size: 8, init: Some(vec![9; 8]) });
+        p.data.push(DataDef { name: "z1".into(), size: 4, init: None });
+        p.data.push(DataDef { name: "z2".into(), size: 8, init: None });
+        let obj = assemble(&p).unwrap();
+        assert_eq!(obj.symbol("a").unwrap().offset, 0);
+        assert_eq!(obj.symbol("b").unwrap().offset, 8);
+        assert_eq!(obj.symbol("z1").unwrap().offset, 0);
+        assert_eq!(obj.symbol("z2").unwrap().offset, 8);
+        assert_eq!(obj.bss_size, 16);
+    }
+
+    #[test]
+    fn unlowered_callreg_rejected() {
+        let mut f = MFunction::new("main");
+        f.push(MInst::CallReg(Reg::R10));
+        let err = assemble(&one_func_program(f)).unwrap_err();
+        assert!(err.message.contains("unlowered"));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut f = MFunction::new("main");
+        f.push(MInst::Jmp(Label(7)));
+        assert!(assemble(&one_func_program(f)).is_err());
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut f = MFunction::new("main");
+        let l = f.new_label();
+        f.push(MInst::Label(l));
+        f.push(MInst::Label(l));
+        assert!(assemble(&one_func_program(f)).is_err());
+    }
+}

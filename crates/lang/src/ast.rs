@@ -1,0 +1,239 @@
+//! The abstract syntax tree produced by the parser (untyped).
+
+use crate::Span;
+
+/// A DCL type expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int` — signed 64-bit integer.
+    Int,
+    /// `float` — IEEE 754 double.
+    Float,
+    /// `byte` — 8-bit storage cell (array element only).
+    Byte,
+    /// `[T; N]` — fixed-size array.
+    Array(Box<TypeExpr>, u64),
+    /// `[T]` — unsized slice, parameter position only.
+    Slice(Box<TypeExpr>),
+    /// `fn(T, ...) -> R` — function pointer.
+    FnPtr(Vec<TypeExpr>, Option<Box<TypeExpr>>),
+}
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global variable declarations.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions.
+    pub functions: Vec<FunctionDecl>,
+}
+
+/// Initializer of a global.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initializer {
+    /// A single literal value.
+    Scalar(Expr),
+    /// `{ lit, lit, ... }` for arrays.
+    List(Vec<Expr>),
+    /// `"..."` for byte arrays.
+    Str(Vec<u8>),
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Optional initializer.
+    pub init: Option<Initializer>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, TypeExpr)>,
+    /// Return type, if any.
+    pub ret: Option<TypeExpr>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name: ty = init;`
+    Var {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: TypeExpr,
+        /// Optional initializing expression.
+        init: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// The assignment target.
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch.
+        else_body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `return expr?;`
+    Return {
+        /// Optional value.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `break;`
+    Break {
+        /// Source location.
+        span: Span,
+    },
+    /// `continue;`
+    Continue {
+        /// Source location.
+        span: Span,
+    },
+    /// An expression evaluated for its effects (a call).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogicalAnd,
+    LogicalOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Float literal.
+    Float(f64, Span),
+    /// Variable reference.
+    Ident(String, Span),
+    /// `a[i]`.
+    Index {
+        /// The array (an identifier expression).
+        base: Box<Expr>,
+        /// The index.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `f(args)` — direct, builtin, or function-pointer call depending on
+    /// what `callee` resolves to.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `&f` — take the address (branch-table index) of a function.
+    FuncRef(String, Span),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source location of this expression.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Float(_, s)
+            | Expr::Ident(_, s)
+            | Expr::FuncRef(_, s)
+            | Expr::Index { span: s, .. }
+            | Expr::Call { span: s, .. }
+            | Expr::Binary { span: s, .. }
+            | Expr::Unary { span: s, .. } => *s,
+        }
+    }
+}

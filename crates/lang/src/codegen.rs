@@ -1,0 +1,567 @@
+//! Code generation: typed HIR → machine IR.
+//!
+//! A deliberately simple one-pass, accumulator-style code generator:
+//! expression results land in `rax`, `rbx`/`rcx` are scratch, values live in
+//! `rbp`-relative frame slots, and arguments travel in
+//! `rdi/rsi/rdx/rcx/r8/r9`. The point of this crate is not optimization —
+//! it is producing realistic instruction mixes (loads, SIB stores, calls,
+//! indirect calls, float ops) for the instrumentation passes to annotate.
+
+use crate::ast::{BinOp, UnOp};
+use crate::hir::{Builtin, Expr, ExprKind, Function, PlaceBase, Program, Stmt, Type};
+use crate::mir::{DataDef, Label, MFunction, MInst, MirProgram};
+use deflection_isa::{AluOp, CondCode, Inst, MemOperand, Reg};
+
+/// Argument registers in order.
+pub const ARG_REGS: [Reg; 6] = [Reg::RDI, Reg::RSI, Reg::RDX, Reg::RCX, Reg::R8, Reg::R9];
+
+/// Name of the I/O control block symbol (input base/len, output base/cap —
+/// filled in by the bootstrap runtime before the program runs).
+pub const IO_SYMBOL: &str = "__io";
+/// Offset of the input-buffer base pointer in the I/O block.
+pub const IO_INPUT_BASE: i64 = 0;
+/// Offset of the input length in the I/O block.
+pub const IO_INPUT_LEN: i64 = 8;
+/// Offset of the output-buffer base pointer in the I/O block.
+pub const IO_OUTPUT_BASE: i64 = 16;
+/// Offset of the output-buffer capacity in the I/O block.
+pub const IO_OUTPUT_CAP: i64 = 24;
+/// Size of the I/O block in bytes.
+pub const IO_SIZE: u64 = 32;
+
+/// Lowers a checked program to machine IR, adding the `__start` entry glue
+/// and the `__io` control block.
+#[must_use]
+pub fn lower(program: &Program) -> MirProgram {
+    let mut functions = Vec::with_capacity(program.functions.len() + 1);
+
+    let mut start = MFunction::new("__start");
+    start.push(MInst::CallSym("main".into()));
+    start.real(Inst::Halt);
+    functions.push(start);
+
+    for f in &program.functions {
+        functions.push(lower_function(f));
+    }
+
+    let mut data: Vec<DataDef> = vec![DataDef { name: IO_SYMBOL.into(), size: IO_SIZE, init: None }];
+    for g in &program.globals {
+        data.push(DataDef { name: g.name.clone(), size: g.ty.size(), init: g.init.clone() });
+    }
+
+    MirProgram {
+        functions,
+        data,
+        entry: "__start".into(),
+        indirect_targets: program.address_taken.clone(),
+    }
+}
+
+struct FnGen<'a> {
+    hir: &'a Function,
+    out: MFunction,
+    epilogue: Label,
+    loops: Vec<(Label, Label)>, // (continue target, break target)
+}
+
+fn lower_function(f: &Function) -> MFunction {
+    let mut out = MFunction::new(f.name.clone());
+    let epilogue = out.new_label();
+    let mut g = FnGen { hir: f, out, epilogue, loops: Vec::new() };
+
+    // Prologue: establish the frame.
+    g.out.real(Inst::Push { reg: Reg::RBP });
+    g.out.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    if f.frame_size > 0 {
+        g.out.real(Inst::AluRI { op: AluOp::Sub, dst: Reg::RSP, imm: f.frame_size as i64 });
+    }
+    // Spill parameters to their slots.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..f.param_count {
+        let off = f.slots[i].offset;
+        g.out.real(Inst::Store { mem: slot_mem(off), src: ARG_REGS[i] });
+    }
+
+    for stmt in &f.body {
+        g.stmt(stmt);
+    }
+
+    // Fall-off-the-end return value is 0.
+    if f.ret.is_some() {
+        g.out.real(Inst::MovRI { dst: Reg::RAX, imm: 0 });
+    }
+    g.out.push(MInst::Label(epilogue));
+    g.out.real(Inst::MovRR { dst: Reg::RSP, src: Reg::RBP });
+    g.out.real(Inst::Pop { reg: Reg::RBP });
+    g.out.push(MInst::Ret);
+    g.out
+}
+
+fn slot_mem(offset: u64) -> MemOperand {
+    MemOperand::base_disp(Reg::RBP, -(offset as i64) as i32)
+}
+
+fn elem_scale(elem: &Type) -> u8 {
+    if *elem == Type::Byte {
+        1
+    } else {
+        8
+    }
+}
+
+impl FnGen<'_> {
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::AssignLocal { slot, value } => {
+                self.expr(value);
+                let off = self.hir.slots[*slot].offset;
+                self.out.real(Inst::Store { mem: slot_mem(off), src: Reg::RAX });
+            }
+            Stmt::AssignGlobal { name, value } => {
+                self.expr(value);
+                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: name.clone(), addend: 0 });
+                self.out.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBX, 0), src: Reg::RAX });
+            }
+            Stmt::AssignIndex { base, elem, index, value } => {
+                self.expr(index);
+                self.out.real(Inst::Push { reg: Reg::RAX });
+                self.expr(value);
+                self.out.real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }); // value
+                self.out.real(Inst::Pop { reg: Reg::RAX }); // index
+                self.place_base_into(base, Reg::RCX);
+                let mem = MemOperand::base_index(Reg::RCX, Reg::RAX, elem_scale(elem), 0);
+                if *elem == Type::Byte {
+                    self.out.real(Inst::Store8 { mem, src: Reg::RBX });
+                } else {
+                    self.out.real(Inst::Store { mem, src: Reg::RBX });
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let else_l = self.out.new_label();
+                let end_l = self.out.new_label();
+                self.expr(cond);
+                self.out.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
+                self.out.push(MInst::Jcc(CondCode::E, else_l));
+                for s in then_body {
+                    self.stmt(s);
+                }
+                self.out.push(MInst::Jmp(end_l));
+                self.out.push(MInst::Label(else_l));
+                for s in else_body {
+                    self.stmt(s);
+                }
+                self.out.push(MInst::Label(end_l));
+            }
+            Stmt::While { cond, body } => {
+                let head = self.out.new_label();
+                let end = self.out.new_label();
+                self.out.push(MInst::Label(head));
+                self.expr(cond);
+                self.out.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
+                self.out.push(MInst::Jcc(CondCode::E, end));
+                self.loops.push((head, end));
+                for s in body {
+                    self.stmt(s);
+                }
+                self.loops.pop();
+                self.out.push(MInst::Jmp(head));
+                self.out.push(MInst::Label(end));
+            }
+            Stmt::Return { value } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+                self.out.push(MInst::Jmp(self.epilogue));
+            }
+            Stmt::Break => {
+                let (_, end) = *self.loops.last().expect("sema checked loop depth");
+                self.out.push(MInst::Jmp(end));
+            }
+            Stmt::Continue => {
+                let (head, _) = *self.loops.last().expect("sema checked loop depth");
+                self.out.push(MInst::Jmp(head));
+            }
+            Stmt::Expr(e) => self.expr(e),
+        }
+    }
+
+    /// Materializes the base address of `place` into `dst`.
+    fn place_base_into(&mut self, place: &PlaceBase, dst: Reg) {
+        match place {
+            PlaceBase::Global(name) => {
+                self.out.push(MInst::LoadSymAddr { dst, symbol: name.clone(), addend: 0 });
+            }
+            PlaceBase::LocalArray(slot) => {
+                let off = self.hir.slots[*slot].offset;
+                self.out.real(Inst::Lea { dst, mem: slot_mem(off) });
+            }
+            PlaceBase::Slice(slot) => {
+                let off = self.hir.slots[*slot].offset;
+                self.out.real(Inst::Load { dst, mem: slot_mem(off) });
+            }
+        }
+    }
+
+    /// Evaluates `e` into `rax`.
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Int(v) => self.out.real(Inst::MovRI { dst: Reg::RAX, imm: *v as u64 }),
+            ExprKind::Float(v) => self.out.real(Inst::MovRI { dst: Reg::RAX, imm: v.to_bits() }),
+            ExprKind::ReadLocal(slot) => {
+                let off = self.hir.slots[*slot].offset;
+                self.out.real(Inst::Load { dst: Reg::RAX, mem: slot_mem(off) });
+            }
+            ExprKind::ReadGlobal(name) => {
+                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: name.clone(), addend: 0 });
+                self.out.real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::RBX, 0) });
+            }
+            ExprKind::Index { base, elem, index } => {
+                self.expr(index);
+                self.place_base_into(base, Reg::RBX);
+                let mem = MemOperand::base_index(Reg::RBX, Reg::RAX, elem_scale(elem), 0);
+                if *elem == Type::Byte {
+                    self.out.real(Inst::Load8 { dst: Reg::RAX, mem });
+                } else {
+                    self.out.real(Inst::Load { dst: Reg::RAX, mem });
+                }
+            }
+            ExprKind::ArrayAddr(place) => self.place_base_into(place, Reg::RAX),
+            ExprKind::FuncRef { table_index, .. } => {
+                self.out.real(Inst::MovRI { dst: Reg::RAX, imm: *table_index as u64 });
+            }
+            ExprKind::CallDirect { name, args } => {
+                self.emit_args(args);
+                self.out.push(MInst::CallSym(name.clone()));
+            }
+            ExprKind::CallIndirect { target, args } => {
+                self.expr(target);
+                self.out.real(Inst::Push { reg: Reg::RAX });
+                self.emit_args_keeping_stack(args, 1);
+                self.pop_args(args.len());
+                self.out.real(Inst::Pop { reg: Reg::R10 });
+                self.out.push(MInst::CallReg(Reg::R10));
+            }
+            ExprKind::CallBuiltin { builtin, args } => self.builtin(*builtin, args),
+            ExprKind::Binary { op, float_op, lhs, rhs } => {
+                self.expr(lhs);
+                match op {
+                    BinOp::LogicalAnd => {
+                        let false_l = self.out.new_label();
+                        let end_l = self.out.new_label();
+                        self.out.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
+                        self.out.push(MInst::Jcc(CondCode::E, false_l));
+                        self.expr(rhs);
+                        self.out.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
+                        self.out.real(Inst::SetCc { cc: CondCode::Ne, dst: Reg::RAX });
+                        self.out.push(MInst::Jmp(end_l));
+                        self.out.push(MInst::Label(false_l));
+                        self.out.real(Inst::MovRI { dst: Reg::RAX, imm: 0 });
+                        self.out.push(MInst::Label(end_l));
+                        return;
+                    }
+                    BinOp::LogicalOr => {
+                        let true_l = self.out.new_label();
+                        let end_l = self.out.new_label();
+                        self.out.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
+                        self.out.push(MInst::Jcc(CondCode::Ne, true_l));
+                        self.expr(rhs);
+                        self.out.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
+                        self.out.real(Inst::SetCc { cc: CondCode::Ne, dst: Reg::RAX });
+                        self.out.push(MInst::Jmp(end_l));
+                        self.out.push(MInst::Label(true_l));
+                        self.out.real(Inst::MovRI { dst: Reg::RAX, imm: 1 });
+                        self.out.push(MInst::Label(end_l));
+                        return;
+                    }
+                    _ => {}
+                }
+                self.out.real(Inst::Push { reg: Reg::RAX });
+                self.expr(rhs);
+                self.out.real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX });
+                self.out.real(Inst::Pop { reg: Reg::RAX });
+                if *float_op {
+                    self.float_binary(*op);
+                } else {
+                    self.int_binary(*op);
+                }
+            }
+            ExprKind::Unary { op, float_op, operand } => {
+                self.expr(operand);
+                match (op, float_op) {
+                    (UnOp::Neg, false) => self.out.real(Inst::Neg { reg: Reg::RAX }),
+                    (UnOp::Neg, true) => {
+                        self.out.real(Inst::FNeg { dst: Reg::RAX, src: Reg::RAX })
+                    }
+                    (UnOp::Not, _) => {
+                        self.out.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
+                        self.out.real(Inst::SetCc { cc: CondCode::E, dst: Reg::RAX });
+                    }
+                    (UnOp::BitNot, _) => self.out.real(Inst::Not { reg: Reg::RAX }),
+                }
+            }
+        }
+    }
+
+    /// Evaluates `args` left-to-right pushing each, then pops into the
+    /// argument registers.
+    fn emit_args(&mut self, args: &[Expr]) {
+        self.emit_args_keeping_stack(args, 0);
+        self.pop_args(args.len());
+    }
+
+    fn emit_args_keeping_stack(&mut self, args: &[Expr], _below: usize) {
+        for a in args {
+            self.expr(a);
+            self.out.real(Inst::Push { reg: Reg::RAX });
+        }
+    }
+
+    fn pop_args(&mut self, count: usize) {
+        for i in (0..count).rev() {
+            self.out.real(Inst::Pop { reg: ARG_REGS[i] });
+        }
+    }
+
+    fn int_binary(&mut self, op: BinOp) {
+        let alu = match op {
+            BinOp::Add => Some(AluOp::Add),
+            BinOp::Sub => Some(AluOp::Sub),
+            BinOp::Mul => Some(AluOp::Mul),
+            BinOp::Div => Some(AluOp::SDiv),
+            BinOp::Rem => Some(AluOp::SRem),
+            BinOp::And => Some(AluOp::And),
+            BinOp::Or => Some(AluOp::Or),
+            BinOp::Xor => Some(AluOp::Xor),
+            BinOp::Shl => Some(AluOp::Shl),
+            BinOp::Shr => Some(AluOp::Sar),
+            _ => None,
+        };
+        if let Some(alu) = alu {
+            self.out.real(Inst::AluRR { op: alu, dst: Reg::RAX, src: Reg::RBX });
+            return;
+        }
+        let cc = match op {
+            BinOp::Lt => CondCode::L,
+            BinOp::Le => CondCode::Le,
+            BinOp::Gt => CondCode::G,
+            BinOp::Ge => CondCode::Ge,
+            BinOp::Eq => CondCode::E,
+            BinOp::Ne => CondCode::Ne,
+            _ => unreachable!("logical ops handled earlier"),
+        };
+        self.out.real(Inst::CmpRR { lhs: Reg::RAX, rhs: Reg::RBX });
+        self.out.real(Inst::SetCc { cc, dst: Reg::RAX });
+    }
+
+    fn float_binary(&mut self, op: BinOp) {
+        use deflection_isa::FpuOp;
+        let fpu = match op {
+            BinOp::Add => Some(FpuOp::FAdd),
+            BinOp::Sub => Some(FpuOp::FSub),
+            BinOp::Mul => Some(FpuOp::FMul),
+            BinOp::Div => Some(FpuOp::FDiv),
+            _ => None,
+        };
+        if let Some(fpu) = fpu {
+            self.out.real(Inst::FpuRR { op: fpu, dst: Reg::RAX, src: Reg::RBX });
+            return;
+        }
+        // Float comparisons use the unsigned-style condition codes FCmp sets.
+        let cc = match op {
+            BinOp::Lt => CondCode::B,
+            BinOp::Le => CondCode::Be,
+            BinOp::Gt => CondCode::A,
+            BinOp::Ge => CondCode::Ae,
+            BinOp::Eq => CondCode::E,
+            BinOp::Ne => CondCode::Ne,
+            _ => unreachable!("logical ops handled earlier"),
+        };
+        self.out.real(Inst::FCmp { lhs: Reg::RAX, rhs: Reg::RBX });
+        self.out.real(Inst::SetCc { cc, dst: Reg::RAX });
+    }
+
+    fn builtin(&mut self, b: Builtin, args: &[Expr]) {
+        match b {
+            Builtin::InputLen => {
+                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.real(Inst::Load {
+                    dst: Reg::RAX,
+                    mem: MemOperand::base_disp(Reg::RBX, IO_INPUT_LEN as i32),
+                });
+            }
+            Builtin::InputByte => {
+                self.expr(&args[0]);
+                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.real(Inst::Load {
+                    dst: Reg::RBX,
+                    mem: MemOperand::base_disp(Reg::RBX, IO_INPUT_BASE as i32),
+                });
+                self.out.real(Inst::Load8 {
+                    dst: Reg::RAX,
+                    mem: MemOperand::base_index(Reg::RBX, Reg::RAX, 1, 0),
+                });
+            }
+            Builtin::OutputByte => {
+                self.expr(&args[0]);
+                self.out.real(Inst::Push { reg: Reg::RAX });
+                self.expr(&args[1]);
+                self.out.real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }); // value
+                self.out.real(Inst::Pop { reg: Reg::RAX }); // index
+                self.out.push(MInst::LoadSymAddr { dst: Reg::RCX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.real(Inst::Load {
+                    dst: Reg::RCX,
+                    mem: MemOperand::base_disp(Reg::RCX, IO_OUTPUT_BASE as i32),
+                });
+                self.out.real(Inst::Store8 {
+                    mem: MemOperand::base_index(Reg::RCX, Reg::RAX, 1, 0),
+                    src: Reg::RBX,
+                });
+            }
+            Builtin::InputWord => {
+                self.expr(&args[0]);
+                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.real(Inst::Load {
+                    dst: Reg::RBX,
+                    mem: MemOperand::base_disp(Reg::RBX, IO_INPUT_BASE as i32),
+                });
+                self.out.real(Inst::Load {
+                    dst: Reg::RAX,
+                    mem: MemOperand::base_index(Reg::RBX, Reg::RAX, 8, 0),
+                });
+            }
+            Builtin::OutputWord => {
+                self.expr(&args[0]);
+                self.out.real(Inst::Push { reg: Reg::RAX });
+                self.expr(&args[1]);
+                self.out.real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }); // value
+                self.out.real(Inst::Pop { reg: Reg::RAX }); // word index
+                self.out.push(MInst::LoadSymAddr { dst: Reg::RCX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.real(Inst::Load {
+                    dst: Reg::RCX,
+                    mem: MemOperand::base_disp(Reg::RCX, IO_OUTPUT_BASE as i32),
+                });
+                self.out.real(Inst::Store {
+                    mem: MemOperand::base_index(Reg::RCX, Reg::RAX, 8, 0),
+                    src: Reg::RBX,
+                });
+            }
+            Builtin::Send => {
+                self.expr(&args[0]);
+                self.out.real(Inst::MovRR { dst: Reg::RSI, src: Reg::RAX });
+                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.real(Inst::Load {
+                    dst: Reg::RDI,
+                    mem: MemOperand::base_disp(Reg::RBX, IO_OUTPUT_BASE as i32),
+                });
+                self.out.real(Inst::Ocall { code: deflection_isa::OcallCode::Send as u8 });
+            }
+            Builtin::Recv => {
+                self.out.real(Inst::Ocall { code: deflection_isa::OcallCode::Recv as u8 });
+            }
+            Builtin::Log => {
+                self.expr(&args[0]);
+                self.out.real(Inst::MovRR { dst: Reg::RDI, src: Reg::RAX });
+                self.out.real(Inst::Ocall { code: deflection_isa::OcallCode::Log as u8 });
+            }
+            Builtin::Clock => {
+                self.out.real(Inst::Ocall { code: deflection_isa::OcallCode::Clock as u8 });
+            }
+            Builtin::Itof => {
+                self.expr(&args[0]);
+                self.out.real(Inst::CvtIF { dst: Reg::RAX, src: Reg::RAX });
+            }
+            Builtin::Ftoi => {
+                self.expr(&args[0]);
+                self.out.real(Inst::CvtFI { dst: Reg::RAX, src: Reg::RAX });
+            }
+            Builtin::Fsqrt => {
+                self.expr(&args[0]);
+                self.out.real(Inst::FSqrt { dst: Reg::RAX, src: Reg::RAX });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer::lex, parser::parse, sema::check};
+
+    fn lower_src(src: &str) -> MirProgram {
+        lower(&check(&parse(lex(src).unwrap()).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn start_glue_and_io_block_present() {
+        let p = lower_src("fn main() -> int { return 0; }");
+        assert_eq!(p.entry, "__start");
+        assert_eq!(p.functions[0].name, "__start");
+        assert!(matches!(p.functions[0].insts[0], MInst::CallSym(ref n) if n == "main"));
+        assert!(matches!(p.functions[0].insts[1], MInst::Real(Inst::Halt)));
+        assert_eq!(p.data[0].name, IO_SYMBOL);
+        assert_eq!(p.data[0].size, IO_SIZE);
+    }
+
+    #[test]
+    fn prologue_spills_params() {
+        let p = lower_src("fn f(a: int, b: int) -> int { return a; } fn main() -> int { return f(1,2); }");
+        let f = &p.functions[1];
+        assert_eq!(f.name, "f");
+        // push rbp; mov rbp, rsp; sub rsp, 16; store a; store b
+        assert!(matches!(f.insts[0], MInst::Real(Inst::Push { reg: Reg::RBP })));
+        assert!(matches!(f.insts[2], MInst::Real(Inst::AluRI { op: AluOp::Sub, dst: Reg::RSP, imm: 16 })));
+        assert!(matches!(f.insts[3], MInst::Real(Inst::Store { src: Reg::RDI, .. })));
+        assert!(matches!(f.insts[4], MInst::Real(Inst::Store { src: Reg::RSI, .. })));
+    }
+
+    #[test]
+    fn indirect_call_uses_callreg() {
+        let p = lower_src("fn h() {} fn main() -> int { var f: fn() = &h; f(); return 0; }");
+        let main = p.functions.iter().find(|f| f.name == "main").unwrap();
+        assert!(main.insts.iter().any(|i| matches!(i, MInst::CallReg(Reg::R10))));
+        assert_eq!(p.indirect_targets, vec!["h".to_string()]);
+    }
+
+    #[test]
+    fn stores_generated_for_assignments() {
+        let p = lower_src("var g: [int; 4]; fn main() -> int { g[1] = 5; return 0; }");
+        let main = p.functions.iter().find(|f| f.name == "main").unwrap();
+        let stores = main
+            .insts
+            .iter()
+            .filter(|i| matches!(i, MInst::Real(inst) if inst.stored_mem().is_some()))
+            .count();
+        assert!(stores >= 1);
+    }
+
+    #[test]
+    fn byte_element_uses_store8() {
+        let p = lower_src("var b: [byte; 4]; fn main() -> int { b[0] = 65; return b[0]; }");
+        let main = p.functions.iter().find(|f| f.name == "main").unwrap();
+        assert!(main.insts.iter().any(|i| matches!(i, MInst::Real(Inst::Store8 { .. }))));
+        assert!(main.insts.iter().any(|i| matches!(i, MInst::Real(Inst::Load8 { .. }))));
+    }
+
+    #[test]
+    fn builtins_emit_ocalls() {
+        let p = lower_src("fn main() -> int { log(1); return send(0); }");
+        let main = p.functions.iter().find(|f| f.name == "main").unwrap();
+        let ocalls: Vec<u8> = main
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                MInst::Real(Inst::Ocall { code }) => Some(*code),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ocalls, vec![2, 0]);
+    }
+
+    #[test]
+    fn zero_globals_are_bss() {
+        let p = lower_src("var z: [int; 10]; fn main() -> int { return 0; }");
+        let z = p.data.iter().find(|d| d.name == "z").unwrap();
+        assert_eq!(z.size, 80);
+        assert!(z.init.is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! The typed, name-resolved intermediate representation produced by
+//! semantic analysis and consumed by code generation.
+
+use crate::ast::{BinOp, UnOp};
+
+/// A fully resolved DCL type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// Signed 64-bit integer.
+    Int,
+    /// IEEE 754 double.
+    Float,
+    /// 8-bit storage cell (only as array/slice element).
+    Byte,
+    /// Fixed-size array (globals and locals).
+    Array(Box<Type>, u64),
+    /// Unsized slice (parameters; value is the base address).
+    Slice(Box<Type>),
+    /// Function pointer (value is a branch-table index).
+    FnPtr(Vec<Type>, Option<Box<Type>>),
+}
+
+impl Type {
+    /// Size in bytes of one value of this type when stored in memory.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        match self {
+            Type::Byte => 1,
+            Type::Int | Type::Float | Type::Slice(_) | Type::FnPtr(..) => 8,
+            Type::Array(elem, n) => elem.size() * n,
+        }
+    }
+
+    /// Whether values of this type fit in a register.
+    #[must_use]
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Float | Type::Slice(_) | Type::FnPtr(..))
+    }
+}
+
+/// Well-known builtin functions (the program's only I/O surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `input_len() -> int` — bytes available in the input buffer.
+    InputLen,
+    /// `input_byte(i: int) -> int` — read byte `i` of the input buffer.
+    InputByte,
+    /// `output_byte(i: int, v: int)` — write byte `i` of the output buffer.
+    OutputByte,
+    /// `input_word(i: int) -> int` — read the `i`-th 64-bit word of the
+    /// input buffer.
+    InputWord,
+    /// `output_word(i: int, v: int)` — write the `i`-th 64-bit word of the
+    /// output buffer.
+    OutputWord,
+    /// `send(len: int) -> int` — OCall: emit `len` output bytes (encrypted
+    /// and padded by the P0 wrapper).
+    Send,
+    /// `recv() -> int` — OCall: refill the input buffer, returns new length.
+    Recv,
+    /// `log(v: int)` — OCall: diagnostic counter (content-free).
+    Log,
+    /// `clock() -> int` — OCall: virtual instruction-count clock.
+    Clock,
+    /// `itof(i: int) -> float`.
+    Itof,
+    /// `ftoi(f: float) -> int` (truncating).
+    Ftoi,
+    /// `fsqrt(f: float) -> float`.
+    Fsqrt,
+}
+
+impl Builtin {
+    /// Looks up a builtin by source name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "input_len" => Builtin::InputLen,
+            "input_byte" => Builtin::InputByte,
+            "output_byte" => Builtin::OutputByte,
+            "input_word" => Builtin::InputWord,
+            "output_word" => Builtin::OutputWord,
+            "send" => Builtin::Send,
+            "recv" => Builtin::Recv,
+            "log" => Builtin::Log,
+            "clock" => Builtin::Clock,
+            "itof" => Builtin::Itof,
+            "ftoi" => Builtin::Ftoi,
+            "fsqrt" => Builtin::Fsqrt,
+            _ => return None,
+        })
+    }
+
+    /// Parameter types of the builtin.
+    #[must_use]
+    pub fn params(&self) -> Vec<Type> {
+        match self {
+            Builtin::InputLen | Builtin::Recv | Builtin::Clock => vec![],
+            Builtin::InputByte | Builtin::Send | Builtin::Log | Builtin::InputWord => {
+                vec![Type::Int]
+            }
+            Builtin::OutputByte | Builtin::OutputWord => vec![Type::Int, Type::Int],
+            Builtin::Itof => vec![Type::Int],
+            Builtin::Ftoi | Builtin::Fsqrt => vec![Type::Float],
+        }
+    }
+
+    /// Return type of the builtin, if any.
+    #[must_use]
+    pub fn ret(&self) -> Option<Type> {
+        match self {
+            Builtin::OutputByte | Builtin::OutputWord | Builtin::Log => None,
+            Builtin::Itof | Builtin::Fsqrt => Some(Type::Float),
+            _ => Some(Type::Int),
+        }
+    }
+}
+
+/// A global variable after semantic analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name (also the object-file symbol).
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Initial bytes; `None` means zero-initialized (`.bss`).
+    pub init: Option<Vec<u8>>,
+}
+
+/// A stack slot (parameter or local).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalSlot {
+    /// Source name (for diagnostics).
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Positive displacement below `rbp`: the slot occupies
+    /// `[rbp - offset, rbp - offset + size)`.
+    pub offset: u64,
+}
+
+/// The base of an indexable place.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceBase {
+    /// A global array (symbol name).
+    Global(String),
+    /// A local array in slot `slot`.
+    LocalArray(usize),
+    /// A slice whose base address lives in scalar slot `slot`.
+    Slice(usize),
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Result type; `None` for void calls in statement position.
+    pub ty: Option<Type>,
+    /// Expression kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds (typed, resolved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+    /// Read a scalar local/param slot.
+    ReadLocal(usize),
+    /// Read a scalar global.
+    ReadGlobal(String),
+    /// Read `base[index]`; `elem` is the element type.
+    Index {
+        /// Array or slice base.
+        base: PlaceBase,
+        /// Element type (drives load width).
+        elem: Type,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// The address of an array (passing it to a slice parameter).
+    ArrayAddr(PlaceBase),
+    /// Direct call to a named function.
+    CallDirect {
+        /// Callee symbol.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Indirect call through a function-pointer value.
+    CallIndirect {
+        /// Expression yielding the branch-table index.
+        target: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Builtin invocation.
+    CallBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `&f` — the branch-table index of `f`.
+    FuncRef {
+        /// Function name.
+        name: String,
+        /// Index into the indirect-branch table.
+        table_index: u32,
+    },
+    /// Binary operation; `float_op` selects FPU lowering.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Operands are floats.
+        float_op: bool,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand is a float.
+        float_op: bool,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+}
+
+/// A typed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Initialize scalar slot `slot` with `value` (locals without
+    /// initializer and array locals produce no statement).
+    AssignLocal {
+        /// Destination slot.
+        slot: usize,
+        /// Value.
+        value: Expr,
+    },
+    /// Store to a scalar global.
+    AssignGlobal {
+        /// Global symbol.
+        name: String,
+        /// Value.
+        value: Expr,
+    },
+    /// Store to `base[index]`.
+    AssignIndex {
+        /// Array or slice base.
+        base: PlaceBase,
+        /// Element type (drives store width).
+        elem: Type,
+        /// Index expression.
+        index: Expr,
+        /// Value.
+        value: Expr,
+    },
+    /// Conditional.
+    If {
+        /// Condition (int).
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch.
+        else_body: Vec<Stmt>,
+    },
+    /// Loop.
+    While {
+        /// Condition (int).
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Return.
+    Return {
+        /// Optional value.
+        value: Option<Expr>,
+    },
+    /// Break out of the innermost loop.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+    /// Expression statement (calls).
+    Expr(Expr),
+}
+
+/// A function after semantic analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name (also the object-file symbol).
+    pub name: String,
+    /// Number of parameters (the first slots).
+    pub param_count: usize,
+    /// All stack slots, parameters first.
+    pub slots: Vec<LocalSlot>,
+    /// Total frame size in bytes (8-aligned).
+    pub frame_size: u64,
+    /// Return type.
+    pub ret: Option<Type>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// The whole checked program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Globals.
+    pub globals: Vec<Global>,
+    /// Functions.
+    pub functions: Vec<Function>,
+    /// Functions whose address is taken, in branch-table order — the
+    /// indirect-branch target list the object file will carry as the proof.
+    pub address_taken: Vec<String>,
+}

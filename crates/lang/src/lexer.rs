@@ -1,0 +1,452 @@
+//! The DCL lexer.
+
+use crate::{CompileError, Span};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (byte-array initializer).
+    Str(Vec<u8>),
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Var,
+    Fn,
+    If,
+    Else,
+    While,
+    Return,
+    Break,
+    Continue,
+    Int,
+    Float,
+    Byte,
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,     // ->
+    Assign,    // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,       // &
+    Pipe,      // |
+    Caret,     // ^
+    Tilde,     // ~
+    Bang,      // !
+    Shl,       // <<
+    Shr,       // >>
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn span(&self) -> Span {
+        Span { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(CompileError::new(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn escape(&mut self, span: Span) -> Result<u8, CompileError> {
+        match self.bump() {
+            Some(b'n') => Ok(b'\n'),
+            Some(b't') => Ok(b'\t'),
+            Some(b'r') => Ok(b'\r'),
+            Some(b'0') => Ok(0),
+            Some(b'\\') => Ok(b'\\'),
+            Some(b'\'') => Ok(b'\''),
+            Some(b'"') => Ok(b'"'),
+            _ => Err(CompileError::new(span, "invalid escape sequence")),
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<Tok, CompileError> {
+        let start = self.pos;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[hex_start..self.pos]).expect("ascii");
+            if text.is_empty() {
+                return Err(CompileError::new(span, "empty hex literal"));
+            }
+            let value = u64::from_str_radix(text, 16)
+                .map_err(|_| CompileError::new(span, "hex literal out of range"))?;
+            return Ok(Tok::Int(value as i64));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = (self.pos, self.line, self.col);
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                (self.pos, self.line, self.col) = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| CompileError::new(span, "invalid float literal"))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| CompileError::new(span, "integer literal out of range"))
+        }
+    }
+}
+
+fn keyword(ident: &str) -> Option<Kw> {
+    Some(match ident {
+        "var" => Kw::Var,
+        "fn" => Kw::Fn,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "int" => Kw::Int,
+        "float" => Kw::Float,
+        "byte" => Kw::Byte,
+        _ => return None,
+    })
+}
+
+/// Tokenizes DCL source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for invalid characters, unterminated
+/// comments/strings and malformed literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut lx = Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia()?;
+        let span = lx.span();
+        let Some(c) = lx.peek() else {
+            out.push(Token { tok: Tok::Eof, span });
+            return Ok(out);
+        };
+        let tok = match c {
+            b'0'..=b'9' => lx.number(span)?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = lx.pos;
+                while matches!(lx.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    lx.bump();
+                }
+                let text = std::str::from_utf8(&lx.src[start..lx.pos]).expect("ascii");
+                match keyword(text) {
+                    Some(kw) => Tok::Kw(kw),
+                    None => Tok::Ident(text.to_string()),
+                }
+            }
+            b'\'' => {
+                lx.bump();
+                let b = match lx.bump() {
+                    Some(b'\\') => lx.escape(span)?,
+                    Some(b'\'') => return Err(CompileError::new(span, "empty char literal")),
+                    Some(b) => b,
+                    None => return Err(CompileError::new(span, "unterminated char literal")),
+                };
+                if lx.bump() != Some(b'\'') {
+                    return Err(CompileError::new(span, "unterminated char literal"));
+                }
+                Tok::Int(b as i64)
+            }
+            b'"' => {
+                lx.bump();
+                let mut bytes = Vec::new();
+                loop {
+                    match lx.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => bytes.push(lx.escape(span)?),
+                        Some(b) => bytes.push(b),
+                        None => return Err(CompileError::new(span, "unterminated string")),
+                    }
+                }
+                Tok::Str(bytes)
+            }
+            _ => {
+                lx.bump();
+                let two = |lx: &mut Lexer, second: u8, a: Punct, b: Punct| {
+                    if lx.peek() == Some(second) {
+                        lx.bump();
+                        a
+                    } else {
+                        b
+                    }
+                };
+                let p = match c {
+                    b'(' => Punct::LParen,
+                    b')' => Punct::RParen,
+                    b'{' => Punct::LBrace,
+                    b'}' => Punct::RBrace,
+                    b'[' => Punct::LBracket,
+                    b']' => Punct::RBracket,
+                    b',' => Punct::Comma,
+                    b';' => Punct::Semi,
+                    b':' => Punct::Colon,
+                    b'+' => Punct::Plus,
+                    b'-' => two(&mut lx, b'>', Punct::Arrow, Punct::Minus),
+                    b'*' => Punct::Star,
+                    b'/' => Punct::Slash,
+                    b'%' => Punct::Percent,
+                    b'^' => Punct::Caret,
+                    b'~' => Punct::Tilde,
+                    b'&' => two(&mut lx, b'&', Punct::AndAnd, Punct::Amp),
+                    b'|' => two(&mut lx, b'|', Punct::OrOr, Punct::Pipe),
+                    b'!' => two(&mut lx, b'=', Punct::Ne, Punct::Bang),
+                    b'=' => two(&mut lx, b'=', Punct::EqEq, Punct::Assign),
+                    b'<' => {
+                        if lx.peek() == Some(b'<') {
+                            lx.bump();
+                            Punct::Shl
+                        } else {
+                            two(&mut lx, b'=', Punct::Le, Punct::Lt)
+                        }
+                    }
+                    b'>' => {
+                        if lx.peek() == Some(b'>') {
+                            lx.bump();
+                            Punct::Shr
+                        } else {
+                            two(&mut lx, b'=', Punct::Ge, Punct::Gt)
+                        }
+                    }
+                    other => {
+                        return Err(CompileError::new(
+                            span,
+                            format!("unexpected character `{}`", other as char),
+                        ))
+                    }
+                };
+                Tok::Punct(p)
+            }
+        };
+        out.push(Token { tok, span });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("0x10"), vec![Tok::Int(16), Tok::Eof]);
+        assert_eq!(toks("3.25"), vec![Tok::Float(3.25), Tok::Eof]);
+        assert_eq!(toks("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+        assert_eq!(toks("2.5e-1"), vec![Tok::Float(0.25), Tok::Eof]);
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        assert_eq!(
+            toks("var x fn while foo_1"),
+            vec![
+                Tok::Kw(Kw::Var),
+                Tok::Ident("x".into()),
+                Tok::Kw(Kw::Fn),
+                Tok::Kw(Kw::While),
+                Tok::Ident("foo_1".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            toks("<= >= == != && || << >> ->"),
+            vec![
+                Tok::Punct(Punct::Le),
+                Tok::Punct(Punct::Ge),
+                Tok::Punct(Punct::EqEq),
+                Tok::Punct(Punct::Ne),
+                Tok::Punct(Punct::AndAnd),
+                Tok::Punct(Punct::OrOr),
+                Tok::Punct(Punct::Shl),
+                Tok::Punct(Punct::Shr),
+                Tok::Punct(Punct::Arrow),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(toks("'A'"), vec![Tok::Int(65), Tok::Eof]);
+        assert_eq!(toks("'\\n'"), vec![Tok::Int(10), Tok::Eof]);
+        assert_eq!(
+            toks("\"hi\\0\""),
+            vec![Tok::Str(vec![b'h', b'i', 0]), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // line\n 2 /* block\n still */ 3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span, Span { line: 1, col: 1 });
+        assert_eq!(tokens[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("''").is_err());
+        assert!(lex("0x").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn integer_then_method_like_dot_is_not_float() {
+        // `1.` without a digit after the dot: the dot is an error character,
+        // not part of the number — guards the float lookahead.
+        assert!(lex("1.x").is_err());
+    }
+}

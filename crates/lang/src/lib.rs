@@ -1,0 +1,136 @@
+//! # deflection-lang
+//!
+//! The code producer's compiler frontend: **DCL** (Deflection C-like
+//! Language), a small, statically typed systems language compiled to the
+//! `deflection-isa` machine model through a conventional pipeline —
+//! lexer → parser → semantic analysis → machine IR → assembly into a
+//! relocatable [`deflection_obj::ObjectFile`].
+//!
+//! In the paper the code producer is "a customized LLVM-based compiler"
+//! (Section IV-C); DCL plays Clang/LLVM's role here. The crate stops at the
+//! *machine IR* boundary on purpose: the security-annotation instrumentation
+//! passes (policies P1–P6) live in `deflection-core`'s producer and operate
+//! on [`mir::MirProgram`], mirroring how the paper hangs its passes off
+//! LLVM's machine layer (Fig. 4).
+//!
+//! ## Language summary
+//!
+//! ```text
+//! var total: int;                    // zero-initialized global
+//! var table: [int; 64];              // global array
+//! var msg: [byte; 6] = "hello\n";    // byte array with string initializer
+//!
+//! fn add(a: int, b: int) -> int { return a + b; }
+//!
+//! fn main() -> int {
+//!     var i: int = 0;
+//!     var f: fn(int, int) -> int = &add;   // function pointer (CFI-checked)
+//!     while (i < 10) { table[i] = f(i, i); i = i + 1; }
+//!     return table[9];
+//! }
+//! ```
+//!
+//! Types: `int` (i64), `float` (f64), `byte` (u8, array element only),
+//! fixed arrays `[T; N]`, unsized slice parameters `[T]`, and function
+//! pointers `fn(..) -> T`. Builtins give programs their only I/O:
+//! `input_len`, `input_byte`, `output_byte`, `send`, `recv`, `log`,
+//! `clock`, plus `itof`/`ftoi`/`fsqrt` conversions.
+//!
+//! # Example
+//!
+//! ```
+//! let source = "fn main() -> int { return 6 * 7; }";
+//! let mir = deflection_lang::compile(source)?;
+//! assert_eq!(mir.entry, "__start");
+//! let object = deflection_lang::assemble(&mir)?;
+//! assert!(object.symbol("main").is_some());
+//! # Ok::<(), deflection_lang::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod ast;
+pub mod codegen;
+pub mod hir;
+pub mod lexer;
+pub mod mir;
+pub mod opt;
+pub mod parser;
+pub mod sema;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any failure while compiling DCL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where in the source the error was detected.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(span: Span, message: impl Into<String>) -> Self {
+        CompileError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl StdError for CompileError {}
+
+/// Compiles DCL source to machine IR (frontend + codegen, no
+/// instrumentation).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with a source span for lexical, syntactic and
+/// type errors.
+pub fn compile(source: &str) -> Result<mir::MirProgram, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse(tokens)?;
+    let hir = sema::check(&ast)?;
+    Ok(codegen::lower(&hir))
+}
+
+/// Assembles machine IR into a relocatable object file.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if a branch target exceeds `rel32` range or a
+/// label is undefined (compiler-internal conditions surfaced as errors
+/// rather than panics).
+pub fn assemble(program: &mir::MirProgram) -> Result<deflection_obj::ObjectFile, CompileError> {
+    asm::assemble(program)
+}
+
+/// Convenience: compile and assemble in one step.
+///
+/// # Errors
+///
+/// Propagates errors from [`compile`] and [`assemble`].
+pub fn compile_to_object(source: &str) -> Result<deflection_obj::ObjectFile, CompileError> {
+    assemble(&compile(source)?)
+}

@@ -1,0 +1,160 @@
+//! Machine IR: the almost-assembled form the instrumentation passes of
+//! `deflection-core` operate on.
+//!
+//! This layer corresponds to the paper's LLVM machine level (Fig. 4), where
+//! the security annotations are inserted: instructions are concrete
+//! `deflection-isa` instructions, but control flow still uses symbolic
+//! labels, cross-function references are symbolic, and indirect calls are
+//! the abstract [`MInst::CallReg`] (the register holds a *branch-table
+//! index*) that the producer lowers — with or without CFI checks depending
+//! on the policy switches.
+
+use deflection_isa::{CondCode, Inst, Reg};
+
+/// A function-local label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+/// One machine-IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MInst {
+    /// A concrete instruction with no symbolic operand. Never a relative
+    /// branch (those use [`MInst::Jmp`]/[`MInst::Jcc`]).
+    Real(Inst),
+    /// Label definition.
+    Label(Label),
+    /// Unconditional jump to a label.
+    Jmp(Label),
+    /// Conditional jump to a label.
+    Jcc(CondCode, Label),
+    /// Direct call to a named function (assembled as `call rel32` with a
+    /// link-time relocation).
+    CallSym(String),
+    /// Indirect call: `reg` holds a *branch-table index*. Must be lowered by
+    /// the producer before assembly.
+    CallReg(Reg),
+    /// Indirect jump: `reg` holds a *branch-table index*. Must be lowered by
+    /// the producer before assembly.
+    JmpReg(Reg),
+    /// Load the absolute address of `symbol + addend` (assembled as a
+    /// 64-bit move with an `Abs64` relocation the in-enclave loader
+    /// resolves).
+    LoadSymAddr {
+        /// Destination register.
+        dst: Reg,
+        /// Symbol name.
+        symbol: String,
+        /// Constant offset.
+        addend: i64,
+    },
+    /// Function return (wrapped by the shadow-stack epilogue under P5).
+    Ret,
+}
+
+/// A function in machine IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MFunction {
+    /// Symbol name.
+    pub name: String,
+    /// Instruction sequence.
+    pub insts: Vec<MInst>,
+    next_label: u32,
+}
+
+impl MFunction {
+    /// Creates an empty function.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        MFunction { name: name.into(), insts: Vec::new(), next_label: 0 }
+    }
+
+    /// Allocates a fresh label unique within this function.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// The current label high-water mark (all allocated labels are below it).
+    #[must_use]
+    pub fn label_watermark(&self) -> u32 {
+        self.next_label
+    }
+
+    /// Raises the label counter so future labels do not collide with labels
+    /// copied from another function (used by the instrumentation passes when
+    /// rebuilding a function).
+    pub fn reserve_labels(&mut self, watermark: u32) {
+        self.next_label = self.next_label.max(watermark);
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: MInst) {
+        self.insts.push(inst);
+    }
+
+    /// Appends a concrete instruction.
+    pub fn real(&mut self, inst: Inst) {
+        self.insts.push(MInst::Real(inst));
+    }
+}
+
+/// A data definition (global variable image).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataDef {
+    /// Symbol name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Initial bytes (`None` → zero-initialized `.bss`).
+    pub init: Option<Vec<u8>>,
+}
+
+/// A whole program in machine IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MirProgram {
+    /// Functions, entry glue first.
+    pub functions: Vec<MFunction>,
+    /// Data definitions.
+    pub data: Vec<DataDef>,
+    /// Entry symbol (`__start`).
+    pub entry: String,
+    /// Legitimate indirect-branch targets in table order — the proof list.
+    pub indirect_targets: Vec<String>,
+}
+
+impl MirProgram {
+    /// Total number of machine-IR instructions (a cheap size metric used by
+    /// the benches).
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(|f| f.insts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_per_function() {
+        let mut f = MFunction::new("f");
+        let a = f.new_label();
+        let b = f.new_label();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn push_and_count() {
+        let mut f = MFunction::new("f");
+        f.real(Inst::Nop);
+        f.push(MInst::Ret);
+        let p = MirProgram {
+            functions: vec![f],
+            data: vec![],
+            entry: "f".into(),
+            indirect_targets: vec![],
+        };
+        assert_eq!(p.inst_count(), 2);
+    }
+}

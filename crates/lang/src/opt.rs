@@ -1,0 +1,216 @@
+//! Machine-IR peephole optimizations.
+//!
+//! The paper's producer is a full LLVM, so the binaries it instruments are
+//! optimized code. Our accumulator-style code generator leaves easy wins on
+//! the table; this pass removes them *before* instrumentation (annotations
+//! attach to whatever stores/branches remain, so optimization composes
+//! cleanly with every policy):
+//!
+//! * `mov r, r` — self-moves;
+//! * `push rax; pop rbx` — adjacent spill/reload pairs become `mov rbx, rax`
+//!   (and `push r; pop r` disappears entirely);
+//! * `jmp L` where `L` is the next instruction — fall-through jumps;
+//! * unreferenced labels (keeps later passes' label scans cheap).
+//!
+//! All rewrites are local and control-flow-safe: a `push`/`pop` pair is only
+//! fused when the two instructions are adjacent and no label sits between
+//! them (a branch target between the two would change the stack contract).
+
+use crate::mir::{MFunction, MInst, MirProgram};
+use deflection_isa::Inst;
+use std::collections::HashSet;
+
+/// Statistics from one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// `mov r, r` removed.
+    pub self_moves: usize,
+    /// `push a; pop b` pairs fused to moves (or dropped when `a == b`).
+    pub push_pop_pairs: usize,
+    /// Fall-through jumps removed.
+    pub fallthrough_jumps: usize,
+    /// Unreferenced labels dropped.
+    pub dead_labels: usize,
+}
+
+impl OptStats {
+    /// Total rewrites applied.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.self_moves + self.push_pop_pairs + self.fallthrough_jumps + self.dead_labels
+    }
+}
+
+/// Optimizes every function of `program`, returning the rewrite counts.
+pub fn optimize(program: &mut MirProgram) -> OptStats {
+    let mut stats = OptStats::default();
+    for f in &mut program.functions {
+        // Iterate to a fixed point: fusing a pair can expose a self-move, etc.
+        loop {
+            let before = stats;
+            optimize_function(f, &mut stats);
+            if stats == before {
+                break;
+            }
+        }
+    }
+    stats
+}
+
+fn optimize_function(f: &mut MFunction, stats: &mut OptStats) {
+    let mut out: Vec<MInst> = Vec::with_capacity(f.insts.len());
+    let mut i = 0;
+    while i < f.insts.len() {
+        match (&f.insts[i], f.insts.get(i + 1)) {
+            // mov r, r
+            (MInst::Real(Inst::MovRR { dst, src }), _) if dst == src => {
+                stats.self_moves += 1;
+                i += 1;
+            }
+            // push a; pop b  (adjacent, no intervening label)
+            (
+                MInst::Real(Inst::Push { reg: a }),
+                Some(MInst::Real(Inst::Pop { reg: b })),
+            ) => {
+                if a != b {
+                    out.push(MInst::Real(Inst::MovRR { dst: *b, src: *a }));
+                }
+                stats.push_pop_pairs += 1;
+                i += 2;
+            }
+            // jmp L; L:
+            (MInst::Jmp(target), Some(MInst::Label(next))) if target == next => {
+                stats.fallthrough_jumps += 1;
+                i += 1; // keep the label, drop the jump
+            }
+            _ => {
+                out.push(f.insts[i].clone());
+                i += 1;
+            }
+        }
+    }
+
+    // Drop labels nothing references.
+    let referenced: HashSet<u32> = out
+        .iter()
+        .filter_map(|inst| match inst {
+            MInst::Jmp(l) | MInst::Jcc(_, l) => Some(l.0),
+            _ => None,
+        })
+        .collect();
+    let before = out.len();
+    out.retain(|inst| match inst {
+        MInst::Label(l) => referenced.contains(&l.0),
+        _ => true,
+    });
+    stats.dead_labels += before - out.len();
+    f.insts = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::Label;
+    use deflection_isa::{CondCode, Reg};
+
+    fn func(insts: Vec<MInst>) -> MirProgram {
+        let mut f = MFunction::new("main");
+        f.reserve_labels(64);
+        f.insts = insts;
+        MirProgram {
+            entry: "main".into(),
+            functions: vec![f],
+            data: vec![],
+            indirect_targets: vec![],
+        }
+    }
+
+    #[test]
+    fn removes_self_moves() {
+        let mut p = func(vec![
+            MInst::Real(Inst::MovRR { dst: Reg::RAX, src: Reg::RAX }),
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.self_moves, 1);
+        assert_eq!(p.functions[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn fuses_push_pop_pairs() {
+        let mut p = func(vec![
+            MInst::Real(Inst::Push { reg: Reg::RAX }),
+            MInst::Real(Inst::Pop { reg: Reg::RBX }),
+            MInst::Real(Inst::Push { reg: Reg::RCX }),
+            MInst::Real(Inst::Pop { reg: Reg::RCX }),
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.push_pop_pairs, 2);
+        assert_eq!(
+            p.functions[0].insts,
+            vec![
+                MInst::Real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }),
+                MInst::Real(Inst::Halt)
+            ]
+        );
+    }
+
+    #[test]
+    fn keeps_push_pop_across_labels() {
+        // A label between push and pop is a potential branch target; the
+        // pair must survive.
+        let mut p = func(vec![
+            MInst::Real(Inst::Push { reg: Reg::RAX }),
+            MInst::Label(Label(0)),
+            MInst::Real(Inst::Pop { reg: Reg::RBX }),
+            MInst::Jmp(Label(0)),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.push_pop_pairs, 0);
+        assert_eq!(p.functions[0].insts.len(), 4);
+    }
+
+    #[test]
+    fn removes_fallthrough_jumps_and_dead_labels() {
+        let mut p = func(vec![
+            MInst::Jmp(Label(3)),
+            MInst::Label(Label(3)),
+            MInst::Label(Label(4)), // nothing references this one
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.fallthrough_jumps, 1);
+        // Label 3 loses its only reference once the jump dies, so the
+        // fixed-point pass removes it too.
+        assert_eq!(stats.dead_labels, 2);
+        assert_eq!(p.functions[0].insts, vec![MInst::Real(Inst::Halt)]);
+    }
+
+    #[test]
+    fn keeps_referenced_labels() {
+        let mut p = func(vec![
+            MInst::Label(Label(0)),
+            MInst::Real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 }),
+            MInst::Jcc(CondCode::Ne, Label(0)),
+            MInst::Real(Inst::Halt),
+        ]);
+        optimize(&mut p);
+        assert_eq!(p.functions[0].insts.len(), 4);
+    }
+
+    #[test]
+    fn fixed_point_cascades() {
+        // push rax; pop rax collapses to nothing, exposing jmp-to-next.
+        let mut p = func(vec![
+            MInst::Jmp(Label(1)),
+            MInst::Real(Inst::Push { reg: Reg::RAX }),
+            MInst::Real(Inst::Pop { reg: Reg::RAX }),
+            MInst::Label(Label(1)),
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize(&mut p);
+        assert!(stats.total() >= 2);
+        assert_eq!(p.functions[0].insts, vec![MInst::Real(Inst::Halt)]);
+    }
+}

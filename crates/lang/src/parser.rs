@@ -1,0 +1,497 @@
+//! Recursive-descent parser for DCL.
+
+use crate::ast::*;
+use crate::lexer::{Kw, Punct, Tok, Token};
+use crate::{CompileError, Span};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.span(), msg)
+    }
+
+    fn expect_punct(&mut self, p: Punct, what: &str) -> Result<(), CompileError> {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<TypeExpr, CompileError> {
+        match self.peek().clone() {
+            Tok::Kw(Kw::Int) => {
+                self.bump();
+                Ok(TypeExpr::Int)
+            }
+            Tok::Kw(Kw::Float) => {
+                self.bump();
+                Ok(TypeExpr::Float)
+            }
+            Tok::Kw(Kw::Byte) => {
+                self.bump();
+                Ok(TypeExpr::Byte)
+            }
+            Tok::Punct(Punct::LBracket) => {
+                self.bump();
+                let elem = self.ty()?;
+                if self.eat_punct(Punct::Semi) {
+                    let n = match self.bump() {
+                        Tok::Int(n) if n > 0 => n as u64,
+                        _ => return Err(self.err("expected positive array length")),
+                    };
+                    self.expect_punct(Punct::RBracket, "`]`")?;
+                    Ok(TypeExpr::Array(Box::new(elem), n))
+                } else {
+                    self.expect_punct(Punct::RBracket, "`]`")?;
+                    Ok(TypeExpr::Slice(Box::new(elem)))
+                }
+            }
+            Tok::Kw(Kw::Fn) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let mut params = Vec::new();
+                if !self.eat_punct(Punct::RParen) {
+                    loop {
+                        params.push(self.ty()?);
+                        if self.eat_punct(Punct::RParen) {
+                            break;
+                        }
+                        self.expect_punct(Punct::Comma, "`,`")?;
+                    }
+                }
+                let ret = if self.eat_punct(Punct::Arrow) {
+                    Some(Box::new(self.ty()?))
+                } else {
+                    None
+                };
+                Ok(TypeExpr::FnPtr(params, ret))
+            }
+            other => Err(self.err(format!("expected type, found {other:?}"))),
+        }
+    }
+
+    fn initializer(&mut self) -> Result<Initializer, CompileError> {
+        match self.peek().clone() {
+            Tok::Str(bytes) => {
+                self.bump();
+                Ok(Initializer::Str(bytes))
+            }
+            Tok::Punct(Punct::LBrace) => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat_punct(Punct::RBrace) {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.eat_punct(Punct::RBrace) {
+                            break;
+                        }
+                        self.expect_punct(Punct::Comma, "`,`")?;
+                    }
+                }
+                Ok(Initializer::List(items))
+            }
+            _ => Ok(Initializer::Scalar(self.expr()?)),
+        }
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl, CompileError> {
+        let span = self.span();
+        self.bump(); // `var`
+        let name = self.expect_ident("global name")?;
+        self.expect_punct(Punct::Colon, "`:`")?;
+        let ty = self.ty()?;
+        let init = if self.eat_punct(Punct::Assign) {
+            Some(self.initializer()?)
+        } else {
+            None
+        };
+        self.expect_punct(Punct::Semi, "`;`")?;
+        Ok(GlobalDecl { name, ty, init, span })
+    }
+
+    fn function(&mut self) -> Result<FunctionDecl, CompileError> {
+        let span = self.span();
+        self.bump(); // `fn`
+        let name = self.expect_ident("function name")?;
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                let pname = self.expect_ident("parameter name")?;
+                self.expect_punct(Punct::Colon, "`:`")?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma, "`,`")?;
+            }
+        }
+        let ret = if self.eat_punct(Punct::Arrow) { Some(self.ty()?) } else { None };
+        let body = self.block()?;
+        Ok(FunctionDecl { name, params, ret, body, span })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct(Punct::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.peek() == &Tok::Eof {
+                return Err(self.err("unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Kw(Kw::Var) => {
+                self.bump();
+                let name = self.expect_ident("variable name")?;
+                self.expect_punct(Punct::Colon, "`:`")?;
+                let ty = self.ty()?;
+                let init = if self.eat_punct(Punct::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct(Punct::Semi, "`;`")?;
+                Ok(Stmt::Var { name, ty, init, span })
+            }
+            Tok::Kw(Kw::If) => self.if_stmt(),
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let value = if self.peek() == &Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi, "`;`")?;
+                Ok(Stmt::Return { value, span })
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semi, "`;`")?;
+                Ok(Stmt::Break { span })
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semi, "`;`")?;
+                Ok(Stmt::Continue { span })
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat_punct(Punct::Assign) {
+                    let value = self.expr()?;
+                    self.expect_punct(Punct::Semi, "`;`")?;
+                    Ok(Stmt::Assign { target: e, value, span })
+                } else {
+                    self.expect_punct(Punct::Semi, "`;`")?;
+                    Ok(Stmt::Expr { expr: e, span })
+                }
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        self.bump(); // `if`
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect_punct(Punct::RParen, "`)`")?;
+        let then_body = self.block()?;
+        let else_body = if self.peek() == &Tok::Kw(Kw::Else) {
+            self.bump();
+            if self.peek() == &Tok::Kw(Kw::If) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then_body, else_body, span })
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Punct(Punct::OrOr) => (BinOp::LogicalOr, 1),
+                Tok::Punct(Punct::AndAnd) => (BinOp::LogicalAnd, 2),
+                Tok::Punct(Punct::Pipe) => (BinOp::Or, 3),
+                Tok::Punct(Punct::Caret) => (BinOp::Xor, 4),
+                Tok::Punct(Punct::Amp) => (BinOp::And, 5),
+                Tok::Punct(Punct::EqEq) => (BinOp::Eq, 6),
+                Tok::Punct(Punct::Ne) => (BinOp::Ne, 6),
+                Tok::Punct(Punct::Lt) => (BinOp::Lt, 7),
+                Tok::Punct(Punct::Le) => (BinOp::Le, 7),
+                Tok::Punct(Punct::Gt) => (BinOp::Gt, 7),
+                Tok::Punct(Punct::Ge) => (BinOp::Ge, 7),
+                Tok::Punct(Punct::Shl) => (BinOp::Shl, 8),
+                Tok::Punct(Punct::Shr) => (BinOp::Shr, 8),
+                Tok::Punct(Punct::Plus) => (BinOp::Add, 9),
+                Tok::Punct(Punct::Minus) => (BinOp::Sub, 9),
+                Tok::Punct(Punct::Star) => (BinOp::Mul, 10),
+                Tok::Punct(Punct::Slash) => (BinOp::Div, 10),
+                Tok::Punct(Punct::Percent) => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let span = self.span();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.peek() {
+            Tok::Punct(Punct::Minus) => {
+                self.bump();
+                let operand = self.unary()?;
+                Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand), span })
+            }
+            Tok::Punct(Punct::Bang) => {
+                self.bump();
+                let operand = self.unary()?;
+                Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand), span })
+            }
+            Tok::Punct(Punct::Tilde) => {
+                self.bump();
+                let operand = self.unary()?;
+                Ok(Expr::Unary { op: UnOp::BitNot, operand: Box::new(operand), span })
+            }
+            Tok::Punct(Punct::Amp) => {
+                self.bump();
+                let name = self.expect_ident("function name after `&`")?;
+                Ok(Expr::FuncRef(name, span))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v, span)),
+            Tok::Float(v) => Ok(Expr::Float(v, span)),
+            Tok::Punct(Punct::LParen) => {
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(Punct::RParen) {
+                                break;
+                            }
+                            self.expect_punct(Punct::Comma, "`,`")?;
+                        }
+                    }
+                    Ok(Expr::Call { callee: name, args, span })
+                } else if self.eat_punct(Punct::LBracket) {
+                    let index = self.expr()?;
+                    self.expect_punct(Punct::RBracket, "`]`")?;
+                    Ok(Expr::Index {
+                        base: Box::new(Expr::Ident(name, span)),
+                        index: Box::new(index),
+                        span,
+                    })
+                } else {
+                    Ok(Expr::Ident(name, span))
+                }
+            }
+            other => Err(CompileError::new(span, format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on any syntax error.
+pub fn parse(tokens: Vec<Token>) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut globals = Vec::new();
+    let mut functions = Vec::new();
+    loop {
+        match p.peek() {
+            Tok::Eof => break,
+            Tok::Kw(Kw::Var) => globals.push(p.global()?),
+            Tok::Kw(Kw::Fn) => functions.push(p.function()?),
+            other => {
+                return Err(p.err(format!("expected `var` or `fn` at top level, found {other:?}")))
+            }
+        }
+    }
+    Ok(Program { globals, functions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_globals_with_initializers() {
+        let p = parse_src(
+            "var a: int; var b: [int; 4] = {1, 2, 3, 4}; var s: [byte; 3] = \"abc\"; var f: float = 1.5;",
+        );
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.globals[1].ty, TypeExpr::Array(Box::new(TypeExpr::Int), 4));
+        assert!(matches!(p.globals[2].init, Some(Initializer::Str(_))));
+    }
+
+    #[test]
+    fn parses_function_with_params_and_ret() {
+        let p = parse_src("fn f(a: int, b: [int], c: fn(int) -> int) -> int { return a; }");
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[1].1, TypeExpr::Slice(Box::new(TypeExpr::Int)));
+        assert_eq!(
+            f.params[2].1,
+            TypeExpr::FnPtr(vec![TypeExpr::Int], Some(Box::new(TypeExpr::Int)))
+        );
+        assert_eq!(f.ret, Some(TypeExpr::Int));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_src("fn m() -> int { return 1 + 2 * 3; }");
+        let Stmt::Return { value: Some(Expr::Binary { op, rhs, .. }), .. } =
+            &p.functions[0].body[0]
+        else {
+            panic!("expected return of binary");
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_cmp_over_logical() {
+        let p = parse_src("fn m() -> int { return 1 < 2 && 3 < 4; }");
+        let Stmt::Return { value: Some(Expr::Binary { op, .. }), .. } = &p.functions[0].body[0]
+        else {
+            panic!();
+        };
+        assert_eq!(*op, BinOp::LogicalAnd);
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let p = parse_src("fn m() { if (1) { } else if (2) { } else { } }");
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn assignment_and_index() {
+        let p = parse_src("fn m(a: [int]) { a[0] = a[1] + 1; }");
+        assert!(matches!(p.functions[0].body[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn while_break_continue() {
+        let p = parse_src("fn m() { while (1) { break; continue; } }");
+        let Stmt::While { body, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(body[0], Stmt::Break { .. }));
+        assert!(matches!(body[1], Stmt::Continue { .. }));
+    }
+
+    #[test]
+    fn func_ref_and_indirect_call() {
+        let p = parse_src("fn f() {} fn m() { var g: fn(); g = &f; g(); }");
+        let Stmt::Assign { value, .. } = &p.functions[1].body[1] else { panic!() };
+        assert!(matches!(value, Expr::FuncRef(n, _) if n == "f"));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse(lex("fn f( { }").unwrap()).is_err());
+        assert!(parse(lex("var x int;").unwrap()).is_err());
+        assert!(parse(lex("fn f() { return 1 }").unwrap()).is_err());
+        assert!(parse(lex("1 + 1;").unwrap()).is_err());
+        assert!(parse(lex("fn f() { if 1 { } }").unwrap()).is_err());
+        assert!(parse(lex("var a: [int; 0];").unwrap()).is_err());
+        assert!(parse(lex("fn f() {").unwrap()).is_err());
+    }
+
+    #[test]
+    fn unary_chain() {
+        let p = parse_src("fn m() -> int { return -~!1; }");
+        let Stmt::Return { value: Some(Expr::Unary { op: UnOp::Neg, .. }), .. } =
+            &p.functions[0].body[0]
+        else {
+            panic!();
+        };
+    }
+}

@@ -1,0 +1,905 @@
+//! Semantic analysis: name resolution, type checking, frame layout, global
+//! initializer evaluation, and collection of the address-taken function list
+//! (the future indirect-branch table).
+
+use crate::ast::{self, BinOp, Initializer, TypeExpr, UnOp};
+use crate::hir::{
+    Builtin, Expr, ExprKind, Function, Global, LocalSlot, PlaceBase, Program, Stmt, Type,
+};
+use crate::{CompileError, Span};
+use std::collections::HashMap;
+
+/// Maximum number of parameters (one per argument register).
+pub const MAX_PARAMS: usize = 6;
+
+/// Type-checks `ast` and produces the typed program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for any semantic violation: unknown names,
+/// type mismatches, bad initializers, missing `main`, etc.
+pub fn check(ast: &ast::Program) -> Result<Program, CompileError> {
+    Checker::new().run(ast)
+}
+
+struct FuncSig {
+    params: Vec<Type>,
+    ret: Option<Type>,
+}
+
+struct Checker {
+    globals: HashMap<String, Type>,
+    funcs: HashMap<String, FuncSig>,
+    address_taken: Vec<String>,
+}
+
+struct FuncCtx {
+    slots: Vec<LocalSlot>,
+    scopes: Vec<HashMap<String, usize>>,
+    cur_offset: u64,
+    max_offset: u64,
+    loop_depth: u32,
+    ret: Option<Type>,
+}
+
+impl FuncCtx {
+    fn lookup(&self, name: &str) -> Option<usize> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&slot) = scope.get(name) {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) -> usize {
+        let size = (ty.size() + 7) & !7;
+        self.cur_offset += size;
+        self.max_offset = self.max_offset.max(self.cur_offset);
+        let slot = self.slots.len();
+        self.slots.push(LocalSlot { name: name.to_string(), ty, offset: self.cur_offset });
+        self.scopes.last_mut().expect("scope stack nonempty").insert(name.to_string(), slot);
+        slot
+    }
+}
+
+impl Checker {
+    fn new() -> Self {
+        Checker { globals: HashMap::new(), funcs: HashMap::new(), address_taken: Vec::new() }
+    }
+
+    fn resolve_type(&self, t: &TypeExpr, span: Span, param_pos: bool) -> Result<Type, CompileError> {
+        Ok(match t {
+            TypeExpr::Int => Type::Int,
+            TypeExpr::Float => Type::Float,
+            TypeExpr::Byte => Type::Byte,
+            TypeExpr::Array(elem, n) => {
+                let elem = self.resolve_type(elem, span, false)?;
+                if !elem.is_scalar() && elem != Type::Byte {
+                    return Err(CompileError::new(span, "array element must be scalar or byte"));
+                }
+                Type::Array(Box::new(elem), *n)
+            }
+            TypeExpr::Slice(elem) => {
+                if !param_pos {
+                    return Err(CompileError::new(
+                        span,
+                        "slice types `[T]` are only allowed as parameters",
+                    ));
+                }
+                let elem = self.resolve_type(elem, span, false)?;
+                if !elem.is_scalar() && elem != Type::Byte {
+                    return Err(CompileError::new(span, "slice element must be scalar or byte"));
+                }
+                Type::Slice(Box::new(elem))
+            }
+            TypeExpr::FnPtr(params, ret) => {
+                let params = params
+                    .iter()
+                    .map(|p| self.resolve_type(p, span, true))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let ret = match ret {
+                    Some(r) => Some(Box::new(self.resolve_type(r, span, false)?)),
+                    None => None,
+                };
+                Type::FnPtr(params, ret)
+            }
+        })
+    }
+
+    fn run(mut self, ast: &ast::Program) -> Result<Program, CompileError> {
+        // Pass 1: signatures and global types.
+        for g in &ast.globals {
+            if Builtin::by_name(&g.name).is_some() {
+                return Err(CompileError::new(g.span, format!("`{}` is a builtin name", g.name)));
+            }
+            let ty = self.resolve_type(&g.ty, g.span, false)?;
+            if matches!(ty, Type::Byte) {
+                return Err(CompileError::new(g.span, "scalar globals cannot be `byte`; use `int`"));
+            }
+            if self.globals.insert(g.name.clone(), ty).is_some() {
+                return Err(CompileError::new(g.span, format!("duplicate global `{}`", g.name)));
+            }
+        }
+        for f in &ast.functions {
+            if Builtin::by_name(&f.name).is_some() {
+                return Err(CompileError::new(f.span, format!("`{}` is a builtin name", f.name)));
+            }
+            if self.globals.contains_key(&f.name) {
+                return Err(CompileError::new(
+                    f.span,
+                    format!("`{}` already declared as a global", f.name),
+                ));
+            }
+            if f.params.len() > MAX_PARAMS {
+                return Err(CompileError::new(
+                    f.span,
+                    format!("at most {MAX_PARAMS} parameters are supported"),
+                ));
+            }
+            let params = f
+                .params
+                .iter()
+                .map(|(_, t)| self.resolve_type(t, f.span, true))
+                .collect::<Result<Vec<_>, _>>()?;
+            for p in &params {
+                if !p.is_scalar() {
+                    return Err(CompileError::new(f.span, "parameters must be scalar or slice"));
+                }
+            }
+            let ret = match &f.ret {
+                Some(t) => {
+                    let ty = self.resolve_type(t, f.span, false)?;
+                    if !ty.is_scalar() {
+                        return Err(CompileError::new(f.span, "return type must be scalar"));
+                    }
+                    Some(ty)
+                }
+                None => None,
+            };
+            if self.funcs.insert(f.name.clone(), FuncSig { params, ret }).is_some() {
+                return Err(CompileError::new(f.span, format!("duplicate function `{}`", f.name)));
+            }
+        }
+        match self.funcs.get("main") {
+            Some(sig) if sig.params.is_empty() && sig.ret == Some(Type::Int) => {}
+            Some(_) => {
+                return Err(CompileError::new(
+                    Span::default(),
+                    "`main` must have no parameters and return `int`",
+                ))
+            }
+            None => return Err(CompileError::new(Span::default(), "missing `fn main() -> int`")),
+        }
+
+        // Pass 2: global initializers.
+        let mut globals = Vec::new();
+        for g in &ast.globals {
+            let ty = self.globals[&g.name].clone();
+            let init = self.global_init(&ty, g.init.as_ref(), g.span)?;
+            globals.push(Global { name: g.name.clone(), ty, init });
+        }
+
+        // Pass 3: function bodies.
+        let mut functions = Vec::new();
+        for f in &ast.functions {
+            functions.push(self.check_function(f)?);
+        }
+
+        Ok(Program { globals, functions, address_taken: self.address_taken })
+    }
+
+    fn global_init(
+        &self,
+        ty: &Type,
+        init: Option<&Initializer>,
+        span: Span,
+    ) -> Result<Option<Vec<u8>>, CompileError> {
+        let Some(init) = init else { return Ok(None) };
+        let bytes = match (ty, init) {
+            (Type::Int | Type::Float | Type::FnPtr(..), Initializer::Scalar(e)) => {
+                self.const_scalar_bytes(ty, e, span)?
+            }
+            (Type::Array(elem, n), Initializer::List(items)) => {
+                if items.len() as u64 > *n {
+                    return Err(CompileError::new(span, "too many initializer elements"));
+                }
+                let mut out = Vec::with_capacity((elem.size() * n) as usize);
+                for item in items {
+                    out.extend_from_slice(&self.const_scalar_bytes(elem, item, span)?);
+                }
+                out.resize((elem.size() * n) as usize, 0);
+                out
+            }
+            (Type::Array(elem, n), Initializer::Str(s)) if **elem == Type::Byte => {
+                if s.len() as u64 > *n {
+                    return Err(CompileError::new(span, "string longer than byte array"));
+                }
+                let mut out = s.clone();
+                out.resize(*n as usize, 0);
+                out
+            }
+            _ => return Err(CompileError::new(span, "initializer does not match type")),
+        };
+        if bytes.iter().all(|&b| b == 0) {
+            Ok(None) // zero image — let it live in .bss
+        } else {
+            Ok(Some(bytes))
+        }
+    }
+
+    fn const_scalar_bytes(&self, ty: &Type, e: &ast::Expr, span: Span) -> Result<Vec<u8>, CompileError> {
+        match (ty, e) {
+            (Type::Int, _) => Ok(self.const_int(e, span)?.to_le_bytes().to_vec()),
+            (Type::Byte, _) => {
+                let v = self.const_int(e, span)?;
+                if !(0..=255).contains(&v) {
+                    return Err(CompileError::new(span, "byte initializer out of range"));
+                }
+                Ok(vec![v as u8])
+            }
+            (Type::Float, _) => Ok(self.const_float(e, span)?.to_bits().to_le_bytes().to_vec()),
+            _ => Err(CompileError::new(span, "unsupported constant initializer")),
+        }
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn const_int(&self, e: &ast::Expr, span: Span) -> Result<i64, CompileError> {
+        match e {
+            ast::Expr::Int(v, _) => Ok(*v),
+            ast::Expr::Unary { op: UnOp::Neg, operand, .. } => {
+                Ok(self.const_int(operand, span)?.wrapping_neg())
+            }
+            _ => Err(CompileError::new(e.span(), "expected constant integer")),
+        }
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn const_float(&self, e: &ast::Expr, span: Span) -> Result<f64, CompileError> {
+        match e {
+            ast::Expr::Float(v, _) => Ok(*v),
+            ast::Expr::Unary { op: UnOp::Neg, operand, .. } => Ok(-self.const_float(operand, span)?),
+            _ => Err(CompileError::new(e.span(), "expected constant float")),
+        }
+    }
+
+    fn table_index(&mut self, name: &str) -> u32 {
+        if let Some(pos) = self.address_taken.iter().position(|n| n == name) {
+            pos as u32
+        } else {
+            self.address_taken.push(name.to_string());
+            (self.address_taken.len() - 1) as u32
+        }
+    }
+
+    fn check_function(&mut self, f: &ast::FunctionDecl) -> Result<Function, CompileError> {
+        let sig_ret = self.funcs[&f.name].ret.clone();
+        let mut ctx = FuncCtx {
+            slots: Vec::new(),
+            scopes: vec![HashMap::new()],
+            cur_offset: 0,
+            max_offset: 0,
+            loop_depth: 0,
+            ret: sig_ret,
+        };
+        for (pname, pty) in &f.params {
+            let ty = self.resolve_type(pty, f.span, true)?;
+            if ctx.lookup(pname).is_some() {
+                return Err(CompileError::new(f.span, format!("duplicate parameter `{pname}`")));
+            }
+            ctx.declare(pname, ty);
+        }
+        let body = self.check_block(&f.body, &mut ctx)?;
+        let frame_size = (ctx.max_offset + 7) & !7;
+        Ok(Function {
+            name: f.name.clone(),
+            param_count: f.params.len(),
+            slots: ctx.slots,
+            frame_size,
+            ret: self.funcs[&f.name].ret.clone(),
+            body,
+        })
+    }
+
+    fn check_block(&mut self, stmts: &[ast::Stmt], ctx: &mut FuncCtx) -> Result<Vec<Stmt>, CompileError> {
+        ctx.scopes.push(HashMap::new());
+        let saved_offset = ctx.cur_offset;
+        let mut out = Vec::new();
+        for s in stmts {
+            if let Some(stmt) = self.check_stmt(s, ctx)? {
+                out.push(stmt);
+            }
+        }
+        ctx.scopes.pop();
+        ctx.cur_offset = saved_offset;
+        Ok(out)
+    }
+
+    fn check_stmt(&mut self, s: &ast::Stmt, ctx: &mut FuncCtx) -> Result<Option<Stmt>, CompileError> {
+        match s {
+            ast::Stmt::Var { name, ty, init, span } => {
+                if Builtin::by_name(name).is_some() {
+                    return Err(CompileError::new(*span, format!("`{name}` is a builtin name")));
+                }
+                let ty = self.resolve_type(ty, *span, false)?;
+                if ty == Type::Byte {
+                    return Err(CompileError::new(*span, "scalar locals cannot be `byte`; use `int`"));
+                }
+                let is_array = matches!(ty, Type::Array(..));
+                let slot = ctx.declare(name, ty.clone());
+                match init {
+                    Some(e) => {
+                        if is_array {
+                            return Err(CompileError::new(
+                                *span,
+                                "local arrays cannot have initializers",
+                            ));
+                        }
+                        let value = self.check_expr(e, ctx)?;
+                        self.expect_ty(&value, &ty, e.span())?;
+                        Ok(Some(Stmt::AssignLocal { slot, value }))
+                    }
+                    None => Ok(None),
+                }
+            }
+            ast::Stmt::Assign { target, value, span } => match target {
+                ast::Expr::Ident(name, ispan) => {
+                    let value_expr = self.check_expr(value, ctx)?;
+                    if let Some(slot) = ctx.lookup(name) {
+                        let ty = ctx.slots[slot].ty.clone();
+                        if !ty.is_scalar() {
+                            return Err(CompileError::new(*ispan, "cannot assign whole arrays"));
+                        }
+                        self.expect_ty(&value_expr, &ty, value.span())?;
+                        Ok(Some(Stmt::AssignLocal { slot, value: value_expr }))
+                    } else if let Some(ty) = self.globals.get(name).cloned() {
+                        if !ty.is_scalar() {
+                            return Err(CompileError::new(*ispan, "cannot assign whole arrays"));
+                        }
+                        self.expect_ty(&value_expr, &ty, value.span())?;
+                        Ok(Some(Stmt::AssignGlobal { name: name.clone(), value: value_expr }))
+                    } else {
+                        Err(CompileError::new(*ispan, format!("unknown variable `{name}`")))
+                    }
+                }
+                ast::Expr::Index { base, index, span: ispan } => {
+                    let (place, elem) = self.resolve_place(base, ctx, *ispan)?;
+                    let index_expr = self.check_expr(index, ctx)?;
+                    self.expect_ty(&index_expr, &Type::Int, index.span())?;
+                    let value_expr = self.check_expr(value, ctx)?;
+                    let want = if elem == Type::Byte { Type::Int } else { elem.clone() };
+                    self.expect_ty(&value_expr, &want, value.span())?;
+                    Ok(Some(Stmt::AssignIndex {
+                        base: place,
+                        elem,
+                        index: index_expr,
+                        value: value_expr,
+                    }))
+                }
+                _ => Err(CompileError::new(*span, "invalid assignment target")),
+            },
+            ast::Stmt::If { cond, then_body, else_body, span } => {
+                let cond_expr = self.check_expr(cond, ctx)?;
+                self.expect_ty(&cond_expr, &Type::Int, *span)?;
+                let then_body = self.check_block(then_body, ctx)?;
+                let else_body = self.check_block(else_body, ctx)?;
+                Ok(Some(Stmt::If { cond: cond_expr, then_body, else_body }))
+            }
+            ast::Stmt::While { cond, body, span } => {
+                let cond_expr = self.check_expr(cond, ctx)?;
+                self.expect_ty(&cond_expr, &Type::Int, *span)?;
+                ctx.loop_depth += 1;
+                let body = self.check_block(body, ctx)?;
+                ctx.loop_depth -= 1;
+                Ok(Some(Stmt::While { cond: cond_expr, body }))
+            }
+            ast::Stmt::Return { value, span } => {
+                let ret = ctx.ret.clone();
+                match (value, ret) {
+                    (None, None) => Ok(Some(Stmt::Return { value: None })),
+                    (Some(e), Some(want)) => {
+                        let ve = self.check_expr(e, ctx)?;
+                        self.expect_ty(&ve, &want, e.span())?;
+                        Ok(Some(Stmt::Return { value: Some(ve) }))
+                    }
+                    (None, Some(_)) => {
+                        Err(CompileError::new(*span, "missing return value"))
+                    }
+                    (Some(_), None) => {
+                        Err(CompileError::new(*span, "function does not return a value"))
+                    }
+                }
+            }
+            ast::Stmt::Break { span } => {
+                if ctx.loop_depth == 0 {
+                    return Err(CompileError::new(*span, "`break` outside loop"));
+                }
+                Ok(Some(Stmt::Break))
+            }
+            ast::Stmt::Continue { span } => {
+                if ctx.loop_depth == 0 {
+                    return Err(CompileError::new(*span, "`continue` outside loop"));
+                }
+                Ok(Some(Stmt::Continue))
+            }
+            ast::Stmt::Expr { expr, span } => {
+                let e = self.check_expr(expr, ctx)?;
+                if !matches!(
+                    e.kind,
+                    ExprKind::CallDirect { .. }
+                        | ExprKind::CallIndirect { .. }
+                        | ExprKind::CallBuiltin { .. }
+                ) {
+                    return Err(CompileError::new(*span, "expression statement must be a call"));
+                }
+                Ok(Some(Stmt::Expr(e)))
+            }
+        }
+    }
+
+    fn resolve_place(
+        &self,
+        base: &ast::Expr,
+        ctx: &FuncCtx,
+        span: Span,
+    ) -> Result<(PlaceBase, Type), CompileError> {
+        let ast::Expr::Ident(name, _) = base else {
+            return Err(CompileError::new(span, "indexing requires a named array"));
+        };
+        if let Some(slot) = ctx.lookup(name) {
+            match ctx.slots[slot].ty.clone() {
+                Type::Array(elem, _) => Ok((PlaceBase::LocalArray(slot), *elem)),
+                Type::Slice(elem) => Ok((PlaceBase::Slice(slot), *elem)),
+                _ => Err(CompileError::new(span, format!("`{name}` is not indexable"))),
+            }
+        } else if let Some(ty) = self.globals.get(name) {
+            match ty {
+                Type::Array(elem, _) => Ok((PlaceBase::Global(name.clone()), (**elem).clone())),
+                _ => Err(CompileError::new(span, format!("`{name}` is not indexable"))),
+            }
+        } else {
+            Err(CompileError::new(span, format!("unknown variable `{name}`")))
+        }
+    }
+
+    fn expect_ty(&self, e: &Expr, want: &Type, span: Span) -> Result<(), CompileError> {
+        match &e.ty {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(CompileError::new(
+                span,
+                format!("type mismatch: expected {want:?}, found {t:?}"),
+            )),
+            None => Err(CompileError::new(span, "void expression used as a value")),
+        }
+    }
+
+    fn check_args(
+        &mut self,
+        params: &[Type],
+        args: &[ast::Expr],
+        ctx: &mut FuncCtx,
+        span: Span,
+    ) -> Result<Vec<Expr>, CompileError> {
+        if params.len() != args.len() {
+            return Err(CompileError::new(
+                span,
+                format!("expected {} arguments, found {}", params.len(), args.len()),
+            ));
+        }
+        let mut out = Vec::with_capacity(args.len());
+        for (want, arg) in params.iter().zip(args) {
+            if let Type::Slice(elem) = want {
+                // Arrays decay to slices at call boundaries.
+                if let ast::Expr::Ident(name, ispan) = arg {
+                    let place = self.resolve_place(arg, ctx, *ispan);
+                    if let Ok((place, arg_elem)) = place {
+                        if arg_elem != **elem {
+                            return Err(CompileError::new(
+                                *ispan,
+                                "array element type does not match slice parameter",
+                            ));
+                        }
+                        // A slice local can simply be re-passed by value.
+                        if let PlaceBase::Slice(slot) = place {
+                            out.push(Expr {
+                                ty: Some(want.clone()),
+                                kind: ExprKind::ReadLocal(slot),
+                            });
+                        } else {
+                            out.push(Expr {
+                                ty: Some(want.clone()),
+                                kind: ExprKind::ArrayAddr(place),
+                            });
+                        }
+                        continue;
+                    }
+                    let _ = name;
+                }
+                return Err(CompileError::new(
+                    arg.span(),
+                    "slice argument must be an array or slice variable",
+                ));
+            }
+            let e = self.check_expr(arg, ctx)?;
+            self.expect_ty(&e, want, arg.span())?;
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    fn check_expr(&mut self, e: &ast::Expr, ctx: &mut FuncCtx) -> Result<Expr, CompileError> {
+        match e {
+            ast::Expr::Int(v, _) => Ok(Expr { ty: Some(Type::Int), kind: ExprKind::Int(*v) }),
+            ast::Expr::Float(v, _) => Ok(Expr { ty: Some(Type::Float), kind: ExprKind::Float(*v) }),
+            ast::Expr::Ident(name, span) => {
+                if let Some(slot) = ctx.lookup(name) {
+                    let ty = ctx.slots[slot].ty.clone();
+                    if !ty.is_scalar() {
+                        return Err(CompileError::new(
+                            *span,
+                            format!("array `{name}` cannot be used as a value here"),
+                        ));
+                    }
+                    Ok(Expr { ty: Some(ty), kind: ExprKind::ReadLocal(slot) })
+                } else if let Some(ty) = self.globals.get(name).cloned() {
+                    if !ty.is_scalar() {
+                        return Err(CompileError::new(
+                            *span,
+                            format!("array `{name}` cannot be used as a value here"),
+                        ));
+                    }
+                    Ok(Expr { ty: Some(ty), kind: ExprKind::ReadGlobal(name.clone()) })
+                } else {
+                    Err(CompileError::new(*span, format!("unknown variable `{name}`")))
+                }
+            }
+            ast::Expr::Index { base, index, span } => {
+                let (place, elem) = self.resolve_place(base, ctx, *span)?;
+                let index_expr = self.check_expr(index, ctx)?;
+                self.expect_ty(&index_expr, &Type::Int, index.span())?;
+                let result_ty = if elem == Type::Byte { Type::Int } else { elem.clone() };
+                Ok(Expr {
+                    ty: Some(result_ty),
+                    kind: ExprKind::Index { base: place, elem, index: Box::new(index_expr) },
+                })
+            }
+            ast::Expr::FuncRef(name, span) => {
+                let Some(sig) = self.funcs.get(name) else {
+                    return Err(CompileError::new(*span, format!("unknown function `{name}`")));
+                };
+                let ty = Type::FnPtr(sig.params.clone(), sig.ret.clone().map(Box::new));
+                let table_index = self.table_index(name);
+                Ok(Expr { ty: Some(ty), kind: ExprKind::FuncRef { name: name.clone(), table_index } })
+            }
+            ast::Expr::Call { callee, args, span } => {
+                // Resolution order: locals/globals holding fn pointers,
+                // then builtins, then functions.
+                if let Some(slot) = ctx.lookup(callee) {
+                    let ty = ctx.slots[slot].ty.clone();
+                    let Type::FnPtr(params, ret) = ty else {
+                        return Err(CompileError::new(
+                            *span,
+                            format!("`{callee}` is not callable"),
+                        ));
+                    };
+                    let args = self.check_args(&params, args, ctx, *span)?;
+                    return Ok(Expr {
+                        ty: ret.map(|b| *b),
+                        kind: ExprKind::CallIndirect {
+                            target: Box::new(Expr {
+                                ty: None,
+                                kind: ExprKind::ReadLocal(slot),
+                            }),
+                            args,
+                        },
+                    });
+                }
+                if let Some(Type::FnPtr(params, ret)) = self.globals.get(callee).cloned() {
+                    let args = self.check_args(&params, args, ctx, *span)?;
+                    return Ok(Expr {
+                        ty: ret.map(|b| *b),
+                        kind: ExprKind::CallIndirect {
+                            target: Box::new(Expr {
+                                ty: None,
+                                kind: ExprKind::ReadGlobal(callee.clone()),
+                            }),
+                            args,
+                        },
+                    });
+                }
+                if let Some(builtin) = Builtin::by_name(callee) {
+                    let args = self.check_args(&builtin.params(), args, ctx, *span)?;
+                    return Ok(Expr {
+                        ty: builtin.ret(),
+                        kind: ExprKind::CallBuiltin { builtin, args },
+                    });
+                }
+                let Some(sig) = self.funcs.get(callee) else {
+                    return Err(CompileError::new(*span, format!("unknown function `{callee}`")));
+                };
+                let (params, ret) = (sig.params.clone(), sig.ret.clone());
+                let args = self.check_args(&params, args, ctx, *span)?;
+                Ok(Expr {
+                    ty: ret,
+                    kind: ExprKind::CallDirect { name: callee.clone(), args },
+                })
+            }
+            ast::Expr::Binary { op, lhs, rhs, span } => {
+                let l = self.check_expr(lhs, ctx)?;
+                let r = self.check_expr(rhs, ctx)?;
+                let lt = l.ty.clone().ok_or_else(|| {
+                    CompileError::new(*span, "void expression in binary operation")
+                })?;
+                let rt = r.ty.clone().ok_or_else(|| {
+                    CompileError::new(*span, "void expression in binary operation")
+                })?;
+                if lt != rt {
+                    return Err(CompileError::new(
+                        *span,
+                        format!("operand type mismatch: {lt:?} vs {rt:?}"),
+                    ));
+                }
+                let (result, float_op) = match (op, &lt) {
+                    (BinOp::LogicalAnd | BinOp::LogicalOr, Type::Int) => (Type::Int, false),
+                    (
+                        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne,
+                        Type::Int,
+                    ) => (Type::Int, false),
+                    (
+                        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne,
+                        Type::Float,
+                    ) => (Type::Int, true),
+                    (
+                        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+                        | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr,
+                        Type::Int,
+                    ) => (Type::Int, false),
+                    (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div, Type::Float) => {
+                        (Type::Float, true)
+                    }
+                    _ => {
+                        return Err(CompileError::new(
+                            *span,
+                            format!("operator {op:?} not defined for {lt:?}"),
+                        ))
+                    }
+                };
+                Ok(Expr {
+                    ty: Some(result),
+                    kind: ExprKind::Binary { op: *op, float_op, lhs: Box::new(l), rhs: Box::new(r) },
+                })
+            }
+            ast::Expr::Unary { op, operand, span } => {
+                let o = self.check_expr(operand, ctx)?;
+                let ot = o.ty.clone().ok_or_else(|| {
+                    CompileError::new(*span, "void expression in unary operation")
+                })?;
+                let (result, float_op) = match (op, &ot) {
+                    (UnOp::Neg, Type::Int) => (Type::Int, false),
+                    (UnOp::Neg, Type::Float) => (Type::Float, true),
+                    (UnOp::Not, Type::Int) => (Type::Int, false),
+                    (UnOp::BitNot, Type::Int) => (Type::Int, false),
+                    _ => {
+                        return Err(CompileError::new(
+                            *span,
+                            format!("operator {op:?} not defined for {ot:?}"),
+                        ))
+                    }
+                };
+                Ok(Expr {
+                    ty: Some(result),
+                    kind: ExprKind::Unary { op: *op, float_op, operand: Box::new(o) },
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<Program, CompileError> {
+        check(&parse(lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = check_src("fn main() -> int { return 0; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert!(p.address_taken.is_empty());
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        assert!(check_src("fn f() {}").is_err());
+        assert!(check_src("fn main(x: int) -> int { return x; }").is_err());
+        assert!(check_src("fn main() {}").is_err());
+    }
+
+    #[test]
+    fn frame_layout_assigns_offsets() {
+        let p = check_src(
+            "fn f(a: int, b: float) -> int { var x: int; var arr: [int; 4]; return a; }
+             fn main() -> int { return f(1, 2.0); }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.param_count, 2);
+        assert_eq!(f.slots[0].offset, 8);
+        assert_eq!(f.slots[1].offset, 16);
+        assert_eq!(f.slots[2].offset, 24); // x
+        assert_eq!(f.slots[3].offset, 56); // arr = 24 + 32
+        assert_eq!(f.frame_size, 56);
+    }
+
+    #[test]
+    fn block_scoping_reuses_stack_and_allows_shadowing() {
+        let p = check_src(
+            "fn main() -> int {
+                 if (1) { var t: int = 1; } else { }
+                 if (1) { var u: int = 2; } else { }
+                 var t: int = 3;
+                 return t;
+             }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        // t (inner), u, t (outer) all exist as slots, but inner ones share
+        // the same offset because scopes pop.
+        assert_eq!(f.slots.len(), 3);
+        assert_eq!(f.slots[0].offset, f.slots[1].offset);
+        assert_eq!(f.frame_size, 8);
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(check_src("fn main() -> int { return 1.5; }").is_err());
+        assert!(check_src("fn main() -> int { return 1 + 1.5; }").is_err());
+        assert!(check_src("fn main() -> int { var f: float = 0.0; return f % f; }").is_err());
+        assert!(check_src("fn main() -> int { var x: int = 1.0; return x; }").is_err());
+        assert!(check_src("fn main() -> int { while (1.0) {} return 0; }").is_err());
+        assert!(check_src("fn main() -> int { return unknown; }").is_err());
+        assert!(check_src("fn main() -> int { break; return 0; }").is_err());
+        assert!(check_src("fn main() -> int { 1 + 1; return 0; }").is_err());
+    }
+
+    #[test]
+    fn float_arithmetic_accepted() {
+        let src = "fn main() -> int {
+            var a: float = 1.5;
+            var b: float = 2.5;
+            var c: float = a * b + a / b - a;
+            if (c > 3.0) { return 1; }
+            return 0;
+        }";
+        assert!(check_src(src).is_ok());
+    }
+
+    #[test]
+    fn func_ref_collects_table() {
+        let p = check_src(
+            "fn h1() {} fn h2() {}
+             fn main() -> int {
+                 var a: fn() = &h1;
+                 var b: fn() = &h2;
+                 var c: fn() = &h1;
+                 a(); b(); c();
+                 return 0;
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.address_taken, vec!["h1".to_string(), "h2".to_string()]);
+    }
+
+    #[test]
+    fn fnptr_signature_mismatch_rejected() {
+        assert!(check_src(
+            "fn h(x: int) {} fn main() -> int { var a: fn() = &h; return 0; }"
+        )
+        .is_err());
+        assert!(check_src(
+            "fn h() {} fn main() -> int { var a: fn() = &h; a(1); return 0; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn slice_parameters_and_array_decay() {
+        let src = "var g: [int; 8];
+             fn sum(a: [int], n: int) -> int {
+                 var s: int = 0;
+                 var i: int = 0;
+                 while (i < n) { s = s + a[i]; i = i + 1; }
+                 return s;
+             }
+             fn main() -> int { var l: [int; 4]; return sum(g, 8) + sum(l, 4); }";
+        assert!(check_src(src).is_ok());
+    }
+
+    #[test]
+    fn slice_element_mismatch_rejected() {
+        assert!(check_src(
+            "var g: [byte; 8];
+             fn f(a: [int]) {}
+             fn main() -> int { f(g); return 0; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn byte_array_semantics() {
+        let p = check_src(
+            "var buf: [byte; 16] = \"hi\";
+             fn main() -> int { buf[2] = 65; return buf[0]; }",
+        )
+        .unwrap();
+        // Reading a byte element yields int.
+        let f = &p.functions[0];
+        assert!(matches!(
+            &f.body[1],
+            Stmt::Return { value: Some(Expr { ty: Some(Type::Int), .. }) }
+        ));
+        // "hi" padded to 16.
+        assert_eq!(p.globals[0].init.as_ref().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn zero_initializer_becomes_bss() {
+        let p = check_src("var z: [int; 100] = {0, 0}; fn main() -> int { return 0; }").unwrap();
+        assert!(p.globals[0].init.is_none());
+    }
+
+    #[test]
+    fn array_initializer_bytes() {
+        let p = check_src("var a: [int; 3] = {1, -2}; fn main() -> int { return 0; }").unwrap();
+        let bytes = p.globals[0].init.as_ref().unwrap();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(&bytes[..8], &1i64.to_le_bytes());
+        assert_eq!(&bytes[8..16], &(-2i64).to_le_bytes());
+        assert_eq!(&bytes[16..], &0i64.to_le_bytes());
+    }
+
+    #[test]
+    fn builtins_typed() {
+        assert!(check_src(
+            "fn main() -> int {
+                 var n: int = input_len();
+                 output_byte(0, input_byte(0));
+                 var f: float = fsqrt(itof(n));
+                 return ftoi(f) + send(1) + recv() + clock();
+             }"
+        )
+        .is_ok());
+        assert!(check_src("fn main() -> int { return fsqrt(1); }").is_err());
+        assert!(check_src("var send: int; fn main() -> int { return 0; }").is_err());
+        assert!(check_src("fn log(x: int) {} fn main() -> int { return 0; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(check_src("var a: int; var a: int; fn main() -> int { return 0; }").is_err());
+        assert!(check_src("fn f() {} fn f() {} fn main() -> int { return 0; }").is_err());
+        assert!(check_src("var f: int; fn f() {} fn main() -> int { return 0; }").is_err());
+    }
+
+    #[test]
+    fn too_many_params_rejected() {
+        assert!(check_src(
+            "fn f(a: int, b: int, c: int, d: int, e: int, g: int, h: int) {}
+             fn main() -> int { return 0; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn void_in_value_position_rejected() {
+        assert!(check_src(
+            "fn v() {}
+             fn main() -> int { return v() + 1; }"
+        )
+        .is_err());
+    }
+}

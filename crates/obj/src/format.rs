@@ -1,0 +1,327 @@
+//! Byte-level (de)serialization of [`ObjectFile`].
+//!
+//! The format is deliberately simple and strictly validated: the in-enclave
+//! parser is part of the TCB, so every length is bounds-checked and every
+//! enum byte verified, and parsing never panics on hostile input.
+
+use crate::{ObjectFile, RelocKind, Relocation, SectionId, Symbol, SymbolKind};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Magic bytes at the start of every object file.
+pub const MAGIC: [u8; 4] = *b"DFLO";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Limits guarding the in-enclave parser against resource-exhaustion input.
+const MAX_SECTION: usize = 256 * 1024 * 1024;
+const MAX_COUNT: usize = 1 << 20;
+const MAX_NAME: usize = 4096;
+
+/// Parse failures; the loader rejects the binary on any of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ObjError {
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    UnsupportedVersion(u32),
+    /// Input ended inside a field.
+    Truncated,
+    /// A declared length exceeded the hard parser limits.
+    LimitExceeded,
+    /// A name was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum byte was out of range.
+    InvalidEnum(u8),
+    /// Trailing garbage followed the encoded object.
+    TrailingBytes,
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::BadMagic => write!(f, "bad object magic"),
+            ObjError::UnsupportedVersion(v) => write!(f, "unsupported object version {v}"),
+            ObjError::Truncated => write!(f, "truncated object file"),
+            ObjError::LimitExceeded => write!(f, "object field exceeds parser limits"),
+            ObjError::InvalidUtf8 => write!(f, "object name is not valid utf-8"),
+            ObjError::InvalidEnum(b) => write!(f, "invalid enum byte {b:#04x} in object"),
+            ObjError::TrailingBytes => write!(f, "trailing bytes after object"),
+        }
+    }
+}
+
+impl StdError for ObjError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObjError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ObjError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ObjError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ObjError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ObjError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ObjError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn string(&mut self) -> Result<String, ObjError> {
+        let len = self.u32()? as usize;
+        if len > MAX_NAME {
+            return Err(ObjError::LimitExceeded);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ObjError::InvalidUtf8)
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, ObjError> {
+        let len = self.u32()? as usize;
+        if len > MAX_SECTION {
+            return Err(ObjError::LimitExceeded);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn count(&mut self) -> Result<usize, ObjError> {
+        let n = self.u32()? as usize;
+        if n > MAX_COUNT {
+            return Err(ObjError::LimitExceeded);
+        }
+        Ok(n)
+    }
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_blob(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+impl ObjectFile {
+    /// Serializes the object to its binary representation.
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            64 + self.text.len() + self.rodata.len() + self.data.len(),
+        );
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        write_string(&mut out, &self.entry_symbol);
+        write_blob(&mut out, &self.text);
+        write_blob(&mut out, &self.rodata);
+        write_blob(&mut out, &self.data);
+        out.extend_from_slice(&self.bss_size.to_le_bytes());
+        out.extend_from_slice(&(self.symbols.len() as u32).to_le_bytes());
+        for s in &self.symbols {
+            write_string(&mut out, &s.name);
+            out.push(s.section as u8);
+            out.extend_from_slice(&s.offset.to_le_bytes());
+            out.push(s.kind as u8);
+        }
+        out.extend_from_slice(&(self.relocations.len() as u32).to_le_bytes());
+        for r in &self.relocations {
+            out.push(r.section as u8);
+            out.extend_from_slice(&r.offset.to_le_bytes());
+            write_string(&mut out, &r.symbol);
+            out.push(r.kind as u8);
+            out.extend_from_slice(&r.addend.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.indirect_branch_table.len() as u32).to_le_bytes());
+        for name in &self.indirect_branch_table {
+            write_string(&mut out, name);
+        }
+        out
+    }
+
+    /// Parses an object from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ObjError`] for malformed, truncated or oversized input;
+    /// never panics on hostile bytes.
+    pub fn parse(bytes: &[u8]) -> Result<ObjectFile, ObjError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(ObjError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(ObjError::UnsupportedVersion(version));
+        }
+        let entry_symbol = r.string()?;
+        let text = r.blob()?;
+        let rodata = r.blob()?;
+        let data = r.blob()?;
+        let bss_size = r.u64()?;
+        let mut symbols = Vec::new();
+        for _ in 0..r.count()? {
+            let name = r.string()?;
+            let sec = r.u8()?;
+            let section = SectionId::from_u8(sec).ok_or(ObjError::InvalidEnum(sec))?;
+            let offset = r.u64()?;
+            let kind_b = r.u8()?;
+            let kind = SymbolKind::from_u8(kind_b).ok_or(ObjError::InvalidEnum(kind_b))?;
+            symbols.push(Symbol { name, section, offset, kind });
+        }
+        let mut relocations = Vec::new();
+        for _ in 0..r.count()? {
+            let sec = r.u8()?;
+            let section = SectionId::from_u8(sec).ok_or(ObjError::InvalidEnum(sec))?;
+            let offset = r.u64()?;
+            let symbol = r.string()?;
+            let kind_b = r.u8()?;
+            let kind = RelocKind::from_u8(kind_b).ok_or(ObjError::InvalidEnum(kind_b))?;
+            let addend = r.i64()?;
+            relocations.push(Relocation { section, offset, symbol, kind, addend });
+        }
+        let mut indirect_branch_table = Vec::new();
+        for _ in 0..r.count()? {
+            indirect_branch_table.push(r.string()?);
+        }
+        if r.pos != bytes.len() {
+            return Err(ObjError::TrailingBytes);
+        }
+        Ok(ObjectFile {
+            entry_symbol,
+            text,
+            rodata,
+            data,
+            bss_size,
+            symbols,
+            relocations,
+            indirect_branch_table,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObjectFile {
+        ObjectFile {
+            entry_symbol: "main".into(),
+            text: vec![1, 2, 3, 4],
+            rodata: vec![9],
+            data: vec![5, 6],
+            bss_size: 128,
+            symbols: vec![
+                Symbol { name: "main".into(), section: SectionId::Text, offset: 0, kind: SymbolKind::Func },
+                Symbol { name: "table".into(), section: SectionId::Data, offset: 0, kind: SymbolKind::Object },
+            ],
+            relocations: vec![Relocation {
+                section: SectionId::Text,
+                offset: 2,
+                symbol: "table".into(),
+                kind: RelocKind::Abs64,
+                addend: -8,
+            }],
+            indirect_branch_table: vec!["handler_a".into(), "handler_b".into()],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let obj = sample();
+        let bytes = obj.serialize();
+        let parsed = ObjectFile::parse(&bytes).unwrap();
+        assert_eq!(parsed, obj);
+    }
+
+    #[test]
+    fn empty_object_roundtrip() {
+        let obj = ObjectFile::new("start");
+        assert_eq!(ObjectFile::parse(&obj.serialize()).unwrap(), obj);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().serialize();
+        bytes[0] = b'X';
+        assert_eq!(ObjectFile::parse(&bytes), Err(ObjError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample().serialize();
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            ObjectFile::parse(&bytes),
+            Err(ObjError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_not_a_panic() {
+        let bytes = sample().serialize();
+        for cut in 0..bytes.len() {
+            let res = ObjectFile::parse(&bytes[..cut]);
+            assert!(res.is_err(), "prefix of {cut} bytes must not parse");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().serialize();
+        bytes.push(0);
+        assert_eq!(ObjectFile::parse(&bytes), Err(ObjError::TrailingBytes));
+    }
+
+    #[test]
+    fn invalid_section_byte_rejected() {
+        let obj = sample();
+        let bytes = obj.serialize();
+        // Find the symbol section byte for "main" (after its name) and corrupt it.
+        let needle = b"main";
+        // Second occurrence (entry symbol comes first).
+        let pos = bytes
+            .windows(needle.len())
+            .enumerate()
+            .filter(|(_, w)| *w == needle)
+            .map(|(i, _)| i)
+            .nth(1)
+            .unwrap();
+        let mut corrupted = bytes.clone();
+        corrupted[pos + needle.len()] = 9; // section byte follows the name
+        assert!(matches!(
+            ObjectFile::parse(&corrupted),
+            Err(ObjError::InvalidEnum(9))
+        ));
+    }
+
+    #[test]
+    fn oversized_count_rejected_without_allocation() {
+        // Craft a header with a symbol count of u32::MAX.
+        let mut obj = ObjectFile::new("m");
+        let mut bytes = obj.serialize();
+        // entry "m": magic(4)+ver(4)+len(4)+1 + text(4)+rodata(4)+data(4)+bss(8) = 33
+        let count_pos = 33;
+        bytes[count_pos..count_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(ObjectFile::parse(&bytes), Err(ObjError::LimitExceeded));
+        obj.bss_size = 0; // silence unused-mut lint
+    }
+}

@@ -1,0 +1,260 @@
+//! # deflection-obj
+//!
+//! The relocatable object format DEFLECTION's code producer emits and the
+//! in-enclave dynamic loader consumes, plus the out-of-enclave static linker.
+//!
+//! The paper splits code loading in two (Section IV-C): *linking* happens
+//! outside the enclave — "our code generator assembles all the symbols of the
+//! entire code (including necessary libraries and dependencies) into one
+//! relocatable file via static linking ... it keeps all symbols and relocation
+//! information held in relocatable entries" — while *relocation* happens
+//! inside, where the loader "parses the binary to retrieve its relocation
+//! tables, then updates symbol offsets, and further reloads the symbols to
+//! designated addresses."
+//!
+//! An [`ObjectFile`] therefore carries:
+//!
+//! * four canonical sections (`.text`, `.rodata`, `.data`, `.bss`),
+//! * a symbol table ([`Symbol`]) naming functions and objects,
+//! * relocations ([`Relocation`]) — PC-relative ones are resolved at link
+//!   time, absolute ones are left for the in-enclave loader,
+//! * the **indirect-branch table** ([`ObjectFile::indirect_branch_table`]):
+//!   the list of symbols that may legitimately be used as indirect-branch
+//!   targets. This list *is* the proof accompanying the code in the
+//!   PCC-inspired DEFLECTION design, and the in-enclave verifier uses it to
+//!   continue recursive-descent disassembly across indirect flows.
+//!
+//! # Example
+//!
+//! ```
+//! use deflection_obj::{ObjectFile, SectionId, Symbol, SymbolKind};
+//!
+//! let mut obj = ObjectFile::new("main");
+//! obj.text = vec![0x01]; // halt
+//! obj.symbols.push(Symbol {
+//!     name: "main".into(),
+//!     section: SectionId::Text,
+//!     offset: 0,
+//!     kind: SymbolKind::Func,
+//! });
+//! let bytes = obj.serialize();
+//! let parsed = ObjectFile::parse(&bytes)?;
+//! assert_eq!(parsed.entry_symbol, "main");
+//! # Ok::<(), deflection_obj::ObjError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod format;
+mod link;
+
+pub use format::{ObjError, MAGIC, VERSION};
+pub use link::{link, LinkError};
+
+/// Canonical section identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SectionId {
+    /// Executable code (`.text`). Loaded onto RWX pages under SGXv1.
+    Text = 0,
+    /// Read-only data (`.rodata`). Loaded with the data image.
+    Rodata = 1,
+    /// Initialized writable data (`.data`).
+    Data = 2,
+    /// Zero-initialized writable data (`.bss`).
+    Bss = 3,
+}
+
+impl SectionId {
+    /// Decodes a section identifier.
+    #[must_use]
+    pub const fn from_u8(v: u8) -> Option<SectionId> {
+        match v {
+            0 => Some(SectionId::Text),
+            1 => Some(SectionId::Rodata),
+            2 => Some(SectionId::Data),
+            3 => Some(SectionId::Bss),
+            _ => None,
+        }
+    }
+}
+
+/// What a symbol names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SymbolKind {
+    /// A function entry point in `.text`.
+    Func = 0,
+    /// A data object.
+    Object = 1,
+}
+
+impl SymbolKind {
+    /// Decodes a symbol kind.
+    #[must_use]
+    pub const fn from_u8(v: u8) -> Option<SymbolKind> {
+        match v {
+            0 => Some(SymbolKind::Func),
+            1 => Some(SymbolKind::Object),
+            _ => None,
+        }
+    }
+}
+
+/// A named location in a section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name, unique within a linked object.
+    pub name: String,
+    /// Section the symbol lives in.
+    pub section: SectionId,
+    /// Byte offset within the section.
+    pub offset: u64,
+    /// Function or data object.
+    pub kind: SymbolKind,
+}
+
+/// How a relocation patches bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RelocKind {
+    /// Write the absolute virtual address of `symbol + addend` into 8 bytes
+    /// at the relocation site. Resolved by the *in-enclave loader* because it
+    /// depends on the load base.
+    Abs64 = 0,
+    /// Write `(symbol + addend) - (site + 4)` into 4 bytes — a PC-relative
+    /// displacement. Resolved at *link time* (relative distances are fixed
+    /// once sections are concatenated).
+    Rel32 = 1,
+}
+
+impl RelocKind {
+    /// Decodes a relocation kind.
+    #[must_use]
+    pub const fn from_u8(v: u8) -> Option<RelocKind> {
+        match v {
+            0 => Some(RelocKind::Abs64),
+            1 => Some(RelocKind::Rel32),
+            _ => None,
+        }
+    }
+}
+
+/// A patch the linker or loader must apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relocation {
+    /// Section containing the bytes to patch.
+    pub section: SectionId,
+    /// Offset of the patch site within the section.
+    pub offset: u64,
+    /// Target symbol name.
+    pub symbol: String,
+    /// Patch semantics.
+    pub kind: RelocKind,
+    /// Constant added to the symbol address.
+    pub addend: i64,
+}
+
+/// A relocatable object file (or a fully linked relocatable program).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObjectFile {
+    /// Name of the entry-point symbol.
+    pub entry_symbol: String,
+    /// Executable code bytes.
+    pub text: Vec<u8>,
+    /// Read-only data bytes.
+    pub rodata: Vec<u8>,
+    /// Initialized data bytes.
+    pub data: Vec<u8>,
+    /// Size of the zero-initialized region.
+    pub bss_size: u64,
+    /// Defined symbols.
+    pub symbols: Vec<Symbol>,
+    /// Pending relocations.
+    pub relocations: Vec<Relocation>,
+    /// Names of symbols that are legitimate indirect-branch targets — the
+    /// PCC-style proof list shipped with the binary.
+    pub indirect_branch_table: Vec<String>,
+}
+
+impl ObjectFile {
+    /// Creates an empty object with the given entry symbol name.
+    #[must_use]
+    pub fn new(entry_symbol: impl Into<String>) -> Self {
+        ObjectFile { entry_symbol: entry_symbol.into(), ..Default::default() }
+    }
+
+    /// Looks up a symbol by name.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Returns the byte length of a section.
+    #[must_use]
+    pub fn section_len(&self, id: SectionId) -> u64 {
+        match id {
+            SectionId::Text => self.text.len() as u64,
+            SectionId::Rodata => self.rodata.len() as u64,
+            SectionId::Data => self.data.len() as u64,
+            SectionId::Bss => self.bss_size,
+        }
+    }
+
+    /// Mutable access to a byte-backed section.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked for `.bss`, which has no bytes.
+    pub fn section_bytes_mut(&mut self, id: SectionId) -> &mut Vec<u8> {
+        match id {
+            SectionId::Text => &mut self.text,
+            SectionId::Rodata => &mut self.rodata,
+            SectionId::Data => &mut self.data,
+            SectionId::Bss => panic!(".bss has no backing bytes"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_roundtrips() {
+        for v in 0..4u8 {
+            assert_eq!(SectionId::from_u8(v).unwrap() as u8, v);
+        }
+        assert_eq!(SectionId::from_u8(4), None);
+        for v in 0..2u8 {
+            assert_eq!(SymbolKind::from_u8(v).unwrap() as u8, v);
+            assert_eq!(RelocKind::from_u8(v).unwrap() as u8, v);
+        }
+        assert_eq!(SymbolKind::from_u8(2), None);
+        assert_eq!(RelocKind::from_u8(2), None);
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let mut obj = ObjectFile::new("main");
+        obj.symbols.push(Symbol {
+            name: "foo".into(),
+            section: SectionId::Text,
+            offset: 4,
+            kind: SymbolKind::Func,
+        });
+        assert_eq!(obj.symbol("foo").unwrap().offset, 4);
+        assert!(obj.symbol("bar").is_none());
+    }
+
+    #[test]
+    fn section_lengths() {
+        let mut obj = ObjectFile::new("main");
+        obj.text = vec![0; 10];
+        obj.bss_size = 64;
+        assert_eq!(obj.section_len(SectionId::Text), 10);
+        assert_eq!(obj.section_len(SectionId::Bss), 64);
+        assert_eq!(obj.section_len(SectionId::Data), 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! The out-of-enclave static linker.
+//!
+//! Merges the compiled program with its intrinsic library objects into one
+//! relocatable file, resolving PC-relative references and keeping absolute
+//! ones for the in-enclave loader (paper Section IV-C, "Code loading
+//! support").
+
+use crate::{ObjError, ObjectFile, RelocKind, Relocation, SectionId, Symbol};
+use std::collections::HashMap;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Linking failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinkError {
+    /// No input objects were provided.
+    NoInputs,
+    /// Two inputs defined the same symbol.
+    DuplicateSymbol(String),
+    /// A relocation referenced an undefined symbol.
+    UndefinedSymbol(String),
+    /// The entry symbol is not defined in any input.
+    UndefinedEntry(String),
+    /// An indirect-branch-table entry names an undefined symbol.
+    UndefinedIndirectTarget(String),
+    /// A PC-relative relocation crossed sections (only `.text` → `.text`
+    /// distances are fixed at link time).
+    CrossSectionRel32(String),
+    /// A relocation site exceeded its section bounds.
+    RelocOutOfBounds {
+        /// The offending symbol name.
+        symbol: String,
+    },
+    /// An input object was malformed.
+    Malformed(ObjError),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::NoInputs => write!(f, "no input objects"),
+            LinkError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            LinkError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            LinkError::UndefinedEntry(s) => write!(f, "undefined entry symbol `{s}`"),
+            LinkError::UndefinedIndirectTarget(s) => {
+                write!(f, "indirect-branch table names undefined symbol `{s}`")
+            }
+            LinkError::CrossSectionRel32(s) => {
+                write!(f, "pc-relative relocation to non-text symbol `{s}`")
+            }
+            LinkError::RelocOutOfBounds { symbol } => {
+                write!(f, "relocation site for `{symbol}` out of section bounds")
+            }
+            LinkError::Malformed(e) => write!(f, "malformed input object: {e}"),
+        }
+    }
+}
+
+impl StdError for LinkError {}
+
+impl From<ObjError> for LinkError {
+    fn from(e: ObjError) -> Self {
+        LinkError::Malformed(e)
+    }
+}
+
+fn align8(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+/// Statically links `objects` into one relocatable program.
+///
+/// The first object's entry symbol becomes the program entry. Sections are
+/// concatenated in input order (data sections 8-byte aligned per input),
+/// symbols are merged, `Rel32` relocations inside `.text` are resolved, and
+/// `Abs64` relocations are retained for the in-enclave loader. The
+/// indirect-branch tables are unioned.
+///
+/// # Errors
+///
+/// See [`LinkError`]; notably duplicate or undefined symbols and
+/// cross-section PC-relative references are rejected.
+pub fn link(objects: &[ObjectFile]) -> Result<ObjectFile, LinkError> {
+    if objects.is_empty() {
+        return Err(LinkError::NoInputs);
+    }
+    let mut out = ObjectFile::new(objects[0].entry_symbol.clone());
+    let mut sym_index: HashMap<String, usize> = HashMap::new();
+
+    for obj in objects {
+        let text_base = out.text.len() as u64;
+        out.text.extend_from_slice(&obj.text);
+
+        let ro_pad = align8(out.rodata.len());
+        out.rodata.resize(ro_pad, 0);
+        let rodata_base = out.rodata.len() as u64;
+        out.rodata.extend_from_slice(&obj.rodata);
+
+        let d_pad = align8(out.data.len());
+        out.data.resize(d_pad, 0);
+        let data_base = out.data.len() as u64;
+        out.data.extend_from_slice(&obj.data);
+
+        let bss_base = align8(out.bss_size as usize) as u64;
+        out.bss_size = bss_base + obj.bss_size;
+
+        let base_of = |sec: SectionId| -> u64 {
+            match sec {
+                SectionId::Text => text_base,
+                SectionId::Rodata => rodata_base,
+                SectionId::Data => data_base,
+                SectionId::Bss => bss_base,
+            }
+        };
+
+        for sym in &obj.symbols {
+            if sym_index.contains_key(&sym.name) {
+                return Err(LinkError::DuplicateSymbol(sym.name.clone()));
+            }
+            sym_index.insert(sym.name.clone(), out.symbols.len());
+            out.symbols.push(Symbol {
+                name: sym.name.clone(),
+                section: sym.section,
+                offset: sym.offset + base_of(sym.section),
+                kind: sym.kind,
+            });
+        }
+
+        for reloc in &obj.relocations {
+            out.relocations.push(Relocation {
+                section: reloc.section,
+                offset: reloc.offset + base_of(reloc.section),
+                symbol: reloc.symbol.clone(),
+                kind: reloc.kind,
+                addend: reloc.addend,
+            });
+        }
+
+        for name in &obj.indirect_branch_table {
+            if !out.indirect_branch_table.contains(name) {
+                out.indirect_branch_table.push(name.clone());
+            }
+        }
+    }
+
+    // Everything referenced must now be defined.
+    if !sym_index.contains_key(&out.entry_symbol) {
+        return Err(LinkError::UndefinedEntry(out.entry_symbol.clone()));
+    }
+    for name in &out.indirect_branch_table {
+        if !sym_index.contains_key(name) {
+            return Err(LinkError::UndefinedIndirectTarget(name.clone()));
+        }
+    }
+
+    // Resolve PC-relative relocations; keep absolute ones for the loader.
+    let mut remaining = Vec::new();
+    for reloc in std::mem::take(&mut out.relocations) {
+        let &idx = sym_index
+            .get(&reloc.symbol)
+            .ok_or_else(|| LinkError::UndefinedSymbol(reloc.symbol.clone()))?;
+        let sym = out.symbols[idx].clone();
+        match reloc.kind {
+            RelocKind::Abs64 => {
+                let end = reloc
+                    .offset
+                    .checked_add(8)
+                    .ok_or(LinkError::RelocOutOfBounds { symbol: reloc.symbol.clone() })?;
+                if end > out.section_len(reloc.section) || reloc.section == SectionId::Bss {
+                    return Err(LinkError::RelocOutOfBounds { symbol: reloc.symbol.clone() });
+                }
+                remaining.push(reloc);
+            }
+            RelocKind::Rel32 => {
+                if reloc.section != SectionId::Text || sym.section != SectionId::Text {
+                    return Err(LinkError::CrossSectionRel32(reloc.symbol.clone()));
+                }
+                let site = reloc.offset as usize;
+                if site + 4 > out.text.len() {
+                    return Err(LinkError::RelocOutOfBounds { symbol: reloc.symbol.clone() });
+                }
+                let value = (sym.offset as i64 + reloc.addend) - (site as i64 + 4);
+                let value32 = i32::try_from(value)
+                    .map_err(|_| LinkError::RelocOutOfBounds { symbol: reloc.symbol.clone() })?;
+                out.text[site..site + 4].copy_from_slice(&value32.to_le_bytes());
+            }
+        }
+    }
+    out.relocations = remaining;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolKind;
+
+    fn func_obj(entry: &str, name: &str, text: Vec<u8>) -> ObjectFile {
+        let mut o = ObjectFile::new(entry);
+        o.symbols.push(Symbol {
+            name: name.into(),
+            section: SectionId::Text,
+            offset: 0,
+            kind: SymbolKind::Func,
+        });
+        o.text = text;
+        o
+    }
+
+    #[test]
+    fn no_inputs_rejected() {
+        assert_eq!(link(&[]), Err(LinkError::NoInputs));
+    }
+
+    #[test]
+    fn merges_sections_and_shifts_symbols() {
+        let a = func_obj("main", "main", vec![1, 2, 3]);
+        let mut b = func_obj("main", "helper", vec![4, 5]);
+        b.data = vec![7; 3];
+        b.symbols.push(Symbol {
+            name: "glob".into(),
+            section: SectionId::Data,
+            offset: 1,
+            kind: SymbolKind::Object,
+        });
+        let linked = link(&[a, b]).unwrap();
+        assert_eq!(linked.text, vec![1, 2, 3, 4, 5]);
+        assert_eq!(linked.symbol("helper").unwrap().offset, 3);
+        assert_eq!(linked.symbol("glob").unwrap().offset, 1);
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let a = func_obj("main", "main", vec![1]);
+        let b = func_obj("main", "main", vec![2]);
+        assert_eq!(link(&[a, b]), Err(LinkError::DuplicateSymbol("main".into())));
+    }
+
+    #[test]
+    fn undefined_entry_rejected() {
+        let a = func_obj("main", "not_main", vec![1]);
+        assert_eq!(link(&[a]), Err(LinkError::UndefinedEntry("main".into())));
+    }
+
+    #[test]
+    fn undefined_reloc_symbol_rejected() {
+        let mut a = func_obj("main", "main", vec![0; 8]);
+        a.relocations.push(Relocation {
+            section: SectionId::Text,
+            offset: 0,
+            symbol: "ghost".into(),
+            kind: RelocKind::Abs64,
+            addend: 0,
+        });
+        assert_eq!(link(&[a]), Err(LinkError::UndefinedSymbol("ghost".into())));
+    }
+
+    #[test]
+    fn rel32_resolved_at_link_time() {
+        // a.text: 8 bytes, site at offset 2 referencing `callee` in b.
+        let mut a = func_obj("main", "main", vec![0; 8]);
+        a.relocations.push(Relocation {
+            section: SectionId::Text,
+            offset: 2,
+            symbol: "callee".into(),
+            kind: RelocKind::Rel32,
+            addend: 0,
+        });
+        let b = func_obj("main", "callee", vec![0x5E]); // ret
+        let linked = link(&[a, b]).unwrap();
+        // callee is at 8; displacement = 8 - (2 + 4) = 2.
+        assert_eq!(&linked.text[2..6], &2i32.to_le_bytes());
+        assert!(linked.relocations.is_empty());
+    }
+
+    #[test]
+    fn abs64_kept_for_loader() {
+        let mut a = func_obj("main", "main", vec![0; 16]);
+        a.data = vec![0; 8];
+        a.symbols.push(Symbol {
+            name: "buf".into(),
+            section: SectionId::Data,
+            offset: 0,
+            kind: SymbolKind::Object,
+        });
+        a.relocations.push(Relocation {
+            section: SectionId::Text,
+            offset: 4,
+            symbol: "buf".into(),
+            kind: RelocKind::Abs64,
+            addend: 16,
+        });
+        let linked = link(&[a]).unwrap();
+        assert_eq!(linked.relocations.len(), 1);
+        assert_eq!(linked.relocations[0].addend, 16);
+    }
+
+    #[test]
+    fn cross_section_rel32_rejected() {
+        let mut a = func_obj("main", "main", vec![0; 8]);
+        a.data = vec![0; 8];
+        a.symbols.push(Symbol {
+            name: "buf".into(),
+            section: SectionId::Data,
+            offset: 0,
+            kind: SymbolKind::Object,
+        });
+        a.relocations.push(Relocation {
+            section: SectionId::Text,
+            offset: 0,
+            symbol: "buf".into(),
+            kind: RelocKind::Rel32,
+            addend: 0,
+        });
+        assert_eq!(link(&[a]), Err(LinkError::CrossSectionRel32("buf".into())));
+    }
+
+    #[test]
+    fn reloc_site_out_of_bounds_rejected() {
+        let mut a = func_obj("main", "main", vec![0; 4]);
+        a.relocations.push(Relocation {
+            section: SectionId::Text,
+            offset: 2, // needs 8 bytes but only 2 remain
+            symbol: "main".into(),
+            kind: RelocKind::Abs64,
+            addend: 0,
+        });
+        assert!(matches!(link(&[a]), Err(LinkError::RelocOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn indirect_branch_tables_unioned_and_checked() {
+        let mut a = func_obj("main", "main", vec![1]);
+        a.indirect_branch_table.push("h1".into());
+        let mut b = func_obj("main", "h1", vec![2]);
+        b.indirect_branch_table.push("h1".into()); // duplicate entry collapses
+        let linked = link(&[a, b]).unwrap();
+        assert_eq!(linked.indirect_branch_table, vec!["h1".to_string()]);
+
+        let mut c = func_obj("main", "main", vec![1]);
+        c.indirect_branch_table.push("ghost".into());
+        assert_eq!(
+            link(&[c]),
+            Err(LinkError::UndefinedIndirectTarget("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn data_sections_aligned_per_input() {
+        let mut a = func_obj("main", "main", vec![1]);
+        a.data = vec![1, 2, 3]; // 3 bytes, next input must start at 8
+        let mut b = func_obj("main", "f2", vec![2]);
+        b.data = vec![9];
+        b.symbols.push(Symbol {
+            name: "d2".into(),
+            section: SectionId::Data,
+            offset: 0,
+            kind: SymbolKind::Object,
+        });
+        let linked = link(&[a, b]).unwrap();
+        assert_eq!(linked.symbol("d2").unwrap().offset, 8);
+        assert_eq!(linked.data.len(), 9);
+    }
+}

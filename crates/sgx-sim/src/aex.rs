@@ -1,0 +1,151 @@
+//! Asynchronous Enclave Exit (AEX) injection.
+//!
+//! On real SGX, any interrupt or exception while the enclave runs triggers an
+//! AEX: the hardware saves the enclave context (registers, RIP) into the
+//! State Save Area and exits to the untrusted OS. This is both how the
+//! controlled-channel attacker (Xu et al.) gains its foothold — forcing
+//! frequent exits to observe page faults — and how HyperRace/DEFLECTION's P6
+//! policy *detects* it: the saved context clobbers a marker the annotation
+//! code planted in the SSA.
+//!
+//! The injector fires AEX events on a configurable schedule and performs the
+//! context dump, so the P6 annotations in instrumented binaries observe
+//! exactly the architectural effect they were designed around.
+
+use crate::cpu::Cpu;
+use crate::layout::EnclaveLayout;
+use crate::mem::Memory;
+use deflection_crypto::drbg::HmacDrbg;
+
+/// When AEX events fire, measured in executed instructions.
+#[derive(Debug, Clone)]
+pub enum AexSchedule {
+    /// No asynchronous exits (ideal, interference-free execution).
+    None,
+    /// A benign periodic timer interrupt every `interval` instructions
+    /// (e.g. the OS scheduler tick).
+    Periodic {
+        /// Instructions between exits.
+        interval: u64,
+    },
+    /// Poisson-like random exits with probability `per_inst_prob` per
+    /// instruction, from a deterministic generator.
+    Random {
+        /// Per-instruction firing probability.
+        per_inst_prob: f64,
+        /// Seed for the deterministic generator.
+        seed: u64,
+    },
+    /// A controlled-channel attacker forcing exits every `interval`
+    /// instructions — far more frequent than any benign schedule.
+    Attack {
+        /// Instructions between forced exits.
+        interval: u64,
+    },
+}
+
+/// Stateful AEX injector.
+#[derive(Debug)]
+pub struct AexInjector {
+    schedule: AexSchedule,
+    drbg: Option<HmacDrbg>,
+    /// Number of AEX events delivered so far.
+    pub delivered: u64,
+}
+
+impl AexInjector {
+    /// Creates an injector for `schedule`.
+    #[must_use]
+    pub fn new(schedule: AexSchedule) -> Self {
+        let drbg = match &schedule {
+            AexSchedule::Random { seed, .. } => {
+                Some(HmacDrbg::new(&seed.to_le_bytes()))
+            }
+            _ => None,
+        };
+        AexInjector { schedule, drbg, delivered: 0 }
+    }
+
+    /// An injector that never fires.
+    #[must_use]
+    pub fn none() -> Self {
+        AexInjector::new(AexSchedule::None)
+    }
+
+    /// Decides whether an AEX fires before instruction number `icount`.
+    #[must_use]
+    pub fn should_fire(&mut self, icount: u64) -> bool {
+        match &self.schedule {
+            AexSchedule::None => false,
+            AexSchedule::Periodic { interval } | AexSchedule::Attack { interval } => {
+                *interval > 0 && icount > 0 && icount.is_multiple_of(*interval)
+            }
+            AexSchedule::Random { per_inst_prob, .. } => {
+                let drbg = self.drbg.as_mut().expect("random schedule has drbg");
+                drbg.next_f64() < *per_inst_prob
+            }
+        }
+    }
+
+    /// Delivers an AEX: dumps the enclave context into the SSA (clobbering
+    /// the P6 marker slot, which holds the saved `pc`), exactly as EENTER's
+    /// resume path would find it.
+    pub fn deliver(&mut self, cpu: &Cpu, mem: &mut Memory, layout: &EnclaveLayout) {
+        let base = layout.ssa.start;
+        // GPRSGX-style dump: RIP first (over the marker slot), then registers.
+        let _ = mem.poke_u64(base, cpu.pc);
+        for (i, reg) in cpu.regs.iter().enumerate() {
+            let _ = mem.poke_u64(base + 8 + (i as u64) * 8, *reg);
+        }
+        self.delivered += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::MemConfig;
+    use deflection_isa::Reg;
+
+    #[test]
+    fn none_never_fires() {
+        let mut inj = AexInjector::none();
+        for i in 0..1000 {
+            assert!(!inj.should_fire(i));
+        }
+    }
+
+    #[test]
+    fn periodic_fires_on_schedule() {
+        let mut inj = AexInjector::new(AexSchedule::Periodic { interval: 100 });
+        let fired: Vec<u64> = (0..1000).filter(|&i| inj.should_fire(i)).collect();
+        assert_eq!(fired, vec![100, 200, 300, 400, 500, 600, 700, 800, 900]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = AexInjector::new(AexSchedule::Random { per_inst_prob: 0.1, seed: 7 });
+        let mut b = AexInjector::new(AexSchedule::Random { per_inst_prob: 0.1, seed: 7 });
+        let fa: Vec<bool> = (0..500).map(|i| a.should_fire(i)).collect();
+        let fb: Vec<bool> = (0..500).map(|i| b.should_fire(i)).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(|&f| f), "10% rate must fire within 500 tries");
+    }
+
+    #[test]
+    fn delivery_clobbers_ssa_marker() {
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut mem = Memory::new(layout.clone());
+        let marker = layout.ssa_marker_slot();
+        mem.poke_u64(marker, 0x5A5A_5A5A).unwrap();
+        let mut cpu = Cpu::new(layout.code.start + 123);
+        cpu.set(Reg::RAX, 0xAB);
+        let mut inj = AexInjector::none();
+        inj.deliver(&cpu, &mut mem, &layout);
+        assert_eq!(inj.delivered, 1);
+        // Marker replaced by the saved pc.
+        assert_eq!(mem.peek_u64(marker).unwrap(), layout.code.start + 123);
+        // Register dump follows.
+        assert_eq!(mem.peek_u64(marker + 8).unwrap(), 0xAB);
+    }
+}

@@ -1,0 +1,151 @@
+//! HyperRace-style co-location testing (policy P6 support).
+//!
+//! When a P6 annotation detects an AEX (clobbered SSA marker), DEFLECTION
+//! runs a *co-location test*: a contrived data race between the enclave's
+//! two hyper-threads whose timing distinguishes "my sibling is my own
+//! protection thread" from "the OS scheduled something else (an attacker)
+//! on my physical core". The paper (Section IV-C) evaluates the test's
+//! false-positive rate α on four CPUs over 25.6 M trials and treats it as a
+//! tunable parameter; we model the probe as a Bernoulli process with the
+//! published per-CPU α characteristics and a configurable attacker.
+
+use deflection_crypto::drbg::HmacDrbg;
+
+/// Timing characteristics of a CPU model for the data-race probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuProfile {
+    /// Marketing name of the processor.
+    pub name: &'static str,
+    /// False-positive rate α: probability that a *benign*, co-located pair
+    /// still fails the test (same order of magnitude across the paper's
+    /// four processors).
+    pub alpha: f64,
+    /// Miss rate β: probability a non-co-located (attacked) pair passes.
+    pub beta: f64,
+}
+
+/// The four processors of the paper's accuracy experiment.
+pub const PROFILES: [CpuProfile; 4] = [
+    CpuProfile { name: "i7-6700", alpha: 1.2e-4, beta: 1e-3 },
+    CpuProfile { name: "E3-1280 v5", alpha: 0.9e-4, beta: 1e-3 },
+    CpuProfile { name: "i7-7700HQ", alpha: 2.1e-4, beta: 1e-3 },
+    CpuProfile { name: "i5-6200U", alpha: 3.4e-4, beta: 1e-3 },
+];
+
+/// A deterministic co-location tester bound to one CPU profile.
+#[derive(Debug, Clone)]
+pub struct ColocationTester {
+    profile: CpuProfile,
+    drbg: HmacDrbg,
+    /// Whether an attacker currently occupies the sibling hyper-thread.
+    pub attacker_present: bool,
+    /// Probes run.
+    pub probes: u64,
+    /// Probes that raised an alarm.
+    pub alarms: u64,
+}
+
+impl ColocationTester {
+    /// Creates a tester for `profile`, seeded for reproducibility.
+    #[must_use]
+    pub fn new(profile: CpuProfile, seed: u64) -> Self {
+        ColocationTester {
+            profile,
+            drbg: HmacDrbg::new(&seed.to_le_bytes()),
+            attacker_present: false,
+            probes: 0,
+            alarms: 0,
+        }
+    }
+
+    /// The profile in use.
+    #[must_use]
+    pub fn profile(&self) -> CpuProfile {
+        self.profile
+    }
+
+    /// Runs one probe. Returns `true` when the test passes (threads deemed
+    /// co-located), `false` on alarm.
+    pub fn probe(&mut self) -> bool {
+        self.probes += 1;
+        let u = self.drbg.next_f64();
+        let pass = if self.attacker_present {
+            // Non-co-located: passes only with the (small) miss rate β.
+            u < self.profile.beta
+        } else {
+            // Benign: fails only with the false-positive rate α.
+            u >= self.profile.alpha
+        };
+        if !pass {
+            self.alarms += 1;
+        }
+        pass
+    }
+
+    /// Empirically estimates α over `trials` benign probes (the experiment
+    /// behind the paper's Section IV-C accuracy numbers).
+    pub fn estimate_alpha(&mut self, trials: u64) -> f64 {
+        let was = self.attacker_present;
+        self.attacker_present = false;
+        let mut alarms = 0u64;
+        for _ in 0..trials {
+            if !self.probe() {
+                alarms += 1;
+            }
+        }
+        self.attacker_present = was;
+        alarms as f64 / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_probes_mostly_pass() {
+        let mut t = ColocationTester::new(PROFILES[0], 1);
+        let passes = (0..10_000).filter(|_| t.probe()).count();
+        assert!(passes > 9_950, "expected almost all passes, got {passes}");
+    }
+
+    #[test]
+    fn attacked_probes_mostly_alarm() {
+        let mut t = ColocationTester::new(PROFILES[0], 2);
+        t.attacker_present = true;
+        let passes = (0..10_000).filter(|_| t.probe()).count();
+        assert!(passes < 50, "expected almost all alarms, got {passes} passes");
+    }
+
+    #[test]
+    fn alpha_estimate_matches_profile_order_of_magnitude() {
+        // The paper uses 25.6 M trials; 300 k keeps the debug-mode test fast
+        // while still pinning the order of magnitude (≈ 100 expected alarms
+        // for the i7-7700HQ profile).
+        let mut t = ColocationTester::new(PROFILES[2], 3);
+        let alpha = t.estimate_alpha(300_000);
+        let expected = PROFILES[2].alpha;
+        assert!(
+            alpha > expected / 3.0 && alpha < expected * 3.0,
+            "estimated α {alpha} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ColocationTester::new(PROFILES[1], 42);
+        let mut b = ColocationTester::new(PROFILES[1], 42);
+        let ra: Vec<bool> = (0..1000).map(|_| a.probe()).collect();
+        let rb: Vec<bool> = (0..1000).map(|_| b.probe()).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn profiles_cover_four_cpus() {
+        assert_eq!(PROFILES.len(), 4);
+        for p in PROFILES {
+            assert!(p.alpha > 0.0 && p.alpha < 1e-3);
+            assert!(p.beta > 0.0 && p.beta < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Hardware-level faults raised by the simulated CPU and memory.
+
+use deflection_isa::DecodeError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A fault that terminates target-binary execution.
+///
+/// In the DEFLECTION threat model a fault is always *contained*: it stops
+/// the computation without letting data out (the runtime reports the fault
+/// to the data owner over the encrypted channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// The instruction at `pc` failed to decode.
+    Decode(DecodeError),
+    /// Instruction fetch from a non-executable or out-of-enclave page.
+    NotExecutable {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Read from a page without read permission.
+    ReadViolation {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Write to a page without write permission (e.g. a stack guard page —
+    /// the paper's defense against implicit RSP overflows).
+    WriteViolation {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Access to an address mapped by neither the untrusted region nor the
+    /// enclave.
+    Unmapped {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Integer division by zero or signed overflow (`MIN / -1`).
+    DivideError {
+        /// Address of the faulting instruction.
+        pc: u64,
+    },
+    /// The manifest does not allow this OCall (policy P0).
+    OcallDenied {
+        /// The requested service code.
+        code: u8,
+    },
+    /// An allowed OCall failed inside its wrapper.
+    OcallFailed {
+        /// The requested service code.
+        code: u8,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Decode(e) => write!(f, "instruction decode fault: {e}"),
+            Fault::NotExecutable { addr } => write!(f, "fetch from non-executable {addr:#x}"),
+            Fault::ReadViolation { addr } => write!(f, "read violation at {addr:#x}"),
+            Fault::WriteViolation { addr } => write!(f, "write violation at {addr:#x}"),
+            Fault::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            Fault::DivideError { pc } => write!(f, "divide error at {pc:#x}"),
+            Fault::OcallDenied { code } => write!(f, "ocall {code} denied by manifest"),
+            Fault::OcallFailed { code, reason } => write!(f, "ocall {code} failed: {reason}"),
+        }
+    }
+}
+
+impl StdError for Fault {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Fault::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for Fault {
+    fn from(e: DecodeError) -> Self {
+        Fault::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let f = Fault::WriteViolation { addr: 0x1000 };
+        assert!(f.to_string().contains("0x1000"));
+        let f = Fault::OcallDenied { code: 9 };
+        assert!(f.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,356 @@
+//! Enclave memory layout.
+//!
+//! Mirrors the bootstrap enclave's memory plan from the paper (Section V-B):
+//! "The memory size of our bootstrap enclave when initialing is about 96 MB
+//! by default, including 1 MB reserved for shadow stack, 1 MB for indirect
+//! branch targets, 64 MB for data, 28 MB for service binary code, and less
+//! than 2 MB of the loader/verifier." The sizes here are configurable so
+//! tests can run with small enclaves while the benches can use paper-scale
+//! ones; the *relative structure* (which regions exist, which are guarded,
+//! which fall inside the P1 store window) is fixed.
+
+use std::fmt;
+
+/// Page size used by the simulated EPC.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A half-open address range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// First address of the region.
+    pub start: u64,
+    /// One past the last address.
+    pub end: u64,
+}
+
+impl Region {
+    /// Creates a region; `end` must not precede `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end >= start, "region end before start");
+        Region { start, end }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the region is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `addr` falls inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Whether the `len`-byte access at `addr` is entirely inside the region.
+    #[must_use]
+    pub fn contains_range(&self, addr: u64, len: u64) -> bool {
+        match addr.checked_add(len) {
+            Some(end) => addr >= self.start && end <= self.end,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+/// Sizing knobs for the simulated enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Bytes of untrusted (non-enclave) memory starting at address 0.
+    pub untrusted_size: u64,
+    /// Base virtual address of the enclave (start of ELRANGE).
+    pub enclave_base: u64,
+    /// Reserved image of the loader/verifier (the public consumer), RX.
+    pub consumer_size: u64,
+    /// State-save area (AEX context dumps land here), RW.
+    pub ssa_size: u64,
+    /// Control page holding the shadow-stack pointer and AEX counter, RW.
+    pub control_size: u64,
+    /// Indirect-branch target table, read-only after loading.
+    pub branch_table_size: u64,
+    /// Shadow stack for policy P5 return-edge protection, RW.
+    pub shadow_stack_size: u64,
+    /// Target binary code window, RWX (SGXv1 cannot change perms post-init).
+    pub code_size: u64,
+    /// Heap/data window for globals, user data and scratch, RW.
+    pub heap_size: u64,
+    /// Target program stack, RW, wrapped in guard pages.
+    pub stack_size: u64,
+}
+
+impl MemConfig {
+    /// A small configuration suitable for unit tests.
+    #[must_use]
+    pub fn small() -> Self {
+        MemConfig {
+            untrusted_size: 1 << 20,
+            enclave_base: 0x1000_0000,
+            consumer_size: 4 * PAGE_SIZE,
+            ssa_size: PAGE_SIZE,
+            control_size: PAGE_SIZE,
+            branch_table_size: 4 * PAGE_SIZE,
+            shadow_stack_size: 16 * PAGE_SIZE,
+            code_size: 1 << 20,
+            heap_size: 4 << 20,
+            stack_size: 64 * PAGE_SIZE,
+        }
+    }
+
+    /// The paper's default 96 MB-class bootstrap enclave: 1 MB shadow stack,
+    /// 1 MB branch targets, 64 MB data, 28 MB service binary code.
+    #[must_use]
+    pub fn paper() -> Self {
+        MemConfig {
+            untrusted_size: 8 << 20,
+            enclave_base: 0x1000_0000,
+            consumer_size: 2 << 20,
+            ssa_size: PAGE_SIZE,
+            control_size: PAGE_SIZE,
+            branch_table_size: 1 << 20,
+            shadow_stack_size: 1 << 20,
+            code_size: 28 << 20,
+            heap_size: 64 << 20,
+            stack_size: 1 << 20,
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::small()
+    }
+}
+
+/// The concrete enclave layout computed from a [`MemConfig`].
+///
+/// Regions are laid out contiguously from [`MemConfig::enclave_base`]:
+/// consumer, SSA, control, branch table, shadow stack, code, heap,
+/// guard page, stack, guard page. The P1 store window is
+/// `[heap.start, stack.end)` — everything below it (code pages, shadow
+/// stack, branch table, control, SSA, consumer) is unwritable by policy,
+/// which is how P3 (critical data) and P4 (software DEP) reuse the P1
+/// check with different boundaries, exactly as the paper describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnclaveLayout {
+    /// The configuration the layout was computed from.
+    pub config: MemConfig,
+    /// Entire enclave range (ELRANGE).
+    pub elrange: Region,
+    /// Loader/verifier image (RX).
+    pub consumer: Region,
+    /// State-save area (RW).
+    pub ssa: Region,
+    /// Control page (RW): shadow-stack pointer at +0, AEX counter at +8.
+    pub control: Region,
+    /// Indirect-branch table (read-only after load).
+    pub branch_table: Region,
+    /// Shadow stack (RW).
+    pub shadow_stack: Region,
+    /// Target code window (RWX).
+    pub code: Region,
+    /// Heap/data window (RW).
+    pub heap: Region,
+    /// Guard page below the stack.
+    pub guard_lo: Region,
+    /// Target stack (RW).
+    pub stack: Region,
+    /// Guard page above the stack.
+    pub guard_hi: Region,
+}
+
+/// Offset of the shadow-stack top pointer inside the control page.
+pub const CTRL_SHADOW_SP: u64 = 0;
+/// Offset of the AEX counter inside the control page.
+pub const CTRL_AEX_COUNT: u64 = 8;
+
+impl EnclaveLayout {
+    /// Computes the layout for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any region size is not page-aligned.
+    #[must_use]
+    pub fn new(config: MemConfig) -> Self {
+        for (name, v) in [
+            ("untrusted_size", config.untrusted_size),
+            ("enclave_base", config.enclave_base),
+            ("consumer_size", config.consumer_size),
+            ("ssa_size", config.ssa_size),
+            ("control_size", config.control_size),
+            ("branch_table_size", config.branch_table_size),
+            ("shadow_stack_size", config.shadow_stack_size),
+            ("code_size", config.code_size),
+            ("heap_size", config.heap_size),
+            ("stack_size", config.stack_size),
+        ] {
+            assert!(v % PAGE_SIZE == 0, "{name} must be page aligned");
+        }
+        assert!(
+            config.enclave_base >= config.untrusted_size,
+            "enclave must not overlap untrusted memory"
+        );
+        let mut cursor = config.enclave_base;
+        let mut take = |len: u64| {
+            let r = Region::new(cursor, cursor + len);
+            cursor += len;
+            r
+        };
+        let consumer = take(config.consumer_size);
+        let ssa = take(config.ssa_size);
+        let control = take(config.control_size);
+        let branch_table = take(config.branch_table_size);
+        let shadow_stack = take(config.shadow_stack_size);
+        let code = take(config.code_size);
+        let heap = take(config.heap_size);
+        let guard_lo = take(PAGE_SIZE);
+        let stack = take(config.stack_size);
+        let guard_hi = take(PAGE_SIZE);
+        let elrange = Region::new(config.enclave_base, cursor);
+        EnclaveLayout {
+            config,
+            elrange,
+            consumer,
+            ssa,
+            control,
+            branch_table,
+            shadow_stack,
+            code,
+            heap,
+            guard_lo,
+            stack,
+            guard_hi,
+        }
+    }
+
+    /// The window policy P1 permits stores into: heap through stack.
+    /// Guard pages inside the window still fault at the page level.
+    #[must_use]
+    pub fn store_window(&self) -> Region {
+        Region::new(self.heap.start, self.stack.end)
+    }
+
+    /// The window policy P2 requires `rsp` to stay within.
+    #[must_use]
+    pub fn stack_window(&self) -> Region {
+        self.stack
+    }
+
+    /// Address of the shadow-stack top pointer slot.
+    #[must_use]
+    pub fn shadow_sp_slot(&self) -> u64 {
+        self.control.start + CTRL_SHADOW_SP
+    }
+
+    /// Address of the AEX counter slot.
+    #[must_use]
+    pub fn aex_count_slot(&self) -> u64 {
+        self.control.start + CTRL_AEX_COUNT
+    }
+
+    /// Address of the SSA marker slot (start of the SSA GPR dump area, which
+    /// an AEX clobbers with the saved context).
+    #[must_use]
+    pub fn ssa_marker_slot(&self) -> u64 {
+        self.ssa.start
+    }
+
+    /// Initial `rsp` for the target program (top of stack).
+    #[must_use]
+    pub fn initial_rsp(&self) -> u64 {
+        self.stack.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_contiguous_and_disjoint() {
+        let l = EnclaveLayout::new(MemConfig::small());
+        let regions = [
+            l.consumer,
+            l.ssa,
+            l.control,
+            l.branch_table,
+            l.shadow_stack,
+            l.code,
+            l.heap,
+            l.guard_lo,
+            l.stack,
+            l.guard_hi,
+        ];
+        for w in regions.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(regions[0].start, l.elrange.start);
+        assert_eq!(regions.last().unwrap().end, l.elrange.end);
+    }
+
+    #[test]
+    fn store_window_excludes_code_and_critical_regions() {
+        let l = EnclaveLayout::new(MemConfig::small());
+        let w = l.store_window();
+        assert!(!w.contains(l.code.start));
+        assert!(!w.contains(l.ssa.start));
+        assert!(!w.contains(l.shadow_stack.start));
+        assert!(!w.contains(l.branch_table.start));
+        assert!(!w.contains(l.control.start));
+        assert!(w.contains(l.heap.start));
+        assert!(w.contains(l.stack.start));
+        assert!(w.contains(l.stack.end - 1));
+        assert!(!w.contains(l.stack.end)); // guard_hi
+    }
+
+    #[test]
+    fn paper_config_matches_published_sizes() {
+        let c = MemConfig::paper();
+        assert_eq!(c.shadow_stack_size, 1 << 20);
+        assert_eq!(c.branch_table_size, 1 << 20);
+        assert_eq!(c.heap_size, 64 << 20);
+        assert_eq!(c.code_size, 28 << 20);
+        let l = EnclaveLayout::new(c);
+        // ~96 MB total.
+        assert!(l.elrange.len() > 94 << 20 && l.elrange.len() < 100 << 20);
+    }
+
+    #[test]
+    fn region_contains_range_handles_overflow() {
+        let r = Region::new(0, 100);
+        assert!(r.contains_range(90, 10));
+        assert!(!r.contains_range(90, 11));
+        assert!(!r.contains_range(u64::MAX, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn unaligned_config_panics() {
+        let mut c = MemConfig::small();
+        c.heap_size += 1;
+        let _ = EnclaveLayout::new(c);
+    }
+
+    #[test]
+    fn control_slots() {
+        let l = EnclaveLayout::new(MemConfig::small());
+        assert_eq!(l.shadow_sp_slot(), l.control.start);
+        assert_eq!(l.aex_count_slot(), l.control.start + 8);
+        assert!(l.ssa.contains(l.ssa_marker_slot()));
+    }
+}

@@ -1,0 +1,424 @@
+//! The simulated physical memory: untrusted host memory plus the paged,
+//! permission-checked EPC.
+//!
+//! A real enclave *can* write to untrusted memory — that is precisely the
+//! leak channel policy P1 exists to close — so stores outside ELRANGE
+//! succeed here but are counted and (up to a cap) recorded, letting tests
+//! and benches observe exfiltration attempts. Inside ELRANGE, per-page
+//! R/W/X permissions are enforced; guard pages have no permissions at all.
+
+use crate::layout::{EnclaveLayout, Region, PAGE_SIZE};
+use crate::Fault;
+
+/// Per-page permission bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PagePerm {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl PagePerm {
+    /// No access (guard page).
+    pub const NONE: PagePerm = PagePerm { r: false, w: false, x: false };
+    /// Read-only.
+    pub const R: PagePerm = PagePerm { r: true, w: false, x: false };
+    /// Read-write.
+    pub const RW: PagePerm = PagePerm { r: true, w: true, x: false };
+    /// Read-execute.
+    pub const RX: PagePerm = PagePerm { r: true, w: false, x: true };
+    /// Read-write-execute (the target code window under SGXv1).
+    pub const RWX: PagePerm = PagePerm { r: true, w: true, x: true };
+}
+
+/// Kind of access, for fault reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Instruction fetch.
+    Fetch,
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+}
+
+/// An observed store from enclave code to untrusted memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakRecord {
+    /// Destination address outside ELRANGE.
+    pub addr: u64,
+    /// Number of bytes written.
+    pub len: u8,
+}
+
+const MAX_LEAK_LOG: usize = 1024;
+
+/// Simulated memory: one untrusted region at address 0 and the enclave.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    layout: EnclaveLayout,
+    untrusted: Vec<u8>,
+    enclave: Vec<u8>,
+    perms: Vec<PagePerm>,
+    /// Count of enclave-initiated writes that landed outside ELRANGE.
+    pub untrusted_write_count: u64,
+    /// The first 1024 such writes (capped).
+    pub leak_log: Vec<LeakRecord>,
+}
+
+impl Memory {
+    /// Allocates memory for `layout` and applies the region permissions.
+    #[must_use]
+    pub fn new(layout: EnclaveLayout) -> Self {
+        let enclave_len = layout.elrange.len() as usize;
+        let pages = enclave_len / PAGE_SIZE as usize;
+        let mut mem = Memory {
+            untrusted: vec![0; layout.config.untrusted_size as usize],
+            enclave: vec![0; enclave_len],
+            perms: vec![PagePerm::NONE; pages],
+            untrusted_write_count: 0,
+            leak_log: Vec::new(),
+            layout,
+        };
+        let l = mem.layout.clone();
+        mem.set_region_perm(l.consumer, PagePerm::RX);
+        mem.set_region_perm(l.ssa, PagePerm::RW);
+        mem.set_region_perm(l.control, PagePerm::RW);
+        // Branch table is RW until the loader seals it.
+        mem.set_region_perm(l.branch_table, PagePerm::RW);
+        mem.set_region_perm(l.shadow_stack, PagePerm::RW);
+        mem.set_region_perm(l.code, PagePerm::RWX);
+        mem.set_region_perm(l.heap, PagePerm::RW);
+        mem.set_region_perm(l.guard_lo, PagePerm::NONE);
+        mem.set_region_perm(l.stack, PagePerm::RW);
+        mem.set_region_perm(l.guard_hi, PagePerm::NONE);
+        mem
+    }
+
+    /// The layout this memory was built for.
+    #[must_use]
+    pub fn layout(&self) -> &EnclaveLayout {
+        &self.layout
+    }
+
+    /// Sets the permissions of every page in `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is not inside the enclave or not page-aligned.
+    pub fn set_region_perm(&mut self, region: Region, perm: PagePerm) {
+        assert!(
+            region.start >= self.layout.elrange.start && region.end <= self.layout.elrange.end,
+            "region outside enclave"
+        );
+        assert!(region.start.is_multiple_of(PAGE_SIZE) && region.end.is_multiple_of(PAGE_SIZE));
+        let first = ((region.start - self.layout.elrange.start) / PAGE_SIZE) as usize;
+        let last = ((region.end - self.layout.elrange.start) / PAGE_SIZE) as usize;
+        for p in &mut self.perms[first..last] {
+            *p = perm;
+        }
+    }
+
+    /// Returns the permission of the page containing `addr` (enclave only).
+    #[must_use]
+    pub fn page_perm(&self, addr: u64) -> Option<PagePerm> {
+        if !self.layout.elrange.contains(addr) {
+            return None;
+        }
+        let idx = ((addr - self.layout.elrange.start) / PAGE_SIZE) as usize;
+        Some(self.perms[idx])
+    }
+
+    fn check_enclave_perm(&self, addr: u64, len: u64, access: Access) -> Result<(), Fault> {
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            let page_addr = page * PAGE_SIZE;
+            let perm = self.page_perm(page_addr).expect("in range");
+            let ok = match access {
+                Access::Fetch => perm.x,
+                Access::Read => perm.r,
+                Access::Write => perm.w,
+            };
+            if !ok {
+                return Err(match access {
+                    Access::Fetch => Fault::NotExecutable { addr: page_addr },
+                    Access::Read => Fault::ReadViolation { addr },
+                    Access::Write => Fault::WriteViolation { addr },
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads `len` (1..=8) bytes at `addr` as a little-endian integer, with
+    /// permission checks (the path the executing target binary uses).
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses and on enclave pages without read
+    /// permission.
+    pub fn load(&self, addr: u64, len: u8) -> Result<u64, Fault> {
+        debug_assert!((1..=8).contains(&len));
+        let len64 = len as u64;
+        if self.layout.elrange.contains_range(addr, len64) {
+            self.check_enclave_perm(addr, len64, Access::Read)?;
+            let off = (addr - self.layout.elrange.start) as usize;
+            Ok(read_le(&self.enclave[off..off + len as usize]))
+        } else if Region::new(0, self.untrusted.len() as u64).contains_range(addr, len64) {
+            Ok(read_le(&self.untrusted[addr as usize..addr as usize + len as usize]))
+        } else {
+            Err(Fault::Unmapped { addr })
+        }
+    }
+
+    /// Writes `len` (1..=8) bytes at `addr`, with permission checks. Stores
+    /// to untrusted memory succeed but are recorded as potential leaks.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses and on enclave pages without write
+    /// permission (guard pages, code-adjacent read-only pages, …).
+    pub fn store(&mut self, addr: u64, len: u8, value: u64) -> Result<(), Fault> {
+        debug_assert!((1..=8).contains(&len));
+        let len64 = len as u64;
+        if self.layout.elrange.contains_range(addr, len64) {
+            self.check_enclave_perm(addr, len64, Access::Write)?;
+            let off = (addr - self.layout.elrange.start) as usize;
+            write_le(&mut self.enclave[off..off + len as usize], value);
+            Ok(())
+        } else if Region::new(0, self.untrusted.len() as u64).contains_range(addr, len64) {
+            self.untrusted_write_count += 1;
+            if self.leak_log.len() < MAX_LEAK_LOG {
+                self.leak_log.push(LeakRecord { addr, len });
+            }
+            write_le(&mut self.untrusted[addr as usize..addr as usize + len as usize], value);
+            Ok(())
+        } else {
+            Err(Fault::Unmapped { addr })
+        }
+    }
+
+    /// Returns up to 16 bytes of code starting at `pc` for the decoder.
+    /// The window is clamped to the contiguous run of executable pages, so
+    /// an instruction that would spill past them decodes as truncated and
+    /// the machine fails closed.
+    ///
+    /// # Errors
+    ///
+    /// Faults if `pc` is outside the enclave or on a non-executable page.
+    pub fn fetch_window(&self, pc: u64) -> Result<&[u8], Fault> {
+        if !self.layout.elrange.contains(pc) {
+            return Err(Fault::NotExecutable { addr: pc });
+        }
+        self.check_enclave_perm(pc, 1, Access::Fetch)?;
+        let mut avail = (self.layout.elrange.end - pc).min(16);
+        // Clamp at the first non-executable page.
+        let mut next_page = (pc / PAGE_SIZE + 1) * PAGE_SIZE;
+        while next_page < pc + avail {
+            let perm = self.page_perm(next_page).expect("in range");
+            if !perm.x {
+                avail = next_page - pc;
+                break;
+            }
+            next_page += PAGE_SIZE;
+        }
+        let off = (pc - self.layout.elrange.start) as usize;
+        Ok(&self.enclave[off..off + avail as usize])
+    }
+
+    /// Privileged read bypassing page permissions (the trusted consumer /
+    /// runtime path). Still bounds-checked against the address map.
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped addresses.
+    pub fn peek_bytes(&self, addr: u64, len: usize) -> Result<&[u8], Fault> {
+        let len64 = len as u64;
+        if self.layout.elrange.contains_range(addr, len64) {
+            let off = (addr - self.layout.elrange.start) as usize;
+            Ok(&self.enclave[off..off + len])
+        } else if Region::new(0, self.untrusted.len() as u64).contains_range(addr, len64) {
+            Ok(&self.untrusted[addr as usize..addr as usize + len])
+        } else {
+            Err(Fault::Unmapped { addr })
+        }
+    }
+
+    /// Privileged write bypassing page permissions (loader/runtime path).
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped addresses.
+    pub fn poke_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Fault> {
+        let len64 = bytes.len() as u64;
+        if self.layout.elrange.contains_range(addr, len64) {
+            let off = (addr - self.layout.elrange.start) as usize;
+            self.enclave[off..off + bytes.len()].copy_from_slice(bytes);
+            Ok(())
+        } else if Region::new(0, self.untrusted.len() as u64).contains_range(addr, len64) {
+            self.untrusted[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
+            Ok(())
+        } else {
+            Err(Fault::Unmapped { addr })
+        }
+    }
+
+    /// Privileged 64-bit read.
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped addresses.
+    pub fn peek_u64(&self, addr: u64) -> Result<u64, Fault> {
+        Ok(read_le(self.peek_bytes(addr, 8)?))
+    }
+
+    /// Privileged 64-bit write.
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped addresses.
+    pub fn poke_u64(&mut self, addr: u64, value: u64) -> Result<(), Fault> {
+        self.poke_bytes(addr, &value.to_le_bytes())
+    }
+}
+
+fn read_le(bytes: &[u8]) -> u64 {
+    let mut v = 0u64;
+    for (i, b) in bytes.iter().enumerate() {
+        v |= (*b as u64) << (8 * i);
+    }
+    v
+}
+
+fn write_le(bytes: &mut [u8], value: u64) {
+    for (i, b) in bytes.iter_mut().enumerate() {
+        *b = (value >> (8 * i)) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::MemConfig;
+
+    fn mem() -> Memory {
+        Memory::new(EnclaveLayout::new(MemConfig::small()))
+    }
+
+    #[test]
+    fn heap_read_write() {
+        let mut m = mem();
+        let addr = m.layout().heap.start + 24;
+        m.store(addr, 8, 0xDEAD_BEEF_1234_5678).unwrap();
+        assert_eq!(m.load(addr, 8).unwrap(), 0xDEAD_BEEF_1234_5678);
+        m.store(addr, 1, 0xFF).unwrap();
+        assert_eq!(m.load(addr, 1).unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn guard_pages_fault() {
+        let mut m = mem();
+        let g = m.layout().guard_lo.start;
+        assert!(matches!(m.store(g, 8, 1), Err(Fault::WriteViolation { .. })));
+        assert!(matches!(m.load(g, 8), Err(Fault::ReadViolation { .. })));
+    }
+
+    #[test]
+    fn consumer_pages_not_writable() {
+        let mut m = mem();
+        let c = m.layout().consumer.start;
+        assert!(matches!(m.store(c, 8, 1), Err(Fault::WriteViolation { .. })));
+        assert_eq!(m.load(c, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn code_pages_are_rwx_under_sgxv1() {
+        let mut m = mem();
+        let c = m.layout().code.start;
+        // Hardware cannot stop self-modification — only the P1/P4 software
+        // DEP annotations can, which is the point of the policy.
+        m.store(c, 8, 0x90).unwrap();
+        assert_eq!(m.load(c, 8).unwrap(), 0x90);
+        assert!(m.fetch_window(c).is_ok());
+    }
+
+    #[test]
+    fn heap_pages_not_executable() {
+        let m = mem();
+        let h = m.layout().heap.start;
+        assert!(matches!(m.fetch_window(h), Err(Fault::NotExecutable { .. })));
+    }
+
+    #[test]
+    fn untrusted_writes_succeed_but_are_recorded() {
+        let mut m = mem();
+        assert_eq!(m.untrusted_write_count, 0);
+        m.store(0x100, 8, 42).unwrap();
+        assert_eq!(m.load(0x100, 8).unwrap(), 42);
+        assert_eq!(m.untrusted_write_count, 1);
+        assert_eq!(m.leak_log[0], LeakRecord { addr: 0x100, len: 8 });
+    }
+
+    #[test]
+    fn unmapped_addresses_fault() {
+        let mut m = mem();
+        let hole = m.layout().config.untrusted_size + 10; // between regions
+        assert!(matches!(m.load(hole, 8), Err(Fault::Unmapped { .. })));
+        assert!(matches!(m.store(hole, 8, 0), Err(Fault::Unmapped { .. })));
+        let beyond = m.layout().elrange.end;
+        assert!(matches!(m.load(beyond, 8), Err(Fault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn access_straddling_elrange_boundary_faults() {
+        let m = mem();
+        let edge = m.layout().elrange.end - 4;
+        assert!(matches!(m.load(edge, 8), Err(Fault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn poke_bypasses_permissions_peek_reads_back() {
+        let mut m = mem();
+        let bt = m.layout().branch_table.start;
+        m.set_region_perm(m.layout().branch_table, PagePerm::R);
+        // The loader can still seal values in via the privileged path.
+        m.poke_u64(bt, 77).unwrap();
+        assert_eq!(m.peek_u64(bt).unwrap(), 77);
+        // The target binary cannot write it.
+        assert!(matches!(m.store(bt, 8, 1), Err(Fault::WriteViolation { .. })));
+        // But can read it.
+        assert_eq!(m.load(bt, 8).unwrap(), 77);
+    }
+
+    #[test]
+    fn fetch_window_is_clamped_at_executable_boundary() {
+        let m = mem();
+        // Near the end of the code region the window shrinks to the bytes
+        // remaining on executable pages instead of spilling into the heap.
+        let end = m.layout().code.end - 4;
+        let w = m.fetch_window(end).unwrap();
+        assert_eq!(w.len(), 4);
+        // A window fully inside code is the full 16 bytes.
+        let w = m.fetch_window(m.layout().code.start).unwrap();
+        assert_eq!(w.len(), 16);
+        // Fetching from a non-executable page faults outright.
+        assert!(matches!(
+            m.fetch_window(m.layout().heap.start),
+            Err(Fault::NotExecutable { .. })
+        ));
+    }
+
+    #[test]
+    fn leak_log_is_capped() {
+        let mut m = mem();
+        for i in 0..(MAX_LEAK_LOG as u64 + 100) {
+            m.store(i * 8, 8, i).unwrap();
+        }
+        assert_eq!(m.leak_log.len(), MAX_LEAK_LOG);
+        assert_eq!(m.untrusted_write_count, MAX_LEAK_LOG as u64 + 100);
+    }
+}

@@ -1,0 +1,232 @@
+//! The virtual machine: couples the CPU, memory, AEX injection and a host
+//! for OCall service, and runs the target binary under an instruction
+//! budget.
+
+use crate::aex::AexInjector;
+use crate::cpu::{Cpu, StepEvent};
+use crate::mem::Memory;
+use crate::Fault;
+use deflection_isa::Reg;
+
+/// Host services the running enclave can reach.
+///
+/// Implemented by the bootstrap enclave runtime in `deflection-core`, where
+/// OCall wrappers enforce policy P0 (allowed calls only, encryption,
+/// fixed-length padding) and the probe runs the HyperRace co-location test.
+pub trait VmHost {
+    /// Handles OCall `code`; arguments in `rdi`/`rsi`/`rdx`, result in `rax`.
+    ///
+    /// # Errors
+    ///
+    /// Returning a [`Fault`] terminates execution (e.g.
+    /// [`Fault::OcallDenied`] for calls outside the manifest).
+    fn ocall(&mut self, code: u8, cpu: &mut Cpu, mem: &mut Memory) -> Result<(), Fault>;
+
+    /// Runs the co-location probe; `true` means the sibling-thread test
+    /// passed (no alarm).
+    fn aex_probe(&mut self) -> bool;
+}
+
+/// A host that denies every OCall and always passes the probe — the default
+/// fail-closed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct NullHost;
+
+impl VmHost for NullHost {
+    fn ocall(&mut self, code: u8, _cpu: &mut Cpu, _mem: &mut Memory) -> Result<(), Fault> {
+        Err(Fault::OcallDenied { code })
+    }
+
+    fn aex_probe(&mut self) -> bool {
+        true
+    }
+}
+
+/// Counters collected while running.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// AEX events injected.
+    pub aex_injected: u64,
+    /// OCalls serviced.
+    pub ocalls: u64,
+    /// Co-location probes executed.
+    pub probes: u64,
+}
+
+/// Why `run` returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// `halt` executed; value of `rax` at exit.
+    Halted {
+        /// The exit value.
+        exit: u64,
+    },
+    /// A security annotation aborted the program (policy violation).
+    PolicyAbort {
+        /// The policy abort code.
+        code: u8,
+    },
+    /// A hardware-level fault terminated execution.
+    Fault(Fault),
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+}
+
+impl RunExit {
+    /// Convenience: the exit value if the program halted normally.
+    #[must_use]
+    pub fn exit_value(&self) -> Option<u64> {
+        match self {
+            RunExit::Halted { exit } => Some(*exit),
+            _ => None,
+        }
+    }
+}
+
+/// A ready-to-run virtual machine.
+#[derive(Debug)]
+pub struct Vm {
+    /// CPU state.
+    pub cpu: Cpu,
+    /// Memory state.
+    pub mem: Memory,
+    /// AEX injector.
+    pub aex: AexInjector,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+impl Vm {
+    /// Creates a VM over `mem` with `pc` at `entry` and `rsp` at the top of
+    /// the target stack.
+    #[must_use]
+    pub fn new(mem: Memory, entry: u64) -> Self {
+        let mut cpu = Cpu::new(entry);
+        cpu.set(Reg::RSP, mem.layout().initial_rsp());
+        Vm { cpu, mem, aex: AexInjector::none(), stats: ExecStats::default() }
+    }
+
+    /// Replaces the AEX injector.
+    pub fn set_aex(&mut self, aex: AexInjector) {
+        self.aex = aex;
+    }
+
+    /// Runs until halt, abort, fault or fuel exhaustion.
+    pub fn run(&mut self, fuel: u64, host: &mut dyn VmHost) -> RunExit {
+        let layout = self.mem.layout().clone();
+        for _ in 0..fuel {
+            self.stats.instructions += 1;
+            if self.aex.should_fire(self.stats.instructions) {
+                self.aex.deliver(&self.cpu, &mut self.mem, &layout);
+                self.stats.aex_injected += 1;
+            }
+            match self.cpu.step(&mut self.mem) {
+                Ok(StepEvent::Continue) => {}
+                Ok(StepEvent::Halted) => {
+                    return RunExit::Halted { exit: self.cpu.get(Reg::RAX) }
+                }
+                Ok(StepEvent::PolicyAbort(code)) => return RunExit::PolicyAbort { code },
+                Ok(StepEvent::Ocall(code)) => {
+                    self.stats.ocalls += 1;
+                    if let Err(f) = host.ocall(code, &mut self.cpu, &mut self.mem) {
+                        return RunExit::Fault(f);
+                    }
+                }
+                Ok(StepEvent::AexProbe) => {
+                    self.stats.probes += 1;
+                    let ok = host.aex_probe();
+                    self.cpu.set(Reg::RAX, ok as u64);
+                }
+                Err(f) => return RunExit::Fault(f),
+            }
+        }
+        RunExit::OutOfFuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aex::AexSchedule;
+    use crate::layout::{EnclaveLayout, MemConfig};
+    use deflection_isa::{encode_program, Inst};
+
+    fn vm_with(prog: &[Inst]) -> Vm {
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut mem = Memory::new(layout.clone());
+        let (bytes, _) = encode_program(prog);
+        mem.poke_bytes(layout.code.start, &bytes).unwrap();
+        Vm::new(mem, layout.code.start)
+    }
+
+    #[test]
+    fn runs_to_halt() {
+        let mut vm = vm_with(&[
+            Inst::MovRI { dst: Reg::RAX, imm: 11 },
+            Inst::Halt,
+        ]);
+        let exit = vm.run(100, &mut NullHost);
+        assert_eq!(exit, RunExit::Halted { exit: 11 });
+        assert_eq!(vm.stats.instructions, 2);
+    }
+
+    #[test]
+    fn fuel_limit_enforced() {
+        // Infinite loop: jmp -5 (back onto itself).
+        let mut vm = vm_with(&[Inst::Jmp { rel: -5 }]);
+        let exit = vm.run(1000, &mut NullHost);
+        assert_eq!(exit, RunExit::OutOfFuel);
+        assert_eq!(vm.stats.instructions, 1000);
+    }
+
+    #[test]
+    fn null_host_denies_ocalls() {
+        let mut vm = vm_with(&[Inst::Ocall { code: 0 }, Inst::Halt]);
+        let exit = vm.run(100, &mut NullHost);
+        assert_eq!(exit, RunExit::Fault(Fault::OcallDenied { code: 0 }));
+    }
+
+    #[test]
+    fn probe_result_lands_in_rax() {
+        struct AlarmHost;
+        impl VmHost for AlarmHost {
+            fn ocall(&mut self, code: u8, _: &mut Cpu, _: &mut Memory) -> Result<(), Fault> {
+                Err(Fault::OcallDenied { code })
+            }
+            fn aex_probe(&mut self) -> bool {
+                false
+            }
+        }
+        let mut vm = vm_with(&[Inst::AexProbe, Inst::Halt]);
+        let exit = vm.run(100, &mut AlarmHost);
+        assert_eq!(exit, RunExit::Halted { exit: 0 });
+        assert_eq!(vm.stats.probes, 1);
+    }
+
+    #[test]
+    fn aex_injection_counts_and_clobbers_marker() {
+        let mut vm = vm_with(&[
+            Inst::Jmp { rel: -5 }, // spin
+        ]);
+        let layout = vm.mem.layout().clone();
+        vm.mem.poke_u64(layout.ssa_marker_slot(), 0x5A5A).unwrap();
+        vm.set_aex(AexInjector::new(AexSchedule::Periodic { interval: 10 }));
+        let _ = vm.run(100, &mut NullHost);
+        assert_eq!(vm.stats.aex_injected, 10);
+        assert_ne!(vm.mem.peek_u64(layout.ssa_marker_slot()).unwrap(), 0x5A5A);
+    }
+
+    #[test]
+    fn policy_abort_surfaces_code() {
+        let mut vm = vm_with(&[Inst::Abort { code: 5 }]);
+        assert_eq!(vm.run(10, &mut NullHost), RunExit::PolicyAbort { code: 5 });
+    }
+
+    #[test]
+    fn exit_value_helper() {
+        assert_eq!(RunExit::Halted { exit: 3 }.exit_value(), Some(3));
+        assert_eq!(RunExit::OutOfFuel.exit_value(), None);
+    }
+}

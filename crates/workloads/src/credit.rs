@@ -1,0 +1,202 @@
+//! Personal credit score analysis (paper Section VI-B, Fig. 9): a
+//! BP-neural-network credit scorer trained on synthetic records, then used
+//! to score test cases — "trains a model to calculate user's credit scores
+//! ... and then used to make prediction (output a confidence probability)".
+//!
+//! The paper trains on 10,000 records and varies the number of scored
+//! records (Fig. 9's x-axis); the dominant cost is the per-record forward
+//! pass, which is what the bench sweeps.
+
+use crate::nbench::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+const BODY: &str = "
+var w1: [float; 30];    // 6 features x 5 hidden
+var w2: [float; 5];
+var feat: [float; 6];
+
+fn act(x: float) -> float {
+    var a: float = x;
+    if (a < 0.0) { a = 0.0 - a; }
+    return 0.5 * (x / (1.0 + a)) + 0.5;
+}
+
+// Deterministic synthetic applicant: 6 features in [-1, 1].
+fn load_record() -> float {
+    var i: int = 0;
+    var risk: float = 0.0;
+    while (i < 6) {
+        var v: float = itof(rnd(2000) - 1000) / 1000.0;
+        feat[i] = v;
+        // Ground-truth creditworthiness: a fixed linear rule.
+        if (i == 0 || i == 3) { risk = risk + v; }
+        else { risk = risk - 0.5 * v; }
+        i = i + 1;
+    }
+    if (risk > 0.0) { return 1.0; }
+    return 0.0;
+}
+
+fn forward() -> float {
+    var o: float = 0.0;
+    var h: int = 0;
+    while (h < 5) {
+        var s: float = 0.0;
+        var i: int = 0;
+        while (i < 6) { s = s + w1[h * 6 + i] * feat[i]; i = i + 1; }
+        o = o + w2[h] * act(s);
+        h = h + 1;
+    }
+    return act(o);
+}
+
+fn main() -> int {
+    var train: int = geti(0);
+    var tests: int = geti(1);
+    srand(geti(2));
+    var i: int = 0;
+    while (i < 30) { w1[i] = itof(rnd(200) - 100) / 100.0; i = i + 1; }
+    i = 0;
+    while (i < 5) { w2[i] = itof(rnd(200) - 100) / 100.0; i = i + 1; }
+
+    // Train: one SGD pass over `train` records (output layer only, a
+    // perceptron-style update keeps the arithmetic lean and deterministic).
+    var lr: float = 0.1;
+    var t: int = 0;
+    while (t < train) {
+        var target: float = load_record();
+        var out: float = forward();
+        var delta: float = (out - target) * out * (1.0 - out);
+        var h: int = 0;
+        while (h < 5) {
+            var s: float = 0.0;
+            var j: int = 0;
+            while (j < 6) { s = s + w1[h * 6 + j] * feat[j]; j = j + 1; }
+            w2[h] = w2[h] - lr * delta * act(s);
+            h = h + 1;
+        }
+        t = t + 1;
+    }
+
+    // Score: accumulate confidence probabilities over the test cases.
+    var correct: int = 0;
+    var acc: float = 0.0;
+    t = 0;
+    while (t < tests) {
+        var target: float = load_record();
+        var out: float = forward();
+        acc = acc + out;
+        if (out > 0.5 && target > 0.5) { correct = correct + 1; }
+        if (out < 0.5 && target < 0.5) { correct = correct + 1; }
+        t = t + 1;
+    }
+    return (correct << 32) | (ftoi(acc * 1000.0) & 0xFFFFFFFF);
+}
+";
+
+/// DCL source of the credit scorer.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[train_records, test_records, seed]`.
+#[must_use]
+pub fn input(train: u64, tests: u64) -> Vec<u8> {
+    encode_ints(&[train as i64, tests as i64, 0xC4ED_0001])
+}
+
+fn act(x: f64) -> f64 {
+    let a = if x < 0.0 { 0.0 - x } else { x };
+    0.5 * (x / (1.0 + a)) + 0.5
+}
+
+/// Bit-exact native reference. Returns the packed `(correct, acc)` exit.
+#[must_use]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (train, tests, seed) = (header[0], header[1], header[2]);
+    let mut lcg = Lcg::new(seed);
+    let mut w1: Vec<f64> = (0..30).map(|_| (lcg.below(200) - 100) as f64 / 100.0).collect();
+    let mut w2: Vec<f64> = (0..5).map(|_| (lcg.below(200) - 100) as f64 / 100.0).collect();
+    let mut feat = [0.0f64; 6];
+    let load_record = |lcg: &mut Lcg, feat: &mut [f64; 6]| -> f64 {
+        let mut risk = 0.0;
+        for (i, f) in feat.iter_mut().enumerate() {
+            let v = (lcg.below(2000) - 1000) as f64 / 1000.0;
+            *f = v;
+            if i == 0 || i == 3 {
+                risk += v;
+            } else {
+                risk -= 0.5 * v;
+            }
+        }
+        if risk > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    };
+    let forward = |w1: &[f64], w2: &[f64], feat: &[f64; 6]| -> f64 {
+        let mut o = 0.0;
+        for h in 0..5 {
+            let mut s = 0.0;
+            for i in 0..6 {
+                s += w1[h * 6 + i] * feat[i];
+            }
+            o += w2[h] * act(s);
+        }
+        act(o)
+    };
+    let lr = 0.1;
+    for _ in 0..train {
+        let target = load_record(&mut lcg, &mut feat);
+        let out = forward(&w1, &w2, &feat);
+        let delta = (out - target) * out * (1.0 - out);
+        for h in 0..5 {
+            let mut s = 0.0;
+            for j in 0..6 {
+                s += w1[h * 6 + j] * feat[j];
+            }
+            w2[h] -= lr * delta * act(s);
+        }
+    }
+    let _ = &mut w1;
+    let mut correct: i64 = 0;
+    let mut acc = 0.0;
+    for _ in 0..tests {
+        let target = load_record(&mut lcg, &mut feat);
+        let out = forward(&w1, &w2, &feat);
+        acc += out;
+        if out > 0.5 && target > 0.5 {
+            correct += 1;
+        }
+        if out < 0.5 && target < 0.5 {
+            correct += 1;
+        }
+    }
+    ((correct << 32) | (((acc * 1000.0) as i64) & 0xFFFF_FFFF)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(30, 20);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+
+    #[test]
+    fn scorer_beats_chance_after_training() {
+        let inp = input(400, 100);
+        let exit = reference(&inp);
+        let correct = (exit >> 32) as i64;
+        assert!(correct > 55, "only {correct}/100 correct after training");
+    }
+}

@@ -1,0 +1,267 @@
+//! Sensitive genome data analysis (paper Section VI-B, Fig. 7 and Fig. 8):
+//! Needleman–Wunsch global alignment of two nucleotide sequences and FASTA
+//! sequence generation.
+//!
+//! The paper aligns human sequences from the 1000 Genomes project; we
+//! substitute seeded synthetic nucleotide strings (the DP cost depends only
+//! on sequence *length*, which is the figure's x-axis).
+
+use crate::nbench::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+/// Needleman–Wunsch alignment. Input: `[n, m, seed]`; the two sequences are
+/// derived from the seed (n and m nucleotides). Scoring: match +2,
+/// mismatch −1, gap −2. Exit value: the alignment score (offset so it is
+/// non-negative) combined with a traceback checksum.
+const NW_BODY: &str = "
+var seqa: [byte; 2048];
+var seqb: [byte; 2048];
+var prev: [int; 2049];
+var cur: [int; 2049];
+var trace: [byte; 1048576];   // (n+1) x (m+1) traceback, N^2 memory
+
+fn maxi(a: int, b: int) -> int {
+    if (a > b) { return a; }
+    return b;
+}
+
+fn main() -> int {
+    var n: int = geti(0);
+    var m: int = geti(1);
+    srand(geti(2));
+    var i: int = 0;
+    while (i < n) { seqa[i] = rnd(4); i = i + 1; }
+    i = 0;
+    while (i < m) { seqb[i] = rnd(4); i = i + 1; }
+
+    var cols: int = m + 1;
+    var j: int = 0;
+    while (j <= m) {
+        prev[j] = 0 - 2 * j;
+        trace[j] = 1;
+        j = j + 1;
+    }
+    i = 1;
+    while (i <= n) {
+        cur[0] = 0 - 2 * i;
+        trace[i * cols] = 2;
+        j = 1;
+        while (j <= m) {
+            var sub: int = 0 - 1;
+            if (seqa[i - 1] == seqb[j - 1]) { sub = 2; }
+            var diag: int = prev[j - 1] + sub;
+            var up: int = prev[j] - 2;
+            var lft: int = cur[j - 1] - 2;
+            var best: int = maxi(diag, maxi(up, lft));
+            cur[j] = best;
+            if (best == diag) { trace[i * cols + j] = 0; }
+            else if (best == up) { trace[i * cols + j] = 2; }
+            else { trace[i * cols + j] = 1; }
+            j = j + 1;
+        }
+        j = 0;
+        while (j <= m) { prev[j] = cur[j]; j = j + 1; }
+        i = i + 1;
+    }
+
+    // Walk the traceback to checksum the alignment path.
+    var acc: int = 0;
+    var ti: int = n;
+    var tj: int = m;
+    while (ti > 0 || tj > 0) {
+        var t: int = trace[ti * cols + tj];
+        acc = acc * 3 + t + 1;
+        if (t == 0) { ti = ti - 1; tj = tj - 1; }
+        else if (t == 2) { ti = ti - 1; }
+        else { tj = tj - 1; }
+        acc = acc & 0xFFFFFFF;
+    }
+    return ((prev[m] + 1000000) << 28) | acc;
+}
+";
+
+/// DCL source of the alignment service.
+#[must_use]
+pub fn nw_source() -> String {
+    with_prelude(NW_BODY)
+}
+
+/// Input for an alignment of two sequences of `len` nucleotides each.
+#[must_use]
+pub fn nw_input(len: u32) -> Vec<u8> {
+    encode_ints(&[len as i64, len as i64, 0x6E0E_0001])
+}
+
+/// Bit-exact native reference for the alignment.
+#[must_use]
+pub fn nw_reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (n, m, seed) = (header[0] as usize, header[1] as usize, header[2]);
+    let mut lcg = Lcg::new(seed);
+    let seqa: Vec<i64> = (0..n).map(|_| lcg.below(4)).collect();
+    let seqb: Vec<i64> = (0..m).map(|_| lcg.below(4)).collect();
+    let cols = m + 1;
+    let mut prev: Vec<i64> = (0..=m as i64).map(|j| -2 * j).collect();
+    let mut cur = vec![0i64; m + 1];
+    let mut trace = vec![0u8; (n + 1) * cols];
+    for t in trace.iter_mut().take(m + 1) {
+        *t = 1;
+    }
+    for i in 1..=n {
+        cur[0] = -2 * i as i64;
+        trace[i * cols] = 2;
+        for j in 1..=m {
+            let sub = if seqa[i - 1] == seqb[j - 1] { 2 } else { -1 };
+            let diag = prev[j - 1] + sub;
+            let up = prev[j] - 2;
+            let lft = cur[j - 1] - 2;
+            let best = diag.max(up.max(lft));
+            cur[j] = best;
+            trace[i * cols + j] = if best == diag {
+                0
+            } else if best == up {
+                2
+            } else {
+                1
+            };
+        }
+        prev.copy_from_slice(&cur);
+    }
+    let mut acc: i64 = 0;
+    let (mut ti, mut tj) = (n, m);
+    while ti > 0 || tj > 0 {
+        let t = trace[ti * cols + tj] as i64;
+        acc = acc * 3 + t + 1;
+        match t {
+            0 => {
+                ti -= 1;
+                tj -= 1;
+            }
+            2 => ti -= 1,
+            _ => tj -= 1,
+        }
+        acc &= 0xFFF_FFFF;
+    }
+    (((prev[m] + 1_000_000) << 28) | acc) as u64
+}
+
+/// FASTA sequence generation (Fig. 8). Input: `[count, seed]`; the program
+/// writes `count` nucleotide letters into the output buffer in chunks and
+/// `send`s each chunk (exercising the P0 padded channel), returning a
+/// checksum.
+const SEQGEN_BODY: &str = "
+fn base(code: int) -> int {
+    if (code == 0) { return 'A'; }
+    if (code == 1) { return 'C'; }
+    if (code == 2) { return 'G'; }
+    return 'T';
+}
+
+fn main() -> int {
+    var count: int = geti(0);
+    srand(geti(1));
+    var acc: int = 0;
+    var chunk: int = 0;
+    var produced: int = 0;
+    while (produced < count) {
+        var b: int = base(rnd(4));
+        output_byte(chunk, b);
+        acc = acc * 31 + b;
+        acc = acc & 0xFFFFFFF;
+        chunk = chunk + 1;
+        produced = produced + 1;
+        if (chunk == 200) {
+            send(chunk);
+            chunk = 0;
+        }
+    }
+    if (chunk > 0) { send(chunk); }
+    return acc;
+}
+";
+
+/// DCL source of the sequence generator.
+#[must_use]
+pub fn seqgen_source() -> String {
+    with_prelude(SEQGEN_BODY)
+}
+
+/// Input for generating `count` nucleotides.
+#[must_use]
+pub fn seqgen_input(count: u64) -> Vec<u8> {
+    encode_ints(&[count as i64, 0x6E0E_0002])
+}
+
+/// Bit-exact reference checksum plus the expected plaintext records.
+#[must_use]
+pub fn seqgen_reference(input: &[u8]) -> (u64, Vec<Vec<u8>>) {
+    let header = read_ints(input);
+    let (count, seed) = (header[0], header[1]);
+    let mut lcg = Lcg::new(seed);
+    let mut acc: i64 = 0;
+    let mut records = Vec::new();
+    let mut chunk = Vec::new();
+    for _ in 0..count {
+        let b = match lcg.below(4) {
+            0 => b'A',
+            1 => b'C',
+            2 => b'G',
+            _ => b'T',
+        };
+        chunk.push(b);
+        acc = (acc * 31 + b as i64) & 0xFFF_FFFF;
+        if chunk.len() == 200 {
+            records.push(std::mem::take(&mut chunk));
+        }
+    }
+    if !chunk.is_empty() {
+        records.push(chunk);
+    }
+    (acc as u64, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{execute_expect, Prepared};
+    use deflection_core::policy::PolicySet;
+    use deflection_core::runtime::open_record;
+    use deflection_sgx_sim::layout::MemConfig;
+    use deflection_sgx_sim::vm::RunExit;
+
+    #[test]
+    fn alignment_matches_reference() {
+        let inp = nw_input(24);
+        let expected = nw_reference(&inp);
+        execute_expect(&nw_source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&nw_source(), &inp, &PolicySet::full(), expected);
+    }
+
+    #[test]
+    fn alignment_score_within_theoretical_bounds() {
+        // Score of two length-n sequences is at most 2n (all matches) and
+        // at least -4n (all gaps on both sides).
+        let n = 30i64;
+        let exit = nw_reference(&nw_input(n as u32));
+        let score = (exit >> 28) as i64 - 1_000_000;
+        assert!(score <= 2 * n && score >= -4 * n, "score {score}");
+        // Random 4-letter sequences of equal length almost surely score
+        // above the everything-gapped floor.
+        assert!(score > -2 * n);
+    }
+
+    #[test]
+    fn seqgen_matches_reference_and_seals_chunks() {
+        let inp = seqgen_input(450);
+        let (expected, records) = seqgen_reference(&inp);
+        let mut p = Prepared::new(&seqgen_source(), &PolicySet::full(), MemConfig::small());
+        p.input(&inp);
+        let report = p.run(crate::runner::DEFAULT_FUEL);
+        assert_eq!(report.exit, RunExit::Halted { exit: expected });
+        assert_eq!(report.records.len(), records.len()); // 3 chunks: 200+200+50
+        for (i, (sealed, plain)) in report.records.iter().zip(&records).enumerate() {
+            let opened = open_record(&p.owner_key(), i as u64, sealed).unwrap();
+            assert_eq!(&opened, plain, "record {i}");
+        }
+    }
+}

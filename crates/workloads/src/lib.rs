@@ -1,0 +1,124 @@
+//! # deflection-workloads
+//!
+//! The evaluation programs of the DEFLECTION reproduction, written in DCL
+//! (the code-producer language) with **bit-exact native Rust reference
+//! implementations**:
+//!
+//! * [`nbench`] — the ten nBench kernels of Table II (numeric sort, string
+//!   sort, bitfield, FP emulation, Fourier, assignment, IDEA, Huffman,
+//!   neural net, LU decomposition), re-implemented to preserve each
+//!   kernel's operation mix (store density, indirect branches, FP share);
+//! * [`genome`] — Needleman–Wunsch alignment (Fig. 7) and FASTA sequence
+//!   generation (Fig. 8);
+//! * [`credit`] — the BP-neural-network credit scorer (Fig. 9);
+//! * [`server`] — the HTTPS-style request handler behind Fig. 10/11.
+//!
+//! Every workload couples a DCL source string with a Rust function
+//! computing the same result from the same input bytes; the test suite runs
+//! each program through the full produce → install → run pipeline and
+//! compares exit values, which validates the compiler, the instrumentation,
+//! the verifier and the VM end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod credit;
+pub mod genome;
+pub mod nbench;
+pub mod runner;
+pub mod server;
+
+/// The DCL prelude shared by all workloads: little-endian integer input
+/// decoding and a 64-bit LCG whose constants the Rust references mirror
+/// exactly.
+pub const PRELUDE: &str = "
+var __rng: int;
+
+fn srand(s: int) { __rng = s; }
+
+// Deterministic 64-bit LCG; identical constants in the Rust references.
+fn rnd(n: int) -> int {
+    __rng = __rng * 6364136223846793005 + 1442695040888963407;
+    return ((__rng >> 33) & 0x7FFFFFFF) % n;
+}
+
+// Reads the idx-th little-endian 64-bit integer from the input buffer.
+fn geti(idx: int) -> int { return input_word(idx); }
+";
+
+/// Rust mirror of the DCL LCG (for reference implementations).
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: i64,
+}
+
+impl Lcg {
+    /// Seeds the generator.
+    #[must_use]
+    pub fn new(seed: i64) -> Self {
+        Lcg { state: seed }
+    }
+
+    /// `rnd(n)` of the DCL prelude.
+    #[must_use]
+    pub fn below(&mut self, n: i64) -> i64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.state >> 33) & 0x7FFF_FFFF) % n
+    }
+}
+
+/// Encodes a slice of integers as the little-endian input layout `geti`
+/// reads.
+#[must_use]
+pub fn encode_ints(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Joins the prelude with a workload body.
+#[must_use]
+pub fn with_prelude(body: &str) -> String {
+    format!("{PRELUDE}\n{body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn lcg_matches_between_rust_and_dcl() {
+        let body = "
+            fn main() -> int {
+                srand(geti(0));
+                var acc: int = 0;
+                var i: int = 0;
+                while (i < 10) { acc = acc * 31 + rnd(1000); i = i + 1; }
+                return acc & 0xFFFFFFFF;
+            }
+        ";
+        let mut lcg = Lcg::new(12345);
+        let mut acc: i64 = 0;
+        for _ in 0..10 {
+            acc = acc.wrapping_mul(31).wrapping_add(lcg.below(1000));
+        }
+        let expected = (acc & 0xFFFF_FFFF) as u64;
+        let src = with_prelude(body);
+        execute_expect(&src, &encode_ints(&[12345]), &PolicySet::none(), expected);
+        execute_expect(&src, &encode_ints(&[12345]), &PolicySet::full(), expected);
+    }
+
+    #[test]
+    fn geti_reads_little_endian() {
+        let body = "fn main() -> int { return geti(1) - geti(0); }";
+        let src = with_prelude(body);
+        execute_expect(&src, &encode_ints(&[100, 142]), &PolicySet::none(), 42);
+    }
+}

@@ -1,0 +1,129 @@
+//! ASSIGNMENT: greedy task-assignment over a cost matrix whose every
+//! element is produced through a function-pointer transform table — the
+//! indirect-call-heavy kernel that makes P5 expensive in Table II ("uses a
+//! lot of function pointers", as the paper notes).
+
+use super::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+const BODY: &str = "
+var cost: [int; 1024];
+var taken: [int; 32];
+var tf: [fn(int) -> int; 4];
+
+fn t_id(x: int) -> int { return x; }
+fn t_dbl(x: int) -> int { return x * 2; }
+fn t_inc(x: int) -> int { return x + 7; }
+fn t_mix(x: int) -> int { return (x * 3) / 2; }
+
+fn main() -> int {
+    var n: int = geti(0);
+    srand(geti(1));
+    tf[0] = &t_id;
+    tf[1] = &t_dbl;
+    tf[2] = &t_inc;
+    tf[3] = &t_mix;
+    var i: int = 0;
+    while (i < n) {
+        var j: int = 0;
+        while (j < n) {
+            var f: fn(int) -> int = tf[rnd(4)];
+            cost[i * n + j] = f(rnd(1000));
+            j = j + 1;
+        }
+        taken[i] = 0;
+        i = i + 1;
+    }
+    // Greedy row-by-row assignment to the cheapest free column.
+    var total: int = 0;
+    i = 0;
+    while (i < n) {
+        var best: int = 0 - 1;
+        var bestc: int = 0x7FFFFFFF;
+        var j: int = 0;
+        while (j < n) {
+            if (taken[j] == 0 && cost[i * n + j] < bestc) {
+                bestc = cost[i * n + j];
+                best = j;
+            }
+            j = j + 1;
+        }
+        taken[best] = 1;
+        total = total + bestc;
+        i = i + 1;
+    }
+    return total;
+}
+";
+
+/// DCL source.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[n, seed]` — an n×n cost matrix (n ≤ 32).
+#[must_use]
+pub fn input(scale: u32) -> Vec<u8> {
+    encode_ints(&[(8 + 2 * scale as i64).min(32), 0x5EED_0006])
+}
+
+/// Bit-exact native reference.
+#[must_use]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (n, seed) = (header[0] as usize, header[1]);
+    let mut lcg = Lcg::new(seed);
+    let transforms: [fn(i64) -> i64; 4] = [
+        |x| x,
+        |x| x.wrapping_mul(2),
+        |x| x + 7,
+        |x| x.wrapping_mul(3) / 2,
+    ];
+    let mut cost = vec![0i64; n * n];
+    for row in cost.chunks_mut(n).take(n) {
+        for c in row.iter_mut() {
+            let f = transforms[lcg.below(4) as usize];
+            *c = f(lcg.below(1000));
+        }
+    }
+    let mut taken = vec![false; n];
+    let mut total: i64 = 0;
+    for i in 0..n {
+        let mut best = usize::MAX;
+        let mut bestc = 0x7FFF_FFFFi64;
+        for j in 0..n {
+            if !taken[j] && cost[i * n + j] < bestc {
+                bestc = cost[i * n + j];
+                best = j;
+            }
+        }
+        taken[best] = true;
+        total += bestc;
+    }
+    total as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+
+    #[test]
+    fn cfi_level_also_matches() {
+        // The function-pointer traffic must behave identically under the
+        // bounds-checked CFI lowering.
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::p1_p5(), expected);
+    }
+}

@@ -1,0 +1,86 @@
+//! BITFIELD: random set/clear/toggle operations on a bitmap followed by a
+//! popcount sweep.
+
+use super::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+const BODY: &str = "
+var bits: [int; 512];
+
+fn bset(i: int) { bits[i >> 6] = bits[i >> 6] | (1 << (i & 63)); }
+fn bclr(i: int) { bits[i >> 6] = bits[i >> 6] & ~(1 << (i & 63)); }
+fn btgl(i: int) { bits[i >> 6] = bits[i >> 6] ^ (1 << (i & 63)); }
+
+fn main() -> int {
+    var ops: int = geti(0);
+    srand(geti(1));
+    var k: int = 0;
+    while (k < ops) {
+        var pos: int = rnd(32768);
+        var op: int = rnd(3);
+        if (op == 0) { bset(pos); }
+        else if (op == 1) { bclr(pos); }
+        else { btgl(pos); }
+        k = k + 1;
+    }
+    var acc: int = 0;
+    var w: int = 0;
+    while (w < 512) {
+        var v: int = bits[w];
+        var b: int = 0;
+        while (b < 64) {
+            acc = acc + ((v >> b) & 1);
+            b = b + 1;
+        }
+        w = w + 1;
+    }
+    return acc;
+}
+";
+
+/// DCL source.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[ops, seed]`.
+#[must_use]
+pub fn input(scale: u32) -> Vec<u8> {
+    encode_ints(&[300 * scale as i64, 0x5EED_0003])
+}
+
+/// Bit-exact native reference.
+#[must_use]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (ops, seed) = (header[0], header[1]);
+    let mut lcg = Lcg::new(seed);
+    let mut bits = [0i64; 512];
+    for _ in 0..ops {
+        let pos = lcg.below(32768);
+        let op = lcg.below(3);
+        let (w, mask) = ((pos >> 6) as usize, 1i64.wrapping_shl((pos & 63) as u32));
+        match op {
+            0 => bits[w] |= mask,
+            1 => bits[w] &= !mask,
+            _ => bits[w] ^= mask,
+        }
+    }
+    bits.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+}

@@ -1,0 +1,149 @@
+//! FOURIER: numerical integration of Fourier coefficients with
+//! Taylor-series trigonometry (FPU-heavy, few stores).
+
+use super::read_ints;
+use crate::{encode_ints, with_prelude};
+
+const BODY: &str = "
+fn fsin(x: float) -> float {
+    var x2: float = x * x;
+    var term: float = x;
+    var sum: float = x;
+    var k: int = 1;
+    while (k < 10) {
+        term = 0.0 - term * x2 / itof((2 * k) * (2 * k + 1));
+        sum = sum + term;
+        k = k + 1;
+    }
+    return sum;
+}
+
+fn fcos(x: float) -> float {
+    var x2: float = x * x;
+    var term: float = 1.0;
+    var sum: float = 1.0;
+    var k: int = 1;
+    while (k < 10) {
+        term = 0.0 - term * x2 / itof((2 * k - 1) * (2 * k));
+        sum = sum + term;
+        k = k + 1;
+    }
+    return sum;
+}
+
+// Trapezoid integration of f(x)*cos(n*x) (or sin) over [0, 2], f(x) = x.
+fn coef(n: int, steps: int, use_sin: int) -> float {
+    var h: float = 2.0 / itof(steps);
+    var sum: float = 0.0;
+    var i: int = 0;
+    while (i <= steps) {
+        var x: float = itof(i) * h;
+        var basis: float = 0.0;
+        if (use_sin == 1) { basis = fsin(itof(n) * x); }
+        else { basis = fcos(itof(n) * x); }
+        var v: float = x * basis;
+        if (i == 0 || i == steps) { v = v * 0.5; }
+        sum = sum + v;
+        i = i + 1;
+    }
+    return sum * h;
+}
+
+fn main() -> int {
+    var ncoef: int = geti(0);
+    var steps: int = geti(1);
+    srand(geti(2));
+    var acc: float = 0.0;
+    var n: int = 1;
+    while (n <= ncoef) {
+        acc = acc + coef(n, steps, 0) + coef(n, steps, 1);
+        n = n + 1;
+    }
+    return ftoi(acc * 1000000.0) & 0xFFFFFFFF;
+}
+";
+
+/// DCL source.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[ncoef, steps, seed]`.
+#[must_use]
+pub fn input(scale: u32) -> Vec<u8> {
+    encode_ints(&[3 * scale as i64, 20, 0x5EED_0005])
+}
+
+fn fsin(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    for k in 1..10i64 {
+        term = 0.0 - term * x2 / ((2 * k) * (2 * k + 1)) as f64;
+        sum += term;
+    }
+    sum
+}
+
+fn fcos(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..10i64 {
+        term = 0.0 - term * x2 / ((2 * k - 1) * (2 * k)) as f64;
+        sum += term;
+    }
+    sum
+}
+
+fn coef(n: i64, steps: i64, use_sin: bool) -> f64 {
+    let h = 2.0 / steps as f64;
+    let mut sum = 0.0;
+    for i in 0..=steps {
+        let x = i as f64 * h;
+        let basis = if use_sin { fsin(n as f64 * x) } else { fcos(n as f64 * x) };
+        let mut v = x * basis;
+        if i == 0 || i == steps {
+            v *= 0.5;
+        }
+        sum += v;
+    }
+    sum * h
+}
+
+/// Bit-exact native reference.
+#[must_use]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (ncoef, steps) = (header[0], header[1]);
+    let mut acc = 0.0;
+    for n in 1..=ncoef {
+        acc += coef(n, steps, false) + coef(n, steps, true);
+    }
+    (((acc * 1_000_000.0) as i64) & 0xFFFF_FFFF) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+
+    #[test]
+    fn taylor_series_is_accurate_in_range() {
+        for i in 0..20 {
+            let x = i as f64 * 0.3;
+            assert!((fsin(x) - x.sin()).abs() < 2e-2, "sin({x})");
+            assert!((fcos(x) - x.cos()).abs() < 2e-2, "cos({x})");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! FP EMULATION: software floating point built from integer operations.
+//!
+//! Almost all work happens in registers and locals — very few array stores —
+//! which is why this kernel shows the *lowest* P1 overhead in Table II
+//! (+0.20% in the paper).
+
+use super::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+const BODY: &str = "
+fn fpack(s: int, e: int, m: int) -> int {
+    return (s << 31) | (e << 23) | (m & 0x7FFFFF);
+}
+
+fn fmulx(a: int, b: int) -> int {
+    var sa: int = (a >> 31) & 1;
+    var sb: int = (b >> 31) & 1;
+    var ea: int = (a >> 23) & 0xFF;
+    var eb: int = (b >> 23) & 0xFF;
+    var ma: int = (a & 0x7FFFFF) | 0x800000;
+    var mb: int = (b & 0x7FFFFF) | 0x800000;
+    var m: int = (ma * mb) >> 23;
+    var e: int = ea + eb - 127;
+    while (m >= 0x1000000) { m = m >> 1; e = e + 1; }
+    if (e > 254) { e = 254; }
+    if (e < 1) { e = 1; }
+    return ((sa ^ sb) << 31) | (e << 23) | (m & 0x7FFFFF);
+}
+
+fn faddx(a: int, b: int) -> int {
+    var ea: int = (a >> 23) & 0xFF;
+    var eb: int = (b >> 23) & 0xFF;
+    if (eb > ea) {
+        var t: int = a; a = b; b = t;
+        t = ea; ea = eb; eb = t;
+    }
+    var ma: int = (a & 0x7FFFFF) | 0x800000;
+    var mb: int = (b & 0x7FFFFF) | 0x800000;
+    var d: int = ea - eb;
+    if (d > 24) { return a; }
+    mb = mb >> d;
+    var m: int = ma + mb;
+    var e: int = ea;
+    while (m >= 0x1000000) { m = m >> 1; e = e + 1; }
+    if (e > 254) { e = 254; }
+    return (((a >> 31) & 1) << 31) | (e << 23) | (m & 0x7FFFFF);
+}
+
+fn main() -> int {
+    var n: int = geti(0);
+    srand(geti(1));
+    var acc: int = fpack(0, 127, 0);
+    var i: int = 0;
+    while (i < n) {
+        var r: int = fpack(rnd(2), 120 + rnd(14), rnd(0x800000));
+        if (rnd(2) == 0) { acc = fmulx(acc, r); }
+        else { acc = faddx(acc, r); }
+        i = i + 1;
+    }
+    return acc & 0xFFFFFFFF;
+}
+";
+
+/// DCL source.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[n, seed]`.
+#[must_use]
+pub fn input(scale: u32) -> Vec<u8> {
+    encode_ints(&[250 * scale as i64, 0x5EED_0004])
+}
+
+fn fpack(s: i64, e: i64, m: i64) -> i64 {
+    (s << 31) | (e << 23) | (m & 0x7F_FFFF)
+}
+
+fn fmulx(a: i64, b: i64) -> i64 {
+    let (sa, sb) = ((a >> 31) & 1, (b >> 31) & 1);
+    let (ea, eb) = ((a >> 23) & 0xFF, (b >> 23) & 0xFF);
+    let ma = (a & 0x7F_FFFF) | 0x80_0000;
+    let mb = (b & 0x7F_FFFF) | 0x80_0000;
+    let mut m = ma.wrapping_mul(mb) >> 23;
+    let mut e = ea + eb - 127;
+    while m >= 0x100_0000 {
+        m >>= 1;
+        e += 1;
+    }
+    e = e.clamp(1, 254);
+    ((sa ^ sb) << 31) | (e << 23) | (m & 0x7F_FFFF)
+}
+
+fn faddx(mut a: i64, mut b: i64) -> i64 {
+    let mut ea = (a >> 23) & 0xFF;
+    let mut eb = (b >> 23) & 0xFF;
+    if eb > ea {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut ea, &mut eb);
+    }
+    let ma = (a & 0x7F_FFFF) | 0x80_0000;
+    let mut mb = (b & 0x7F_FFFF) | 0x80_0000;
+    let d = ea - eb;
+    if d > 24 {
+        return a;
+    }
+    mb >>= d;
+    let mut m = ma + mb;
+    let mut e = ea;
+    while m >= 0x100_0000 {
+        m >>= 1;
+        e += 1;
+    }
+    if e > 254 {
+        e = 254;
+    }
+    (((a >> 31) & 1) << 31) | (e << 23) | (m & 0x7F_FFFF)
+}
+
+/// Bit-exact native reference.
+#[must_use]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (n, seed) = (header[0], header[1]);
+    let mut lcg = Lcg::new(seed);
+    let mut acc = fpack(0, 127, 0);
+    for _ in 0..n {
+        let r = fpack(lcg.below(2), 120 + lcg.below(14), lcg.below(0x80_0000));
+        if lcg.below(2) == 0 {
+            acc = fmulx(acc, r);
+        } else {
+            acc = faddx(acc, r);
+        }
+    }
+    (acc & 0xFFFF_FFFF) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+
+    #[test]
+    fn soft_float_identities() {
+        // 1.0 * 1.0 = 1.0 in the packed format.
+        let one = fpack(0, 127, 0);
+        assert_eq!(fmulx(one, one), one);
+        // Adding a tiny value to a huge one returns the huge one.
+        let big = fpack(0, 200, 0);
+        let tiny = fpack(0, 10, 0);
+        assert_eq!(faddx(big, tiny), big);
+    }
+}

@@ -1,0 +1,228 @@
+//! HUFFMAN: frequency analysis, code construction and bit-packed encoding
+//! of a byte buffer (byte stores into the bit buffer dominate — high P1
+//! overhead in Table II).
+
+use super::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+const BODY: &str = "
+var text: [byte; 8192];
+var freq: [int; 64];      // node weights (leaves 0..15, internal after)
+var left: [int; 64];
+var right: [int; 64];
+var parent: [int; 64];
+var codelen: [int; 16];
+var outbits: [byte; 65536];
+
+fn main() -> int {
+    var n: int = geti(0);
+    srand(geti(1));
+    // Restricted 16-symbol alphabet for a compact tree.
+    var i: int = 0;
+    while (i < n) { text[i] = rnd(16); i = i + 1; }
+    i = 0;
+    while (i < 64) { freq[i] = 0; parent[i] = 0 - 1; i = i + 1; }
+    i = 0;
+    while (i < n) { freq[text[i]] = freq[text[i]] + 1; i = i + 1; }
+    // Ensure every symbol exists so the tree covers the alphabet.
+    i = 0;
+    while (i < 16) { freq[i] = freq[i] + 1; i = i + 1; }
+
+    // Build the tree: repeatedly join the two smallest live roots.
+    var nodes: int = 16;
+    var joins: int = 0;
+    while (joins < 15) {
+        var a: int = 0 - 1;
+        var b: int = 0 - 1;
+        i = 0;
+        while (i < nodes) {
+            if (parent[i] == 0 - 1) {
+                if (a == 0 - 1 || freq[i] < freq[a]) { b = a; a = i; }
+                else if (b == 0 - 1 || freq[i] < freq[b]) { b = i; }
+            }
+            i = i + 1;
+        }
+        freq[nodes] = freq[a] + freq[b];
+        left[nodes] = a;
+        right[nodes] = b;
+        parent[nodes] = 0 - 1;
+        parent[a] = nodes;
+        parent[b] = nodes;
+        nodes = nodes + 1;
+        joins = joins + 1;
+    }
+
+    // Code length of each symbol = depth in the tree.
+    i = 0;
+    while (i < 16) {
+        var d: int = 0;
+        var p: int = parent[i];
+        while (p != 0 - 1) { d = d + 1; p = parent[p]; }
+        codelen[i] = d;
+        i = i + 1;
+    }
+
+    // Encode: write each symbol's depth as that many alternating bits
+    // (structure-preserving stand-in for the exact code bits).
+    var bitpos: int = 0;
+    i = 0;
+    while (i < n) {
+        var len: int = codelen[text[i]];
+        var k: int = 0;
+        while (k < len) {
+            outbits[bitpos >> 3] = outbits[bitpos >> 3] | ((k & 1) << (bitpos & 7));
+            bitpos = bitpos + 1;
+            k = k + 1;
+        }
+        i = i + 1;
+    }
+
+    var acc: int = bitpos;
+    i = 0;
+    while (i < 16) { acc = acc * 31 + codelen[i]; i = i + 1; }
+    i = 0;
+    while (i < (bitpos >> 3)) { acc = acc * 7 + outbits[i]; i = i + 1; }
+    return acc & 0xFFFFFFFF;
+}
+";
+
+/// DCL source.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[n, seed]` — n symbols to encode.
+#[must_use]
+pub fn input(scale: u32) -> Vec<u8> {
+    encode_ints(&[(150 * scale as i64).min(8192), 0x5EED_0008])
+}
+
+/// Bit-exact native reference.
+#[must_use]
+#[allow(clippy::needless_range_loop, clippy::explicit_counter_loop)]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (n, seed) = (header[0] as usize, header[1]);
+    let mut lcg = Lcg::new(seed);
+    let text: Vec<usize> = (0..n).map(|_| lcg.below(16) as usize).collect();
+    let mut freq = [0i64; 64];
+    let mut left = [0usize; 64];
+    let mut right = [0usize; 64];
+    let mut parent = [usize::MAX; 64];
+    for &t in &text {
+        freq[t] += 1;
+    }
+    for f in freq.iter_mut().take(16) {
+        *f += 1;
+    }
+    let mut nodes = 16;
+    for _ in 0..15 {
+        let (mut a, mut b) = (usize::MAX, usize::MAX);
+        for i in 0..nodes {
+            if parent[i] == usize::MAX {
+                if a == usize::MAX || freq[i] < freq[a] {
+                    b = a;
+                    a = i;
+                } else if b == usize::MAX || freq[i] < freq[b] {
+                    b = i;
+                }
+            }
+        }
+        freq[nodes] = freq[a] + freq[b];
+        left[nodes] = a;
+        right[nodes] = b;
+        parent[a] = nodes;
+        parent[b] = nodes;
+        nodes += 1;
+    }
+    let _ = (left, right);
+    let mut codelen = [0i64; 16];
+    for (i, cl) in codelen.iter_mut().enumerate() {
+        let mut d = 0;
+        let mut p = parent[i];
+        while p != usize::MAX {
+            d += 1;
+            p = parent[p];
+        }
+        *cl = d;
+    }
+    let mut outbits = vec![0u8; 65536];
+    let mut bitpos: i64 = 0;
+    for &t in &text {
+        for k in 0..codelen[t] {
+            outbits[(bitpos >> 3) as usize] |= ((k & 1) as u8) << (bitpos & 7);
+            bitpos += 1;
+        }
+    }
+    let mut acc: i64 = bitpos;
+    for cl in &codelen {
+        acc = acc.wrapping_mul(31).wrapping_add(*cl);
+    }
+    for i in 0..(bitpos >> 3) as usize {
+        acc = acc.wrapping_mul(7).wrapping_add(outbits[i] as i64);
+    }
+    (acc & 0xFFFF_FFFF) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+
+    #[test]
+    #[allow(clippy::explicit_counter_loop)]
+    fn code_lengths_satisfy_kraft() {
+        // Sanity on the reference tree: sum 2^-len == 1 for a full binary tree.
+        let inp = input(1);
+        let header = read_ints(&inp);
+        let mut lcg = Lcg::new(header[1]);
+        let text: Vec<usize> = (0..header[0] as usize).map(|_| lcg.below(16) as usize).collect();
+        let mut freq = [0i64; 64];
+        let mut parent = [usize::MAX; 64];
+        for &t in &text {
+            freq[t] += 1;
+        }
+        for f in freq.iter_mut().take(16) {
+            *f += 1;
+        }
+        let mut nodes = 16;
+        for _ in 0..15 {
+            let (mut a, mut b) = (usize::MAX, usize::MAX);
+            for i in 0..nodes {
+                if parent[i] == usize::MAX {
+                    if a == usize::MAX || freq[i] < freq[a] {
+                        b = a;
+                        a = i;
+                    } else if b == usize::MAX || freq[i] < freq[b] {
+                        b = i;
+                    }
+                }
+            }
+            freq[nodes] = freq[a] + freq[b];
+            parent[a] = nodes;
+            parent[b] = nodes;
+            nodes += 1;
+        }
+        let mut kraft = 0.0;
+        for i in 0..16 {
+            let mut d = 0;
+            let mut p = parent[i];
+            while p != usize::MAX {
+                d += 1;
+                p = parent[p];
+            }
+            kraft += 0.5f64.powi(d);
+        }
+        assert!((kraft - 1.0).abs() < 1e-9, "kraft sum {kraft}");
+    }
+}

@@ -1,0 +1,171 @@
+//! IDEA: the International Data Encryption Algorithm's round structure —
+//! 16-bit modular multiplication (mod 65537), addition (mod 65536) and XOR
+//! over 4-word blocks with 52 subkeys.
+
+use super::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+const BODY: &str = "
+var data: [byte; 8192];
+var keys: [int; 52];
+
+fn mul16(a: int, b: int) -> int {
+    if (a == 0) { return (65537 - b) & 0xFFFF; }
+    if (b == 0) { return (65537 - a) & 0xFFFF; }
+    return (a * b % 65537) & 0xFFFF;
+}
+
+fn encrypt_block(off: int) {
+    var x0: int = data[off] | (data[off + 1] << 8);
+    var x1: int = data[off + 2] | (data[off + 3] << 8);
+    var x2: int = data[off + 4] | (data[off + 5] << 8);
+    var x3: int = data[off + 6] | (data[off + 7] << 8);
+    var r: int = 0;
+    while (r < 8) {
+        var k: int = r * 6;
+        x0 = mul16(x0, keys[k]);
+        x1 = (x1 + keys[k + 1]) & 0xFFFF;
+        x2 = (x2 + keys[k + 2]) & 0xFFFF;
+        x3 = mul16(x3, keys[k + 3]);
+        var t0: int = x0 ^ x2;
+        var t1: int = x1 ^ x3;
+        t0 = mul16(t0, keys[k + 4]);
+        t1 = (t1 + t0) & 0xFFFF;
+        t1 = mul16(t1, keys[k + 5]);
+        t0 = (t0 + t1) & 0xFFFF;
+        x0 = x0 ^ t1;
+        x2 = x2 ^ t1;
+        x1 = x1 ^ t0;
+        x3 = x3 ^ t0;
+        var t: int = x1;
+        x1 = x2;
+        x2 = t;
+        r = r + 1;
+    }
+    var y0: int = mul16(x0, keys[48]);
+    var y1: int = (x2 + keys[49]) & 0xFFFF;
+    var y2: int = (x1 + keys[50]) & 0xFFFF;
+    var y3: int = mul16(x3, keys[51]);
+    data[off] = y0 & 0xFF;
+    data[off + 1] = (y0 >> 8) & 0xFF;
+    data[off + 2] = y1 & 0xFF;
+    data[off + 3] = (y1 >> 8) & 0xFF;
+    data[off + 4] = y2 & 0xFF;
+    data[off + 5] = (y2 >> 8) & 0xFF;
+    data[off + 6] = y3 & 0xFF;
+    data[off + 7] = (y3 >> 8) & 0xFF;
+}
+
+fn main() -> int {
+    var nblocks: int = geti(0);
+    srand(geti(1));
+    var i: int = 0;
+    while (i < 52) { keys[i] = rnd(65536); i = i + 1; }
+    i = 0;
+    while (i < nblocks * 8) { data[i] = rnd(256); i = i + 1; }
+    i = 0;
+    while (i < nblocks) { encrypt_block(i * 8); i = i + 1; }
+    var acc: int = 0;
+    i = 0;
+    while (i < nblocks * 8) { acc = acc * 31 + data[i]; i = i + 1; }
+    return acc & 0xFFFFFFFF;
+}
+";
+
+/// DCL source.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[nblocks, seed]` (8-byte blocks).
+#[must_use]
+pub fn input(scale: u32) -> Vec<u8> {
+    encode_ints(&[(20 * scale as i64).min(1024), 0x5EED_0007])
+}
+
+fn mul16(a: i64, b: i64) -> i64 {
+    if a == 0 {
+        return (65537 - b) & 0xFFFF;
+    }
+    if b == 0 {
+        return (65537 - a) & 0xFFFF;
+    }
+    (a.wrapping_mul(b) % 65537) & 0xFFFF
+}
+
+/// Bit-exact native reference.
+#[must_use]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (nblocks, seed) = (header[0] as usize, header[1]);
+    let mut lcg = Lcg::new(seed);
+    let keys: Vec<i64> = (0..52).map(|_| lcg.below(65536)).collect();
+    let mut data: Vec<i64> = (0..nblocks * 8).map(|_| lcg.below(256)).collect();
+    for blk in 0..nblocks {
+        let off = blk * 8;
+        let mut x0 = data[off] | (data[off + 1] << 8);
+        let mut x1 = data[off + 2] | (data[off + 3] << 8);
+        let mut x2 = data[off + 4] | (data[off + 5] << 8);
+        let mut x3 = data[off + 6] | (data[off + 7] << 8);
+        for r in 0..8 {
+            let k = r * 6;
+            x0 = mul16(x0, keys[k]);
+            x1 = (x1 + keys[k + 1]) & 0xFFFF;
+            x2 = (x2 + keys[k + 2]) & 0xFFFF;
+            x3 = mul16(x3, keys[k + 3]);
+            let mut t0 = x0 ^ x2;
+            let mut t1 = x1 ^ x3;
+            t0 = mul16(t0, keys[k + 4]);
+            t1 = (t1 + t0) & 0xFFFF;
+            t1 = mul16(t1, keys[k + 5]);
+            t0 = (t0 + t1) & 0xFFFF;
+            x0 ^= t1;
+            x2 ^= t1;
+            x1 ^= t0;
+            x3 ^= t0;
+            std::mem::swap(&mut x1, &mut x2);
+        }
+        let y0 = mul16(x0, keys[48]);
+        let y1 = (x2 + keys[49]) & 0xFFFF;
+        let y2 = (x1 + keys[50]) & 0xFFFF;
+        let y3 = mul16(x3, keys[51]);
+        for (i, y) in [y0, y1, y2, y3].into_iter().enumerate() {
+            data[off + 2 * i] = y & 0xFF;
+            data[off + 2 * i + 1] = (y >> 8) & 0xFF;
+        }
+    }
+    let mut acc: i64 = 0;
+    for b in &data {
+        acc = acc.wrapping_mul(31).wrapping_add(*b);
+    }
+    (acc & 0xFFFF_FFFF) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+
+    #[test]
+    fn mul16_group_properties() {
+        // mul16 implements multiplication in GF(2^16+1) with 0 ≡ 2^16.
+        assert_eq!(mul16(1, 1), 1);
+        assert_eq!(mul16(0, 1), 65536 & 0xFFFF); // 2^16 * 1 = 2^16 ≡ 0 repr
+        // Commutativity on a sample.
+        let mut lcg = Lcg::new(9);
+        for _ in 0..100 {
+            let (a, b) = (lcg.below(65536), lcg.below(65536));
+            assert_eq!(mul16(a, b), mul16(b, a));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The ten nBench kernels of the paper's Table II, re-implemented in DCL.
+//!
+//! Each kernel preserves the *operation mix* that drives its column in the
+//! table: NUMERIC SORT and STRING SORT are store-heavy; FP EMULATION is
+//! almost pure register arithmetic (lowest P1 cost, as the paper observes);
+//! ASSIGNMENT routes every matrix element through function-pointer
+//! callbacks (highest P5 cost, "uses a lot of function pointers");
+//! FOURIER / NEURAL NET / LU DECOMPOSITION exercise the FPU.
+//!
+//! Every kernel ships with a bit-exact Rust reference; tests compare exit
+//! values through the full pipeline at the baseline and full policy levels.
+
+pub mod assignment;
+pub mod bitfield;
+pub mod fourier;
+pub mod fp_emu;
+pub mod huffman;
+pub mod idea;
+pub mod lu;
+pub mod neural_net;
+pub mod numeric_sort;
+pub mod string_sort;
+
+/// A Table II kernel: DCL source, input generator and native reference.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    /// Name as printed in Table II.
+    pub name: &'static str,
+    /// DCL source (prelude included).
+    pub source: fn() -> String,
+    /// Input bytes for a given scale factor (1 = test size, larger for
+    /// benches).
+    pub input: fn(u32) -> Vec<u8>,
+    /// Bit-exact native implementation.
+    pub reference: fn(&[u8]) -> u64,
+}
+
+/// All ten kernels in Table II order.
+#[must_use]
+pub fn all() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "NUMERIC SORT",
+            source: numeric_sort::source,
+            input: numeric_sort::input,
+            reference: numeric_sort::reference,
+        },
+        Kernel {
+            name: "STRING SORT",
+            source: string_sort::source,
+            input: string_sort::input,
+            reference: string_sort::reference,
+        },
+        Kernel {
+            name: "BITFIELD",
+            source: bitfield::source,
+            input: bitfield::input,
+            reference: bitfield::reference,
+        },
+        Kernel {
+            name: "FP EMULATION",
+            source: fp_emu::source,
+            input: fp_emu::input,
+            reference: fp_emu::reference,
+        },
+        Kernel {
+            name: "FOURIER",
+            source: fourier::source,
+            input: fourier::input,
+            reference: fourier::reference,
+        },
+        Kernel {
+            name: "ASSIGNMENT",
+            source: assignment::source,
+            input: assignment::input,
+            reference: assignment::reference,
+        },
+        Kernel {
+            name: "IDEA",
+            source: idea::source,
+            input: idea::input,
+            reference: idea::reference,
+        },
+        Kernel {
+            name: "HUFFMAN",
+            source: huffman::source,
+            input: huffman::input,
+            reference: huffman::reference,
+        },
+        Kernel {
+            name: "NEURAL NET",
+            source: neural_net::source,
+            input: neural_net::input,
+            reference: neural_net::reference,
+        },
+        Kernel {
+            name: "LU DECOMPOSITION",
+            source: lu::source,
+            input: lu::input,
+            reference: lu::reference,
+        },
+    ]
+}
+
+/// Reads the little-endian integer header the DCL prelude's `geti` sees.
+#[must_use]
+pub fn read_ints(input: &[u8]) -> Vec<i64> {
+    input
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunked")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_ten_kernels() {
+        let kernels = all();
+        assert_eq!(kernels.len(), 10);
+        assert_eq!(kernels[0].name, "NUMERIC SORT");
+        assert_eq!(kernels[9].name, "LU DECOMPOSITION");
+    }
+
+    #[test]
+    fn read_ints_roundtrip() {
+        let bytes = crate::encode_ints(&[1, -5, i64::MAX]);
+        assert_eq!(read_ints(&bytes), vec![1, -5, i64::MAX]);
+    }
+}

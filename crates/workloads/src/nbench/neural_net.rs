@@ -1,0 +1,174 @@
+//! NEURAL NET: a small multi-layer perceptron trained by back-propagation
+//! (FPU-heavy with weight-array stores).
+
+use super::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+const BODY: &str = "
+var w1: [float; 64];     // 8 inputs x 8 hidden
+var w2: [float; 8];      // 8 hidden -> 1 output
+var hid: [float; 8];
+var sample: [float; 8];
+
+fn act(x: float) -> float {
+    // Fast rational sigmoid: 0.5 * (x / (1 + |x|)) + 0.5
+    var a: float = x;
+    if (a < 0.0) { a = 0.0 - a; }
+    return 0.5 * (x / (1.0 + a)) + 0.5;
+}
+
+fn forward() -> float {
+    var h: int = 0;
+    while (h < 8) {
+        var s: float = 0.0;
+        var i: int = 0;
+        while (i < 8) {
+            s = s + w1[h * 8 + i] * sample[i];
+            i = i + 1;
+        }
+        hid[h] = act(s);
+        h = h + 1;
+    }
+    var o: float = 0.0;
+    h = 0;
+    while (h < 8) { o = o + w2[h] * hid[h]; h = h + 1; }
+    return act(o);
+}
+
+fn main() -> int {
+    var epochs: int = geti(0);
+    var samples: int = geti(1);
+    srand(geti(2));
+    var i: int = 0;
+    while (i < 64) { w1[i] = itof(rnd(200) - 100) / 100.0; i = i + 1; }
+    i = 0;
+    while (i < 8) { w2[i] = itof(rnd(200) - 100) / 100.0; i = i + 1; }
+
+    var lr: float = 0.2;
+    var err: float = 0.0;
+    var e: int = 0;
+    while (e < epochs) {
+        err = 0.0;
+        srand(geti(3));
+        var s: int = 0;
+        while (s < samples) {
+            var ones: int = 0;
+            i = 0;
+            while (i < 8) {
+                var bit: int = rnd(2);
+                ones = ones + bit;
+                sample[i] = itof(bit * 2 - 1);
+                i = i + 1;
+            }
+            var target: float = itof(ones & 1);
+            var out: float = forward();
+            var delta: float = (out - target) * out * (1.0 - out);
+            err = err + (out - target) * (out - target);
+            // Update the output layer, then the hidden layer.
+            var h: int = 0;
+            while (h < 8) {
+                var dh: float = delta * w2[h] * hid[h] * (1.0 - hid[h]);
+                w2[h] = w2[h] - lr * delta * hid[h];
+                i = 0;
+                while (i < 8) {
+                    w1[h * 8 + i] = w1[h * 8 + i] - lr * dh * sample[i];
+                    i = i + 1;
+                }
+                h = h + 1;
+            }
+            s = s + 1;
+        }
+        e = e + 1;
+    }
+    return ftoi(err * 1000000.0) & 0xFFFFFFFF;
+}
+";
+
+/// DCL source.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[epochs, samples, weight_seed, data_seed]`.
+#[must_use]
+pub fn input(scale: u32) -> Vec<u8> {
+    encode_ints(&[2 * scale as i64, 12, 0x5EED_0009, 0x5EED_000A])
+}
+
+fn act(x: f64) -> f64 {
+    let a = if x < 0.0 { 0.0 - x } else { x };
+    0.5 * (x / (1.0 + a)) + 0.5
+}
+
+/// Bit-exact native reference.
+#[must_use]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (epochs, samples, wseed, dseed) = (header[0], header[1], header[2], header[3]);
+    let mut lcg = Lcg::new(wseed);
+    let mut w1: Vec<f64> = (0..64).map(|_| (lcg.below(200) - 100) as f64 / 100.0).collect();
+    let mut w2: Vec<f64> = (0..8).map(|_| (lcg.below(200) - 100) as f64 / 100.0).collect();
+    let lr = 0.2;
+    let mut err = 0.0;
+    for _ in 0..epochs {
+        err = 0.0;
+        let mut data = Lcg::new(dseed);
+        for _ in 0..samples {
+            let mut sample = [0.0f64; 8];
+            let mut ones = 0i64;
+            for s in &mut sample {
+                let bit = data.below(2);
+                ones += bit;
+                *s = (bit * 2 - 1) as f64;
+            }
+            let target = (ones & 1) as f64;
+            // Forward.
+            let mut hid = [0.0f64; 8];
+            for h in 0..8 {
+                let mut s = 0.0;
+                for i in 0..8 {
+                    s += w1[h * 8 + i] * sample[i];
+                }
+                hid[h] = act(s);
+            }
+            let mut o = 0.0;
+            for h in 0..8 {
+                o += w2[h] * hid[h];
+            }
+            let out = act(o);
+            let delta = (out - target) * out * (1.0 - out);
+            err += (out - target) * (out - target);
+            for h in 0..8 {
+                let dh = delta * w2[h] * hid[h] * (1.0 - hid[h]);
+                w2[h] -= lr * delta * hid[h];
+                for i in 0..8 {
+                    w1[h * 8 + i] -= lr * dh * sample[i];
+                }
+            }
+        }
+    }
+    (((err * 1_000_000.0) as i64) & 0xFFFF_FFFF) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+
+    #[test]
+    fn training_reduces_error() {
+        let short = reference(&encode_ints(&[1, 12, 0x5EED_0009, 0x5EED_000A]));
+        let long = reference(&encode_ints(&[40, 12, 0x5EED_0009, 0x5EED_000A]));
+        assert!(long < short, "after training: {long} vs initial {short}");
+    }
+}

@@ -1,0 +1,95 @@
+//! NUMERIC SORT: heapsort over an integer array (store-heavy).
+
+use super::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+const BODY: &str = "
+var arr: [int; 8192];
+
+fn sift(root: int, n: int) {
+    var r: int = root;
+    while (r * 2 + 1 < n) {
+        var child: int = r * 2 + 1;
+        if (child + 1 < n && arr[child] < arr[child + 1]) { child = child + 1; }
+        if (arr[r] < arr[child]) {
+            var t: int = arr[r];
+            arr[r] = arr[child];
+            arr[child] = t;
+            r = child;
+        } else {
+            return;
+        }
+    }
+}
+
+fn heapsort(n: int) {
+    var start: int = n / 2 - 1;
+    while (start >= 0) { sift(start, n); start = start - 1; }
+    var end: int = n - 1;
+    while (end > 0) {
+        var t: int = arr[end];
+        arr[end] = arr[0];
+        arr[0] = t;
+        sift(0, end);
+        end = end - 1;
+    }
+}
+
+fn main() -> int {
+    var n: int = geti(0);
+    srand(geti(1));
+    var i: int = 0;
+    while (i < n) { arr[i] = rnd(1000000); i = i + 1; }
+    heapsort(n);
+    var acc: int = 0;
+    i = 0;
+    while (i < n) {
+        if (i > 0 && arr[i] < arr[i - 1]) { return 1; }
+        acc = acc * 31 + arr[i];
+        i = i + 1;
+    }
+    return acc & 0xFFFFFFFF;
+}
+";
+
+/// DCL source.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[n, seed]`, n elements scaled by `scale`.
+#[must_use]
+pub fn input(scale: u32) -> Vec<u8> {
+    encode_ints(&[(100 * scale as i64).min(8192), 0x5EED_0001])
+}
+
+/// Bit-exact native reference.
+#[must_use]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (n, seed) = (header[0] as usize, header[1]);
+    let mut lcg = Lcg::new(seed);
+    let mut arr: Vec<i64> = (0..n).map(|_| lcg.below(1_000_000)).collect();
+    arr.sort_unstable();
+    let mut acc: i64 = 0;
+    for v in &arr {
+        acc = acc.wrapping_mul(31).wrapping_add(*v);
+    }
+    (acc & 0xFFFF_FFFF) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+}

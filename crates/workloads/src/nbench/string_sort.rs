@@ -1,0 +1,108 @@
+//! STRING SORT: selection sort of fixed-width byte strings (byte-store
+//! heavy — the second-highest P1 cost in Table II).
+
+use super::read_ints;
+use crate::{encode_ints, with_prelude, Lcg};
+
+const BODY: &str = "
+var pool: [byte; 16384];
+
+fn sless(a: int, b: int) -> int {
+    var i: int = 0;
+    while (i < 16) {
+        var ca: int = pool[a * 16 + i];
+        var cb: int = pool[b * 16 + i];
+        if (ca < cb) { return 1; }
+        if (ca > cb) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+fn sswap(a: int, b: int) {
+    var i: int = 0;
+    while (i < 16) {
+        var t: int = pool[a * 16 + i];
+        pool[a * 16 + i] = pool[b * 16 + i];
+        pool[b * 16 + i] = t;
+        i = i + 1;
+    }
+}
+
+fn main() -> int {
+    var n: int = geti(0);
+    srand(geti(1));
+    var i: int = 0;
+    while (i < n * 16) { pool[i] = 97 + rnd(26); i = i + 1; }
+    i = 0;
+    while (i < n - 1) {
+        var min: int = i;
+        var j: int = i + 1;
+        while (j < n) {
+            if (sless(j, min)) { min = j; }
+            j = j + 1;
+        }
+        if (min != i) { sswap(i, min); }
+        i = i + 1;
+    }
+    var acc: int = 0;
+    i = 0;
+    while (i < n) {
+        acc = acc * 131 + pool[i * 16] * 7 + pool[i * 16 + 15];
+        i = i + 1;
+    }
+    return acc & 0xFFFFFFFF;
+}
+";
+
+/// DCL source.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Input: `[n, seed]` — n 16-byte strings.
+#[must_use]
+pub fn input(scale: u32) -> Vec<u8> {
+    encode_ints(&[(40 * scale as i64).min(1024), 0x5EED_0002])
+}
+
+/// Bit-exact native reference.
+#[must_use]
+pub fn reference(input: &[u8]) -> u64 {
+    let header = read_ints(input);
+    let (n, seed) = (header[0] as usize, header[1]);
+    let mut lcg = Lcg::new(seed);
+    let mut pool: Vec<[u8; 16]> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut s = [0u8; 16];
+        for b in &mut s {
+            *b = (97 + lcg.below(26)) as u8;
+        }
+        pool.push(s);
+    }
+    pool.sort_unstable();
+    let mut acc: i64 = 0;
+    for s in &pool {
+        acc = acc
+            .wrapping_mul(131)
+            .wrapping_add((s[0] as i64).wrapping_mul(7))
+            .wrapping_add(s[15] as i64);
+    }
+    (acc & 0xFFFF_FFFF) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute_expect;
+    use deflection_core::policy::PolicySet;
+
+    #[test]
+    fn matches_reference_baseline_and_full() {
+        let inp = input(1);
+        let expected = reference(&inp);
+        execute_expect(&source(), &inp, &PolicySet::none(), expected);
+        execute_expect(&source(), &inp, &PolicySet::full(), expected);
+    }
+}

@@ -1,0 +1,147 @@
+//! Convenience harness: compile a DCL workload, install it in a bootstrap
+//! enclave and run it — the path every test and bench shares.
+
+use deflection_core::policy::{Manifest, PolicySet};
+use deflection_core::producer::produce;
+use deflection_core::runtime::{BootstrapEnclave, RunReport};
+use deflection_sgx_sim::layout::{EnclaveLayout, MemConfig};
+use deflection_sgx_sim::vm::RunExit;
+
+/// Default instruction budget for workload runs.
+pub const DEFAULT_FUEL: u64 = 2_000_000_000;
+
+/// A prepared (compiled + installed) workload ready to run repeatedly.
+#[derive(Debug)]
+pub struct Prepared {
+    enclave: BootstrapEnclave,
+    owner_key: [u8; 32],
+}
+
+impl Prepared {
+    /// Compiles `source` under `policy` and installs it in a fresh enclave
+    /// with `config`-sized memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on compile or install failure — workload sources are trusted
+    /// fixtures of this crate.
+    #[must_use]
+    pub fn new(source: &str, policy: &PolicySet, config: MemConfig) -> Self {
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = *policy;
+        Self::with_manifest(source, manifest, config)
+    }
+
+    /// As [`Prepared::new`] with a custom manifest.
+    ///
+    /// # Panics
+    ///
+    /// Panics on compile or install failure.
+    #[must_use]
+    pub fn with_manifest(source: &str, manifest: Manifest, config: MemConfig) -> Self {
+        let policy = manifest.policy;
+        let binary = produce(source, &policy)
+            .unwrap_or_else(|e| panic!("workload must compile: {e}"))
+            .serialize();
+        let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(config), manifest);
+        let owner_key = [0x42u8; 32];
+        enclave.set_owner_session(owner_key);
+        enclave
+            .install_plain(&binary)
+            .unwrap_or_else(|e| panic!("workload must install: {e}"));
+        Prepared { enclave, owner_key }
+    }
+
+    /// Provides an input message (first call fills the input buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enclave rejects the input (cannot happen after a
+    /// successful install).
+    pub fn input(&mut self, data: &[u8]) {
+        self.enclave.provide_input(data).expect("installed");
+    }
+
+    /// Runs from the entry and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no binary is installed (prevented by construction).
+    pub fn run(&mut self, fuel: u64) -> RunReport {
+        self.enclave.run(fuel).expect("installed")
+    }
+
+    /// The data owner's session key (to open sealed records in tests).
+    #[must_use]
+    pub fn owner_key(&self) -> [u8; 32] {
+        self.owner_key
+    }
+
+    /// Mutable access to the underlying enclave (AEX schedules, attacker
+    /// toggles).
+    pub fn enclave_mut(&mut self) -> &mut BootstrapEnclave {
+        &mut self.enclave
+    }
+}
+
+/// One-shot execution: returns the exit value, panicking on any non-halt
+/// outcome.
+///
+/// # Panics
+///
+/// Panics when the program faults, aborts or runs out of fuel.
+#[must_use]
+pub fn execute(source: &str, input: &[u8], policy: &PolicySet) -> u64 {
+    let mut prepared = Prepared::new(source, policy, MemConfig::small());
+    if !input.is_empty() {
+        prepared.input(input);
+    }
+    let report = prepared.run(DEFAULT_FUEL);
+    match report.exit {
+        RunExit::Halted { exit } => exit,
+        other => panic!("workload did not halt cleanly: {other:?}"),
+    }
+}
+
+/// Asserts a workload produces `expected` under `policy`.
+///
+/// # Panics
+///
+/// Panics on mismatch or abnormal exit.
+pub fn execute_expect(source: &str, input: &[u8], policy: &PolicySet, expected: u64) {
+    let got = execute(source, input, policy);
+    assert_eq!(got, expected, "workload exit value mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_execute() {
+        assert_eq!(execute("fn main() -> int { return 9; }", b"", &PolicySet::none()), 9);
+    }
+
+    #[test]
+    fn prepared_is_reusable() {
+        let src = "
+            var counter: int;
+            fn main() -> int { counter = counter + 1; return counter; }
+        ";
+        let mut p = Prepared::new(src, &PolicySet::p1(), MemConfig::small());
+        assert_eq!(p.run(1_000_000).exit.exit_value(), Some(1));
+        // Globals persist across runs (memory is not reset).
+        assert_eq!(p.run(1_000_000).exit.exit_value(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn fuel_exhaustion_panics_in_execute() {
+        let src = "fn main() -> int { while (1) { } return 0; }";
+        let mut p = Prepared::new(src, &PolicySet::none(), MemConfig::small());
+        let report = p.run(1000);
+        assert_eq!(report.exit, RunExit::OutOfFuel);
+        // And the one-shot wrapper panics:
+        let _ = execute(src, b"", &PolicySet::none());
+    }
+}

@@ -1,0 +1,50 @@
+//! The in-enclave HTTPS-style server (the paper's Fig. 10 scenario):
+//! requests are served by a verified handler, every response leaves the
+//! enclave as fixed-length authenticated records.
+//!
+//! Run with: `cargo run --release --example https_server`
+
+use deflection::core::policy::Manifest;
+use deflection::core::producer::produce;
+use deflection::core::runtime::{open_record, BootstrapEnclave};
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::workloads::server;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== in-enclave HTTPS-style server ==\n");
+
+    let manifest = Manifest::ccaas();
+    let policy = manifest.policy;
+    let binary = produce(&server::source(), &policy)?.serialize();
+    let owner_key = [9u8; 32];
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.set_owner_session(owner_key);
+    enclave.install_plain(&binary)?;
+    println!("handler verified and installed\n");
+
+    let mut record_counter = 0u64;
+    for (req_id, size) in [(1u64, 352u64), (2, 776), (3, 128)] {
+        let input = server::request(req_id, size);
+        enclave.provide_input(&input)?;
+        let report = enclave.run(1_000_000_000)?;
+        let exit = report.exit.exit_value().expect("handler halts");
+        assert_eq!(exit, server::reference(&input));
+
+        // The "client" (data owner) decrypts the response records.
+        let mut body = Vec::new();
+        for sealed in &report.records {
+            body.extend(open_record(&owner_key, record_counter, sealed)?);
+            record_counter += 1;
+        }
+        assert_eq!(body.len() as u64, size);
+        println!(
+            "GET /page/{req_id} -> {size} bytes in {} fixed-size records \
+             ({} instructions, checksum {exit:#09x})",
+            report.records.len(),
+            report.stats.instructions
+        );
+    }
+
+    println!("\nEvery response left the enclave encrypted and length-padded (P0).");
+    Ok(())
+}

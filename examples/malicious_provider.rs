@@ -1,0 +1,63 @@
+//! What happens when the code provider is hostile: every attack in the
+//! corpus is thrown at the bootstrap enclave and its containment is shown
+//! (paper Section VI-A, "Policy analysis").
+//!
+//! Run with: `cargo run --release --example malicious_provider`
+
+use deflection::core::attack::{corpus, Expected};
+use deflection::core::consumer::install;
+use deflection::core::policy::Manifest;
+use deflection::core::runtime::BootstrapEnclave;
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::sgx::mem::Memory;
+use deflection::sgx::vm::RunExit;
+
+fn main() {
+    println!("== malicious code provider vs. DEFLECTION ==\n");
+    let manifest = Manifest::ccaas();
+    let mut contained = 0;
+    let total = corpus().len();
+
+    for attack in corpus() {
+        let binary = attack.binary.serialize();
+        let outcome = match attack.expected {
+            Expected::VerifierReject => {
+                let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+                match install(&binary, &manifest, &mut mem) {
+                    Err(e) => {
+                        contained += 1;
+                        format!("REJECTED at load/verify: {e}")
+                    }
+                    Ok(_) => "!! accepted (containment failure)".to_string(),
+                }
+            }
+            Expected::RuntimeAbort(code) => {
+                let mut enclave = BootstrapEnclave::new(
+                    EnclaveLayout::new(MemConfig::small()),
+                    manifest.clone(),
+                );
+                match enclave.install_plain(&binary) {
+                    Err(e) => format!("!! unexpectedly rejected: {e}"),
+                    Ok(_) => match enclave.run(1_000_000) {
+                        Ok(report) => match report.exit {
+                            RunExit::PolicyAbort { code: c } if c == code => {
+                                contained += 1;
+                                format!(
+                                    "ABORTED at runtime (policy code {c}), {} bytes leaked",
+                                    report.untrusted_writes
+                                )
+                            }
+                            other => format!("!! wrong outcome: {other:?}"),
+                        },
+                        Err(e) => format!("!! run error: {e}"),
+                    },
+                }
+            }
+        };
+        println!("{:26} {}", attack.name, outcome);
+        println!("{:26}   ({})", "", attack.description);
+    }
+
+    println!("\n{contained}/{total} attacks contained.");
+    assert_eq!(contained, total, "every attack must be contained");
+}

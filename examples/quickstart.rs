@@ -1,0 +1,97 @@
+//! Quickstart: the complete DEFLECTION flow on one page.
+//!
+//! A code provider compiles a private program with security annotations, a
+//! data owner attests the bootstrap enclave, both deliver their payloads
+//! over role-separated encrypted channels, and the enclave verifies the
+//! binary before running it on the data.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use deflection::attest::{establish_sessions, AttestationService, HandshakeParty, Role};
+use deflection::core::policy::Manifest;
+use deflection::core::producer::produce;
+use deflection::core::runtime::{delivery_nonce, open_record, BootstrapEnclave};
+use deflection::crypto::aead::ChaCha20Poly1305;
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::sgx::measure::Platform;
+
+/// The code provider's *private* algorithm: scores a blood-pressure series
+/// without ever revealing how.
+const PRIVATE_ALGORITHM: &str = "
+fn main() -> int {
+    var n: int = input_len();
+    var risk: int = 0;
+    var i: int = 0;
+    while (i < n) {
+        var v: int = input_byte(i);
+        if (v > 140) { risk = risk + 2; }
+        else if (v > 120) { risk = risk + 1; }
+        i = i + 1;
+    }
+    output_byte(0, risk & 0xFF);
+    send(1);
+    return risk;
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== DEFLECTION quickstart ==\n");
+
+    // --- Platform and enclave setup (the cloud host). ----------------------
+    let platform = Platform::new(1, &[11u8; 32]);
+    let mut service = AttestationService::new();
+    service.register_platform(&platform);
+    let manifest = Manifest::ccaas();
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    let measurement = enclave.measurement();
+    println!("bootstrap enclave measurement: {}", hex(&measurement[..8]));
+
+    // --- Remote attestation + key agreement (paper Fig. 1). ----------------
+    let mut owner = HandshakeParty::new(Role::DataOwner, b"hospital");
+    let mut provider = HandshakeParty::new(Role::CodeProvider, b"pharma-co");
+    let (owner_key, provider_key, ..) =
+        establish_sessions(&platform, &service, measurement, &mut owner, &mut provider)?;
+    enclave.set_owner_session(owner_key);
+    enclave.set_provider_session(provider_key);
+    println!("RA-TLS sessions established (role-separated keys)");
+
+    // --- Code provider: compile + instrument + seal + deliver. ------------
+    let policy = enclave.manifest().policy;
+    let binary = produce(PRIVATE_ALGORITHM, &policy)?.serialize();
+    println!("producer: instrumented binary is {} bytes (P1-P6)", binary.len());
+    let sealed_binary = ChaCha20Poly1305::new(&provider_key).seal(
+        &delivery_nonce(b"BIN\0", 0),
+        b"deflection-binary",
+        &binary,
+    );
+    let code_hash = enclave.ecall_receive_binary(&sealed_binary)?;
+    println!("consumer: loaded, verified, rewritten; code hash {}", hex(&code_hash[..8]));
+
+    // --- Data owner: seal + deliver the sensitive readings. ---------------
+    let readings: Vec<u8> = vec![118, 125, 131, 150, 145, 122, 119, 160];
+    let sealed_data = ChaCha20Poly1305::new(&owner_key).seal(
+        &delivery_nonce(b"DAT\0", 1),
+        b"deflection-userdata",
+        &readings,
+    );
+    enclave.ecall_receive_userdata(&sealed_data)?;
+    println!("data owner: delivered {} sealed readings", readings.len());
+
+    // --- Run under full policy enforcement. --------------------------------
+    let report = enclave.run(10_000_000)?;
+    println!(
+        "run: {:?}, {} instructions, {} bytes leaked outside the enclave",
+        report.exit, report.stats.instructions, report.untrusted_writes
+    );
+
+    // --- Data owner opens the sealed result. -------------------------------
+    let result = open_record(&owner_key, 0, &report.records[0])?;
+    println!("data owner decrypts risk score: {}", result[0]);
+    assert_eq!(report.untrusted_writes, 0);
+    println!("\nOK: computation finished with zero unmediated boundary crossings.");
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

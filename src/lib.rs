@@ -1,0 +1,30 @@
+//! # DEFLECTION — delegated and flexible in-enclave code verification
+//!
+//! A full-system Rust reproduction of *"Practical and Efficient in-Enclave
+//! Verification of Privacy Compliance"* (DSN 2021). This facade crate
+//! re-exports the workspace crates under one namespace; see the individual
+//! crates for details:
+//!
+//! * [`crypto`] — SHA-256 / HMAC / HKDF / ChaCha20-Poly1305 / DH substrate,
+//! * [`isa`] — the executable x86-64-shaped instruction-set model,
+//! * [`obj`] — relocatable object format and static linker,
+//! * [`lang`] — the DCL compiler standing in for Clang/LLVM,
+//! * [`sgx`] — the simulated SGX platform (EPC, AEX/SSA, measurement),
+//! * [`attest`] — quotes, attestation service, RA-TLS-style sessions,
+//! * [`core`] — the paper's contribution: producer, consumer, runtime,
+//! * [`workloads`] — nBench kernels and macro-benchmark applications.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, which compiles a DCL program, instruments it
+//! with the full policy set, verifies it inside the bootstrap enclave, and
+//! runs it on attested, encrypted user data.
+
+pub use deflection_attest as attest;
+pub use deflection_core as core;
+pub use deflection_crypto as crypto;
+pub use deflection_isa as isa;
+pub use deflection_lang as lang;
+pub use deflection_obj as obj;
+pub use deflection_sgx_sim as sgx;
+pub use deflection_workloads as workloads;

@@ -1,0 +1,99 @@
+//! P6 integration: AEX detection, counting, thresholds and the co-location
+//! probe under benign and hostile schedules (paper Section IV-C).
+
+use deflection::core::policy::{abort_codes, Manifest, PolicySet};
+use deflection::core::producer::produce;
+use deflection::core::runtime::BootstrapEnclave;
+use deflection::sgx::aex::{AexInjector, AexSchedule};
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::sgx::vm::RunExit;
+
+const BUSY: &str = "
+var sink: [int; 64];
+fn main() -> int {
+    var i: int = 0;
+    while (i < 20000) {
+        sink[i & 63] = i;
+        i = i + 1;
+    }
+    return sink[7];
+}
+";
+
+fn enclave_with(policy: PolicySet, threshold: u64) -> BootstrapEnclave {
+    let mut manifest = Manifest::ccaas();
+    manifest.policy = policy;
+    manifest.aex_threshold = threshold;
+    let binary = produce(BUSY, &policy).expect("compiles").serialize();
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.install_plain(&binary).expect("verifies");
+    enclave
+}
+
+#[test]
+fn no_aex_no_interference() {
+    let mut enclave = enclave_with(PolicySet::full(), 100);
+    let report = enclave.run(2_000_000_000).expect("runs");
+    assert!(matches!(report.exit, RunExit::Halted { .. }));
+    assert_eq!(report.stats.aex_injected, 0);
+    assert_eq!(report.stats.probes, 0, "no AEX, no probes");
+}
+
+#[test]
+fn benign_timer_aexes_are_counted_but_tolerated() {
+    let mut enclave = enclave_with(PolicySet::full(), 10_000);
+    // A benign OS timer: an AEX every 100k instructions.
+    enclave.set_aex(AexInjector::new(AexSchedule::Periodic { interval: 100_000 }));
+    let report = enclave.run(2_000_000_000).expect("runs");
+    assert!(matches!(report.exit, RunExit::Halted { .. }), "{:?}", report.exit);
+    assert!(report.stats.aex_injected > 0);
+    assert!(report.stats.probes > 0, "each detected AEX runs the probe");
+}
+
+#[test]
+fn controlled_channel_attack_trips_the_threshold() {
+    let mut enclave = enclave_with(PolicySet::full(), 50);
+    // Controlled-channel attacker: forces an exit every 500 instructions
+    // (page-fault style single-stepping).
+    enclave.set_aex(AexInjector::new(AexSchedule::Attack { interval: 500 }));
+    let report = enclave.run(2_000_000_000).expect("runs");
+    assert_eq!(report.exit, RunExit::PolicyAbort { code: abort_codes::AEX });
+    assert!(report.stats.aex_injected >= 50);
+}
+
+#[test]
+fn co_located_attacker_raises_probe_alarm() {
+    let mut enclave = enclave_with(PolicySet::full(), 1_000_000);
+    enclave.set_aex(AexInjector::new(AexSchedule::Periodic { interval: 20_000 }));
+    // The HyperRace probe detects the non-co-located sibling immediately,
+    // aborting long before any counting threshold.
+    enclave.set_attacker_present(true);
+    let report = enclave.run(2_000_000_000).expect("runs");
+    assert_eq!(report.exit, RunExit::PolicyAbort { code: abort_codes::AEX });
+}
+
+#[test]
+fn without_p6_attack_goes_unnoticed() {
+    // The same attack schedule against a P1-P5 binary: no marker checks, no
+    // detection — the contrast that motivates P6.
+    let mut enclave = enclave_with(PolicySet::p1_p5(), 50);
+    enclave.set_aex(AexInjector::new(AexSchedule::Attack { interval: 500 }));
+    let report = enclave.run(2_000_000_000).expect("runs");
+    assert!(matches!(report.exit, RunExit::Halted { .. }));
+    assert!(report.stats.aex_injected > 100);
+    assert_eq!(report.stats.probes, 0);
+}
+
+#[test]
+fn aex_counter_grows_with_attack_rate() {
+    let mut slow = enclave_with(PolicySet::full(), u64::MAX);
+    slow.set_aex(AexInjector::new(AexSchedule::Periodic { interval: 50_000 }));
+    let slow_report = slow.run(2_000_000_000).expect("runs");
+
+    let mut fast = enclave_with(PolicySet::full(), u64::MAX);
+    fast.set_aex(AexInjector::new(AexSchedule::Periodic { interval: 5_000 }));
+    let fast_report = fast.run(2_000_000_000).expect("runs");
+
+    assert!(fast_report.stats.aex_injected > slow_report.stats.aex_injected * 5);
+    assert!(fast_report.stats.probes >= slow_report.stats.probes);
+}

@@ -1,0 +1,203 @@
+//! Differential testing over *generated* DCL programs: for arbitrary
+//! (terminating, in-bounds) programs, the fully instrumented binary must
+//! produce exactly the same result as the uninstrumented baseline, verify
+//! cleanly, and never write a byte outside the enclave.
+//!
+//! This closes the gap the hand-written workloads cannot: annotation
+//! correctness on program *shapes* nobody thought to write by hand.
+
+use deflection::core::policy::PolicySet;
+use deflection::workloads::runner::Prepared;
+use deflection::sgx::layout::MemConfig;
+use deflection::sgx::vm::RunExit;
+use proptest::prelude::*;
+
+/// A tiny expression grammar over: the loop counter `i`, the accumulator
+/// `acc`, global array reads `g[<e> & 15]`, parameters, and literals.
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(i32),
+    Acc,
+    Counter,
+    Param(usize),
+    Global(Box<Expr>),
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    Call(usize, Box<Expr>),
+}
+
+impl Expr {
+    fn render(&self, callee_count: usize) -> String {
+        self.render_in(callee_count, false)
+    }
+
+    fn render_in(&self, callee_count: usize, in_main: bool) -> String {
+        match self {
+            Expr::Lit(v) => format!("({v})"),
+            Expr::Acc => "acc".into(),
+            Expr::Counter => "i".into(),
+            // `main` has no parameters; map them onto its locals there.
+            Expr::Param(k) if in_main => if k % 2 == 0 { "acc".into() } else { "i".into() },
+            Expr::Param(k) => format!("p{}", k % 2),
+            Expr::Global(idx) => format!("g[({}) & 15]", idx.render_in(callee_count, in_main)),
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (
+                    a.render_in(callee_count, in_main),
+                    b.render_in(callee_count, in_main),
+                );
+                match *op {
+                    // Keep division safe: force a nonzero positive divisor.
+                    "/" | "%" => format!("({a} {op} ((({b}) & 7) + 1))"),
+                    // Keep shifts in range.
+                    "<<" | ">>" => format!("({a} {op} (({b}) & 15))"),
+                    _ => format!("({a} {op} {b})"),
+                }
+            }
+            Expr::Call(f, arg) => {
+                if callee_count == 0 {
+                    format!("({})", arg.render_in(callee_count, in_main))
+                } else {
+                    format!(
+                        "h{}({}, i)",
+                        f % callee_count,
+                        arg.render_in(callee_count, in_main)
+                    )
+                }
+            }
+        }
+    }
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-100i32..100).prop_map(Expr::Lit),
+        Just(Expr::Acc),
+        Just(Expr::Counter),
+        (0usize..2).prop_map(Expr::Param),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Global(Box::new(e))),
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("%"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("<<"),
+                    Just(">>"),
+                    Just("<"),
+                    Just("=="),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (any::<usize>(), inner).prop_map(|(f, a)| Expr::Call(f, Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+/// One statement inside the generated loop body.
+#[derive(Debug, Clone)]
+enum Stmt {
+    AccAssign(Expr),
+    GlobalStore(Expr, Expr),
+    If(Expr, Expr),
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        arb_expr(3).prop_map(Stmt::AccAssign),
+        (arb_expr(2), arb_expr(2)).prop_map(|(i, v)| Stmt::GlobalStore(i, v)),
+        (arb_expr(2), arb_expr(2)).prop_map(|(c, v)| Stmt::If(c, v)),
+    ]
+}
+
+/// A generated program: a few helper functions and a main loop.
+#[derive(Debug, Clone)]
+struct Program {
+    helpers: Vec<Expr>,
+    body: Vec<Stmt>,
+    iterations: u8,
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(arb_expr(2), 0..3),
+        proptest::collection::vec(arb_stmt(), 1..6),
+        1u8..12,
+    )
+        .prop_map(|(helpers, body, iterations)| Program { helpers, body, iterations })
+}
+
+fn render(p: &Program) -> String {
+    let mut src = String::from("var g: [int; 16] = {3, 1, 4, 1, 5, 9, 2, 6};\n");
+    // Helpers only call previously defined helpers → no recursion, so the
+    // whole program terminates by construction.
+    for (k, h) in p.helpers.iter().enumerate() {
+        src.push_str(&format!(
+            "fn h{k}(p0: int, p1: int) -> int {{ var acc: int = p0; var i: int = p1 & 7; \
+             return {}; }}\n",
+            h.render(k)
+        ));
+    }
+    src.push_str("fn main() -> int {\n    var acc: int = 1;\n    var i: int = 0;\n");
+    src.push_str(&format!("    while (i < {}) {{\n", p.iterations));
+    for s in &p.body {
+        match s {
+            Stmt::AccAssign(e) => {
+                src.push_str(&format!(
+                    "        acc = {};\n",
+                    e.render_in(p.helpers.len(), true)
+                ));
+            }
+            Stmt::GlobalStore(i, v) => src.push_str(&format!(
+                "        g[({}) & 15] = {};\n",
+                i.render_in(p.helpers.len(), true),
+                v.render_in(p.helpers.len(), true)
+            )),
+            Stmt::If(c, v) => src.push_str(&format!(
+                "        if ({}) {{ acc = {}; }}\n",
+                c.render_in(p.helpers.len(), true),
+                v.render_in(p.helpers.len(), true)
+            )),
+        }
+    }
+    src.push_str("        i = i + 1;\n    }\n");
+    src.push_str("    return (acc ^ g[0] ^ g[7]) & 0xFFFFFFFF;\n}\n");
+    src
+}
+
+fn run_policy(src: &str, policy: PolicySet) -> (RunExit, u64) {
+    let mut p = Prepared::new(src, &policy, MemConfig::small());
+    let report = p.run(50_000_000);
+    (report.exit, report.untrusted_writes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn instrumentation_preserves_semantics(program in arb_program()) {
+        let src = render(&program);
+        let (base_exit, base_leaks) = run_policy(&src, PolicySet::none());
+        prop_assert!(
+            matches!(base_exit, RunExit::Halted { .. }),
+            "generated program must halt: {base_exit:?}\n{src}"
+        );
+        prop_assert_eq!(base_leaks, 0);
+        for (name, policy) in PolicySet::levels() {
+            let (exit, leaks) = run_policy(&src, policy);
+            prop_assert_eq!(
+                &exit, &base_exit,
+                "{} changed the result\n{}", name, src
+            );
+            prop_assert_eq!(leaks, 0, "{} leaked\n{}", name, src);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! DCL language conformance: each construct is compiled, instrumented,
+//! verified and executed in the enclave, and its result compared against
+//! the language's documented semantics. Run at the full policy level so
+//! every construct also round-trips through the annotation machinery.
+
+use deflection::core::policy::PolicySet;
+use deflection::workloads::runner::execute;
+
+fn run_full(src: &str) -> u64 {
+    execute(src, b"", &PolicySet::full())
+}
+
+fn run_both(src: &str) -> u64 {
+    let a = execute(src, b"", &PolicySet::none());
+    let b = run_full(src);
+    assert_eq!(a, b, "instrumentation changed program semantics");
+    a
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run_both("fn main() -> int { return 2 + 3 * 4; }"), 14);
+    assert_eq!(run_both("fn main() -> int { return (2 + 3) * 4; }"), 20);
+    assert_eq!(run_both("fn main() -> int { return 17 / 5; }"), 3);
+    assert_eq!(run_both("fn main() -> int { return 17 % 5; }"), 2);
+    assert_eq!(run_both("fn main() -> int { return 0 - 17 / 5; }"), (-3i64) as u64);
+    assert_eq!(run_both("fn main() -> int { return 1 << 10; }"), 1024);
+    assert_eq!(run_both("fn main() -> int { return (0 - 16) >> 2; }"), (-4i64) as u64);
+    assert_eq!(run_both("fn main() -> int { return 0xF0 | 0x0F; }"), 0xFF);
+    assert_eq!(run_both("fn main() -> int { return 0xFF & 0x3C; }"), 0x3C);
+    assert_eq!(run_both("fn main() -> int { return 0xFF ^ 0x0F; }"), 0xF0);
+    assert_eq!(run_both("fn main() -> int { return ~0; }"), u64::MAX);
+}
+
+#[test]
+fn comparisons_yield_zero_or_one() {
+    for (src, expect) in [
+        ("1 < 2", 1u64),
+        ("2 < 1", 0),
+        ("2 <= 2", 1),
+        ("3 > 2", 1),
+        ("2 >= 3", 0),
+        ("5 == 5", 1),
+        ("5 != 5", 0),
+        ("(0-1) < 1", 1), // signed comparison
+    ] {
+        let src = format!("fn main() -> int {{ return {src}; }}");
+        assert_eq!(run_both(&src), expect, "{src}");
+    }
+}
+
+#[test]
+fn short_circuit_evaluation_skips_side_effects() {
+    let src = "
+        var hits: int;
+        fn bump() -> int { hits = hits + 1; return 1; }
+        fn main() -> int {
+            var a: int = 0 && bump();
+            var b: int = 1 || bump();
+            var c: int = 1 && bump();
+            return hits * 10 + a + b + c;
+        }
+    ";
+    // Only the last bump() runs: hits == 1, a=0, b=1, c=1.
+    assert_eq!(run_both(src), 12);
+}
+
+#[test]
+fn while_break_continue() {
+    let src = "
+        fn main() -> int {
+            var s: int = 0;
+            var i: int = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2 == 0) { continue; }
+                s = s + i;
+            }
+            return s; // 1+3+5+7+9
+        }
+    ";
+    assert_eq!(run_both(src), 25);
+}
+
+#[test]
+fn nested_loops_and_shadowing() {
+    let src = "
+        fn main() -> int {
+            var total: int = 0;
+            var i: int = 0;
+            while (i < 3) {
+                var j: int = 0;
+                while (j < 4) {
+                    var i: int = 100; // shadows outer i
+                    total = total + i / 100;
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+            return total;
+        }
+    ";
+    assert_eq!(run_both(src), 12);
+}
+
+#[test]
+fn recursion_with_shadow_stack() {
+    let src = "
+        fn fib(n: int) -> int {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() -> int { return fib(15); }
+    ";
+    assert_eq!(run_both(src), 610);
+}
+
+#[test]
+fn mutual_recursion() {
+    let src = "
+        fn is_even(n: int) -> int {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        fn is_odd(n: int) -> int {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        fn main() -> int { return is_even(40) * 10 + is_odd(7); }
+    ";
+    assert_eq!(run_both(src), 11);
+}
+
+#[test]
+fn six_parameters() {
+    let src = "
+        fn weigh(a: int, b: int, c: int, d: int, e: int, f: int) -> int {
+            return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+        }
+        fn main() -> int { return weigh(1, 2, 3, 4, 5, 6); }
+    ";
+    assert_eq!(run_both(src), 1 + 4 + 9 + 16 + 25 + 36);
+}
+
+#[test]
+fn local_arrays_and_slices() {
+    let src = "
+        fn sum(a: [int], n: int) -> int {
+            var s: int = 0;
+            var i: int = 0;
+            while (i < n) { s = s + a[i]; i = i + 1; }
+            return s;
+        }
+        fn main() -> int {
+            var local: [int; 8];
+            var i: int = 0;
+            while (i < 8) { local[i] = i * i; i = i + 1; }
+            return sum(local, 8);
+        }
+    ";
+    assert_eq!(run_both(src), 140);
+}
+
+#[test]
+fn slices_are_views_not_copies() {
+    let src = "
+        fn clear_first(a: [int]) { a[0] = 0; }
+        fn main() -> int {
+            var buf: [int; 2];
+            buf[0] = 99;
+            clear_first(buf);
+            return buf[0];
+        }
+    ";
+    assert_eq!(run_both(src), 0);
+}
+
+#[test]
+fn global_initializers() {
+    let src = "
+        var table: [int; 5] = {10, 20, 30};
+        var msg: [byte; 8] = \"ok\";
+        var scalar: int = -7;
+        fn main() -> int {
+            return table[0] + table[2] + table[4] + msg[0] + msg[7] + scalar;
+        }
+    ";
+    // 10 + 30 + 0 + 'o'(111) + 0 - 7
+    assert_eq!(run_both(src), 144);
+}
+
+#[test]
+fn byte_arrays_truncate_and_zero_extend() {
+    let src = "
+        var b: [byte; 4];
+        fn main() -> int {
+            b[0] = 0x1FF;      // stores 0xFF
+            b[1] = 0 - 1;      // stores 0xFF
+            return b[0] + b[1] + b[2];
+        }
+    ";
+    assert_eq!(run_both(src), 0xFF + 0xFF);
+}
+
+#[test]
+fn function_pointers_in_arrays_and_params() {
+    let src = "
+        fn inc(x: int) -> int { return x + 1; }
+        fn dbl(x: int) -> int { return x * 2; }
+        var ops: [fn(int) -> int; 2];
+        fn apply(f: fn(int) -> int, v: int) -> int { return f(v); }
+        fn main() -> int {
+            ops[0] = &inc;
+            ops[1] = &dbl;
+            var f: fn(int) -> int = ops[1];
+            return apply(ops[0], 10) * 100 + f(21);
+        }
+    ";
+    assert_eq!(run_both(src), 1142);
+}
+
+#[test]
+fn float_semantics() {
+    let src = "
+        fn main() -> int {
+            var a: float = 1.5;
+            var b: float = 2.25;
+            var c: float = (a + b) * 2.0 - 0.5;  // 7.0
+            var ok: int = 0;
+            if (c == 7.0) { ok = ok + 1; }
+            if (a < b) { ok = ok + 1; }
+            if (fsqrt(16.0) == 4.0) { ok = ok + 1; }
+            if (ftoi(3.99) == 3) { ok = ok + 1; }
+            if (itof(3) > 2.5) { ok = ok + 1; }
+            if (-a < 0.0) { ok = ok + 1; }
+            return ok;
+        }
+    ";
+    assert_eq!(run_both(src), 6);
+}
+
+#[test]
+fn division_semantics_match_rust() {
+    // Signed division truncates toward zero; remainder keeps dividend sign.
+    for (a, b) in [(7i64, 2i64), (-7, 2), (7, -2), (-7, -2)] {
+        let src = format!(
+            "fn main() -> int {{ return ((0{a:+}) / (0{b:+})) * 1000 + ((0{a:+}) % (0{b:+})); }}"
+        );
+        let expect = ((a / b) * 1000 + (a % b)) as u64;
+        assert_eq!(run_both(&src), expect, "{a}/{b}");
+    }
+}
+
+#[test]
+fn division_by_zero_is_contained() {
+    // Faults, never unwinds or corrupts: the enclave reports the fault.
+    use deflection::core::policy::Manifest;
+    use deflection::core::producer::produce;
+    use deflection::core::runtime::BootstrapEnclave;
+    use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+    let src = "fn main() -> int { var z: int = 0; return 1 / z; }";
+    let manifest = Manifest::ccaas();
+    let binary = produce(src, &manifest.policy).expect("compiles").serialize();
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.install_plain(&binary).expect("verifies");
+    let report = enclave.run(1_000_000).expect("runs");
+    assert!(matches!(
+        report.exit,
+        deflection::sgx::vm::RunExit::Fault(deflection::sgx::Fault::DivideError { .. })
+    ));
+}
+
+#[test]
+fn wrapping_integer_arithmetic() {
+    let src = "
+        fn main() -> int {
+            var big: int = 0x7FFFFFFFFFFFFFFF;
+            return big + 1; // wraps to i64::MIN
+        }
+    ";
+    assert_eq!(run_both(src), i64::MIN as u64);
+}
+
+#[test]
+fn else_if_chains() {
+    let src = "
+        fn grade(x: int) -> int {
+            if (x >= 90) { return 4; }
+            else if (x >= 80) { return 3; }
+            else if (x >= 70) { return 2; }
+            else { return 0; }
+        }
+        fn main() -> int {
+            return grade(95) * 1000 + grade(85) * 100 + grade(75) * 10 + grade(10);
+        }
+    ";
+    assert_eq!(run_both(src), 4320);
+}
+
+#[test]
+fn fall_off_end_returns_zero() {
+    let src = "
+        fn maybe(x: int) -> int { if (x > 0) { return 7; } }
+        fn main() -> int { return maybe(1) * 10 + maybe(0 - 1); }
+    ";
+    assert_eq!(run_both(src), 70);
+}
+
+#[test]
+fn char_literals_and_strings() {
+    let src = "
+        var s: [byte; 5] = \"AB\\n\";
+        fn main() -> int { return s[0] * 10000 + s[1] * 100 + s[2] + ('Z' - 'A'); }
+    ";
+    assert_eq!(run_both(src), 65 * 10000 + 66 * 100 + 10 + 25);
+}

@@ -1,0 +1,145 @@
+//! Policy-enforcement integration: the attack corpus against every policy
+//! level, plus the "why P1 exists" leak demonstration.
+
+use deflection::core::attack::{corpus, Expected};
+use deflection::core::consumer::{install, InstallError};
+use deflection::core::policy::{Manifest, PolicySet};
+use deflection::core::producer::produce;
+use deflection::core::runtime::BootstrapEnclave;
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::sgx::mem::Memory;
+use deflection::sgx::vm::RunExit;
+
+#[test]
+fn corpus_contained_under_full_policy() {
+    let manifest = Manifest::ccaas();
+    for attack in corpus() {
+        let binary = attack.binary.serialize();
+        match attack.expected {
+            Expected::VerifierReject => {
+                let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+                assert!(
+                    matches!(install(&binary, &manifest, &mut mem), Err(InstallError::Verify(_))),
+                    "{} must be rejected statically",
+                    attack.name
+                );
+            }
+            Expected::RuntimeAbort(code) => {
+                let mut enclave = BootstrapEnclave::new(
+                    EnclaveLayout::new(MemConfig::small()),
+                    manifest.clone(),
+                );
+                enclave.install_plain(&binary).expect("verifies");
+                let report = enclave.run(1_000_000).expect("runs");
+                assert_eq!(report.exit, RunExit::PolicyAbort { code }, "{}", attack.name);
+                assert_eq!(report.untrusted_writes, 0, "{} leaked", attack.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn unprotected_baseline_actually_leaks() {
+    // The raw out-of-enclave store *succeeds* when no policy is enforced —
+    // the hardware permits it (the paper's motivation for P1). The same
+    // binary is then rejected the moment P1 is required.
+    let attack = deflection::core::attack::raw_out_of_enclave_store();
+    let binary = attack.binary.serialize();
+
+    let mut manifest = Manifest::ccaas();
+    manifest.policy = PolicySet::none();
+    let mut enclave =
+        BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.install_plain(&binary).expect("no policy, loads fine");
+    let report = enclave.run(1_000).expect("runs");
+    assert!(matches!(report.exit, RunExit::Halted { .. }));
+    assert!(report.untrusted_writes > 0, "baseline must demonstrate the leak");
+
+    let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+    let mut p1 = Manifest::ccaas();
+    p1.policy = PolicySet::p1();
+    assert!(install(&binary, &p1, &mut mem).is_err());
+}
+
+#[test]
+fn weaker_levels_contain_their_own_attacks() {
+    // The rsp pivot is caught by any level including P2.
+    let attack = deflection::core::attack::rsp_pivot();
+    let binary = attack.binary.serialize();
+    let mut manifest = Manifest::ccaas();
+    manifest.policy = PolicySet::p1_p2();
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.install_plain(&binary).expect("P2-instrumented binary verifies under P1+P2");
+    let report = enclave.run(1_000_000).expect("runs");
+    assert_eq!(
+        report.exit,
+        RunExit::PolicyAbort { code: deflection::core::policy::abort_codes::RSP_BOUNDS }
+    );
+}
+
+#[test]
+fn honest_binaries_pass_where_attacks_fail() {
+    // Sanity that the verifier's rejections are not vacuous: an honest
+    // program with stores, calls, indirect calls and returns passes at the
+    // exact same policy level that rejects the corpus.
+    let honest = "
+        var buf: [int; 16];
+        fn write_all(v: int) {
+            var i: int = 0;
+            while (i < 16) { buf[i] = v + i; i = i + 1; }
+        }
+        fn main() -> int {
+            var f: fn(int) = &write_all;
+            f(5);
+            return buf[15];
+        }
+    ";
+    let manifest = Manifest::ccaas();
+    let binary = produce(honest, &manifest.policy).expect("compiles").serialize();
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.install_plain(&binary).expect("honest binary verifies");
+    let report = enclave.run(10_000_000).expect("runs");
+    assert_eq!(report.exit, RunExit::Halted { exit: 20 });
+}
+
+#[test]
+fn denied_ocall_is_blocked_by_manifest() {
+    // A manifest that removes `log` from the allowed list turns the OCall
+    // into a fault (P0 interface control).
+    let src = "fn main() -> int { log(1); return 0; }";
+    let mut manifest = Manifest::ccaas();
+    manifest.policy = PolicySet::p1();
+    manifest.allowed_ocalls = vec![deflection::isa::OcallCode::Send as u8];
+    let binary = produce(src, &manifest.policy).expect("compiles").serialize();
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.install_plain(&binary).expect("verifies");
+    let report = enclave.run(1_000_000).expect("runs");
+    assert!(matches!(
+        report.exit,
+        RunExit::Fault(deflection::sgx::Fault::OcallDenied { code: 2 })
+    ));
+}
+
+#[test]
+fn all_output_records_have_identical_length() {
+    // P0 entropy control: whatever the program sends, ciphertexts are
+    // indistinguishable by length.
+    let src = "
+        fn main() -> int {
+            output_byte(0, 65);
+            send(1);
+            var i: int = 0;
+            while (i < 100) { output_byte(i, 66); i = i + 1; }
+            send(100);
+            return 0;
+        }
+    ";
+    let manifest = Manifest::ccaas();
+    let binary = produce(src, &manifest.policy).expect("compiles").serialize();
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.set_owner_session([5u8; 32]);
+    enclave.install_plain(&binary).expect("verifies");
+    let report = enclave.run(10_000_000).expect("runs");
+    assert_eq!(report.records.len(), 2);
+    assert_eq!(report.records[0].len(), report.records[1].len());
+}

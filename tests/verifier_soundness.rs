@@ -1,0 +1,99 @@
+//! Property-based soundness of the verifier: *whatever bytes the verifier
+//! accepts must not leak*. We mutate honestly instrumented binaries at
+//! random positions; the consumer must (a) never panic, and (b) whenever it
+//! still accepts the mutant, the mutant must run without a single
+//! unmediated write outside the enclave.
+//!
+//! This is the load-bearing property of the whole DEFLECTION design: the
+//! verifier, not the producer, is in the TCB.
+
+use deflection::core::policy::{Manifest, PolicySet};
+use deflection::core::producer::produce;
+use deflection::core::runtime::BootstrapEnclave;
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use proptest::prelude::*;
+
+const VICTIM: &str = "
+var data: [int; 32];
+fn helper(x: int) -> int { return x * 3 + 1; }
+fn main() -> int {
+    var n: int = input_len();
+    var f: fn(int) -> int = &helper;
+    var i: int = 0;
+    while (i < 32) {
+        data[i] = f(i + n);
+        i = i + 1;
+    }
+    output_byte(0, data[31] & 0xFF);
+    send(1);
+    return data[31];
+}
+";
+
+fn instrumented_binary() -> Vec<u8> {
+    produce(VICTIM, &PolicySet::full())
+        .expect("compiles")
+        .serialize()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accepted_mutants_never_leak(
+        positions in proptest::collection::vec((0usize..20_000, any::<u8>()), 1..6)
+    ) {
+        let mut binary = instrumented_binary();
+        for (pos, xor) in positions {
+            let idx = pos % binary.len();
+            binary[idx] ^= xor;
+        }
+        let manifest = Manifest::ccaas();
+        let mut enclave = BootstrapEnclave::new(
+            EnclaveLayout::new(MemConfig::small()),
+            manifest,
+        );
+        // (a) The consumer never panics on mutated input.
+        match enclave.install_plain(&binary) {
+            Err(_) => { /* rejected — always sound */ }
+            Ok(_) => {
+                enclave.set_owner_session([1u8; 32]);
+                let _ = enclave.provide_input(b"probe");
+                // (b) If accepted, the run may halt/abort/fault/stall — but
+                // it must never write untrusted memory.
+                let report = enclave.run(3_000_000).expect("installed");
+                prop_assert_eq!(
+                    report.untrusted_writes,
+                    0,
+                    "verifier accepted a leaking mutant (exit {:?})",
+                    report.exit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_binaries_never_panic(cut in 1usize..5_000) {
+        let binary = instrumented_binary();
+        let cut = cut % binary.len();
+        let manifest = Manifest::ccaas();
+        let mut enclave = BootstrapEnclave::new(
+            EnclaveLayout::new(MemConfig::small()),
+            manifest,
+        );
+        // Truncation must always be rejected cleanly.
+        prop_assert!(enclave.install_plain(&binary[..cut]).is_err());
+    }
+}
+
+#[test]
+fn unmutated_binary_accepted_and_leak_free() {
+    let manifest = Manifest::ccaas();
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.set_owner_session([1u8; 32]);
+    enclave.install_plain(&instrumented_binary()).expect("honest binary accepted");
+    enclave.provide_input(b"probe").expect("input");
+    let report = enclave.run(10_000_000).expect("runs");
+    assert!(matches!(report.exit, deflection::sgx::vm::RunExit::Halted { .. }));
+    assert_eq!(report.untrusted_writes, 0);
+}

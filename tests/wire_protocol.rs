@@ -1,0 +1,142 @@
+//! The full delegation session at the byte level: every exchange between
+//! the parties and the bootstrap enclave travels as serialized protocol
+//! messages (paper Fig. 1), so this test is what a real network transport
+//! would carry.
+
+use deflection::attest::protocol::{Message, PayloadKind};
+use deflection::attest::{
+    AttestationService, EnclaveHandshake, HandshakeParty, Role,
+};
+use deflection::core::policy::Manifest;
+use deflection::core::producer::produce;
+use deflection::core::runtime::{delivery_nonce, open_record, BootstrapEnclave};
+use deflection::crypto::aead::ChaCha20Poly1305;
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::sgx::measure::Platform;
+
+const SERVICE: &str = "
+fn main() -> int {
+    var n: int = input_len();
+    var i: int = 0;
+    while (i < n) { output_byte(i, 255 - input_byte(i)); i = i + 1; }
+    send(n);
+    return n;
+}
+";
+
+/// One end of a lossless in-memory transport.
+fn send_recv(msg: &Message) -> Message {
+    Message::parse(&msg.serialize()).expect("transport is lossless")
+}
+
+#[test]
+fn full_session_over_serialized_messages() {
+    // --- Infrastructure. ----------------------------------------------------
+    let platform = Platform::new(11, &[5u8; 32]);
+    let mut service = AttestationService::new();
+    service.register_platform(&platform);
+    let manifest = Manifest::ccaas();
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    let measurement = enclave.measurement();
+
+    // --- Handshakes, message by message. ------------------------------------
+    let mut owner = HandshakeParty::new(Role::DataOwner, b"hospital");
+    let mut provider = HandshakeParty::new(Role::CodeProvider, b"vendor");
+
+    // Owner hello → enclave.
+    let hello = send_recv(&Message::ClientHello {
+        role: Role::DataOwner,
+        dh_public: owner.public_key().to_bytes(),
+    });
+    let Message::ClientHello { role: Role::DataOwner, dh_public } = hello else {
+        panic!("wrong message");
+    };
+    let owner_pub = deflection::crypto::dh::PublicKey::from_bytes(&dh_public).unwrap();
+    let (enclave_owner, quote) = EnclaveHandshake::respond(
+        &platform,
+        measurement,
+        &owner_pub,
+        Role::DataOwner,
+        b"enclave-owner-eph",
+    );
+    // Enclave response → owner.
+    let resp = send_recv(&Message::AttestationResponse {
+        dh_public: enclave_owner.public_key().to_bytes(),
+        quote,
+    });
+    let Message::AttestationResponse { dh_public, quote } = resp else { panic!() };
+    owner.set_enclave_public(deflection::crypto::dh::PublicKey::from_bytes(&dh_public).unwrap());
+    let owner_key = owner.verify_and_derive(&service, &measurement, &quote).unwrap();
+    enclave.set_owner_session(enclave_owner.session_key(&owner_pub, Role::DataOwner).unwrap());
+
+    // Provider channel, same dance.
+    let provider_pub = provider.public_key();
+    let (enclave_provider, quote_p) = EnclaveHandshake::respond(
+        &platform,
+        measurement,
+        &provider_pub,
+        Role::CodeProvider,
+        b"enclave-provider-eph",
+    );
+    provider.set_enclave_public(enclave_provider.public_key());
+    let provider_key = provider.verify_and_derive(&service, &measurement, &quote_p).unwrap();
+    enclave.set_provider_session(
+        enclave_provider.session_key(&provider_pub, Role::CodeProvider).unwrap(),
+    );
+
+    // --- Sealed code delivery. ----------------------------------------------
+    let binary = produce(SERVICE, &enclave.manifest().policy.clone())
+        .expect("compiles")
+        .serialize();
+    let sealed = ChaCha20Poly1305::new(&provider_key).seal(
+        &delivery_nonce(b"BIN\0", 0),
+        b"deflection-binary",
+        &binary,
+    );
+    let msg = send_recv(&Message::SealedPayload {
+        kind: PayloadKind::Code,
+        counter: 0,
+        ciphertext: sealed,
+    });
+    let Message::SealedPayload { kind: PayloadKind::Code, ciphertext, .. } = msg else {
+        panic!()
+    };
+    let code_hash = enclave.ecall_receive_binary(&ciphertext).expect("verifies");
+
+    // Enclave reports the code hash to the owner, who checks it against the
+    // hash the provider promised out of band.
+    let report = send_recv(&Message::CodeHashReport { hash: code_hash });
+    let Message::CodeHashReport { hash } = report else { panic!() };
+    assert_eq!(hash, deflection::crypto::sha256::sha256(&binary));
+
+    // --- Sealed data delivery and execution. --------------------------------
+    let secret = b"\x01\x02\x03\x0A";
+    let sealed_data = ChaCha20Poly1305::new(&owner_key).seal(
+        &delivery_nonce(b"DAT\0", 1),
+        b"deflection-userdata",
+        secret,
+    );
+    let msg = send_recv(&Message::SealedPayload {
+        kind: PayloadKind::Data,
+        counter: 1,
+        ciphertext: sealed_data,
+    });
+    let Message::SealedPayload { ciphertext, .. } = msg else { panic!() };
+    enclave.ecall_receive_userdata(&ciphertext).expect("accepted");
+
+    let run = enclave.run(10_000_000).expect("runs");
+    assert_eq!(run.exit.exit_value(), Some(secret.len() as u64));
+    assert_eq!(run.untrusted_writes, 0);
+
+    // --- Sealed results stream back to the owner. ---------------------------
+    for (i, record) in run.records.iter().enumerate() {
+        let msg = send_recv(&Message::SealedRecord {
+            counter: i as u64,
+            ciphertext: record.clone(),
+        });
+        let Message::SealedRecord { counter, ciphertext } = msg else { panic!() };
+        let plain = open_record(&owner_key, counter, &ciphertext).expect("owner opens");
+        let expected: Vec<u8> = secret.iter().map(|b| 255 - b).collect();
+        assert_eq!(plain, expected);
+    }
+}
