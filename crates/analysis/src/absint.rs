@@ -1,0 +1,1024 @@
+//! The abstract interpreter: forward interval dataflow over the 16
+//! GPRs plus an abstract stack.
+//!
+//! # Domain
+//!
+//! A register holds an [`AVal`]:
+//!
+//! * `Val(iv)` — the value, viewed as signed 64-bit, lies in `iv`;
+//! * `Stack(iv)` — the value equals `stack_hi + d` for some `d ∈ iv`
+//!   (a stack pointer, tracked symbolically so frame arithmetic stays
+//!   exact without knowing absolute addresses early);
+//! * `Top` — anything.
+//!
+//! The abstract stack maps frame slot deltas (relative to the initial
+//! `rsp`, which the runtime pins to `stack_hi`) to tracked values, so
+//! spills, `push`/`pop` pairs and DCL frame locals keep their ranges.
+//! Every possibly-aliasing store invalidates overlapping slots; a
+//! store through `Top` clears the whole abstract stack.
+//!
+//! # Branch refinement
+//!
+//! `cmp`-then-`jcc` refines the compared value on both outgoing
+//! edges. Because the DCL compiler materialises conditions through
+//! `setcc` (then tests the 0/1 result), the interpreter also tracks
+//! one level of boolean provenance: `setcc cc` after a `cmp` tags the
+//! destination with that comparison, and a later `cmp reg, 0; je/jne`
+//! re-applies (or negates) the original condition. Combined with slot
+//! provenance — a register remembers which frame slot it was loaded
+//! from — this bounds compiled loop counters: widening at
+//! dominator-identified loop heads forces termination, and the guard
+//! refinement narrows the widened range back inside the loop body.
+//!
+//! All transfer functions over-approximate the wrapping semantics of
+//! the VM: interval arithmetic is checked in `i128` and any possible
+//! wrap, fault or untracked effect degrades to `Top`.
+
+use crate::cfg::{Cfg, Edge, EdgeKind};
+use crate::interval::Interval;
+use deflection_isa::{AluOp, CondCode, Disassembly, Inst, MemOperand, Reg};
+use std::collections::BTreeMap;
+
+const RSP: usize = Reg::RSP as usize;
+/// Joins at a loop head before the widening operator engages.
+const WIDEN_AFTER: u32 = 3;
+/// Joins at *any* block before forced widening (safety net for
+/// irreducible flow, where back edges are not dominator-detectable).
+const FORCE_WIDEN_AFTER: u32 = 64;
+/// Upper bound on tracked frame slots per state (degrades to `Top`
+/// beyond, keeping state sizes bounded on adversarial input).
+const MAX_SLOTS: usize = 512;
+
+/// Configuration shared verbatim by producer and verifier — both sides
+/// must analyse under identical parameters to reach identical verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Inclusive lower bound of the P1 data window.
+    pub store_lo: u64,
+    /// Exclusive upper bound of the P1 data window.
+    pub store_hi: u64,
+    /// Initial `rsp` (one past the top of the stack region); the base
+    /// all `AVal::Stack` deltas are relative to.
+    pub stack_hi: u64,
+    /// Immediates the analysis must treat as unknown (`Top`): the
+    /// annotation placeholder values the in-enclave rewriter patches
+    /// after verification. Treating them as opaque makes one analysis
+    /// sound for both the pre-rewrite and post-rewrite binary.
+    pub opaque_imms: Vec<u64>,
+}
+
+/// An abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AVal {
+    /// Any value.
+    #[default]
+    Top,
+    /// Signed-64 view of the value lies in the interval.
+    Val(Interval),
+    /// `stack_hi + d` for some `d` in the interval.
+    Stack(Interval),
+}
+
+impl AVal {
+    /// An exact known constant (signed-64 view).
+    #[must_use]
+    pub fn exact(v: i64) -> AVal {
+        AVal::Val(Interval::exact(v))
+    }
+
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(self, other: AVal) -> AVal {
+        match (self, other) {
+            (AVal::Val(a), AVal::Val(b)) => AVal::Val(a.join(b)),
+            (AVal::Stack(a), AVal::Stack(b)) => AVal::Stack(a.join(b)),
+            _ => AVal::Top,
+        }
+    }
+
+    /// Widened join: interval bounds that grew jump to the extremes.
+    #[must_use]
+    pub fn widen(self, next: AVal) -> AVal {
+        match (self, next) {
+            (AVal::Val(a), AVal::Val(b)) => AVal::Val(a.widen(b)),
+            (AVal::Stack(a), AVal::Stack(b)) => AVal::Stack(a.widen(b)),
+            _ => AVal::Top,
+        }
+    }
+
+    /// The inclusive range of possible concrete `u64` values, when the
+    /// abstraction pins one down. `Val` ranges must be non-negative
+    /// (a negative signed bound means a huge unsigned value, useless
+    /// for an in-window proof); `Stack` deltas are resolved against
+    /// `stack_hi`.
+    #[must_use]
+    pub fn abs_range(self, stack_hi: u64) -> Option<(u64, u64)> {
+        match self {
+            AVal::Top => None,
+            AVal::Val(iv) => (iv.lo >= 0).then_some((iv.lo as u64, iv.hi as u64)),
+            AVal::Stack(iv) => {
+                let lo = stack_hi as i128 + iv.lo as i128;
+                let hi = stack_hi as i128 + iv.hi as i128;
+                let lo = u64::try_from(lo).ok()?;
+                let hi = u64::try_from(hi).ok()?;
+                Some((lo, hi))
+            }
+        }
+    }
+}
+
+/// A value plus its slot provenance: `origin == Some(d)` asserts the
+/// value equals the *current* content of frame slot `d`. Maintained by
+/// clearing the origin whenever slot `d` is (possibly) overwritten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Tracked {
+    val: AVal,
+    origin: Option<i64>,
+}
+
+/// The per-program-point abstract state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AbsState {
+    regs: [Tracked; 16],
+    /// Frame slot delta (relative to `stack_hi`) -> content.
+    slots: BTreeMap<i64, Tracked>,
+}
+
+impl AbsState {
+    /// State at the program entry point: the runtime zeroes registers
+    /// and sets `rsp = stack_hi`; we only rely on the latter.
+    fn entry() -> AbsState {
+        let mut s = AbsState { regs: Default::default(), slots: BTreeMap::new() };
+        s.regs[RSP] = Tracked { val: AVal::Stack(Interval::exact(0)), origin: None };
+        s
+    }
+
+    /// Post-call state: the callee may clobber every register and every
+    /// stack slot (`pop rbp` and `rsp` pivots included — the shadow
+    /// stack pins the return *target*, not the returning frame layout).
+    fn havoc() -> AbsState {
+        AbsState { regs: Default::default(), slots: BTreeMap::new() }
+    }
+
+    fn reg(&self, r: Reg) -> Tracked {
+        self.regs[r.index() as usize]
+    }
+
+    fn set_reg(&mut self, flags: &mut LocalFlags, r: Reg, val: AVal, origin: Option<i64>) {
+        self.regs[r.index() as usize] = Tracked { val, origin };
+        flags.scrub_reg(r.index());
+    }
+
+    /// Drops `origin == Some(d)` everywhere (slot `d`'s content changed).
+    fn clear_origin(&mut self, d: i64) {
+        for t in &mut self.regs {
+            if t.origin == Some(d) {
+                t.origin = None;
+            }
+        }
+        for t in self.slots.values_mut() {
+            if t.origin == Some(d) {
+                t.origin = None;
+            }
+        }
+    }
+
+    /// Models a store of `size` bytes through `addr`.
+    fn write_mem(
+        &mut self,
+        flags: &mut LocalFlags,
+        addr: AVal,
+        size: i64,
+        value: AVal,
+        origin: Option<i64>,
+        stack_hi: u64,
+    ) {
+        // Exact 8-byte stack store: strong update.
+        if size == 8 {
+            if let AVal::Stack(iv) = addr {
+                if let Some(d) = iv.as_exact() {
+                    let removed: Vec<i64> =
+                        self.slots.range(d - 7..=d + 7).map(|(&k, _)| k).collect();
+                    for k in removed {
+                        self.slots.remove(&k);
+                        self.clear_origin(k);
+                        flags.scrub_slot(k);
+                    }
+                    let origin = origin.filter(|&o| o != d);
+                    if self.slots.len() < MAX_SLOTS {
+                        self.slots.insert(d, Tracked { val: value, origin });
+                    }
+                    return;
+                }
+            }
+        }
+        // Weak update: invalidate every slot the store may touch.
+        let delta_range: Option<(i128, i128)> = match addr {
+            AVal::Top => None,
+            AVal::Val(iv) => {
+                Some((iv.lo as i128 - stack_hi as i128, iv.hi as i128 - stack_hi as i128))
+            }
+            AVal::Stack(iv) => Some((iv.lo as i128, iv.hi as i128)),
+        };
+        match delta_range {
+            None => {
+                let removed: Vec<i64> = self.slots.keys().copied().collect();
+                self.slots.clear();
+                for k in removed {
+                    self.clear_origin(k);
+                    flags.scrub_slot(k);
+                }
+            }
+            Some((dlo, dhi)) => {
+                let removed: Vec<i64> = self
+                    .slots
+                    .iter()
+                    .filter(|&(&k, _)| {
+                        let k = k as i128;
+                        k + 8 > dlo && k < dhi + size as i128
+                    })
+                    .map(|(&k, _)| k)
+                    .collect();
+                for k in removed {
+                    self.slots.remove(&k);
+                    self.clear_origin(k);
+                    flags.scrub_slot(k);
+                }
+            }
+        }
+    }
+
+    /// Models an 8-byte load through `addr`.
+    fn read_mem(&self, addr: AVal) -> Tracked {
+        if let AVal::Stack(iv) = addr {
+            if let Some(d) = iv.as_exact() {
+                return match self.slots.get(&d) {
+                    Some(t) => Tracked { val: t.val, origin: t.origin.or(Some(d)) },
+                    None => Tracked { val: AVal::Top, origin: Some(d) },
+                };
+            }
+        }
+        Tracked::default()
+    }
+
+    /// Effective-address evaluation for `base + index*scale + disp`.
+    fn eval_addr(&self, mem: &MemOperand) -> AVal {
+        let mut acc = AVal::exact(i64::from(mem.disp));
+        if let Some(b) = mem.base {
+            acc = aval_add(acc, self.reg(b).val);
+        }
+        if let Some((r, scale)) = mem.index {
+            let idx = self.reg(r).val;
+            let scaled = match idx {
+                AVal::Top => AVal::Top,
+                AVal::Val(iv) => iv.mul_const(i64::from(scale)).map_or(AVal::Top, AVal::Val),
+                AVal::Stack(iv) if scale == 1 => AVal::Stack(iv),
+                AVal::Stack(_) => AVal::Top,
+            };
+            acc = aval_add(acc, scaled);
+        }
+        acc
+    }
+
+    /// Join (or widened join) with an incoming state.
+    fn merge(&self, incoming: &AbsState, widen: bool) -> AbsState {
+        let mut regs: [Tracked; 16] = Default::default();
+        for (i, slot) in regs.iter_mut().enumerate() {
+            let a = self.regs[i];
+            let b = incoming.regs[i];
+            let joined = a.val.join(b.val);
+            let val = if widen { a.val.widen(joined) } else { joined };
+            let origin = if a.origin == b.origin { a.origin } else { None };
+            *slot = Tracked { val, origin };
+        }
+        let mut slots = BTreeMap::new();
+        for (k, a) in &self.slots {
+            if let Some(b) = incoming.slots.get(k) {
+                let joined = a.val.join(b.val);
+                let val = if widen { a.val.widen(joined) } else { joined };
+                let origin = if a.origin == b.origin { a.origin } else { None };
+                slots.insert(*k, Tracked { val, origin });
+            }
+        }
+        AbsState { regs, slots }
+    }
+}
+
+/// Which value a comparison constrained — the refinement target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Subject {
+    Reg(u8),
+    Slot(i64),
+}
+
+/// Snapshot of one `cmp`: the compared abstract values plus every
+/// subject (register or provenance slot) each side constrains. A
+/// subject is scrubbed as soon as the underlying location changes, so
+/// a surviving subject is still equal to the compared value when the
+/// branch finally tests the flags.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct CmpSnap {
+    lhs_subs: Vec<Subject>,
+    rhs_subs: Vec<Subject>,
+    lhs: AVal,
+    rhs: AVal,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+enum FlagState {
+    #[default]
+    Unknown,
+    /// Flags hold `cmp lhs, rhs`.
+    Cmp(CmpSnap),
+    /// Flags hold `cmp b, 0` where `b` is the 0/1 result of `setcc cc`
+    /// over `snap` — i.e. `jne` re-asserts `cc`, `je` asserts `!cc`.
+    Bool { snap: CmpSnap, cc: CondCode },
+}
+
+/// Block-local flag tracking (flags never survive a block boundary;
+/// the compiler always tests them adjacent to the `cmp`).
+#[derive(Debug, Clone, Default)]
+struct LocalFlags {
+    flag: FlagState,
+    /// `setcc` results: register -> the comparison it reifies.
+    bool_preds: Vec<(u8, CmpSnap, CondCode)>,
+}
+
+impl LocalFlags {
+    fn scrub_reg(&mut self, r: u8) {
+        self.bool_preds.retain(|(b, _, _)| *b != r);
+        let drop = |s: &mut Vec<Subject>| s.retain(|x| *x != Subject::Reg(r));
+        self.for_each_snap(drop);
+    }
+
+    fn scrub_slot(&mut self, d: i64) {
+        let drop = |s: &mut Vec<Subject>| s.retain(|x| *x != Subject::Slot(d));
+        self.for_each_snap(drop);
+    }
+
+    fn for_each_snap(&mut self, f: impl Fn(&mut Vec<Subject>)) {
+        match &mut self.flag {
+            FlagState::Unknown => {}
+            FlagState::Cmp(snap) | FlagState::Bool { snap, .. } => {
+                f(&mut snap.lhs_subs);
+                f(&mut snap.rhs_subs);
+            }
+        }
+        for (_, snap, _) in &mut self.bool_preds {
+            f(&mut snap.lhs_subs);
+            f(&mut snap.rhs_subs);
+        }
+    }
+
+    fn bool_pred(&self, r: u8) -> Option<(&CmpSnap, CondCode)> {
+        self.bool_preds.iter().find(|(b, _, _)| *b == r).map(|(_, s, c)| (s, *c))
+    }
+}
+
+/// The analysis result: per-block fixpoint states over the CFG, plus
+/// the queries the producer and verifier share.
+#[derive(Debug)]
+pub struct Analysis {
+    cfg: Cfg,
+    config: AnalysisConfig,
+    in_states: Vec<Option<AbsState>>,
+}
+
+impl Analysis {
+    /// Runs the fixpoint over a disassembly.
+    #[must_use]
+    pub fn run(d: &Disassembly, config: AnalysisConfig) -> Analysis {
+        let cfg = Cfg::build(d);
+        let idom = cfg.dominators();
+        let n = cfg.blocks.len();
+        let mut in_states: Vec<Option<AbsState>> = vec![None; n];
+        let mut visits: Vec<u32> = vec![0; n];
+        in_states[cfg.entry] = Some(AbsState::entry());
+
+        let mut work: Vec<usize> = vec![cfg.entry];
+        let mut queued = vec![false; n];
+        queued[cfg.entry] = true;
+        while let Some(b) = work.pop() {
+            queued[b] = false;
+            let Some(state) = in_states[b].clone() else { continue };
+            let (out, flags) = exec_block(&cfg, b, state, &config);
+            for edge in cfg.blocks[b].edges.clone() {
+                let Some(next) = apply_edge(&cfg, b, &out, &flags, &edge, &config) else {
+                    continue; // refinement proved the edge infeasible
+                };
+                let to = edge.to;
+                let merged = match &in_states[to] {
+                    None => next,
+                    Some(old) => {
+                        let back = Cfg::dominates(&idom, to, b);
+                        let widen =
+                            (back && visits[to] >= WIDEN_AFTER) || visits[to] >= FORCE_WIDEN_AFTER;
+                        old.merge(&next, widen)
+                    }
+                };
+                if in_states[to].as_ref() != Some(&merged) {
+                    in_states[to] = Some(merged);
+                    visits[to] += 1;
+                    if !queued[to] {
+                        queued[to] = true;
+                        work.push(to);
+                    }
+                }
+            }
+        }
+        Analysis { cfg, config, in_states }
+    }
+
+    /// The reconstructed control-flow graph.
+    #[must_use]
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// The abstract value of `reg` just before the instruction at
+    /// `offset` executes; `None` when `offset` is unreachable or not an
+    /// instruction start.
+    #[must_use]
+    pub fn value_before(&self, offset: usize, reg: Reg) -> Option<AVal> {
+        let (state, _) = self.state_before(offset)?;
+        Some(state.reg(reg).val)
+    }
+
+    /// The inclusive range of concrete addresses the store at `offset`
+    /// can write to, when the analysis can bound it.
+    #[must_use]
+    pub fn store_addr_range(&self, offset: usize) -> Option<(u64, u64)> {
+        let (state, _) = self.state_before(offset)?;
+        let (_, inst) = self.inst_at(offset)?;
+        let mem = *inst.stored_mem()?;
+        state.eval_addr(&mem).abs_range(self.config.stack_hi)
+    }
+
+    /// Whether the store at `offset` provably stays inside the P1 data
+    /// window `[store_lo, store_hi)` on every reachable execution.
+    /// `false` for anything unprovable, unreachable, or not a store.
+    #[must_use]
+    pub fn store_safe(&self, offset: usize) -> bool {
+        let Some((_, inst)) = self.inst_at(offset) else { return false };
+        let size: u64 = match inst {
+            Inst::Store { .. } | Inst::StoreImm { .. } => 8,
+            Inst::Store8 { .. } => 1,
+            _ => return false,
+        };
+        let Some(range) = self.store_addr_range(offset) else { return false };
+        let (lo, hi) = range;
+        lo >= self.config.store_lo && (hi as u128 + size as u128) <= self.config.store_hi as u128
+    }
+
+    /// The abstract value of `rsp` immediately *after* the instruction
+    /// at `offset` executes (used to prove elided P2 guards: an
+    /// explicit `rsp` write is safe if every possible result stays in
+    /// the stack window). `None` when unreachable.
+    #[must_use]
+    pub fn rsp_after(&self, offset: usize) -> Option<AVal> {
+        let (mut state, mut flags) = self.state_before(offset)?;
+        let (_, inst) = self.inst_at(offset)?;
+        step(&mut state, &mut flags, &inst, &self.config);
+        Some(state.reg(Reg::RSP).val)
+    }
+
+    /// Resolves `stack_hi`-relative values for callers that need
+    /// concrete ranges (e.g. the rsp-window check in the verifier).
+    #[must_use]
+    pub fn concrete_range(&self, v: AVal) -> Option<(u64, u64)> {
+        v.abs_range(self.config.stack_hi)
+    }
+
+    fn inst_at(&self, offset: usize) -> Option<(usize, Inst)> {
+        let b = self.cfg.block_containing(offset)?;
+        self.cfg.blocks[b].insts.iter().find(|(o, _)| *o == offset).map(|&(o, i)| (o, i))
+    }
+
+    fn state_before(&self, offset: usize) -> Option<(AbsState, LocalFlags)> {
+        let b = self.cfg.block_containing(offset)?;
+        let mut state = self.in_states[b].clone()?;
+        let mut flags = LocalFlags::default();
+        for &(off, inst) in &self.cfg.blocks[b].insts {
+            if off == offset {
+                return Some((state, flags));
+            }
+            step(&mut state, &mut flags, &inst, &self.config);
+        }
+        None
+    }
+}
+
+/// Executes a whole block from its in-state.
+fn exec_block(
+    cfg: &Cfg,
+    b: usize,
+    mut state: AbsState,
+    config: &AnalysisConfig,
+) -> (AbsState, LocalFlags) {
+    let mut flags = LocalFlags::default();
+    for &(_, inst) in &cfg.blocks[b].insts {
+        step(&mut state, &mut flags, &inst, config);
+    }
+    (state, flags)
+}
+
+/// Maps a block out-state across one outgoing edge.
+fn apply_edge(
+    cfg: &Cfg,
+    from: usize,
+    out: &AbsState,
+    flags: &LocalFlags,
+    edge: &Edge,
+    config: &AnalysisConfig,
+) -> Option<AbsState> {
+    match edge.kind {
+        EdgeKind::Fall | EdgeKind::Jump | EdgeKind::Indirect => Some(out.clone()),
+        EdgeKind::BranchTaken | EdgeKind::BranchFall => {
+            let (_, last) = *cfg.blocks[from].insts.last()?;
+            let Inst::Jcc { cc, .. } = last else { return Some(out.clone()) };
+            let cond = if edge.kind == EdgeKind::BranchTaken { cc } else { cc.negate() };
+            refine(out.clone(), flags, cond)
+        }
+        EdgeKind::CallTo => {
+            // The call pushes a return address the analysis does not model.
+            let mut s = out.clone();
+            let mut scratch = LocalFlags::default();
+            let rsp = s.reg(Reg::RSP).val;
+            let new_rsp = aval_add(rsp, AVal::exact(-8));
+            s.write_mem(&mut scratch, new_rsp, 8, AVal::Top, None, config.stack_hi);
+            s.set_reg(&mut scratch, Reg::RSP, new_rsp, None);
+            Some(s)
+        }
+        EdgeKind::CallFall => Some(AbsState::havoc()),
+    }
+}
+
+/// Applies the branch condition `cond` to the out-state.
+/// `None` means the edge is infeasible.
+fn refine(state: AbsState, flags: &LocalFlags, cond: CondCode) -> Option<AbsState> {
+    match &flags.flag {
+        FlagState::Unknown => Some(state),
+        FlagState::Cmp(snap) => refine_with_snap(state, snap, cond),
+        FlagState::Bool { snap, cc } => match cond {
+            CondCode::E => refine_with_snap(state, snap, cc.negate()),
+            CondCode::Ne => refine_with_snap(state, snap, *cc),
+            _ => Some(state),
+        },
+    }
+}
+
+fn refine_with_snap(mut state: AbsState, snap: &CmpSnap, cond: CondCode) -> Option<AbsState> {
+    for &sub in &snap.lhs_subs {
+        if !apply_constraint(&mut state, sub, cond, snap.rhs) {
+            return None;
+        }
+    }
+    let swapped = swap_cond(cond);
+    for &sub in &snap.rhs_subs {
+        if !apply_constraint(&mut state, sub, swapped, snap.lhs) {
+            return None;
+        }
+    }
+    Some(state)
+}
+
+/// Narrows `subject` under `subject cond bound`; `false` = infeasible.
+fn apply_constraint(state: &mut AbsState, subject: Subject, cond: CondCode, bound: AVal) -> bool {
+    let cur = match subject {
+        Subject::Reg(r) => state.regs[r as usize].val,
+        Subject::Slot(d) => state.slots.get(&d).map_or(AVal::Top, |t| t.val),
+    };
+    let refined = match refine_aval(cur, cond, bound) {
+        Refined::Infeasible => return false,
+        Refined::Unchanged => return true,
+        Refined::To(v) => v,
+    };
+    match subject {
+        Subject::Reg(r) => state.regs[r as usize].val = refined,
+        Subject::Slot(d) => {
+            let entry = state.slots.entry(d).or_default();
+            entry.val = refined;
+        }
+    }
+    true
+}
+
+enum Refined {
+    Infeasible,
+    Unchanged,
+    To(AVal),
+}
+
+fn refine_aval(cur: AVal, cond: CondCode, bound: AVal) -> Refined {
+    // Equality against a stack pointer transfers the representation.
+    if cond == CondCode::E {
+        if let AVal::Stack(biv) = bound {
+            return match cur {
+                AVal::Top => Refined::To(AVal::Stack(biv)),
+                AVal::Stack(civ) => match civ.meet(biv) {
+                    Some(m) => Refined::To(AVal::Stack(m)),
+                    None => Refined::Infeasible,
+                },
+                AVal::Val(_) => Refined::Unchanged,
+            };
+        }
+    }
+    let AVal::Val(biv) = bound else { return Refined::Unchanged };
+    let cur_iv = match cur {
+        AVal::Val(iv) => Some(iv),
+        AVal::Top => None,
+        AVal::Stack(_) => return Refined::Unchanged,
+    };
+    // The constraint interval the subject must meet (signed view), or a
+    // direct verdict for the cases that need extra care.
+    let constraint: Option<Interval> = match cond {
+        CondCode::E => Some(biv),
+        CondCode::Ne => {
+            // Only useful for shaving an exact endpoint.
+            if let (Some(civ), Some(b)) = (cur_iv, biv.as_exact()) {
+                if civ.as_exact() == Some(b) {
+                    return Refined::Infeasible;
+                }
+                if civ.lo == b {
+                    return Refined::To(AVal::Val(Interval::new(b + 1, civ.hi)));
+                }
+                if civ.hi == b {
+                    return Refined::To(AVal::Val(Interval::new(civ.lo, b - 1)));
+                }
+            }
+            return Refined::Unchanged;
+        }
+        CondCode::L => bounded_above(biv.hi as i128 - 1),
+        CondCode::Le => bounded_above(biv.hi as i128),
+        CondCode::G => bounded_below(biv.lo as i128 + 1),
+        CondCode::Ge => bounded_below(biv.lo as i128),
+        // Unsigned comparisons: sound only when the bound is known
+        // non-negative (unsigned order then coincides with signed on
+        // the constrained range). `x <u b` additionally proves `x >= 0`.
+        CondCode::B if biv.lo >= 0 => {
+            if biv.hi == 0 {
+                return Refined::Infeasible; // x <u 0 is impossible
+            }
+            Some(Interval::new(0, biv.hi - 1))
+        }
+        CondCode::Be if biv.lo >= 0 => Some(Interval::new(0, biv.hi)),
+        // `x >u b` only narrows an already-non-negative subject (a
+        // negative signed x is a huge unsigned value satisfying it).
+        CondCode::A if biv.lo >= 0 && cur_iv.is_some_and(|c| c.lo >= 0) => {
+            bounded_below(biv.lo as i128 + 1)
+        }
+        CondCode::Ae if biv.lo >= 0 && cur_iv.is_some_and(|c| c.lo >= 0) => {
+            bounded_below(biv.lo as i128)
+        }
+        _ => return Refined::Unchanged,
+    };
+    let Some(constraint) = constraint else { return Refined::Infeasible };
+    match cur_iv {
+        None => Refined::To(AVal::Val(constraint)),
+        Some(civ) => match civ.meet(constraint) {
+            Some(m) if m == civ => Refined::Unchanged,
+            Some(m) => Refined::To(AVal::Val(m)),
+            None => Refined::Infeasible,
+        },
+    }
+}
+
+/// `[MIN, hi]` clamped into `i64`, `None` when empty.
+fn bounded_above(hi: i128) -> Option<Interval> {
+    if hi < i64::MIN as i128 {
+        return None;
+    }
+    Some(Interval::new(i64::MIN, hi.min(i64::MAX as i128) as i64))
+}
+
+/// `[lo, MAX]` clamped into `i64`, `None` when empty.
+fn bounded_below(lo: i128) -> Option<Interval> {
+    if lo > i64::MAX as i128 {
+        return None;
+    }
+    Some(Interval::new(lo.max(i64::MIN as i128) as i64, i64::MAX))
+}
+
+/// `a cond b  <=>  b swap_cond(cond) a`.
+fn swap_cond(cc: CondCode) -> CondCode {
+    match cc {
+        CondCode::E => CondCode::E,
+        CondCode::Ne => CondCode::Ne,
+        CondCode::L => CondCode::G,
+        CondCode::G => CondCode::L,
+        CondCode::Le => CondCode::Ge,
+        CondCode::Ge => CondCode::Le,
+        CondCode::B => CondCode::A,
+        CondCode::A => CondCode::B,
+        CondCode::Be => CondCode::Ae,
+        CondCode::Ae => CondCode::Be,
+    }
+}
+
+fn aval_add(a: AVal, b: AVal) -> AVal {
+    match (a, b) {
+        (AVal::Val(x), AVal::Val(y)) => x.add(y).map_or(AVal::Top, AVal::Val),
+        (AVal::Stack(x), AVal::Val(y)) | (AVal::Val(y), AVal::Stack(x)) => {
+            x.add(y).map_or(AVal::Top, AVal::Stack)
+        }
+        _ => AVal::Top,
+    }
+}
+
+fn aval_sub(a: AVal, b: AVal) -> AVal {
+    match (a, b) {
+        (AVal::Val(x), AVal::Val(y)) => x.sub(y).map_or(AVal::Top, AVal::Val),
+        (AVal::Stack(x), AVal::Val(y)) => x.sub(y).map_or(AVal::Top, AVal::Stack),
+        (AVal::Stack(x), AVal::Stack(y)) => x.sub(y).map_or(AVal::Top, AVal::Val),
+        _ => AVal::Top,
+    }
+}
+
+/// Mirrors `Cpu`'s exact ALU semantics on known constants; `None` for
+/// the faulting cases (divide by zero, `MIN / -1`) — the post-state of
+/// a faulting instruction is unreachable, so `Top` is sound there.
+fn alu_exact(op: AluOp, x: u64, y: u64) -> Option<u64> {
+    Some(match op {
+        AluOp::Add => x.wrapping_add(y),
+        AluOp::Sub => x.wrapping_sub(y),
+        AluOp::And => x & y,
+        AluOp::Or => x | y,
+        AluOp::Xor => x ^ y,
+        AluOp::Shl => x.wrapping_shl((y & 63) as u32),
+        AluOp::Shr => x.wrapping_shr((y & 63) as u32),
+        AluOp::Sar => ((x as i64) >> (y & 63)) as u64,
+        AluOp::Mul => x.wrapping_mul(y),
+        AluOp::UDiv => {
+            if y == 0 {
+                return None;
+            }
+            x / y
+        }
+        AluOp::SDiv => {
+            let (a, b) = (x as i64, y as i64);
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return None;
+            }
+            (a / b) as u64
+        }
+        AluOp::URem => {
+            if y == 0 {
+                return None;
+            }
+            x % y
+        }
+        AluOp::SRem => {
+            let (a, b) = (x as i64, y as i64);
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return None;
+            }
+            (a % b) as u64
+        }
+    })
+}
+
+fn alu_transfer(op: AluOp, a: AVal, b: AVal) -> AVal {
+    // Exact-exact: mirror the machine bit-for-bit.
+    if let (AVal::Val(x), AVal::Val(y)) = (a, b) {
+        if let (Some(xv), Some(yv)) = (x.as_exact(), y.as_exact()) {
+            return match alu_exact(op, xv as u64, yv as u64) {
+                Some(r) => AVal::exact(r as i64),
+                None => AVal::Top,
+            };
+        }
+    }
+    match op {
+        AluOp::Add => aval_add(a, b),
+        AluOp::Sub => aval_sub(a, b),
+        AluOp::And => {
+            // `x & m` with a non-negative mask is in [0, m] regardless
+            // of x — the workhorse for index clamping.
+            let mask = match (a, b) {
+                (_, AVal::Val(m)) if m.lo >= 0 => Some(m.hi),
+                (AVal::Val(m), _) if m.lo >= 0 => Some(m.hi),
+                _ => None,
+            };
+            mask.map_or(AVal::Top, |m| AVal::Val(Interval::new(0, m)))
+        }
+        AluOp::Mul => match (a, b) {
+            (AVal::Val(x), AVal::Val(y)) => {
+                let c = y.as_exact().map(|c| (x, c)).or_else(|| x.as_exact().map(|c| (y, c)));
+                match c {
+                    Some((iv, c)) => iv.mul_const(c).map_or(AVal::Top, AVal::Val),
+                    None => AVal::Top,
+                }
+            }
+            _ => AVal::Top,
+        },
+        AluOp::Shr => match (a, b) {
+            // Logical shift of a non-negative value is monotone.
+            (AVal::Val(x), AVal::Val(y)) if x.lo >= 0 => match y.as_exact() {
+                Some(k) => {
+                    let k = (k as u64 & 63) as u32;
+                    AVal::Val(Interval::new(x.lo >> k, x.hi >> k))
+                }
+                None => AVal::Top,
+            },
+            _ => AVal::Top,
+        },
+        AluOp::Sar => match (a, b) {
+            (AVal::Val(x), AVal::Val(y)) => match y.as_exact() {
+                Some(k) => {
+                    let k = (k as u64 & 63) as u32;
+                    AVal::Val(Interval::new(x.lo >> k, x.hi >> k))
+                }
+                None => AVal::Top,
+            },
+            _ => AVal::Top,
+        },
+        AluOp::Shl => match (a, b) {
+            (AVal::Val(x), AVal::Val(y)) if x.lo >= 0 => match y.as_exact() {
+                Some(k) => {
+                    let k = (k as u64 & 63) as u32;
+                    let lo = (x.lo as i128) << k;
+                    let hi = (x.hi as i128) << k;
+                    Interval::from_i128(lo, hi).map_or(AVal::Top, AVal::Val)
+                }
+                None => AVal::Top,
+            },
+            _ => AVal::Top,
+        },
+        AluOp::UDiv => match (a, b) {
+            (AVal::Val(x), AVal::Val(y)) if x.lo >= 0 => match y.as_exact() {
+                Some(c) if c > 0 => AVal::Val(Interval::new(x.lo / c, x.hi / c)),
+                _ => AVal::Top,
+            },
+            _ => AVal::Top,
+        },
+        _ => AVal::Top,
+    }
+}
+
+/// One instruction's abstract transfer function.
+fn step(state: &mut AbsState, flags: &mut LocalFlags, inst: &Inst, config: &AnalysisConfig) {
+    match *inst {
+        Inst::Nop | Inst::Halt | Inst::Abort { .. } => {}
+        // Control transfers are modelled on edges, not in the step.
+        Inst::Jmp { .. }
+        | Inst::Jcc { .. }
+        | Inst::JmpInd { .. }
+        | Inst::Call { .. }
+        | Inst::CallInd { .. }
+        | Inst::Ret => {}
+        Inst::Ocall { .. } | Inst::AexProbe => {
+            // The wrapper returns a result in rax; nothing else in the
+            // tracked state changes (host writes land outside the stack).
+            state.set_reg(flags, Reg::RAX, AVal::Top, None);
+        }
+        Inst::MovRR { dst, src } => {
+            let t = state.reg(src);
+            state.set_reg(flags, dst, t.val, t.origin);
+        }
+        Inst::MovRI { dst, imm } => {
+            let val =
+                if config.opaque_imms.contains(&imm) { AVal::Top } else { AVal::exact(imm as i64) };
+            state.set_reg(flags, dst, val, None);
+        }
+        Inst::Lea { dst, mem } => {
+            let v = state.eval_addr(&mem);
+            state.set_reg(flags, dst, v, None);
+        }
+        Inst::Load { dst, mem } => {
+            let addr = state.eval_addr(&mem);
+            let t = state.read_mem(addr);
+            state.set_reg(flags, dst, t.val, t.origin);
+        }
+        Inst::Load8 { dst, .. } => {
+            state.set_reg(flags, dst, AVal::Val(Interval::new(0, 255)), None);
+        }
+        Inst::Store { mem, src } => {
+            let addr = state.eval_addr(&mem);
+            let t = state.reg(src);
+            state.write_mem(flags, addr, 8, t.val, t.origin, config.stack_hi);
+            // After an exact stack store the source register equals the
+            // freshly written slot.
+            if let AVal::Stack(iv) = addr {
+                if let Some(d) = iv.as_exact() {
+                    state.regs[src.index() as usize].origin = Some(d);
+                }
+            }
+        }
+        Inst::Store8 { mem, .. } => {
+            let addr = state.eval_addr(&mem);
+            state.write_mem(flags, addr, 1, AVal::Top, None, config.stack_hi);
+        }
+        Inst::StoreImm { mem, imm } => {
+            let addr = state.eval_addr(&mem);
+            state.write_mem(flags, addr, 8, AVal::exact(i64::from(imm)), None, config.stack_hi);
+        }
+        Inst::Push { reg } => {
+            let t = state.reg(reg);
+            let new_rsp = aval_add(state.reg(Reg::RSP).val, AVal::exact(-8));
+            state.write_mem(flags, new_rsp, 8, t.val, t.origin, config.stack_hi);
+            state.set_reg(flags, Reg::RSP, new_rsp, None);
+        }
+        Inst::Pop { reg } => {
+            let rsp = state.reg(Reg::RSP).val;
+            let t = state.read_mem(rsp);
+            if reg == Reg::RSP {
+                // The increment is overwritten by the popped value.
+                state.set_reg(flags, Reg::RSP, t.val, t.origin);
+            } else {
+                let new_rsp = aval_add(rsp, AVal::exact(8));
+                state.set_reg(flags, Reg::RSP, new_rsp, None);
+                state.set_reg(flags, reg, t.val, t.origin);
+            }
+        }
+        Inst::AluRR { op, dst, src } => {
+            let v = alu_transfer(op, state.reg(dst).val, state.reg(src).val);
+            state.set_reg(flags, dst, v, None);
+            flags.flag = FlagState::Unknown;
+        }
+        Inst::AluRI { op, dst, imm } => {
+            let v = alu_transfer(op, state.reg(dst).val, AVal::exact(imm));
+            state.set_reg(flags, dst, v, None);
+            flags.flag = FlagState::Unknown;
+        }
+        Inst::Neg { reg } => {
+            let v = match state.reg(reg).val {
+                AVal::Val(iv) => iv.neg().map_or(AVal::Top, AVal::Val),
+                _ => AVal::Top,
+            };
+            state.set_reg(flags, reg, v, None);
+            flags.flag = FlagState::Unknown;
+        }
+        Inst::Not { reg } => {
+            let v = match state.reg(reg).val {
+                AVal::Val(iv) => iv.not().map_or(AVal::Top, AVal::Val),
+                _ => AVal::Top,
+            };
+            state.set_reg(flags, reg, v, None);
+            flags.flag = FlagState::Unknown;
+        }
+        Inst::CmpRR { lhs, rhs } => {
+            flags.flag = FlagState::Cmp(snap_of(state, lhs, Some(rhs), None));
+        }
+        Inst::CmpRI { lhs, imm } => {
+            // `cmp b, 0` on a setcc result re-tests the original
+            // comparison (the shape the compiler emits for `while`).
+            if imm == 0 {
+                if let Some((snap, cc)) = flags.bool_pred(lhs.index()) {
+                    flags.flag = FlagState::Bool { snap: snap.clone(), cc };
+                    return;
+                }
+            }
+            flags.flag = FlagState::Cmp(snap_of(state, lhs, None, Some(imm)));
+        }
+        Inst::TestRR { lhs, rhs } => {
+            // `test r, r` sets flags identically to `cmp r, 0`.
+            if lhs == rhs {
+                if let Some((snap, cc)) = flags.bool_pred(lhs.index()) {
+                    flags.flag = FlagState::Bool { snap: snap.clone(), cc };
+                } else {
+                    flags.flag = FlagState::Cmp(snap_of(state, lhs, None, Some(0)));
+                }
+            } else {
+                flags.flag = FlagState::Unknown;
+            }
+        }
+        Inst::SetCc { cc, dst } => {
+            let pred = match &flags.flag {
+                FlagState::Cmp(snap) => Some((snap.clone(), cc)),
+                _ => None,
+            };
+            state.set_reg(flags, dst, AVal::Val(Interval::new(0, 1)), None);
+            if let Some((snap, cc)) = pred {
+                flags.bool_preds.push((dst.index(), snap, cc));
+            }
+        }
+        Inst::CmpMem { .. } | Inst::FCmp { .. } => {
+            flags.flag = FlagState::Unknown;
+        }
+        Inst::FpuRR { dst, .. }
+        | Inst::CvtIF { dst, .. }
+        | Inst::CvtFI { dst, .. }
+        | Inst::FSqrt { dst, .. }
+        | Inst::FNeg { dst, .. } => {
+            state.set_reg(flags, dst, AVal::Top, None);
+        }
+    }
+}
+
+/// Builds the comparison snapshot for `cmp lhs, rhs/imm`.
+fn snap_of(state: &AbsState, lhs: Reg, rhs: Option<Reg>, imm: Option<i64>) -> CmpSnap {
+    let subs = |r: Reg| -> Vec<Subject> {
+        let t = state.reg(r);
+        let mut v = vec![Subject::Reg(r.index())];
+        if let Some(d) = t.origin {
+            v.push(Subject::Slot(d));
+        }
+        v
+    };
+    let lhs_t = state.reg(lhs);
+    let (rhs_subs, rhs_val) = match (rhs, imm) {
+        (Some(r), _) => (subs(r), state.reg(r).val),
+        (None, Some(i)) => (Vec::new(), AVal::exact(i)),
+        (None, None) => (Vec::new(), AVal::Top),
+    };
+    CmpSnap { lhs_subs: subs(lhs), rhs_subs, lhs: lhs_t.val, rhs: rhs_val }
+}

@@ -1,0 +1,181 @@
+//! Signed 64-bit value intervals.
+//!
+//! The abstract interpreter views every register value through its
+//! two's-complement *signed* interpretation; an [`Interval`] is an
+//! inclusive range `[lo, hi]` of `i64`. All arithmetic is checked in
+//! `i128`: a result whose bounds leave the representable `i64` range
+//! means the concrete computation may wrap modulo 2^64, and the caller
+//! must fall back to `Top` (`None` here). This mirrors the wrapping
+//! semantics of the VM exactly — an interval op only returns `Some`
+//! when no concrete instance of the operation can wrap.
+
+/// An inclusive range of signed 64-bit values with `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Least value in the range.
+    pub lo: i64,
+    /// Greatest value in the range.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The full `i64` range — the least informative interval.
+    pub const FULL: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+
+    /// A single value.
+    #[must_use]
+    pub const fn exact(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// An interval from ordered bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Builds an interval from `i128` bounds, failing when either bound
+    /// leaves the `i64` range (i.e. the concrete op may wrap).
+    #[must_use]
+    pub fn from_i128(lo: i128, hi: i128) -> Option<Interval> {
+        let lo = i64::try_from(lo).ok()?;
+        let hi = i64::try_from(hi).ok()?;
+        Some(Interval { lo, hi })
+    }
+
+    /// The single value of this interval, if it is a point.
+    #[must_use]
+    pub fn as_exact(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether `v` is inside the interval.
+    #[must_use]
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound (convex hull).
+    #[must_use]
+    pub fn join(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Greatest lower bound; `None` when the ranges are disjoint.
+    #[must_use]
+    pub fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// The widening operator: any bound of `next` that grew past `self`
+    /// jumps straight to the corresponding `i64` extreme. Each bound can
+    /// widen at most once, so chains of widened joins terminate.
+    #[must_use]
+    pub fn widen(self, next: Interval) -> Interval {
+        Interval {
+            lo: if next.lo < self.lo { i64::MIN } else { self.lo },
+            hi: if next.hi > self.hi { i64::MAX } else { self.hi },
+        }
+    }
+
+    /// Checked interval addition (`None` = possible wrap).
+    ///
+    /// Not `std::ops::Add`: all arithmetic here is checked and returns
+    /// `Option`, which the operator traits cannot express.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, other: Interval) -> Option<Interval> {
+        Interval::from_i128(self.lo as i128 + other.lo as i128, self.hi as i128 + other.hi as i128)
+    }
+
+    /// Checked interval subtraction.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn sub(self, other: Interval) -> Option<Interval> {
+        Interval::from_i128(self.lo as i128 - other.hi as i128, self.hi as i128 - other.lo as i128)
+    }
+
+    /// Checked negation.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn neg(self) -> Option<Interval> {
+        Interval::from_i128(-(self.hi as i128), -(self.lo as i128))
+    }
+
+    /// Checked bitwise complement (`!x == -x - 1`).
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> Option<Interval> {
+        Interval::from_i128(-(self.hi as i128) - 1, -(self.lo as i128) - 1)
+    }
+
+    /// Checked multiplication by a constant.
+    #[must_use]
+    pub fn mul_const(self, c: i64) -> Option<Interval> {
+        let a = self.lo as i128 * c as i128;
+        let b = self.hi as i128 * c as i128;
+        Interval::from_i128(a.min(b), a.max(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_hull() {
+        let a = Interval::new(0, 4);
+        let b = Interval::new(10, 12);
+        assert_eq!(a.join(b), Interval::new(0, 12));
+        assert_eq!(b.join(a), Interval::new(0, 12));
+        assert_eq!(a.join(a), a);
+    }
+
+    #[test]
+    fn meet_intersects_or_fails() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.meet(b), Some(Interval::new(5, 10)));
+        assert_eq!(a.meet(Interval::new(11, 12)), None);
+        assert_eq!(a.meet(Interval::exact(10)), Some(Interval::exact(10)));
+    }
+
+    #[test]
+    fn widen_jumps_to_extremes_once() {
+        let old = Interval::new(0, 8);
+        // Growth upward widens only the upper bound.
+        assert_eq!(old.widen(Interval::new(0, 9)), Interval::new(0, i64::MAX));
+        // Growth downward widens only the lower bound.
+        assert_eq!(old.widen(Interval::new(-1, 8)), Interval::new(i64::MIN, 8));
+        // No growth: unchanged.
+        assert_eq!(old.widen(Interval::new(2, 6)), old);
+        // Widening is idempotent at the extremes.
+        let wide = old.widen(Interval::new(-1, 9));
+        assert_eq!(wide.widen(Interval::new(i64::MIN, i64::MAX)), Interval::FULL);
+    }
+
+    #[test]
+    fn checked_arithmetic_rejects_wraps() {
+        let big = Interval::new(i64::MAX - 1, i64::MAX);
+        assert_eq!(big.add(Interval::exact(1)), None);
+        assert_eq!(big.add(Interval::exact(0)), Some(big));
+        assert_eq!(Interval::exact(i64::MIN).neg(), None);
+        assert_eq!(Interval::exact(i64::MIN).sub(Interval::exact(1)), None);
+        assert_eq!(Interval::new(1 << 40, 1 << 41).mul_const(1 << 30), None);
+    }
+
+    #[test]
+    fn scaled_index_ranges() {
+        // The shape used for `arr[i]` addresses: i in [0, 31], scale 8.
+        let idx = Interval::new(0, 31);
+        assert_eq!(idx.mul_const(8), Some(Interval::new(0, 248)));
+        assert_eq!(Interval::new(-3, 5).mul_const(-2), Some(Interval::new(-10, 6)));
+    }
+}

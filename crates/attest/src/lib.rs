@@ -129,13 +129,13 @@ impl Quote {
 
 /// Generates a quote for (`measurement`, `report_data`) on `platform`.
 #[must_use]
-pub fn generate_quote(platform: &Platform, measurement: Measurement, report_data: [u8; 64]) -> Quote {
-    let mut quote = Quote {
-        platform_id: platform.platform_id,
-        measurement,
-        report_data,
-        signature: [0; 32],
-    };
+pub fn generate_quote(
+    platform: &Platform,
+    measurement: Measurement,
+    report_data: [u8; 64],
+) -> Quote {
+    let mut quote =
+        Quote { platform_id: platform.platform_id, measurement, report_data, signature: [0; 32] };
     quote.signature = platform.sign_report(&quote.body());
     quote
 }
@@ -432,10 +432,7 @@ mod tests {
         let (owner_key, provider_key, e_owner, e_provider) =
             establish_sessions(&platform, &service, measurement, &mut owner, &mut provider)
                 .unwrap();
-        assert_eq!(
-            owner_key,
-            e_owner.session_key(&owner.public_key(), Role::DataOwner).unwrap()
-        );
+        assert_eq!(owner_key, e_owner.session_key(&owner.public_key(), Role::DataOwner).unwrap());
         assert_eq!(
             provider_key,
             e_provider.session_key(&provider.public_key(), Role::CodeProvider).unwrap()

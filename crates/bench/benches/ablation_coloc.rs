@@ -15,10 +15,7 @@ const TRIALS: u64 = 2_000_000;
 
 fn print_table() {
     println!("\n=== Ablation: co-location probe accuracy (P6) ===\n");
-    println!(
-        "{:<14} {:>12} {:>14} {:>16}",
-        "CPU", "α (model)", "α (estimated)", "detection rate"
-    );
+    println!("{:<14} {:>12} {:>14} {:>16}", "CPU", "α (model)", "α (estimated)", "detection rate");
     println!("{:-<60}", "");
     for (i, profile) in PROFILES.iter().enumerate() {
         let mut tester = ColocationTester::new(*profile, 0xC0C0 + i as u64);

@@ -1,0 +1,161 @@
+//! **Ablation — guard elision** (`PolicySet::elide_guards`).
+//!
+//! For every nBench kernel, compares the fully instrumented P1–P6 build
+//! against the elided build produced by the two-pass
+//! `produce_for_layout` pipeline:
+//!
+//! * how many P1 (store) and P2 (rsp) guard instances remain,
+//! * executed VM instructions (must shrink strictly — elided guards are
+//!   annotation instructions that no longer run),
+//! * in-enclave verification time, where the elided build pays for the
+//!   abstract interpretation the verifier runs to re-prove each elision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deflection_bench::{fmt_pct, measure, overhead_pct};
+use deflection_core::annotations::TemplateKind;
+use deflection_core::consumer::install;
+use deflection_core::policy::{Manifest, PolicySet};
+use deflection_core::producer::{produce, produce_for_layout};
+use deflection_sgx_sim::layout::{EnclaveLayout, MemConfig};
+use deflection_sgx_sim::mem::Memory;
+use deflection_workloads::nbench;
+use std::time::{Duration, Instant};
+
+const SCALE: u32 = 3;
+
+/// (store guards, rsp guards, verification time) of one install.
+fn install_stats(binary: &[u8], manifest: &Manifest) -> (usize, usize, Duration) {
+    let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+    let start = Instant::now();
+    let installed = install(binary, manifest, &mut mem).expect("bench binary verifies");
+    let verify_time = start.elapsed();
+    let count =
+        |kind: TemplateKind| installed.verified.instances.iter().filter(|i| i.kind == kind).count();
+    (count(TemplateKind::StoreGuard), count(TemplateKind::RspGuard), verify_time)
+}
+
+fn print_table() {
+    println!("\n=== Ablation: P1/P2 guard elision on nBench (P1-P6 policy) ===\n");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>12} {:>12}",
+        "Program Name",
+        "P1 full",
+        "P1 elid",
+        "P2 full",
+        "P2 elid",
+        "saved",
+        "verify full",
+        "verify elid"
+    );
+    println!("{:-<96}", "");
+    let config = MemConfig::small();
+    let layout = EnclaveLayout::new(config);
+    let full_policy = PolicySet::full();
+    let elide_policy = PolicySet::full().with_elision();
+    let full_manifest = Manifest::ccaas();
+    let mut elide_manifest = Manifest::ccaas();
+    elide_manifest.policy = elide_policy;
+
+    for kernel in nbench::all() {
+        let source = (kernel.source)();
+        let input = (kernel.input)(SCALE);
+
+        let full_bin = produce(&source, &full_policy).expect("compiles").serialize();
+        let elided_bin =
+            produce_for_layout(&source, &elide_policy, &layout).expect("compiles").serialize();
+
+        let (p1_full, p2_full, t_full) = install_stats(&full_bin, &full_manifest);
+        let (p1_elid, p2_elid, t_elid) = install_stats(&elided_bin, &elide_manifest);
+        assert!(
+            p1_elid + p2_elid < p1_full + p2_full,
+            "{}: elision must drop at least one guard",
+            kernel.name
+        );
+
+        let full_run = measure(&source, &input, &full_policy, &config);
+        let elided_run = measure(&source, &input, &elide_policy, &config);
+        assert!(
+            elided_run.instructions < full_run.instructions,
+            "{}: elided build must execute strictly fewer instructions \
+             ({} vs {})",
+            kernel.name,
+            elided_run.instructions,
+            full_run.instructions
+        );
+
+        println!(
+            "{:<18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>10.1?} {:>10.1?}",
+            kernel.name,
+            p1_full,
+            p1_elid,
+            p2_full,
+            p2_elid,
+            format!(
+                "{} ({})",
+                full_run.instructions - elided_run.instructions,
+                fmt_pct(overhead_pct(full_run.instructions, elided_run.instructions))
+            ),
+            t_full,
+            t_elid,
+        );
+    }
+    println!("{:-<96}", "");
+    println!(
+        "\nsaved: executed annotation instructions the elided build no longer runs\n\
+         (absolute count, relative change in parens). The verifier's in-enclave\n\
+         analysis cost shows up as the `verify elid` column; fully guarded binaries\n\
+         never pay it (the analysis only runs when an unguarded site is\n\
+         encountered).\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    // Criterion measurement of the verification-time cost of elision: the
+    // eliding verifier re-proves each elided site with its own analysis.
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let elide_policy = PolicySet::full().with_elision();
+    let mut elide_manifest = Manifest::ccaas();
+    elide_manifest.policy = elide_policy;
+    let full_manifest = Manifest::ccaas();
+
+    let kernel =
+        nbench::all().into_iter().find(|k| k.name == "NUMERIC SORT").expect("kernel exists");
+    let source = (kernel.source)();
+    let full_bin = produce(&source, &PolicySet::full()).expect("compiles").serialize();
+    let elided_bin =
+        produce_for_layout(&source, &elide_policy, &layout).expect("compiles").serialize();
+
+    c.bench_function("elision/verify/full", {
+        let full_bin = full_bin.clone();
+        let manifest = full_manifest.clone();
+        move |b| {
+            b.iter(|| {
+                let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+                install(&full_bin, &manifest, &mut mem).expect("verifies")
+            })
+        }
+    });
+    c.bench_function("elision/verify/elided", {
+        let elided_bin = elided_bin.clone();
+        let manifest = elide_manifest.clone();
+        move |b| {
+            b.iter(|| {
+                let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+                install(&elided_bin, &manifest, &mut mem).expect("verifies")
+            })
+        }
+    });
+    // Producer-side cost of the two-pass pipeline, for completeness.
+    c.bench_function("elision/produce/two-pass", {
+        let source = source.clone();
+        move |b| b.iter(|| produce_for_layout(&source, &elide_policy, &layout).expect("compiles"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -27,9 +27,7 @@ fn print_table() {
     let manifest = Manifest::ccaas();
     for kernel in nbench::all() {
         let source = (kernel.source)();
-        let binary = produce(&source, &manifest.policy)
-            .expect("compiles")
-            .serialize();
+        let binary = produce(&source, &manifest.policy).expect("compiles").serialize();
         // Median of several installs into fresh memory.
         let mut times = Vec::new();
         let mut instances = 0usize;
@@ -60,9 +58,8 @@ fn print_table() {
 fn bench(c: &mut Criterion) {
     print_table();
     let manifest = Manifest::ccaas();
-    let binary = produce(&(nbench::all()[0].source)(), &manifest.policy)
-        .expect("compiles")
-        .serialize();
+    let binary =
+        produce(&(nbench::all()[0].source)(), &manifest.policy).expect("compiles").serialize();
     c.bench_function("ablation/install_numeric_sort", move |b| {
         b.iter(|| {
             let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));

@@ -58,10 +58,10 @@ fn print_table() {
     for &clients in &CONCURRENCY {
         let base = simulate(clients, WORKERS, base_us, 0.05, 4000, 10);
         let full = simulate(clients, WORKERS, full_us, 0.05, 4000, 10);
-        let rt_ovh = overhead_pct(base.mean_response_us as u64 + 1, full.mean_response_us as u64 + 1);
+        let rt_ovh =
+            overhead_pct(base.mean_response_us as u64 + 1, full.mean_response_us as u64 + 1);
         overheads.push(rt_ovh);
-        let thr_loss =
-            (base.throughput_rps - full.throughput_rps) / base.throughput_rps * 100.0;
+        let thr_loss = (base.throughput_rps - full.throughput_rps) / base.throughput_rps * 100.0;
         if clients >= 75 {
             thr_losses.push(thr_loss);
         }

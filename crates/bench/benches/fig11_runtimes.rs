@@ -65,10 +65,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig11/models_sweep", |b| {
         b.iter(|| {
             let models = [native(), graphene_like(), occlum_like(), deflection(0.14)];
-            SIZES_KIB
-                .iter()
-                .flat_map(|&k| models.iter().map(move |m| m.rate_mib_s(k)))
-                .sum::<f64>()
+            SIZES_KIB.iter().flat_map(|&k| models.iter().map(move |m| m.rate_mib_s(k))).sum::<f64>()
         })
     });
     let source = server::source();

@@ -26,10 +26,8 @@ fn print_table() {
     for len in LENGTHS {
         let input = genome::nw_input(len);
         let (base, levels) = sweep_levels(&source, &input, &config);
-        let pcts: Vec<f64> = levels
-            .iter()
-            .map(|s| overhead_pct(base.instructions, s.instructions))
-            .collect();
+        let pcts: Vec<f64> =
+            levels.iter().map(|s| overhead_pct(base.instructions, s.instructions)).collect();
         println!(
             "{:<10} {:>14} {:>10} {:>10} {:>10} {:>10} {:>9.1?}",
             len,

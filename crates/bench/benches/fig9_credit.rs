@@ -28,10 +28,8 @@ fn print_table() {
     for records in RECORD_COUNTS {
         let input = credit::input(TRAIN, records);
         let (base, levels) = sweep_levels(&source, &input, &config);
-        let pcts: Vec<f64> = levels
-            .iter()
-            .map(|s| overhead_pct(base.instructions, s.instructions))
-            .collect();
+        let pcts: Vec<f64> =
+            levels.iter().map(|s| overhead_pct(base.instructions, s.instructions)).collect();
         println!(
             "{:<10} {:>14} {:>10} {:>10} {:>10} {:>10}",
             records,
@@ -42,9 +40,7 @@ fn print_table() {
             fmt_pct(pcts[3])
         );
     }
-    println!(
-        "\npaper: ~15% for P1-P5 at 1K/10K records, <20% at 50K+ for the full check.\n"
-    );
+    println!("\npaper: ~15% for P1-P5 at 1K/10K records, <20% at 50K+ for the full check.\n");
 }
 
 fn bench(c: &mut Criterion) {

@@ -24,7 +24,7 @@ pub mod queueing;
 pub mod runtime_models;
 
 use deflection_core::policy::{Manifest, PolicySet};
-use deflection_core::producer::produce;
+use deflection_core::producer::{produce, produce_for_layout};
 use deflection_core::runtime::BootstrapEnclave;
 use deflection_sgx_sim::layout::{EnclaveLayout, MemConfig};
 use deflection_sgx_sim::vm::RunExit;
@@ -51,8 +51,14 @@ pub struct Sample {
 pub fn measure(source: &str, input: &[u8], policy: &PolicySet, config: &MemConfig) -> Sample {
     let mut manifest = Manifest::ccaas();
     manifest.policy = *policy;
-    let binary = produce(source, policy).expect("bench source compiles").serialize();
-    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(*config), manifest);
+    let layout = EnclaveLayout::new(*config);
+    let obj = if policy.elide_guards {
+        produce_for_layout(source, policy, &layout)
+    } else {
+        produce(source, policy)
+    };
+    let binary = obj.expect("bench source compiles").serialize();
+    let mut enclave = BootstrapEnclave::new(layout, manifest);
     enclave.set_owner_session([0xBE; 32]);
     enclave.install_plain(&binary).expect("bench binary verifies");
     if !input.is_empty() {
@@ -86,10 +92,8 @@ pub fn fmt_pct(pct: f64) -> String {
 #[must_use]
 pub fn sweep_levels(source: &str, input: &[u8], config: &MemConfig) -> (Sample, Vec<Sample>) {
     let baseline = measure(source, input, &PolicySet::none(), config);
-    let levels = PolicySet::levels()
-        .iter()
-        .map(|(_, p)| measure(source, input, p, config))
-        .collect();
+    let levels =
+        PolicySet::levels().iter().map(|(_, p)| measure(source, input, p, config)).collect();
     (baseline, levels)
 }
 

@@ -15,8 +15,10 @@
 //! like the paper's `0x3FFFFFFFFFFFFFFF`/`0x4FFFFFFFFFFFFFFF` immediates.
 
 use crate::policy::abort_codes;
-use deflection_lang::mir::{MFunction, MInst};
+use deflection_analysis::AnalysisConfig;
 use deflection_isa::{AluOp, CondCode, Inst, MemOperand, Reg};
+use deflection_lang::mir::{MFunction, MInst};
+use deflection_sgx_sim::layout::EnclaveLayout;
 
 /// Placeholder for the store window's lower bound (P1/P3/P4).
 pub const PH_STORE_LO: u64 = 0x3FFF_FFFF_FFFF_FF01;
@@ -38,6 +40,43 @@ pub const PH_SSA_MARKER: u64 = 0x8FFF_FFFF_FFFF_FF08;
 pub const PH_AEX_SLOT: u64 = 0x8FFF_FFFF_FFFF_FF09;
 /// Placeholder for the AEX abort threshold (P6).
 pub const PH_AEX_MAX: u64 = 0x8FFF_FFFF_FFFF_FF0A;
+
+/// Every placeholder immediate the templates carry, in one list.
+///
+/// The guard-elision analysis must treat these values as opaque (`Top`):
+/// the in-enclave rewriter replaces them after verification, so any proof
+/// that leaned on a placeholder's numeric value would be unsound for the
+/// binary that actually runs.
+pub const PLACEHOLDER_IMMS: [u64; 10] = [
+    PH_STORE_LO,
+    PH_STORE_HI,
+    PH_STACK_LO,
+    PH_STACK_HI,
+    PH_BT_BASE,
+    PH_BT_LEN,
+    PH_SS_SLOT,
+    PH_SSA_MARKER,
+    PH_AEX_SLOT,
+    PH_AEX_MAX,
+];
+
+/// The guard-elision analysis parameters derived from the enclave layout.
+///
+/// Producer and verifier must agree on these bit-for-bit: the verifier
+/// accepts an unguarded operation only when its *own* run of the analysis
+/// under this configuration re-derives the safety proof, so any divergence
+/// would make the producer elide guards the verifier then rejects (safe,
+/// but pointless). Keeping the derivation next to the templates makes the
+/// shared contract obvious.
+#[must_use]
+pub fn elision_analysis_config(layout: &EnclaveLayout) -> AnalysisConfig {
+    AnalysisConfig {
+        store_lo: layout.store_window().start,
+        store_hi: layout.store_window().end,
+        stack_hi: layout.initial_rsp(),
+        opaque_imms: PLACEHOLDER_IMMS.to_vec(),
+    }
+}
 
 /// The marker value P6 annotations plant in the SSA; an AEX overwrites it
 /// with the saved `rip`, which can never equal this value because the code
@@ -158,10 +197,7 @@ pub fn emit_rsp_guard(f: &mut MFunction) {
 /// holds a table *index*: optionally bounds-checked (P5), then the table
 /// load and the actual branch (`call` when `is_call`, `jmp` otherwise).
 pub fn emit_cfi_branch(f: &mut MFunction, reg: Reg, is_call: bool, checked: bool) {
-    assert!(
-        reg != Reg::R11,
-        "indirect-branch register must not be the annotation scratch"
-    );
+    assert!(reg != Reg::R11, "indirect-branch register must not be the annotation scratch");
     if checked {
         let ok = f.new_label();
         f.real(Inst::MovRI { dst: Reg::R11, imm: PH_BT_LEN });
@@ -369,7 +405,12 @@ pub fn match_store_guard(code: &Code<'_>, i: usize) -> Option<Instance> {
     if !code.contiguous(i, i + 13) {
         return None;
     }
-    Some(Instance { kind: TemplateKind::StoreGuard, start_idx: i, end_idx: i + 13, subject_idx: Some(i + 13) })
+    Some(Instance {
+        kind: TemplateKind::StoreGuard,
+        start_idx: i,
+        end_idx: i + 13,
+        subject_idx: Some(i + 13),
+    })
 }
 
 /// Tries to match the rsp guard starting at index `i`.
@@ -442,7 +483,12 @@ pub fn match_cfi_checked(code: &Code<'_>, i: usize) -> Option<Instance> {
     if !code.contiguous(i, subject) {
         return None;
     }
-    Some(Instance { kind: TemplateKind::CfiChecked, start_idx: i, end_idx: subject, subject_idx: Some(subject) })
+    Some(Instance {
+        kind: TemplateKind::CfiChecked,
+        start_idx: i,
+        end_idx: subject,
+        subject_idx: Some(subject),
+    })
 }
 
 /// Tries to match an *unchecked* (baseline) CFI lowering at index `i`.
@@ -452,7 +498,12 @@ pub fn match_cfi_unchecked(code: &Code<'_>, i: usize) -> Option<Instance> {
     if !code.contiguous(i, subject) {
         return None;
     }
-    Some(Instance { kind: TemplateKind::CfiUnchecked, start_idx: i, end_idx: subject, subject_idx: Some(subject) })
+    Some(Instance {
+        kind: TemplateKind::CfiUnchecked,
+        start_idx: i,
+        end_idx: subject,
+        subject_idx: Some(subject),
+    })
 }
 
 /// Tries to match the shadow-stack prologue at index `i`.
@@ -523,7 +574,12 @@ pub fn match_epilogue(code: &Code<'_>, i: usize) -> Option<Instance> {
     if !code.contiguous(i, i + 8) {
         return None;
     }
-    Some(Instance { kind: TemplateKind::Epilogue, start_idx: i, end_idx: i + 8, subject_idx: Some(i + 8) })
+    Some(Instance {
+        kind: TemplateKind::Epilogue,
+        start_idx: i,
+        end_idx: i + 8,
+        subject_idx: Some(i + 8),
+    })
 }
 
 /// Tries to match the P6 AEX check at index `i` (19 instructions).
@@ -605,7 +661,12 @@ pub fn match_aex_check(code: &Code<'_>, i: usize) -> Option<Instance> {
     if !code.contiguous(i, i + 19) {
         return None;
     }
-    Some(Instance { kind: TemplateKind::AexCheck, start_idx: i, end_idx: i + 19, subject_idx: None })
+    Some(Instance {
+        kind: TemplateKind::AexCheck,
+        start_idx: i,
+        end_idx: i + 19,
+        subject_idx: None,
+    })
 }
 
 /// Attempts all templates at index `i`, in signature-disambiguated order.
@@ -623,9 +684,9 @@ pub fn match_any(code: &Code<'_>, i: usize) -> Option<Instance> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use deflection_isa::disassemble;
     use deflection_lang::asm::assemble;
     use deflection_lang::mir::MirProgram;
-    use deflection_isa::disassemble;
 
     /// Assembles one function and returns the ordered instruction list.
     fn roundtrip(f: MFunction, ibt: &[usize]) -> Vec<(usize, Inst, usize)> {

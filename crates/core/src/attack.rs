@@ -9,10 +9,11 @@
 
 use crate::annotations;
 use crate::policy::PolicySet;
-use crate::producer::{instrument, produce_from_mir};
+use crate::producer::{instrument, produce_from_mir, produce_stripped_mir};
+use deflection_isa::{AluOp, CondCode, Inst, MemOperand, Reg};
 use deflection_lang::mir::{MFunction, MInst, MirProgram};
 use deflection_obj::ObjectFile;
-use deflection_isa::{CondCode, Inst, MemOperand, Reg};
+use std::collections::HashSet;
 
 /// A corpus entry: what the attack does and the binary implementing it.
 #[derive(Debug, Clone)]
@@ -39,12 +40,7 @@ pub enum Expected {
 }
 
 fn mir_program(functions: Vec<MFunction>, indirect_targets: Vec<String>) -> MirProgram {
-    MirProgram {
-        entry: functions[0].name.clone(),
-        functions,
-        data: vec![],
-        indirect_targets,
-    }
+    MirProgram { entry: functions[0].name.clone(), functions, data: vec![], indirect_targets }
 }
 
 fn start_calling(callee: &str) -> MFunction {
@@ -83,8 +79,8 @@ pub fn wrong_operand_guard() -> Attack {
     annotations::emit_store_guard(&mut main, &MemOperand::base_disp(Reg::RCX, 0));
     main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RDX, 0), src: Reg::RAX });
     main.real(Inst::Halt);
-    let obj = produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::none())
-        .expect("assembles");
+    let obj =
+        produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::none()).expect("assembles");
     Attack {
         name: "wrong-operand-guard",
         description: "P1 annotation checks [rcx] but the store writes [rdx]",
@@ -103,7 +99,7 @@ pub fn jump_over_guard() -> Attack {
     f.real(Inst::MovRI { dst: Reg::RDX, imm: 0x100 });
     f.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
     f.push(MInst::Jcc(CondCode::E, mid)); // hostile entry into the template
-    // Hand-rolled copy of the store guard with a label before the pops.
+                                          // Hand-rolled copy of the store guard with a label before the pops.
     let ok1 = f.new_label();
     let ok2 = f.new_label();
     f.real(Inst::Push { reg: Reg::RBX });
@@ -124,8 +120,8 @@ pub fn jump_over_guard() -> Attack {
     f.real(Inst::Pop { reg: Reg::RBX });
     f.real(Inst::Store { mem, src: Reg::RAX });
     f.real(Inst::Halt);
-    let obj = produce_from_mir(&mir_program(vec![f], vec![]), &PolicySet::none())
-        .expect("assembles");
+    let obj =
+        produce_from_mir(&mir_program(vec![f], vec![]), &PolicySet::none()).expect("assembles");
     Attack {
         name: "jump-over-guard",
         description: "direct branch into the interior of a P1 annotation",
@@ -192,8 +188,8 @@ pub fn rsp_pivot() -> Attack {
     main.real(Inst::MovRR { dst: Reg::RSP, src: Reg::RAX });
     main.real(Inst::Push { reg: Reg::RBX }); // would write to 0x4F8
     main.real(Inst::Halt);
-    let obj = produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::full())
-        .expect("assembles");
+    let obj =
+        produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::full()).expect("assembles");
     Attack {
         name: "rsp-pivot",
         description: "rsp redirected to untrusted memory; P2 aborts after the write",
@@ -260,8 +256,8 @@ pub fn raw_indirect_jump() -> Attack {
     main.real(Inst::MovRI { dst: Reg::RAX, imm: 0x1234_5678 });
     main.real(Inst::JmpInd { reg: Reg::RAX });
     main.real(Inst::Halt);
-    let obj = produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::none())
-        .expect("assembles");
+    let obj =
+        produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::none()).expect("assembles");
     Attack {
         name: "raw-indirect-jump",
         description: "indirect jump not lowered through the branch table",
@@ -310,8 +306,8 @@ pub fn rbp_hijack() -> Attack {
     // Looks like an innocent frame store, would leak through hijacked rbp.
     main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RAX });
     main.real(Inst::Halt);
-    let obj = produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::none())
-        .expect("assembles");
+    let obj =
+        produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::none()).expect("assembles");
     Attack {
         name: "rbp-hijack",
         description: "rbp loaded with an untrusted address to abuse the frame-store exemption",
@@ -331,14 +327,130 @@ pub fn oversized_frame_store() -> Attack {
     // -8192 reaches past the guard page below the stack.
     main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8192), src: Reg::RAX });
     main.real(Inst::Halt);
-    let obj = produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::none())
-        .expect("assembles");
+    let obj =
+        produce_from_mir(&mir_program(vec![main], vec![]), &PolicySet::none()).expect("assembles");
     Attack {
         name: "oversized-frame-store",
         description: "unguarded rbp-relative store displaced beyond the guard page",
         binary: obj,
         expected: Expected::VerifierReject,
     }
+}
+
+/// Elision exploit: an unguarded store whose address interval *widens* —
+/// the index grows without bound around an unconditional back edge, so no
+/// finite range covers it. A lazy verifier that trusted the first-iteration
+/// address would accept; the abstract interpretation must widen to ⊤ and
+/// reject the missing guard.
+#[must_use]
+pub fn elision_widened_store() -> Attack {
+    let mut main = MFunction::new("__start");
+    let head = main.new_label();
+    main.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: "__trap".into(), addend: 0 });
+    main.real(Inst::MovRI { dst: Reg::RAX, imm: 0x5EC2E7 });
+    main.push(MInst::Label(head));
+    // In-window on iteration one, out of the window eventually.
+    main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBX, 0), src: Reg::RAX });
+    main.real(Inst::AluRI { op: AluOp::Add, dst: Reg::RBX, imm: 4096 });
+    main.push(MInst::Jmp(head));
+    let mut mir = mir_program(vec![main], vec![]);
+    mir.data.push(deflection_lang::mir::DataDef { name: "__trap".into(), size: 8, init: None });
+    // Fully instrument, then strip exactly the store's guard (site 0) the
+    // way a malicious producer hoping for elision acceptance would.
+    let obj = produce_stripped_mir(
+        &mir,
+        &PolicySet::full().with_elision(),
+        &HashSet::from([0]),
+        &HashSet::new(),
+    )
+    .expect("assembles");
+    Attack {
+        name: "elision-widened-store",
+        description: "unguarded store whose index widens past the store window in a loop",
+        binary: obj,
+        expected: Expected::VerifierReject,
+    }
+}
+
+/// Elision exploit: the stored-through pointer is safe along the *direct*
+/// call path but poisoned along a branch-table *indirect* path to the same
+/// function. A verifier that only followed direct edges would prove the
+/// store safe; the analysis joins both incoming edges and must reject.
+#[must_use]
+pub fn elision_indirect_edge_store() -> Attack {
+    let mut victim = MFunction::new("victim");
+    victim.real(Inst::Push { reg: Reg::RBP });
+    victim.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    // Store through the caller-controlled pointer in rdx — guard stripped.
+    victim.real(Inst::Store { mem: MemOperand::base_disp(Reg::RDX, 0), src: Reg::RAX });
+    victim.real(Inst::MovRR { dst: Reg::RSP, src: Reg::RBP });
+    victim.real(Inst::Pop { reg: Reg::RBP });
+    victim.push(MInst::Ret);
+    let mut main = MFunction::new("__start");
+    // Direct path: a pointer the analysis can prove in-window.
+    main.push(MInst::LoadSymAddr { dst: Reg::RDX, symbol: "__trap".into(), addend: 0 });
+    main.push(MInst::CallSym("victim".into()));
+    // Indirect path through the sealed branch table, pointer poisoned.
+    main.real(Inst::MovRI { dst: Reg::RDX, imm: 0x100 });
+    main.real(Inst::MovRI { dst: Reg::R10, imm: 0 }); // table index of victim
+    main.push(MInst::CallReg(Reg::R10));
+    main.real(Inst::Halt);
+    let mut mir = mir_program(vec![main, victim], vec!["victim".into()]);
+    mir.data.push(deflection_lang::mir::DataDef { name: "__trap".into(), size: 8, init: None });
+    let obj = produce_stripped_mir(
+        &mir,
+        &PolicySet::full().with_elision(),
+        &HashSet::from([0]),
+        &HashSet::new(),
+    )
+    .expect("assembles");
+    Attack {
+        name: "elision-indirect-edge-store",
+        description: "store safe on the direct path, poisoned via a branch-table edge",
+        binary: obj,
+        expected: Expected::VerifierReject,
+    }
+}
+
+/// Elision exploit: a guard-less stack pivot. The producer strips the P2
+/// annotation of an `rsp` write whose target is a *constant outside the
+/// stack window*, then relies on the frame-store exemption (rbp tracks the
+/// pivoted rsp) to smuggle writes. The verifier's own `rsp` range proof
+/// must fail and reject the missing annotation.
+#[must_use]
+pub fn elision_rsp_pivot() -> Attack {
+    let mut main = MFunction::new("__start");
+    main.real(Inst::MovRI { dst: Reg::RAX, imm: 0x500 });
+    main.real(Inst::MovRR { dst: Reg::RSP, src: Reg::RAX }); // P2 site 0, stripped
+                                                             // rbp/rsp confusion: adopt the pivoted rsp as a "frame" so rbp-relative
+                                                             // stores would look exempt from P1.
+    main.real(Inst::Push { reg: Reg::RBP });
+    main.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    main.real(Inst::MovRI { dst: Reg::RAX, imm: 0x5EC2E7 });
+    main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RAX });
+    main.real(Inst::Halt);
+    let mir = mir_program(vec![main], vec![]);
+    let obj = produce_stripped_mir(
+        &mir,
+        &PolicySet::full().with_elision(),
+        &HashSet::new(),
+        &HashSet::from([0]),
+    )
+    .expect("assembles");
+    Attack {
+        name: "elision-rsp-pivot",
+        description: "stripped P2 guard on an rsp write provably outside the stack window",
+        binary: obj,
+        expected: Expected::VerifierReject,
+    }
+}
+
+/// Attacks specific to guard elision: binaries that ship *without* certain
+/// guards, hoping the eliding verifier's analysis accepts them. Drive these
+/// under a `PolicySet::full().with_elision()` manifest.
+#[must_use]
+pub fn elision_corpus() -> Vec<Attack> {
+    vec![elision_widened_store(), elision_indirect_edge_store(), elision_rsp_pivot()]
 }
 
 /// The complete corpus.
@@ -407,6 +519,48 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn every_elision_attack_is_rejected() {
+        // Even with guard elision enabled, the verifier's own analysis must
+        // refuse to bless any of these stripped binaries.
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::full().with_elision();
+        for attack in elision_corpus() {
+            assert_eq!(attack.expected, Expected::VerifierReject, "{}", attack.name);
+            let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+            let res = install(&attack.binary.serialize(), &manifest, &mut mem);
+            // Not just any rejection: the analysis itself must refuse the
+            // stripped site, proving the elision path is what's tested.
+            assert!(
+                matches!(
+                    res,
+                    Err(InstallError::Verify(
+                        crate::consumer::VerifyError::UnguardedStore { .. }
+                            | crate::consumer::VerifyError::UnguardedRspWrite { .. }
+                    ))
+                ),
+                "{}: expected an unguarded-site rejection, got {res:?}",
+                attack.name
+            );
+        }
+    }
+
+    #[test]
+    fn elision_attacks_also_rejected_without_elision() {
+        // Sanity: under the strict policy the same binaries are rejected by
+        // the plain structural rules.
+        let manifest = Manifest::ccaas();
+        for attack in elision_corpus() {
+            let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+            let res = install(&attack.binary.serialize(), &manifest, &mut mem);
+            assert!(
+                matches!(res, Err(InstallError::Verify(_))),
+                "{}: expected verifier rejection, got {res:?}",
+                attack.name
+            );
         }
     }
 

@@ -89,17 +89,44 @@ fn align8(v: u64) -> u64 {
     (v + 7) & !7
 }
 
-/// Loads `binary` (a serialized [`ObjectFile`]) into `mem`.
+/// The pure half of loading: everything [`load`] computes before touching
+/// enclave memory — section base assignment, symbol resolution, Abs64
+/// relocation applied to cloned images, branch-table translation and entry
+/// lookup.
+#[derive(Debug, Clone)]
+pub struct ResolvedImage {
+    /// Text image with Abs64 relocations applied.
+    pub text: Vec<u8>,
+    /// Data image with Abs64 relocations applied.
+    pub data: Vec<u8>,
+    /// Virtual address rodata is placed at (start of the heap window).
+    pub rodata_base: u64,
+    /// Virtual address the data image is placed at.
+    pub data_base: u64,
+    /// Virtual address the zero-initialized bss begins at.
+    pub bss_base: u64,
+    /// Virtual address one past the loaded image.
+    pub data_end: u64,
+    /// Virtual address of the entry point.
+    pub entry_va: u64,
+    /// Code-relative offsets of the indirect-branch targets.
+    pub ibt_offsets: Vec<usize>,
+    /// In-enclave addresses of the indirect-branch targets.
+    pub ibt_addresses: Vec<u64>,
+    /// Symbol name → virtual address.
+    pub symbols: HashMap<String, u64>,
+}
+
+/// Resolves `obj` against `layout` without touching any memory.
+///
+/// [`load`] builds on this; the untrusted producer's guard-elision pass
+/// calls it too, so the text image its abstract interpretation analyses is
+/// bit-for-bit the one the in-enclave verifier will see after loading.
 ///
 /// # Errors
 ///
-/// See [`LoadError`]. On error the enclave memory may contain a partial
-/// image; callers must not run it (the ECall surface discards the enclave).
-pub fn load(binary: &[u8], mem: &mut Memory) -> Result<LoadedProgram, LoadError> {
-    let layout: EnclaveLayout = mem.layout().clone();
-    let obj = ObjectFile::parse(binary)?;
-    let code_hash = sha256(binary);
-
+/// See [`LoadError`].
+pub fn resolve(obj: &ObjectFile, layout: &EnclaveLayout) -> Result<ResolvedImage, LoadError> {
     if obj.text.len() as u64 > layout.code.len() {
         return Err(LoadError::TooLarge { section: "text" });
     }
@@ -148,9 +175,7 @@ pub fn load(binary: &[u8], mem: &mut Memory) -> Result<LoadedProgram, LoadError>
     let mut ibt_offsets = Vec::with_capacity(obj.indirect_branch_table.len());
     let mut ibt_addresses = Vec::with_capacity(obj.indirect_branch_table.len());
     for name in &obj.indirect_branch_table {
-        let sym = obj
-            .symbol(name)
-            .ok_or_else(|| LoadError::UndefinedSymbol(name.clone()))?;
+        let sym = obj.symbol(name).ok_or_else(|| LoadError::UndefinedSymbol(name.clone()))?;
         if sym.section != SectionId::Text {
             return Err(LoadError::BadIndirectTarget(name.clone()));
         }
@@ -168,28 +193,54 @@ pub fn load(binary: &[u8], mem: &mut Memory) -> Result<LoadedProgram, LoadError>
     }
     let entry_va = layout.code.start + entry_sym.offset;
 
+    Ok(ResolvedImage {
+        text,
+        data,
+        rodata_base,
+        data_base,
+        bss_base,
+        data_end,
+        entry_va,
+        ibt_offsets,
+        ibt_addresses,
+        symbols,
+    })
+}
+
+/// Loads `binary` (a serialized [`ObjectFile`]) into `mem`.
+///
+/// # Errors
+///
+/// See [`LoadError`]. On error the enclave memory may contain a partial
+/// image; callers must not run it (the ECall surface discards the enclave).
+pub fn load(binary: &[u8], mem: &mut Memory) -> Result<LoadedProgram, LoadError> {
+    let layout: EnclaveLayout = mem.layout().clone();
+    let obj = ObjectFile::parse(binary)?;
+    let code_hash = sha256(binary);
+    let r = resolve(&obj, &layout)?;
+
     // Copy the images into the enclave (privileged loader path) and zero
     // the bss window.
-    mem.poke_bytes(layout.code.start, &text).expect("text fits code window");
-    mem.poke_bytes(rodata_base, &obj.rodata).expect("rodata fits heap");
-    mem.poke_bytes(data_base, &data).expect("data fits heap");
-    let zeros = vec![0u8; (data_end - bss_base) as usize];
-    mem.poke_bytes(bss_base, &zeros).expect("bss fits heap");
+    mem.poke_bytes(layout.code.start, &r.text).expect("text fits code window");
+    mem.poke_bytes(r.rodata_base, &obj.rodata).expect("rodata fits heap");
+    mem.poke_bytes(r.data_base, &r.data).expect("data fits heap");
+    let zeros = vec![0u8; (r.data_end - r.bss_base) as usize];
+    mem.poke_bytes(r.bss_base, &zeros).expect("bss fits heap");
 
     // Write and seal the branch table.
-    for (i, addr) in ibt_addresses.iter().enumerate() {
+    for (i, addr) in r.ibt_addresses.iter().enumerate() {
         mem.poke_u64(layout.branch_table.start + (i as u64) * 8, *addr)
             .expect("table fits reserved page");
     }
     mem.set_region_perm(layout.branch_table, PagePerm::R);
 
     Ok(LoadedProgram {
-        entry_va,
-        code_len: text.len(),
-        ibt_offsets,
-        ibt_addresses,
-        symbols,
-        data_end,
+        entry_va: r.entry_va,
+        code_len: r.text.len(),
+        ibt_offsets: r.ibt_offsets,
+        ibt_addresses: r.ibt_addresses,
+        symbols: r.symbols,
+        data_end: r.data_end,
         code_hash,
     })
 }
@@ -237,10 +288,7 @@ mod tests {
         let loaded = load(&obj.serialize(), &mut mem).unwrap();
         let layout = mem.layout().clone();
         assert_eq!(loaded.ibt_addresses.len(), 1);
-        assert_eq!(
-            mem.peek_u64(layout.branch_table.start).unwrap(),
-            loaded.ibt_addresses[0]
-        );
+        assert_eq!(mem.peek_u64(layout.branch_table.start).unwrap(), loaded.ibt_addresses[0]);
         // Sealed: the running binary cannot overwrite the table.
         assert!(mem.store(layout.branch_table.start, 8, 0).is_err());
     }
@@ -278,10 +326,7 @@ mod tests {
         let mut obj = produce(SRC, &PolicySet::none()).unwrap();
         obj.indirect_branch_table.push("g".into()); // a data symbol
         let mut mem = fresh_mem();
-        assert!(matches!(
-            load(&obj.serialize(), &mut mem),
-            Err(LoadError::BadIndirectTarget(_))
-        ));
+        assert!(matches!(load(&obj.serialize(), &mut mem), Err(LoadError::BadIndirectTarget(_))));
         let mut obj2 = produce(SRC, &PolicySet::none()).unwrap();
         obj2.indirect_branch_table.push("ghost".into());
         assert!(matches!(
@@ -298,19 +343,16 @@ mod tests {
         let loaded = load(&obj.serialize(), &mut mem).unwrap();
         // Find one MovRI in the loaded code whose imm equals the g address.
         let g_va = loaded.symbols["g"];
-        let code = mem
-            .peek_bytes(mem.layout().code.start, loaded.code_len)
-            .unwrap()
-            .to_vec();
+        let code = mem.peek_bytes(mem.layout().code.start, loaded.code_len).unwrap().to_vec();
         let d = deflection_isa::disassemble(
             &code,
             (loaded.entry_va - mem.layout().code.start) as usize,
             &loaded.ibt_offsets,
         )
         .unwrap();
-        let found = d.instrs.values().any(|(inst, _)| {
-            matches!(inst, deflection_isa::Inst::MovRI { imm, .. } if *imm == g_va)
-        });
+        let found = d.instrs.values().any(
+            |(inst, _)| matches!(inst, deflection_isa::Inst::MovRI { imm, .. } if *imm == g_va),
+        );
         assert!(found, "relocated global address must appear in code");
     }
 }

@@ -16,9 +16,9 @@ use deflection_sgx_sim::mem::Memory;
 use std::error::Error as StdError;
 use std::fmt;
 
-pub use loader::{load, LoadError, LoadedProgram};
+pub use loader::{load, resolve, LoadError, LoadedProgram, ResolvedImage};
 pub use rewriter::{rewrite, Bindings};
-pub use verifier::{verify, Verified, VerifyError};
+pub use verifier::{verify, verify_with_layout, Verified, VerifyError};
 
 use crate::annotations::SSA_MARKER_VALUE;
 
@@ -85,20 +85,16 @@ pub fn install(
         .expect("loader wrote the code window")
         .to_vec();
     let entry = (program.entry_va - layout.code.start) as usize;
-    let verified = verify(&code, entry, &program.ibt_offsets, &manifest.policy)?;
-    let bindings = Bindings::from_layout(
-        &layout,
-        program.ibt_addresses.len() as u64,
-        manifest.aex_threshold,
-    );
+    let verified =
+        verify_with_layout(&code, entry, &program.ibt_offsets, &manifest.policy, &layout)?;
+    let bindings =
+        Bindings::from_layout(&layout, program.ibt_addresses.len() as u64, manifest.aex_threshold);
     rewrite(mem, layout.code.start, &verified, &bindings);
 
     // Arm the control state the annotations rely on.
-    mem.poke_u64(layout.shadow_sp_slot(), layout.shadow_stack.end)
-        .expect("control page mapped");
+    mem.poke_u64(layout.shadow_sp_slot(), layout.shadow_stack.end).expect("control page mapped");
     mem.poke_u64(layout.aex_count_slot(), 0).expect("control page mapped");
-    mem.poke_u64(layout.ssa_marker_slot(), SSA_MARKER_VALUE as u64)
-        .expect("ssa mapped");
+    mem.poke_u64(layout.ssa_marker_slot(), SSA_MARKER_VALUE as u64).expect("ssa mapped");
 
     Ok(Installed { program, verified })
 }
@@ -124,14 +120,8 @@ mod tests {
         assert!(!installed.verified.instances.is_empty());
         // Control state armed.
         let layout = mem.layout().clone();
-        assert_eq!(
-            mem.peek_u64(layout.shadow_sp_slot()).unwrap(),
-            layout.shadow_stack.end
-        );
-        assert_eq!(
-            mem.peek_u64(layout.ssa_marker_slot()).unwrap(),
-            SSA_MARKER_VALUE as u64
-        );
+        assert_eq!(mem.peek_u64(layout.shadow_sp_slot()).unwrap(), layout.shadow_stack.end);
+        assert_eq!(mem.peek_u64(layout.ssa_marker_slot()).unwrap(), SSA_MARKER_VALUE as u64);
     }
 
     #[test]
@@ -147,9 +137,6 @@ mod tests {
     fn install_rejects_garbage() {
         let manifest = Manifest::ccaas();
         let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
-        assert!(matches!(
-            install(b"garbage", &manifest, &mut mem),
-            Err(InstallError::Load(_))
-        ));
+        assert!(matches!(install(b"garbage", &manifest, &mut mem), Err(InstallError::Load(_))));
     }
 }

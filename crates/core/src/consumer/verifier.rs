@@ -8,9 +8,13 @@
 //! instruction carries its annotation and that no control flow can skip an
 //! annotation. Any failure rejects the binary — the verifier never repairs.
 
-use crate::annotations::{is_exempt_frame_store, match_any, Code, Instance, TemplateKind};
+use crate::annotations::{
+    elision_analysis_config, is_exempt_frame_store, match_any, Code, Instance, TemplateKind,
+};
 use crate::policy::PolicySet;
-use deflection_isa::{disassemble, Disassembly, DisasmError, Inst};
+use deflection_analysis::Analysis;
+use deflection_isa::{disassemble, DisasmError, Disassembly, Inst};
+use deflection_sgx_sim::layout::EnclaveLayout;
 use std::collections::HashMap;
 use std::error::Error as StdError;
 use std::fmt;
@@ -164,6 +168,60 @@ pub fn verify(
     indirect_targets: &[usize],
     policy: &PolicySet,
 ) -> Result<Verified, VerifyError> {
+    verify_impl(code, entry, indirect_targets, policy, None)
+}
+
+/// Verifies like [`verify`], additionally accepting guard-elided binaries
+/// when `policy.elide_guards` is set.
+///
+/// Under elision an unguarded store (or explicit `rsp` write) is accepted
+/// **only** when the verifier's own in-enclave run of the abstract
+/// interpretation ([`deflection_analysis`]) re-derives the safety proof
+/// against the real `layout` bounds — no producer hints or proof witnesses
+/// are consulted, keeping the producer fully untrusted. Elision further
+/// requires `policy.cfi`: the analysis models exactly the control flow in
+/// its CFG, and only P5 (shadow stack + sealed branch table) pins the
+/// runtime's indirect edges to that CFG. Without CFI the layout is ignored
+/// and the strict structural rules of [`verify`] apply unchanged.
+///
+/// # Errors
+///
+/// Same contract as [`verify`].
+pub fn verify_with_layout(
+    code: &[u8],
+    entry: usize,
+    indirect_targets: &[usize],
+    policy: &PolicySet,
+    layout: &EnclaveLayout,
+) -> Result<Verified, VerifyError> {
+    verify_impl(code, entry, indirect_targets, policy, Some(layout))
+}
+
+/// Back-to-back P2 elision: an explicit `rsp` write needs no guard of its
+/// own when the byte-adjacent *next* instruction is ordinary program code
+/// that again writes `rsp` without touching memory. The intermediate value
+/// is dead — no access uses it — and the final write of the chain is
+/// itself subject to the P2 rule (guard, chain or analysis proof).
+fn rsp_chain_ok(insts: &[(usize, Inst, usize)], roles: &[Role], idx: usize) -> bool {
+    let (off, _, len) = insts[idx];
+    match insts.get(idx + 1) {
+        Some(&(noff, ninst, _)) => {
+            noff == off + len
+                && roles[idx + 1] == Role::Program
+                && ninst.writes_rsp_explicitly()
+                && ninst.stored_mem().is_none()
+        }
+        None => false,
+    }
+}
+
+fn verify_impl(
+    code: &[u8],
+    entry: usize,
+    indirect_targets: &[usize],
+    policy: &PolicySet,
+    layout: Option<&EnclaveLayout>,
+) -> Result<Verified, VerifyError> {
     let disassembly = disassemble(code, entry, indirect_targets)?;
     let insts: Vec<(usize, Inst, usize)> =
         disassembly.instrs.iter().map(|(&o, &(i, l))| (o, i, l)).collect();
@@ -254,21 +312,55 @@ pub fn verify(
     }
 
     // --- Per-policy structural rules. --------------------------------------
+    // Elision is sound only under P5: the analysis CFG contains exactly the
+    // sealed branch-table edges, and the shadow stack pins returns, so at
+    // runtime control cannot reach an elided site along an unanalyzed edge.
+    let elide = match layout {
+        Some(l) if policy.elide_guards && policy.cfi => Some(l),
+        _ => None,
+    };
+    // The abstract interpretation is only paid for when an unguarded site is
+    // actually encountered; fully instrumented binaries verify at the same
+    // cost as under the strict rules.
+    let mut elision_analysis: Option<Analysis> = None;
     for (idx, (offset, inst, _)) in insts.iter().enumerate() {
         match roles[idx] {
             Role::Program => {
                 if policy.store_bounds {
                     if let Some(mem) = inst.stored_mem() {
                         if !is_exempt_frame_store(mem) {
-                            return Err(VerifyError::UnguardedStore { offset: *offset });
+                            let proven = elide.is_some_and(|l| {
+                                elision_analysis
+                                    .get_or_insert_with(|| {
+                                        Analysis::run(&disassembly, elision_analysis_config(l))
+                                    })
+                                    .store_safe(*offset)
+                            });
+                            if !proven {
+                                return Err(VerifyError::UnguardedStore { offset: *offset });
+                            }
                         }
                     }
                 }
                 if policy.rsp_integrity && inst.writes_rsp_explicitly() {
                     // The immediately following instruction must start a
-                    // P2 guard instance.
+                    // P2 guard instance — unless, under elision, the write
+                    // is part of a dead chain or the analysis proves the
+                    // resulting rsp stays inside the stack window.
                     if starts_at.get(&(idx + 1)) != Some(&TemplateKind::RspGuard) {
-                        return Err(VerifyError::UnguardedRspWrite { offset: *offset });
+                        let proven = elide.is_some_and(|l| {
+                            rsp_chain_ok(&insts, &roles, idx) || {
+                                let a = elision_analysis.get_or_insert_with(|| {
+                                    Analysis::run(&disassembly, elision_analysis_config(l))
+                                });
+                                a.rsp_after(*offset).and_then(|v| a.concrete_range(v)).is_some_and(
+                                    |(lo, hi)| lo >= l.stack.start && hi <= l.stack.end,
+                                )
+                            }
+                        });
+                        if !proven {
+                            return Err(VerifyError::UnguardedRspWrite { offset: *offset });
+                        }
                     }
                 }
                 if inst.is_indirect_branch() {
@@ -280,8 +372,7 @@ pub fn verify(
             }
             Role::Subject(id) => {
                 let kind = instances[id].kind;
-                if inst.is_indirect_branch() && policy.cfi && kind == TemplateKind::CfiUnchecked
-                {
+                if inst.is_indirect_branch() && policy.cfi && kind == TemplateKind::CfiUnchecked {
                     return Err(VerifyError::MissingCfiCheck { offset: *offset });
                 }
             }

@@ -10,9 +10,9 @@
 //! multi-tenant CCaaS deployments actually scale SGX services (one enclave
 //! per worker), at the cost of per-worker memory.
 //!
-//! `serve_parallel` runs requests on OS threads via crossbeam's scoped
-//! threads — real parallelism over the simulated enclaves, used by the
-//! examples and available to the Fig. 10 harness.
+//! `serve_parallel` runs requests on OS threads via `std::thread::scope` —
+//! real parallelism over the simulated enclaves, used by the examples and
+//! available to the Fig. 10 harness.
 
 use crate::policy::Manifest;
 use crate::runtime::{BootstrapEnclave, EcallError, RunReport};
@@ -33,9 +33,8 @@ impl EnclavePool {
     #[must_use]
     pub fn new(layout: &EnclaveLayout, manifest: &Manifest, count: usize) -> Self {
         assert!(count > 0, "pool needs at least one worker");
-        let workers = (0..count)
-            .map(|_| BootstrapEnclave::new(layout.clone(), manifest.clone()))
-            .collect();
+        let workers =
+            (0..count).map(|_| BootstrapEnclave::new(layout.clone(), manifest.clone())).collect();
         EnclavePool { workers }
     }
 
@@ -112,15 +111,14 @@ impl EnclavePool {
         }
 
         let mut slots: Vec<Vec<(usize, Result<RunReport, EcallError>)>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (worker, idxs) in self.workers.iter_mut().zip(&assignments) {
-                let handle = scope.spawn(move |_| {
+                let handle = scope.spawn(move || {
                     let mut out = Vec::with_capacity(idxs.len());
                     for &i in idxs {
-                        let result = worker
-                            .provide_input(&requests[i])
-                            .and_then(|()| worker.run(fuel));
+                        let result =
+                            worker.provide_input(&requests[i]).and_then(|()| worker.run(fuel));
                         out.push((i, result));
                     }
                     out
@@ -130,8 +128,7 @@ impl EnclavePool {
             for h in handles {
                 slots.push(h.join().expect("worker thread must not panic"));
             }
-        })
-        .expect("scope must not panic");
+        });
 
         let mut results: Vec<Option<RunReport>> = (0..requests.len()).map(|_| None).collect();
         for batch in slots {

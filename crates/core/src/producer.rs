@@ -16,12 +16,16 @@
 //! * **P6** — [`annotations::emit_aex_check`] at every basic-block entry
 //!   and at least every `q` program instructions.
 
-use crate::annotations;
+use crate::annotations::{self, elision_analysis_config, TemplateKind};
+use crate::consumer::{resolve, verify, verify_with_layout};
 use crate::policy::PolicySet;
+use deflection_analysis::Analysis;
+use deflection_isa::Inst;
 use deflection_lang::mir::{MFunction, MInst, MirProgram};
 use deflection_lang::CompileError;
 use deflection_obj::{link, LinkError, ObjectFile};
-use deflection_isa::Inst;
+use deflection_sgx_sim::layout::EnclaveLayout;
+use std::collections::HashSet;
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -66,10 +70,7 @@ impl From<LinkError> for ProduceError {
 fn safe_insertion_point(item: &MInst) -> bool {
     !matches!(
         item,
-        MInst::Jcc(..)
-            | MInst::CallReg(_)
-            | MInst::JmpReg(_)
-            | MInst::Real(Inst::SetCc { .. })
+        MInst::Jcc(..) | MInst::CallReg(_) | MInst::JmpReg(_) | MInst::Real(Inst::SetCc { .. })
     )
 }
 
@@ -77,7 +78,40 @@ fn is_program_instruction(item: &MInst) -> bool {
     !matches!(item, MInst::Label(_))
 }
 
-fn instrument_function(orig: &MFunction, policy: &PolicySet, is_entry: bool) -> MFunction {
+/// Guard-elision decisions, keyed by guard *site ordinal*: the n-th P1
+/// (resp. P2) instrumentation site in emission order, which — because
+/// functions are assembled and linked in program order — is also the n-th
+/// `StoreGuard` (resp. `RspGuard`) instance the verifier discovers in a
+/// fully instrumented build. Built by [`produce_from_mir_for_layout`] from
+/// its own pass-1 analysis; never trusted by the consumer, which re-derives
+/// every proof.
+#[derive(Debug, Clone, Default)]
+pub struct ElisionPlan {
+    /// P1 site ordinals whose store was proven inside the store window.
+    pub store_skip: HashSet<usize>,
+    /// P2 site ordinals whose resulting `rsp` was proven inside the stack.
+    pub rsp_skip: HashSet<usize>,
+    /// Allow skipping the guard of an `rsp` write when the next machine
+    /// instruction is itself a non-store `rsp` write (the verifier's
+    /// back-to-back chain rule).
+    pub chain_rsp: bool,
+}
+
+/// Running per-kind site counters threaded through a whole-program
+/// instrumentation pass so ordinals are global, like instance discovery.
+#[derive(Default)]
+struct GuardOrdinals {
+    store: usize,
+    rsp: usize,
+}
+
+fn instrument_function(
+    orig: &MFunction,
+    policy: &PolicySet,
+    is_entry: bool,
+    plan: Option<&ElisionPlan>,
+    ord: &mut GuardOrdinals,
+) -> MFunction {
     let mut f = MFunction::new(orig.name.clone());
     f.reserve_labels(orig.label_watermark());
 
@@ -89,7 +123,7 @@ fn instrument_function(orig: &MFunction, policy: &PolicySet, is_entry: bool) -> 
     }
 
     let mut since_check: u32 = 0;
-    for item in &orig.insts {
+    for (item_idx, item) in orig.insts.iter().enumerate() {
         if policy.aex
             && since_check >= policy.q
             && is_program_instruction(item)
@@ -109,13 +143,34 @@ fn instrument_function(orig: &MFunction, policy: &PolicySet, is_entry: bool) -> 
             MInst::Real(inst) => {
                 if let Some(mem) = inst.stored_mem() {
                     if policy.store_bounds && !annotations::is_exempt_frame_store(mem) {
-                        annotations::emit_store_guard(&mut f, mem);
+                        let skip = plan.is_some_and(|p| p.store_skip.contains(&ord.store));
+                        ord.store += 1;
+                        if !skip {
+                            annotations::emit_store_guard(&mut f, mem);
+                        }
                     }
                     f.real(*inst);
                 } else if inst.writes_rsp_explicitly() {
                     f.real(*inst);
                     if policy.rsp_integrity {
-                        annotations::emit_rsp_guard(&mut f);
+                        // The chain skip needs the two rsp writes to stay
+                        // byte-adjacent, so it is off whenever a q-triggered
+                        // AEX check could land between them.
+                        let skip = plan.is_some_and(|p| {
+                            p.rsp_skip.contains(&ord.rsp)
+                                || (p.chain_rsp
+                                    && !(policy.aex && since_check + 1 >= policy.q)
+                                    && matches!(
+                                        orig.insts.get(item_idx + 1),
+                                        Some(MInst::Real(n))
+                                            if n.writes_rsp_explicitly()
+                                                && n.stored_mem().is_none()
+                                    ))
+                        });
+                        ord.rsp += 1;
+                        if !skip {
+                            annotations::emit_rsp_guard(&mut f);
+                        }
                     }
                 } else {
                     f.real(*inst);
@@ -138,7 +193,9 @@ fn instrument_function(orig: &MFunction, policy: &PolicySet, is_entry: bool) -> 
                 }
                 since_check += 1;
             }
-            other @ (MInst::Jmp(_) | MInst::Jcc(..) | MInst::CallSym(_)
+            other @ (MInst::Jmp(_)
+            | MInst::Jcc(..)
+            | MInst::CallSym(_)
             | MInst::LoadSymAddr { .. }) => {
                 f.push(other.clone());
                 since_check += 1;
@@ -151,10 +208,29 @@ fn instrument_function(orig: &MFunction, policy: &PolicySet, is_entry: bool) -> 
 /// Applies the policy-selected instrumentation passes to a program.
 #[must_use]
 pub fn instrument(mir: &MirProgram, policy: &PolicySet) -> MirProgram {
+    instrument_inner(mir, policy, None)
+}
+
+/// Like [`instrument`], but skipping the guard sites named by `plan`.
+#[must_use]
+pub fn instrument_with_plan(
+    mir: &MirProgram,
+    policy: &PolicySet,
+    plan: &ElisionPlan,
+) -> MirProgram {
+    instrument_inner(mir, policy, Some(plan))
+}
+
+fn instrument_inner(
+    mir: &MirProgram,
+    policy: &PolicySet,
+    plan: Option<&ElisionPlan>,
+) -> MirProgram {
+    let mut ord = GuardOrdinals::default();
     let functions = mir
         .functions
         .iter()
-        .map(|f| instrument_function(f, policy, f.name == mir.entry))
+        .map(|f| instrument_function(f, policy, f.name == mir.entry, plan, &mut ord))
         .collect();
     MirProgram {
         functions,
@@ -191,6 +267,233 @@ pub fn produce_from_mir(mir: &MirProgram, policy: &PolicySet) -> Result<ObjectFi
     Ok(link(&[obj])?)
 }
 
+/// Relocates `obj` against `layout` and returns `(text, entry, ibt)` as the
+/// verifier wants them — the producer running the *same* pure resolution
+/// step the in-enclave loader will run.
+fn resolve_for_verify(
+    obj: &ObjectFile,
+    layout: &EnclaveLayout,
+) -> Option<(Vec<u8>, usize, Vec<usize>)> {
+    let resolved = resolve(obj, layout).ok()?;
+    let entry = usize::try_from(resolved.entry_va.checked_sub(layout.code.start)?).ok()?;
+    Some((resolved.text, entry, resolved.ibt_offsets))
+}
+
+/// How many P1 / P2 guard sites [`instrument_function`] will visit in `f`.
+fn mir_guard_sites(f: &MFunction, policy: &PolicySet) -> (usize, usize) {
+    let mut stores = 0usize;
+    let mut rsps = 0usize;
+    for item in &f.insts {
+        if let MInst::Real(inst) = item {
+            if let Some(mem) = inst.stored_mem() {
+                if policy.store_bounds && !annotations::is_exempt_frame_store(mem) {
+                    stores += 1;
+                }
+            } else if inst.writes_rsp_explicitly() && policy.rsp_integrity {
+                rsps += 1;
+            }
+        }
+    }
+    (stores, rsps)
+}
+
+/// Builds the elision plan for a fully instrumented binary: verify it
+/// strictly to enumerate guard instances, run the abstract interpretation
+/// over the relocated text, and mark every instance whose subject the
+/// analysis independently proves safe.
+///
+/// Ordinals are global emission-order site indices. The verifier only
+/// discovers instances in *reachable* code (the disassembler is
+/// recursive-descent), so a dead function's emitted guards never become
+/// instances; mapping instances straight to global indices would therefore
+/// drift. Instead each instance is attributed to its owning function via
+/// the symbol table, and its global ordinal is the prefix sum of MIR guard
+/// sites in all preceding functions plus its within-function index.
+///
+/// Public so benches and diagnostics can report which fraction of guards
+/// is provably redundant; ordinary producers should call
+/// [`produce_for_layout`].
+pub fn elision_plan(
+    mir: &MirProgram,
+    full: &ObjectFile,
+    policy: &PolicySet,
+    layout: &EnclaveLayout,
+) -> Option<ElisionPlan> {
+    let (text, entry, ibt) = resolve_for_verify(full, layout)?;
+    let strict = PolicySet { elide_guards: false, ..*policy };
+    let verified = verify(&text, entry, &ibt, &strict).ok()?;
+    let analysis = Analysis::run(&verified.disassembly, elision_analysis_config(layout));
+
+    // Function layout: (start offset, index in mir.functions). Any symbol —
+    // including injected runtime helpers — terminates the previous range.
+    let mut bounds: Vec<u64> = full.symbols.iter().map(|s| s.offset).collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let func_start = |name: &str| full.symbols.iter().find(|s| s.name == name).map(|s| s.offset);
+    let mut ranges: Vec<(u64, u64, usize)> = Vec::new(); // (start, end, mir idx)
+    for (fi, f) in mir.functions.iter().enumerate() {
+        let start = func_start(&f.name)?;
+        let end = bounds.iter().copied().find(|&b| b > start).unwrap_or(full.text.len() as u64);
+        ranges.push((start, end, fi));
+    }
+    let owner = |offset: usize| -> Option<usize> {
+        let off = offset as u64;
+        ranges.iter().find(|&&(s, e, _)| s <= off && off < e).map(|&(_, _, fi)| fi)
+    };
+
+    // Global emission ordinal of each function's first site, per kind.
+    let mut store_base = vec![0usize; mir.functions.len()];
+    let mut rsp_base = vec![0usize; mir.functions.len()];
+    let (mut s_acc, mut r_acc) = (0usize, 0usize);
+    for (fi, f) in mir.functions.iter().enumerate() {
+        store_base[fi] = s_acc;
+        rsp_base[fi] = r_acc;
+        let (s, r) = mir_guard_sites(f, policy);
+        s_acc += s;
+        r_acc += r;
+    }
+
+    let mut plan = ElisionPlan { chain_rsp: true, ..ElisionPlan::default() };
+    let mut store_seen = vec![0usize; mir.functions.len()];
+    let mut rsp_seen = vec![0usize; mir.functions.len()];
+    for inst in &verified.instances {
+        match inst.kind {
+            TemplateKind::StoreGuard => {
+                let Some(sidx) = inst.subject_idx else { continue };
+                let offset = verified.insts[sidx].0;
+                // Guards in injected runtime helpers are not emission sites
+                // (instrument never saw them); leave them alone.
+                let Some(fi) = owner(offset) else { continue };
+                let ordinal = store_base[fi] + store_seen[fi];
+                store_seen[fi] += 1;
+                if analysis.store_safe(offset) {
+                    plan.store_skip.insert(ordinal);
+                }
+            }
+            TemplateKind::RspGuard => {
+                // The guarded write is the instruction just before the
+                // guard template.
+                let offset = verified.insts[inst.start_idx - 1].0;
+                let Some(fi) = owner(offset) else { continue };
+                let ordinal = rsp_base[fi] + rsp_seen[fi];
+                rsp_seen[fi] += 1;
+                let proven = analysis
+                    .rsp_after(offset)
+                    .and_then(|v| analysis.concrete_range(v))
+                    .is_some_and(|(lo, hi)| lo >= layout.stack.start && hi <= layout.stack.end);
+                if proven {
+                    plan.rsp_skip.insert(ordinal);
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(plan)
+}
+
+/// Like [`produce`], but targeting a concrete [`EnclaveLayout`] so that,
+/// when `policy.elide_guards` is on, provably-safe P1/P2 guards can be
+/// dropped (paper Section IV-C's "necessary checks only" direction).
+///
+/// Two-pass scheme: pass 1 instruments fully and analyses the relocated
+/// result; pass 2 re-instruments, skipping every guard whose subject the
+/// analysis proved safe. The elided binary is then *self-verified* with the
+/// same in-enclave rules ([`verify_with_layout`]); on any disagreement the
+/// fully instrumented binary is returned instead, so the producer can never
+/// ship something its consumer would reject. Elision additionally requires
+/// `policy.cfi` (see [`verify_with_layout`] for the soundness argument).
+///
+/// # Errors
+///
+/// Propagates compile, assembly and link errors.
+pub fn produce_for_layout(
+    source: &str,
+    policy: &PolicySet,
+    layout: &EnclaveLayout,
+) -> Result<ObjectFile, ProduceError> {
+    let mut mir = deflection_lang::compile(source)?;
+    deflection_lang::opt::optimize(&mut mir);
+    produce_from_mir_for_layout(&mir, policy, layout)
+}
+
+/// [`produce_for_layout`] starting from already-compiled machine IR.
+///
+/// # Errors
+///
+/// Propagates assembly and link errors.
+pub fn produce_from_mir_for_layout(
+    mir: &MirProgram,
+    policy: &PolicySet,
+    layout: &EnclaveLayout,
+) -> Result<ObjectFile, ProduceError> {
+    let full = produce_from_mir(mir, policy)?;
+    if !policy.elide_guards || !policy.cfi || !(policy.store_bounds || policy.rsp_integrity) {
+        return Ok(full);
+    }
+    let Some(plan) = elision_plan(mir, &full, policy, layout) else {
+        return Ok(full);
+    };
+    let elided = instrument_with_plan(mir, policy, &plan);
+    let Ok(obj) = deflection_lang::assemble(&elided) else {
+        return Ok(full);
+    };
+    let Ok(obj) = link(&[obj]) else {
+        return Ok(full);
+    };
+    // Self-verify: replay the consumer's exact acceptance check. Any
+    // divergence between the pass-1 analysis and the verifier's own run
+    // (e.g. different widening behaviour on the re-laid-out code) falls
+    // back to full instrumentation rather than shipping a reject.
+    let accepted = resolve_for_verify(&obj, layout).is_some_and(|(text, entry, ibt)| {
+        verify_with_layout(&text, entry, &ibt, policy, layout).is_ok()
+    });
+    if accepted {
+        Ok(obj)
+    } else {
+        Ok(full)
+    }
+}
+
+/// Red-team helper: produce with the given guard site ordinals stripped,
+/// with **no** analysis and **no** self-verification. The output is
+/// intentionally allowed to be unsound — soundness tests feed it to the
+/// verifier and assert rejection.
+///
+/// # Errors
+///
+/// Propagates compile, assembly and link errors.
+pub fn produce_stripped(
+    source: &str,
+    policy: &PolicySet,
+    store_skip: &HashSet<usize>,
+    rsp_skip: &HashSet<usize>,
+) -> Result<ObjectFile, ProduceError> {
+    let mut mir = deflection_lang::compile(source)?;
+    deflection_lang::opt::optimize(&mut mir);
+    produce_stripped_mir(&mir, policy, store_skip, rsp_skip)
+}
+
+/// [`produce_stripped`] starting from machine IR.
+///
+/// # Errors
+///
+/// Propagates assembly and link errors.
+pub fn produce_stripped_mir(
+    mir: &MirProgram,
+    policy: &PolicySet,
+    store_skip: &HashSet<usize>,
+    rsp_skip: &HashSet<usize>,
+) -> Result<ObjectFile, ProduceError> {
+    let plan = ElisionPlan {
+        store_skip: store_skip.clone(),
+        rsp_skip: rsp_skip.clone(),
+        chain_rsp: false,
+    };
+    let stripped = instrument_with_plan(mir, policy, &plan);
+    let obj = deflection_lang::assemble(&stripped)?;
+    Ok(link(&[obj])?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,18 +515,13 @@ mod tests {
         assert!(obj.symbol("main").is_some());
         assert!(obj.symbol("__start").is_some());
         // Fully linked: only Abs64 relocations remain for the loader.
-        assert!(obj
-            .relocations
-            .iter()
-            .all(|r| r.kind == deflection_obj::RelocKind::Abs64));
+        assert!(obj.relocations.iter().all(|r| r.kind == deflection_obj::RelocKind::Abs64));
     }
 
     #[test]
     fn instrumentation_grows_code_monotonically() {
-        let sizes: Vec<usize> = PolicySet::levels()
-            .iter()
-            .map(|(_, p)| produce(SRC, p).unwrap().text.len())
-            .collect();
+        let sizes: Vec<usize> =
+            PolicySet::levels().iter().map(|(_, p)| produce(SRC, p).unwrap().text.len()).collect();
         let baseline = produce(SRC, &PolicySet::none()).unwrap().text.len();
         assert!(baseline < sizes[0], "P1 must add code");
         assert!(sizes[0] < sizes[1], "P2 must add code");
@@ -263,10 +561,7 @@ mod tests {
                 .map(|n| obj.symbol(n).unwrap().offset as usize)
                 .collect();
             let d = disassemble(&obj.text, entry, &ibt).unwrap();
-            assert!(d
-                .instrs
-                .values()
-                .any(|(i, _)| matches!(i, Inst::CallInd { .. })));
+            assert!(d.instrs.values().any(|(i, _)| matches!(i, Inst::CallInd { .. })));
         }
     }
 

@@ -393,9 +393,7 @@ impl BootstrapEnclave {
     pub fn provide_input(&mut self, data: &[u8]) -> Result<(), EcallError> {
         let vm = self.vm.as_mut().ok_or(EcallError::NotInstalled)?;
         if self.host.io.is_some() && !self.direct_input_pending && self.host.inbox.is_empty() {
-            self.host
-                .load_input(&mut vm.mem, data)
-                .expect("input buffer mapped");
+            self.host.load_input(&mut vm.mem, data).expect("input buffer mapped");
             self.direct_input_pending = true;
             return Ok(());
         }
@@ -521,10 +519,7 @@ mod tests {
         assert_eq!(report.untrusted_writes, 0);
         assert_eq!(report.records.len(), 1);
         // All records are fixed-size (P0 padding).
-        assert_eq!(
-            report.records[0].len(),
-            4 + enclave.manifest().output_record_len + 16
-        );
+        assert_eq!(report.records[0].len(), 4 + enclave.manifest().output_record_len + 16);
         let plain = open_record(&owner_key, 0, &report.records[0]).unwrap();
         assert_eq!(plain, b"ifmmp");
     }
@@ -568,10 +563,7 @@ mod tests {
             &obj.serialize(),
         );
         sealed[10] ^= 1;
-        assert!(matches!(
-            e.ecall_receive_binary(&sealed),
-            Err(EcallError::Channel(_))
-        ));
+        assert!(matches!(e.ecall_receive_binary(&sealed), Err(EcallError::Channel(_))));
     }
 
     #[test]
@@ -651,10 +643,8 @@ mod tests {
         let e1 = enclave(PolicySet::none());
         let e2 = enclave(PolicySet::none());
         assert_eq!(e1.measurement(), e2.measurement());
-        let other = BootstrapEnclave::new(
-            EnclaveLayout::new(MemConfig::paper()),
-            Manifest::ccaas(),
-        );
+        let other =
+            BootstrapEnclave::new(EnclaveLayout::new(MemConfig::paper()), Manifest::ccaas());
         assert_ne!(e1.measurement(), other.measurement());
     }
 

@@ -4,25 +4,17 @@
 use deflection_core::consumer::verifier::{verify, VerifyError};
 use deflection_core::policy::PolicySet;
 use deflection_core::producer::produce_from_mir;
-use deflection_lang::mir::{MFunction, MInst, MirProgram};
 use deflection_isa::{Inst, MemOperand, Reg};
+use deflection_lang::mir::{MFunction, MInst, MirProgram};
 
 fn program_of(functions: Vec<MFunction>, ibt: Vec<String>) -> MirProgram {
-    MirProgram {
-        entry: functions[0].name.clone(),
-        functions,
-        data: vec![],
-        indirect_targets: ibt,
-    }
+    MirProgram { entry: functions[0].name.clone(), functions, data: vec![], indirect_targets: ibt }
 }
 
 fn verify_full(obj: &deflection_obj::ObjectFile, policy: &PolicySet) -> Result<(), VerifyError> {
     let entry = obj.symbol(&obj.entry_symbol).unwrap().offset as usize;
-    let ibt: Vec<usize> = obj
-        .indirect_branch_table
-        .iter()
-        .map(|n| obj.symbol(n).unwrap().offset as usize)
-        .collect();
+    let ibt: Vec<usize> =
+        obj.indirect_branch_table.iter().map(|n| obj.symbol(n).unwrap().offset as usize).collect();
     verify(&obj.text, entry, &ibt, policy).map(|_| ())
 }
 
@@ -46,10 +38,7 @@ fn ibt_entry_pointing_into_annotation_rejected() {
     });
     obj.indirect_branch_table.push("evil".into());
     let err = verify_full(&obj, &PolicySet::p1()).unwrap_err();
-    assert!(
-        matches!(err, VerifyError::IndirectTargetIntoAnnotation { .. }),
-        "{err:?}"
-    );
+    assert!(matches!(err, VerifyError::IndirectTargetIntoAnnotation { .. }), "{err:?}");
 }
 
 #[test]
@@ -103,10 +92,7 @@ fn store_through_rsp_is_never_exemptable() {
     f.real(Inst::Store { mem: MemOperand::base_disp(Reg::RSP, -8), src: Reg::RAX });
     f.real(Inst::Halt);
     let obj = produce_from_mir(&program_of(vec![f], vec![]), &PolicySet::none()).unwrap();
-    assert!(matches!(
-        verify_full(&obj, &PolicySet::p1()),
-        Err(VerifyError::UnguardedStore { .. })
-    ));
+    assert!(matches!(verify_full(&obj, &PolicySet::p1()), Err(VerifyError::UnguardedStore { .. })));
 }
 
 #[test]

@@ -6,28 +6,17 @@ use deflection_core::annotations::{self, FRAME_STORE_LIMIT};
 use deflection_core::consumer::verifier::{verify, VerifyError};
 use deflection_core::policy::PolicySet;
 use deflection_core::producer::produce_from_mir;
-use deflection_lang::mir::{MFunction, MInst, MirProgram};
 use deflection_isa::{Inst, MemOperand, Reg};
+use deflection_lang::mir::{MFunction, MInst, MirProgram};
 
 fn program_of(f: MFunction) -> MirProgram {
-    MirProgram {
-        entry: f.name.clone(),
-        functions: vec![f],
-        data: vec![],
-        indirect_targets: vec![],
-    }
+    MirProgram { entry: f.name.clone(), functions: vec![f], data: vec![], indirect_targets: vec![] }
 }
 
-fn verify_obj(
-    obj: &deflection_obj::ObjectFile,
-    policy: &PolicySet,
-) -> Result<(), VerifyError> {
+fn verify_obj(obj: &deflection_obj::ObjectFile, policy: &PolicySet) -> Result<(), VerifyError> {
     let entry = obj.symbol(&obj.entry_symbol).unwrap().offset as usize;
-    let ibt: Vec<usize> = obj
-        .indirect_branch_table
-        .iter()
-        .map(|n| obj.symbol(n).unwrap().offset as usize)
-        .collect();
+    let ibt: Vec<usize> =
+        obj.indirect_branch_table.iter().map(|n| obj.symbol(n).unwrap().offset as usize).collect();
     verify(&obj.text, entry, &ibt, policy).map(|_| ())
 }
 
@@ -57,10 +46,7 @@ fn frame_store_past_limit_requires_guard() {
     });
     f.real(Inst::Halt);
     let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
-    assert!(matches!(
-        verify_obj(&obj, &PolicySet::p1()),
-        Err(VerifyError::UnguardedStore { .. })
-    ));
+    assert!(matches!(verify_obj(&obj, &PolicySet::p1()), Err(VerifyError::UnguardedStore { .. })));
 }
 
 #[test]
@@ -70,25 +56,16 @@ fn positive_rbp_displacement_requires_guard() {
     f.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, 8), src: Reg::RAX });
     f.real(Inst::Halt);
     let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
-    assert!(matches!(
-        verify_obj(&obj, &PolicySet::p1()),
-        Err(VerifyError::UnguardedStore { .. })
-    ));
+    assert!(matches!(verify_obj(&obj, &PolicySet::p1()), Err(VerifyError::UnguardedStore { .. })));
 }
 
 #[test]
 fn indexed_rbp_store_requires_guard() {
     let mut f = MFunction::new("__start");
-    f.real(Inst::Store {
-        mem: MemOperand::base_index(Reg::RBP, Reg::RAX, 8, -64),
-        src: Reg::RBX,
-    });
+    f.real(Inst::Store { mem: MemOperand::base_index(Reg::RBP, Reg::RAX, 8, -64), src: Reg::RBX });
     f.real(Inst::Halt);
     let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
-    assert!(matches!(
-        verify_obj(&obj, &PolicySet::p1()),
-        Err(VerifyError::UnguardedStore { .. })
-    ));
+    assert!(matches!(verify_obj(&obj, &PolicySet::p1()), Err(VerifyError::UnguardedStore { .. })));
 }
 
 #[test]
@@ -104,10 +81,7 @@ fn rbp_write_outside_frame_idiom_rejected() {
         f.real(Inst::Halt);
         let obj = produce_from_mir(&program_of(f), &PolicySet::none()).unwrap();
         assert!(
-            matches!(
-                verify_obj(&obj, &PolicySet::p1()),
-                Err(VerifyError::IllegalRbpWrite { .. })
-            ),
+            matches!(verify_obj(&obj, &PolicySet::p1()), Err(VerifyError::IllegalRbpWrite { .. })),
             "{bad:?} must be rejected"
         );
     }

@@ -51,7 +51,12 @@ impl ChaCha20Poly1305 {
     ///
     /// Returns [`CryptoError::TruncatedCiphertext`] if `sealed` is shorter
     /// than a tag, and [`CryptoError::TagMismatch`] if authentication fails.
-    pub fn open(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::TruncatedCiphertext);
         }
@@ -73,28 +78,23 @@ mod tests {
     }
 
     fn unhex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     #[test]
     fn rfc8439_aead_vector() {
         // RFC 8439 section 2.8.2
-        let key: [u8; 32] = unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
-            .try_into()
-            .unwrap();
+        let key: [u8; 32] =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
         let aad = unhex("50515253c0c1c2c3c4c5c6c7");
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let cipher = ChaCha20Poly1305::new(&key);
         let sealed = cipher.seal(&nonce, &aad, plaintext);
         let (ct, tag) = sealed.split_at(sealed.len() - 16);
-        assert_eq!(
-            hex(&ct[..16]),
-            "d31a8d34648e60db7b86afbc53ef7ec2"
-        );
+        assert_eq!(hex(&ct[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
         assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
         let opened = cipher.open(&nonce, &aad, &sealed).unwrap();
         assert_eq!(opened, plaintext);
@@ -124,19 +124,13 @@ mod tests {
         let cipher = ChaCha20Poly1305::new(&[9u8; 32]);
         let nonce = [3u8; 12];
         let sealed = cipher.seal(&nonce, b"role=owner", b"data");
-        assert_eq!(
-            cipher.open(&nonce, b"role=provider", &sealed),
-            Err(CryptoError::TagMismatch)
-        );
+        assert_eq!(cipher.open(&nonce, b"role=provider", &sealed), Err(CryptoError::TagMismatch));
     }
 
     #[test]
     fn truncated_rejected() {
         let cipher = ChaCha20Poly1305::new(&[9u8; 32]);
-        assert_eq!(
-            cipher.open(&[0u8; 12], b"", &[0u8; 15]),
-            Err(CryptoError::TruncatedCiphertext)
-        );
+        assert_eq!(cipher.open(&[0u8; 12], b"", &[0u8; 15]), Err(CryptoError::TruncatedCiphertext));
     }
 
     #[test]

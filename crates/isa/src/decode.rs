@@ -212,8 +212,8 @@ pub fn decode(bytes: &[u8], offset: usize) -> Result<(Inst, usize), DecodeError>
         }
         op::SETCC => {
             let b = c.u8()?;
-            let cc = CondCode::from_index(b >> 4)
-                .ok_or_else(|| c.err(DecodeErrorKind::BadRegister))?;
+            let cc =
+                CondCode::from_index(b >> 4).ok_or_else(|| c.err(DecodeErrorKind::BadRegister))?;
             let dst = Reg::from_index(b & 0xF).expect("nibble < 16");
             Inst::SetCc { cc, dst }
         }
@@ -253,12 +253,7 @@ pub fn decode(bytes: &[u8], offset: usize) -> Result<(Inst, usize), DecodeError>
             let (dst, src) = c.reg_pair()?;
             Inst::FNeg { dst, src }
         }
-        other => {
-            return Err(DecodeError {
-                offset,
-                kind: DecodeErrorKind::UnknownOpcode(other),
-            })
-        }
+        other => return Err(DecodeError { offset, kind: DecodeErrorKind::UnknownOpcode(other) }),
     };
     Ok((inst, c.pos - offset))
 }

@@ -46,10 +46,9 @@ impl fmt::Display for DisasmError {
             DisasmError::TargetOutOfRange { target } => {
                 write!(f, "control-flow target {target:#x} outside code region")
             }
-            DisasmError::InstructionOverlap { target, within } => write!(
-                f,
-                "target {target:#x} lands inside instruction at {within:#x}"
-            ),
+            DisasmError::InstructionOverlap { target, within } => {
+                write!(f, "target {target:#x} lands inside instruction at {within:#x}")
+            }
             DisasmError::EntryOutOfRange { entry } => {
                 write!(f, "entry point {entry:#x} outside code region")
             }
@@ -300,12 +299,7 @@ pub fn disassemble(
         }
     }
 
-    Ok(Disassembly {
-        instrs,
-        leaders,
-        entry,
-        indirect_targets: indirect_targets.to_vec(),
-    })
+    Ok(Disassembly { instrs, leaders, entry, indirect_targets: indirect_targets.to_vec() })
 }
 
 #[cfg(test)]
@@ -350,8 +344,8 @@ mod tests {
     #[test]
     fn code_after_unconditional_jmp_not_reached() {
         let prog = [
-            Inst::Jmp { rel: 1 },    // skip the nop
-            Inst::Nop,               // dead unless targeted
+            Inst::Jmp { rel: 1 }, // skip the nop
+            Inst::Nop,            // dead unless targeted
             Inst::Halt,
         ];
         let (code, offsets) = encode_program(&prog);
@@ -363,11 +357,8 @@ mod tests {
     #[test]
     fn indirect_targets_continue_disassembly() {
         // jmp rax; unreachable without the provided list.
-        let prog = [
-            Inst::JmpInd { reg: Reg::RAX },
-            Inst::MovRI { dst: Reg::RAX, imm: 9 },
-            Inst::Halt,
-        ];
+        let prog =
+            [Inst::JmpInd { reg: Reg::RAX }, Inst::MovRI { dst: Reg::RAX, imm: 9 }, Inst::Halt];
         let (code, offsets) = encode_program(&prog);
         // Without the list the tail is invisible.
         let d = disassemble(&code, 0, &[]).unwrap();
@@ -380,10 +371,10 @@ mod tests {
     #[test]
     fn follows_call_and_fallthrough() {
         let prog = [
-            Inst::Call { rel: 2 },  // callee = ret at offset 7 (next inst is at 5)
-            Inst::Nop,              // fallthrough after return
+            Inst::Call { rel: 2 }, // callee = ret at offset 7 (next inst is at 5)
+            Inst::Nop,             // fallthrough after return
             Inst::Halt,
-            Inst::Ret,              // callee
+            Inst::Ret, // callee
         ];
         let (code, offsets) = encode_program(&prog);
         let d = disassemble(&code, 0, &[]).unwrap();
@@ -457,11 +448,11 @@ mod tests {
         // block B (fall): store; jmp T
         // block T: halt
         let prog = [
-            Inst::CmpRI { lhs: Reg::RAX, imm: 5 },            // 0..10
-            Inst::Jcc { cc: CondCode::E, rel: 14 },           // 10..15
+            Inst::CmpRI { lhs: Reg::RAX, imm: 5 },  // 0..10
+            Inst::Jcc { cc: CondCode::E, rel: 14 }, // 10..15
             Inst::Store { mem: MemOperand::abs(64), src: Reg::RAX }, // 15..24
-            Inst::Jmp { rel: 0 },                             // 24..29
-            Inst::Halt,                                       // 29
+            Inst::Jmp { rel: 0 },                   // 24..29
+            Inst::Halt,                             // 29
         ];
         let (code, offsets) = encode_program(&prog);
         let d = disassemble(&code, 0, &[]).unwrap();

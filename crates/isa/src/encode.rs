@@ -251,14 +251,8 @@ mod tests {
         assert_eq!(encoded_len(&Inst::Push { reg: Reg::RAX }), 2);
         assert_eq!(encoded_len(&Inst::MovRI { dst: Reg::RAX, imm: 0 }), 10);
         assert_eq!(encoded_len(&Inst::Jmp { rel: 0 }), 5);
-        assert_eq!(
-            encoded_len(&Inst::Store { mem: MemOperand::abs(0), src: Reg::RAX }),
-            9
-        );
-        assert_eq!(
-            encoded_len(&Inst::StoreImm { mem: MemOperand::abs(0), imm: 0 }),
-            12
-        );
+        assert_eq!(encoded_len(&Inst::Store { mem: MemOperand::abs(0), src: Reg::RAX }), 9);
+        assert_eq!(encoded_len(&Inst::StoreImm { mem: MemOperand::abs(0), imm: 0 }), 12);
     }
 
     #[test]

@@ -542,7 +542,10 @@ mod tests {
     #[test]
     fn display_smoke() {
         let m = MemOperand::base_index(Reg::RAX, Reg::RCX, 8, 16);
-        assert_eq!(Inst::Store { mem: m, src: Reg::RDX }.to_string(), "mov qword [rax+rcx*8+16], rdx");
+        assert_eq!(
+            Inst::Store { mem: m, src: Reg::RDX }.to_string(),
+            "mov qword [rax+rcx*8+16], rdx"
+        );
         assert_eq!(Inst::Jcc { cc: CondCode::Ae, rel: -12 }.to_string(), "jae -12");
     }
 

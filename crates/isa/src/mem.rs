@@ -98,10 +98,7 @@ mod tests {
         assert_eq!(MemOperand::abs(64).to_string(), "[64]");
         assert_eq!(MemOperand::base_disp(Reg::RSP, 8).to_string(), "[rsp+8]");
         assert_eq!(MemOperand::base_disp(Reg::RBP, -16).to_string(), "[rbp-16]");
-        assert_eq!(
-            MemOperand::base_index(Reg::RAX, Reg::RCX, 8, 0).to_string(),
-            "[rax+rcx*8]"
-        );
+        assert_eq!(MemOperand::base_index(Reg::RAX, Reg::RCX, 8, 0).to_string(), "[rax+rcx*8]");
     }
 
     #[test]

@@ -6,9 +6,7 @@
 //!    instruction whose re-encoding reproduces the consumed bytes
 //!    (canonicality) or a structured error.
 
-use deflection_isa::{
-    decode, encode, encoded_len, AluOp, CondCode, FpuOp, Inst, MemOperand, Reg,
-};
+use deflection_isa::{decode, encode, encoded_len, AluOp, CondCode, FpuOp, Inst, MemOperand, Reg};
 use proptest::prelude::*;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -53,7 +51,11 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (arb_mem(), any::<i32>()).prop_map(|(mem, imm)| Inst::StoreImm { mem, imm }),
         (arb_reg(), arb_mem()).prop_map(|(reg, mem)| Inst::CmpMem { reg, mem }),
         (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Inst::AluRR { op, dst, src }),
-        (arb_alu(), arb_reg(), any::<i64>()).prop_map(|(op, dst, imm)| Inst::AluRI { op, dst, imm }),
+        (arb_alu(), arb_reg(), any::<i64>()).prop_map(|(op, dst, imm)| Inst::AluRI {
+            op,
+            dst,
+            imm
+        }),
         arb_reg().prop_map(|reg| Inst::Neg { reg }),
         arb_reg().prop_map(|reg| Inst::Not { reg }),
         (arb_reg(), arb_reg()).prop_map(|(lhs, rhs)| Inst::CmpRR { lhs, rhs }),

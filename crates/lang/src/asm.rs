@@ -172,9 +172,9 @@ fn rel32(target: usize, from_end: usize, func: &str) -> Result<i32, CompileError
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deflection_isa::Reg;
     use crate::mir::{DataDef, Label, MirProgram};
     use deflection_isa::CondCode;
+    use deflection_isa::Reg;
 
     fn one_func_program(f: MFunction) -> MirProgram {
         MirProgram {

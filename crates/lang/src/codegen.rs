@@ -44,7 +44,8 @@ pub fn lower(program: &Program) -> MirProgram {
         functions.push(lower_function(f));
     }
 
-    let mut data: Vec<DataDef> = vec![DataDef { name: IO_SYMBOL.into(), size: IO_SIZE, init: None }];
+    let mut data: Vec<DataDef> =
+        vec![DataDef { name: IO_SYMBOL.into(), size: IO_SIZE, init: None }];
     for g in &program.globals {
         data.push(DataDef { name: g.name.clone(), size: g.ty.size(), init: g.init.clone() });
     }
@@ -119,8 +120,13 @@ impl FnGen<'_> {
             }
             Stmt::AssignGlobal { name, value } => {
                 self.expr(value);
-                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: name.clone(), addend: 0 });
-                self.out.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBX, 0), src: Reg::RAX });
+                self.out.push(MInst::LoadSymAddr {
+                    dst: Reg::RBX,
+                    symbol: name.clone(),
+                    addend: 0,
+                });
+                self.out
+                    .real(Inst::Store { mem: MemOperand::base_disp(Reg::RBX, 0), src: Reg::RAX });
             }
             Stmt::AssignIndex { base, elem, index, value } => {
                 self.expr(index);
@@ -212,8 +218,13 @@ impl FnGen<'_> {
                 self.out.real(Inst::Load { dst: Reg::RAX, mem: slot_mem(off) });
             }
             ExprKind::ReadGlobal(name) => {
-                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: name.clone(), addend: 0 });
-                self.out.real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::RBX, 0) });
+                self.out.push(MInst::LoadSymAddr {
+                    dst: Reg::RBX,
+                    symbol: name.clone(),
+                    addend: 0,
+                });
+                self.out
+                    .real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::RBX, 0) });
             }
             ExprKind::Index { base, elem, index } => {
                 self.expr(index);
@@ -289,9 +300,7 @@ impl FnGen<'_> {
                 self.expr(operand);
                 match (op, float_op) {
                     (UnOp::Neg, false) => self.out.real(Inst::Neg { reg: Reg::RAX }),
-                    (UnOp::Neg, true) => {
-                        self.out.real(Inst::FNeg { dst: Reg::RAX, src: Reg::RAX })
-                    }
+                    (UnOp::Neg, true) => self.out.real(Inst::FNeg { dst: Reg::RAX, src: Reg::RAX }),
                     (UnOp::Not, _) => {
                         self.out.real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 });
                         self.out.real(Inst::SetCc { cc: CondCode::E, dst: Reg::RAX });
@@ -383,7 +392,11 @@ impl FnGen<'_> {
     fn builtin(&mut self, b: Builtin, args: &[Expr]) {
         match b {
             Builtin::InputLen => {
-                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.push(MInst::LoadSymAddr {
+                    dst: Reg::RBX,
+                    symbol: IO_SYMBOL.into(),
+                    addend: 0,
+                });
                 self.out.real(Inst::Load {
                     dst: Reg::RAX,
                     mem: MemOperand::base_disp(Reg::RBX, IO_INPUT_LEN as i32),
@@ -391,7 +404,11 @@ impl FnGen<'_> {
             }
             Builtin::InputByte => {
                 self.expr(&args[0]);
-                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.push(MInst::LoadSymAddr {
+                    dst: Reg::RBX,
+                    symbol: IO_SYMBOL.into(),
+                    addend: 0,
+                });
                 self.out.real(Inst::Load {
                     dst: Reg::RBX,
                     mem: MemOperand::base_disp(Reg::RBX, IO_INPUT_BASE as i32),
@@ -407,7 +424,11 @@ impl FnGen<'_> {
                 self.expr(&args[1]);
                 self.out.real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }); // value
                 self.out.real(Inst::Pop { reg: Reg::RAX }); // index
-                self.out.push(MInst::LoadSymAddr { dst: Reg::RCX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.push(MInst::LoadSymAddr {
+                    dst: Reg::RCX,
+                    symbol: IO_SYMBOL.into(),
+                    addend: 0,
+                });
                 self.out.real(Inst::Load {
                     dst: Reg::RCX,
                     mem: MemOperand::base_disp(Reg::RCX, IO_OUTPUT_BASE as i32),
@@ -419,7 +440,11 @@ impl FnGen<'_> {
             }
             Builtin::InputWord => {
                 self.expr(&args[0]);
-                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.push(MInst::LoadSymAddr {
+                    dst: Reg::RBX,
+                    symbol: IO_SYMBOL.into(),
+                    addend: 0,
+                });
                 self.out.real(Inst::Load {
                     dst: Reg::RBX,
                     mem: MemOperand::base_disp(Reg::RBX, IO_INPUT_BASE as i32),
@@ -435,7 +460,11 @@ impl FnGen<'_> {
                 self.expr(&args[1]);
                 self.out.real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }); // value
                 self.out.real(Inst::Pop { reg: Reg::RAX }); // word index
-                self.out.push(MInst::LoadSymAddr { dst: Reg::RCX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.push(MInst::LoadSymAddr {
+                    dst: Reg::RCX,
+                    symbol: IO_SYMBOL.into(),
+                    addend: 0,
+                });
                 self.out.real(Inst::Load {
                     dst: Reg::RCX,
                     mem: MemOperand::base_disp(Reg::RCX, IO_OUTPUT_BASE as i32),
@@ -448,7 +477,11 @@ impl FnGen<'_> {
             Builtin::Send => {
                 self.expr(&args[0]);
                 self.out.real(Inst::MovRR { dst: Reg::RSI, src: Reg::RAX });
-                self.out.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: IO_SYMBOL.into(), addend: 0 });
+                self.out.push(MInst::LoadSymAddr {
+                    dst: Reg::RBX,
+                    symbol: IO_SYMBOL.into(),
+                    addend: 0,
+                });
                 self.out.real(Inst::Load {
                     dst: Reg::RDI,
                     mem: MemOperand::base_disp(Reg::RBX, IO_OUTPUT_BASE as i32),
@@ -504,12 +537,17 @@ mod tests {
 
     #[test]
     fn prologue_spills_params() {
-        let p = lower_src("fn f(a: int, b: int) -> int { return a; } fn main() -> int { return f(1,2); }");
+        let p = lower_src(
+            "fn f(a: int, b: int) -> int { return a; } fn main() -> int { return f(1,2); }",
+        );
         let f = &p.functions[1];
         assert_eq!(f.name, "f");
         // push rbp; mov rbp, rsp; sub rsp, 16; store a; store b
         assert!(matches!(f.insts[0], MInst::Real(Inst::Push { reg: Reg::RBP })));
-        assert!(matches!(f.insts[2], MInst::Real(Inst::AluRI { op: AluOp::Sub, dst: Reg::RSP, imm: 16 })));
+        assert!(matches!(
+            f.insts[2],
+            MInst::Real(Inst::AluRI { op: AluOp::Sub, dst: Reg::RSP, imm: 16 })
+        ));
         assert!(matches!(f.insts[3], MInst::Real(Inst::Store { src: Reg::RDI, .. })));
         assert!(matches!(f.insts[4], MInst::Real(Inst::Store { src: Reg::RSI, .. })));
     }

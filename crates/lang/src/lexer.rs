@@ -51,20 +51,20 @@ pub enum Punct {
     Comma,
     Semi,
     Colon,
-    Arrow,     // ->
-    Assign,    // =
+    Arrow,  // ->
+    Assign, // =
     Plus,
     Minus,
     Star,
     Slash,
     Percent,
-    Amp,       // &
-    Pipe,      // |
-    Caret,     // ^
-    Tilde,     // ~
-    Bang,      // !
-    Shl,       // <<
-    Shr,       // >>
+    Amp,   // &
+    Pipe,  // |
+    Caret, // ^
+    Tilde, // ~
+    Bang,  // !
+    Shl,   // <<
+    Shr,   // >>
     Lt,
     Le,
     Gt,
@@ -412,10 +412,7 @@ mod tests {
     fn char_and_string_literals() {
         assert_eq!(toks("'A'"), vec![Tok::Int(65), Tok::Eof]);
         assert_eq!(toks("'\\n'"), vec![Tok::Int(10), Tok::Eof]);
-        assert_eq!(
-            toks("\"hi\\0\""),
-            vec![Tok::Str(vec![b'h', b'i', 0]), Tok::Eof]
-        );
+        assert_eq!(toks("\"hi\\0\""), vec![Tok::Str(vec![b'h', b'i', 0]), Tok::Eof]);
     }
 
     #[test]

@@ -68,10 +68,7 @@ fn optimize_function(f: &mut MFunction, stats: &mut OptStats) {
                 i += 1;
             }
             // push a; pop b  (adjacent, no intervening label)
-            (
-                MInst::Real(Inst::Push { reg: a }),
-                Some(MInst::Real(Inst::Pop { reg: b })),
-            ) => {
+            (MInst::Real(Inst::Push { reg: a }), Some(MInst::Real(Inst::Pop { reg: b }))) => {
                 if a != b {
                     out.push(MInst::Real(Inst::MovRR { dst: *b, src: *a }));
                 }

@@ -100,11 +100,8 @@ impl Parser {
                         self.expect_punct(Punct::Comma, "`,`")?;
                     }
                 }
-                let ret = if self.eat_punct(Punct::Arrow) {
-                    Some(Box::new(self.ty()?))
-                } else {
-                    None
-                };
+                let ret =
+                    if self.eat_punct(Punct::Arrow) { Some(Box::new(self.ty()?)) } else { None };
                 Ok(TypeExpr::FnPtr(params, ret))
             }
             other => Err(self.err(format!("expected type, found {other:?}"))),
@@ -141,11 +138,7 @@ impl Parser {
         let name = self.expect_ident("global name")?;
         self.expect_punct(Punct::Colon, "`:`")?;
         let ty = self.ty()?;
-        let init = if self.eat_punct(Punct::Assign) {
-            Some(self.initializer()?)
-        } else {
-            None
-        };
+        let init = if self.eat_punct(Punct::Assign) { Some(self.initializer()?) } else { None };
         self.expect_punct(Punct::Semi, "`;`")?;
         Ok(GlobalDecl { name, ty, init, span })
     }
@@ -193,11 +186,7 @@ impl Parser {
                 let name = self.expect_ident("variable name")?;
                 self.expect_punct(Punct::Colon, "`:`")?;
                 let ty = self.ty()?;
-                let init = if self.eat_punct(Punct::Assign) {
-                    Some(self.expr()?)
-                } else {
-                    None
-                };
+                let init = if self.eat_punct(Punct::Assign) { Some(self.expr()?) } else { None };
                 self.expect_punct(Punct::Semi, "`;`")?;
                 Ok(Stmt::Var { name, ty, init, span })
             }
@@ -212,11 +201,8 @@ impl Parser {
             }
             Tok::Kw(Kw::Return) => {
                 self.bump();
-                let value = if self.peek() == &Tok::Punct(Punct::Semi) {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let value =
+                    if self.peek() == &Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
                 self.expect_punct(Punct::Semi, "`;`")?;
                 Ok(Stmt::Return { value, span })
             }

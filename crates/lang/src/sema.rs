@@ -68,7 +68,12 @@ impl Checker {
         Checker { globals: HashMap::new(), funcs: HashMap::new(), address_taken: Vec::new() }
     }
 
-    fn resolve_type(&self, t: &TypeExpr, span: Span, param_pos: bool) -> Result<Type, CompileError> {
+    fn resolve_type(
+        &self,
+        t: &TypeExpr,
+        span: Span,
+        param_pos: bool,
+    ) -> Result<Type, CompileError> {
         Ok(match t {
             TypeExpr::Int => Type::Int,
             TypeExpr::Float => Type::Float,
@@ -115,7 +120,10 @@ impl Checker {
             }
             let ty = self.resolve_type(&g.ty, g.span, false)?;
             if matches!(ty, Type::Byte) {
-                return Err(CompileError::new(g.span, "scalar globals cannot be `byte`; use `int`"));
+                return Err(CompileError::new(
+                    g.span,
+                    "scalar globals cannot be `byte`; use `int`",
+                ));
             }
             if self.globals.insert(g.name.clone(), ty).is_some() {
                 return Err(CompileError::new(g.span, format!("duplicate global `{}`", g.name)));
@@ -228,7 +236,12 @@ impl Checker {
         }
     }
 
-    fn const_scalar_bytes(&self, ty: &Type, e: &ast::Expr, span: Span) -> Result<Vec<u8>, CompileError> {
+    fn const_scalar_bytes(
+        &self,
+        ty: &Type,
+        e: &ast::Expr,
+        span: Span,
+    ) -> Result<Vec<u8>, CompileError> {
         match (ty, e) {
             (Type::Int, _) => Ok(self.const_int(e, span)?.to_le_bytes().to_vec()),
             (Type::Byte, _) => {
@@ -258,7 +271,9 @@ impl Checker {
     fn const_float(&self, e: &ast::Expr, span: Span) -> Result<f64, CompileError> {
         match e {
             ast::Expr::Float(v, _) => Ok(*v),
-            ast::Expr::Unary { op: UnOp::Neg, operand, .. } => Ok(-self.const_float(operand, span)?),
+            ast::Expr::Unary { op: UnOp::Neg, operand, .. } => {
+                Ok(-self.const_float(operand, span)?)
+            }
             _ => Err(CompileError::new(e.span(), "expected constant float")),
         }
     }
@@ -301,7 +316,11 @@ impl Checker {
         })
     }
 
-    fn check_block(&mut self, stmts: &[ast::Stmt], ctx: &mut FuncCtx) -> Result<Vec<Stmt>, CompileError> {
+    fn check_block(
+        &mut self,
+        stmts: &[ast::Stmt],
+        ctx: &mut FuncCtx,
+    ) -> Result<Vec<Stmt>, CompileError> {
         ctx.scopes.push(HashMap::new());
         let saved_offset = ctx.cur_offset;
         let mut out = Vec::new();
@@ -315,7 +334,11 @@ impl Checker {
         Ok(out)
     }
 
-    fn check_stmt(&mut self, s: &ast::Stmt, ctx: &mut FuncCtx) -> Result<Option<Stmt>, CompileError> {
+    fn check_stmt(
+        &mut self,
+        s: &ast::Stmt,
+        ctx: &mut FuncCtx,
+    ) -> Result<Option<Stmt>, CompileError> {
         match s {
             ast::Stmt::Var { name, ty, init, span } => {
                 if Builtin::by_name(name).is_some() {
@@ -323,7 +346,10 @@ impl Checker {
                 }
                 let ty = self.resolve_type(ty, *span, false)?;
                 if ty == Type::Byte {
-                    return Err(CompileError::new(*span, "scalar locals cannot be `byte`; use `int`"));
+                    return Err(CompileError::new(
+                        *span,
+                        "scalar locals cannot be `byte`; use `int`",
+                    ));
                 }
                 let is_array = matches!(ty, Type::Array(..));
                 let slot = ctx.declare(name, ty.clone());
@@ -402,9 +428,7 @@ impl Checker {
                         self.expect_ty(&ve, &want, e.span())?;
                         Ok(Some(Stmt::Return { value: Some(ve) }))
                     }
-                    (None, Some(_)) => {
-                        Err(CompileError::new(*span, "missing return value"))
-                    }
+                    (None, Some(_)) => Err(CompileError::new(*span, "missing return value")),
                     (Some(_), None) => {
                         Err(CompileError::new(*span, "function does not return a value"))
                     }
@@ -569,7 +593,10 @@ impl Checker {
                 };
                 let ty = Type::FnPtr(sig.params.clone(), sig.ret.clone().map(Box::new));
                 let table_index = self.table_index(name);
-                Ok(Expr { ty: Some(ty), kind: ExprKind::FuncRef { name: name.clone(), table_index } })
+                Ok(Expr {
+                    ty: Some(ty),
+                    kind: ExprKind::FuncRef { name: name.clone(), table_index },
+                })
             }
             ast::Expr::Call { callee, args, span } => {
                 // Resolution order: locals/globals holding fn pointers,
@@ -586,10 +613,7 @@ impl Checker {
                     return Ok(Expr {
                         ty: ret.map(|b| *b),
                         kind: ExprKind::CallIndirect {
-                            target: Box::new(Expr {
-                                ty: None,
-                                kind: ExprKind::ReadLocal(slot),
-                            }),
+                            target: Box::new(Expr { ty: None, kind: ExprKind::ReadLocal(slot) }),
                             args,
                         },
                     });
@@ -619,10 +643,7 @@ impl Checker {
                 };
                 let (params, ret) = (sig.params.clone(), sig.ret.clone());
                 let args = self.check_args(&params, args, ctx, *span)?;
-                Ok(Expr {
-                    ty: ret,
-                    kind: ExprKind::CallDirect { name: callee.clone(), args },
-                })
+                Ok(Expr { ty: ret, kind: ExprKind::CallDirect { name: callee.clone(), args } })
             }
             ast::Expr::Binary { op, lhs, rhs, span } => {
                 let l = self.check_expr(lhs, ctx)?;
@@ -650,8 +671,16 @@ impl Checker {
                         Type::Float,
                     ) => (Type::Int, true),
                     (
-                        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
-                        | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr,
+                        BinOp::Add
+                        | BinOp::Sub
+                        | BinOp::Mul
+                        | BinOp::Div
+                        | BinOp::Rem
+                        | BinOp::And
+                        | BinOp::Or
+                        | BinOp::Xor
+                        | BinOp::Shl
+                        | BinOp::Shr,
                         Type::Int,
                     ) => (Type::Int, false),
                     (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div, Type::Float) => {
@@ -666,7 +695,12 @@ impl Checker {
                 };
                 Ok(Expr {
                     ty: Some(result),
-                    kind: ExprKind::Binary { op: *op, float_op, lhs: Box::new(l), rhs: Box::new(r) },
+                    kind: ExprKind::Binary {
+                        op: *op,
+                        float_op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                 })
             }
             ast::Expr::Unary { op, operand, span } => {
@@ -796,14 +830,12 @@ mod tests {
 
     #[test]
     fn fnptr_signature_mismatch_rejected() {
-        assert!(check_src(
-            "fn h(x: int) {} fn main() -> int { var a: fn() = &h; return 0; }"
-        )
-        .is_err());
-        assert!(check_src(
-            "fn h() {} fn main() -> int { var a: fn() = &h; a(1); return 0; }"
-        )
-        .is_err());
+        assert!(
+            check_src("fn h(x: int) {} fn main() -> int { var a: fn() = &h; return 0; }").is_err()
+        );
+        assert!(
+            check_src("fn h() {} fn main() -> int { var a: fn() = &h; a(1); return 0; }").is_err()
+        );
     }
 
     #[test]

@@ -125,9 +125,8 @@ impl ObjectFile {
     /// Serializes the object to its binary representation.
     #[must_use]
     pub fn serialize(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(
-            64 + self.text.len() + self.rodata.len() + self.data.len(),
-        );
+        let mut out =
+            Vec::with_capacity(64 + self.text.len() + self.rodata.len() + self.data.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         write_string(&mut out, &self.entry_symbol);
@@ -230,8 +229,18 @@ mod tests {
             data: vec![5, 6],
             bss_size: 128,
             symbols: vec![
-                Symbol { name: "main".into(), section: SectionId::Text, offset: 0, kind: SymbolKind::Func },
-                Symbol { name: "table".into(), section: SectionId::Data, offset: 0, kind: SymbolKind::Object },
+                Symbol {
+                    name: "main".into(),
+                    section: SectionId::Text,
+                    offset: 0,
+                    kind: SymbolKind::Func,
+                },
+                Symbol {
+                    name: "table".into(),
+                    section: SectionId::Data,
+                    offset: 0,
+                    kind: SymbolKind::Object,
+                },
             ],
             relocations: vec![Relocation {
                 section: SectionId::Text,
@@ -269,10 +278,7 @@ mod tests {
     fn bad_version_rejected() {
         let mut bytes = sample().serialize();
         bytes[4] = 0xFF;
-        assert!(matches!(
-            ObjectFile::parse(&bytes),
-            Err(ObjError::UnsupportedVersion(_))
-        ));
+        assert!(matches!(ObjectFile::parse(&bytes), Err(ObjError::UnsupportedVersion(_))));
     }
 
     #[test]
@@ -307,10 +313,7 @@ mod tests {
             .unwrap();
         let mut corrupted = bytes.clone();
         corrupted[pos + needle.len()] = 9; // section byte follows the name
-        assert!(matches!(
-            ObjectFile::parse(&corrupted),
-            Err(ObjError::InvalidEnum(9))
-        ));
+        assert!(matches!(ObjectFile::parse(&corrupted), Err(ObjError::InvalidEnum(9))));
     }
 
     #[test]

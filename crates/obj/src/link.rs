@@ -340,10 +340,7 @@ mod tests {
 
         let mut c = func_obj("main", "main", vec![1]);
         c.indirect_branch_table.push("ghost".into());
-        assert_eq!(
-            link(&[c]),
-            Err(LinkError::UndefinedIndirectTarget("ghost".into()))
-        );
+        assert_eq!(link(&[c]), Err(LinkError::UndefinedIndirectTarget("ghost".into())));
     }
 
     #[test]

@@ -25,51 +25,40 @@ fn arb_object() -> impl Strategy<Value = ObjectFile> {
         proptest::collection::vec(any::<u8>(), 0..128),
         proptest::collection::vec(any::<u8>(), 0..128),
         0u64..4096,
+        proptest::collection::vec((arb_name(), arb_section(), any::<u64>(), any::<bool>()), 0..8),
         proptest::collection::vec(
-            (arb_name(), arb_section(), any::<u64>(), any::<bool>()),
-            0..8,
-        ),
-        proptest::collection::vec(
-            (
-                arb_section(),
-                any::<u64>(),
-                arb_name(),
-                any::<bool>(),
-                any::<i64>(),
-            ),
+            (arb_section(), any::<u64>(), arb_name(), any::<bool>(), any::<i64>()),
             0..8,
         ),
         proptest::collection::vec(arb_name(), 0..4),
     )
-        .prop_map(
-            |(entry, text, rodata, data, bss, syms, relocs, ibt)| ObjectFile {
-                entry_symbol: entry,
-                text,
-                rodata,
-                data,
-                bss_size: bss,
-                symbols: syms
-                    .into_iter()
-                    .map(|(name, section, offset, is_func)| Symbol {
-                        name,
-                        section,
-                        offset,
-                        kind: if is_func { SymbolKind::Func } else { SymbolKind::Object },
-                    })
-                    .collect(),
-                relocations: relocs
-                    .into_iter()
-                    .map(|(section, offset, symbol, abs, addend)| Relocation {
-                        section,
-                        offset,
-                        symbol,
-                        kind: if abs { RelocKind::Abs64 } else { RelocKind::Rel32 },
-                        addend,
-                    })
-                    .collect(),
-                indirect_branch_table: ibt,
-            },
-        )
+        .prop_map(|(entry, text, rodata, data, bss, syms, relocs, ibt)| ObjectFile {
+            entry_symbol: entry,
+            text,
+            rodata,
+            data,
+            bss_size: bss,
+            symbols: syms
+                .into_iter()
+                .map(|(name, section, offset, is_func)| Symbol {
+                    name,
+                    section,
+                    offset,
+                    kind: if is_func { SymbolKind::Func } else { SymbolKind::Object },
+                })
+                .collect(),
+            relocations: relocs
+                .into_iter()
+                .map(|(section, offset, symbol, abs, addend)| Relocation {
+                    section,
+                    offset,
+                    symbol,
+                    kind: if abs { RelocKind::Abs64 } else { RelocKind::Rel32 },
+                    addend,
+                })
+                .collect(),
+            indirect_branch_table: ibt,
+        })
 }
 
 proptest! {

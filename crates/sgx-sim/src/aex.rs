@@ -58,9 +58,7 @@ impl AexInjector {
     #[must_use]
     pub fn new(schedule: AexSchedule) -> Self {
         let drbg = match &schedule {
-            AexSchedule::Random { seed, .. } => {
-                Some(HmacDrbg::new(&seed.to_le_bytes()))
-            }
+            AexSchedule::Random { seed, .. } => Some(HmacDrbg::new(&seed.to_le_bytes())),
             _ => None,
         };
         AexInjector { schedule, drbg, delivered: 0 }

@@ -4,7 +4,7 @@
 
 use crate::mem::Memory;
 use crate::Fault;
-use deflection_isa::{decode, AluOp, FpuOp, Inst, Flags, MemOperand, Reg};
+use deflection_isa::{decode, AluOp, Flags, FpuOp, Inst, MemOperand, Reg};
 
 /// Architectural CPU state.
 #[derive(Debug, Clone)]
@@ -302,10 +302,8 @@ impl Cpu {
                 self.set(dst, r.to_bits());
             }
             Inst::FCmp { lhs, rhs } => {
-                self.flags = Flags::from_fcmp(
-                    f64::from_bits(self.get(lhs)),
-                    f64::from_bits(self.get(rhs)),
-                );
+                self.flags =
+                    Flags::from_fcmp(f64::from_bits(self.get(lhs)), f64::from_bits(self.get(rhs)));
             }
             Inst::CvtIF { dst, src } => {
                 let v = self.get(src) as i64 as f64;
@@ -387,8 +385,8 @@ mod tests {
     fn call_and_ret() {
         // main: call f; halt --- f: mov rax, 7; ret
         let prog = [
-            Inst::Call { rel: 1 }, // next=5, target=6
-            Inst::Halt,            // 5
+            Inst::Call { rel: 1 },                 // next=5, target=6
+            Inst::Halt,                            // 5
             Inst::MovRI { dst: Reg::RAX, imm: 7 }, // 6
             Inst::Ret,
         ];
@@ -419,14 +417,8 @@ mod tests {
             Inst::MovRI { dst: Reg::RCX, imm: 3 },
             Inst::MovRI { dst: Reg::RAX, imm: 99 },
             // [rdi + rcx*8 + 16]
-            Inst::Store {
-                mem: MemOperand::base_index(Reg::RDI, Reg::RCX, 8, 16),
-                src: Reg::RAX,
-            },
-            Inst::Load {
-                dst: Reg::RBX,
-                mem: MemOperand::base_index(Reg::RDI, Reg::RCX, 8, 16),
-            },
+            Inst::Store { mem: MemOperand::base_index(Reg::RDI, Reg::RCX, 8, 16), src: Reg::RAX },
+            Inst::Load { dst: Reg::RBX, mem: MemOperand::base_index(Reg::RDI, Reg::RCX, 8, 16) },
             Inst::MovRR { dst: Reg::RAX, src: Reg::RBX },
             Inst::Halt,
         ]);
@@ -540,10 +532,7 @@ mod tests {
         let layout = EnclaveLayout::new(MemConfig::small());
         let (mut cpu, mut mem, _) = setup(&[Inst::Push { reg: Reg::RAX }, Inst::Halt]);
         cpu.set(Reg::RSP, layout.stack.start);
-        assert!(matches!(
-            cpu.step(&mut mem),
-            Err(Fault::WriteViolation { .. })
-        ));
+        assert!(matches!(cpu.step(&mut mem), Err(Fault::WriteViolation { .. })));
     }
 
     #[test]

@@ -94,10 +94,7 @@ mod tests {
     #[test]
     fn measurement_is_deterministic() {
         let layout = EnclaveLayout::new(MemConfig::small());
-        assert_eq!(
-            measure_enclave(b"consumer", &layout),
-            measure_enclave(b"consumer", &layout)
-        );
+        assert_eq!(measure_enclave(b"consumer", &layout), measure_enclave(b"consumer", &layout));
     }
 
     #[test]

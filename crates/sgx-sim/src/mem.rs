@@ -406,10 +406,7 @@ mod tests {
         let w = m.fetch_window(m.layout().code.start).unwrap();
         assert_eq!(w.len(), 16);
         // Fetching from a non-executable page faults outright.
-        assert!(matches!(
-            m.fetch_window(m.layout().heap.start),
-            Err(Fault::NotExecutable { .. })
-        ));
+        assert!(matches!(m.fetch_window(m.layout().heap.start), Err(Fault::NotExecutable { .. })));
     }
 
     #[test]

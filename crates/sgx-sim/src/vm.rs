@@ -124,9 +124,7 @@ impl Vm {
             }
             match self.cpu.step(&mut self.mem) {
                 Ok(StepEvent::Continue) => {}
-                Ok(StepEvent::Halted) => {
-                    return RunExit::Halted { exit: self.cpu.get(Reg::RAX) }
-                }
+                Ok(StepEvent::Halted) => return RunExit::Halted { exit: self.cpu.get(Reg::RAX) },
                 Ok(StepEvent::PolicyAbort(code)) => return RunExit::PolicyAbort { code },
                 Ok(StepEvent::Ocall(code)) => {
                     self.stats.ocalls += 1;
@@ -163,10 +161,7 @@ mod tests {
 
     #[test]
     fn runs_to_halt() {
-        let mut vm = vm_with(&[
-            Inst::MovRI { dst: Reg::RAX, imm: 11 },
-            Inst::Halt,
-        ]);
+        let mut vm = vm_with(&[Inst::MovRI { dst: Reg::RAX, imm: 11 }, Inst::Halt]);
         let exit = vm.run(100, &mut NullHost);
         assert_eq!(exit, RunExit::Halted { exit: 11 });
         assert_eq!(vm.stats.instructions, 2);

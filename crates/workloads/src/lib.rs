@@ -62,10 +62,7 @@ impl Lcg {
     /// `rnd(n)` of the DCL prelude.
     #[must_use]
     pub fn below(&mut self, n: i64) -> i64 {
-        self.state = self
-            .state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         ((self.state >> 33) & 0x7FFF_FFFF) % n
     }
 }

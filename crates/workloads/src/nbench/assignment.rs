@@ -74,12 +74,8 @@ pub fn reference(input: &[u8]) -> u64 {
     let header = read_ints(input);
     let (n, seed) = (header[0] as usize, header[1]);
     let mut lcg = Lcg::new(seed);
-    let transforms: [fn(i64) -> i64; 4] = [
-        |x| x,
-        |x| x.wrapping_mul(2),
-        |x| x + 7,
-        |x| x.wrapping_mul(3) / 2,
-    ];
+    let transforms: [fn(i64) -> i64; 4] =
+        [|x| x, |x| x.wrapping_mul(2), |x| x + 7, |x| x.wrapping_mul(3) / 2];
     let mut cost = vec![0i64; n * n];
     for row in cost.chunks_mut(n).take(n) {
         for c in row.iter_mut() {

@@ -161,7 +161,7 @@ mod tests {
         // mul16 implements multiplication in GF(2^16+1) with 0 ≡ 2^16.
         assert_eq!(mul16(1, 1), 1);
         assert_eq!(mul16(0, 1), 65536 & 0xFFFF); // 2^16 * 1 = 2^16 ≡ 0 repr
-        // Commutativity on a sample.
+                                                 // Commutativity on a sample.
         let mut lcg = Lcg::new(9);
         for _ in 0..100 {
             let (a, b) = (lcg.below(65536), lcg.below(65536));

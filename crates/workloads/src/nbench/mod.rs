@@ -105,10 +105,7 @@ pub fn all() -> Vec<Kernel> {
 /// Reads the little-endian integer header the DCL prelude's `geti` sees.
 #[must_use]
 pub fn read_ints(input: &[u8]) -> Vec<i64> {
-    input
-        .chunks_exact(8)
-        .map(|c| i64::from_le_bytes(c.try_into().expect("chunked")))
-        .collect()
+    input.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().expect("chunked"))).collect()
 }
 
 #[cfg(test)]

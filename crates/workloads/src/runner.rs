@@ -46,9 +46,7 @@ impl Prepared {
         let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(config), manifest);
         let owner_key = [0x42u8; 32];
         enclave.set_owner_session(owner_key);
-        enclave
-            .install_plain(&binary)
-            .unwrap_or_else(|e| panic!("workload must install: {e}"));
+        enclave.install_plain(&binary).unwrap_or_else(|e| panic!("workload must install: {e}"));
         Prepared { enclave, owner_key }
     }
 

@@ -78,9 +78,7 @@ pub fn reference(input: &[u8]) -> u64 {
     let mut acc: i64 = 0;
     let mut produced = 0i64;
     while produced < size {
-        ks = ks
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        ks = ks.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let mut mix = ks ^ (ks >> 29);
         mix = mix.wrapping_mul(94123863).wrapping_add(req);
         mix ^= mix >> 17;
@@ -124,7 +122,7 @@ mod tests {
         p.input(&request(1, 500));
         let report = p.run(crate::runner::DEFAULT_FUEL);
         assert_eq!(report.records.len(), 3); // 200 + 200 + 104-byte tail
-        // Fixed-length ciphertexts: the covert-channel surface P0 closes.
+                                             // Fixed-length ciphertexts: the covert-channel surface P0 closes.
         assert!(report.records.iter().all(|r| r.len() == report.records[0].len()));
     }
 }

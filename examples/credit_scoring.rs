@@ -7,8 +7,8 @@
 //! Run with: `cargo run --release --example credit_scoring`
 
 use deflection::core::policy::Manifest;
-use deflection::core::runtime::BootstrapEnclave;
 use deflection::core::producer::produce;
+use deflection::core::runtime::BootstrapEnclave;
 use deflection::sgx::layout::{EnclaveLayout, MemConfig};
 use deflection::workloads::credit;
 

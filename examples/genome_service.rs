@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut manifest = Manifest::ccaas();
         manifest.policy = policy;
         let binary = produce(&genome::nw_source(), &policy)?.serialize();
-        let mut enclave =
-            BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+        let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
         enclave.set_owner_session([7u8; 32]);
         enclave.install_plain(&binary)?;
 

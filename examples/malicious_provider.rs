@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example malicious_provider`
 
-use deflection::core::attack::{corpus, Expected};
+use deflection::core::attack::{corpus, elision_corpus, Expected};
 use deflection::core::consumer::install;
-use deflection::core::policy::Manifest;
+use deflection::core::policy::{Manifest, PolicySet};
 use deflection::core::runtime::BootstrapEnclave;
 use deflection::sgx::layout::{EnclaveLayout, MemConfig};
 use deflection::sgx::mem::Memory;
@@ -32,10 +32,8 @@ fn main() {
                 }
             }
             Expected::RuntimeAbort(code) => {
-                let mut enclave = BootstrapEnclave::new(
-                    EnclaveLayout::new(MemConfig::small()),
-                    manifest.clone(),
-                );
+                let mut enclave =
+                    BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest.clone());
                 match enclave.install_plain(&binary) {
                     Err(e) => format!("!! unexpectedly rejected: {e}"),
                     Ok(_) => match enclave.run(1_000_000) {
@@ -60,4 +58,29 @@ fn main() {
 
     println!("\n{contained}/{total} attacks contained.");
     assert_eq!(contained, total, "every attack must be contained");
+
+    // Round two: a producer that lies about guard elision. The manifest
+    // *allows* elision — the verifier still has to refuse any stripped
+    // guard its own in-enclave analysis cannot re-prove.
+    println!("\n== hostile provider abusing guard elision (elide_guards on) ==\n");
+    let mut elide_manifest = Manifest::ccaas();
+    elide_manifest.policy = PolicySet::full().with_elision();
+    let mut elide_contained = 0;
+    let elision_attacks = elision_corpus();
+    let elide_total = elision_attacks.len();
+    for attack in elision_attacks {
+        let binary = attack.binary.serialize();
+        let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+        let outcome = match install(&binary, &elide_manifest, &mut mem) {
+            Err(e) => {
+                elide_contained += 1;
+                format!("REJECTED at load/verify: {e}")
+            }
+            Ok(_) => "!! accepted (containment failure)".to_string(),
+        };
+        println!("{:26} {}", attack.name, outcome);
+        println!("{:26}   ({})", "", attack.description);
+    }
+    println!("\n{elide_contained}/{elide_total} elision attacks contained.");
+    assert_eq!(elide_contained, elide_total, "every elision attack must be contained");
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 test suite.
+# Run from anywhere; operates on the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> CI green"

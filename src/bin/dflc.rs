@@ -3,7 +3,7 @@
 //! The code provider's view of the toolchain:
 //!
 //! ```text
-//! dflc build  <src.dcl> -o <out.dflo> [--policy none|p1|p1p2|p1p5|full]
+//! dflc build  <src.dcl> -o <out.dflo> [--policy none|p1|p1p2|p1p5|full|fullelide]
 //! dflc verify <bin.dflo>              [--policy ...]      # consumer dry-run
 //! dflc disasm <bin.dflo>                                  # annotated listing
 //! dflc run    <bin.dflo> [--input <hex>] [--policy ...] [--fuel N]
@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dflc build <src.dcl> -o <out.dflo> [--policy none|p1|p1p2|p1p5|full]\n  \
+        "usage:\n  dflc build <src.dcl> -o <out.dflo> [--policy none|p1|p1p2|p1p5|full|fullelide]\n  \
          dflc verify <bin.dflo> [--policy ...]\n  \
          dflc disasm <bin.dflo>\n  \
          dflc run <bin.dflo> [--input <hex>] [--policy ...] [--fuel N]\n  \
@@ -37,6 +37,7 @@ fn parse_policy(name: &str) -> Option<PolicySet> {
         "p1p2" => PolicySet::p1_p2(),
         "p1p5" => PolicySet::p1_p5(),
         "full" => PolicySet::full(),
+        "fullelide" => PolicySet::full().with_elision(),
         _ => return None,
     })
 }
@@ -90,10 +91,7 @@ fn unhex(s: &str) -> Option<Vec<u8>> {
     if !s.len().is_multiple_of(2) {
         return None;
     }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
-        .collect()
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok()).collect()
 }
 
 fn load_object(path: &str) -> Result<ObjectFile, String> {
@@ -117,7 +115,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match produce(&source, &opts.policy) {
+            // Elision needs the target layout: the producer proves guard
+            // redundancy against the same windows the verifier will use.
+            let built = if opts.policy.elide_guards {
+                deflection::core::producer::produce_for_layout(
+                    &source,
+                    &opts.policy,
+                    &EnclaveLayout::new(MemConfig::small()),
+                )
+            } else {
+                produce(&source, &opts.policy)
+            };
+            match built {
                 Ok(obj) => {
                     let bytes = obj.serialize();
                     if let Err(e) = std::fs::write(out_path, &bytes) {
@@ -178,10 +187,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let entry = obj
-                .symbol(&obj.entry_symbol)
-                .map(|s| s.offset as usize)
-                .unwrap_or(0);
+            let entry = obj.symbol(&obj.entry_symbol).map(|s| s.offset as usize).unwrap_or(0);
             let ibt: Vec<usize> = obj
                 .indirect_branch_table
                 .iter()

@@ -7,9 +7,9 @@
 //! correctness on program *shapes* nobody thought to write by hand.
 
 use deflection::core::policy::PolicySet;
-use deflection::workloads::runner::Prepared;
 use deflection::sgx::layout::MemConfig;
 use deflection::sgx::vm::RunExit;
+use deflection::workloads::runner::Prepared;
 use proptest::prelude::*;
 
 /// A tiny expression grammar over: the loop counter `i`, the accumulator
@@ -36,14 +36,18 @@ impl Expr {
             Expr::Acc => "acc".into(),
             Expr::Counter => "i".into(),
             // `main` has no parameters; map them onto its locals there.
-            Expr::Param(k) if in_main => if k % 2 == 0 { "acc".into() } else { "i".into() },
+            Expr::Param(k) if in_main => {
+                if k % 2 == 0 {
+                    "acc".into()
+                } else {
+                    "i".into()
+                }
+            }
             Expr::Param(k) => format!("p{}", k % 2),
             Expr::Global(idx) => format!("g[({}) & 15]", idx.render_in(callee_count, in_main)),
             Expr::Bin(op, a, b) => {
-                let (a, b) = (
-                    a.render_in(callee_count, in_main),
-                    b.render_in(callee_count, in_main),
-                );
+                let (a, b) =
+                    (a.render_in(callee_count, in_main), b.render_in(callee_count, in_main));
                 match *op {
                     // Keep division safe: force a nonzero positive divisor.
                     "/" | "%" => format!("({a} {op} ((({b}) & 7) + 1))"),
@@ -56,11 +60,7 @@ impl Expr {
                 if callee_count == 0 {
                     format!("({})", arg.render_in(callee_count, in_main))
                 } else {
-                    format!(
-                        "h{}({}, i)",
-                        f % callee_count,
-                        arg.render_in(callee_count, in_main)
-                    )
+                    format!("h{}({}, i)", f % callee_count, arg.render_in(callee_count, in_main))
                 }
             }
         }
@@ -151,10 +151,7 @@ fn render(p: &Program) -> String {
     for s in &p.body {
         match s {
             Stmt::AccAssign(e) => {
-                src.push_str(&format!(
-                    "        acc = {};\n",
-                    e.render_in(p.helpers.len(), true)
-                ));
+                src.push_str(&format!("        acc = {};\n", e.render_in(p.helpers.len(), true)));
             }
             Stmt::GlobalStore(i, v) => src.push_str(&format!(
                 "        g[({}) & 15] = {};\n",

@@ -1,0 +1,161 @@
+//! End-to-end behaviour of P1/P2 guard elision (`PolicySet::elide_guards`):
+//! the producer may drop guards the abstract interpretation proves
+//! redundant, the verifier re-derives each proof in-enclave, and the elided
+//! binary must behave identically while executing strictly fewer
+//! instructions.
+
+use deflection::core::annotations::TemplateKind;
+use deflection::core::consumer::{install, InstallError};
+use deflection::core::policy::{Manifest, PolicySet};
+use deflection::core::producer::{produce, produce_for_layout};
+use deflection::core::runtime::BootstrapEnclave;
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::sgx::mem::Memory;
+use deflection::sgx::vm::RunExit;
+
+/// Mixes trivially-provable stores (constant global indices), loop-bounded
+/// array stores, and enough arithmetic that the program has a non-trivial
+/// frame.
+const SRC: &str = "
+var flags: [int; 4];
+var acc: [int; 16];
+fn mix(x: int) -> int { return x * 31 + 7; }
+fn main() -> int {
+    flags[0] = 1;
+    flags[1] = 2;
+    flags[2] = 3;
+    var i: int = 0;
+    while (i < 16) {
+        acc[i] = mix(i);
+        i = i + 1;
+    }
+    var s: int = 0;
+    i = 0;
+    while (i < 16) {
+        s = s + acc[i];
+        i = i + 1;
+    }
+    flags[3] = s;
+    log(s);
+    output_byte(0, s & 0xFF);
+    send(1);
+    return s;
+}
+";
+
+fn elide_manifest() -> Manifest {
+    let mut m = Manifest::ccaas();
+    m.policy = PolicySet::full().with_elision();
+    m
+}
+
+fn store_guards(binary: &[u8], manifest: &Manifest) -> usize {
+    let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+    let installed = install(binary, manifest, &mut mem).expect("binary verifies");
+    installed.verified.instances.iter().filter(|i| i.kind == TemplateKind::StoreGuard).count()
+}
+
+fn run_collect(binary: &[u8], manifest: Manifest) -> (u64, Vec<i64>, RunExit) {
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.set_owner_session([7u8; 32]);
+    enclave.install_plain(binary).expect("binary verifies");
+    let report = enclave.run(50_000_000).expect("installed");
+    (report.stats.instructions, enclave.log_values().to_vec(), report.exit)
+}
+
+#[test]
+fn elision_drops_guards_and_preserves_behaviour() {
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let full_policy = PolicySet::full();
+    let elide_policy = PolicySet::full().with_elision();
+
+    let full = produce(SRC, &full_policy).expect("compiles").serialize();
+    let elided = produce_for_layout(SRC, &elide_policy, &layout).expect("compiles").serialize();
+
+    // The elided binary really carries fewer P1 guards...
+    let full_guards = store_guards(&full, &Manifest::ccaas());
+    let elided_guards = store_guards(&elided, &elide_manifest());
+    assert!(
+        elided_guards < full_guards,
+        "elision must drop at least one store guard ({elided_guards} vs {full_guards})"
+    );
+
+    // ...and the binary is smaller.
+    assert!(elided.len() < full.len());
+
+    // Behaviour is identical, with strictly fewer executed instructions.
+    let (full_insts, full_log, full_exit) = run_collect(&full, Manifest::ccaas());
+    let (elided_insts, elided_log, elided_exit) = run_collect(&elided, elide_manifest());
+    assert!(matches!(full_exit, RunExit::Halted { .. }), "{full_exit:?}");
+    assert!(matches!(elided_exit, RunExit::Halted { .. }), "{elided_exit:?}");
+    assert_eq!(full_log, elided_log);
+    assert!(
+        elided_insts < full_insts,
+        "elision must execute fewer instructions ({elided_insts} vs {full_insts})"
+    );
+}
+
+#[test]
+fn strict_verifier_rejects_the_elided_binary() {
+    // The guards are really gone: without `elide_guards` the same binary
+    // must fail verification.
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let elided = produce_for_layout(SRC, &PolicySet::full().with_elision(), &layout)
+        .expect("compiles")
+        .serialize();
+    let mut mem = Memory::new(layout);
+    let err = install(&elided, &Manifest::ccaas(), &mut mem)
+        .expect_err("strict policy must reject the elided binary");
+    assert!(matches!(err, InstallError::Verify(_)), "{err:?}");
+}
+
+#[test]
+fn elide_policy_accepts_fully_instrumented_binaries() {
+    // Elision is an *allowance*, not a requirement: unelided output of an
+    // old producer still verifies under an eliding consumer.
+    let full = produce(SRC, &PolicySet::full()).expect("compiles").serialize();
+    let (insts, log, exit) = run_collect(&full, elide_manifest());
+    assert!(matches!(exit, RunExit::Halted { .. }), "{exit:?}");
+    assert!(insts > 0);
+    assert!(!log.is_empty());
+}
+
+#[test]
+fn every_nbench_kernel_verifies_and_runs_elided() {
+    // ISSUE acceptance: with elide_guards on, every nBench kernel verifies
+    // and still computes its reference answer, with strictly fewer executed
+    // annotation instructions than the fully guarded build.
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let elide_policy = PolicySet::full().with_elision();
+    for kernel in deflection::workloads::nbench::all() {
+        let source = (kernel.source)();
+        let input = (kernel.input)(1);
+
+        let full = produce(&source, &PolicySet::full()).expect("compiles").serialize();
+        let elided =
+            produce_for_layout(&source, &elide_policy, &layout).expect("compiles").serialize();
+
+        let (full_insts, full_log, full_exit) = run_with_input(&full, Manifest::ccaas(), &input);
+        let (elided_insts, elided_log, elided_exit) =
+            run_with_input(&elided, elide_manifest(), &input);
+        assert!(matches!(full_exit, RunExit::Halted { .. }), "{}: {full_exit:?}", kernel.name);
+        assert!(matches!(elided_exit, RunExit::Halted { .. }), "{}: {elided_exit:?}", kernel.name);
+        assert_eq!(full_log, elided_log, "{}: behaviour must not change", kernel.name);
+        assert!(
+            elided_insts < full_insts,
+            "{}: elided {elided_insts} vs full {full_insts}",
+            kernel.name
+        );
+    }
+}
+
+fn run_with_input(binary: &[u8], manifest: Manifest, input: &[u8]) -> (u64, Vec<i64>, RunExit) {
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.set_owner_session([7u8; 32]);
+    enclave.install_plain(binary).expect("binary verifies");
+    if !input.is_empty() {
+        enclave.provide_input(input).expect("installed");
+    }
+    let report = enclave.run(u64::MAX / 2).expect("installed");
+    (report.stats.instructions, enclave.log_values().to_vec(), report.exit)
+}

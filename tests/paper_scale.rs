@@ -17,19 +17,14 @@ fn paper_sized_enclave_hosts_nbench() {
     manifest.policy = PolicySet::full();
 
     let kernel = &nbench::all()[0]; // NUMERIC SORT
-    let binary = produce(&(kernel.source)(), &manifest.policy)
-        .expect("compiles")
-        .serialize();
+    let binary = produce(&(kernel.source)(), &manifest.policy).expect("compiles").serialize();
     let mut enclave = BootstrapEnclave::new(layout, manifest);
     enclave.set_owner_session([2u8; 32]);
     enclave.install_plain(&binary).expect("verifies in the paper-size enclave");
     let input = (kernel.input)(2);
     enclave.provide_input(&input).expect("input");
     let report = enclave.run(1_000_000_000).expect("runs");
-    assert_eq!(
-        report.exit,
-        RunExit::Halted { exit: (kernel.reference)(&input) }
-    );
+    assert_eq!(report.exit, RunExit::Halted { exit: (kernel.reference)(&input) });
     assert_eq!(report.untrusted_writes, 0);
 }
 
@@ -39,17 +34,12 @@ fn paper_sized_enclave_hosts_large_alignment() {
     // fits comfortably in the 64 MB data window.
     let mut manifest = Manifest::ccaas();
     manifest.policy = PolicySet::p1();
-    let binary = produce(&genome::nw_source(), &manifest.policy)
-        .expect("compiles")
-        .serialize();
+    let binary = produce(&genome::nw_source(), &manifest.policy).expect("compiles").serialize();
     let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::paper()), manifest);
     enclave.set_owner_session([2u8; 32]);
     enclave.install_plain(&binary).expect("verifies");
     let input = genome::nw_input(1000);
     enclave.provide_input(&input).expect("input");
     let report = enclave.run(10_000_000_000).expect("runs");
-    assert_eq!(
-        report.exit,
-        RunExit::Halted { exit: genome::nw_reference(&input) }
-    );
+    assert_eq!(report.exit, RunExit::Halted { exit: genome::nw_reference(&input) });
 }

@@ -25,10 +25,8 @@ fn corpus_contained_under_full_policy() {
                 );
             }
             Expected::RuntimeAbort(code) => {
-                let mut enclave = BootstrapEnclave::new(
-                    EnclaveLayout::new(MemConfig::small()),
-                    manifest.clone(),
-                );
+                let mut enclave =
+                    BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest.clone());
                 enclave.install_plain(&binary).expect("verifies");
                 let report = enclave.run(1_000_000).expect("runs");
                 assert_eq!(report.exit, RunExit::PolicyAbort { code }, "{}", attack.name);
@@ -48,8 +46,7 @@ fn unprotected_baseline_actually_leaks() {
 
     let mut manifest = Manifest::ccaas();
     manifest.policy = PolicySet::none();
-    let mut enclave =
-        BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
     enclave.install_plain(&binary).expect("no policy, loads fine");
     let report = enclave.run(1_000).expect("runs");
     assert!(matches!(report.exit, RunExit::Halted { .. }));
@@ -114,10 +111,7 @@ fn denied_ocall_is_blocked_by_manifest() {
     let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
     enclave.install_plain(&binary).expect("verifies");
     let report = enclave.run(1_000_000).expect("runs");
-    assert!(matches!(
-        report.exit,
-        RunExit::Fault(deflection::sgx::Fault::OcallDenied { code: 2 })
-    ));
+    assert!(matches!(report.exit, RunExit::Fault(deflection::sgx::Fault::OcallDenied { code: 2 })));
 }
 
 #[test]

@@ -7,11 +7,15 @@
 //! This is the load-bearing property of the whole DEFLECTION design: the
 //! verifier, not the producer, is in the TCB.
 
+use deflection::core::annotations::TemplateKind;
+use deflection::core::consumer::{install, InstallError, VerifyError};
 use deflection::core::policy::{Manifest, PolicySet};
-use deflection::core::producer::produce;
+use deflection::core::producer::{produce, produce_stripped};
 use deflection::core::runtime::BootstrapEnclave;
 use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::sgx::mem::Memory;
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 const VICTIM: &str = "
 var data: [int; 32];
@@ -31,9 +35,7 @@ fn main() -> int {
 ";
 
 fn instrumented_binary() -> Vec<u8> {
-    produce(VICTIM, &PolicySet::full())
-        .expect("compiles")
-        .serialize()
+    produce(VICTIM, &PolicySet::full()).expect("compiles").serialize()
 }
 
 proptest! {
@@ -83,6 +85,73 @@ proptest! {
         );
         // Truncation must always be rejected cleanly.
         prop_assert!(enclave.install_plain(&binary[..cut]).is_err());
+    }
+}
+
+/// Counts the P1/P2 guard instances the verifier finds in the honest
+/// fully instrumented VICTIM binary.
+fn guard_instance_counts() -> (usize, usize) {
+    let manifest = Manifest::ccaas();
+    let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+    let installed =
+        install(&instrumented_binary(), &manifest, &mut mem).expect("honest binary verifies");
+    let stores =
+        installed.verified.instances.iter().filter(|i| i.kind == TemplateKind::StoreGuard).count();
+    let rsps =
+        installed.verified.instances.iter().filter(|i| i.kind == TemplateKind::RspGuard).count();
+    (stores, rsps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structured mutation: remove exactly one randomly chosen store
+    /// guard. The strict verifier must pinpoint it as an unguarded store —
+    /// never accept, never misclassify, never panic.
+    #[test]
+    fn any_stripped_store_guard_is_detected(seed in any::<usize>()) {
+        let (stores, _) = guard_instance_counts();
+        assert!(stores > 0, "VICTIM must have store-guard sites");
+        let ordinal = seed % stores;
+        let stripped = produce_stripped(
+            VICTIM,
+            &PolicySet::full(),
+            &HashSet::from([ordinal]),
+            &HashSet::new(),
+        )
+        .expect("compiles");
+        let manifest = Manifest::ccaas();
+        let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+        let err = install(&stripped.serialize(), &manifest, &mut mem)
+            .expect_err("stripped store guard must be rejected");
+        prop_assert!(
+            matches!(err, InstallError::Verify(VerifyError::UnguardedStore { .. })),
+            "ordinal {ordinal}: {err:?}"
+        );
+    }
+
+    /// Same property for P2: removing any single rsp guard must surface as
+    /// an unguarded rsp write under the strict policy.
+    #[test]
+    fn any_stripped_rsp_guard_is_detected(seed in any::<usize>()) {
+        let (_, rsps) = guard_instance_counts();
+        assert!(rsps > 0, "VICTIM must have rsp-guard sites");
+        let ordinal = seed % rsps;
+        let stripped = produce_stripped(
+            VICTIM,
+            &PolicySet::full(),
+            &HashSet::new(),
+            &HashSet::from([ordinal]),
+        )
+        .expect("compiles");
+        let manifest = Manifest::ccaas();
+        let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+        let err = install(&stripped.serialize(), &manifest, &mut mem)
+            .expect_err("stripped rsp guard must be rejected");
+        prop_assert!(
+            matches!(err, InstallError::Verify(VerifyError::UnguardedRspWrite { .. })),
+            "ordinal {ordinal}: {err:?}"
+        );
     }
 }
 

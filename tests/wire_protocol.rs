@@ -4,9 +4,7 @@
 //! would carry.
 
 use deflection::attest::protocol::{Message, PayloadKind};
-use deflection::attest::{
-    AttestationService, EnclaveHandshake, HandshakeParty, Role,
-};
+use deflection::attest::{AttestationService, EnclaveHandshake, HandshakeParty, Role};
 use deflection::core::policy::Manifest;
 use deflection::core::producer::produce;
 use deflection::core::runtime::{delivery_nonce, open_record, BootstrapEnclave};
@@ -85,9 +83,8 @@ fn full_session_over_serialized_messages() {
     );
 
     // --- Sealed code delivery. ----------------------------------------------
-    let binary = produce(SERVICE, &enclave.manifest().policy.clone())
-        .expect("compiles")
-        .serialize();
+    let binary =
+        produce(SERVICE, &enclave.manifest().policy.clone()).expect("compiles").serialize();
     let sealed = ChaCha20Poly1305::new(&provider_key).seal(
         &delivery_nonce(b"BIN\0", 0),
         b"deflection-binary",
@@ -98,9 +95,7 @@ fn full_session_over_serialized_messages() {
         counter: 0,
         ciphertext: sealed,
     });
-    let Message::SealedPayload { kind: PayloadKind::Code, ciphertext, .. } = msg else {
-        panic!()
-    };
+    let Message::SealedPayload { kind: PayloadKind::Code, ciphertext, .. } = msg else { panic!() };
     let code_hash = enclave.ecall_receive_binary(&ciphertext).expect("verifies");
 
     // Enclave reports the code hash to the owner, who checks it against the
@@ -130,10 +125,8 @@ fn full_session_over_serialized_messages() {
 
     // --- Sealed results stream back to the owner. ---------------------------
     for (i, record) in run.records.iter().enumerate() {
-        let msg = send_recv(&Message::SealedRecord {
-            counter: i as u64,
-            ciphertext: record.clone(),
-        });
+        let msg =
+            send_recv(&Message::SealedRecord { counter: i as u64, ciphertext: record.clone() });
         let Message::SealedRecord { counter, ciphertext } = msg else { panic!() };
         let plain = open_record(&owner_key, counter, &ciphertext).expect("owner opens");
         let expected: Vec<u8> = secret.iter().map(|b| 255 - b).collect();
