@@ -38,8 +38,11 @@ use crate::cfg::{Cfg, Edge, EdgeKind};
 use crate::interval::Interval;
 use deflection_isa::{AluOp, CondCode, Disassembly, Inst, MemOperand, Reg};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 const RSP: usize = Reg::RSP as usize;
+const RBP: usize = Reg::RBP as usize;
 /// Joins at a loop head before the widening operator engages.
 const WIDEN_AFTER: u32 = 3;
 /// Joins at *any* block before forced widening (safety net for
@@ -386,44 +389,79 @@ pub struct Analysis {
 
 impl Analysis {
     /// Runs the fixpoint over a disassembly.
+    ///
+    /// Equivalent to [`Analysis::run_threaded`] with one thread; this is
+    /// the TCB-counted default the verifier uses.
     #[must_use]
     pub fn run(d: &Disassembly, config: AnalysisConfig) -> Analysis {
+        Self::run_threaded(d, config, 1)
+    }
+
+    /// Runs the analysis with the per-function fixpoints sharded across up
+    /// to `threads` worker threads.
+    ///
+    /// The analysis is *function-modular*: a cheap serial pre-pass
+    /// propagates only the projected `rsp`/`rbp` state across call and
+    /// indirect edges, then each function's interval fixpoint runs
+    /// independently, seeded from the pre-pass at every cut edge. The
+    /// per-function problems share no mutable state, so the result is
+    /// identical — block for block — for every thread count; `threads`
+    /// only changes how the independent fixpoints are scheduled.
+    #[must_use]
+    pub fn run_threaded(d: &Disassembly, config: AnalysisConfig, threads: usize) -> Analysis {
         let cfg = Cfg::build(d);
         let idom = cfg.dominators();
         let n = cfg.blocks.len();
-        let mut in_states: Vec<Option<AbsState>> = vec![None; n];
-        let mut visits: Vec<u32> = vec![0; n];
-        in_states[cfg.entry] = Some(AbsState::entry());
 
-        let mut work: Vec<usize> = vec![cfg.entry];
-        let mut queued = vec![false; n];
-        queued[cfg.entry] = true;
-        while let Some(b) = work.pop() {
-            queued[b] = false;
-            let Some(state) = in_states[b].clone() else { continue };
-            let (out, flags) = exec_block(&cfg, b, state, &config);
-            for edge in cfg.blocks[b].edges.clone() {
-                let Some(next) = apply_edge(&cfg, b, &out, &flags, &edge, &config) else {
-                    continue; // refinement proved the edge infeasible
-                };
-                let to = edge.to;
-                let merged = match &in_states[to] {
-                    None => next,
-                    Some(old) => {
-                        let back = Cfg::dominates(&idom, to, b);
-                        let widen =
-                            (back && visits[to] >= WIDEN_AFTER) || visits[to] >= FORCE_WIDEN_AFTER;
-                        old.merge(&next, widen)
-                    }
-                };
-                if in_states[to].as_ref() != Some(&merged) {
-                    in_states[to] = Some(merged);
-                    visits[to] += 1;
-                    if !queued[to] {
-                        queued[to] = true;
-                        work.push(to);
-                    }
+        // Group blocks by function: the closest function entry at or below
+        // the block start (blocks below the first entry join group 0).
+        let entries = d.function_entries();
+        let group_of: Vec<usize> = cfg
+            .blocks
+            .iter()
+            .map(|b| entries.partition_point(|&e| e <= b.start).saturating_sub(1))
+            .collect();
+        let n_groups = entries.len().max(1);
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        for (b, &g) in group_of.iter().enumerate() {
+            members[g].push(b);
+        }
+
+        // Serial pre-pass: whole-program fixpoint over states projected to
+        // rsp/rbp at block boundaries — cheap, and exactly what a callee
+        // inherits across a call edge that the verifier can rely on (the
+        // paper's P2 window argument needs the stack depth, nothing else).
+        let prepass = projected_fixpoint(&cfg, &idom, &config);
+
+        // Seed set: the entry block plus every target of a cut edge. Each
+        // seed is the pre-pass in-state, which over-approximates the
+        // projection of every cross-group flow into that block.
+        let mut seeded = vec![false; n];
+        seeded[cfg.entry] = true;
+        for (a, blk) in cfg.blocks.iter().enumerate() {
+            for e in &blk.edges {
+                if is_cut_edge(e.kind, group_of[a], group_of[e.to]) {
+                    seeded[e.to] = true;
                 }
+            }
+        }
+
+        // Independent per-group fixpoints, scheduled across threads.
+        let ctx = GroupCtx {
+            cfg: &cfg,
+            idom: &idom,
+            config: &config,
+            group_of: &group_of,
+            seeded: &seeded,
+            prepass: &prepass,
+        };
+        let results = run_group_fixpoints(&ctx, &members, threads);
+
+        // Deterministic assembly: every block belongs to exactly one group.
+        let mut in_states: Vec<Option<AbsState>> = vec![None; n];
+        for group in results {
+            for (b, s) in group {
+                in_states[b] = Some(s);
             }
         }
         Analysis { cfg, config, in_states }
@@ -551,6 +589,182 @@ fn apply_edge(
         }
         EdgeKind::CallFall => Some(AbsState::havoc()),
     }
+}
+
+/// Projects a state down to the stack-shape facts (`rsp`/`rbp` values)
+/// that are allowed to flow across function boundaries. Origins and
+/// frame slots are dropped: a callee must not rely on the caller's
+/// frame contents (the original analysis already havocs them on
+/// return, so this loses nothing the queries could observe).
+fn project(s: &AbsState) -> AbsState {
+    let mut p = AbsState { regs: Default::default(), slots: BTreeMap::new() };
+    p.regs[RSP] = Tracked { val: s.regs[RSP].val, origin: None };
+    p.regs[RBP] = Tracked { val: s.regs[RBP].val, origin: None };
+    p
+}
+
+/// Whole-program fixpoint over *projected* states. Identical worklist,
+/// widening and edge transforms to the full analysis, but every edge
+/// output is projected before merging, so states stay tiny (two
+/// registers, no slots) and the pass is cheap even on large programs.
+/// Its in-state at block `b` over-approximates the projection of every
+/// full-analysis flow into `b`, which is what makes it a sound seed
+/// for the per-function fixpoints.
+fn projected_fixpoint(
+    cfg: &Cfg,
+    idom: &[Option<usize>],
+    config: &AnalysisConfig,
+) -> Vec<Option<AbsState>> {
+    let n = cfg.blocks.len();
+    let mut in_states: Vec<Option<AbsState>> = vec![None; n];
+    let mut visits: Vec<u32> = vec![0; n];
+    in_states[cfg.entry] = Some(AbsState::entry());
+
+    let mut work: Vec<usize> = vec![cfg.entry];
+    let mut queued = vec![false; n];
+    queued[cfg.entry] = true;
+    while let Some(b) = work.pop() {
+        queued[b] = false;
+        let Some(state) = in_states[b].clone() else { continue };
+        let (out, flags) = exec_block(cfg, b, state, config);
+        for edge in cfg.blocks[b].edges.clone() {
+            let Some(next) = apply_edge(cfg, b, &out, &flags, &edge, config) else {
+                continue;
+            };
+            let next = project(&next);
+            let to = edge.to;
+            let merged = match &in_states[to] {
+                None => next,
+                Some(old) => {
+                    let back = Cfg::dominates(idom, to, b);
+                    let widen =
+                        (back && visits[to] >= WIDEN_AFTER) || visits[to] >= FORCE_WIDEN_AFTER;
+                    old.merge(&next, widen)
+                }
+            };
+            if in_states[to].as_ref() != Some(&merged) {
+                in_states[to] = Some(merged);
+                visits[to] += 1;
+                if !queued[to] {
+                    queued[to] = true;
+                    work.push(to);
+                }
+            }
+        }
+    }
+    in_states
+}
+
+/// Whether an edge crosses a group boundary and must therefore be
+/// replaced by the pre-pass seed at its target. `CallTo`/`Indirect`
+/// edges are always cut (they are the inter-procedural edges even when
+/// both ends land in the same group, e.g. recursion); everything else
+/// is cut exactly when it leaves the group. `CallFall` stays internal:
+/// its transform (`AbsState::havoc`) ignores the input state entirely.
+fn is_cut_edge(kind: EdgeKind, from_group: usize, to_group: usize) -> bool {
+    matches!(kind, EdgeKind::CallTo | EdgeKind::Indirect) || from_group != to_group
+}
+
+/// Shared read-only inputs for the per-group fixpoints.
+struct GroupCtx<'a> {
+    cfg: &'a Cfg,
+    idom: &'a [Option<usize>],
+    config: &'a AnalysisConfig,
+    group_of: &'a [usize],
+    seeded: &'a [bool],
+    prepass: &'a [Option<AbsState>],
+}
+
+/// Runs the full-precision fixpoint restricted to one group's blocks.
+///
+/// Cut edges are skipped; their effect is folded into the fixed seeds,
+/// so the iteration never reads state produced by another group — the
+/// per-group problems are independent and the result cannot depend on
+/// scheduling. Termination is the standard widening argument: the
+/// seeds never change during the loop, and the global dominator tree
+/// still identifies this group's back edges (dominance restricted to a
+/// subgraph that contains the dominator paths is unchanged).
+fn group_fixpoint(ctx: &GroupCtx<'_>, members: &[usize]) -> Vec<(usize, AbsState)> {
+    let local = |b: usize| members.binary_search(&b).expect("edge target in group");
+    let m = members.len();
+    let mut in_states: Vec<Option<AbsState>> = vec![None; m];
+    let mut visits: Vec<u32> = vec![0; m];
+    let mut work: Vec<usize> = Vec::new();
+    let mut queued = vec![false; m];
+    // Seed in ascending block order so the LIFO pop order — and with it
+    // the widening history — is a pure function of the group's shape.
+    for (lb, &b) in members.iter().enumerate() {
+        if ctx.seeded[b] {
+            if let Some(seed) = &ctx.prepass[b] {
+                in_states[lb] = Some(seed.clone());
+                work.push(lb);
+                queued[lb] = true;
+            }
+        }
+    }
+    while let Some(lb) = work.pop() {
+        queued[lb] = false;
+        let b = members[lb];
+        let Some(state) = in_states[lb].clone() else { continue };
+        let (out, flags) = exec_block(ctx.cfg, b, state, ctx.config);
+        for edge in ctx.cfg.blocks[b].edges.clone() {
+            if is_cut_edge(edge.kind, ctx.group_of[b], ctx.group_of[edge.to]) {
+                continue;
+            }
+            let Some(next) = apply_edge(ctx.cfg, b, &out, &flags, &edge, ctx.config) else {
+                continue;
+            };
+            let lt = local(edge.to);
+            let merged = match &in_states[lt] {
+                None => next,
+                Some(old) => {
+                    let back = Cfg::dominates(ctx.idom, edge.to, b);
+                    let widen =
+                        (back && visits[lt] >= WIDEN_AFTER) || visits[lt] >= FORCE_WIDEN_AFTER;
+                    old.merge(&next, widen)
+                }
+            };
+            if in_states[lt].as_ref() != Some(&merged) {
+                in_states[lt] = Some(merged);
+                visits[lt] += 1;
+                if !queued[lt] {
+                    queued[lt] = true;
+                    work.push(lt);
+                }
+            }
+        }
+    }
+    members.iter().zip(in_states).filter_map(|(&b, s)| s.map(|s| (b, s))).collect()
+}
+
+/// Schedules the independent group fixpoints over `threads` workers.
+/// Work-claiming order (largest group first) affects only wall-clock;
+/// each group's result is computed in isolation, so the collected set
+/// is identical for every schedule.
+fn run_group_fixpoints(
+    ctx: &GroupCtx<'_>,
+    members: &[Vec<usize>],
+    threads: usize,
+) -> Vec<Vec<(usize, AbsState)>> {
+    let workers = threads.min(members.len());
+    if workers <= 1 {
+        return members.iter().map(|m| group_fixpoint(ctx, m)).collect();
+    }
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(members[g].len()));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Vec<(usize, AbsState)>>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&g) = order.get(i) else { break };
+                let r = group_fixpoint(ctx, &members[g]);
+                results.lock().expect("group results lock").push(r);
+            });
+        }
+    });
+    results.into_inner().expect("group results lock")
 }
 
 /// Applies the branch condition `cond` to the out-state.
@@ -1021,4 +1235,133 @@ fn snap_of(state: &AbsState, lhs: Reg, rhs: Option<Reg>, imm: Option<i64>) -> Cm
         (None, None) => (Vec::new(), AVal::Top),
     };
     CmpSnap { lhs_subs: subs(lhs), rhs_subs, lhs: lhs_t.val, rhs: rhs_val }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deflection_isa::{disassemble, encode, encoded_len, CondCode, MemOperand};
+
+    /// Test-local pseudo-instructions: direct calls by function index
+    /// and conditional branches by instruction index within a function.
+    enum I {
+        R(Inst),
+        Call(usize),
+        Jcc(CondCode, usize),
+    }
+
+    fn ilen(i: &I) -> usize {
+        match i {
+            I::R(inst) => encoded_len(inst),
+            I::Call(_) => encoded_len(&Inst::Call { rel: 0 }),
+            I::Jcc(cc, _) => encoded_len(&Inst::Jcc { cc: *cc, rel: 0 }),
+        }
+    }
+
+    fn assemble(funcs: &[Vec<I>]) -> Vec<u8> {
+        let mut offsets: Vec<Vec<usize>> = Vec::new();
+        let mut starts: Vec<usize> = Vec::new();
+        let mut cursor = 0usize;
+        for f in funcs {
+            starts.push(cursor);
+            let mut offs = Vec::new();
+            for i in f {
+                offs.push(cursor);
+                cursor += ilen(i);
+            }
+            offsets.push(offs);
+        }
+        let mut code = Vec::with_capacity(cursor);
+        for (fi, f) in funcs.iter().enumerate() {
+            for (ii, i) in f.iter().enumerate() {
+                let here = offsets[fi][ii];
+                let end = here + ilen(i);
+                match i {
+                    I::R(inst) => encode(inst, &mut code),
+                    I::Call(t) => {
+                        encode(
+                            &Inst::Call { rel: (starts[*t] as i64 - end as i64) as i32 },
+                            &mut code,
+                        );
+                    }
+                    I::Jcc(cc, t) => {
+                        let rel = (offsets[fi][*t] as i64 - end as i64) as i32;
+                        encode(&Inst::Jcc { cc: *cc, rel }, &mut code);
+                    }
+                }
+            }
+        }
+        code
+    }
+
+    fn mem(base: Option<Reg>, disp: i32) -> MemOperand {
+        MemOperand { base, index: None, disp }
+    }
+
+    /// A three-function program with a widening-exercising loop and two
+    /// stores provable in the `[0x1000, 0x2000)` window.
+    fn sample_program() -> Vec<u8> {
+        let start = vec![I::R(Inst::MovRI { dst: Reg::RCX, imm: 3 }), I::Call(1), I::R(Inst::Halt)];
+        let main = vec![
+            I::R(Inst::Push { reg: Reg::RBP }),
+            I::R(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP }),
+            I::R(Inst::MovRI { dst: Reg::RAX, imm: 0 }),
+            I::R(Inst::MovRI { dst: Reg::RBX, imm: 0x1000 }),
+            // loop head (instruction 4)
+            I::R(Inst::Store { mem: mem(Some(Reg::RBX), 0), src: Reg::RAX }),
+            I::R(Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: 1 }),
+            I::R(Inst::CmpRI { lhs: Reg::RAX, imm: 10 }),
+            I::Jcc(CondCode::L, 4),
+            I::Call(2),
+            I::R(Inst::Pop { reg: Reg::RBP }),
+            I::R(Inst::Ret),
+        ];
+        let helper = vec![
+            I::R(Inst::MovRI { dst: Reg::RDX, imm: 0x1100 }),
+            I::R(Inst::StoreImm { mem: mem(Some(Reg::RDX), 0), imm: 7 }),
+            I::R(Inst::Ret),
+        ];
+        assemble(&[start, main, helper])
+    }
+
+    fn config() -> AnalysisConfig {
+        AnalysisConfig { store_lo: 0x1000, store_hi: 0x2000, stack_hi: 0x8000, opaque_imms: vec![] }
+    }
+
+    #[test]
+    fn threaded_analysis_is_identical_to_serial() {
+        let code = sample_program();
+        let d = disassemble(&code, 0, &[]).unwrap();
+        let base = Analysis::run_threaded(&d, config(), 1);
+        for threads in [2, 4, 8] {
+            let a = Analysis::run_threaded(&d, config(), threads);
+            assert_eq!(base.in_states, a.in_states, "in-states diverged at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn modular_analysis_keeps_elision_relevant_precision() {
+        let code = sample_program();
+        let d = disassemble(&code, 0, &[]).unwrap();
+        let a = Analysis::run(&d, config());
+        // Both stores sit at constant addresses inside the window; the
+        // guard-elision pass depends on exactly this class of proof
+        // surviving the function-modular split.
+        let stores: Vec<usize> = d
+            .insts()
+            .iter()
+            .filter(|(_, i, _)| matches!(i, Inst::Store { .. } | Inst::StoreImm { .. }))
+            .map(|&(off, _, _)| off)
+            .collect();
+        assert_eq!(stores.len(), 2);
+        for off in stores {
+            assert!(a.store_safe(off), "store at {off:#x} must prove in-window");
+        }
+        // The callee still sees an exact stack depth through the cut
+        // call edge (the P2 main-frame fact): rsp at main's entry is
+        // exactly `stack_hi - 8` (one pushed return address).
+        let main_entry = d.function_entries()[1];
+        let rsp = a.value_before(main_entry, Reg::RSP).expect("main reachable");
+        assert_eq!(a.concrete_range(rsp), Some((0x8000 - 8, 0x8000 - 8)));
+    }
 }

@@ -89,7 +89,7 @@ impl Cfg {
         let mut leaders: BTreeSet<usize> = BTreeSet::new();
         leaders.insert(d.entry);
         leaders.extend(d.indirect_targets.iter().copied());
-        for (&off, &(inst, len)) in &d.instrs {
+        for &(off, inst, len) in d.insts() {
             let next = off + len;
             match inst {
                 Inst::Jmp { rel } => {
@@ -119,7 +119,7 @@ impl Cfg {
         let mut starts: BTreeMap<usize, usize> = BTreeMap::new();
         let mut current: Option<Block> = None;
         let mut prev_end = None;
-        for (&off, &(inst, len)) in &d.instrs {
+        for &(off, inst, len) in d.insts() {
             // A gap in decoded offsets (between functions the descent
             // reached via different roots) also breaks a block.
             let contiguous = prev_end == Some(off);

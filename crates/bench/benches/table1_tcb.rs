@@ -30,9 +30,13 @@ const TCB_SOURCES: &[(&str, &str)] = &[
     ("analysis (api)", include_str!("../../analysis/src/lib.rs")),
 ];
 
+/// Counts non-blank, non-comment lines that are actually compiled into the
+/// enclave: each file keeps its `#[cfg(test)]` module last, so everything
+/// from that marker on is test harness and never part of the TCB.
 fn code_lines(src: &str) -> usize {
     src.lines()
         .map(str::trim)
+        .take_while(|l| *l != "#[cfg(test)]")
         .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))
         .count()
 }

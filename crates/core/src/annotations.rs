@@ -698,7 +698,7 @@ mod tests {
         };
         let obj = assemble(&p).unwrap();
         let d = disassemble(&obj.text, 0, ibt).unwrap();
-        d.instrs.iter().map(|(&o, &(i, l))| (o, i, l)).collect()
+        d.insts().to_vec()
     }
 
     #[test]
@@ -818,7 +818,7 @@ mod tests {
         // Flip one byte of the PH_STACK_LO immediate (starts at offset 2).
         obj.text[4] ^= 1;
         let d = disassemble(&obj.text, 0, &[]).unwrap();
-        let insts: Vec<_> = d.instrs.iter().map(|(&o, &(i, l))| (o, i, l)).collect();
+        let insts: Vec<_> = d.insts().to_vec();
         let code = Code { insts: &insts };
         assert!(match_rsp_guard(&code, 0).is_none());
     }

@@ -350,8 +350,8 @@ mod tests {
             &loaded.ibt_offsets,
         )
         .unwrap();
-        let found = d.instrs.values().any(
-            |(inst, _)| matches!(inst, deflection_isa::Inst::MovRI { imm, .. } if *imm == g_va),
+        let found = d.insts().iter().any(
+            |(_, inst, _)| matches!(inst, deflection_isa::Inst::MovRI { imm, .. } if *imm == g_va),
         );
         assert!(found, "relocated global address must appear in code");
     }

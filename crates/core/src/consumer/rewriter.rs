@@ -175,7 +175,7 @@ mod tests {
         let code2 = mem.peek_bytes(layout.code.start, loaded.code_len).unwrap().to_vec();
         let d = deflection_isa::disassemble(&code2, entry, &loaded.ibt_offsets).unwrap();
         let mut saw_lo = false;
-        for (inst, _) in d.instrs.values() {
+        for (_, inst, _) in d.insts() {
             if let deflection_isa::Inst::MovRI { imm, .. } = inst {
                 assert_ne!(*imm, PH_STORE_LO, "placeholder must be rewritten");
                 assert_ne!(*imm, PH_STORE_HI);

@@ -7,17 +7,34 @@
 //! list, followed by a structural check that every security-relevant
 //! instruction carries its annotation and that no control flow can skip an
 //! annotation. Any failure rejects the binary — the verifier never repairs.
+//!
+//! # Threading model
+//!
+//! [`verify_threaded`] shards the expensive per-function work — the
+//! structural checks here and the abstract interpretation in
+//! [`deflection_analysis`] — across worker threads at function-entry
+//! granularity. Frontier discovery and greedy template discovery stay
+//! serial (cheap, order-sensitive); each worker then scans one function
+//! over the *same immutable* disassembly, roles and instance tables, and
+//! records the first error per check phase. A deterministic merge reports,
+//! for the earliest failing phase, the error with the lowest instruction
+//! index — exactly what the serial ascending scan returns — so the verdict
+//! is bit-identical for every thread count. All of this runs over the
+//! enclave's private pre-mapped copy of the binary, so parallelism adds no
+//! TOCTOU surface; see `DESIGN.md` for the full argument.
 
 use crate::annotations::{
     elision_analysis_config, is_exempt_frame_store, match_any, Code, Instance, TemplateKind,
 };
 use crate::policy::PolicySet;
 use deflection_analysis::Analysis;
-use deflection_isa::{disassemble, DisasmError, Disassembly, Inst};
+use deflection_isa::{disassemble_threaded, DisasmError, Disassembly, Inst, Reg};
 use deflection_sgx_sim::layout::EnclaveLayout;
 use std::collections::HashMap;
 use std::error::Error as StdError;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Why a binary was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,7 +185,28 @@ pub fn verify(
     indirect_targets: &[usize],
     policy: &PolicySet,
 ) -> Result<Verified, VerifyError> {
-    verify_impl(code, entry, indirect_targets, policy, None)
+    verify_impl(code, entry, indirect_targets, policy, None, 1)
+}
+
+/// Verifies like [`verify`] with the per-function work sharded across up
+/// to `threads` worker threads.
+///
+/// The verdict — acceptance or the exact [`VerifyError`] — is identical
+/// to the single-threaded [`verify`] for every thread count; see the
+/// module docs on the threading model. `threads <= 1` runs the plain
+/// serial pipeline with no thread machinery at all.
+///
+/// # Errors
+///
+/// Same contract as [`verify`].
+pub fn verify_threaded(
+    code: &[u8],
+    entry: usize,
+    indirect_targets: &[usize],
+    policy: &PolicySet,
+    threads: usize,
+) -> Result<Verified, VerifyError> {
+    verify_impl(code, entry, indirect_targets, policy, None, threads)
 }
 
 /// Verifies like [`verify`], additionally accepting guard-elided binaries
@@ -194,7 +232,25 @@ pub fn verify_with_layout(
     policy: &PolicySet,
     layout: &EnclaveLayout,
 ) -> Result<Verified, VerifyError> {
-    verify_impl(code, entry, indirect_targets, policy, Some(layout))
+    verify_impl(code, entry, indirect_targets, policy, Some(layout), 1)
+}
+
+/// Verifies like [`verify_with_layout`] with the per-function work
+/// sharded across up to `threads` worker threads; the verdict is
+/// identical to the single-threaded run for every thread count.
+///
+/// # Errors
+///
+/// Same contract as [`verify`].
+pub fn verify_with_layout_threaded(
+    code: &[u8],
+    entry: usize,
+    indirect_targets: &[usize],
+    policy: &PolicySet,
+    layout: &EnclaveLayout,
+    threads: usize,
+) -> Result<Verified, VerifyError> {
+    verify_impl(code, entry, indirect_targets, policy, Some(layout), threads)
 }
 
 /// Back-to-back P2 elision: an explicit `rsp` write needs no guard of its
@@ -215,21 +271,204 @@ fn rsp_chain_ok(insts: &[(usize, Inst, usize)], roles: &[Role], idx: usize) -> b
     }
 }
 
+/// Read-only inputs shared by every per-function check worker.
+struct CheckCtx<'a> {
+    insts: &'a [(usize, Inst, usize)],
+    roles: &'a [Role],
+    instances: &'a [Instance],
+    starts_at: &'a HashMap<usize, TemplateKind>,
+    d: &'a Disassembly,
+    policy: &'a PolicySet,
+    elide: Option<&'a EnclaveLayout>,
+    analysis: &'a OnceLock<Analysis>,
+    threads: usize,
+}
+
+impl CheckCtx<'_> {
+    fn instance_of(&self, idx: usize) -> Option<usize> {
+        match self.roles[idx] {
+            Role::Interior(id) | Role::Subject(id) => Some(id),
+            Role::Program => None,
+        }
+    }
+
+    /// The shared elision analysis, built on first demand. `OnceLock`
+    /// runs the initializer exactly once even under contention, and the
+    /// analysis value itself is thread-count independent, so every
+    /// worker observes the same proofs.
+    fn analysis(&self, l: &EnclaveLayout) -> &Analysis {
+        self.analysis.get_or_init(|| {
+            Analysis::run_threaded(self.d, elision_analysis_config(l), self.threads)
+        })
+    }
+}
+
+/// First error found per check phase within one function's instruction
+/// range, keyed by instruction index for the deterministic merge.
+#[derive(Default)]
+struct RangeErrors {
+    /// Phase: branches may not skip into annotations.
+    branch: Option<(usize, VerifyError)>,
+    /// Phase: rbp write discipline.
+    rbp: Option<(usize, VerifyError)>,
+    /// Phase: per-policy structural rules.
+    policy: Option<(usize, VerifyError)>,
+}
+
+/// Scans instructions `[lo, hi)` — one function — recording the first
+/// error of each instruction-independent phase. Scanning ascending means
+/// the recorded error per phase is the range's lowest-index one; every
+/// check reads only immutable shared state, so ranges are independent.
+fn check_range(ctx: &CheckCtx<'_>, lo: usize, hi: usize) -> RangeErrors {
+    let mut out = RangeErrors::default();
+    for idx in lo..hi {
+        let (offset, inst, len) = ctx.insts[idx];
+        if out.branch.is_none() {
+            if let Some(rel) = inst.direct_rel() {
+                let target = ((offset + len) as i64 + i64::from(rel)) as usize;
+                let target_idx =
+                    ctx.d.index_of(target).expect("disassembly followed every direct branch");
+                if let Some(tid) = ctx.instance_of(target_idx) {
+                    let lands_on_start = target_idx == ctx.instances[tid].start_idx;
+                    let same_instance = ctx.instance_of(idx) == Some(tid);
+                    if !lands_on_start && !same_instance {
+                        out.branch = Some((
+                            idx,
+                            VerifyError::BranchIntoAnnotation { source: offset, target },
+                        ));
+                    }
+                }
+            }
+        }
+        if out.rbp.is_none() && ctx.policy.store_bounds {
+            let writes_rbp = inst.written_reg() == Some(Reg::RBP);
+            let frame_idiom = matches!(
+                inst,
+                Inst::MovRR { dst: Reg::RBP, src: Reg::RSP } | Inst::Pop { reg: Reg::RBP }
+            );
+            if writes_rbp && !frame_idiom {
+                out.rbp = Some((idx, VerifyError::IllegalRbpWrite { offset }));
+            }
+        }
+        if out.policy.is_none() {
+            if let Some(err) = policy_check_inst(ctx, idx, offset, &inst) {
+                out.policy = Some((idx, err));
+            }
+        }
+        // Each phase records at most one error; stop early once no phase
+        // can improve.
+        let rbp_done = out.rbp.is_some() || !ctx.policy.store_bounds;
+        if out.branch.is_some() && out.policy.is_some() && rbp_done {
+            break;
+        }
+    }
+    out
+}
+
+/// The per-policy structural rules for one instruction, in the fixed
+/// intra-instruction order (store, rsp, indirect branch, ret) the serial
+/// verifier has always used.
+fn policy_check_inst(
+    ctx: &CheckCtx<'_>,
+    idx: usize,
+    offset: usize,
+    inst: &Inst,
+) -> Option<VerifyError> {
+    match ctx.roles[idx] {
+        Role::Program => {
+            if ctx.policy.store_bounds {
+                if let Some(mem) = inst.stored_mem() {
+                    if !is_exempt_frame_store(mem) {
+                        let proven = ctx.elide.is_some_and(|l| ctx.analysis(l).store_safe(offset));
+                        if !proven {
+                            return Some(VerifyError::UnguardedStore { offset });
+                        }
+                    }
+                }
+            }
+            if ctx.policy.rsp_integrity && inst.writes_rsp_explicitly() {
+                // The immediately following instruction must start a
+                // P2 guard instance — unless, under elision, the write
+                // is part of a dead chain or the analysis proves the
+                // resulting rsp stays inside the stack window.
+                if ctx.starts_at.get(&(idx + 1)) != Some(&TemplateKind::RspGuard) {
+                    let proven = ctx.elide.is_some_and(|l| {
+                        rsp_chain_ok(ctx.insts, ctx.roles, idx) || {
+                            let a = ctx.analysis(l);
+                            a.rsp_after(offset)
+                                .and_then(|v| a.concrete_range(v))
+                                .is_some_and(|(lo, hi)| lo >= l.stack.start && hi <= l.stack.end)
+                        }
+                    });
+                    if !proven {
+                        return Some(VerifyError::UnguardedRspWrite { offset });
+                    }
+                }
+            }
+            if inst.is_indirect_branch() {
+                return Some(VerifyError::RawIndirectBranch { offset });
+            }
+            if ctx.policy.cfi && matches!(inst, Inst::Ret) {
+                return Some(VerifyError::MissingEpilogue { offset });
+            }
+            None
+        }
+        Role::Subject(id) => {
+            let kind = ctx.instances[id].kind;
+            if inst.is_indirect_branch() && ctx.policy.cfi && kind == TemplateKind::CfiUnchecked {
+                return Some(VerifyError::MissingCfiCheck { offset });
+            }
+            None
+        }
+        Role::Interior(_) => None,
+    }
+}
+
+/// Runs [`check_range`] over every function range, work-claimed across
+/// `threads` workers. The collected set is schedule-independent (each
+/// range's result is a pure function of shared immutable state), so the
+/// caller's min-key merge sees identical inputs for every thread count.
+fn run_range_checks(
+    ctx: &CheckCtx<'_>,
+    ranges: &[(usize, usize)],
+    threads: usize,
+) -> Vec<RangeErrors> {
+    let workers = threads.min(ranges.len());
+    if workers <= 1 {
+        return ranges.iter().map(|&(lo, hi)| check_range(ctx, lo, hi)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<RangeErrors>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(lo, hi)) = ranges.get(i) else { break };
+                let r = check_range(ctx, lo, hi);
+                results.lock().expect("range results lock").push(r);
+            });
+        }
+    });
+    results.into_inner().expect("range results lock")
+}
+
 fn verify_impl(
     code: &[u8],
     entry: usize,
     indirect_targets: &[usize],
     policy: &PolicySet,
     layout: Option<&EnclaveLayout>,
+    threads: usize,
 ) -> Result<Verified, VerifyError> {
-    let disassembly = disassemble(code, entry, indirect_targets)?;
-    let insts: Vec<(usize, Inst, usize)> =
-        disassembly.instrs.iter().map(|(&o, &(i, l))| (o, i, l)).collect();
-    let code_view = Code { insts: &insts };
-    let index_of: HashMap<usize, usize> =
-        insts.iter().enumerate().map(|(i, (o, _, _))| (*o, i)).collect();
+    let disassembly = disassemble_threaded(code, entry, indirect_targets, threads)?;
+    let insts = disassembly.insts();
+    let code_view = Code { insts };
 
     // --- Template discovery (greedy, in address order). -------------------
+    // Deliberately serial: the greedy scan is order-sensitive (a match
+    // consumes its instructions before the next candidate is considered)
+    // and costs a small fraction of verification. Everything downstream
+    // only reads its output.
     let mut roles = vec![Role::Program; insts.len()];
     let mut instances: Vec<Instance> = Vec::new();
     let mut i = 0;
@@ -251,67 +490,10 @@ fn verify_impl(
         }
     }
 
-    let instance_of = |idx: usize| -> Option<usize> {
-        match roles[idx] {
-            Role::Interior(id) | Role::Subject(id) => Some(id),
-            Role::Program => None,
-        }
-    };
     // Instance-start index → kind, for O(1) rule lookups.
     let starts_at: HashMap<usize, TemplateKind> =
         instances.iter().map(|i| (i.start_idx, i.kind)).collect();
 
-    // --- Control flow may not skip into annotations. ----------------------
-    for (idx, (offset, inst, len)) in insts.iter().enumerate() {
-        if let Some(rel) = inst.direct_rel() {
-            let target = (offset + len) as i64 + rel as i64;
-            let target_idx = index_of[&(target as usize)];
-            if let Some(target_instance) = instance_of(target_idx) {
-                let lands_on_start = target_idx == instances[target_instance].start_idx;
-                let same_instance = instance_of(idx) == Some(target_instance);
-                if !lands_on_start && !same_instance {
-                    return Err(VerifyError::BranchIntoAnnotation {
-                        source: *offset,
-                        target: target as usize,
-                    });
-                }
-            }
-        }
-    }
-    for &t in indirect_targets {
-        let target_idx = index_of[&t];
-        if let Some(id) = instance_of(target_idx) {
-            if target_idx != instances[id].start_idx {
-                return Err(VerifyError::IndirectTargetIntoAnnotation { target: t });
-            }
-        }
-    }
-    {
-        let entry_idx = index_of[&entry];
-        if let Some(id) = instance_of(entry_idx) {
-            if entry_idx != instances[id].start_idx {
-                return Err(VerifyError::EntryInsideAnnotation);
-            }
-        }
-    }
-
-    // --- rbp write discipline (underpins the frame-store exemption). -------
-    #[allow(clippy::match_like_matches_macro)]
-    if policy.store_bounds {
-        use deflection_isa::Reg;
-        for (offset, inst, _) in &insts {
-            let writes_rbp = inst.written_reg() == Some(Reg::RBP);
-            let frame_idiom = matches!(
-                inst,
-                Inst::MovRR { dst: Reg::RBP, src: Reg::RSP } | Inst::Pop { reg: Reg::RBP }
-            );
-            if writes_rbp && !frame_idiom {
-                return Err(VerifyError::IllegalRbpWrite { offset: *offset });
-            }
-        }
-    }
-
-    // --- Per-policy structural rules. --------------------------------------
     // Elision is sound only under P5: the analysis CFG contains exactly the
     // sealed branch-table edges, and the shadow stack pins returns, so at
     // runtime control cannot reach an elided site along an unanalyzed edge.
@@ -322,70 +504,68 @@ fn verify_impl(
     // The abstract interpretation is only paid for when an unguarded site is
     // actually encountered; fully instrumented binaries verify at the same
     // cost as under the strict rules.
-    let mut elision_analysis: Option<Analysis> = None;
-    for (idx, (offset, inst, _)) in insts.iter().enumerate() {
-        match roles[idx] {
-            Role::Program => {
-                if policy.store_bounds {
-                    if let Some(mem) = inst.stored_mem() {
-                        if !is_exempt_frame_store(mem) {
-                            let proven = elide.is_some_and(|l| {
-                                elision_analysis
-                                    .get_or_insert_with(|| {
-                                        Analysis::run(&disassembly, elision_analysis_config(l))
-                                    })
-                                    .store_safe(*offset)
-                            });
-                            if !proven {
-                                return Err(VerifyError::UnguardedStore { offset: *offset });
-                            }
-                        }
-                    }
-                }
-                if policy.rsp_integrity && inst.writes_rsp_explicitly() {
-                    // The immediately following instruction must start a
-                    // P2 guard instance — unless, under elision, the write
-                    // is part of a dead chain or the analysis proves the
-                    // resulting rsp stays inside the stack window.
-                    if starts_at.get(&(idx + 1)) != Some(&TemplateKind::RspGuard) {
-                        let proven = elide.is_some_and(|l| {
-                            rsp_chain_ok(&insts, &roles, idx) || {
-                                let a = elision_analysis.get_or_insert_with(|| {
-                                    Analysis::run(&disassembly, elision_analysis_config(l))
-                                });
-                                a.rsp_after(*offset).and_then(|v| a.concrete_range(v)).is_some_and(
-                                    |(lo, hi)| lo >= l.stack.start && hi <= l.stack.end,
-                                )
-                            }
-                        });
-                        if !proven {
-                            return Err(VerifyError::UnguardedRspWrite { offset: *offset });
-                        }
-                    }
-                }
-                if inst.is_indirect_branch() {
-                    return Err(VerifyError::RawIndirectBranch { offset: *offset });
-                }
-                if policy.cfi && matches!(inst, Inst::Ret) {
-                    return Err(VerifyError::MissingEpilogue { offset: *offset });
-                }
+    let analysis: OnceLock<Analysis> = OnceLock::new();
+    let ctx = CheckCtx {
+        insts,
+        roles: &roles,
+        instances: &instances,
+        starts_at: &starts_at,
+        d: &disassembly,
+        policy,
+        elide,
+        analysis: &analysis,
+        threads,
+    };
+
+    // --- Sharded pass: instruction-independent phases, per function. ------
+    // Each worker scans one function's instructions and records the first
+    // error per phase. The merge below picks, within each phase, the error
+    // with the lowest instruction index — exactly the error a serial
+    // ascending scan would have returned first — so the verdict cannot
+    // depend on thread timing.
+    let ranges = disassembly.function_ranges();
+    let results = run_range_checks(&ctx, &ranges, threads);
+    let min_of = |pick: fn(&RangeErrors) -> Option<&(usize, VerifyError)>| {
+        results.iter().filter_map(pick).min_by_key(|(k, _)| *k).map(|(_, e)| e.clone())
+    };
+
+    // --- Control flow may not skip into annotations. ----------------------
+    if let Some(e) = min_of(|r| r.branch.as_ref()) {
+        return Err(e);
+    }
+    for &t in indirect_targets {
+        let target_idx = disassembly.index_of(t).expect("indirect targets are disassembly roots");
+        if let Some(id) = ctx.instance_of(target_idx) {
+            if target_idx != instances[id].start_idx {
+                return Err(VerifyError::IndirectTargetIntoAnnotation { target: t });
             }
-            Role::Subject(id) => {
-                let kind = instances[id].kind;
-                if inst.is_indirect_branch() && policy.cfi && kind == TemplateKind::CfiUnchecked {
-                    return Err(VerifyError::MissingCfiCheck { offset: *offset });
-                }
-            }
-            Role::Interior(_) => {}
         }
+    }
+    {
+        let entry_idx = disassembly.index_of(entry).expect("entry is a disassembly root");
+        if let Some(id) = ctx.instance_of(entry_idx) {
+            if entry_idx != instances[id].start_idx {
+                return Err(VerifyError::EntryInsideAnnotation);
+            }
+        }
+    }
+
+    // --- rbp write discipline (underpins the frame-store exemption). -------
+    if let Some(e) = min_of(|r| r.rbp.as_ref()) {
+        return Err(e);
+    }
+
+    // --- Per-policy structural rules. --------------------------------------
+    if let Some(e) = min_of(|r| r.policy.as_ref()) {
+        return Err(e);
     }
 
     // --- Shadow-stack prologues at every call target (P5). ----------------
     if policy.cfi {
         let mut call_targets: Vec<usize> = indirect_targets.to_vec();
-        for (offset, inst, len) in &insts {
+        for &(offset, inst, len) in insts {
             if let Inst::Call { rel } = inst {
-                call_targets.push(((offset + len) as i64 + *rel as i64) as usize);
+                call_targets.push(((offset + len) as i64 + i64::from(rel)) as usize);
             }
         }
         call_targets.sort_unstable();
@@ -394,30 +574,31 @@ fn verify_impl(
             if target == entry {
                 continue;
             }
-            let target_idx = index_of[&target];
+            let target_idx = disassembly.index_of(target).expect("call targets are disassembled");
             if starts_at.get(&target_idx) != Some(&TemplateKind::Prologue) {
                 return Err(VerifyError::MissingPrologue { offset: target });
             }
         }
     }
 
-    // --- AEX-check density (P6). -------------------------------------------
+    // --- AEX density (P6): inherently a sequential prefix scan. ------------
     if policy.aex {
         let slack = 8;
         let mut since: u32 = 0;
-        for (idx, (offset, _, _)) in insts.iter().enumerate() {
+        for (idx, &(offset, _, _)) in insts.iter().enumerate() {
             if starts_at.get(&idx) == Some(&TemplateKind::AexCheck) {
                 since = 0;
             }
             if matches!(roles[idx], Role::Program | Role::Subject(_)) {
                 since += 1;
                 if since > policy.q + slack {
-                    return Err(VerifyError::AexGapExceeded { offset: *offset });
+                    return Err(VerifyError::AexGapExceeded { offset });
                 }
             }
         }
     }
 
+    let insts = insts.to_vec();
     Ok(Verified { disassembly, insts, instances })
 }
 

@@ -10,18 +10,33 @@
 //! multi-tenant CCaaS deployments actually scale SGX services (one enclave
 //! per worker), at the cost of per-worker memory.
 //!
+//! Installation amortizes verification: [`EnclavePool::install_all`]
+//! runs the consumer pipeline once per unique binary and *replays* the
+//! captured post-rewrite image into the remaining workers concurrently
+//! (sound because the pipeline is deterministic in the
+//! measurement-covered inputs — see
+//! [`PreparedInstall`](crate::runtime::PreparedInstall)). Prepared images
+//! are cached by code hash, so reinstalling a previously seen binary
+//! verifies zero times.
+//!
 //! `serve_parallel` runs requests on OS threads via `std::thread::scope` —
 //! real parallelism over the simulated enclaves, used by the examples and
 //! available to the Fig. 10 harness.
 
 use crate::policy::Manifest;
-use crate::runtime::{BootstrapEnclave, EcallError, RunReport};
+use crate::runtime::{BootstrapEnclave, EcallError, PreparedInstall, RunReport};
+use deflection_crypto::sha256::sha256;
 use deflection_sgx_sim::layout::EnclaveLayout;
+use std::collections::HashMap;
 
 /// A pool of identically configured, identically loaded enclave workers.
 #[derive(Debug)]
 pub struct EnclavePool {
     workers: Vec<BootstrapEnclave>,
+    /// Verified install images by code hash (sha256 of the binary).
+    prepared: HashMap<[u8; 32], PreparedInstall>,
+    /// How many times the full consumer pipeline (with verification) ran.
+    verifications: usize,
 }
 
 impl EnclavePool {
@@ -35,7 +50,7 @@ impl EnclavePool {
         assert!(count > 0, "pool needs at least one worker");
         let workers =
             (0..count).map(|_| BootstrapEnclave::new(layout.clone(), manifest.clone())).collect();
-        EnclavePool { workers }
+        EnclavePool { workers, prepared: HashMap::new(), verifications: 0 }
     }
 
     /// Number of workers.
@@ -50,6 +65,14 @@ impl EnclavePool {
         self.workers.is_empty()
     }
 
+    /// How many times a full (verifying) consumer pipeline has run in
+    /// this pool — exactly once per unique binary installed, however many
+    /// workers there are.
+    #[must_use]
+    pub fn verification_count(&self) -> usize {
+        self.verifications
+    }
+
     /// Installs the owner session key in every worker.
     pub fn set_owner_session(&mut self, key: [u8; 32]) {
         for w in &mut self.workers {
@@ -57,18 +80,64 @@ impl EnclavePool {
         }
     }
 
-    /// Installs (load + verify + rewrite) the same target binary in every
-    /// worker; each worker verifies independently, exactly as independent
-    /// enclaves would.
+    /// Installs the same target binary in every worker, verifying once.
+    ///
+    /// The first install of a binary runs the full pipeline (load +
+    /// verify + rewrite) on worker 0 and captures the finished image;
+    /// the remaining workers adopt replayed copies concurrently. A
+    /// cached image (same code hash) replays into every worker with no
+    /// verification at all.
+    ///
+    /// # Errors
+    ///
+    /// Fails if verification rejects the binary (no worker is then
+    /// usable) or a replay hits a measurement mismatch.
+    pub fn install_all(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
+        let hash = sha256(binary);
+        let prepared = match self.prepared.get(&hash) {
+            Some(p) => p.clone(),
+            None => {
+                let p = self.workers[0].install_capture(binary)?;
+                self.verifications += 1;
+                self.prepared.insert(hash, p.clone());
+                p
+            }
+        };
+        // Worker 0 already holds the image when it just captured it, but
+        // replaying is idempotent and keeps the loop uniform.
+        let mut outcomes: Vec<Result<[u8; 32], EcallError>> =
+            Vec::with_capacity(self.workers.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in &mut self.workers {
+                let prepared = &prepared;
+                handles.push(scope.spawn(move || w.install_replayed(prepared)));
+            }
+            for h in handles {
+                outcomes.push(h.join().expect("install thread must not panic"));
+            }
+        });
+        // `outcomes` is in worker order; the first error is deterministic.
+        for o in outcomes {
+            o?;
+        }
+        Ok(prepared.code_hash())
+    }
+
+    /// Installs the binary in every worker with an *independent* full
+    /// pipeline run per worker — the pre-cache behaviour, kept for
+    /// ablation benchmarks and for callers that want N genuinely
+    /// independent verifications.
     ///
     /// # Errors
     ///
     /// Fails on the first worker that rejects the binary (they all would —
     /// verification is deterministic).
-    pub fn install_all(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
+    pub fn install_all_independent(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
         let mut hash = [0u8; 32];
         for w in &mut self.workers {
             hash = w.install_plain(binary)?;
+            self.verifications += 1;
         }
         Ok(hash)
     }
@@ -96,11 +165,12 @@ impl EnclavePool {
     ///
     /// # Errors
     ///
-    /// Returns the first ECall error from any worker, after all threads
-    /// join.
-    pub fn serve_parallel(
+    /// If any request fails, returns the error of the *lowest request
+    /// index* that failed — independent of worker count and thread
+    /// timing — after all threads join.
+    pub fn serve_parallel<T: AsRef<[u8]> + Sync>(
         &mut self,
-        requests: &[Vec<u8>],
+        requests: &[T],
         fuel: u64,
     ) -> Result<Vec<RunReport>, EcallError> {
         let worker_count = self.workers.len();
@@ -117,8 +187,9 @@ impl EnclavePool {
                 let handle = scope.spawn(move || {
                     let mut out = Vec::with_capacity(idxs.len());
                     for &i in idxs {
-                        let result =
-                            worker.provide_input(&requests[i]).and_then(|()| worker.run(fuel));
+                        let result = worker
+                            .provide_input(requests[i].as_ref())
+                            .and_then(|()| worker.run(fuel));
                         out.push((i, result));
                     }
                     out
@@ -130,14 +201,30 @@ impl EnclavePool {
             }
         });
 
-        let mut results: Vec<Option<RunReport>> = (0..requests.len()).map(|_| None).collect();
-        for batch in slots {
-            for (i, result) in batch {
-                results[i] = Some(result?);
-            }
-        }
-        Ok(results.into_iter().map(|r| r.expect("every request served")).collect())
+        merge_results(requests.len(), slots)
     }
+}
+
+/// Flattens per-worker result batches into request order. On failure the
+/// returned error is the one at the lowest request index — a pure
+/// function of the per-request outcomes, not of which worker thread
+/// finished (or was collected) first.
+fn merge_results(
+    request_count: usize,
+    slots: Vec<Vec<(usize, Result<RunReport, EcallError>)>>,
+) -> Result<Vec<RunReport>, EcallError> {
+    let mut by_request: Vec<Option<Result<RunReport, EcallError>>> =
+        (0..request_count).map(|_| None).collect();
+    for batch in slots {
+        for (i, result) in batch {
+            by_request[i] = Some(result);
+        }
+    }
+    let mut reports = Vec::with_capacity(request_count);
+    for r in by_request {
+        reports.push(r.expect("every request served")?);
+    }
+    Ok(reports)
 }
 
 #[cfg(test)]
@@ -146,7 +233,7 @@ mod tests {
     use crate::policy::PolicySet;
     use crate::producer::produce;
     use deflection_sgx_sim::layout::MemConfig;
-    use deflection_sgx_sim::vm::RunExit;
+    use deflection_sgx_sim::vm::{ExecStats, RunExit};
 
     const ECHO_SUM: &str = "
         fn main() -> int {
@@ -184,6 +271,15 @@ mod tests {
     }
 
     #[test]
+    fn serve_parallel_accepts_any_byte_slices() {
+        let mut p = pool(2);
+        let requests: [&[u8]; 3] = [b"\x01", b"\x02\x03", b"\x04"];
+        let reports = p.serve_parallel(&requests, 10_000_000).unwrap();
+        let exits: Vec<_> = reports.iter().map(|r| r.exit.exit_value()).collect();
+        assert_eq!(exits, vec![Some(1), Some(5), Some(4)]);
+    }
+
+    #[test]
     fn workers_are_isolated() {
         // A counter global must not bleed between workers.
         let src = "
@@ -201,6 +297,69 @@ mod tests {
         assert_eq!(pool.serve_on(0, b"", 1_000_000).unwrap().exit.exit_value(), Some(2));
         assert_eq!(pool.serve_on(1, b"", 1_000_000).unwrap().exit.exit_value(), Some(1));
         assert_eq!(pool.serve_on(2, b"", 1_000_000).unwrap().exit.exit_value(), Some(1));
+    }
+
+    #[test]
+    fn install_all_verifies_once_per_unique_hash() {
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::full();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, 8);
+        let echo = produce(ECHO_SUM, &manifest.policy).unwrap().serialize();
+        pool.install_all(&echo).unwrap();
+        assert_eq!(pool.verification_count(), 1, "8 workers, 1 verification");
+        // Reinstalling the identical binary hits the cache: zero more.
+        pool.install_all(&echo).unwrap();
+        assert_eq!(pool.verification_count(), 1);
+        // A different binary verifies exactly once more.
+        let other =
+            produce("fn main() -> int { return 7; }", &manifest.policy).unwrap().serialize();
+        pool.install_all(&other).unwrap();
+        assert_eq!(pool.verification_count(), 2);
+        // Every worker serves from the replayed image.
+        for w in 0..8 {
+            assert_eq!(pool.serve_on(w, b"", 1_000_000).unwrap().exit.exit_value(), Some(7));
+        }
+    }
+
+    #[test]
+    fn replayed_workers_match_independent_installs() {
+        let requests: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i, 2 * i]).collect();
+        let mut cached = pool(4);
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::full();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut independent = EnclavePool::new(&layout, &manifest, 4);
+        let binary = produce(ECHO_SUM, &manifest.policy).unwrap().serialize();
+        independent.set_owner_session([1; 32]);
+        independent.install_all_independent(&binary).unwrap();
+        assert_eq!(independent.verification_count(), 4);
+        let a = cached.serve_parallel(&requests, 10_000_000).unwrap();
+        let b = independent.serve_parallel(&requests, 10_000_000).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.exit, y.exit);
+        }
+    }
+
+    #[test]
+    fn merge_reports_lowest_request_index_error() {
+        let ok = || -> Result<RunReport, EcallError> {
+            Ok(RunReport {
+                exit: RunExit::Halted { exit: 0 },
+                stats: ExecStats::default(),
+                records: Vec::new(),
+                untrusted_writes: 0,
+                blur_padding: 0,
+            })
+        };
+        // Worker batches arrive in an order that puts a *higher*-index
+        // error first; the merge must still surface request 1's error.
+        let slots = vec![
+            vec![(0, ok()), (2, Err(EcallError::NoRoomForIo))],
+            vec![(1, Err(EcallError::NotInstalled)), (3, ok())],
+        ];
+        let err = merge_results(4, slots).unwrap_err();
+        assert_eq!(err, EcallError::NotInstalled);
     }
 
     #[test]

@@ -539,7 +539,7 @@ mod tests {
             .map(|n| obj.symbol(n).unwrap().offset as usize)
             .collect();
         let d = disassemble(&obj.text, entry, &ibt).unwrap();
-        assert!(d.instrs.len() > 100);
+        assert!(d.len() > 100);
     }
 
     #[test]
@@ -561,7 +561,7 @@ mod tests {
                 .map(|n| obj.symbol(n).unwrap().offset as usize)
                 .collect();
             let d = disassemble(&obj.text, entry, &ibt).unwrap();
-            assert!(d.instrs.values().any(|(i, _)| matches!(i, Inst::CallInd { .. })));
+            assert!(d.insts().iter().any(|(_, i, _)| matches!(i, Inst::CallInd { .. })));
         }
     }
 

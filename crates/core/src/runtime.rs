@@ -231,6 +231,9 @@ pub enum EcallError {
     NoRoomForIo,
     /// No binary installed yet.
     NotInstalled,
+    /// A [`PreparedInstall`] was replayed into an enclave with a different
+    /// measurement (layout or consumer image) than the one that captured it.
+    PreparedMismatch,
 }
 
 impl std::fmt::Display for EcallError {
@@ -241,6 +244,9 @@ impl std::fmt::Display for EcallError {
             EcallError::Install(e) => write!(f, "{e}"),
             EcallError::NoRoomForIo => write!(f, "heap cannot fit I/O buffers"),
             EcallError::NotInstalled => write!(f, "no target binary installed"),
+            EcallError::PreparedMismatch => {
+                write!(f, "prepared install was captured under a different measurement")
+            }
         }
     }
 }
@@ -256,6 +262,40 @@ impl From<InstallError> for EcallError {
 impl From<CryptoError> for EcallError {
     fn from(e: CryptoError) -> Self {
         EcallError::Channel(e)
+    }
+}
+
+/// A captured post-verification install image, replayable into further
+/// enclaves with the same measurement without re-running the consumer
+/// pipeline.
+///
+/// # Why replay is sound
+///
+/// The consumer pipeline is a *deterministic* function of
+/// `(consumer image, layout, manifest, binary)`: the loader, verifier and
+/// rewriter consume no randomness, no clock and no ambient state, so two
+/// enclaves with the same measurement (which hashes the consumer image and
+/// the layout) given the same manifest and binary compute byte-identical
+/// post-rewrite memory images. Replaying the captured image into such an
+/// enclave therefore yields *exactly* the state its own pipeline would
+/// have produced — verification happened, once, on an identical input.
+/// [`BootstrapEnclave::install_replayed`] enforces the measurement match
+/// and fails closed on any mismatch; the manifest is part of the pool's
+/// construction, so a pool's workers are identical by construction.
+#[derive(Debug, Clone)]
+pub struct PreparedInstall {
+    measurement: Measurement,
+    code_hash: [u8; 32],
+    mem: Memory,
+    installed: Installed,
+    io: Option<IoPlan>,
+}
+
+impl PreparedInstall {
+    /// SHA-256 of the captured binary (the loader's code hash).
+    #[must_use]
+    pub fn code_hash(&self) -> [u8; 32] {
+        self.code_hash
     }
 }
 
@@ -334,6 +374,17 @@ impl BootstrapEnclave {
     ///
     /// Propagates consumer rejections and I/O-placement failures.
     pub fn install_plain(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
+        Ok(self.install_capture(binary)?.code_hash)
+    }
+
+    /// Runs the full consumer pipeline on `binary`, installs the result
+    /// into this enclave, and additionally captures the finished image as
+    /// a [`PreparedInstall`] for replay into identically-measured peers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates consumer rejections and I/O-placement failures.
+    pub fn install_capture(&mut self, binary: &[u8]) -> Result<PreparedInstall, EcallError> {
         let mut mem = Memory::new(self.layout.clone());
         let installed = install(binary, &self.manifest, &mut mem)?;
 
@@ -344,28 +395,54 @@ impl BootstrapEnclave {
         if end > self.layout.heap.end {
             return Err(EcallError::NoRoomForIo);
         }
-        if let Some(&io_ctl_va) = installed.program.symbols.get("__io") {
-            let plan = IoPlan {
-                io_ctl_va,
-                input_base,
-                input_cap: self.manifest.input_capacity as u64,
-                output_base,
-                output_cap: self.manifest.output_capacity as u64,
-            };
-            mem.poke_u64(io_ctl_va, plan.input_base).expect("io block mapped");
-            mem.poke_u64(io_ctl_va + 8, 0).expect("io block mapped");
-            mem.poke_u64(io_ctl_va + 16, plan.output_base).expect("io block mapped");
-            mem.poke_u64(io_ctl_va + 24, plan.output_cap).expect("io block mapped");
-            self.host.io = Some(plan);
-        } else {
-            self.host.io = None;
+        let io = installed.program.symbols.get("__io").map(|&io_ctl_va| IoPlan {
+            io_ctl_va,
+            input_base,
+            input_cap: self.manifest.input_capacity as u64,
+            output_base,
+            output_cap: self.manifest.output_capacity as u64,
+        });
+        if let Some(plan) = &io {
+            mem.poke_u64(plan.io_ctl_va, plan.input_base).expect("io block mapped");
+            mem.poke_u64(plan.io_ctl_va + 8, 0).expect("io block mapped");
+            mem.poke_u64(plan.io_ctl_va + 16, plan.output_base).expect("io block mapped");
+            mem.poke_u64(plan.io_ctl_va + 24, plan.output_cap).expect("io block mapped");
         }
 
-        let code_hash = installed.program.code_hash;
+        let prepared = PreparedInstall {
+            measurement: self.measurement(),
+            code_hash: installed.program.code_hash,
+            mem: mem.clone(),
+            installed: installed.clone(),
+            io,
+        };
+        self.adopt(mem, installed, io);
+        Ok(prepared)
+    }
+
+    /// Installs a previously captured image without re-running the
+    /// consumer pipeline. Sound because the pipeline is deterministic in
+    /// the measurement-covered inputs — see [`PreparedInstall`].
+    ///
+    /// # Errors
+    ///
+    /// Fails closed with [`EcallError::PreparedMismatch`] when this
+    /// enclave's measurement differs from the capturing enclave's.
+    pub fn install_replayed(&mut self, prepared: &PreparedInstall) -> Result<[u8; 32], EcallError> {
+        if prepared.measurement != self.measurement() {
+            return Err(EcallError::PreparedMismatch);
+        }
+        self.adopt(prepared.mem.clone(), prepared.installed.clone(), prepared.io);
+        Ok(prepared.code_hash)
+    }
+
+    /// Adopts a finished install image as this enclave's runnable state.
+    fn adopt(&mut self, mem: Memory, installed: Installed, io: Option<IoPlan>) {
+        self.host.io = io;
+        self.direct_input_pending = false;
         let entry = installed.program.entry_va;
         self.installed = Some(installed);
         self.vm = Some(Vm::new(mem, entry));
-        Ok(code_hash)
     }
 
     /// `ecall_receive_userdata`: decrypts owner-sealed input. The first
@@ -679,6 +756,25 @@ mod tests {
             counts.push(report.stats.instructions);
         }
         assert_eq!(counts[0], counts[1], "blurred completion times must match");
+    }
+
+    #[test]
+    fn replay_requires_matching_measurement() {
+        let policy = PolicySet::p1();
+        let obj = produce(ECHO_SRC, &policy).unwrap();
+        let mut source = enclave(policy);
+        let prepared = source.install_capture(&obj.serialize()).unwrap();
+        // Same layout and manifest: replay installs and runs identically.
+        let mut twin = enclave(policy);
+        twin.set_owner_session([0x11; 32]);
+        assert_eq!(twin.install_replayed(&prepared).unwrap(), prepared.code_hash());
+        twin.provide_input(b"abc").unwrap();
+        assert_eq!(twin.run(10_000_000).unwrap().exit, RunExit::Halted { exit: 3 });
+        // Different layout → different measurement → fail closed.
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = policy;
+        let mut other = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::paper()), manifest);
+        assert_eq!(other.install_replayed(&prepared), Err(EcallError::PreparedMismatch));
     }
 
     #[test]

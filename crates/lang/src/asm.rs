@@ -200,7 +200,7 @@ mod tests {
         let obj = assemble(&one_func_program(f)).unwrap();
         // Verify by recursive-descent disassembly: everything must decode.
         let d = deflection_isa::disassemble(&obj.text, 0, &[]).unwrap();
-        assert_eq!(d.instrs.len(), 5);
+        assert_eq!(d.len(), 5);
     }
 
     #[test]

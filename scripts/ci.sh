@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, and the tier-1 test suite.
 # Run from anywhere; operates on the repository root.
+#
+# Bench smoke mode: `scripts/ci.sh --smoke` (or BENCH_SMOKE=1) additionally
+# runs every Criterion bench target once in --quick mode and captures its
+# output under target/bench-smoke/BENCH_<name>.json, so CI catches bench
+# bit-rot (panicking asserts, broken tables) without paying for a full
+# measurement run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+SMOKE="${BENCH_SMOKE:-0}"
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -16,5 +30,32 @@ cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+if [ "$SMOKE" = "1" ]; then
+    echo "==> bench smoke (--quick, one pass per target)"
+    mkdir -p target/bench-smoke
+    benches=$(sed -n 's/^name = "\(.*\)"$/\1/p' crates/bench/Cargo.toml | tail -n +2)
+    for bench in $benches; do
+        echo "==> bench smoke: $bench"
+        log="target/bench-smoke/BENCH_${bench}.log"
+        cargo bench -p deflection-bench --bench "$bench" -- --quick >"$log" 2>&1 || {
+            cat "$log"
+            echo "bench smoke failed: $bench" >&2
+            exit 1
+        }
+        # Emit a machine-readable summary per bench: name, status, and the
+        # Criterion measurement lines the run produced.
+        python3 - "$bench" "$log" <<'EOF' || true
+import json, sys
+bench, log = sys.argv[1], sys.argv[2]
+lines = [l.rstrip() for l in open(log, encoding="utf-8", errors="replace")]
+measurements = [l.strip() for l in lines if l.strip().startswith("bench ")]
+out = {"bench": bench, "status": "ok", "measurements": measurements}
+path = f"target/bench-smoke/BENCH_{bench}.json"
+json.dump(out, open(path, "w"), indent=2)
+print(f"    wrote {path} ({len(measurements)} measurements)")
+EOF
+    done
+fi
 
 echo "==> CI green"

@@ -197,8 +197,7 @@ fn main() -> ExitCode {
                 Ok(d) => {
                     // Mark annotation instances so readers see what the
                     // verifier sees.
-                    let insts: Vec<(usize, deflection::isa::Inst, usize)> =
-                        d.instrs.iter().map(|(&o, &(i, l))| (o, i, l)).collect();
+                    let insts: Vec<(usize, deflection::isa::Inst, usize)> = d.insts().to_vec();
                     let verified = verifier::verify(&obj.text, entry, &ibt, &PolicySet::none());
                     let interiors: std::collections::HashSet<usize> = verified
                         .map(|v| {

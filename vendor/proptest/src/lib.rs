@@ -489,7 +489,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
@@ -524,6 +526,26 @@ macro_rules! __proptest_impl {
             }
         }
     )*};
+}
+
+/// Rejects the current case when a precondition fails. The real crate
+/// discards the input and draws a replacement; this shim simply skips to
+/// the next case (the body is inlined in the per-case loop, so `continue`
+/// has exactly that effect). Heavily-rejecting preconditions therefore
+/// thin the effective case count rather than resample — acceptable for
+/// the filtering this workspace does.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            continue;
+        }
+    };
 }
 
 /// `assert!` under the proptest spelling (no shrinking in this shim).
@@ -590,6 +612,12 @@ mod tests {
         fn macro_binds_arguments(x in 0u64..50, v in crate::collection::vec(any::<u8>(), 0..4)) {
             prop_assert!(x < 50);
             prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn assume_skips_rejected_cases(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0, "odd case must have been skipped: {x}");
         }
     }
 }
