@@ -17,6 +17,9 @@ const TCB_SOURCES: &[(&str, &str)] = &[
     ("consumer/mod", include_str!("../../core/src/consumer/mod.rs")),
     ("annotations (matchers)", include_str!("../../core/src/annotations.rs")),
     ("runtime (P0 wrappers)", include_str!("../../core/src/runtime.rs")),
+    // The sealed install cache runs in-enclave: it derives the sealing
+    // key, verifies the MAC and rebuilds the image before anything runs.
+    ("sealed install cache", include_str!("../../core/src/sealed.rs")),
     ("policy/manifest", include_str!("../../core/src/policy.rs")),
     ("disassembler engine", include_str!("../../isa/src/disasm.rs")),
     ("instruction decoder", include_str!("../../isa/src/decode.rs")),

@@ -19,7 +19,8 @@ use std::fmt;
 pub use loader::{load, resolve, LoadError, LoadedProgram, ResolvedImage};
 pub use rewriter::{rewrite, Bindings};
 pub use verifier::{
-    verify, verify_threaded, verify_with_layout, verify_with_layout_threaded, Verified, VerifyError,
+    discover, verify, verify_threaded, verify_with_layout, verify_with_layout_threaded, Verified,
+    VerifyError,
 };
 
 use crate::annotations::SSA_MARKER_VALUE;
@@ -80,6 +81,37 @@ pub fn install(
     manifest: &Manifest,
     mem: &mut Memory,
 ) -> Result<Installed, InstallError> {
+    install_impl(binary, manifest, mem, true)
+}
+
+/// The trusted-replay variant of [`install`]: runs the loader and
+/// re-derives the rewriter inputs via [`discover`], but executes **no**
+/// policy check phase. It exists solely for the sealed install cache
+/// (`crate::sealed`), whose MAC attests that the full verifying pipeline
+/// already accepted the identical binary under the identical measurement
+/// and manifest; because the pipeline is deterministic in those inputs,
+/// this rebuild produces the byte-identical post-rewrite image. Calling it
+/// on a binary without such a proof installs unverified code — never do
+/// that.
+///
+/// # Errors
+///
+/// Returns [`InstallError`] if the loader rejects the binary or the image
+/// cannot even be re-derived (corrupted code window).
+pub fn install_trusted(
+    binary: &[u8],
+    manifest: &Manifest,
+    mem: &mut Memory,
+) -> Result<Installed, InstallError> {
+    install_impl(binary, manifest, mem, false)
+}
+
+fn install_impl(
+    binary: &[u8],
+    manifest: &Manifest,
+    mem: &mut Memory,
+    verify: bool,
+) -> Result<Installed, InstallError> {
     let layout: EnclaveLayout = mem.layout().clone();
     let program = load(binary, mem)?;
     let code = mem
@@ -87,8 +119,11 @@ pub fn install(
         .expect("loader wrote the code window")
         .to_vec();
     let entry = (program.entry_va - layout.code.start) as usize;
-    let verified =
-        verify_with_layout(&code, entry, &program.ibt_offsets, &manifest.policy, &layout)?;
+    let verified = if verify {
+        verify_with_layout(&code, entry, &program.ibt_offsets, &manifest.policy, &layout)?
+    } else {
+        discover(&code, entry, &program.ibt_offsets)?
+    };
     let bindings =
         Bindings::from_layout(&layout, program.ibt_addresses.len() as u64, manifest.aex_threshold);
     rewrite(mem, layout.code.start, &verified, &bindings);
@@ -124,6 +159,26 @@ mod tests {
         let layout = mem.layout().clone();
         assert_eq!(mem.peek_u64(layout.shadow_sp_slot()).unwrap(), layout.shadow_stack.end);
         assert_eq!(mem.peek_u64(layout.ssa_marker_slot()).unwrap(), SSA_MARKER_VALUE as u64);
+    }
+
+    #[test]
+    fn trusted_install_rebuilds_identical_image() {
+        let manifest = Manifest::ccaas();
+        let obj = produce(SRC, &manifest.policy).unwrap();
+        let mut a = Memory::new(EnclaveLayout::new(MemConfig::small()));
+        let verified = install(&obj.serialize(), &manifest, &mut a).unwrap();
+        let mut b = Memory::new(EnclaveLayout::new(MemConfig::small()));
+        let trusted = install_trusted(&obj.serialize(), &manifest, &mut b).unwrap();
+        // The deterministic pipeline re-derives the byte-identical code
+        // window and the same instance set without running any checks.
+        let layout = a.layout().clone();
+        let len = layout.code.len() as usize;
+        assert_eq!(
+            a.peek_bytes(layout.code.start, len).unwrap(),
+            b.peek_bytes(layout.code.start, len).unwrap()
+        );
+        assert_eq!(verified.verified.instances.len(), trusted.verified.instances.len());
+        assert_eq!(verified.program.code_hash, trusted.program.code_hash);
     }
 
     #[test]

@@ -452,23 +452,32 @@ fn run_range_checks(
     results.into_inner().expect("range results lock")
 }
 
-fn verify_impl(
+/// Output of the discovery prefix of verification: disassembly, greedily
+/// matched annotation instances, and the per-instruction roles the check
+/// phases consume.
+struct Discovery {
+    disassembly: Disassembly,
+    roles: Vec<Role>,
+    instances: Vec<Instance>,
+}
+
+/// The discovery prefix shared by [`verify_impl`] and [`discover`]: the
+/// recursive-descent disassembly followed by the greedy template scan.
+///
+/// Template discovery is deliberately serial: the greedy scan is
+/// order-sensitive (a match consumes its instructions before the next
+/// candidate is considered) and costs a small fraction of verification.
+/// Everything downstream only reads its output.
+fn discover_impl(
     code: &[u8],
     entry: usize,
     indirect_targets: &[usize],
-    policy: &PolicySet,
-    layout: Option<&EnclaveLayout>,
     threads: usize,
-) -> Result<Verified, VerifyError> {
+) -> Result<Discovery, VerifyError> {
     let disassembly = disassemble_threaded(code, entry, indirect_targets, threads)?;
     let insts = disassembly.insts();
     let code_view = Code { insts };
 
-    // --- Template discovery (greedy, in address order). -------------------
-    // Deliberately serial: the greedy scan is order-sensitive (a match
-    // consumes its instructions before the next candidate is considered)
-    // and costs a small fraction of verification. Everything downstream
-    // only reads its output.
     let mut roles = vec![Role::Program; insts.len()];
     let mut instances: Vec<Instance> = Vec::new();
     let mut i = 0;
@@ -489,6 +498,46 @@ fn verify_impl(
             i += 1;
         }
     }
+    Ok(Discovery { disassembly, roles, instances })
+}
+
+/// Re-derives only the *discovery* prefix of verification — disassembly
+/// plus greedy template matching — returning it in [`Verified`] form
+/// without running any policy check phase.
+///
+/// This is **not** verification and never accepts anything: it must only
+/// be used on a binary whose acceptance is already proven by other means —
+/// concretely the sealed install cache ([`crate::sealed`]), whose MAC
+/// attests that the full verifying pipeline accepted the identical binary
+/// under the identical measurement and manifest. The pipeline is
+/// deterministic in those inputs, so the discovery output here is
+/// byte-identical to what the accepted run produced.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if disassembly fails (a corrupted image
+/// cannot even be re-derived).
+pub fn discover(
+    code: &[u8],
+    entry: usize,
+    indirect_targets: &[usize],
+) -> Result<Verified, VerifyError> {
+    let d = discover_impl(code, entry, indirect_targets, 1)?;
+    let insts = d.disassembly.insts().to_vec();
+    Ok(Verified { disassembly: d.disassembly, insts, instances: d.instances })
+}
+
+fn verify_impl(
+    code: &[u8],
+    entry: usize,
+    indirect_targets: &[usize],
+    policy: &PolicySet,
+    layout: Option<&EnclaveLayout>,
+    threads: usize,
+) -> Result<Verified, VerifyError> {
+    let Discovery { disassembly, roles, instances } =
+        discover_impl(code, entry, indirect_targets, threads)?;
+    let insts = disassembly.insts();
 
     // Instance-start index → kind, for O(1) rule lookups.
     let starts_at: HashMap<usize, TemplateKind> =
@@ -686,6 +735,22 @@ mod tests {
         let obj = produce(SRC, &PolicySet::full()).unwrap();
         let (entry, ibt) = entry_and_ibt(&obj);
         verify(&obj.text, entry, &ibt, &PolicySet::p1()).unwrap();
+    }
+
+    #[test]
+    fn discover_matches_verify_and_never_checks_policy() {
+        let obj = produce(SRC, &PolicySet::full()).unwrap();
+        let (entry, ibt) = entry_and_ibt(&obj);
+        let v = verify(&obj.text, entry, &ibt, &PolicySet::full()).unwrap();
+        let d = discover(&obj.text, entry, &ibt).unwrap();
+        assert_eq!(d.insts, v.insts);
+        assert_eq!(d.instances.len(), v.instances.len());
+        // discover never rejects on policy grounds: a baseline binary the
+        // full policy refuses still re-derives its discovery output.
+        let obj = produce(SRC, &PolicySet::none()).unwrap();
+        let (entry, ibt) = entry_and_ibt(&obj);
+        assert!(verify(&obj.text, entry, &ibt, &PolicySet::full()).is_err());
+        assert!(discover(&obj.text, entry, &ibt).is_ok());
     }
 
     #[test]

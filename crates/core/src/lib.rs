@@ -57,3 +57,4 @@ pub mod policy;
 pub mod pool;
 pub mod producer;
 pub mod runtime;
+pub mod sealed;

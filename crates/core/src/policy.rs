@@ -127,8 +127,11 @@ pub struct Manifest {
     /// Every outgoing record is padded to exactly this many plaintext bytes
     /// before sealing (P0 entropy control).
     pub output_record_len: usize,
-    /// Upper bound on total plaintext bytes the program may emit over its
-    /// lifetime (P0 entropy budget); `send` faults beyond it.
+    /// Upper bound on total plaintext bytes the program may emit per run
+    /// (P0 entropy budget); `send` faults beyond it. The counter resets at
+    /// the start of every [`crate::runtime::BootstrapEnclave::run`], so a
+    /// long-lived worker serving many in-budget requests never accumulates
+    /// spurious budget pressure.
     pub output_budget: usize,
     /// Capacity of the input buffer placed in the heap.
     pub input_capacity: usize,

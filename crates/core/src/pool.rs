@@ -1,4 +1,5 @@
-//! Concurrent request serving: a pool of bootstrap-enclave workers.
+//! Concurrent request serving: a fault-tolerant pool of bootstrap-enclave
+//! workers.
 //!
 //! The paper's HTTPS evaluation serves many clients concurrently and its
 //! Section VII discusses multi-threaded enclaves, warning that shared
@@ -17,26 +18,260 @@
 //! measurement-covered inputs — see
 //! [`PreparedInstall`](crate::runtime::PreparedInstall)). Prepared images
 //! are cached by code hash, so reinstalling a previously seen binary
-//! verifies zero times.
+//! verifies zero times, and the cache can be sealed to untrusted storage
+//! and re-imported after a restart ([`EnclavePool::export_sealed`] /
+//! [`EnclavePool::import_sealed`], see [`crate::sealed`]).
 //!
-//! `serve_parallel` runs requests on OS threads via `std::thread::scope` —
-//! real parallelism over the simulated enclaves, used by the examples and
-//! available to the Fig. 10 harness.
+//! # Fault tolerance
+//!
+//! Long-lived serving must survive individual enclave failures. Two are
+//! modeled: a *contained fault* (the program trips a policy guard or a
+//! denied OCall — the report is still the request's answer, but the
+//! instance may hold corrupted state) and a *lost instance* (the
+//! `SGX_ERROR_ENCLAVE_LOST` analogue — power transition or injected chaos
+//! kill; the request never completed). Either way the pool quarantines the
+//! worker slot and respawns a fresh enclave into it, reinstalling from the
+//! prepared-image cache with zero re-verifications and carrying the dead
+//! instance's record counter forward so no AEAD nonce is ever reused. Each
+//! slot has a bounded respawn budget; when it is exhausted the slot stays
+//! quarantined and [`EnclavePool::health`] reports it.
+//!
+//! [`EnclavePool::serve_parallel`] schedules by *work stealing*: worker
+//! threads claim request indices from a shared atomic counter, so a skewed
+//! batch no longer idles the statically assigned workers
+//! ([`EnclavePool::serve_parallel_round_robin`] keeps the old static
+//! `i % len` split as the ablation baseline). Request *outcomes* stay
+//! schedule-independent — serving is deterministic per request, a lost
+//! request is retried on a fresh or different worker with an identical
+//! result, and the documented lowest-request-index error rule is enforced
+//! by [`merge_results`] after all threads join. (Record *ciphertexts* do
+//! depend on which worker sealed them, since each worker seals under its
+//! own monotonic counter.)
 
 use crate::policy::Manifest;
 use crate::runtime::{BootstrapEnclave, EcallError, PreparedInstall, RunReport};
 use deflection_crypto::sha256::sha256;
 use deflection_sgx_sim::layout::EnclaveLayout;
+use deflection_sgx_sim::vm::RunExit;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default number of times a worker slot may be respawned between
+/// reinstalls before it stays quarantined.
+const DEFAULT_RESPAWN_BUDGET: usize = 8;
+
+/// Liveness and serving counters for one worker slot.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerHealth {
+    /// Requests that produced a report, including contained-fault reports.
+    pub served: usize,
+    /// Contained faults plus lost-instance events hit by this slot.
+    pub faulted: usize,
+    /// Times the slot was rebuilt with a fresh enclave instance.
+    pub respawned: usize,
+    /// Whether the slot is currently quarantined — unusable until a
+    /// respawn or a full reinstall succeeds.
+    pub quarantined: bool,
+}
+
+/// A snapshot of every worker slot's [`WorkerHealth`], in worker order.
+#[derive(Debug, Clone)]
+pub struct PoolHealth {
+    /// One entry per worker slot.
+    pub workers: Vec<WorkerHealth>,
+}
+
+impl PoolHealth {
+    /// Total requests served across the pool (including fault reports).
+    #[must_use]
+    pub fn total_served(&self) -> usize {
+        self.workers.iter().map(|w| w.served).sum()
+    }
+
+    /// Total contained-fault and lost-instance events across the pool.
+    #[must_use]
+    pub fn total_faulted(&self) -> usize {
+        self.workers.iter().map(|w| w.faulted).sum()
+    }
+
+    /// Total respawns across the pool.
+    #[must_use]
+    pub fn total_respawned(&self) -> usize {
+        self.workers.iter().map(|w| w.respawned).sum()
+    }
+
+    /// Number of slots currently quarantined.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.workers.iter().filter(|w| w.quarantined).count()
+    }
+}
+
+/// One worker slot: the live enclave instance plus its health state and
+/// fault-injection hooks.
+#[derive(Debug)]
+struct Worker {
+    enclave: BootstrapEnclave,
+    health: WorkerHealth,
+    /// Remaining serving-path respawns before the slot stays quarantined.
+    respawn_left: usize,
+    /// Armed chaos kill: lose the instance right before serving the
+    /// `n+1`-th subsequent request.
+    chaos_kill_after: Option<usize>,
+}
+
+/// Everything a respawn needs, borrowed from the pool's non-worker fields
+/// so worker threads can self-heal while holding `&mut Worker`.
+struct RespawnCtx<'a> {
+    layout: &'a EnclaveLayout,
+    manifest: &'a Manifest,
+    owner_key: Option<[u8; 32]>,
+    prepared: Option<&'a PreparedInstall>,
+}
+
+/// Replaces a worker slot's enclave with a fresh instance reinstalled from
+/// the prepared cache, consuming one unit of the slot's respawn budget.
+/// Returns `false` (and quarantines the slot) when the budget is exhausted
+/// or the reinstall fails.
+fn respawn_worker(w: &mut Worker, ctx: &RespawnCtx<'_>) -> bool {
+    if w.respawn_left == 0 {
+        w.health.quarantined = true;
+        return false;
+    }
+    w.respawn_left -= 1;
+    let floor = w.enclave.send_nonce();
+    let mut fresh = BootstrapEnclave::new(ctx.layout.clone(), ctx.manifest.clone());
+    // The fresh instance serves under the same owner session key as the
+    // dead one, so it inherits the record counter — a reset would reuse an
+    // AEAD nonce.
+    fresh.resume_send_nonce(floor);
+    if let Some(key) = ctx.owner_key {
+        fresh.set_owner_session(key);
+    }
+    if let Some(prepared) = ctx.prepared {
+        if fresh.install_replayed(prepared).is_err() {
+            w.health.quarantined = true;
+            return false;
+        }
+    }
+    w.enclave = fresh;
+    w.health.respawned += 1;
+    w.health.quarantined = false;
+    true
+}
+
+/// What one serve attempt on one worker produced.
+enum Outcome {
+    /// The run completed and this report is the request's result (possibly
+    /// a contained-fault report).
+    Report(RunReport),
+    /// The instance was lost before the run completed; the request has no
+    /// result yet and must be retried.
+    Lost,
+    /// A non-fault ECall error (e.g. no binary installed) — the request's
+    /// final, deterministic error.
+    Error(EcallError),
+}
+
+/// Serves one request on one worker, applying any armed chaos kill and
+/// quarantining/respawning the slot after a contained fault or a lost
+/// instance.
+fn serve_once(w: &mut Worker, ctx: &RespawnCtx<'_>, input: &[u8], fuel: u64) -> Outcome {
+    if let Some(left) = w.chaos_kill_after {
+        if left == 0 {
+            w.enclave.mark_lost();
+            w.chaos_kill_after = None;
+        } else {
+            w.chaos_kill_after = Some(left - 1);
+        }
+    }
+    match w.enclave.provide_input(input).and_then(|()| w.enclave.run(fuel)) {
+        Ok(report) => {
+            w.health.served += 1;
+            if matches!(report.exit, RunExit::Fault(_)) {
+                // The contained fault is the request's answer, but the
+                // instance may hold corrupted state (partially updated
+                // globals, mid-run buffers) — never let it serve again.
+                w.health.faulted += 1;
+                respawn_worker(w, ctx);
+            }
+            Outcome::Report(report)
+        }
+        Err(EcallError::EnclaveLost) => {
+            w.health.faulted += 1;
+            respawn_worker(w, ctx);
+            Outcome::Lost
+        }
+        Err(e) => Outcome::Error(e),
+    }
+}
+
+/// Work-stealing serve loop for one worker thread: claim the next request
+/// index from the shared counter, serve it, repeat. A lost instance
+/// retries the same request after a successful respawn; a quarantined slot
+/// stops claiming and leaves unserved work to the other threads (or the
+/// stranded retry pass).
+fn drain_queue<T: AsRef<[u8]>>(
+    w: &mut Worker,
+    ctx: &RespawnCtx<'_>,
+    next: &AtomicUsize,
+    requests: &[T],
+    fuel: u64,
+) -> Vec<(usize, Result<RunReport, EcallError>)> {
+    let mut out = Vec::new();
+    if w.health.quarantined && !respawn_worker(w, ctx) {
+        return out;
+    }
+    loop {
+        // The claim counter is the only cross-thread state; joining the
+        // scope publishes the per-thread results, so relaxed ordering
+        // suffices.
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= requests.len() {
+            return out;
+        }
+        loop {
+            match serve_once(w, ctx, requests[i].as_ref(), fuel) {
+                Outcome::Report(report) => {
+                    out.push((i, Ok(report)));
+                    break;
+                }
+                // Fresh instance after a successful respawn: retry the
+                // same request — serving is deterministic, so the result
+                // is the one the original instance would have produced.
+                Outcome::Lost if !w.health.quarantined => {}
+                // Respawn budget exhausted mid-request: the claim stays
+                // unserved for the stranded retry pass.
+                Outcome::Lost => return out,
+                Outcome::Error(e) => {
+                    out.push((i, Err(e)));
+                    break;
+                }
+            }
+        }
+        if w.health.quarantined {
+            // A contained fault exhausted the budget: the report above is
+            // still the request's result, but this slot must stop.
+            return out;
+        }
+    }
+}
 
 /// A pool of identically configured, identically loaded enclave workers.
 #[derive(Debug)]
 pub struct EnclavePool {
-    workers: Vec<BootstrapEnclave>,
+    workers: Vec<Worker>,
     /// Verified install images by code hash (sha256 of the binary).
     prepared: HashMap<[u8; 32], PreparedInstall>,
     /// How many times the full consumer pipeline (with verification) ran.
     verifications: usize,
+    layout: EnclaveLayout,
+    manifest: Manifest,
+    owner_key: Option<[u8; 32]>,
+    /// Code hash of the image currently installed pool-wide (respawns
+    /// reinstall this image from the cache).
+    active: Option<[u8; 32]>,
+    respawn_budget: usize,
 }
 
 impl EnclavePool {
@@ -48,9 +283,24 @@ impl EnclavePool {
     #[must_use]
     pub fn new(layout: &EnclaveLayout, manifest: &Manifest, count: usize) -> Self {
         assert!(count > 0, "pool needs at least one worker");
-        let workers =
-            (0..count).map(|_| BootstrapEnclave::new(layout.clone(), manifest.clone())).collect();
-        EnclavePool { workers, prepared: HashMap::new(), verifications: 0 }
+        let workers = (0..count)
+            .map(|_| Worker {
+                enclave: BootstrapEnclave::new(layout.clone(), manifest.clone()),
+                health: WorkerHealth::default(),
+                respawn_left: DEFAULT_RESPAWN_BUDGET,
+                chaos_kill_after: None,
+            })
+            .collect();
+        EnclavePool {
+            workers,
+            prepared: HashMap::new(),
+            verifications: 0,
+            layout: layout.clone(),
+            manifest: manifest.clone(),
+            owner_key: None,
+            active: None,
+            respawn_budget: DEFAULT_RESPAWN_BUDGET,
+        }
     }
 
     /// Number of workers.
@@ -67,67 +317,138 @@ impl EnclavePool {
 
     /// How many times a full (verifying) consumer pipeline has run in
     /// this pool — exactly once per unique binary installed, however many
-    /// workers there are.
+    /// workers there are, and zero for sealed imports.
     #[must_use]
     pub fn verification_count(&self) -> usize {
         self.verifications
     }
 
-    /// Installs the owner session key in every worker.
-    pub fn set_owner_session(&mut self, key: [u8; 32]) {
+    /// A snapshot of every worker slot's health counters.
+    #[must_use]
+    pub fn health(&self) -> PoolHealth {
+        PoolHealth { workers: self.workers.iter().map(|w| w.health.clone()).collect() }
+    }
+
+    /// Sets the per-slot respawn budget (default 8) and refills every
+    /// slot's remaining allowance to it.
+    pub fn set_respawn_budget(&mut self, budget: usize) {
+        self.respawn_budget = budget;
         for w in &mut self.workers {
-            w.set_owner_session(key);
+            w.respawn_left = budget;
         }
+    }
+
+    /// Installs the owner session key in every worker (and in every future
+    /// respawn).
+    pub fn set_owner_session(&mut self, key: [u8; 32]) {
+        self.owner_key = Some(key);
+        for w in &mut self.workers {
+            w.enclave.set_owner_session(key);
+        }
+    }
+
+    /// Fault injection: arms worker `worker` to lose its enclave instance
+    /// (the `SGX_ERROR_ENCLAVE_LOST` analogue) right before serving its
+    /// `runs + 1`-th subsequent request. The pool's quarantine/respawn
+    /// machinery then takes over; the interrupted request is retried and
+    /// still completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn chaos_kill_after(&mut self, worker: usize, runs: usize) {
+        self.workers[worker].chaos_kill_after = Some(runs);
+    }
+
+    /// Fault injection: replaces `worker`'s enclave with a fresh instance
+    /// built over a *different* layout — hence a different measurement —
+    /// as if an operator misdeployed the slot. Used to exercise the
+    /// fail-closed replay path of [`EnclavePool::install_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn chaos_replace_worker(&mut self, worker: usize, layout: &EnclaveLayout) {
+        let owner_key = self.owner_key;
+        let mut fresh = BootstrapEnclave::new(layout.clone(), self.manifest.clone());
+        if let Some(key) = owner_key {
+            fresh.set_owner_session(key);
+        }
+        self.workers[worker].enclave = fresh;
+    }
+
+    /// Seals the currently active prepared image for untrusted storage
+    /// (see [`crate::sealed`]); `None` when nothing is installed.
+    #[must_use]
+    pub fn export_sealed(&self) -> Option<Vec<u8>> {
+        let hash = self.active.as_ref()?;
+        Some(self.prepared.get(hash)?.seal())
+    }
+
+    /// Imports a sealed prepared image — e.g. into a freshly restarted
+    /// pool — and installs it in every worker with **zero**
+    /// re-verifications. Fails closed on any tampering, measurement,
+    /// manifest or rebuild mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::sealed::UnsealError`] (as
+    /// [`EcallError::Unseal`]) and replay failures, which quarantine the
+    /// affected workers like [`EnclavePool::install_all`].
+    pub fn import_sealed(&mut self, blob: &[u8]) -> Result<[u8; 32], EcallError> {
+        let prepared = PreparedInstall::unseal(blob, &self.layout, &self.manifest)?;
+        let hash = prepared.code_hash();
+        self.prepared.insert(hash, prepared);
+        let prepared = self.prepared.get(&hash).expect("just inserted").clone();
+        self.replay_into_all(&prepared)
     }
 
     /// Installs the same target binary in every worker, verifying once.
     ///
     /// The first install of a binary runs the full pipeline (load +
-    /// verify + rewrite) on worker 0 and captures the finished image;
-    /// the remaining workers adopt replayed copies concurrently. A
-    /// cached image (same code hash) replays into every worker with no
-    /// verification at all.
+    /// verify + rewrite) on the first healthy worker and captures the
+    /// finished image; all workers then adopt replayed copies
+    /// concurrently (quarantined or lost slots are rebuilt fresh first — a
+    /// full reinstall re-establishes trust, so it clears quarantine
+    /// without consuming the serving-path respawn budget). A cached image
+    /// (same code hash) replays into every worker with no verification at
+    /// all.
     ///
     /// # Errors
     ///
-    /// Fails if verification rejects the binary (no worker is then
-    /// usable) or a replay hits a measurement mismatch.
+    /// Fails if verification rejects the binary (nothing is installed
+    /// anywhere) or a replay fails. Replay failure is fail-closed: every
+    /// worker that rejected the image is quarantined, the rest hold the
+    /// new image uniformly, and the surfaced error is the lowest-index
+    /// worker's.
     pub fn install_all(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
         let hash = sha256(binary);
-        let prepared = match self.prepared.get(&hash) {
-            Some(p) => p.clone(),
-            None => {
-                let p = self.workers[0].install_capture(binary)?;
-                self.verifications += 1;
-                self.prepared.insert(hash, p.clone());
-                p
-            }
-        };
-        // Worker 0 already holds the image when it just captured it, but
-        // replaying is idempotent and keeps the loop uniform.
-        let mut outcomes: Vec<Result<[u8; 32], EcallError>> =
-            Vec::with_capacity(self.workers.len());
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in &mut self.workers {
-                let prepared = &prepared;
-                handles.push(scope.spawn(move || w.install_replayed(prepared)));
-            }
-            for h in handles {
-                outcomes.push(h.join().expect("install thread must not panic"));
-            }
-        });
-        // `outcomes` is in worker order; the first error is deterministic.
-        for o in outcomes {
-            o?;
+        if !self.prepared.contains_key(&hash) {
+            let idx =
+                self.workers.iter().position(|w| !w.health.quarantined && !w.enclave.is_lost());
+            let idx = match idx {
+                Some(idx) => idx,
+                None => {
+                    // Every slot is quarantined: rebuild slot 0 fresh and
+                    // verify there — the full pipeline re-establishes
+                    // trust from scratch.
+                    self.rebuild_fresh(0);
+                    0
+                }
+            };
+            let p = self.workers[idx].enclave.install_capture(binary)?;
+            self.verifications += 1;
+            self.prepared.insert(hash, p);
         }
-        Ok(prepared.code_hash())
+        let prepared = self.prepared.get(&hash).expect("present").clone();
+        self.replay_into_all(&prepared)
     }
 
     /// Installs the binary in every worker with an *independent* full
     /// pipeline run per worker — the pre-cache behaviour, kept for
     /// ablation benchmarks and for callers that want N genuinely
-    /// independent verifications.
+    /// independent verifications. Does not populate the prepared cache,
+    /// so respawned workers cannot reinstall from it.
     ///
     /// # Errors
     ///
@@ -136,17 +457,82 @@ impl EnclavePool {
     pub fn install_all_independent(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
         let mut hash = [0u8; 32];
         for w in &mut self.workers {
-            hash = w.install_plain(binary)?;
+            hash = w.enclave.install_plain(binary)?;
             self.verifications += 1;
         }
         Ok(hash)
     }
 
-    /// Serves one request on a specific worker.
+    /// Rebuilds a worker slot with a brand-new enclave (pool layout and
+    /// manifest), clearing quarantine. Used by the reinstall path; does
+    /// not consume the serving-path respawn budget — the slot's allowance
+    /// refills, since the subsequent full reinstall re-establishes trust.
+    fn rebuild_fresh(&mut self, idx: usize) {
+        let w = &mut self.workers[idx];
+        let floor = w.enclave.send_nonce();
+        let mut fresh = BootstrapEnclave::new(self.layout.clone(), self.manifest.clone());
+        fresh.resume_send_nonce(floor);
+        if let Some(key) = self.owner_key {
+            fresh.set_owner_session(key);
+        }
+        w.enclave = fresh;
+        w.health.respawned += 1;
+        w.health.quarantined = false;
+        w.respawn_left = self.respawn_budget;
+    }
+
+    /// Replays a prepared image into every worker concurrently,
+    /// rebuilding quarantined or lost slots first. Fail-closed on replay
+    /// errors: failing workers are quarantined, the rest hold the image
+    /// uniformly, and the lowest-index worker's error is returned.
+    fn replay_into_all(&mut self, prepared: &PreparedInstall) -> Result<[u8; 32], EcallError> {
+        let rebuild: Vec<usize> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.health.quarantined || w.enclave.is_lost())
+            .map(|(i, _)| i)
+            .collect();
+        for i in rebuild {
+            self.rebuild_fresh(i);
+        }
+        let mut outcomes: Vec<Result<[u8; 32], EcallError>> =
+            Vec::with_capacity(self.workers.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in &mut self.workers {
+                handles.push(scope.spawn(move || w.enclave.install_replayed(prepared)));
+            }
+            for h in handles {
+                outcomes.push(h.join().expect("install thread must not panic"));
+            }
+        });
+        // Even on partial failure every *usable* worker now holds this
+        // image, so it becomes the active one respawns reinstall.
+        self.active = Some(prepared.code_hash());
+        let mut first_err = None;
+        for (w, outcome) in self.workers.iter_mut().zip(outcomes) {
+            if let Err(e) = outcome {
+                w.health.quarantined = true;
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(prepared.code_hash()),
+        }
+    }
+
+    /// Serves one request on a specific worker, transparently respawning
+    /// it when it is quarantined or loses its instance mid-request.
     ///
     /// # Errors
     ///
-    /// Propagates ECall errors (no binary installed).
+    /// Propagates ECall errors (no binary installed), or
+    /// [`EcallError::WorkerQuarantined`] when the slot's respawn budget is
+    /// exhausted.
     pub fn serve_on(
         &mut self,
         worker: usize,
@@ -154,14 +540,34 @@ impl EnclavePool {
         fuel: u64,
     ) -> Result<RunReport, EcallError> {
         let idx = worker % self.workers.len();
+        let ctx = RespawnCtx {
+            layout: &self.layout,
+            manifest: &self.manifest,
+            owner_key: self.owner_key,
+            prepared: self.active.as_ref().and_then(|h| self.prepared.get(h)),
+        };
         let w = &mut self.workers[idx];
-        w.provide_input(input)?;
-        w.run(fuel)
+        if w.health.quarantined && !respawn_worker(w, &ctx) {
+            return Err(EcallError::WorkerQuarantined);
+        }
+        loop {
+            match serve_once(w, &ctx, input, fuel) {
+                Outcome::Report(report) => return Ok(report),
+                Outcome::Lost if !w.health.quarantined => {}
+                Outcome::Lost => return Err(EcallError::WorkerQuarantined),
+                Outcome::Error(e) => return Err(e),
+            }
+        }
     }
 
     /// Serves a batch of requests across the pool with real OS-thread
-    /// parallelism: request `i` runs on worker `i % len`, requests mapped
-    /// to the same worker run serially on its thread.
+    /// parallelism and work stealing: each worker thread claims the next
+    /// unserved request index from a shared counter, so a skewed batch
+    /// keeps every healthy worker busy. Workers that fault or lose their
+    /// instance are quarantined and respawned from the prepared cache;
+    /// requests stranded on a dead slot are retried serially, in index
+    /// order, on the remaining healthy workers (each tried once, in
+    /// worker order — deterministic).
     ///
     /// # Errors
     ///
@@ -173,23 +579,100 @@ impl EnclavePool {
         requests: &[T],
         fuel: u64,
     ) -> Result<Vec<RunReport>, EcallError> {
-        let worker_count = self.workers.len();
-        // Distribute request indices per worker, preserving order.
-        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); worker_count];
-        for (i, _) in requests.iter().enumerate() {
-            assignments[i % worker_count].push(i);
+        if requests.is_empty() {
+            return Ok(Vec::new());
         }
-
+        let ctx = RespawnCtx {
+            layout: &self.layout,
+            manifest: &self.manifest,
+            owner_key: self.owner_key,
+            prepared: self.active.as_ref().and_then(|h| self.prepared.get(h)),
+        };
+        let next = AtomicUsize::new(0);
         let mut slots: Vec<Vec<(usize, Result<RunReport, EcallError>)>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (worker, idxs) in self.workers.iter_mut().zip(&assignments) {
+            for w in &mut self.workers {
+                let ctx = &ctx;
+                let next = &next;
+                handles.push(scope.spawn(move || drain_queue(w, ctx, next, requests, fuel)));
+            }
+            for h in handles {
+                slots.push(h.join().expect("worker thread must not panic"));
+            }
+        });
+
+        // Stranded retry pass: requests claimed by a slot that died with
+        // an exhausted budget (or never claimed because every thread
+        // stopped early) are served here, serially and in index order.
+        let mut has_result = vec![false; requests.len()];
+        for batch in &slots {
+            for &(i, _) in batch {
+                has_result[i] = true;
+            }
+        }
+        let stranded: Vec<usize> = (0..requests.len()).filter(|&i| !has_result[i]).collect();
+        if !stranded.is_empty() {
+            let mut retried = Vec::with_capacity(stranded.len());
+            for i in stranded {
+                let mut entry = Err(EcallError::WorkerQuarantined);
+                for w in &mut self.workers {
+                    if w.health.quarantined && !respawn_worker(w, &ctx) {
+                        continue;
+                    }
+                    match serve_once(w, &ctx, requests[i].as_ref(), fuel) {
+                        Outcome::Report(report) => {
+                            entry = Ok(report);
+                            break;
+                        }
+                        Outcome::Lost => {}
+                        Outcome::Error(e) => {
+                            entry = Err(e);
+                            break;
+                        }
+                    }
+                }
+                retried.push((i, entry));
+            }
+            slots.push(retried);
+        }
+        merge_results(requests.len(), slots)
+    }
+
+    /// The pre-work-stealing scheduler: request `i` runs on worker
+    /// `i % len`, requests mapped to the same worker run serially on its
+    /// thread. Kept as the ablation baseline for
+    /// [`EnclavePool::serve_parallel`]; performs no quarantine or respawn
+    /// handling, so it assumes a healthy pool.
+    ///
+    /// # Errors
+    ///
+    /// Same lowest-request-index error rule as
+    /// [`EnclavePool::serve_parallel`].
+    pub fn serve_parallel_round_robin<T: AsRef<[u8]> + Sync>(
+        &mut self,
+        requests: &[T],
+        fuel: u64,
+    ) -> Result<Vec<RunReport>, EcallError> {
+        let worker_count = self.workers.len();
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); worker_count];
+        for i in 0..requests.len() {
+            assignments[i % worker_count].push(i);
+        }
+        let mut slots: Vec<Vec<(usize, Result<RunReport, EcallError>)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, idxs) in self.workers.iter_mut().zip(&assignments) {
                 let handle = scope.spawn(move || {
                     let mut out = Vec::with_capacity(idxs.len());
                     for &i in idxs {
-                        let result = worker
+                        let result = w
+                            .enclave
                             .provide_input(requests[i].as_ref())
-                            .and_then(|()| worker.run(fuel));
+                            .and_then(|()| w.enclave.run(fuel));
+                        if result.is_ok() {
+                            w.health.served += 1;
+                        }
                         out.push((i, result));
                     }
                     out
@@ -200,7 +683,6 @@ impl EnclavePool {
                 slots.push(h.join().expect("worker thread must not panic"));
             }
         });
-
         merge_results(requests.len(), slots)
     }
 }
@@ -267,6 +749,16 @@ mod tests {
             assert_eq!(report.exit, RunExit::Halted { exit: expected });
             let serial = serial_pool.serve_on(0, req, 10_000_000).unwrap();
             assert_eq!(serial.exit, report.exit);
+        }
+    }
+
+    #[test]
+    fn round_robin_baseline_matches_work_stealing() {
+        let requests: Vec<Vec<u8>> = (0..12u8).map(|i| vec![i, i + 3]).collect();
+        let a = pool(3).serve_parallel(&requests, 10_000_000).unwrap();
+        let b = pool(3).serve_parallel_round_robin(&requests, 10_000_000).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.exit, y.exit);
         }
     }
 
@@ -368,6 +860,37 @@ mod tests {
         // Worker index 5 lands on worker 1.
         let r = p.serve_on(5, b"\x01", 1_000_000).unwrap();
         assert_eq!(r.exit.exit_value(), Some(1));
+    }
+
+    #[test]
+    fn killed_worker_respawns_and_serving_continues() {
+        let mut p = pool(2);
+        p.chaos_kill_after(1, 0); // worker 1 dies on its next request
+        for i in 0..6u8 {
+            let r = p.serve_on(usize::from(i % 2), &[i], 1_000_000).unwrap();
+            assert_eq!(r.exit.exit_value(), Some(u64::from(i)));
+        }
+        let health = p.health();
+        assert_eq!(health.workers[1].respawned, 1);
+        assert_eq!(health.workers[1].faulted, 1);
+        assert_eq!(health.quarantined(), 0);
+        // Zero re-verifications: the respawn reinstalled from the cache.
+        assert_eq!(p.verification_count(), 1);
+    }
+
+    #[test]
+    fn exhausted_budget_quarantines_worker() {
+        let mut p = pool(1);
+        p.set_respawn_budget(0);
+        p.chaos_kill_after(0, 0);
+        assert_eq!(p.serve_on(0, b"\x01", 1_000_000).unwrap_err(), EcallError::WorkerQuarantined);
+        assert_eq!(p.serve_on(0, b"\x01", 1_000_000).unwrap_err(), EcallError::WorkerQuarantined);
+        assert_eq!(p.health().quarantined(), 1);
+        // A full reinstall re-establishes the slot.
+        let binary = produce(ECHO_SUM, &PolicySet::full()).unwrap().serialize();
+        p.install_all(&binary).unwrap();
+        assert_eq!(p.health().quarantined(), 0);
+        assert_eq!(p.serve_on(0, b"\x01", 1_000_000).unwrap().exit.exit_value(), Some(1));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 
 use crate::consumer::{install, InstallError, Installed};
 use crate::policy::Manifest;
+use crate::sealed::UnsealError;
 use deflection_crypto::aead::ChaCha20Poly1305;
+use deflection_crypto::sha256::sha256;
 use deflection_crypto::CryptoError;
 use deflection_isa::{OcallCode, Reg};
 use deflection_sgx_sim::aex::AexInjector;
@@ -38,7 +40,7 @@ const RECORD_AAD: &[u8] = b"deflection-p0-record";
 
 /// Where the I/O buffers were placed in the heap.
 #[derive(Debug, Clone, Copy)]
-struct IoPlan {
+pub(crate) struct IoPlan {
     io_ctl_va: u64,
     input_base: u64,
     input_cap: u64,
@@ -97,6 +99,9 @@ impl VmHost for HostState {
                         reason: "send length exceeds the record size".into(),
                     });
                 }
+                // The budget is per *run*: `sent_bytes` is reset by `run()`
+                // so a long-lived worker serving many small requests never
+                // exhausts it, while any single run is still capped.
                 if self.sent_bytes + len > self.manifest.output_budget {
                     return Err(Fault::OcallFailed {
                         code,
@@ -215,6 +220,9 @@ pub struct BootstrapEnclave {
     recv_nonce: u64,
     /// Whether a directly-loaded input message is waiting for the next run.
     direct_input_pending: bool,
+    /// Whether the enclave instance was torn down (`SGX_ERROR_ENCLAVE_LOST`
+    /// analogue); every ECall fails until a fresh enclave is built.
+    lost: bool,
 }
 
 /// ECall-surface failures.
@@ -234,6 +242,16 @@ pub enum EcallError {
     /// A [`PreparedInstall`] was replayed into an enclave with a different
     /// measurement (layout or consumer image) than the one that captured it.
     PreparedMismatch,
+    /// The enclave instance was torn down (the `SGX_ERROR_ENCLAVE_LOST`
+    /// analogue: power transition, EPC eviction, or an injected chaos
+    /// kill). Every ECall fails until a fresh enclave is built; a pool
+    /// respawns the worker and retries the request.
+    EnclaveLost,
+    /// The pool worker is quarantined and its respawn budget is exhausted
+    /// (or no prepared image is available to reinstall from).
+    WorkerQuarantined,
+    /// A sealed install blob was rejected on import.
+    Unseal(UnsealError),
 }
 
 impl std::fmt::Display for EcallError {
@@ -247,7 +265,20 @@ impl std::fmt::Display for EcallError {
             EcallError::PreparedMismatch => {
                 write!(f, "prepared install was captured under a different measurement")
             }
+            EcallError::EnclaveLost => {
+                write!(f, "enclave instance lost; it must be rebuilt before further ecalls")
+            }
+            EcallError::WorkerQuarantined => {
+                write!(f, "pool worker quarantined and respawn budget exhausted")
+            }
+            EcallError::Unseal(e) => write!(f, "sealed install rejected: {e}"),
         }
+    }
+}
+
+impl From<UnsealError> for EcallError {
+    fn from(e: UnsealError) -> Self {
+        EcallError::Unseal(e)
     }
 }
 
@@ -284,11 +315,18 @@ impl From<CryptoError> for EcallError {
 /// construction, so a pool's workers are identical by construction.
 #[derive(Debug, Clone)]
 pub struct PreparedInstall {
-    measurement: Measurement,
-    code_hash: [u8; 32],
-    mem: Memory,
-    installed: Installed,
-    io: Option<IoPlan>,
+    pub(crate) measurement: Measurement,
+    pub(crate) code_hash: [u8; 32],
+    pub(crate) mem: Memory,
+    pub(crate) installed: Installed,
+    pub(crate) io: Option<IoPlan>,
+    /// The original serialized binary, kept so the image can be sealed and
+    /// deterministically re-derived after a restart (`crate::sealed`).
+    pub(crate) binary: Vec<u8>,
+    /// SHA-256 of the capturing manifest's canonical JSON form; sealing
+    /// binds the image to it so a restarted pool with a different manifest
+    /// fails closed.
+    pub(crate) manifest_digest: [u8; 32],
 }
 
 impl PreparedInstall {
@@ -297,6 +335,50 @@ impl PreparedInstall {
     pub fn code_hash(&self) -> [u8; 32] {
         self.code_hash
     }
+
+    /// The measurement of the enclave that captured (or rebuilt) the image.
+    #[must_use]
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+}
+
+/// Digest of the manifest's canonical JSON form, as bound into sealed
+/// install blobs.
+#[must_use]
+pub fn manifest_digest(manifest: &Manifest) -> [u8; 32] {
+    sha256(manifest.to_json().as_bytes())
+}
+
+/// Places the I/O buffers in the free heap above the loaded image and arms
+/// the program's `__io` control block. Deterministic in the
+/// measurement-covered inputs, like the rest of the pipeline.
+pub(crate) fn place_io(
+    mem: &mut Memory,
+    installed: &Installed,
+    layout: &EnclaveLayout,
+    manifest: &Manifest,
+) -> Result<Option<IoPlan>, EcallError> {
+    let input_base = (installed.program.data_end + 7) & !7;
+    let output_base = input_base + manifest.input_capacity as u64;
+    let end = output_base + manifest.output_capacity as u64;
+    if end > layout.heap.end {
+        return Err(EcallError::NoRoomForIo);
+    }
+    let io = installed.program.symbols.get("__io").map(|&io_ctl_va| IoPlan {
+        io_ctl_va,
+        input_base,
+        input_cap: manifest.input_capacity as u64,
+        output_base,
+        output_cap: manifest.output_capacity as u64,
+    });
+    if let Some(plan) = &io {
+        mem.poke_u64(plan.io_ctl_va, plan.input_base).expect("io block mapped");
+        mem.poke_u64(plan.io_ctl_va + 8, 0).expect("io block mapped");
+        mem.poke_u64(plan.io_ctl_va + 16, plan.output_base).expect("io block mapped");
+        mem.poke_u64(plan.io_ctl_va + 24, plan.output_cap).expect("io block mapped");
+    }
+    Ok(io)
 }
 
 impl BootstrapEnclave {
@@ -324,7 +406,38 @@ impl BootstrapEnclave {
             provider_key: None,
             recv_nonce: 0,
             direct_input_pending: false,
+            lost: false,
         }
+    }
+
+    /// Simulates losing the enclave instance (power transition, EPC
+    /// eviction, or an injected chaos kill): every subsequent ECall fails
+    /// with [`EcallError::EnclaveLost`]. There is no way back — like the
+    /// hardware, the instance must be rebuilt from scratch.
+    pub fn mark_lost(&mut self) {
+        self.lost = true;
+    }
+
+    /// Whether this instance was lost (see [`BootstrapEnclave::mark_lost`]).
+    #[must_use]
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// The next outgoing P0 record counter. Monotonic over the enclave's
+    /// lifetime — it never resets, because a repeated counter under the
+    /// same owner session key would reuse an AEAD nonce.
+    #[must_use]
+    pub fn send_nonce(&self) -> u64 {
+        self.host.send_nonce
+    }
+
+    /// Raises the outgoing record counter to at least `floor`. Used when a
+    /// pool respawns a worker under the *same* owner session key: the fresh
+    /// enclave inherits the dead worker's counter so no nonce is ever
+    /// reused. The counter never moves backwards.
+    pub fn resume_send_nonce(&mut self, floor: u64) {
+        self.host.send_nonce = self.host.send_nonce.max(floor);
     }
 
     /// The enclave's measurement, as the hardware would report it in a
@@ -385,36 +498,20 @@ impl BootstrapEnclave {
     ///
     /// Propagates consumer rejections and I/O-placement failures.
     pub fn install_capture(&mut self, binary: &[u8]) -> Result<PreparedInstall, EcallError> {
+        if self.lost {
+            return Err(EcallError::EnclaveLost);
+        }
         let mut mem = Memory::new(self.layout.clone());
         let installed = install(binary, &self.manifest, &mut mem)?;
-
-        // Place the I/O buffers in the free heap above the loaded image.
-        let input_base = (installed.program.data_end + 7) & !7;
-        let output_base = input_base + self.manifest.input_capacity as u64;
-        let end = output_base + self.manifest.output_capacity as u64;
-        if end > self.layout.heap.end {
-            return Err(EcallError::NoRoomForIo);
-        }
-        let io = installed.program.symbols.get("__io").map(|&io_ctl_va| IoPlan {
-            io_ctl_va,
-            input_base,
-            input_cap: self.manifest.input_capacity as u64,
-            output_base,
-            output_cap: self.manifest.output_capacity as u64,
-        });
-        if let Some(plan) = &io {
-            mem.poke_u64(plan.io_ctl_va, plan.input_base).expect("io block mapped");
-            mem.poke_u64(plan.io_ctl_va + 8, 0).expect("io block mapped");
-            mem.poke_u64(plan.io_ctl_va + 16, plan.output_base).expect("io block mapped");
-            mem.poke_u64(plan.io_ctl_va + 24, plan.output_cap).expect("io block mapped");
-        }
-
+        let io = place_io(&mut mem, &installed, &self.layout, &self.manifest)?;
         let prepared = PreparedInstall {
             measurement: self.measurement(),
             code_hash: installed.program.code_hash,
             mem: mem.clone(),
             installed: installed.clone(),
             io,
+            binary: binary.to_vec(),
+            manifest_digest: manifest_digest(&self.manifest),
         };
         self.adopt(mem, installed, io);
         Ok(prepared)
@@ -429,6 +526,9 @@ impl BootstrapEnclave {
     /// Fails closed with [`EcallError::PreparedMismatch`] when this
     /// enclave's measurement differs from the capturing enclave's.
     pub fn install_replayed(&mut self, prepared: &PreparedInstall) -> Result<[u8; 32], EcallError> {
+        if self.lost {
+            return Err(EcallError::EnclaveLost);
+        }
         if prepared.measurement != self.measurement() {
             return Err(EcallError::PreparedMismatch);
         }
@@ -468,6 +568,9 @@ impl BootstrapEnclave {
     ///
     /// Fails when no binary is installed.
     pub fn provide_input(&mut self, data: &[u8]) -> Result<(), EcallError> {
+        if self.lost {
+            return Err(EcallError::EnclaveLost);
+        }
         let vm = self.vm.as_mut().ok_or(EcallError::NotInstalled)?;
         if self.host.io.is_some() && !self.direct_input_pending && self.host.inbox.is_empty() {
             self.host.load_input(&mut vm.mem, data).expect("input buffer mapped");
@@ -517,12 +620,21 @@ impl BootstrapEnclave {
     /// Fails only when no binary is installed; program-level failures are
     /// reported inside the [`RunReport`].
     pub fn run(&mut self, fuel: u64) -> Result<RunReport, EcallError> {
+        if self.lost {
+            return Err(EcallError::EnclaveLost);
+        }
         let vm = self.vm.as_mut().ok_or(EcallError::NotInstalled)?;
         let installed = self.installed.as_ref().expect("installed with vm");
         // Reset the CPU to the entry; memory (globals, control slots)
         // persists across runs.
         vm.cpu = Cpu::new(installed.program.entry_va);
         vm.cpu.set(Reg::RSP, self.layout.initial_rsp());
+        // The P0 output budget caps each *run*: reset the counter so a
+        // long-lived worker serving many in-budget requests never faults on
+        // accumulated history. The send nonce, by contrast, must never
+        // reset — a repeated counter under the same owner key would reuse
+        // an AEAD nonce.
+        self.host.sent_bytes = 0;
         // The pending direct input is consumed by this run; the next
         // provide_input call refreshes the buffer.
         self.direct_input_pending = false;
@@ -686,6 +798,29 @@ mod tests {
         let report = e.run(10_000_000).unwrap();
         assert!(matches!(report.exit, RunExit::Fault(Fault::OcallFailed { .. })));
         assert_eq!(report.records.len(), 4);
+    }
+
+    #[test]
+    fn output_budget_is_per_run_and_nonce_stays_monotonic() {
+        let policy = PolicySet::p1();
+        let obj = produce("fn main() -> int { return send(100); }", &policy).unwrap();
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = policy;
+        manifest.output_budget = 450; // each run sends 100, well within budget
+        let owner_key = [1u8; 32];
+        let mut e = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+        e.set_owner_session(owner_key);
+        e.install_plain(&obj.serialize()).unwrap();
+        // budget/len + 1 = 5 runs would have tripped the old cumulative
+        // counter (500 > 450); one extra run for good measure.
+        for run in 0..6u64 {
+            let report = e.run(10_000_000).unwrap();
+            assert_eq!(report.exit, RunExit::Halted { exit: 100 }, "run {run} faulted");
+            assert_eq!(report.records.len(), 1);
+            // The record counter never reset: run N seals under nonce N.
+            assert!(open_record(&owner_key, run, &report.records[0]).is_ok());
+        }
+        assert_eq!(e.send_nonce(), 6);
     }
 
     #[test]

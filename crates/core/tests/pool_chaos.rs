@@ -1,0 +1,232 @@
+//! Chaos/fault-injection tests for the serving pool: workers are killed or
+//! faulted mid-batch and the pool must still complete every request with
+//! results identical to a serial single-worker pool, reporting what
+//! happened through `PoolHealth`.
+
+use deflection_core::policy::{Manifest, PolicySet};
+use deflection_core::pool::EnclavePool;
+use deflection_core::producer::produce;
+use deflection_core::runtime::EcallError;
+use deflection_sgx_sim::layout::{EnclaveLayout, MemConfig};
+use deflection_sgx_sim::vm::RunExit;
+
+const FUEL: u64 = 10_000_000;
+
+const ECHO_SUM: &str = "
+    fn main() -> int {
+        var n: int = input_len();
+        var s: int = 0;
+        var i: int = 0;
+        while (i < n) { s = s + input_byte(i); i = i + 1; }
+        return s;
+    }
+";
+
+fn manifest() -> Manifest {
+    let mut manifest = Manifest::ccaas();
+    manifest.policy = PolicySet::full();
+    manifest
+}
+
+fn echo_pool(workers: usize) -> EnclavePool {
+    let manifest = manifest();
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let mut pool = EnclavePool::new(&layout, &manifest, workers);
+    let binary = produce(ECHO_SUM, &manifest.policy).unwrap().serialize();
+    pool.set_owner_session([1; 32]);
+    pool.install_all(&binary).unwrap();
+    pool
+}
+
+fn requests(n: u8) -> Vec<Vec<u8>> {
+    (0..n).map(|i| vec![i, i.wrapping_mul(3), 7]).collect()
+}
+
+/// Serial ground truth: the same batch served one-by-one on a 1-worker
+/// pool. Exit values are what we compare — record ciphertexts legitimately
+/// differ because each worker seals under its own monotonic counter.
+fn serial_exits(batch: &[Vec<u8>]) -> Vec<RunExit> {
+    let mut pool = echo_pool(1);
+    batch.iter().map(|req| pool.serve_on(0, req, FUEL).unwrap().exit).collect()
+}
+
+#[test]
+fn chaos_kills_mid_batch_results_identical_to_serial() {
+    let batch = requests(32);
+    let expected = serial_exits(&batch);
+    let mut pool = echo_pool(2);
+    // Each worker dies on its 3rd request. Work stealing decides how many
+    // requests each worker claims, but with 32 requests over 2 workers at
+    // least one worker makes 3 claims, so at least one kill always fires
+    // mid-batch.
+    pool.chaos_kill_after(0, 2);
+    pool.chaos_kill_after(1, 2);
+    let reports = pool.serve_parallel(&batch, FUEL).unwrap();
+    assert_eq!(reports.len(), batch.len(), "every request completes");
+    for (report, expect) in reports.iter().zip(&expected) {
+        assert_eq!(report.exit, *expect);
+    }
+    let health = pool.health();
+    let respawned = health.total_respawned();
+    assert!((1..=2).contains(&respawned), "at least one kill fired, got {respawned}");
+    assert_eq!(health.total_faulted(), respawned, "every kill was respawned");
+    assert_eq!(health.quarantined(), 0, "respawns succeeded within budget");
+    // Respawns reinstalled from the cache: still exactly one verification.
+    assert_eq!(pool.verification_count(), 1);
+}
+
+#[test]
+fn every_worker_killed_batch_still_completes() {
+    let batch = requests(16);
+    let expected = serial_exits(&batch);
+    let mut pool = echo_pool(4);
+    for w in 0..4 {
+        pool.chaos_kill_after(w, 1);
+    }
+    let reports = pool.serve_parallel(&batch, FUEL).unwrap();
+    for (report, expect) in reports.iter().zip(&expected) {
+        assert_eq!(report.exit, *expect);
+    }
+    let health = pool.health();
+    let respawned = health.total_respawned();
+    // 16 claims over 4 workers: at least one worker reaches its 2nd
+    // request and dies; every fired kill must have been healed.
+    assert!((1..=4).contains(&respawned), "got {respawned}");
+    assert_eq!(health.total_faulted(), respawned);
+    assert_eq!(health.quarantined(), 0);
+}
+
+#[test]
+fn exhausted_respawn_budget_surfaces_quarantine_error() {
+    let batch = requests(4);
+    let mut pool = echo_pool(1);
+    pool.set_respawn_budget(0);
+    pool.chaos_kill_after(0, 0);
+    // The single worker dies on the first claimed request and cannot
+    // respawn: that lowest request index surfaces the quarantine error.
+    let err = pool.serve_parallel(&batch, FUEL).unwrap_err();
+    assert_eq!(err, EcallError::WorkerQuarantined);
+    assert_eq!(pool.health().quarantined(), 1);
+}
+
+#[test]
+fn empty_batch_is_a_noop() {
+    for workers in [1, 2, 4] {
+        let mut pool = echo_pool(workers);
+        let batch: Vec<Vec<u8>> = Vec::new();
+        let reports = pool.serve_parallel(&batch, FUEL).unwrap();
+        assert!(reports.is_empty());
+        assert_eq!(pool.health().total_served(), 0);
+    }
+}
+
+#[test]
+fn fewer_requests_than_workers() {
+    let batch = requests(2);
+    let expected = serial_exits(&batch);
+    let mut pool = echo_pool(8);
+    let reports = pool.serve_parallel(&batch, FUEL).unwrap();
+    assert_eq!(reports.len(), 2);
+    for (report, expect) in reports.iter().zip(&expected) {
+        assert_eq!(report.exit, *expect);
+    }
+    // Idle workers served nothing and nothing faulted.
+    assert_eq!(pool.health().total_served(), 2);
+    assert_eq!(pool.health().total_faulted(), 0);
+}
+
+#[test]
+fn batch_of_all_errors_is_deterministic_across_worker_counts() {
+    // No binary installed: every request fails with the same ECall error,
+    // and the lowest-request-index rule makes the batch verdict
+    // deterministic at every worker count.
+    let batch = requests(9);
+    for workers in [1, 2, 4, 8] {
+        let manifest = manifest();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, workers);
+        let err = pool.serve_parallel(&batch, FUEL).unwrap_err();
+        assert_eq!(err, EcallError::NotInstalled, "{workers} workers");
+    }
+}
+
+#[test]
+fn batch_of_all_faults_matches_serial_at_every_worker_count() {
+    // `send` without an owner session faults every single request; the
+    // fault report is still each request's deterministic result.
+    let src = "fn main() -> int { return send(1); }";
+    let manifest = manifest();
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let binary = produce(src, &manifest.policy).unwrap().serialize();
+    let batch = requests(8);
+    for workers in [1, 2, 4, 8] {
+        let mut pool = EnclavePool::new(&layout, &manifest, workers);
+        pool.install_all(&binary).unwrap();
+        let reports = pool.serve_parallel(&batch, FUEL).unwrap();
+        assert_eq!(reports.len(), batch.len(), "{workers} workers");
+        for report in &reports {
+            assert!(matches!(report.exit, RunExit::Fault(_)), "{workers} workers");
+        }
+        let health = pool.health();
+        assert_eq!(health.total_served(), 8, "{workers} workers");
+        assert_eq!(health.total_faulted(), 8, "{workers} workers");
+        // Every fault quarantined-and-respawned the slot that hit it.
+        assert_eq!(health.total_respawned(), 8, "{workers} workers");
+    }
+}
+
+#[test]
+fn install_all_fails_closed_on_mismatched_worker() {
+    let mut pool = echo_pool(4);
+    // Misdeploy slot 2: a fresh enclave over a different layout, hence a
+    // different measurement.
+    pool.chaos_replace_worker(2, &EnclaveLayout::new(MemConfig::paper()));
+    let manifest = manifest();
+    let other = produce("fn main() -> int { return 7; }", &manifest.policy).unwrap().serialize();
+    let err = pool.install_all(&other).unwrap_err();
+    assert_eq!(err, EcallError::PreparedMismatch);
+    // Fail closed: the mismatched slot is quarantined, every other worker
+    // holds the *new* image uniformly.
+    let health = pool.health();
+    assert!(health.workers[2].quarantined);
+    assert_eq!(health.quarantined(), 1);
+    for w in [0usize, 1, 3] {
+        assert_eq!(pool.serve_on(w, b"", FUEL).unwrap().exit.exit_value(), Some(7), "worker {w}");
+    }
+    // Serving on the quarantined slot respawns it over the pool's own
+    // layout and reinstalls from the cache — full recovery.
+    assert_eq!(pool.serve_on(2, b"", FUEL).unwrap().exit.exit_value(), Some(7));
+    assert_eq!(pool.health().quarantined(), 0);
+}
+
+#[test]
+fn output_budget_is_per_request_on_a_pool_worker() {
+    // Regression: the P0 budget used to accumulate across runs, so a
+    // long-lived worker spuriously faulted after budget/len requests.
+    let mut manifest = manifest();
+    manifest.output_budget = 450;
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let send100 =
+        produce("fn main() -> int { return send(100); }", &manifest.policy).unwrap().serialize();
+    let mut pool = EnclavePool::new(&layout, &manifest, 1);
+    pool.set_owner_session([1; 32]);
+    pool.install_all(&send100).unwrap();
+    // budget/len + 1 = 5 requests on the one worker; plus one for margin.
+    for i in 0..6 {
+        let report = pool.serve_on(0, b"", FUEL).unwrap();
+        assert_eq!(report.exit, RunExit::Halted { exit: 100 }, "request {i}");
+    }
+    assert_eq!(pool.health().total_faulted(), 0);
+    // A single over-budget run still faults.
+    let burst = "
+        fn main() -> int {
+            var i: int = 0;
+            while (i < 5) { send(100); i = i + 1; }
+            return 0;
+        }
+    ";
+    let burst = produce(burst, &manifest.policy).unwrap().serialize();
+    pool.install_all(&burst).unwrap();
+    let report = pool.serve_on(0, b"", FUEL).unwrap();
+    assert!(matches!(report.exit, RunExit::Fault(_)));
+}

@@ -41,6 +41,17 @@ pub fn measure_enclave(consumer_image: &[u8], layout: &EnclaveLayout) -> Measure
     h.finalize()
 }
 
+/// Derives the enclave's sealing key from its measurement — the `EGETKEY`
+/// analogue with `KEYPOLICY.MRENCLAVE`: only an enclave whose measurement
+/// equals `measurement` can derive this key, so a MAC under it proves the
+/// sealed data was produced by (and is only importable into) an enclave
+/// with the same consumer image and layout. A different measurement yields
+/// an unrelated key and every MAC check under it fails closed.
+#[must_use]
+pub fn sealing_key(measurement: &Measurement) -> [u8; 32] {
+    hmac_sha256(measurement, b"deflection-sealing-key-v1")
+}
+
 /// The simulated SGX platform: owner of the attestation key.
 #[derive(Debug, Clone)]
 pub struct Platform {
@@ -95,6 +106,15 @@ mod tests {
     fn measurement_is_deterministic() {
         let layout = EnclaveLayout::new(MemConfig::small());
         assert_eq!(measure_enclave(b"consumer", &layout), measure_enclave(b"consumer", &layout));
+    }
+
+    #[test]
+    fn sealing_key_is_measurement_bound() {
+        let a = measure_enclave(b"consumer-v1", &EnclaveLayout::new(MemConfig::small()));
+        let b = measure_enclave(b"consumer-v2", &EnclaveLayout::new(MemConfig::small()));
+        assert_eq!(sealing_key(&a), sealing_key(&a), "derivation is deterministic");
+        assert_ne!(sealing_key(&a), sealing_key(&b), "different enclaves, different keys");
+        assert_ne!(sealing_key(&a), a, "the key is not the measurement itself");
     }
 
     #[test]

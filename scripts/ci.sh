@@ -4,9 +4,9 @@
 #
 # Bench smoke mode: `scripts/ci.sh --smoke` (or BENCH_SMOKE=1) additionally
 # runs every Criterion bench target once in --quick mode and captures its
-# output under target/bench-smoke/BENCH_<name>.json, so CI catches bench
-# bit-rot (panicking asserts, broken tables) without paying for a full
-# measurement run.
+# output as target/bench-smoke/BENCH_<name>.json (also copied to the repo
+# root), so CI catches bench bit-rot (panicking asserts, broken tables)
+# without paying for a full measurement run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +31,12 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+# The fault-injection suites run as part of `cargo test` above, but tier-1
+# names them explicitly so a packaging/bin-filter regression that silently
+# drops them is caught here.
+echo "==> tier-1: chaos/fault-injection suite (pool_chaos, sealed_install)"
+cargo test -q -p deflection-core --test pool_chaos --test sealed_install
+
 if [ "$SMOKE" = "1" ]; then
     echo "==> bench smoke (--quick, one pass per target)"
     mkdir -p target/bench-smoke
@@ -43,18 +49,24 @@ if [ "$SMOKE" = "1" ]; then
             echo "bench smoke failed: $bench" >&2
             exit 1
         }
-        # Emit a machine-readable summary per bench: name, status, and the
-        # Criterion measurement lines the run produced.
-        python3 - "$bench" "$log" <<'EOF' || true
-import json, sys
-bench, log = sys.argv[1], sys.argv[2]
-lines = [l.rstrip() for l in open(log, encoding="utf-8", errors="replace")]
-measurements = [l.strip() for l in lines if l.strip().startswith("bench ")]
-out = {"bench": bench, "status": "ok", "measurements": measurements}
-path = f"target/bench-smoke/BENCH_{bench}.json"
-json.dump(out, open(path, "w"), indent=2)
-print(f"    wrote {path} ({len(measurements)} measurements)")
-EOF
+        # Emit a machine-readable summary per bench — name, status, and the
+        # Criterion measurement lines the run produced — with no external
+        # interpreter, and copy it to the repo root so the trajectory is
+        # visible outside gitignored target/.
+        json="target/bench-smoke/BENCH_${bench}.json"
+        {
+            printf '{\n  "bench": "%s",\n  "status": "ok",\n  "measurements": [' "$bench"
+            first=1
+            while IFS= read -r line; do
+                esc=$(printf '%s' "$line" | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g')
+                if [ "$first" = 1 ]; then first=0; else printf ','; fi
+                printf '\n    "%s"' "$esc"
+            done < <(sed -n 's/^[[:space:]]*\(bench .*\)$/\1/p' "$log")
+            printf '\n  ]\n}\n'
+        } >"$json"
+        cp "$json" "BENCH_${bench}.json"
+        count=$(sed -n 's/^[[:space:]]*bench .*$/x/p' "$log" | wc -l)
+        echo "    wrote $json ($count measurements, copied to repo root)"
     done
 fi
 
