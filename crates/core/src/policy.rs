@@ -133,6 +133,13 @@ pub struct Manifest {
     /// long-lived worker serving many in-budget requests never accumulates
     /// spurious budget pressure.
     pub output_budget: usize,
+    /// Optional cap on total plaintext bytes over the enclave's whole
+    /// lifetime, tracked by a ledger that never resets (and survives pool
+    /// respawns of the same slot). `None` leaves cumulative output
+    /// unbounded — the per-run budget alone matches the paper's
+    /// per-inference P0 entropy control; deployments that need a hard
+    /// bound on `budget × runs` leakage set this.
+    pub lifetime_output_budget: Option<u64>,
     /// Capacity of the input buffer placed in the heap.
     pub input_capacity: usize,
     /// Capacity of the output staging buffer.
@@ -162,6 +169,7 @@ impl Manifest {
             ],
             output_record_len: 256,
             output_budget: 1 << 20,
+            lifetime_output_budget: None,
             input_capacity: 1 << 20,
             output_capacity: 1 << 20,
             aex_threshold: 1000,
@@ -186,11 +194,16 @@ impl Manifest {
             Some(v) => v.to_string(),
             None => "null".into(),
         };
+        let lifetime = match self.lifetime_output_budget {
+            Some(v) => v.to_string(),
+            None => "null".into(),
+        };
         let p = &self.policy;
         format!(
             concat!(
                 "{{\"allowed_ocalls\":[{}],\"output_record_len\":{},",
-                "\"output_budget\":{},\"input_capacity\":{},\"output_capacity\":{},",
+                "\"output_budget\":{},\"lifetime_output_budget\":{},",
+                "\"input_capacity\":{},\"output_capacity\":{},",
                 "\"aex_threshold\":{},\"time_blur_quantum\":{},\"policy\":{{",
                 "\"store_bounds\":{},\"rsp_integrity\":{},\"cfi\":{},\"aex\":{},",
                 "\"q\":{},\"elide_guards\":{}}}}}"
@@ -198,6 +211,7 @@ impl Manifest {
             ocalls.join(","),
             self.output_record_len,
             self.output_budget,
+            lifetime,
             self.input_capacity,
             self.output_capacity,
             self.aex_threshold,
@@ -243,10 +257,16 @@ impl Manifest {
             json::Value::Null => None,
             other => Some(other.as_u64()?),
         };
+        // Absent in manifests written before the lifetime ledger existed.
+        let lifetime = match json::field(top, "lifetime_output_budget") {
+            Ok(json::Value::Null) | Err(_) => None,
+            Ok(other) => Some(other.as_u64()?),
+        };
         Ok(Manifest {
             allowed_ocalls: ocalls,
             output_record_len: json::field(top, "output_record_len")?.as_usize()?,
             output_budget: json::field(top, "output_budget")?.as_usize()?,
+            lifetime_output_budget: lifetime,
             input_capacity: json::field(top, "input_capacity")?.as_usize()?,
             output_capacity: json::field(top, "output_capacity")?.as_usize()?,
             aex_threshold: json::field(top, "aex_threshold")?.as_u64()?,
@@ -498,6 +518,18 @@ mod tests {
         m.policy = PolicySet::p1_p2().with_elision();
         let back = Manifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);
+        m.lifetime_output_budget = Some(1 << 24);
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_without_lifetime_budget_field_still_parses() {
+        // Wire compatibility: manifests serialized before the lifetime
+        // ledger existed omit the field; parsing defaults it to None.
+        let json = Manifest::ccaas().to_json().replace("\"lifetime_output_budget\":null,", "");
+        let back = Manifest::from_json(&json).unwrap();
+        assert_eq!(back, Manifest::ccaas());
     }
 
     #[test]

@@ -31,10 +31,13 @@
 //! `SGX_ERROR_ENCLAVE_LOST` analogue — power transition or injected chaos
 //! kill; the request never completed). Either way the pool quarantines the
 //! worker slot and respawns a fresh enclave into it, reinstalling from the
-//! prepared-image cache with zero re-verifications and carrying the dead
-//! instance's record counter forward so no AEAD nonce is ever reused. Each
-//! slot has a bounded respawn budget; when it is exhausted the slot stays
-//! quarantined and [`EnclavePool::health`] reports it.
+//! prepared-image cache with zero re-verifications. No AEAD nonce is ever
+//! reused pool-wide: every slot seals records in its own nonce *channel*
+//! (the slot index, part of the nonce — so workers sharing the owner
+//! session key never collide even though each counter starts at 0), and a
+//! respawn carries the dead instance's channel and record counter forward.
+//! Each slot has a bounded respawn budget; when it is exhausted the slot
+//! stays quarantined and [`EnclavePool::health`] reports it.
 //!
 //! [`EnclavePool::serve_parallel`] schedules by *work stealing*: worker
 //! threads claim request indices from a shared atomic counter, so a skewed
@@ -45,8 +48,8 @@
 //! request is retried on a fresh or different worker with an identical
 //! result, and the documented lowest-request-index error rule is enforced
 //! by [`merge_results`] after all threads join. (Record *ciphertexts* do
-//! depend on which worker sealed them, since each worker seals under its
-//! own monotonic counter.)
+//! depend on which worker sealed them, since each worker seals in its own
+//! nonce channel under its own monotonic counter.)
 
 use crate::policy::Manifest;
 use crate::runtime::{BootstrapEnclave, EcallError, PreparedInstall, RunReport};
@@ -139,12 +142,15 @@ fn respawn_worker(w: &mut Worker, ctx: &RespawnCtx<'_>) -> bool {
         return false;
     }
     w.respawn_left -= 1;
-    let floor = w.enclave.send_nonce();
     let mut fresh = BootstrapEnclave::new(ctx.layout.clone(), ctx.manifest.clone());
     // The fresh instance serves under the same owner session key as the
-    // dead one, so it inherits the record counter — a reset would reuse an
-    // AEAD nonce.
-    fresh.resume_send_nonce(floor);
+    // dead one, so it inherits the slot's nonce channel and record counter
+    // (a reset would reuse an AEAD nonce) and the lifetime output ledger
+    // (the optional lifetime entropy cap bounds the slot, not one
+    // instance).
+    fresh.set_channel(w.enclave.channel());
+    fresh.resume_send_nonce(w.enclave.send_nonce());
+    fresh.resume_lifetime_sent_bytes(w.enclave.lifetime_sent_bytes());
     if let Some(key) = ctx.owner_key {
         fresh.set_owner_session(key);
     }
@@ -284,11 +290,19 @@ impl EnclavePool {
     pub fn new(layout: &EnclaveLayout, manifest: &Manifest, count: usize) -> Self {
         assert!(count > 0, "pool needs at least one worker");
         let workers = (0..count)
-            .map(|_| Worker {
-                enclave: BootstrapEnclave::new(layout.clone(), manifest.clone()),
-                health: WorkerHealth::default(),
-                respawn_left: DEFAULT_RESPAWN_BUDGET,
-                chaos_kill_after: None,
+            .map(|i| {
+                let mut enclave = BootstrapEnclave::new(layout.clone(), manifest.clone());
+                // Every slot seals records in its own nonce channel, so
+                // workers sharing the owner session key never produce the
+                // same (key, nonce) pair even though each counter starts
+                // at 0.
+                enclave.set_channel(u32::try_from(i).expect("pool size fits u32"));
+                Worker {
+                    enclave,
+                    health: WorkerHealth::default(),
+                    respawn_left: DEFAULT_RESPAWN_BUDGET,
+                    chaos_kill_after: None,
+                }
             })
             .collect();
         EnclavePool {
@@ -371,6 +385,7 @@ impl EnclavePool {
     pub fn chaos_replace_worker(&mut self, worker: usize, layout: &EnclaveLayout) {
         let owner_key = self.owner_key;
         let mut fresh = BootstrapEnclave::new(layout.clone(), self.manifest.clone());
+        fresh.set_channel(self.workers[worker].enclave.channel());
         if let Some(key) = owner_key {
             fresh.set_owner_session(key);
         }
@@ -469,9 +484,10 @@ impl EnclavePool {
     /// refills, since the subsequent full reinstall re-establishes trust.
     fn rebuild_fresh(&mut self, idx: usize) {
         let w = &mut self.workers[idx];
-        let floor = w.enclave.send_nonce();
         let mut fresh = BootstrapEnclave::new(self.layout.clone(), self.manifest.clone());
-        fresh.resume_send_nonce(floor);
+        fresh.set_channel(w.enclave.channel());
+        fresh.resume_send_nonce(w.enclave.send_nonce());
+        fresh.resume_lifetime_sent_bytes(w.enclave.lifetime_sent_bytes());
         if let Some(key) = self.owner_key {
             fresh.set_owner_session(key);
         }
@@ -643,7 +659,10 @@ impl EnclavePool {
     /// `i % len`, requests mapped to the same worker run serially on its
     /// thread. Kept as the ablation baseline for
     /// [`EnclavePool::serve_parallel`]; performs no quarantine or respawn
-    /// handling, so it assumes a healthy pool.
+    /// handling, so it assumes a healthy pool. Health counters follow the
+    /// same accounting as the work-stealing path: every completed run
+    /// (including a contained-fault report) counts as served, and fault
+    /// reports increment `faulted`.
     ///
     /// # Errors
     ///
@@ -670,8 +689,15 @@ impl EnclavePool {
                             .enclave
                             .provide_input(requests[i].as_ref())
                             .and_then(|()| w.enclave.run(fuel));
-                        if result.is_ok() {
+                        // Same accounting as `serve_once`: a completed run
+                        // is served, a contained-fault report also counts
+                        // as faulted — keeping PoolHealth comparable
+                        // between the two schedulers in the ablation.
+                        if let Ok(report) = &result {
                             w.health.served += 1;
+                            if matches!(report.exit, RunExit::Fault(_)) {
+                                w.health.faulted += 1;
+                            }
                         }
                         out.push((i, result));
                     }
@@ -831,6 +857,84 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.exit, y.exit);
         }
+    }
+
+    #[test]
+    fn workers_seal_records_in_disjoint_nonce_channels() {
+        use crate::runtime::open_record;
+        // Two workers share the owner key and both seal their first record
+        // (counter 0) over identical plaintext — exactly the (key, nonce)
+        // collision the per-slot channel id exists to prevent.
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::p1();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, 2);
+        let owner_key = [1u8; 32];
+        pool.set_owner_session(owner_key);
+        let binary =
+            produce("fn main() -> int { return send(4); }", &manifest.policy).unwrap().serialize();
+        pool.install_all(&binary).unwrap();
+        let r0 = pool.serve_on(0, b"", 1_000_000).unwrap();
+        let r1 = pool.serve_on(1, b"", 1_000_000).unwrap();
+        assert_ne!(r0.records[0], r1.records[0], "same plaintext must not repeat a nonce");
+        let p0 = open_record(&owner_key, 0, 0, &r0.records[0]).unwrap();
+        let p1 = open_record(&owner_key, 1, 0, &r1.records[0]).unwrap();
+        assert_eq!(p0, p1, "the plaintexts really were identical");
+        // Records authenticate only in their own channel.
+        assert!(open_record(&owner_key, 0, 0, &r1.records[0]).is_err());
+        assert!(open_record(&owner_key, 1, 0, &r0.records[0]).is_err());
+    }
+
+    #[test]
+    fn respawned_worker_keeps_its_nonce_channel() {
+        use crate::runtime::open_record;
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::p1();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, 2);
+        let owner_key = [1u8; 32];
+        pool.set_owner_session(owner_key);
+        let binary =
+            produce("fn main() -> int { return send(4); }", &manifest.policy).unwrap().serialize();
+        pool.install_all(&binary).unwrap();
+        pool.chaos_kill_after(1, 0);
+        // The kill fires, the slot respawns, and the retried request seals
+        // in the slot's channel (1) at the inherited counter (0).
+        let first = pool.serve_on(1, b"", 1_000_000).unwrap();
+        assert_eq!(pool.health().workers[1].respawned, 1);
+        assert!(open_record(&owner_key, 1, 0, &first.records[0]).is_ok());
+        let second = pool.serve_on(1, b"", 1_000_000).unwrap();
+        assert!(open_record(&owner_key, 1, 1, &second.records[0]).is_ok());
+    }
+
+    #[test]
+    fn round_robin_health_accounting_matches_work_stealing() {
+        // A batch where every request hits a contained fault: both
+        // schedulers must report identical pool-wide served/faulted
+        // totals (the respawn counters legitimately differ — the baseline
+        // performs no quarantine handling).
+        let src = "fn main() -> int { return send(1); }";
+        let manifest = {
+            let mut m = Manifest::ccaas();
+            m.policy = PolicySet::p1();
+            m
+        };
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let binary = produce(src, &manifest.policy).unwrap().serialize();
+        let requests: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i]).collect();
+        // No owner session: every send faults, contained.
+        let mut stealing = EnclavePool::new(&layout, &manifest, 2);
+        stealing.install_all(&binary).unwrap();
+        stealing.serve_parallel(&requests, 1_000_000).unwrap();
+        let mut round_robin = EnclavePool::new(&layout, &manifest, 2);
+        round_robin.install_all(&binary).unwrap();
+        round_robin.serve_parallel_round_robin(&requests, 1_000_000).unwrap();
+        let a = stealing.health();
+        let b = round_robin.health();
+        assert_eq!(a.total_served(), b.total_served());
+        assert_eq!(a.total_faulted(), b.total_faulted());
+        assert_eq!(b.total_served(), requests.len());
+        assert_eq!(b.total_faulted(), requests.len());
     }
 
     #[test]

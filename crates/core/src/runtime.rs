@@ -9,7 +9,8 @@
 //!
 //! * only manifest-listed OCalls are serviced — anything else faults;
 //! * `send` encrypts with the data owner's session key and pads every
-//!   record to a fixed length (entropy control), under a lifetime budget;
+//!   record to a fixed length (entropy control), under a per-run budget
+//!   and an optional lifetime cap tracked by a never-reset ledger;
 //! * `recv` only ever exposes data the owner provisioned.
 
 use crate::consumer::{install, InstallError, Installed};
@@ -57,7 +58,15 @@ struct HostState {
     inbox: VecDeque<Vec<u8>>,
     /// Sealed records produced by `send` (ciphertext, fixed length).
     outbox: Vec<Vec<u8>>,
+    /// Plaintext bytes sent during the current run (reset by `run()`).
     sent_bytes: usize,
+    /// Plaintext bytes sent over the enclave's whole lifetime — never
+    /// reset, carried across pool respawns, and capped by the manifest's
+    /// optional `lifetime_output_budget`.
+    lifetime_sent_bytes: u64,
+    /// The record-nonce channel id (a pool worker's slot index); see
+    /// [`record_nonce`].
+    channel: u32,
     send_nonce: u64,
     log_values: Vec<i64>,
     clock: u64,
@@ -108,6 +117,18 @@ impl VmHost for HostState {
                         reason: "output entropy budget exhausted".into(),
                     });
                 }
+                // The lifetime ledger never resets: when the manifest caps
+                // it, cumulative leakage across every run this instance
+                // (and, via pool respawns, its slot) ever serves stays
+                // bounded.
+                if let Some(cap) = self.manifest.lifetime_output_budget {
+                    if self.lifetime_sent_bytes + len as u64 > cap {
+                        return Err(Fault::OcallFailed {
+                            code,
+                            reason: "lifetime output entropy budget exhausted".into(),
+                        });
+                    }
+                }
                 let Some(key) = self.owner_key else {
                     return Err(Fault::OcallFailed {
                         code,
@@ -117,12 +138,14 @@ impl VmHost for HostState {
                 let plaintext = mem.peek_bytes(ptr, len)?.to_vec();
                 self.outbox.push(seal_record(
                     &key,
+                    self.channel,
                     self.send_nonce,
                     &plaintext,
                     self.manifest.output_record_len,
                 ));
                 self.send_nonce += 1;
                 self.sent_bytes += len;
+                self.lifetime_sent_bytes += len as u64;
                 cpu.set(Reg::RAX, len as u64);
             }
             Some(OcallCode::Recv) => {
@@ -154,25 +177,44 @@ impl VmHost for HostState {
 }
 
 /// Seals one P0 record: `[u32 length][payload][zero padding]` padded to
-/// `record_len`, AEAD-sealed under the owner session key with a counter
-/// nonce. Every record has identical ciphertext length.
+/// `record_len`, AEAD-sealed under the owner session key with a
+/// `(channel, counter)` nonce. Every record has identical ciphertext
+/// length. `channel` is the sealing enclave's channel id (a pool worker's
+/// slot index; `0` for a standalone enclave) — several enclaves may share
+/// the owner session key, and distinct channels keep their nonce domains
+/// disjoint.
 #[must_use]
-pub fn seal_record(key: &[u8; 32], counter: u64, payload: &[u8], record_len: usize) -> Vec<u8> {
+pub fn seal_record(
+    key: &[u8; 32],
+    channel: u32,
+    counter: u64,
+    payload: &[u8],
+    record_len: usize,
+) -> Vec<u8> {
     let mut plain = Vec::with_capacity(4 + record_len);
     plain.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     plain.extend_from_slice(payload);
     plain.resize(4 + record_len, 0);
-    ChaCha20Poly1305::new(key).seal(&record_nonce(counter), RECORD_AAD, &plain)
+    ChaCha20Poly1305::new(key).seal(&record_nonce(channel, counter), RECORD_AAD, &plain)
 }
 
 /// Opens a sealed P0 record (the data owner's side), returning the payload.
+/// `channel` and `counter` must be the pair the record was sealed under
+/// (the serving protocol carries both; a standalone enclave uses channel
+/// `0` and counts records from `0`).
 ///
 /// # Errors
 ///
 /// Returns a [`CryptoError`] if the record fails authentication or is
 /// structurally invalid.
-pub fn open_record(key: &[u8; 32], counter: u64, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    let plain = ChaCha20Poly1305::new(key).open(&record_nonce(counter), RECORD_AAD, sealed)?;
+pub fn open_record(
+    key: &[u8; 32],
+    channel: u32,
+    counter: u64,
+    sealed: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let plain =
+        ChaCha20Poly1305::new(key).open(&record_nonce(channel, counter), RECORD_AAD, sealed)?;
     if plain.len() < 4 {
         return Err(CryptoError::TruncatedCiphertext);
     }
@@ -183,12 +225,24 @@ pub fn open_record(key: &[u8; 32], counter: u64, sealed: &[u8]) -> Result<Vec<u8
     Ok(plain[4..4 + len].to_vec())
 }
 
-fn record_nonce(counter: u64) -> [u8; 12] {
+/// Builds the nonce for one outgoing record: `'S' ‖ channel (24-bit LE) ‖
+/// counter (64-bit LE)`. The leading `'S'` keeps the domain disjoint from
+/// the `'B'`/`'D'` delivery nonces under the same owner key; the channel
+/// id keeps enclaves that share the owner session key (pool workers) from
+/// ever colliding — each worker's counter runs in its own nonce lane, so
+/// no `(key, nonce)` pair repeats pool-wide even though every counter
+/// starts at 0.
+fn record_nonce(channel: u32, counter: u64) -> [u8; 12] {
+    debug_assert!(channel < MAX_CHANNELS, "channel id exceeds the 24-bit nonce field");
     let mut nonce = [0u8; 12];
-    nonce[..4].copy_from_slice(b"SND\0");
+    nonce[0] = b'S';
+    nonce[1..4].copy_from_slice(&channel.to_le_bytes()[..3]);
     nonce[4..].copy_from_slice(&counter.to_le_bytes());
     nonce
 }
+
+/// Channel ids must fit the 24-bit field of [`record_nonce`].
+pub const MAX_CHANNELS: u32 = 1 << 24;
 
 /// Everything a finished run reports back.
 #[derive(Debug, Clone)]
@@ -392,6 +446,8 @@ impl BootstrapEnclave {
             inbox: VecDeque::new(),
             outbox: Vec::new(),
             sent_bytes: 0,
+            lifetime_sent_bytes: 0,
+            channel: 0,
             send_nonce: 0,
             log_values: Vec::new(),
             clock: 0,
@@ -425,8 +481,8 @@ impl BootstrapEnclave {
     }
 
     /// The next outgoing P0 record counter. Monotonic over the enclave's
-    /// lifetime — it never resets, because a repeated counter under the
-    /// same owner session key would reuse an AEAD nonce.
+    /// lifetime — it never resets, because a repeated `(channel, counter)`
+    /// pair under the same owner session key would reuse an AEAD nonce.
     #[must_use]
     pub fn send_nonce(&self) -> u64 {
         self.host.send_nonce
@@ -434,10 +490,46 @@ impl BootstrapEnclave {
 
     /// Raises the outgoing record counter to at least `floor`. Used when a
     /// pool respawns a worker under the *same* owner session key: the fresh
-    /// enclave inherits the dead worker's counter so no nonce is ever
-    /// reused. The counter never moves backwards.
+    /// enclave inherits the dead worker's counter (and channel id) so no
+    /// nonce is ever reused. The counter never moves backwards.
     pub fn resume_send_nonce(&mut self, floor: u64) {
         self.host.send_nonce = self.host.send_nonce.max(floor);
+    }
+
+    /// The record-nonce channel id (see [`record_nonce`]): `0` for a
+    /// standalone enclave, the slot index for a pool worker.
+    #[must_use]
+    pub fn channel(&self) -> u32 {
+        self.host.channel
+    }
+
+    /// Assigns the record-nonce channel id. A pool gives every worker slot
+    /// a distinct channel so enclaves sharing the owner session key never
+    /// collide on a `(key, nonce)` pair; respawned instances keep their
+    /// slot's channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` does not fit the nonce's 24-bit channel field.
+    pub fn set_channel(&mut self, channel: u32) {
+        assert!(channel < MAX_CHANNELS, "channel id exceeds the 24-bit nonce field");
+        self.host.channel = channel;
+    }
+
+    /// Total plaintext bytes this instance has sent over its lifetime —
+    /// the never-reset P0 entropy ledger backing the manifest's optional
+    /// `lifetime_output_budget`.
+    #[must_use]
+    pub fn lifetime_sent_bytes(&self) -> u64 {
+        self.host.lifetime_sent_bytes
+    }
+
+    /// Raises the lifetime output ledger to at least `floor`. Used when a
+    /// pool respawns a worker slot: the fresh instance inherits the dead
+    /// one's ledger, so the optional lifetime cap bounds the *slot's*
+    /// cumulative leakage, not just one instance's. Never moves backwards.
+    pub fn resume_lifetime_sent_bytes(&mut self, floor: u64) {
+        self.host.lifetime_sent_bytes = self.host.lifetime_sent_bytes.max(floor);
     }
 
     /// The enclave's measurement, as the hardware would report it in a
@@ -631,9 +723,10 @@ impl BootstrapEnclave {
         vm.cpu.set(Reg::RSP, self.layout.initial_rsp());
         // The P0 output budget caps each *run*: reset the counter so a
         // long-lived worker serving many in-budget requests never faults on
-        // accumulated history. The send nonce, by contrast, must never
-        // reset — a repeated counter under the same owner key would reuse
-        // an AEAD nonce.
+        // accumulated history. The send nonce and the lifetime output
+        // ledger, by contrast, must never reset — a repeated counter under
+        // the same owner key would reuse an AEAD nonce, and the ledger is
+        // what makes the optional lifetime entropy cap cumulative.
         self.host.sent_bytes = 0;
         // The pending direct input is consumed by this run; the next
         // provide_input call refreshes the buffer.
@@ -709,7 +802,7 @@ mod tests {
         assert_eq!(report.records.len(), 1);
         // All records are fixed-size (P0 padding).
         assert_eq!(report.records[0].len(), 4 + enclave.manifest().output_record_len + 16);
-        let plain = open_record(&owner_key, 0, &report.records[0]).unwrap();
+        let plain = open_record(&owner_key, 0, 0, &report.records[0]).unwrap();
         assert_eq!(plain, b"ifmmp");
     }
 
@@ -818,7 +911,7 @@ mod tests {
             assert_eq!(report.exit, RunExit::Halted { exit: 100 }, "run {run} faulted");
             assert_eq!(report.records.len(), 1);
             // The record counter never reset: run N seals under nonce N.
-            assert!(open_record(&owner_key, run, &report.records[0]).is_ok());
+            assert!(open_record(&owner_key, 0, run, &report.records[0]).is_ok());
         }
         assert_eq!(e.send_nonce(), 6);
     }
@@ -915,10 +1008,69 @@ mod tests {
     #[test]
     fn record_seal_open_roundtrip() {
         let key = [9u8; 32];
-        let sealed = seal_record(&key, 7, b"result", 64);
+        let sealed = seal_record(&key, 0, 7, b"result", 64);
         assert_eq!(sealed.len(), 4 + 64 + 16);
-        assert_eq!(open_record(&key, 7, &sealed).unwrap(), b"result");
+        assert_eq!(open_record(&key, 0, 7, &sealed).unwrap(), b"result");
         // Wrong counter (nonce) fails.
-        assert!(open_record(&key, 8, &sealed).is_err());
+        assert!(open_record(&key, 0, 8, &sealed).is_err());
+    }
+
+    #[test]
+    fn record_channels_are_disjoint_nonce_domains() {
+        // Two enclaves sharing the owner key (pool workers) both start
+        // their counters at 0: the channel id must keep their nonces — and
+        // hence ciphertexts of identical plaintexts — distinct.
+        let key = [9u8; 32];
+        let a = seal_record(&key, 0, 0, b"same plaintext", 64);
+        let b = seal_record(&key, 1, 0, b"same plaintext", 64);
+        assert_ne!(a, b, "identical (key, counter, plaintext) must differ across channels");
+        assert_eq!(open_record(&key, 0, 0, &a).unwrap(), b"same plaintext");
+        assert_eq!(open_record(&key, 1, 0, &b).unwrap(), b"same plaintext");
+        // Cross-channel opens fail authentication.
+        assert!(open_record(&key, 1, 0, &a).is_err());
+        assert!(open_record(&key, 0, 0, &b).is_err());
+    }
+
+    #[test]
+    fn enclave_channel_feeds_the_record_nonce() {
+        let policy = PolicySet::p1();
+        let obj = produce("fn main() -> int { return send(3); }", &policy).unwrap();
+        let owner_key = [7u8; 32];
+        let run_on_channel = |channel: u32| {
+            let mut e = enclave(policy);
+            e.set_owner_session(owner_key);
+            e.set_channel(channel);
+            e.install_plain(&obj.serialize()).unwrap();
+            e.provide_input(b"xyz").unwrap();
+            e.run(1_000_000).unwrap().records.remove(0)
+        };
+        let rec0 = run_on_channel(0);
+        let rec5 = run_on_channel(5);
+        assert_ne!(rec0, rec5);
+        assert!(open_record(&owner_key, 0, 0, &rec0).is_ok());
+        assert!(open_record(&owner_key, 5, 0, &rec5).is_ok());
+        assert!(open_record(&owner_key, 0, 0, &rec5).is_err());
+    }
+
+    #[test]
+    fn lifetime_output_budget_caps_across_runs() {
+        let policy = PolicySet::p1();
+        let obj = produce("fn main() -> int { return send(100); }", &policy).unwrap();
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = policy;
+        manifest.output_budget = 450; // each run is well within this
+        manifest.lifetime_output_budget = Some(250); // but only 2 runs fit
+        let mut e = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+        e.set_owner_session([1; 32]);
+        e.install_plain(&obj.serialize()).unwrap();
+        for run in 0..2 {
+            let report = e.run(1_000_000).unwrap();
+            assert_eq!(report.exit, RunExit::Halted { exit: 100 }, "run {run}");
+        }
+        assert_eq!(e.lifetime_sent_bytes(), 200);
+        // The third run's send would push the lifetime ledger past 250.
+        let report = e.run(1_000_000).unwrap();
+        assert!(matches!(report.exit, RunExit::Fault(Fault::OcallFailed { .. })));
+        assert_eq!(e.lifetime_sent_bytes(), 200, "the refused send leaked nothing");
     }
 }

@@ -31,7 +31,11 @@
 //!            | binary_len u64  | binary[binary_len]  | mac[32]
 //! ```
 //!
-//! where `mac = HMAC-SHA256(sealing_key(measurement), all prior bytes)`.
+//! where `mac = HMAC-SHA256(sealing_key(measurement), all prior bytes)`
+//! and [`sealing_key`] mixes the platform's fuse secret into the
+//! derivation — the key is *not* computable from the blob's (public)
+//! contents, so the untrusted-storage adversary can corrupt blobs but not
+//! forge them.
 
 use crate::consumer::{install_trusted, InstallError};
 use crate::policy::Manifest;
@@ -146,10 +150,18 @@ impl PreparedInstall {
         sealed_manifest.copy_from_slice(&blob[40..72]);
         let mut code_hash = [0u8; 32];
         code_hash.copy_from_slice(&blob[72..104]);
-        let binary_len = u64::from_le_bytes(blob[104..112].try_into().expect("8 bytes")) as usize;
-        if blob.len() != HEADER_LEN + binary_len + MAC_LEN {
+        // `binary_len` is attacker-controlled: reject lengths that do not
+        // fit a usize or whose framing sum would overflow instead of
+        // panicking on a crafted blob in overflow-checked builds.
+        let binary_len = u64::from_le_bytes(blob[104..112].try_into().expect("8 bytes"));
+        let expected_len = usize::try_from(binary_len)
+            .ok()
+            .and_then(|n| n.checked_add(HEADER_LEN + MAC_LEN))
+            .ok_or(UnsealError::Malformed)?;
+        if blob.len() != expected_len {
             return Err(UnsealError::Malformed);
         }
+        let binary_len = binary_len as usize;
         let (signed, mac) = blob.split_at(HEADER_LEN + binary_len);
 
         // Identity before integrity: an importer with a different
@@ -277,6 +289,51 @@ mod tests {
         assert_eq!(
             PreparedInstall::unseal(&blob, &layout, &other).unwrap_err(),
             UnsealError::WrongManifest
+        );
+    }
+
+    #[test]
+    fn forged_blob_under_public_derivation_is_rejected() {
+        // The untrusted-storage adversary knows the blob format, the
+        // consumer image, the layout and the manifest — everything public.
+        // It must still be unable to seal a binary of its choosing: the
+        // old measurement-only key derivation made this forgery succeed.
+        let (prepared, layout, manifest) = captured();
+        let evil_binary =
+            produce("fn main() -> int { return 666; }", &manifest.policy).unwrap().serialize();
+        let mut forged = Vec::new();
+        forged.extend_from_slice(MAGIC);
+        forged.extend_from_slice(&prepared.measurement);
+        forged.extend_from_slice(&prepared.manifest_digest);
+        forged.extend_from_slice(&deflection_crypto::sha256::sha256(&evil_binary));
+        forged.extend_from_slice(&(evil_binary.len() as u64).to_le_bytes());
+        forged.extend_from_slice(&evil_binary);
+        // Best public guess at the key: HMAC(measurement, label) — the
+        // pre-fix derivation.
+        let guessed_key = hmac_sha256(&prepared.measurement, b"deflection-sealing-key-v1");
+        let mac = hmac_sha256(&guessed_key, &forged);
+        forged.extend_from_slice(&mac);
+        assert_eq!(
+            PreparedInstall::unseal(&forged, &layout, &manifest).unwrap_err(),
+            UnsealError::BadMac
+        );
+    }
+
+    #[test]
+    fn huge_claimed_binary_len_is_malformed_not_a_panic() {
+        // A crafted `binary_len` near u64::MAX must be rejected as
+        // Malformed, not overflow the framing arithmetic.
+        let (prepared, layout, manifest) = captured();
+        let mut bad = prepared.seal();
+        bad[104..112].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            PreparedInstall::unseal(&bad, &layout, &manifest).unwrap_err(),
+            UnsealError::Malformed
+        );
+        bad[104..112].copy_from_slice(&(u64::MAX - (HEADER_LEN + MAC_LEN) as u64).to_le_bytes());
+        assert_eq!(
+            PreparedInstall::unseal(&bad, &layout, &manifest).unwrap_err(),
+            UnsealError::Malformed
         );
     }
 

@@ -217,6 +217,25 @@ fn output_budget_is_per_request_on_a_pool_worker() {
         assert_eq!(report.exit, RunExit::Halted { exit: 100 }, "request {i}");
     }
     assert_eq!(pool.health().total_faulted(), 0);
+    // With the optional lifetime cap set, the never-reset ledger bounds
+    // cumulative output across runs — and survives a respawn, so a killed
+    // worker cannot launder its leakage history.
+    let mut capped = manifest.clone();
+    capped.lifetime_output_budget = Some(250);
+    let mut capped_pool = EnclavePool::new(&layout, &capped, 1);
+    capped_pool.set_owner_session([1; 32]);
+    capped_pool.install_all(&send100).unwrap();
+    for i in 0..2 {
+        let report = capped_pool.serve_on(0, b"", FUEL).unwrap();
+        assert_eq!(report.exit, RunExit::Halted { exit: 100 }, "request {i}");
+    }
+    capped_pool.chaos_kill_after(0, 0);
+    // The respawned instance inherits the 200-byte ledger: its send would
+    // cross the 250-byte lifetime cap and faults, contained.
+    let report = capped_pool.serve_on(0, b"", FUEL).unwrap();
+    assert!(matches!(report.exit, RunExit::Fault(_)), "lifetime cap must survive the respawn");
+    // Two respawns: one for the kill, one quarantining the contained fault.
+    assert_eq!(capped_pool.health().workers[0].respawned, 2);
     // A single over-budget run still faults.
     let burst = "
         fn main() -> int {

@@ -11,6 +11,9 @@
 use crate::layout::EnclaveLayout;
 use deflection_crypto::hmac::hmac_sha256;
 use deflection_crypto::sha256::Sha256;
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::OnceLock;
 
 /// An MRENCLAVE-style enclave measurement.
 pub type Measurement = [u8; 32];
@@ -41,15 +44,46 @@ pub fn measure_enclave(consumer_image: &[u8], layout: &EnclaveLayout) -> Measure
     h.finalize()
 }
 
-/// Derives the enclave's sealing key from its measurement — the `EGETKEY`
-/// analogue with `KEYPOLICY.MRENCLAVE`: only an enclave whose measurement
-/// equals `measurement` can derive this key, so a MAC under it proves the
-/// sealed data was produced by (and is only importable into) an enclave
-/// with the same consumer image and layout. A different measurement yields
-/// an unrelated key and every MAC check under it fails closed.
+/// The simulated per-device root sealing fuses: the `EGETKEY` device
+/// secret every sealing key is derived from. On real hardware these are
+/// burned at manufacturing and never leave the CPU; here they are drawn
+/// once per process from OS randomness, so the "platform" is the process
+/// and a sealed blob is importable exactly where it was produced. The
+/// crucial property is that the secret is *not* a function of any public
+/// input (consumer image, layout, blob contents): an untrusted-storage
+/// adversary cannot re-derive a sealing key and forge MACs.
+fn root_sealing_fuses() -> &'static [u8; 32] {
+    static FUSES: OnceLock<[u8; 32]> = OnceLock::new();
+    FUSES.get_or_init(|| {
+        let mut fuses = [0u8; 32];
+        for (i, chunk) in fuses.chunks_exact_mut(8).enumerate() {
+            // `RandomState` is the std library's per-process CSPRNG-seeded
+            // hasher state — the only OS-randomness source available
+            // without adding a dependency to the simulated TCB.
+            let mut h = RandomState::new().build_hasher();
+            h.write_u64(i as u64);
+            chunk.copy_from_slice(&h.finish().to_le_bytes());
+        }
+        fuses
+    })
+}
+
+/// Derives the enclave's sealing key — the `EGETKEY` analogue with
+/// `KEYPOLICY.MRENCLAVE`: `HMAC-SHA256(device fuses, label ‖ measurement)`.
+/// Only code running on the same (simulated) platform can derive *any*
+/// sealing key, because the fuse secret never leaves it; among enclaves on
+/// that platform, only one whose measurement equals `measurement` derives
+/// *this* key. A MAC under it therefore proves the sealed data was produced
+/// by an enclave with the same consumer image and layout on this platform —
+/// it is not computable from the (public) measurement alone, so an
+/// untrusted-storage adversary cannot forge blobs. A different measurement
+/// yields an unrelated key and every MAC check under it fails closed.
 #[must_use]
 pub fn sealing_key(measurement: &Measurement) -> [u8; 32] {
-    hmac_sha256(measurement, b"deflection-sealing-key-v1")
+    let mut msg = Vec::with_capacity(32 + 25);
+    msg.extend_from_slice(b"deflection-sealing-key-v1");
+    msg.extend_from_slice(measurement);
+    hmac_sha256(root_sealing_fuses(), &msg)
 }
 
 /// The simulated SGX platform: owner of the attestation key.
@@ -115,6 +149,20 @@ mod tests {
         assert_eq!(sealing_key(&a), sealing_key(&a), "derivation is deterministic");
         assert_ne!(sealing_key(&a), sealing_key(&b), "different enclaves, different keys");
         assert_ne!(sealing_key(&a), a, "the key is not the measurement itself");
+    }
+
+    #[test]
+    fn sealing_key_is_not_a_function_of_public_inputs_alone() {
+        // Regression: the key was once HMAC(measurement, constant-label),
+        // which an untrusted-storage adversary could recompute from the
+        // public consumer image and layout to forge sealed blobs. The
+        // derivation must mix the platform fuse secret.
+        let m = measure_enclave(b"consumer-v1", &EnclaveLayout::new(MemConfig::small()));
+        assert_ne!(sealing_key(&m), hmac_sha256(&m, b"deflection-sealing-key-v1"));
+        let mut msg = Vec::new();
+        msg.extend_from_slice(b"deflection-sealing-key-v1");
+        msg.extend_from_slice(&m);
+        assert_ne!(sealing_key(&m), hmac_sha256(&m, &msg));
     }
 
     #[test]

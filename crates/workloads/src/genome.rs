@@ -260,7 +260,7 @@ mod tests {
         assert_eq!(report.exit, RunExit::Halted { exit: expected });
         assert_eq!(report.records.len(), records.len()); // 3 chunks: 200+200+50
         for (i, (sealed, plain)) in report.records.iter().zip(&records).enumerate() {
-            let opened = open_record(&p.owner_key(), i as u64, sealed).unwrap();
+            let opened = open_record(&p.owner_key(), 0, i as u64, sealed).unwrap();
             assert_eq!(&opened, plain, "record {i}");
         }
     }

@@ -74,7 +74,8 @@ fn main() {
         "\nEvery record the host sees has the same ciphertext length, and every run\n\
          completes at the same (blurred) time. What remains is the record *count* —\n\
          which the entropy budget caps: this manifest allows at most {} plaintext\n\
-         bytes over the program's lifetime, bounding total leakage to a few bits.",
+         bytes per run, bounding each inference's leakage to a few bits (a\n\
+         lifetime_output_budget would additionally cap the cumulative total).",
         manifest.output_budget
     );
 }

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The "client" (data owner) decrypts the response records.
         let mut body = Vec::new();
         for sealed in &report.records {
-            body.extend(open_record(&owner_key, record_counter, sealed)?);
+            body.extend(open_record(&owner_key, 0, record_counter, sealed)?);
             record_counter += 1;
         }
         assert_eq!(body.len() as u64, size);

@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Data owner opens the sealed result. -------------------------------
-    let result = open_record(&owner_key, 0, &report.records[0])?;
+    let result = open_record(&owner_key, 0, 0, &report.records[0])?;
     println!("data owner decrypts risk score: {}", result[0]);
     assert_eq!(report.untrusted_writes, 0);
     println!("\nOK: computation finished with zero unmediated boundary crossings.");

@@ -69,7 +69,7 @@ fn attested_sealed_flow_at_every_policy_level() {
         assert_eq!(report.exit, RunExit::Halted { exit: expected_sum }, "level {name}");
         assert_eq!(report.untrusted_writes, 0, "level {name} must not leak");
 
-        let out = open_record(&owner_key, 0, &report.records[0]).expect("owner can open");
+        let out = open_record(&owner_key, 0, 0, &report.records[0]).expect("owner can open");
         let expected: Vec<u8> = data.iter().map(|&b| b ^ 0x5A).collect();
         assert_eq!(out, expected, "level {name}");
     }

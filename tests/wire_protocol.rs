@@ -128,7 +128,7 @@ fn full_session_over_serialized_messages() {
         let msg =
             send_recv(&Message::SealedRecord { counter: i as u64, ciphertext: record.clone() });
         let Message::SealedRecord { counter, ciphertext } = msg else { panic!() };
-        let plain = open_record(&owner_key, counter, &ciphertext).expect("owner opens");
+        let plain = open_record(&owner_key, 0, counter, &ciphertext).expect("owner opens");
         let expected: Vec<u8> = secret.iter().map(|b| 255 - b).collect();
         assert_eq!(plain, expected);
     }
