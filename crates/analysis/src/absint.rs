@@ -37,6 +37,7 @@
 use crate::cfg::{Cfg, Edge, EdgeKind};
 use crate::interval::Interval;
 use deflection_isa::{AluOp, CondCode, Disassembly, Inst, MemOperand, Reg};
+use deflection_telemetry::{Span, METRICS};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -409,6 +410,7 @@ impl Analysis {
     /// only changes how the independent fixpoints are scheduled.
     #[must_use]
     pub fn run_threaded(d: &Disassembly, config: AnalysisConfig, threads: usize) -> Analysis {
+        let _span = Span::start(&METRICS.analysis_run_ns);
         let cfg = Cfg::build(d);
         let idom = cfg.dominators();
         let n = cfg.blocks.len();
@@ -623,8 +625,10 @@ fn projected_fixpoint(
     let mut work: Vec<usize> = vec![cfg.entry];
     let mut queued = vec![false; n];
     queued[cfg.entry] = true;
+    let (mut iters, mut widens) = (0u64, 0u64);
     while let Some(b) = work.pop() {
         queued[b] = false;
+        iters += 1;
         let Some(state) = in_states[b].clone() else { continue };
         let (out, flags) = exec_block(cfg, b, state, config);
         for edge in cfg.blocks[b].edges.clone() {
@@ -639,6 +643,7 @@ fn projected_fixpoint(
                     let back = Cfg::dominates(idom, to, b);
                     let widen =
                         (back && visits[to] >= WIDEN_AFTER) || visits[to] >= FORCE_WIDEN_AFTER;
+                    widens += u64::from(widen);
                     old.merge(&next, widen)
                 }
             };
@@ -652,6 +657,8 @@ fn projected_fixpoint(
             }
         }
     }
+    METRICS.analysis_fixpoint_iters.observe(iters);
+    METRICS.analysis_widenings.observe(widens);
     in_states
 }
 
@@ -702,8 +709,10 @@ fn group_fixpoint(ctx: &GroupCtx<'_>, members: &[usize]) -> Vec<(usize, AbsState
             }
         }
     }
+    let (mut iters, mut widens) = (0u64, 0u64);
     while let Some(lb) = work.pop() {
         queued[lb] = false;
+        iters += 1;
         let b = members[lb];
         let Some(state) = in_states[lb].clone() else { continue };
         let (out, flags) = exec_block(ctx.cfg, b, state, ctx.config);
@@ -721,6 +730,7 @@ fn group_fixpoint(ctx: &GroupCtx<'_>, members: &[usize]) -> Vec<(usize, AbsState
                     let back = Cfg::dominates(ctx.idom, edge.to, b);
                     let widen =
                         (back && visits[lt] >= WIDEN_AFTER) || visits[lt] >= FORCE_WIDEN_AFTER;
+                    widens += u64::from(widen);
                     old.merge(&next, widen)
                 }
             };
@@ -734,6 +744,8 @@ fn group_fixpoint(ctx: &GroupCtx<'_>, members: &[usize]) -> Vec<(usize, AbsState
             }
         }
     }
+    METRICS.analysis_fixpoint_iters.observe(iters);
+    METRICS.analysis_widenings.observe(widens);
     members.iter().zip(in_states).filter_map(|(&b, s)| s.map(|s| (b, s))).collect()
 }
 

@@ -20,6 +20,9 @@ const TCB_SOURCES: &[(&str, &str)] = &[
     // The sealed install cache runs in-enclave: it derives the sealing
     // key, verifies the MAC and rebuilds the image before anything runs.
     ("sealed install cache", include_str!("../../core/src/sealed.rs")),
+    // The audit ring also lives in-enclave: it records policy-relevant
+    // events and serializes the fixed-size export the runtime seals.
+    ("audit log (ring)", include_str!("../../core/src/audit.rs")),
     ("policy/manifest", include_str!("../../core/src/policy.rs")),
     ("disassembler engine", include_str!("../../isa/src/disasm.rs")),
     ("instruction decoder", include_str!("../../isa/src/decode.rs")),

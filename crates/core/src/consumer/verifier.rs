@@ -30,6 +30,7 @@ use crate::policy::PolicySet;
 use deflection_analysis::Analysis;
 use deflection_isa::{disassemble_threaded, DisasmError, Disassembly, Inst, Reg};
 use deflection_sgx_sim::layout::EnclaveLayout;
+use deflection_telemetry::{Span, METRICS};
 use std::collections::HashMap;
 use std::error::Error as StdError;
 use std::fmt;
@@ -433,6 +434,7 @@ fn run_range_checks(
     ranges: &[(usize, usize)],
     threads: usize,
 ) -> Vec<RangeErrors> {
+    let _span = Span::start(&METRICS.verify_checks_ns);
     let workers = threads.min(ranges.len());
     if workers <= 1 {
         return ranges.iter().map(|&(lo, hi)| check_range(ctx, lo, hi)).collect();
@@ -474,7 +476,11 @@ fn discover_impl(
     indirect_targets: &[usize],
     threads: usize,
 ) -> Result<Discovery, VerifyError> {
-    let disassembly = disassemble_threaded(code, entry, indirect_targets, threads)?;
+    let disassembly = {
+        let _span = Span::start(&METRICS.verify_disasm_ns);
+        disassemble_threaded(code, entry, indirect_targets, threads)?
+    };
+    let _span = Span::start(&METRICS.verify_discovery_ns);
     let insts = disassembly.insts();
     let code_view = Code { insts };
 
@@ -528,6 +534,23 @@ pub fn discover(
 }
 
 fn verify_impl(
+    code: &[u8],
+    entry: usize,
+    indirect_targets: &[usize],
+    policy: &PolicySet,
+    layout: Option<&EnclaveLayout>,
+    threads: usize,
+) -> Result<Verified, VerifyError> {
+    let _span = Span::start(&METRICS.verify_ns);
+    let result = verify_inner(code, entry, indirect_targets, policy, layout, threads);
+    match &result {
+        Ok(_) => METRICS.verify_accepts.add(1),
+        Err(_) => METRICS.verify_rejects.add(1),
+    }
+    result
+}
+
+fn verify_inner(
     code: &[u8],
     entry: usize,
     indirect_targets: &[usize],

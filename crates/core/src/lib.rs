@@ -27,6 +27,8 @@
 //!   P0 OCall wrappers (encryption, fixed-length padding, budgets);
 //! * [`pool`] — concurrent serving across isolated enclave workers
 //!   (the TOCTOU-free reading of the paper's Section VII);
+//! * [`audit`] — the attested in-enclave audit ring: policy-relevant
+//!   events, exported only as sealed, fixed-size, budget-charged records;
 //! * [`attack`] — the malicious-binary corpus every policy must contain.
 //!
 //! # Example
@@ -52,6 +54,7 @@
 
 pub mod annotations;
 pub mod attack;
+pub mod audit;
 pub mod consumer;
 pub mod policy;
 pub mod pool;

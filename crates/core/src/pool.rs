@@ -56,6 +56,7 @@ use crate::runtime::{BootstrapEnclave, EcallError, PreparedInstall, RunReport};
 use deflection_crypto::sha256::sha256;
 use deflection_sgx_sim::layout::EnclaveLayout;
 use deflection_sgx_sim::vm::RunExit;
+use deflection_telemetry::{Span, METRICS};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -75,6 +76,22 @@ pub struct WorkerHealth {
     /// Whether the slot is currently quarantined — unusable until a
     /// respawn or a full reinstall succeeds.
     pub quarantined: bool,
+    /// Serving-path respawns still available to the slot before it stays
+    /// quarantined (snapshot of the remaining budget).
+    pub respawn_headroom: usize,
+}
+
+impl WorkerHealth {
+    /// Fraction of this slot's completed requests that were contained
+    /// faults or lost-instance events (0 when nothing was served).
+    #[must_use]
+    pub fn fault_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.faulted as f64 / self.served as f64
+        }
+    }
 }
 
 /// A snapshot of every worker slot's [`WorkerHealth`], in worker order.
@@ -108,6 +125,26 @@ impl PoolHealth {
     pub fn quarantined(&self) -> usize {
         self.workers.iter().filter(|w| w.quarantined).count()
     }
+
+    /// Pool-wide fault rate: faulted events over served requests (0 when
+    /// nothing was served yet).
+    #[must_use]
+    pub fn fault_rate(&self) -> f64 {
+        let served = self.total_served();
+        if served == 0 {
+            0.0
+        } else {
+            self.total_faulted() as f64 / served as f64
+        }
+    }
+
+    /// The smallest remaining respawn allowance across non-quarantined
+    /// slots — how close the pool is to losing its next slot for good.
+    /// `None` when every slot is quarantined.
+    #[must_use]
+    pub fn min_respawn_headroom(&self) -> Option<usize> {
+        self.workers.iter().filter(|w| !w.quarantined).map(|w| w.respawn_headroom).min()
+    }
 }
 
 /// One worker slot: the live enclave instance plus its health state and
@@ -138,6 +175,9 @@ struct RespawnCtx<'a> {
 /// or the reinstall fails.
 fn respawn_worker(w: &mut Worker, ctx: &RespawnCtx<'_>) -> bool {
     if w.respawn_left == 0 {
+        if !w.health.quarantined {
+            METRICS.pool_quarantines.add(1);
+        }
         w.health.quarantined = true;
         return false;
     }
@@ -145,17 +185,22 @@ fn respawn_worker(w: &mut Worker, ctx: &RespawnCtx<'_>) -> bool {
     let mut fresh = BootstrapEnclave::new(ctx.layout.clone(), ctx.manifest.clone());
     // The fresh instance serves under the same owner session key as the
     // dead one, so it inherits the slot's nonce channel and record counter
-    // (a reset would reuse an AEAD nonce) and the lifetime output ledger
+    // (a reset would reuse an AEAD nonce), the lifetime output ledger
     // (the optional lifetime entropy cap bounds the slot, not one
-    // instance).
+    // instance), and the audit sequence counter (exported audit sequences
+    // must never regress).
     fresh.set_channel(w.enclave.channel());
     fresh.resume_send_nonce(w.enclave.send_nonce());
     fresh.resume_lifetime_sent_bytes(w.enclave.lifetime_sent_bytes());
+    fresh.resume_audit_seq(w.enclave.audit_next_seq());
     if let Some(key) = ctx.owner_key {
         fresh.set_owner_session(key);
     }
     if let Some(prepared) = ctx.prepared {
         if fresh.install_replayed(prepared).is_err() {
+            if !w.health.quarantined {
+                METRICS.pool_quarantines.add(1);
+            }
             w.health.quarantined = true;
             return false;
         }
@@ -163,6 +208,7 @@ fn respawn_worker(w: &mut Worker, ctx: &RespawnCtx<'_>) -> bool {
     w.enclave = fresh;
     w.health.respawned += 1;
     w.health.quarantined = false;
+    METRICS.pool_respawns.add(1);
     true
 }
 
@@ -199,12 +245,14 @@ fn serve_once(w: &mut Worker, ctx: &RespawnCtx<'_>, input: &[u8], fuel: u64) -> 
                 // instance may hold corrupted state (partially updated
                 // globals, mid-run buffers) — never let it serve again.
                 w.health.faulted += 1;
+                METRICS.pool_contained_faults.add(1);
                 respawn_worker(w, ctx);
             }
             Outcome::Report(report)
         }
         Err(EcallError::EnclaveLost) => {
             w.health.faulted += 1;
+            METRICS.pool_lost_instances.add(1);
             respawn_worker(w, ctx);
             Outcome::Lost
         }
@@ -236,6 +284,7 @@ fn drain_queue<T: AsRef<[u8]>>(
         if i >= requests.len() {
             return out;
         }
+        METRICS.pool_steal_claims.add(1);
         loop {
             match serve_once(w, ctx, requests[i].as_ref(), fuel) {
                 Outcome::Report(report) => {
@@ -337,10 +386,21 @@ impl EnclavePool {
         self.verifications
     }
 
-    /// A snapshot of every worker slot's health counters.
+    /// A snapshot of every worker slot's health counters, including the
+    /// slot's remaining respawn allowance.
     #[must_use]
     pub fn health(&self) -> PoolHealth {
-        PoolHealth { workers: self.workers.iter().map(|w| w.health.clone()).collect() }
+        PoolHealth {
+            workers: self
+                .workers
+                .iter()
+                .map(|w| {
+                    let mut h = w.health.clone();
+                    h.respawn_headroom = w.respawn_left;
+                    h
+                })
+                .collect(),
+        }
     }
 
     /// Sets the per-slot respawn budget (default 8) and refills every
@@ -397,7 +457,9 @@ impl EnclavePool {
     #[must_use]
     pub fn export_sealed(&self) -> Option<Vec<u8>> {
         let hash = self.active.as_ref()?;
-        Some(self.prepared.get(hash)?.seal())
+        let blob = self.prepared.get(hash)?.seal();
+        METRICS.pool_sealed_exports.add(1);
+        Some(blob)
     }
 
     /// Imports a sealed prepared image — e.g. into a freshly restarted
@@ -412,6 +474,7 @@ impl EnclavePool {
     /// affected workers like [`EnclavePool::install_all`].
     pub fn import_sealed(&mut self, blob: &[u8]) -> Result<[u8; 32], EcallError> {
         let prepared = PreparedInstall::unseal(blob, &self.layout, &self.manifest)?;
+        METRICS.pool_sealed_imports.add(1);
         let hash = prepared.code_hash();
         self.prepared.insert(hash, prepared);
         let prepared = self.prepared.get(&hash).expect("just inserted").clone();
@@ -438,6 +501,11 @@ impl EnclavePool {
     /// worker's.
     pub fn install_all(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
         let hash = sha256(binary);
+        if self.prepared.contains_key(&hash) {
+            METRICS.pool_install_cache_hits.add(1);
+        } else {
+            METRICS.pool_install_cache_misses.add(1);
+        }
         if !self.prepared.contains_key(&hash) {
             let idx =
                 self.workers.iter().position(|w| !w.health.quarantined && !w.enclave.is_lost());
@@ -488,6 +556,7 @@ impl EnclavePool {
         fresh.set_channel(w.enclave.channel());
         fresh.resume_send_nonce(w.enclave.send_nonce());
         fresh.resume_lifetime_sent_bytes(w.enclave.lifetime_sent_bytes());
+        fresh.resume_audit_seq(w.enclave.audit_next_seq());
         if let Some(key) = self.owner_key {
             fresh.set_owner_session(key);
         }
@@ -529,6 +598,9 @@ impl EnclavePool {
         let mut first_err = None;
         for (w, outcome) in self.workers.iter_mut().zip(outcomes) {
             if let Err(e) = outcome {
+                if !w.health.quarantined {
+                    METRICS.pool_quarantines.add(1);
+                }
                 w.health.quarantined = true;
                 if first_err.is_none() {
                     first_err = Some(e);
@@ -598,6 +670,7 @@ impl EnclavePool {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        let _batch_span = Span::start(&METRICS.pool_serve_batch_ns);
         let ctx = RespawnCtx {
             layout: &self.layout,
             manifest: &self.manifest,
@@ -629,6 +702,7 @@ impl EnclavePool {
         }
         let stranded: Vec<usize> = (0..requests.len()).filter(|&i| !has_result[i]).collect();
         if !stranded.is_empty() {
+            METRICS.pool_stranded_retries.add(stranded.len() as u64);
             let mut retried = Vec::with_capacity(stranded.len());
             for i in stranded {
                 let mut entry = Err(EcallError::WorkerQuarantined);
@@ -674,6 +748,7 @@ impl EnclavePool {
         fuel: u64,
     ) -> Result<Vec<RunReport>, EcallError> {
         let worker_count = self.workers.len();
+        METRICS.pool_round_robin_assignments.add(requests.len() as u64);
         let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); worker_count];
         for i in 0..requests.len() {
             assignments[i % worker_count].push(i);
@@ -935,6 +1010,32 @@ mod tests {
         assert_eq!(a.total_faulted(), b.total_faulted());
         assert_eq!(b.total_served(), requests.len());
         assert_eq!(b.total_faulted(), requests.len());
+        // The derived aggregates agree too: every request faulted.
+        assert_eq!(a.fault_rate(), 1.0);
+        assert_eq!(b.fault_rate(), 1.0);
+    }
+
+    #[test]
+    fn health_aggregates_derive_from_worker_counters() {
+        let mut p = pool(2);
+        let fresh = p.health();
+        assert_eq!(fresh.fault_rate(), 0.0, "nothing served yet");
+        assert_eq!(fresh.min_respawn_headroom(), Some(DEFAULT_RESPAWN_BUDGET));
+        // One kill on worker 1: its headroom drops below worker 0's.
+        p.chaos_kill_after(1, 0);
+        p.serve_on(1, b"\x01", 1_000_000).unwrap();
+        let h = p.health();
+        assert_eq!(h.workers[1].respawn_headroom, DEFAULT_RESPAWN_BUDGET - 1);
+        assert_eq!(h.workers[0].respawn_headroom, DEFAULT_RESPAWN_BUDGET);
+        assert_eq!(h.min_respawn_headroom(), Some(DEFAULT_RESPAWN_BUDGET - 1));
+        assert_eq!(h.workers[1].fault_rate(), 1.0, "one served, one lost-instance fault");
+        assert!(h.fault_rate() > 0.0 && h.fault_rate() <= 1.0);
+        // Quarantined slots drop out of the headroom aggregate.
+        let mut q = pool(1);
+        q.set_respawn_budget(0);
+        q.chaos_kill_after(0, 0);
+        let _ = q.serve_on(0, b"\x01", 1_000_000);
+        assert_eq!(q.health().min_respawn_headroom(), None);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use deflection_lang::mir::{MFunction, MInst, MirProgram};
 use deflection_lang::CompileError;
 use deflection_obj::{link, LinkError, ObjectFile};
 use deflection_sgx_sim::layout::EnclaveLayout;
+use deflection_telemetry::{Span, METRICS};
 use std::collections::HashSet;
 use std::error::Error as StdError;
 use std::fmt;
@@ -322,7 +323,10 @@ pub fn elision_plan(
     let (text, entry, ibt) = resolve_for_verify(full, layout)?;
     let strict = PolicySet { elide_guards: false, ..*policy };
     let verified = verify(&text, entry, &ibt, &strict).ok()?;
-    let analysis = Analysis::run(&verified.disassembly, elision_analysis_config(layout));
+    let analysis = {
+        let _span = Span::start(&METRICS.produce_analysis_ns);
+        Analysis::run(&verified.disassembly, elision_analysis_config(layout))
+    };
 
     // Function layout: (start offset, index in mir.functions). Any symbol —
     // including injected runtime helpers — terminates the previous range.
@@ -426,6 +430,7 @@ pub fn produce_from_mir_for_layout(
     policy: &PolicySet,
     layout: &EnclaveLayout,
 ) -> Result<ObjectFile, ProduceError> {
+    let _span = Span::start(&METRICS.produce_ns);
     let full = produce_from_mir(mir, policy)?;
     if !policy.elide_guards || !policy.cfi || !(policy.store_bounds || policy.rsp_integrity) {
         return Ok(full);
@@ -435,21 +440,28 @@ pub fn produce_from_mir_for_layout(
     };
     let elided = instrument_with_plan(mir, policy, &plan);
     let Ok(obj) = deflection_lang::assemble(&elided) else {
+        METRICS.produce_elision_fallbacks.add(1);
         return Ok(full);
     };
     let Ok(obj) = link(&[obj]) else {
+        METRICS.produce_elision_fallbacks.add(1);
         return Ok(full);
     };
     // Self-verify: replay the consumer's exact acceptance check. Any
     // divergence between the pass-1 analysis and the verifier's own run
     // (e.g. different widening behaviour on the re-laid-out code) falls
     // back to full instrumentation rather than shipping a reject.
-    let accepted = resolve_for_verify(&obj, layout).is_some_and(|(text, entry, ibt)| {
-        verify_with_layout(&text, entry, &ibt, policy, layout).is_ok()
-    });
+    let accepted = {
+        let _span = Span::start(&METRICS.produce_self_verify_ns);
+        resolve_for_verify(&obj, layout).is_some_and(|(text, entry, ibt)| {
+            verify_with_layout(&text, entry, &ibt, policy, layout).is_ok()
+        })
+    };
     if accepted {
+        METRICS.produce_guards_elided.add((plan.store_skip.len() + plan.rsp_skip.len()) as u64);
         Ok(obj)
     } else {
+        METRICS.produce_elision_fallbacks.add(1);
         Ok(full)
     }
 }

@@ -13,6 +13,7 @@
 //!   and an optional lifetime cap tracked by a never-reset ledger;
 //! * `recv` only ever exposes data the owner provisioned.
 
+use crate::audit::{AuditKind, AuditRing, AUDIT_EXPORT_LEN};
 use crate::consumer::{install, InstallError, Installed};
 use crate::policy::Manifest;
 use crate::sealed::UnsealError;
@@ -28,6 +29,7 @@ use deflection_sgx_sim::measure::{measure_enclave, Measurement};
 use deflection_sgx_sim::mem::Memory;
 use deflection_sgx_sim::vm::{ExecStats, RunExit, Vm, VmHost};
 use deflection_sgx_sim::Fault;
+use deflection_telemetry::METRICS;
 use std::collections::VecDeque;
 
 /// The public consumer image: stands in for the loader/verifier binary whose
@@ -68,6 +70,9 @@ struct HostState {
     /// [`record_nonce`].
     channel: u32,
     send_nonce: u64,
+    /// Policy-relevant events, retained in-enclave and exported only as
+    /// sealed, fixed-size, budget-charged records (see [`crate::audit`]).
+    audit: AuditRing,
     log_values: Vec<i64>,
     clock: u64,
     coloc: ColocationTester,
@@ -112,6 +117,8 @@ impl VmHost for HostState {
                 // so a long-lived worker serving many small requests never
                 // exhausts it, while any single run is still capped.
                 if self.sent_bytes + len > self.manifest.output_budget {
+                    self.audit.record(AuditKind::RunBudgetExhausted, len as u64);
+                    METRICS.run_budget_exhaustions.add(1);
                     return Err(Fault::OcallFailed {
                         code,
                         reason: "output entropy budget exhausted".into(),
@@ -123,6 +130,8 @@ impl VmHost for HostState {
                 // bounded.
                 if let Some(cap) = self.manifest.lifetime_output_budget {
                     if self.lifetime_sent_bytes + len as u64 > cap {
+                        self.audit.record(AuditKind::LifetimeBudgetExhausted, len as u64);
+                        METRICS.run_budget_exhaustions.add(1);
                         return Err(Fault::OcallFailed {
                             code,
                             reason: "lifetime output entropy budget exhausted".into(),
@@ -306,6 +315,10 @@ pub enum EcallError {
     WorkerQuarantined,
     /// A sealed install blob was rejected on import.
     Unseal(UnsealError),
+    /// An audit export was refused because the per-run or lifetime output
+    /// budget cannot absorb the fixed-size record: the export fails closed
+    /// and nothing leaves the enclave.
+    AuditBudget,
 }
 
 impl std::fmt::Display for EcallError {
@@ -326,6 +339,9 @@ impl std::fmt::Display for EcallError {
                 write!(f, "pool worker quarantined and respawn budget exhausted")
             }
             EcallError::Unseal(e) => write!(f, "sealed install rejected: {e}"),
+            EcallError::AuditBudget => {
+                write!(f, "audit export refused: output entropy budget exhausted")
+            }
         }
     }
 }
@@ -449,6 +465,7 @@ impl BootstrapEnclave {
             lifetime_sent_bytes: 0,
             channel: 0,
             send_nonce: 0,
+            audit: AuditRing::new(),
             log_values: Vec::new(),
             clock: 0,
             coloc: ColocationTester::new(PROFILES[0], 0xD5F1),
@@ -530,6 +547,58 @@ impl BootstrapEnclave {
     /// cumulative leakage, not just one instance's. Never moves backwards.
     pub fn resume_lifetime_sent_bytes(&mut self, floor: u64) {
         self.host.lifetime_sent_bytes = self.host.lifetime_sent_bytes.max(floor);
+    }
+
+    /// The sequence number the next audit event will get — the slot's
+    /// lifetime event count. Pools carry it across respawns (like the send
+    /// nonce) so exported sequences never regress.
+    #[must_use]
+    pub fn audit_next_seq(&self) -> u64 {
+        self.host.audit.next_seq()
+    }
+
+    /// Raises the audit sequence counter to at least `floor` (pool respawn
+    /// carry-forward). Never moves backwards.
+    pub fn resume_audit_seq(&mut self, floor: u64) {
+        self.host.audit.resume_seq(floor);
+    }
+
+    /// `ecall_export_audit`: seals the audit ring for the data owner on
+    /// this enclave's record-nonce channel. The export is an *output*: its
+    /// fixed [`AUDIT_EXPORT_LEN`]-byte plaintext is charged against the
+    /// per-run and lifetime output budgets exactly like a P0 record, and
+    /// the call fails closed — leaking nothing — when either budget cannot
+    /// absorb it. The sealed blob opens with
+    /// [`crate::audit::open_audit_export`] under the `(channel, counter)`
+    /// pair in force at export time.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the instance is lost, no owner session exists, or a
+    /// budget refuses the export ([`EcallError::AuditBudget`]).
+    pub fn ecall_export_audit(&mut self) -> Result<Vec<u8>, EcallError> {
+        if self.lost {
+            return Err(EcallError::EnclaveLost);
+        }
+        let key = self.host.owner_key.ok_or(EcallError::NoSession)?;
+        if self.host.sent_bytes + AUDIT_EXPORT_LEN > self.manifest.output_budget {
+            self.host.audit.record(AuditKind::RunBudgetExhausted, AUDIT_EXPORT_LEN as u64);
+            return Err(EcallError::AuditBudget);
+        }
+        if let Some(cap) = self.manifest.lifetime_output_budget {
+            if self.host.lifetime_sent_bytes + AUDIT_EXPORT_LEN as u64 > cap {
+                self.host.audit.record(AuditKind::LifetimeBudgetExhausted, AUDIT_EXPORT_LEN as u64);
+                return Err(EcallError::AuditBudget);
+            }
+        }
+        let plain = self.host.audit.export_bytes();
+        let sealed =
+            seal_record(&key, self.host.channel, self.host.send_nonce, &plain, AUDIT_EXPORT_LEN);
+        self.host.send_nonce += 1;
+        self.host.sent_bytes += AUDIT_EXPORT_LEN;
+        self.host.lifetime_sent_bytes += AUDIT_EXPORT_LEN as u64;
+        METRICS.audit_exports.add(1);
+        Ok(sealed)
     }
 
     /// The enclave's measurement, as the hardware would report it in a
@@ -633,6 +702,9 @@ impl BootstrapEnclave {
         self.host.io = io;
         self.direct_input_pending = false;
         let entry = installed.program.entry_va;
+        let hash_prefix =
+            u64::from_le_bytes(installed.program.code_hash[..8].try_into().expect("32-byte hash"));
+        self.host.audit.record(AuditKind::Install, hash_prefix);
         self.installed = Some(installed);
         self.vm = Some(Vm::new(mem, entry));
     }
@@ -733,6 +805,14 @@ impl BootstrapEnclave {
         self.direct_input_pending = false;
         let exit = vm.run(fuel, &mut self.host);
         let mut stats = vm.stats;
+        // Policy-relevant outcomes land in the in-enclave audit ring; they
+        // leave the enclave only via the sealed, budget-charged export.
+        if matches!(exit, RunExit::PolicyAbort { .. } | RunExit::Fault(_)) {
+            self.host.audit.record(AuditKind::GuardTrip, stats.instructions);
+        }
+        if stats.aex_injected > 0 {
+            self.host.audit.record(AuditKind::AexInjected, stats.aex_injected);
+        }
         // On-demand processing-time blurring (paper Section VII): idle until
         // the next quantum boundary before releasing any output, so the
         // completion time no longer modulates a covert channel.
@@ -746,6 +826,14 @@ impl BootstrapEnclave {
                 }
             }
         }
+        // Telemetry sits at the ECall boundary: everything it records here
+        // (bytes sent, budget headroom) is already host-visible in the
+        // returned report, so the collector adds no new channel.
+        METRICS.run_reports.add(1);
+        METRICS.run_sent_bytes.observe(self.host.sent_bytes as u64);
+        METRICS
+            .run_budget_headroom
+            .set(self.manifest.output_budget.saturating_sub(self.host.sent_bytes) as i64);
         Ok(RunReport {
             exit,
             stats,

@@ -1,0 +1,731 @@
+//! # deflection-telemetry
+//!
+//! A dependency-free (std-only) tracing and metrics substrate for the
+//! DEFLECTION pipeline: counters, gauges, fixed-bucket log-2 histograms
+//! and RAII span timers behind a process-global [`Collector`].
+//!
+//! # Trust model
+//!
+//! This crate is **untrusted-side observability** and is deliberately kept
+//! out of the in-enclave TCB count. Everything it aggregates — phase
+//! durations, cache hit rates, scheduler decisions — is information the
+//! untrusted host can already observe by timing ECalls and watching its own
+//! scheduler; recording it adds no new covert channel. Policy-relevant
+//! events that the host *cannot* see (guard trips, AEX injections, budget
+//! exhaustions inside a run) are recorded exclusively by the in-enclave
+//! audit ring (`deflection-core::audit`), which exports only sealed,
+//! fixed-size, budget-charged records. See `DESIGN.md` §5e.
+//!
+//! # Cost model
+//!
+//! The collector is **off by default**. Every recording operation first
+//! loads one relaxed atomic flag and returns immediately when disabled —
+//! an `#[inline]` empty path whose cost is a load and a predictable
+//! branch. `tests/telemetry_soundness.rs` proves verdicts are bit-identical
+//! enabled/disabled/snapshotted, and the `ablation_telemetry` bench bounds
+//! the disabled-path overhead at ≤1% of verify+serve.
+//!
+//! # Example
+//!
+//! ```
+//! use deflection_telemetry::{Collector, METRICS};
+//!
+//! Collector::enable();
+//! METRICS.pool_steal_claims.add(1);
+//! METRICS.run_sent_bytes.observe(128);
+//! let snap = Collector::snapshot();
+//! assert!(snap.to_prometheus().contains("deflection_pool_events_total"));
+//! Collector::disable();
+//! # Collector::reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of log-2 histogram buckets: bucket 0 holds exact zeros, bucket
+/// `k >= 1` holds values in `[2^(k-1), 2^k)`, and the last bucket absorbs
+/// everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Process-global enable flag. All metric operations are no-ops while this
+/// is false.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// A monotonically increasing event counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    labels: &'static str,
+    hits: AtomicU64,
+}
+
+impl Counter {
+    /// Declares a counter. `labels` is a raw Prometheus label body such as
+    /// `event="steal_claim"` (empty for none).
+    #[must_use]
+    pub const fn new(name: &'static str, labels: &'static str) -> Self {
+        Counter { name, labels, hits: AtomicU64::new(0) }
+    }
+
+    /// Adds `n` to the counter; no-op while the collector is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins signed gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    labels: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Declares a gauge.
+    #[must_use]
+    pub const fn new(name: &'static str, labels: &'static str) -> Self {
+        Gauge { name, labels, value: AtomicI64::new(0) }
+    }
+
+    /// Sets the gauge; no-op while the collector is disabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket log-2 histogram: 64 buckets cover the full `u64` range,
+/// so recording never allocates and bucket boundaries are stable across
+/// runs (a requirement for the trend reporter's deltas).
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    labels: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// Declares a histogram.
+    #[must_use]
+    pub const fn new(name: &'static str, labels: &'static str) -> Self {
+        Histogram {
+            name,
+            labels,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, otherwise `floor(log2 v) + 1`,
+    /// clamped into the last bucket.
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation; no-op while the collector is disabled.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An RAII span: starts a wall-clock timer on construction (only when the
+/// collector is enabled — the disabled path never reads the clock) and
+/// records the elapsed nanoseconds into its histogram on drop.
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    hist: &'static Histogram,
+}
+
+impl Span {
+    /// Opens a span feeding `hist`.
+    #[inline]
+    #[must_use]
+    pub fn start(hist: &'static Histogram) -> Span {
+        let start = if ENABLED.load(Ordering::Relaxed) { Some(Instant::now()) } else { None };
+        Span { start, hist }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.observe(ns);
+        }
+    }
+}
+
+/// Every metric the DEFLECTION pipeline records, declared centrally so the
+/// exposition order is stable and the whole set is enumerable without a
+/// runtime registry (no allocation on any hot path).
+#[derive(Debug)]
+#[allow(missing_docs)] // field names are the documentation; see DESIGN.md §5e
+pub struct Metrics {
+    // -- untrusted producer (produce_for_layout two-pass pipeline) --------
+    pub produce_ns: Histogram,
+    pub produce_analysis_ns: Histogram,
+    pub produce_self_verify_ns: Histogram,
+    pub produce_elision_fallbacks: Counter,
+    pub produce_guards_elided: Counter,
+    // -- in-enclave verifier phases (host-observable timings) -------------
+    pub verify_ns: Histogram,
+    pub verify_disasm_ns: Histogram,
+    pub verify_discovery_ns: Histogram,
+    pub verify_checks_ns: Histogram,
+    pub verify_accepts: Counter,
+    pub verify_rejects: Counter,
+    // -- abstract interpreter (guard elision) ------------------------------
+    pub analysis_run_ns: Histogram,
+    pub analysis_fixpoint_iters: Histogram,
+    pub analysis_widenings: Histogram,
+    // -- enclave pool ------------------------------------------------------
+    pub pool_install_cache_hits: Counter,
+    pub pool_install_cache_misses: Counter,
+    pub pool_sealed_exports: Counter,
+    pub pool_sealed_imports: Counter,
+    pub pool_steal_claims: Counter,
+    pub pool_round_robin_assignments: Counter,
+    pub pool_contained_faults: Counter,
+    pub pool_lost_instances: Counter,
+    pub pool_respawns: Counter,
+    pub pool_quarantines: Counter,
+    pub pool_stranded_retries: Counter,
+    pub pool_serve_batch_ns: Histogram,
+    // -- bootstrap-enclave runtime (per-run P0 accounting) -----------------
+    pub run_reports: Counter,
+    pub run_sent_bytes: Histogram,
+    pub run_budget_headroom: Gauge,
+    pub run_budget_exhaustions: Counter,
+    pub audit_events: Counter,
+    pub audit_exports: Counter,
+}
+
+impl Metrics {
+    const fn new() -> Metrics {
+        Metrics {
+            produce_ns: Histogram::new("deflection_produce_ns", r#"phase="total""#),
+            produce_analysis_ns: Histogram::new("deflection_produce_ns", r#"phase="analysis""#),
+            produce_self_verify_ns: Histogram::new(
+                "deflection_produce_ns",
+                r#"phase="self_verify""#,
+            ),
+            produce_elision_fallbacks: Counter::new(
+                "deflection_produce_events_total",
+                r#"event="elision_fallback""#,
+            ),
+            produce_guards_elided: Counter::new(
+                "deflection_produce_events_total",
+                r#"event="guard_elided""#,
+            ),
+            verify_ns: Histogram::new("deflection_verify_ns", r#"phase="total""#),
+            verify_disasm_ns: Histogram::new("deflection_verify_ns", r#"phase="disasm""#),
+            verify_discovery_ns: Histogram::new("deflection_verify_ns", r#"phase="discovery""#),
+            verify_checks_ns: Histogram::new("deflection_verify_ns", r#"phase="checks""#),
+            verify_accepts: Counter::new("deflection_verify_total", r#"verdict="accept""#),
+            verify_rejects: Counter::new("deflection_verify_total", r#"verdict="reject""#),
+            analysis_run_ns: Histogram::new("deflection_analysis_run_ns", ""),
+            analysis_fixpoint_iters: Histogram::new("deflection_analysis_fixpoint_iters", ""),
+            analysis_widenings: Histogram::new("deflection_analysis_widenings", ""),
+            pool_install_cache_hits: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="install_cache_hit""#,
+            ),
+            pool_install_cache_misses: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="install_cache_miss""#,
+            ),
+            pool_sealed_exports: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="sealed_export""#,
+            ),
+            pool_sealed_imports: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="sealed_import""#,
+            ),
+            pool_steal_claims: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="steal_claim""#,
+            ),
+            pool_round_robin_assignments: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="round_robin_assignment""#,
+            ),
+            pool_contained_faults: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="contained_fault""#,
+            ),
+            pool_lost_instances: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="lost_instance""#,
+            ),
+            pool_respawns: Counter::new("deflection_pool_events_total", r#"event="respawn""#),
+            pool_quarantines: Counter::new("deflection_pool_events_total", r#"event="quarantine""#),
+            pool_stranded_retries: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="stranded_retry""#,
+            ),
+            pool_serve_batch_ns: Histogram::new("deflection_pool_serve_batch_ns", ""),
+            run_reports: Counter::new("deflection_run_total", ""),
+            run_sent_bytes: Histogram::new("deflection_run_sent_bytes", ""),
+            run_budget_headroom: Gauge::new("deflection_run_budget_headroom_bytes", ""),
+            run_budget_exhaustions: Counter::new(
+                "deflection_run_events_total",
+                r#"event="budget_exhausted""#,
+            ),
+            audit_events: Counter::new("deflection_audit_total", r#"event="recorded""#),
+            audit_exports: Counter::new("deflection_audit_total", r#"event="exported""#),
+        }
+    }
+
+    fn counters(&self) -> [&Counter; 16] {
+        [
+            &self.produce_elision_fallbacks,
+            &self.produce_guards_elided,
+            &self.verify_accepts,
+            &self.verify_rejects,
+            &self.pool_install_cache_hits,
+            &self.pool_install_cache_misses,
+            &self.pool_sealed_exports,
+            &self.pool_sealed_imports,
+            &self.pool_steal_claims,
+            &self.pool_round_robin_assignments,
+            &self.pool_contained_faults,
+            &self.pool_lost_instances,
+            &self.pool_respawns,
+            &self.pool_quarantines,
+            &self.pool_stranded_retries,
+            &self.run_reports,
+        ]
+    }
+
+    fn more_counters(&self) -> [&Counter; 3] {
+        [&self.run_budget_exhaustions, &self.audit_events, &self.audit_exports]
+    }
+
+    fn gauges(&self) -> [&Gauge; 1] {
+        [&self.run_budget_headroom]
+    }
+
+    fn histograms(&self) -> [&Histogram; 11] {
+        [
+            &self.produce_ns,
+            &self.produce_analysis_ns,
+            &self.produce_self_verify_ns,
+            &self.verify_ns,
+            &self.verify_disasm_ns,
+            &self.verify_discovery_ns,
+            &self.verify_checks_ns,
+            &self.analysis_run_ns,
+            &self.analysis_fixpoint_iters,
+            &self.analysis_widenings,
+            &self.pool_serve_batch_ns,
+        ]
+    }
+
+    fn all_histograms(&self) -> Vec<&Histogram> {
+        let mut v: Vec<&Histogram> = self.histograms().to_vec();
+        v.push(&self.run_sent_bytes);
+        v
+    }
+
+    fn all_counters(&self) -> Vec<&Counter> {
+        let mut v: Vec<&Counter> = self.counters().to_vec();
+        v.extend(self.more_counters());
+        v
+    }
+}
+
+/// The global metric set every instrumentation site records into.
+pub static METRICS: Metrics = Metrics::new();
+
+/// One counter or gauge sample in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (Prometheus conventions).
+    pub name: &'static str,
+    /// Raw label body (`key="value"`), possibly empty.
+    pub labels: &'static str,
+    /// Sampled value.
+    pub value: i64,
+}
+
+/// One histogram sample in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: &'static str,
+    /// Raw label body, possibly empty.
+    pub labels: &'static str,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Non-cumulative per-bucket counts (log-2 boundaries, see
+    /// [`Histogram::bucket_index`]); trailing empty buckets are trimmed.
+    pub buckets: Vec<u64>,
+}
+
+/// A point-in-time copy of every metric, decoupled from the live atomics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counters and gauges.
+    pub samples: Vec<Sample>,
+    /// Histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl Snapshot {
+    /// Total recorded events: counter hits plus histogram observations.
+    /// This is the operation count the `ablation_telemetry` bench uses to
+    /// bound the disabled-path overhead.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        let c: u64 = self
+            .samples
+            .iter()
+            .filter(|s| s.name.ends_with("_total"))
+            .map(|s| s.value.max(0) as u64)
+            .sum();
+        let h: u64 = self.histograms.iter().map(|h| h.count).sum();
+        c + h
+    }
+
+    /// Renders the stable Prometheus-style text exposition:
+    /// `name{label="v"} value` lines, histograms as `_count`/`_sum` plus
+    /// cumulative `_bucket{le="..."}` lines.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let fmt_labels = |labels: &str, extra: Option<&str>| -> String {
+            match (labels.is_empty(), extra) {
+                (true, None) => String::new(),
+                (true, Some(e)) => format!("{{{e}}}"),
+                (false, None) => format!("{{{labels}}}"),
+                (false, Some(e)) => format!("{{{labels},{e}}}"),
+            }
+        };
+        for s in &self.samples {
+            out.push_str(&format!("{}{} {}\n", s.name, fmt_labels(s.labels, None), s.value));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("{}_count{} {}\n", h.name, fmt_labels(h.labels, None), h.count));
+            out.push_str(&format!("{}_sum{} {}\n", h.name, fmt_labels(h.labels, None), h.sum));
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                cum += b;
+                if b == 0 {
+                    continue;
+                }
+                let le = if i == 0 { "0".to_string() } else { format!("{}", 1u128 << i) };
+                let extra = format!("le=\"{le}\"");
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    h.name,
+                    fmt_labels(h.labels, Some(&extra)),
+                    cum
+                ));
+            }
+            let extra = "le=\"+Inf\"".to_string();
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                h.name,
+                fmt_labels(h.labels, Some(&extra)),
+                h.count
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a self-describing JSON document (schema
+    /// `deflection-metrics-v1`), the format `METRICS_*.json` files use and
+    /// the trend reporter ingests.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"deflection-metrics-v1\",\n  \"samples\": [");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"labels\": \"{}\", \"value\": {}}}",
+                s.name,
+                s.labels.replace('"', "'"),
+                s.value
+            ));
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"labels\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                h.name,
+                h.labels.replace('"', "'"),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// The process-global collector: enable/disable switch, snapshotting and
+/// reset over [`METRICS`].
+#[derive(Debug)]
+pub struct Collector;
+
+impl Collector {
+    /// Turns recording on.
+    pub fn enable() {
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Turns recording off (the default). Already-recorded values are kept
+    /// until [`Collector::reset`].
+    pub fn disable() {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Copies every metric out of the live atomics. Safe to call while
+    /// instrumented code runs concurrently (each value is read atomically;
+    /// the snapshot is not a cross-metric transaction).
+    #[must_use]
+    pub fn snapshot() -> Snapshot {
+        let m = &METRICS;
+        let mut samples: Vec<Sample> = m
+            .all_counters()
+            .iter()
+            .map(|c| Sample {
+                name: c.name,
+                labels: c.labels,
+                value: i64::try_from(c.get()).unwrap_or(i64::MAX),
+            })
+            .collect();
+        samples.extend(m.gauges().iter().map(|g| Sample {
+            name: g.name,
+            labels: g.labels,
+            value: g.get(),
+        }));
+        let histograms = m
+            .all_histograms()
+            .iter()
+            .map(|h| {
+                let mut buckets: Vec<u64> =
+                    h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                while buckets.last() == Some(&0) {
+                    buckets.pop();
+                }
+                HistogramSample {
+                    name: h.name,
+                    labels: h.labels,
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets,
+                }
+            })
+            .collect();
+        Snapshot { samples, histograms }
+    }
+
+    /// Zeroes every metric (test/bench isolation). Does not change the
+    /// enabled flag.
+    pub fn reset() {
+        let m = &METRICS;
+        for c in m.all_counters() {
+            c.reset();
+        }
+        for g in m.gauges() {
+            g.reset();
+        }
+        for h in m.all_histograms() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global collector is shared by every test in this binary; the
+    /// lock keeps enable/reset windows from interleaving.
+    fn with_collector<R>(f: impl FnOnce() -> R) -> R {
+        use std::sync::{Mutex, OnceLock};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let _guard = LOCK.get_or_init(|| Mutex::new(())).lock().unwrap();
+        Collector::reset();
+        Collector::enable();
+        let r = f();
+        Collector::disable();
+        Collector::reset();
+        r
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Counter::new("t", "");
+        let h = Histogram::new("t", "");
+        let g = Gauge::new("t", "");
+        assert!(!Collector::is_enabled());
+        c.add(5);
+        h.observe(7);
+        g.set(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn enabled_collector_records_and_snapshots() {
+        with_collector(|| {
+            METRICS.pool_steal_claims.add(3);
+            METRICS.run_sent_bytes.observe(100);
+            METRICS.run_budget_headroom.set(-4);
+            let snap = Collector::snapshot();
+            let steal = snap
+                .samples
+                .iter()
+                .find(|s| s.labels.contains("steal_claim"))
+                .expect("steal counter present");
+            assert_eq!(steal.value, 3);
+            let sent = snap
+                .histograms
+                .iter()
+                .find(|h| h.name == "deflection_run_sent_bytes")
+                .expect("sent-bytes histogram present");
+            assert_eq!(sent.count, 1);
+            assert_eq!(sent.sum, 100);
+            assert!(snap.total_events() >= 4);
+            let text = snap.to_prometheus();
+            assert!(text.contains("deflection_pool_events_total{event=\"steal_claim\"} 3"));
+            assert!(text.contains("deflection_run_budget_headroom_bytes -4"));
+            assert!(text.contains("deflection_run_sent_bytes_bucket{le=\"128\"} 1"));
+            let json = snap.to_json();
+            assert!(json.contains("\"schema\": \"deflection-metrics-v1\""));
+            assert!(json.contains("\"sum\": 100"));
+        });
+    }
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn span_times_only_when_enabled() {
+        with_collector(|| {
+            {
+                let _s = Span::start(&METRICS.verify_ns);
+            }
+            assert_eq!(METRICS.verify_ns.count(), 1);
+        });
+        // Disabled: no observation, and the clock is never read.
+        {
+            let s = Span::start(&METRICS.verify_ns);
+            assert!(s.start.is_none());
+        }
+        assert_eq!(METRICS.verify_ns.count(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        with_collector(|| {
+            METRICS.verify_accepts.add(2);
+            METRICS.verify_ns.observe(10);
+            Collector::reset();
+            assert_eq!(METRICS.verify_accepts.get(), 0);
+            assert_eq!(METRICS.verify_ns.count(), 0);
+        });
+    }
+}

@@ -6,15 +6,20 @@
 # runs every Criterion bench target once in --quick mode and captures its
 # output as target/bench-smoke/BENCH_<name>.json (also copied to the repo
 # root), so CI catches bench bit-rot (panicking asserts, broken tables)
-# without paying for a full measurement run.
+# without paying for a full measurement run. Each smoke run also writes a
+# telemetry snapshot (target/bench-smoke/METRICS_smoke.json) and prints the
+# trend report against the committed repo-root series; add `--trend` to
+# make a regression past the threshold fail the build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SMOKE="${BENCH_SMOKE:-0}"
+TREND_ENFORCE=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) SMOKE=1 ;;
+        --trend) SMOKE=1; TREND_ENFORCE=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -40,6 +45,9 @@ cargo test -q -p deflection-core --test pool_chaos --test sealed_install
 if [ "$SMOKE" = "1" ]; then
     echo "==> bench smoke (--quick, one pass per target)"
     mkdir -p target/bench-smoke
+    # Host context stamped into every BENCH file: the trend reporter only
+    # enforces regressions between runs with the same core count.
+    CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
     benches=$(sed -n 's/^name = "\(.*\)"$/\1/p' crates/bench/Cargo.toml | tail -n +2)
     for bench in $benches; do
         echo "==> bench smoke: $bench"
@@ -55,7 +63,9 @@ if [ "$SMOKE" = "1" ]; then
         # visible outside gitignored target/.
         json="target/bench-smoke/BENCH_${bench}.json"
         {
-            printf '{\n  "bench": "%s",\n  "status": "ok",\n  "measurements": [' "$bench"
+            printf '{\n  "bench": "%s",\n  "status": "ok",\n' "$bench"
+            printf '  "host": {"available_parallelism": %s, "smoke": true, "quick": true},\n' "$CORES"
+            printf '  "measurements": ['
             first=1
             while IFS= read -r line; do
                 esc=$(printf '%s' "$line" | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g')
@@ -68,6 +78,22 @@ if [ "$SMOKE" = "1" ]; then
         count=$(sed -n 's/^[[:space:]]*bench .*$/x/p' "$log" | wc -l)
         echo "    wrote $json ($count measurements, copied to repo root)"
     done
+
+    echo "==> telemetry snapshot (metrics_snapshot)"
+    cargo run -q --release --bin metrics_snapshot -- -o target/bench-smoke/METRICS_smoke.json \
+        >target/bench-smoke/METRICS_smoke.log 2>&1 || {
+        cat target/bench-smoke/METRICS_smoke.log
+        echo "metrics snapshot failed" >&2
+        exit 1
+    }
+    echo "    wrote target/bench-smoke/METRICS_smoke.json"
+
+    echo "==> trend report (current: target/bench-smoke, previous: repo root)"
+    if [ "$TREND_ENFORCE" = "1" ]; then
+        cargo run -q --release --bin trend -- --enforce
+    else
+        cargo run -q --release --bin trend || true
+    fi
 fi
 
 echo "==> CI green"

@@ -1,0 +1,130 @@
+//! `metrics_snapshot` — drives one small serving batch with the telemetry
+//! collector enabled and dumps what it saw.
+//!
+//! ```text
+//! metrics_snapshot [-o METRICS_file.json]
+//! ```
+//!
+//! The flow mirrors the serving story: produce an instrumented binary,
+//! install it across an [`EnclavePool`], serve a parallel batch, export the
+//! sealed audit ring from a standalone enclave, then print the collector's
+//! Prometheus-style exposition (and optionally write the JSON snapshot a
+//! `trend` run can ingest).
+//!
+//! [`EnclavePool`]: deflection::core::pool::EnclavePool
+
+use deflection::core::audit::open_audit_export;
+use deflection::core::policy::{Manifest, PolicySet};
+use deflection::core::pool::EnclavePool;
+use deflection::core::producer::produce_for_layout;
+use deflection::core::runtime::BootstrapEnclave;
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::telemetry::Collector;
+use std::process::ExitCode;
+
+/// A tiny scoring routine: one pass over the input, one sealed output byte.
+const PROGRAM: &str = "
+fn main() -> int {
+    var n: int = input_len();
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < n) {
+        acc = acc + input_byte(i);
+        i = i + 1;
+    }
+    output_byte(0, acc & 0xFF);
+    send(1);
+    return acc;
+}
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let output = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "-o" || flag == "--output" => Some(path.clone()),
+        _ => {
+            eprintln!("usage:\n  metrics_snapshot [-o METRICS_file.json]");
+            return ExitCode::from(2);
+        }
+    };
+
+    Collector::enable();
+    Collector::reset();
+
+    // Full policy set with guard elision, so the producer's analysis and
+    // self-verification phases show up in the histograms too.
+    let mut manifest = Manifest::ccaas();
+    manifest.policy = PolicySet::full().with_elision();
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let binary = match produce_for_layout(PROGRAM, &manifest.policy, &layout) {
+        Ok(obj) => obj.serialize(),
+        Err(e) => {
+            eprintln!("producer failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // A four-worker pool serving an eight-request batch: exercises the
+    // install cache, work stealing and the per-run output budget.
+    let owner_key = [0xD1; 32];
+    let mut pool = EnclavePool::new(&layout, &manifest, 4);
+    pool.set_owner_session(owner_key);
+    if let Err(e) = pool.install_all(&binary) {
+        eprintln!("pool install failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let requests: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i, i + 1, i + 2, 40]).collect();
+    let reports = match pool.serve_parallel(&requests, 10_000_000) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve_parallel failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "served {} requests across {} workers ({} verification pass)",
+        reports.len(),
+        pool.len(),
+        pool.verification_count()
+    );
+
+    // A standalone enclave demonstrates the attested audit-log export: the
+    // sealed blob opens under the owner key on (channel 0, the counter in
+    // force after the run's own sealed records).
+    let mut enclave = BootstrapEnclave::new(layout, manifest);
+    enclave.set_owner_session(owner_key);
+    let audit = enclave
+        .install_plain(&binary)
+        .and_then(|_| enclave.provide_input(&[9, 9, 9]))
+        .and_then(|()| enclave.run(10_000_000))
+        .map_err(|e| e.to_string())
+        .and_then(|report| {
+            let sealed = enclave.ecall_export_audit().map_err(|e| e.to_string())?;
+            open_audit_export(&owner_key, 0, report.records.len() as u64, &sealed)
+                .map_err(|e| format!("{e:?}"))
+        });
+    match audit {
+        Ok(log) => println!(
+            "audit log: {} events, {} dropped, next seq {}",
+            log.events.len(),
+            log.dropped(),
+            log.next_seq
+        ),
+        Err(e) => {
+            eprintln!("audit export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let snapshot = Collector::snapshot();
+    println!("\n{}", snapshot.to_prometheus());
+    if let Some(path) = output {
+        if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -12,13 +12,17 @@
 //! * [`sgx`] — the simulated SGX platform (EPC, AEX/SSA, measurement),
 //! * [`attest`] — quotes, attestation service, RA-TLS-style sessions,
 //! * [`core`] — the paper's contribution: producer, consumer, runtime,
-//! * [`workloads`] — nBench kernels and macro-benchmark applications.
+//! * [`workloads`] — nBench kernels and macro-benchmark applications,
+//! * [`telemetry`] — zero-dependency counters/histograms/span timers,
+//! * [`trend`] — the BENCH/METRICS trend reporter behind `bin/trend`.
 //!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs`, which compiles a DCL program, instruments it
 //! with the full policy set, verifies it inside the bootstrap enclave, and
 //! runs it on attested, encrypted user data.
+
+pub mod trend;
 
 pub use deflection_attest as attest;
 pub use deflection_core as core;
@@ -27,4 +31,5 @@ pub use deflection_isa as isa;
 pub use deflection_lang as lang;
 pub use deflection_obj as obj;
 pub use deflection_sgx_sim as sgx;
+pub use deflection_telemetry as telemetry;
 pub use deflection_workloads as workloads;

@@ -1,0 +1,443 @@
+//! The BENCH trend reporter: ingests the repo's `BENCH_*.json` series
+//! (emitted by `scripts/ci.sh --smoke`) plus `METRICS_*.json` collector
+//! snapshots, and renders a markdown trend table — per-measurement mean,
+//! delta against the previous run, and host-core gating notes — with an
+//! optional regression threshold for CI gating.
+//!
+//! Everything here is zero-dependency by design (matching the vendored-shim
+//! policy): the BENCH files are produced by a pure-shell emitter with a
+//! known shape, so a small line-oriented extractor is both sufficient and
+//! honest about what it accepts.
+
+use std::fmt::Write as _;
+
+/// Benches whose headline assertions are gated off on hosts with fewer
+/// than four cores (see ROADMAP): their numbers are reported but never
+/// treated as regressions when either side ran under the gate.
+pub const CORE_GATED_BENCHES: &[&str] = &["ablation_parallel_verify", "ablation_pool_resilience"];
+
+/// Host context stamped into a BENCH file by `scripts/ci.sh`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostStamp {
+    /// `std::thread::available_parallelism` on the emitting host.
+    pub available_parallelism: Option<u64>,
+    /// Whether the run was a `--smoke` (single-shot `--quick`) run.
+    pub smoke: bool,
+}
+
+/// One parsed measurement line from the vendored-criterion report format:
+/// `bench {id:<40} {min} .. {max} (mean {mean}, n={n})`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `nbench/numeric_sort/baseline`.
+    pub id: String,
+    /// Mean duration in nanoseconds.
+    pub mean_ns: f64,
+    /// Sample count.
+    pub n: u64,
+}
+
+/// One parsed `BENCH_<name>.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    /// Bench name (`table2_nbench`, …).
+    pub bench: String,
+    /// Emitter status (`ok` when the bench binary exited 0).
+    pub status: String,
+    /// Host context, absent in files emitted before stamping existed.
+    pub host: Option<HostStamp>,
+    /// Parsed measurement lines.
+    pub measurements: Vec<Measurement>,
+}
+
+/// A headline counter pulled from a `METRICS_*.json` collector snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Raw label body.
+    pub labels: String,
+    /// Counter/gauge value.
+    pub value: i64,
+}
+
+/// Parses a duration rendered by the vendored criterion shim
+/// (`fmt_dur`): `{ns} ns`, `{:.2} µs`, `{:.2} ms` or `{:.2} s`.
+#[must_use]
+pub fn parse_duration_ns(s: &str) -> Option<f64> {
+    let s = s.trim();
+    let (value, scale) = if let Some(v) = s.strip_suffix(" ns") {
+        (v, 1.0)
+    } else if let Some(v) = s.strip_suffix(" µs") {
+        (v, 1e3)
+    } else if let Some(v) = s.strip_suffix(" ms") {
+        (v, 1e6)
+    } else if let Some(v) = s.strip_suffix(" s") {
+        (v, 1e9)
+    } else {
+        return None;
+    };
+    value.trim().parse::<f64>().ok().map(|v| v * scale)
+}
+
+/// Parses one `bench …` measurement line. Returns `None` for the
+/// "no samples" form and anything else that is not a measurement.
+#[must_use]
+pub fn parse_measurement(line: &str) -> Option<Measurement> {
+    let rest = line.trim().strip_prefix("bench ")?;
+    let id = rest.split_whitespace().next()?.to_string();
+    let mean_start = rest.find("(mean")? + "(mean".len();
+    let tail = &rest[mean_start..];
+    let comma = tail.find(',')?;
+    let mean_ns = parse_duration_ns(&tail[..comma])?;
+    let n = tail[comma..].trim_start_matches(',').trim().strip_prefix("n=")?;
+    let n = n.trim_end_matches(')').trim().parse::<u64>().ok()?;
+    Some(Measurement { id, mean_ns, n })
+}
+
+/// Extracts the string value of `"key": "value"` from a JSON-shaped line
+/// set (first occurrence). Deliberately line-oriented: the emitter writes
+/// one field per line and never escapes quotes inside values.
+fn json_string_field(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts a numeric or boolean field value as text.
+fn json_raw_field(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+/// Parses one `BENCH_<name>.json` document.
+#[must_use]
+pub fn parse_bench_file(text: &str) -> Option<BenchFile> {
+    let bench = json_string_field(text, "bench")?;
+    let status = json_string_field(text, "status").unwrap_or_else(|| "unknown".into());
+    let host = text.contains("\"host\":").then(|| HostStamp {
+        available_parallelism: json_raw_field(text, "available_parallelism")
+            .and_then(|v| v.parse().ok()),
+        smoke: json_raw_field(text, "smoke").as_deref() == Some("true"),
+    });
+    // Measurement strings are JSON array elements, one per line; strip the
+    // quoting and trailing comma, then parse the embedded report line.
+    let measurements = text
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim().trim_end_matches(',');
+            let inner = l.strip_prefix('"')?.strip_suffix('"')?;
+            parse_measurement(inner)
+        })
+        .collect();
+    Some(BenchFile { bench, status, host, measurements })
+}
+
+/// Parses the counter/gauge samples out of a `METRICS_*.json` snapshot
+/// (schema `deflection-metrics-v1`).
+#[must_use]
+pub fn parse_metrics_file(text: &str) -> Vec<MetricSample> {
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim().trim_end_matches(',');
+            if !l.starts_with('{') || !l.contains("\"name\"") || !l.contains("\"value\"") {
+                return None;
+            }
+            Some(MetricSample {
+                name: json_string_field(l, "name")?,
+                labels: json_string_field(l, "labels").unwrap_or_default(),
+                value: json_raw_field(l, "value")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// One row of the trend table: a measurement matched (by bench name and
+/// measurement id) between the previous and current series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRow {
+    /// Bench name.
+    pub bench: String,
+    /// Measurement id.
+    pub id: String,
+    /// Previous mean in nanoseconds (`None` for a new measurement).
+    pub prev_ns: Option<f64>,
+    /// Current mean in nanoseconds.
+    pub curr_ns: f64,
+    /// Percent delta vs. previous (positive = slower), when comparable.
+    pub delta_pct: Option<f64>,
+    /// Whether this row exceeded the regression threshold *and* was
+    /// eligible for enforcement (comparable host stamps, not core-gated).
+    pub regressed: bool,
+    /// Human-readable annotation (core gating, host mismatch, new).
+    pub note: String,
+}
+
+/// The full trend comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// Matched rows, in current-series order.
+    pub rows: Vec<TrendRow>,
+    /// Regression threshold in percent that was applied.
+    pub threshold_pct: f64,
+}
+
+impl TrendReport {
+    /// Compares the current BENCH series against the previous one.
+    ///
+    /// A row is only *enforceable* (can set `regressed`) when both sides
+    /// carry host stamps with the same `available_parallelism` — numbers
+    /// measured on different host shapes are reported but never gate. The
+    /// ≥4-core-gated benches ([`CORE_GATED_BENCHES`]) are additionally
+    /// exempt when either side ran with fewer than four cores, and noted
+    /// as such.
+    #[must_use]
+    pub fn build(current: &[BenchFile], previous: &[BenchFile], threshold_pct: f64) -> TrendReport {
+        let prev_of = |bench: &str, id: &str| -> Option<(&BenchFile, &Measurement)> {
+            let f = previous.iter().find(|f| f.bench == bench)?;
+            let m = f.measurements.iter().find(|m| m.id == id)?;
+            Some((f, m))
+        };
+        let mut rows = Vec::new();
+        for file in current {
+            let gated_bench = CORE_GATED_BENCHES.contains(&file.bench.as_str());
+            let curr_cores = file.host.and_then(|h| h.available_parallelism);
+            for m in &file.measurements {
+                let (mut note, mut delta_pct, mut prev_ns) = (String::new(), None, None);
+                let mut enforceable = false;
+                match prev_of(&file.bench, &m.id) {
+                    None => note.push_str("new"),
+                    Some((pf, pm)) => {
+                        prev_ns = Some(pm.mean_ns);
+                        if pm.mean_ns > 0.0 {
+                            delta_pct = Some((m.mean_ns - pm.mean_ns) / pm.mean_ns * 100.0);
+                        }
+                        let prev_cores = pf.host.and_then(|h| h.available_parallelism);
+                        match (curr_cores, prev_cores) {
+                            (Some(c), Some(p)) if c == p => enforceable = true,
+                            (Some(_), Some(_)) => note.push_str("host cores changed"),
+                            _ => note.push_str("unstamped baseline"),
+                        }
+                    }
+                }
+                if gated_bench && curr_cores.is_none_or(|c| c < 4) {
+                    enforceable = false;
+                    if !note.is_empty() {
+                        note.push_str("; ");
+                    }
+                    note.push_str("<4 cores: assertions gated off");
+                }
+                let regressed = enforceable
+                    && delta_pct.is_some_and(|d| d > threshold_pct && threshold_pct >= 0.0);
+                rows.push(TrendRow {
+                    bench: file.bench.clone(),
+                    id: m.id.clone(),
+                    prev_ns,
+                    curr_ns: m.mean_ns,
+                    delta_pct,
+                    regressed,
+                    note,
+                });
+            }
+        }
+        TrendReport { rows, threshold_pct }
+    }
+
+    /// Whether any enforceable row exceeded the threshold.
+    #[must_use]
+    pub fn has_regression(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// Renders the markdown trend table, with an optional metrics-snapshot
+    /// section appended.
+    #[must_use]
+    pub fn to_markdown(&self, metrics: &[(String, Vec<MetricSample>)]) -> String {
+        let fmt_ns = |ns: f64| -> String {
+            if ns < 1e3 {
+                format!("{ns:.0} ns")
+            } else if ns < 1e6 {
+                format!("{:.2} µs", ns / 1e3)
+            } else if ns < 1e9 {
+                format!("{:.2} ms", ns / 1e6)
+            } else {
+                format!("{:.2} s", ns / 1e9)
+            }
+        };
+        let mut out = String::from("# BENCH trend report\n\n");
+        let _ = writeln!(
+            out,
+            "Regression threshold: +{:.0}% on enforceable rows.\n",
+            self.threshold_pct
+        );
+        out.push_str("| bench | measurement | previous | current | delta | note |\n");
+        out.push_str("|---|---|---:|---:|---:|---|\n");
+        for r in &self.rows {
+            let prev = r.prev_ns.map_or_else(|| "—".into(), fmt_ns);
+            let delta = r.delta_pct.map_or_else(|| "—".into(), |d| format!("{d:+.1}%"));
+            let mark = if r.regressed { " **REGRESSION**" } else { "" };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {}{} | {} |",
+                r.bench,
+                r.id,
+                prev,
+                fmt_ns(r.curr_ns),
+                delta,
+                mark,
+                r.note
+            );
+        }
+        if !metrics.is_empty() {
+            out.push_str("\n## Collector snapshots\n\n");
+            for (name, samples) in metrics {
+                let events: i64 =
+                    samples.iter().filter(|s| s.name.ends_with("_total")).map(|s| s.value).sum();
+                let _ =
+                    writeln!(out, "- `{name}`: {} samples, {events} counted events", samples.len());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(bench: &str, host: Option<(u64, bool)>, lines: &[&str]) -> String {
+        let host = host.map_or(String::new(), |(cores, smoke)| {
+            format!("  \"host\": {{\"available_parallelism\": {cores}, \"smoke\": {smoke}}},\n")
+        });
+        let meas: Vec<String> = lines.iter().map(|l| format!("    \"{l}\"")).collect();
+        format!(
+            "{{\n  \"bench\": \"{bench}\",\n  \"status\": \"ok\",\n{host}  \"measurements\": [\n{}\n  ]\n}}\n",
+            meas.join(",\n")
+        )
+    }
+
+    #[test]
+    fn duration_parsing_matches_the_shim_formats() {
+        assert_eq!(parse_duration_ns("999 ns"), Some(999.0));
+        assert_eq!(parse_duration_ns("1.50 µs"), Some(1500.0));
+        assert_eq!(parse_duration_ns("4.78 ms"), Some(4_780_000.0));
+        assert_eq!(parse_duration_ns("2.00 s"), Some(2e9));
+        assert_eq!(parse_duration_ns("fast"), None);
+    }
+
+    #[test]
+    fn measurement_lines_parse() {
+        let m = parse_measurement(
+            "bench nbench/numeric_sort/p1-p6                     6.84 ms ..      8.02 ms (mean      7.17 ms, n=10)",
+        )
+        .unwrap();
+        assert_eq!(m.id, "nbench/numeric_sort/p1-p6");
+        assert_eq!(m.n, 10);
+        assert!((m.mean_ns - 7_170_000.0).abs() < 1.0);
+        assert!(parse_measurement("bench x (no samples — routine never called iter)").is_none());
+    }
+
+    #[test]
+    fn bench_files_roundtrip_with_and_without_host_stamp() {
+        let stamped = bench_json(
+            "table2_nbench",
+            Some((8, true)),
+            &["bench a/b   1.00 ms ..   1.00 ms (mean   1.00 ms, n=3)"],
+        );
+        let f = parse_bench_file(&stamped).unwrap();
+        assert_eq!(f.bench, "table2_nbench");
+        assert_eq!(f.host, Some(HostStamp { available_parallelism: Some(8), smoke: true }));
+        assert_eq!(f.measurements.len(), 1);
+        let unstamped = bench_json(
+            "table2_nbench",
+            None,
+            &["bench a/b   1.00 ms ..   1.00 ms (mean   1.00 ms, n=3)"],
+        );
+        assert_eq!(parse_bench_file(&unstamped).unwrap().host, None);
+    }
+
+    fn file(bench: &str, cores: Option<u64>, id: &str, mean: &str) -> BenchFile {
+        parse_bench_file(&bench_json(
+            bench,
+            cores.map(|c| (c, true)),
+            &[&format!("bench {id}   {mean} ..   {mean} (mean   {mean}, n=3)")],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn regression_detected_only_on_comparable_hosts() {
+        let prev = [file("fig8_seqgen", Some(4), "seqgen/full", "1.00 ms")];
+        let slow = [file("fig8_seqgen", Some(4), "seqgen/full", "2.00 ms")];
+        let report = TrendReport::build(&slow, &prev, 25.0);
+        assert!(report.has_regression());
+        assert!((report.rows[0].delta_pct.unwrap() - 100.0).abs() < 0.01);
+        // Same slowdown, different core counts: reported, not enforced.
+        let other_host = [file("fig8_seqgen", Some(2), "seqgen/full", "2.00 ms")];
+        let report = TrendReport::build(&other_host, &prev, 25.0);
+        assert!(!report.has_regression());
+        assert!(report.rows[0].note.contains("host cores changed"));
+        // Unstamped previous file (pre-stamping era): never enforced.
+        let prev_unstamped = [file("fig8_seqgen", None, "seqgen/full", "1.00 ms")];
+        let report = TrendReport::build(&slow, &prev_unstamped, 25.0);
+        assert!(!report.has_regression());
+        assert!(report.rows[0].note.contains("unstamped baseline"));
+    }
+
+    #[test]
+    fn speedups_and_small_drifts_pass() {
+        let prev = [file("fig8_seqgen", Some(4), "seqgen/full", "2.00 ms")];
+        let fast = [file("fig8_seqgen", Some(4), "seqgen/full", "1.00 ms")];
+        assert!(!TrendReport::build(&fast, &prev, 25.0).has_regression());
+        let drift = [file("fig8_seqgen", Some(4), "seqgen/full", "2.20 ms")];
+        assert!(!TrendReport::build(&drift, &prev, 25.0).has_regression());
+    }
+
+    #[test]
+    fn core_gated_benches_never_regress_under_four_cores() {
+        let prev = [file("ablation_parallel_verify", Some(1), "verify/threads-4", "1.00 ms")];
+        let slow = [file("ablation_parallel_verify", Some(1), "verify/threads-4", "9.00 ms")];
+        let report = TrendReport::build(&slow, &prev, 25.0);
+        assert!(!report.has_regression());
+        assert!(report.rows[0].note.contains("gated off"));
+        // On a ≥4-core host the same bench does enforce.
+        let prev = [file("ablation_parallel_verify", Some(8), "verify/threads-4", "1.00 ms")];
+        let slow = [file("ablation_parallel_verify", Some(8), "verify/threads-4", "9.00 ms")];
+        assert!(TrendReport::build(&slow, &prev, 25.0).has_regression());
+    }
+
+    #[test]
+    fn markdown_renders_rows_and_metrics_sections() {
+        let prev = [file("fig8_seqgen", Some(4), "seqgen/full", "1.00 ms")];
+        let curr = [file("fig8_seqgen", Some(4), "seqgen/full", "2.00 ms")];
+        let report = TrendReport::build(&curr, &prev, 25.0);
+        let metrics = vec![(
+            "METRICS_smoke.json".to_string(),
+            vec![MetricSample {
+                name: "deflection_verify_total".into(),
+                labels: "verdict=\"accept\"".into(),
+                value: 3,
+            }],
+        )];
+        let md = report.to_markdown(&metrics);
+        assert!(md.contains(
+            "| fig8_seqgen | seqgen/full | 1.00 ms | 2.00 ms | +100.0% **REGRESSION** |"
+        ));
+        assert!(md.contains("Collector snapshots"));
+        assert!(md.contains("METRICS_smoke.json"));
+    }
+
+    #[test]
+    fn metrics_snapshot_samples_parse() {
+        let json = "{\n  \"schema\": \"deflection-metrics-v1\",\n  \"samples\": [\n    {\"name\": \"deflection_verify_total\", \"labels\": \"verdict='accept'\", \"value\": 5},\n    {\"name\": \"deflection_run_budget_headroom_bytes\", \"labels\": \"\", \"value\": -2}\n  ],\n  \"histograms\": []\n}\n";
+        let samples = parse_metrics_file(json);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].value, 5);
+        assert_eq!(samples[1].value, -2);
+    }
+}
