@@ -145,8 +145,8 @@ fn bench(c: &mut Criterion) {
     Collector::disable();
     c.bench_function("telemetry/disabled_op", |b| {
         b.iter(|| {
-            METRICS.pool_steal_claims.add(1);
-            black_box(&METRICS.pool_steal_claims);
+            METRICS.pool_work_queue_claims.add(1);
+            black_box(&METRICS.pool_work_queue_claims);
         })
     });
 }

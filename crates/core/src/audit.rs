@@ -98,8 +98,14 @@ impl AuditRing {
 
     /// Records one event, assigning the next sequence number; drops the
     /// oldest retained event when the ring is full.
+    ///
+    /// Deliberately *not* instrumented: a host-visible counter bumped here
+    /// would leak the count and timing of in-run policy events outside the
+    /// sealed, budget-charged export path. Telemetry counts audit events
+    /// only when the owner decodes an authenticated export
+    /// ([`open_audit_export`]), after the information has already left the
+    /// enclave through the charged channel.
     pub fn record(&mut self, kind: AuditKind, arg: u64) -> u64 {
-        deflection_telemetry::METRICS.audit_events.add(1);
         let seq = self.next_seq;
         self.next_seq += 1;
         if self.events.len() == AUDIT_CAPACITY {
@@ -124,8 +130,17 @@ impl AuditRing {
 
     /// Raises the next sequence number to at least `floor` (pool respawn
     /// carry-forward, mirroring `resume_send_nonce`). Never moves backwards.
+    ///
+    /// When the floor jumps past retained events, those events are cleared
+    /// and read as dropped (the export's `first_seq` gap marker) — keeping
+    /// them would produce an export whose sequence numbers skip from the old
+    /// range to the floor, which [`parse_audit_export`] rejects as
+    /// non-monotonic.
     pub fn resume_seq(&mut self, floor: u64) {
-        self.next_seq = self.next_seq.max(floor);
+        if floor > self.next_seq {
+            self.events.clear();
+            self.next_seq = floor;
+        }
     }
 
     /// Serializes the ring into its fixed [`AUDIT_EXPORT_LEN`]-byte export
@@ -250,7 +265,12 @@ pub fn open_audit_export(
     sealed: &[u8],
 ) -> Result<AuditExport, AuditOpenError> {
     let plain = open_record(key, channel, counter, sealed).map_err(AuditOpenError::Sealed)?;
-    parse_audit_export(&plain)
+    let export = parse_audit_export(&plain)?;
+    // Owner-side, post-release accounting: by the time an export opens the
+    // event count has already left the enclave sealed and budget-charged,
+    // so the counter reveals nothing the owner did not just learn.
+    deflection_telemetry::METRICS.audit_events.add(export.events.len() as u64);
+    Ok(export)
 }
 
 #[cfg(test)]
@@ -309,6 +329,32 @@ mod tests {
         ring.resume_seq(3);
         assert_eq!(ring.next_seq(), 10);
         assert_eq!(ring.record(AuditKind::GuardTrip, 0), 10);
+    }
+
+    #[test]
+    fn resume_seq_on_a_nonempty_ring_still_exports_parseably() {
+        // A floor past retained events clears them (they read as dropped);
+        // keeping them would make the export non-monotonic and unopenable.
+        let mut ring = AuditRing::new();
+        ring.record(AuditKind::Install, 1);
+        ring.record(AuditKind::GuardTrip, 2);
+        ring.resume_seq(10);
+        let export = parse_audit_export(&ring.export_bytes()).unwrap();
+        assert_eq!(export.dropped(), 10, "pre-resume events read as a gap");
+        assert!(export.events.is_empty());
+        assert_eq!(export.next_seq, 10);
+        // Events recorded after the resume export normally.
+        ring.record(AuditKind::AexInjected, 3);
+        let export = parse_audit_export(&ring.export_bytes()).unwrap();
+        assert_eq!(
+            export.events,
+            vec![AuditEvent { seq: 10, kind: AuditKind::AexInjected, arg: 3 }]
+        );
+        // A floor at or below next_seq is a no-op and keeps retained events.
+        let mut ring = AuditRing::new();
+        ring.record(AuditKind::Install, 1);
+        ring.resume_seq(1);
+        assert_eq!(ring.events().len(), 1);
     }
 
     #[test]

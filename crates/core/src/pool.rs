@@ -284,7 +284,7 @@ fn drain_queue<T: AsRef<[u8]>>(
         if i >= requests.len() {
             return out;
         }
-        METRICS.pool_steal_claims.add(1);
+        METRICS.pool_work_queue_claims.add(1);
         loop {
             match serve_once(w, ctx, requests[i].as_ref(), fuel) {
                 Outcome::Report(report) => {

@@ -116,9 +116,12 @@ impl VmHost for HostState {
                 // The budget is per *run*: `sent_bytes` is reset by `run()`
                 // so a long-lived worker serving many small requests never
                 // exhausts it, while any single run is still capped.
+                // No telemetry here: a counter bumped mid-run would leak the
+                // refusal before the ECall returns. `run()` counts the
+                // exhaustion at the ECall boundary, off the fault reason the
+                // host sees in the report anyway.
                 if self.sent_bytes + len > self.manifest.output_budget {
                     self.audit.record(AuditKind::RunBudgetExhausted, len as u64);
-                    METRICS.run_budget_exhaustions.add(1);
                     return Err(Fault::OcallFailed {
                         code,
                         reason: "output entropy budget exhausted".into(),
@@ -131,7 +134,6 @@ impl VmHost for HostState {
                 if let Some(cap) = self.manifest.lifetime_output_budget {
                     if self.lifetime_sent_bytes + len as u64 > cap {
                         self.audit.record(AuditKind::LifetimeBudgetExhausted, len as u64);
-                        METRICS.run_budget_exhaustions.add(1);
                         return Err(Fault::OcallFailed {
                             code,
                             reason: "lifetime output entropy budget exhausted".into(),
@@ -581,13 +583,18 @@ impl BootstrapEnclave {
             return Err(EcallError::EnclaveLost);
         }
         let key = self.host.owner_key.ok_or(EcallError::NoSession)?;
+        // The refusals below are counted in telemetry at this boundary:
+        // `EcallError::AuditBudget` is itself returned to the host, so the
+        // counter mirrors an already-visible fact.
         if self.host.sent_bytes + AUDIT_EXPORT_LEN > self.manifest.output_budget {
             self.host.audit.record(AuditKind::RunBudgetExhausted, AUDIT_EXPORT_LEN as u64);
+            METRICS.run_budget_exhaustions.add(1);
             return Err(EcallError::AuditBudget);
         }
         if let Some(cap) = self.manifest.lifetime_output_budget {
             if self.host.lifetime_sent_bytes + AUDIT_EXPORT_LEN as u64 > cap {
                 self.host.audit.record(AuditKind::LifetimeBudgetExhausted, AUDIT_EXPORT_LEN as u64);
+                METRICS.run_budget_exhaustions.add(1);
                 return Err(EcallError::AuditBudget);
             }
         }
@@ -827,8 +834,15 @@ impl BootstrapEnclave {
             }
         }
         // Telemetry sits at the ECall boundary: everything it records here
-        // (bytes sent, budget headroom) is already host-visible in the
-        // returned report, so the collector adds no new channel.
+        // (bytes sent, budget headroom, the budget-exhaustion fault below)
+        // is already host-visible in the returned report, so the collector
+        // adds no new channel — in-run refusals are counted only once the
+        // report carrying them is handed back.
+        if matches!(&exit, RunExit::Fault(Fault::OcallFailed { reason, .. })
+            if reason.ends_with("entropy budget exhausted"))
+        {
+            METRICS.run_budget_exhaustions.add(1);
+        }
         METRICS.run_reports.add(1);
         METRICS.run_sent_bytes.observe(self.host.sent_bytes as u64);
         METRICS

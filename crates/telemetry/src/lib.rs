@@ -31,7 +31,7 @@
 //! use deflection_telemetry::{Collector, METRICS};
 //!
 //! Collector::enable();
-//! METRICS.pool_steal_claims.add(1);
+//! METRICS.pool_work_queue_claims.add(1);
 //! METRICS.run_sent_bytes.observe(128);
 //! let snap = Collector::snapshot();
 //! assert!(snap.to_prometheus().contains("deflection_pool_events_total"));
@@ -64,7 +64,7 @@ pub struct Counter {
 
 impl Counter {
     /// Declares a counter. `labels` is a raw Prometheus label body such as
-    /// `event="steal_claim"` (empty for none).
+    /// `event="work_queue_claim"` (empty for none).
     #[must_use]
     pub const fn new(name: &'static str, labels: &'static str) -> Self {
         Counter { name, labels, hits: AtomicU64::new(0) }
@@ -257,7 +257,11 @@ pub struct Metrics {
     pub pool_install_cache_misses: Counter,
     pub pool_sealed_exports: Counter,
     pub pool_sealed_imports: Counter,
-    pub pool_steal_claims: Counter,
+    /// Claims taken from the shared work queue in the work-stealing serve
+    /// loop. Every served request is one claim — including a worker's own
+    /// first claims — so this is a throughput count, not a count of
+    /// requests stolen from another worker's share.
+    pub pool_work_queue_claims: Counter,
     pub pool_round_robin_assignments: Counter,
     pub pool_contained_faults: Counter,
     pub pool_lost_instances: Counter,
@@ -270,6 +274,9 @@ pub struct Metrics {
     pub run_sent_bytes: Histogram,
     pub run_budget_headroom: Gauge,
     pub run_budget_exhaustions: Counter,
+    /// Audit events *decoded by the owner* from an authenticated export —
+    /// never bumped on the in-enclave record path, which must not feed the
+    /// host-visible metrics plane (see the trust model above).
     pub audit_events: Counter,
     pub audit_exports: Counter,
 }
@@ -316,9 +323,9 @@ impl Metrics {
                 "deflection_pool_events_total",
                 r#"event="sealed_import""#,
             ),
-            pool_steal_claims: Counter::new(
+            pool_work_queue_claims: Counter::new(
                 "deflection_pool_events_total",
-                r#"event="steal_claim""#,
+                r#"event="work_queue_claim""#,
             ),
             pool_round_robin_assignments: Counter::new(
                 "deflection_pool_events_total",
@@ -346,7 +353,7 @@ impl Metrics {
                 "deflection_run_events_total",
                 r#"event="budget_exhausted""#,
             ),
-            audit_events: Counter::new("deflection_audit_total", r#"event="recorded""#),
+            audit_events: Counter::new("deflection_audit_total", r#"event="decoded""#),
             audit_exports: Counter::new("deflection_audit_total", r#"event="exported""#),
         }
     }
@@ -361,7 +368,7 @@ impl Metrics {
             &self.pool_install_cache_misses,
             &self.pool_sealed_exports,
             &self.pool_sealed_imports,
-            &self.pool_steal_claims,
+            &self.pool_work_queue_claims,
             &self.pool_round_robin_assignments,
             &self.pool_contained_faults,
             &self.pool_lost_instances,
@@ -467,6 +474,11 @@ impl Snapshot {
     /// Renders the stable Prometheus-style text exposition:
     /// `name{label="v"} value` lines, histograms as `_count`/`_sum` plus
     /// cumulative `_bucket{le="..."}` lines.
+    ///
+    /// The final histogram bucket saturates: it holds everything from
+    /// `2^62` up, including values past `2^63`, so it gets no numeric `le`
+    /// line (which would claim a bound some of its values exceed) — only
+    /// the `+Inf` line covers it.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
@@ -487,7 +499,10 @@ impl Snapshot {
             let mut cum = 0u64;
             for (i, &b) in h.buckets.iter().enumerate() {
                 cum += b;
-                if b == 0 {
+                // The last bucket absorbs all values >= 2^62 (bucket_index
+                // clamps), so no finite le bound is truthful for it; the
+                // +Inf line below is its only exposition.
+                if b == 0 || i == HISTOGRAM_BUCKETS - 1 {
                     continue;
                 }
                 let le = if i == 0 { "0".to_string() } else { format!("{}", 1u128 << i) };
@@ -662,16 +677,16 @@ mod tests {
     #[test]
     fn enabled_collector_records_and_snapshots() {
         with_collector(|| {
-            METRICS.pool_steal_claims.add(3);
+            METRICS.pool_work_queue_claims.add(3);
             METRICS.run_sent_bytes.observe(100);
             METRICS.run_budget_headroom.set(-4);
             let snap = Collector::snapshot();
-            let steal = snap
+            let claims = snap
                 .samples
                 .iter()
-                .find(|s| s.labels.contains("steal_claim"))
-                .expect("steal counter present");
-            assert_eq!(steal.value, 3);
+                .find(|s| s.labels.contains("work_queue_claim"))
+                .expect("work-queue claim counter present");
+            assert_eq!(claims.value, 3);
             let sent = snap
                 .histograms
                 .iter()
@@ -681,7 +696,7 @@ mod tests {
             assert_eq!(sent.sum, 100);
             assert!(snap.total_events() >= 4);
             let text = snap.to_prometheus();
-            assert!(text.contains("deflection_pool_events_total{event=\"steal_claim\"} 3"));
+            assert!(text.contains("deflection_pool_events_total{event=\"work_queue_claim\"} 3"));
             assert!(text.contains("deflection_run_budget_headroom_bytes -4"));
             assert!(text.contains("deflection_run_sent_bytes_bucket{le=\"128\"} 1"));
             let json = snap.to_json();
@@ -700,6 +715,19 @@ mod tests {
         assert_eq!(Histogram::bucket_index(1023), 10);
         assert_eq!(Histogram::bucket_index(1024), 11);
         assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn saturated_last_bucket_renders_only_as_inf() {
+        with_collector(|| {
+            // u64::MAX lands in the clamped final bucket, which conflates
+            // [2^62, 2^63) with everything larger — no finite le bound is
+            // truthful for it, so only the +Inf line may expose it.
+            METRICS.run_sent_bytes.observe(u64::MAX);
+            let text = Collector::snapshot().to_prometheus();
+            assert!(!text.contains(&format!("le=\"{}\"", 1u128 << 63)));
+            assert!(text.contains("deflection_run_sent_bytes_bucket{le=\"+Inf\"} 1"));
+        });
     }
 
     #[test]

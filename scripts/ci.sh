@@ -74,9 +74,8 @@ if [ "$SMOKE" = "1" ]; then
             done < <(sed -n 's/^[[:space:]]*\(bench .*\)$/\1/p' "$log")
             printf '\n  ]\n}\n'
         } >"$json"
-        cp "$json" "BENCH_${bench}.json"
         count=$(sed -n 's/^[[:space:]]*bench .*$/x/p' "$log" | wc -l)
-        echo "    wrote $json ($count measurements, copied to repo root)"
+        echo "    wrote $json ($count measurements)"
     done
 
     echo "==> telemetry snapshot (metrics_snapshot)"
@@ -94,6 +93,15 @@ if [ "$SMOKE" = "1" ]; then
     else
         cargo run -q --release --bin trend || true
     fi
+
+    # Refresh the repo-root baseline only AFTER the trend comparison (and,
+    # under --trend, only when it passed — set -e aborts above otherwise):
+    # copying earlier would overwrite the very series `trend` diffs against,
+    # turning every delta into 0% and making the regression gate vacuous.
+    for bench in $benches; do
+        cp "target/bench-smoke/BENCH_${bench}.json" "BENCH_${bench}.json"
+    done
+    echo "    refreshed repo-root BENCH_*.json baseline"
 fi
 
 echo "==> CI green"
