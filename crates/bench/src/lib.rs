@@ -49,6 +49,26 @@ pub struct Sample {
 /// trusted.
 #[must_use]
 pub fn measure(source: &str, input: &[u8], policy: &PolicySet, config: &MemConfig) -> Sample {
+    measure_mode(source, input, policy, config, false)
+}
+
+/// [`measure`] with an explicit decode mode: `reference = true` forces the
+/// VM's decode-every-step path (the pre-icache semantics), `false` uses the
+/// default icache block dispatch. The `ablation_icache` bench diffs the
+/// two; everything else measures the production configuration.
+///
+/// # Panics
+///
+/// Panics if the workload does not halt cleanly — benchmark fixtures are
+/// trusted.
+#[must_use]
+pub fn measure_mode(
+    source: &str,
+    input: &[u8],
+    policy: &PolicySet,
+    config: &MemConfig,
+    reference: bool,
+) -> Sample {
     let mut manifest = Manifest::ccaas();
     manifest.policy = *policy;
     let layout = EnclaveLayout::new(*config);
@@ -61,6 +81,7 @@ pub fn measure(source: &str, input: &[u8], policy: &PolicySet, config: &MemConfi
     let mut enclave = BootstrapEnclave::new(layout, manifest);
     enclave.set_owner_session([0xBE; 32]);
     enclave.install_plain(&binary).expect("bench binary verifies");
+    enclave.set_decode_every_step(reference);
     if !input.is_empty() {
         enclave.provide_input(input).expect("installed");
     }

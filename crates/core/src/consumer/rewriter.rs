@@ -107,6 +107,34 @@ impl PlaceholderRole {
     }
 }
 
+/// The post-rewrite instruction stream: the verifier's decoded instructions
+/// with every placeholder immediate replaced by its bound value — exactly
+/// what re-decoding the code window after [`rewrite`] yields (the `MovRI`
+/// encoding is fixed-length, so patching an immediate moves no offsets).
+///
+/// The install path feeds this to the VM's instruction cache: the program
+/// is decoded once by the producer and once by the in-enclave verifier,
+/// and pre-warming from the verifier's own decode means execution never
+/// pays for a third pass.
+#[must_use]
+pub fn rewritten_insts(
+    verified: &Verified,
+    bindings: &Bindings,
+) -> Vec<(usize, deflection_isa::Inst, usize)> {
+    let mut insts = verified.insts.clone();
+    for instance in &verified.instances {
+        for &(rel_idx, role) in placeholder_sites(instance.kind) {
+            let idx = instance.start_idx + rel_idx;
+            if let deflection_isa::Inst::MovRI { dst, .. } = insts[idx].1 {
+                insts[idx].1 = deflection_isa::Inst::MovRI { dst, imm: role.value(bindings) };
+            } else {
+                debug_assert!(false, "placeholder site must be a MovRI (verifier checked)");
+            }
+        }
+    }
+    insts
+}
+
 /// Rewrites every placeholder immediate of every verified annotation
 /// instance in the relocated code, in place via the privileged memory path.
 ///
@@ -185,6 +213,13 @@ mod tests {
             }
         }
         assert!(saw_lo, "real lower bound must appear in rewritten code");
+
+        // The predicted post-rewrite stream must equal what a fresh decode
+        // of the patched memory actually sees — this is the contract the
+        // icache pre-warm path depends on.
+        let predicted = rewritten_insts(&verified, &bindings);
+        let actual: Vec<(usize, deflection_isa::Inst, usize)> = d.insts().to_vec();
+        assert_eq!(predicted, actual);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! * `recv` only ever exposes data the owner provisioned.
 
 use crate::audit::{AuditKind, AuditRing, AUDIT_EXPORT_LEN};
-use crate::consumer::{install, InstallError, Installed};
+use crate::consumer::{install, Bindings, InstallError, Installed};
 use crate::policy::Manifest;
 use crate::sealed::UnsealError;
 use deflection_crypto::aead::ChaCha20Poly1305;
@@ -705,6 +705,13 @@ impl BootstrapEnclave {
     }
 
     /// Adopts a finished install image as this enclave's runnable state.
+    ///
+    /// Every install path — fresh pipeline, `PreparedInstall` replay into
+    /// pool workers and respawns, sealed import — funnels through here, so
+    /// pre-warming the VM's instruction cache at this single point means
+    /// they all start hot: the verifier already decoded the whole program,
+    /// and [`rewritten_insts`] predicts the post-rewrite stream exactly, so
+    /// execution never pays for another decode pass.
     fn adopt(&mut self, mem: Memory, installed: Installed, io: Option<IoPlan>) {
         self.host.io = io;
         self.direct_input_pending = false;
@@ -712,8 +719,20 @@ impl BootstrapEnclave {
         let hash_prefix =
             u64::from_le_bytes(installed.program.code_hash[..8].try_into().expect("32-byte hash"));
         self.host.audit.record(AuditKind::Install, hash_prefix);
+        let mut vm = Vm::new(mem, entry);
+        let bindings = Bindings::from_layout(
+            &self.layout,
+            installed.program.ibt_addresses.len() as u64,
+            self.manifest.aex_threshold,
+        );
+        let code_base = self.layout.code.start;
+        let warmed = crate::consumer::rewriter::rewritten_insts(&installed.verified, &bindings);
+        vm.prewarm_icache(
+            warmed.into_iter().map(|(off, inst, len)| (code_base + off as u64, inst, len as u8)),
+        );
+        METRICS.vm_icache_prewarms.add(vm.icache_stats().prewarms);
         self.installed = Some(installed);
-        self.vm = Some(Vm::new(mem, entry));
+        self.vm = Some(vm);
     }
 
     /// `ecall_receive_userdata`: decrypts owner-sealed input. The first
@@ -759,6 +778,27 @@ impl BootstrapEnclave {
     /// Panics if no binary is installed.
     pub fn set_aex(&mut self, injector: AexInjector) {
         self.vm.as_mut().expect("binary installed").set_aex(injector);
+    }
+
+    /// Switches the VM between icache dispatch (default) and the
+    /// decode-every-step reference mode (differential tests and the
+    /// `ablation_icache` bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no binary is installed.
+    pub fn set_decode_every_step(&mut self, on: bool) {
+        self.vm.as_mut().expect("binary installed").set_decode_every_step(on);
+    }
+
+    /// Icache event counters of the installed VM (diagnostics/benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no binary is installed.
+    #[must_use]
+    pub fn icache_stats(&self) -> deflection_sgx_sim::icache::ICacheStats {
+        self.vm.as_ref().expect("binary installed").icache_stats()
     }
 
     /// Marks whether an attacker occupies the sibling hyper-thread (drives

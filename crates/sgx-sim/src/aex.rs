@@ -13,7 +13,6 @@
 //! exactly the architectural effect they were designed around.
 
 use crate::cpu::Cpu;
-use crate::layout::EnclaveLayout;
 use crate::mem::Memory;
 use deflection_crypto::drbg::HmacDrbg;
 
@@ -85,11 +84,40 @@ impl AexInjector {
         }
     }
 
+    /// Plans the next dispatch block: returns whether an AEX fires before
+    /// the next instruction (number `executed + 1`) and how many
+    /// instructions can then run back-to-back with no further schedule
+    /// check. Consumes exactly the same generator state per instruction as
+    /// [`AexInjector::should_fire`] would: deterministic schedules compute
+    /// the distance to their next multiple, while `Random` degrades to
+    /// one-instruction blocks so its DRBG draws stay bit-identical to the
+    /// reference per-step path.
+    #[must_use]
+    pub fn plan(&mut self, executed: u64, remaining: u64) -> (bool, u64) {
+        debug_assert!(remaining > 0);
+        let next = executed.saturating_add(1);
+        match &self.schedule {
+            AexSchedule::None => (false, remaining),
+            AexSchedule::Periodic { interval } | AexSchedule::Attack { interval } => {
+                if *interval == 0 {
+                    return (false, remaining);
+                }
+                let fire = next.is_multiple_of(*interval);
+                let next_fire = (next / *interval).saturating_add(1).saturating_mul(*interval);
+                (fire, remaining.min(next_fire - next).max(1))
+            }
+            AexSchedule::Random { per_inst_prob, .. } => {
+                let drbg = self.drbg.as_mut().expect("random schedule has drbg");
+                (drbg.next_f64() < *per_inst_prob, 1)
+            }
+        }
+    }
+
     /// Delivers an AEX: dumps the enclave context into the SSA (clobbering
     /// the P6 marker slot, which holds the saved `pc`), exactly as EENTER's
     /// resume path would find it.
-    pub fn deliver(&mut self, cpu: &Cpu, mem: &mut Memory, layout: &EnclaveLayout) {
-        let base = layout.ssa.start;
+    pub fn deliver(&mut self, cpu: &Cpu, mem: &mut Memory) {
+        let base = mem.layout().ssa.start;
         // GPRSGX-style dump: RIP first (over the marker slot), then registers.
         let _ = mem.poke_u64(base, cpu.pc);
         for (i, reg) in cpu.regs.iter().enumerate() {
@@ -102,7 +130,7 @@ impl AexInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layout::MemConfig;
+    use crate::layout::{EnclaveLayout, MemConfig};
     use deflection_isa::Reg;
 
     #[test]
@@ -130,6 +158,54 @@ mod tests {
         assert!(fa.iter().any(|&f| f), "10% rate must fire within 500 tries");
     }
 
+    /// Replays `fuel` instructions through both APIs and checks `plan`
+    /// fires on exactly the instruction numbers `should_fire` does.
+    fn assert_plan_matches_should_fire(schedule: AexSchedule, fuel: u64) {
+        let mut step = AexInjector::new(schedule.clone());
+        let mut block = AexInjector::new(schedule);
+        let step_fires: Vec<u64> = (1..=fuel).filter(|&i| step.should_fire(i)).collect();
+        let mut block_fires = Vec::new();
+        let mut executed = 0u64;
+        while executed < fuel {
+            let (fire, len) = block.plan(executed, fuel - executed);
+            if fire {
+                block_fires.push(executed + 1);
+            }
+            // A block of `len` instructions runs with no further checks;
+            // none of them may be a fire point except the first.
+            executed += len;
+        }
+        assert_eq!(executed, fuel, "blocks must tile the fuel budget exactly");
+        assert_eq!(step_fires, block_fires);
+    }
+
+    #[test]
+    fn plan_fires_exactly_where_should_fire_does() {
+        assert_plan_matches_should_fire(AexSchedule::None, 500);
+        assert_plan_matches_should_fire(AexSchedule::Periodic { interval: 1 }, 50);
+        assert_plan_matches_should_fire(AexSchedule::Periodic { interval: 7 }, 500);
+        assert_plan_matches_should_fire(AexSchedule::Periodic { interval: 0 }, 100);
+        assert_plan_matches_should_fire(AexSchedule::Attack { interval: 3 }, 500);
+        assert_plan_matches_should_fire(AexSchedule::Random { per_inst_prob: 0.05, seed: 11 }, 500);
+    }
+
+    #[test]
+    fn plan_blocks_never_span_a_fire_point() {
+        let mut inj = AexInjector::new(AexSchedule::Periodic { interval: 10 });
+        // From 5 executed, the next fire is instruction 10: block may cover
+        // instructions 6..=9 only.
+        let (fire, len) = inj.plan(5, 1000);
+        assert!(!fire);
+        assert_eq!(len, 4);
+        // At a fire point the block extends one full interval.
+        let (fire, len) = inj.plan(9, 1000);
+        assert!(fire);
+        assert_eq!(len, 10);
+        // Fuel caps the block.
+        let (_, len) = inj.plan(9, 3);
+        assert_eq!(len, 3);
+    }
+
     #[test]
     fn delivery_clobbers_ssa_marker() {
         let layout = EnclaveLayout::new(MemConfig::small());
@@ -139,7 +215,7 @@ mod tests {
         let mut cpu = Cpu::new(layout.code.start + 123);
         cpu.set(Reg::RAX, 0xAB);
         let mut inj = AexInjector::none();
-        inj.deliver(&cpu, &mut mem, &layout);
+        inj.deliver(&cpu, &mut mem);
         assert_eq!(inj.delivered, 1);
         // Marker replaced by the saved pc.
         assert_eq!(mem.peek_u64(marker).unwrap(), layout.code.start + 123);

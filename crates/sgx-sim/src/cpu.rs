@@ -74,13 +74,22 @@ impl Cpu {
     /// unmapped accesses and divide errors. On a fault `pc` still points at
     /// the faulting instruction.
     pub fn step(&mut self, mem: &mut Memory) -> Result<StepEvent, Fault> {
+        let (inst, len) = self.fetch_decode(mem)?;
+        let next = self.pc.wrapping_add(len as u64);
+        let event = self.execute(inst, next, mem)?;
+        Ok(event)
+    }
+
+    /// Fetches and decodes the instruction at `pc` without executing it —
+    /// the slow half of [`Cpu::step`], shared with the VM's icache miss
+    /// path so a miss decodes exactly once and fills the cache.
+    pub(crate) fn fetch_decode(&self, mem: &Memory) -> Result<(Inst, u8), Fault> {
         let window = mem.fetch_window(self.pc)?;
         let (inst, len) = decode(window, 0).map_err(|e| {
             Fault::Decode(deflection_isa::DecodeError { offset: self.pc as usize, kind: e.kind })
         })?;
-        let next = self.pc.wrapping_add(len as u64);
-        let event = self.execute(inst, next, mem)?;
-        Ok(event)
+        debug_assert!(len <= 16);
+        Ok((inst, len as u8))
     }
 
     fn push(&mut self, value: u64, mem: &mut Memory) -> Result<(), Fault> {
@@ -184,7 +193,15 @@ impl Cpu {
         Ok(())
     }
 
-    fn execute(&mut self, inst: Inst, next: u64, mem: &mut Memory) -> Result<StepEvent, Fault> {
+    /// Executes an already-decoded instruction whose encoding ends at
+    /// `next`. Callers (the step path and the icache dispatch loop) must
+    /// pass the `(inst, next)` pair the bytes at `pc` currently decode to.
+    pub(crate) fn execute(
+        &mut self,
+        inst: Inst,
+        next: u64,
+        mem: &mut Memory,
+    ) -> Result<StepEvent, Fault> {
         let rel_target = |rel: i32| next.wrapping_add(rel as i64 as u64);
         match inst {
             Inst::Nop => {}

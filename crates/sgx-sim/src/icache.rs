@@ -1,0 +1,240 @@
+//! A software instruction cache with generation-based coherence.
+//!
+//! Real x86 hardware decodes each instruction once into a decoded-µop/trace
+//! cache and *snoops stores* to keep it coherent with self-modifying code.
+//! This module gives the simulated machine the same structure: a dense
+//! per-page map from code offsets to predecoded `(Inst, len)` entries,
+//! filled on first fetch (or pre-warmed at install time from the verifier's
+//! own disassembly), and invalidated by comparing a per-page fill stamp
+//! against [`Memory`]'s monotonic code-write generation.
+//!
+//! Coherence is load-bearing, not an optimisation nicety: the in-enclave
+//! rewriter patches immediates into the RWX code window *after*
+//! verification, and SGXv1 cannot stop the target from modifying its own
+//! code. A stale cached decode would execute instructions that no longer
+//! exist in memory — so any `store`/`poke_bytes`/permission change touching
+//! an executable page bumps the generation and the next lookup on that page
+//! misses and re-decodes (see `DESIGN.md` §5f).
+//!
+//! Instructions that straddle a page boundary are deliberately never
+//! cached: a single-page generation check could not prove their trailing
+//! bytes unchanged, so they always take the decode slow path instead.
+
+use crate::layout::PAGE_SIZE;
+use crate::mem::Memory;
+use deflection_isa::Inst;
+
+const PAGE: usize = PAGE_SIZE as usize;
+
+/// Local (non-atomic) icache event counters. These live outside
+/// [`crate::vm::ExecStats`] on purpose: differential tests assert cached and
+/// reference execution produce bit-identical `ExecStats`, while cache
+/// behaviour legitimately differs between the two modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ICacheStats {
+    /// Lookups served from a cached decode.
+    pub hits: u64,
+    /// Entries inserted after a demand decode.
+    pub fills: u64,
+    /// Entries inserted from the verifier's disassembly at install time.
+    pub prewarms: u64,
+    /// Pages dropped on a code-write generation mismatch.
+    pub invalidations: u64,
+}
+
+/// One cached page of predecoded instructions, stamped with the code-write
+/// generation it was decoded against.
+#[derive(Debug)]
+struct CachedPage {
+    gen: u64,
+    /// Page-relative byte offset → predecoded entry. Dense so overlapping
+    /// decodes (a jump into the middle of an instruction) each get their
+    /// own slot, exactly like per-address decode in the reference path.
+    entries: Box<[Option<(Inst, u8)>]>,
+}
+
+impl CachedPage {
+    fn new(gen: u64) -> Self {
+        CachedPage { gen, entries: vec![None; PAGE].into_boxed_slice() }
+    }
+}
+
+/// The decode-once cache. Indexed by page within ELRANGE; pages allocate
+/// lazily on first fill, so cost scales with code actually executed.
+#[derive(Debug)]
+pub struct ICache {
+    base: u64,
+    pages: Vec<Option<CachedPage>>,
+    /// Event counters (reported to telemetry by the VM at run exit).
+    pub stats: ICacheStats,
+}
+
+impl ICache {
+    /// Creates an empty cache covering `mem`'s ELRANGE.
+    #[must_use]
+    pub fn new(mem: &Memory) -> Self {
+        let pages = (mem.layout().elrange.len() / PAGE_SIZE) as usize;
+        let mut v = Vec::with_capacity(pages);
+        v.resize_with(pages, || None);
+        ICache { base: mem.layout().elrange.start, pages: v, stats: ICacheStats::default() }
+    }
+
+    /// Looks up a predecoded instruction at `pc`, enforcing coherence: a
+    /// page whose fill stamp trails `mem`'s code-write generation is dropped
+    /// and the lookup misses (the caller re-decodes from current bytes).
+    #[inline]
+    pub fn lookup(&mut self, pc: u64, mem: &Memory) -> Option<(Inst, u8)> {
+        let off = pc.checked_sub(self.base)? as usize;
+        let page = off / PAGE;
+        let slot = self.pages.get_mut(page)?;
+        let cached = slot.as_mut()?;
+        if cached.gen != mem.page_code_gen(page)? {
+            self.stats.invalidations += 1;
+            *slot = None;
+            return None;
+        }
+        let entry = cached.entries[off % PAGE];
+        if entry.is_some() {
+            self.stats.hits += 1;
+        }
+        entry
+    }
+
+    /// Inserts a freshly decoded instruction. No-op when the instruction
+    /// straddles a page boundary (see module docs) or `pc` is out of range.
+    pub fn fill(&mut self, pc: u64, inst: Inst, len: u8, mem: &Memory) {
+        if self.insert(pc, inst, len, mem) {
+            self.stats.fills += 1;
+        }
+    }
+
+    /// Pre-warms the cache from already-decoded instructions (the
+    /// verifier's disassembly, patched to post-rewrite immediates), so the
+    /// first run after `install` starts hot without a third decode pass.
+    pub fn prewarm(&mut self, mem: &Memory, entries: impl IntoIterator<Item = (u64, Inst, u8)>) {
+        for (pc, inst, len) in entries {
+            if self.insert(pc, inst, len, mem) {
+                self.stats.prewarms += 1;
+            }
+        }
+    }
+
+    fn insert(&mut self, pc: u64, inst: Inst, len: u8, mem: &Memory) -> bool {
+        debug_assert!(len >= 1);
+        let Some(off) = pc.checked_sub(self.base) else { return false };
+        let off = off as usize;
+        let page = off / PAGE;
+        // Never cache a page-straddling instruction: its tail lives under a
+        // different page generation, which a single stamp cannot cover.
+        if off % PAGE + len as usize > PAGE {
+            return false;
+        }
+        let Some(gen) = mem.page_code_gen(page) else { return false };
+        let slot = &mut self.pages[page];
+        match slot {
+            Some(cached) if cached.gen == gen => {}
+            Some(cached) => {
+                // The page was written since its last fill; every existing
+                // entry is suspect. Restart the page at the current stamp.
+                self.stats.invalidations += 1;
+                *cached = CachedPage::new(gen);
+            }
+            None => *slot = Some(CachedPage::new(gen)),
+        }
+        slot.as_mut().expect("just ensured").entries[off % PAGE] = Some((inst, len));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{EnclaveLayout, MemConfig};
+
+    fn mem() -> Memory {
+        Memory::new(EnclaveLayout::new(MemConfig::small()))
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let m = mem();
+        let pc = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        assert_eq!(ic.lookup(pc, &m), None);
+        ic.fill(pc, Inst::Halt, 1, &m);
+        assert_eq!(ic.lookup(pc, &m), Some((Inst::Halt, 1)));
+        assert_eq!(ic.stats.fills, 1);
+        assert_eq!(ic.stats.hits, 1);
+    }
+
+    #[test]
+    fn code_write_invalidates_page() {
+        let mut m = mem();
+        let pc = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        ic.fill(pc, Inst::Halt, 1, &m);
+        // A store into the same code page must drop the cached decode.
+        m.store(pc + 64, 8, 0x1234).unwrap();
+        assert_eq!(ic.lookup(pc, &m), None);
+        assert_eq!(ic.stats.invalidations, 1);
+        // The page refills against the new generation and hits again.
+        ic.fill(pc, Inst::Nop, 1, &m);
+        assert_eq!(ic.lookup(pc, &m), Some((Inst::Nop, 1)));
+    }
+
+    #[test]
+    fn writes_to_other_pages_do_not_invalidate() {
+        let mut m = mem();
+        let pc = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        ic.fill(pc, Inst::Halt, 1, &m);
+        m.store(m.layout().heap.start, 8, 7).unwrap();
+        m.store(pc + PAGE_SIZE + 8, 8, 7).unwrap(); // next code page
+        assert_eq!(ic.lookup(pc, &m), Some((Inst::Halt, 1)));
+        assert_eq!(ic.stats.invalidations, 0);
+    }
+
+    #[test]
+    fn straddling_instructions_are_never_cached() {
+        let m = mem();
+        let pc = m.layout().code.start + PAGE_SIZE - 2;
+        let mut ic = ICache::new(&m);
+        ic.fill(pc, Inst::Nop, 10, &m); // would spill 8 bytes into next page
+        assert_eq!(ic.lookup(pc, &m), None);
+        assert_eq!(ic.stats.fills, 0);
+    }
+
+    #[test]
+    fn out_of_range_pcs_miss_harmlessly() {
+        let m = mem();
+        let mut ic = ICache::new(&m);
+        assert_eq!(ic.lookup(0, &m), None); // untrusted memory
+        assert_eq!(ic.lookup(u64::MAX, &m), None);
+        ic.fill(0, Inst::Halt, 1, &m);
+        ic.fill(m.layout().elrange.end, Inst::Halt, 1, &m);
+        assert_eq!(ic.stats.fills, 0);
+    }
+
+    #[test]
+    fn prewarm_hits_without_demand_fill() {
+        let m = mem();
+        let pc = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        ic.prewarm(&m, [(pc, Inst::Nop, 1), (pc + 1, Inst::Halt, 1)]);
+        assert_eq!(ic.stats.prewarms, 2);
+        assert_eq!(ic.lookup(pc, &m), Some((Inst::Nop, 1)));
+        assert_eq!(ic.lookup(pc + 1, &m), Some((Inst::Halt, 1)));
+        assert_eq!(ic.stats.fills, 0);
+    }
+
+    #[test]
+    fn permission_change_invalidates() {
+        let mut m = mem();
+        let pc = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        ic.fill(pc, Inst::Halt, 1, &m);
+        m.set_region_perm(m.layout().code, crate::mem::PagePerm::RW);
+        assert_eq!(ic.lookup(pc, &m), None);
+        assert_eq!(ic.stats.invalidations, 1);
+    }
+}

@@ -13,8 +13,11 @@
 //!   x86-64-style flags, stack and control-flow semantics;
 //! * [`aex`] — asynchronous-exit injection that dumps context into the SSA,
 //!   clobbering the P6 marker exactly as real hardware does;
-//! * [`vm`] — the run loop coupling CPU, memory, AEX and a [`vm::VmHost`]
-//!   providing OCall service;
+//! * [`icache`] — a decode-once instruction cache with generation-based
+//!   coherence, modelling the hardware icache (including self-modifying
+//!   code snooping — see `DESIGN.md` §5f);
+//! * [`vm`] — the block-dispatch run loop coupling CPU, memory, icache,
+//!   AEX and a [`vm::VmHost`] providing OCall service;
 //! * [`measure`] — MRENCLAVE-style measurement and platform quote signing;
 //! * [`coloc`] — the HyperRace co-location probe model with the paper's
 //!   four CPU profiles.
@@ -46,6 +49,7 @@ pub mod aex;
 pub mod coloc;
 pub mod cpu;
 mod fault;
+pub mod icache;
 pub mod layout;
 pub mod measure;
 pub mod mem;

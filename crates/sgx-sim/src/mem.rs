@@ -63,6 +63,14 @@ pub struct Memory {
     untrusted: Vec<u8>,
     enclave: Vec<u8>,
     perms: Vec<PagePerm>,
+    /// Monotonic code-write generation: bumped once per write or permission
+    /// change that touches at least one executable page. The software icache
+    /// compares its per-page fill stamp against [`Memory::page_code_gen`] to
+    /// detect stale decodes — the coherence protocol a real icache runs in
+    /// hardware (SMC snooping).
+    code_gen: u64,
+    /// Per-page stamp of the last code-write generation that touched it.
+    page_code_gen: Vec<u64>,
     /// Count of enclave-initiated writes that landed outside ELRANGE.
     pub untrusted_write_count: u64,
     /// The first 1024 such writes (capped).
@@ -79,6 +87,8 @@ impl Memory {
             untrusted: vec![0; layout.config.untrusted_size as usize],
             enclave: vec![0; enclave_len],
             perms: vec![PagePerm::NONE; pages],
+            code_gen: 0,
+            page_code_gen: vec![0; pages],
             untrusted_write_count: 0,
             leak_log: Vec::new(),
             layout,
@@ -120,6 +130,62 @@ impl Memory {
         for p in &mut self.perms[first..last] {
             *p = perm;
         }
+        // A permission change can turn a page executable (exposing bytes the
+        // icache never saw) or strip X (cached decodes must not outlive the
+        // right to execute them) — stamp every page in the region either way.
+        if first < last {
+            self.code_gen += 1;
+            for g in &mut self.page_code_gen[first..last] {
+                *g = self.code_gen;
+            }
+        }
+    }
+
+    /// The global code-write generation (see [`Memory::page_code_gen`]).
+    #[must_use]
+    pub fn code_generation(&self) -> u64 {
+        self.code_gen
+    }
+
+    /// The code-write generation stamp of enclave page `page` (an index
+    /// relative to the start of ELRANGE), or `None` if out of range.
+    #[must_use]
+    pub fn page_code_gen(&self, page: usize) -> Option<u64> {
+        self.page_code_gen.get(page).copied()
+    }
+
+    /// Stamps every executable page overlapping the enclave-relative byte
+    /// range `off..off + len` with a fresh code-write generation.
+    fn note_enclave_write(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off / PAGE_SIZE as usize;
+        let last = (off + len - 1) / PAGE_SIZE as usize;
+        let mut bumped = false;
+        for p in first..=last {
+            if self.perms[p].x {
+                if !bumped {
+                    self.code_gen += 1;
+                    bumped = true;
+                }
+                self.page_code_gen[p] = self.code_gen;
+            }
+        }
+    }
+
+    /// Translation fast path: the enclave-relative offset of `addr` when the
+    /// `len64`-byte access lies entirely inside one enclave page — the moral
+    /// equivalent of a direct-mapped TLB hit (one range compare plus one
+    /// page-cross test, no per-page permission loop).
+    #[inline]
+    fn enclave_single_page_offset(&self, addr: u64, len64: u64) -> Option<usize> {
+        let off = addr.checked_sub(self.layout.elrange.start)?;
+        let end = off.checked_add(len64)?;
+        if end > self.enclave.len() as u64 || off / PAGE_SIZE != (end - 1) / PAGE_SIZE {
+            return None;
+        }
+        Some(off as usize)
     }
 
     /// Returns the permission of the page containing `addr` (enclave only).
@@ -164,6 +230,12 @@ impl Memory {
     pub fn load(&self, addr: u64, len: u8) -> Result<u64, Fault> {
         debug_assert!((1..=8).contains(&len));
         let len64 = len as u64;
+        if let Some(off) = self.enclave_single_page_offset(addr, len64) {
+            if !self.perms[off / PAGE_SIZE as usize].r {
+                return Err(Fault::ReadViolation { addr });
+            }
+            return Ok(read_le(&self.enclave[off..off + len as usize]));
+        }
         if self.layout.elrange.contains_range(addr, len64) {
             self.check_enclave_perm(addr, len64, Access::Read)?;
             let off = (addr - self.layout.elrange.start) as usize;
@@ -185,10 +257,26 @@ impl Memory {
     pub fn store(&mut self, addr: u64, len: u8, value: u64) -> Result<(), Fault> {
         debug_assert!((1..=8).contains(&len));
         let len64 = len as u64;
+        if let Some(off) = self.enclave_single_page_offset(addr, len64) {
+            let page = off / PAGE_SIZE as usize;
+            let perm = self.perms[page];
+            if !perm.w {
+                return Err(Fault::WriteViolation { addr });
+            }
+            write_le(&mut self.enclave[off..off + len as usize], value);
+            if perm.x {
+                // Self-modifying code (the SGXv1 RWX window permits it):
+                // invalidate any cached decodes of this page.
+                self.code_gen += 1;
+                self.page_code_gen[page] = self.code_gen;
+            }
+            return Ok(());
+        }
         if self.layout.elrange.contains_range(addr, len64) {
             self.check_enclave_perm(addr, len64, Access::Write)?;
             let off = (addr - self.layout.elrange.start) as usize;
             write_le(&mut self.enclave[off..off + len as usize], value);
+            self.note_enclave_write(off, len as usize);
             Ok(())
         } else if Region::new(0, self.untrusted.len() as u64).contains_range(addr, len64) {
             self.untrusted_write_count += 1;
@@ -214,20 +302,26 @@ impl Memory {
         if !self.layout.elrange.contains(pc) {
             return Err(Fault::NotExecutable { addr: pc });
         }
-        self.check_enclave_perm(pc, 1, Access::Fetch)?;
-        let mut avail = (self.layout.elrange.end - pc).min(16);
-        // Clamp at the first non-executable page.
-        let mut next_page = (pc / PAGE_SIZE + 1) * PAGE_SIZE;
-        while next_page < pc + avail {
-            let perm = self.page_perm(next_page).expect("in range");
-            if !perm.x {
-                avail = next_page - pc;
+        let off = (pc - self.layout.elrange.start) as usize;
+        let page = off / PAGE_SIZE as usize;
+        if !self.perms[page].x {
+            // Same fault address check_enclave_perm reported: the absolute
+            // base of the offending page.
+            return Err(Fault::NotExecutable { addr: pc & !(PAGE_SIZE - 1) });
+        }
+        let mut avail = ((self.layout.elrange.end - pc).min(16)) as usize;
+        // Clamp at the first non-executable page. The in-range and X checks
+        // above are hoisted out of this loop: pages are indexed directly in
+        // the permission table instead of re-validating `contains` per page.
+        let mut next_page_off = (page + 1) * PAGE_SIZE as usize;
+        while next_page_off < off + avail {
+            if !self.perms[next_page_off / PAGE_SIZE as usize].x {
+                avail = next_page_off - off;
                 break;
             }
-            next_page += PAGE_SIZE;
+            next_page_off += PAGE_SIZE as usize;
         }
-        let off = (pc - self.layout.elrange.start) as usize;
-        Ok(&self.enclave[off..off + avail as usize])
+        Ok(&self.enclave[off..off + avail])
     }
 
     /// Privileged read bypassing page permissions (the trusted consumer /
@@ -258,6 +352,7 @@ impl Memory {
         if self.layout.elrange.contains_range(addr, len64) {
             let off = (addr - self.layout.elrange.start) as usize;
             self.enclave[off..off + bytes.len()].copy_from_slice(bytes);
+            self.note_enclave_write(off, bytes.len());
             Ok(())
         } else if Region::new(0, self.untrusted.len() as u64).contains_range(addr, len64) {
             self.untrusted[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
@@ -407,6 +502,56 @@ mod tests {
         assert_eq!(w.len(), 16);
         // Fetching from a non-executable page faults outright.
         assert!(matches!(m.fetch_window(m.layout().heap.start), Err(Fault::NotExecutable { .. })));
+    }
+
+    #[test]
+    fn code_write_generation_tracks_executable_pages_only() {
+        let mut m = mem();
+        let code = m.layout().code.start;
+        let heap = m.layout().heap.start;
+        let page = ((code - m.layout().elrange.start) / PAGE_SIZE) as usize;
+        let g0 = m.code_generation();
+        // Data writes do not disturb code coherence.
+        m.store(heap, 8, 1).unwrap();
+        m.poke_u64(heap + 64, 2).unwrap();
+        assert_eq!(m.code_generation(), g0);
+        // A store into the RWX window bumps globally and stamps the page.
+        m.store(code, 8, 0x90).unwrap();
+        assert_eq!(m.code_generation(), g0 + 1);
+        assert_eq!(m.page_code_gen(page), Some(g0 + 1));
+        // A privileged poke spanning two code pages stamps both with one
+        // generation (a single logical write event).
+        m.poke_bytes(code + PAGE_SIZE - 4, &[0u8; 8]).unwrap();
+        assert_eq!(m.code_generation(), g0 + 2);
+        assert_eq!(m.page_code_gen(page), Some(g0 + 2));
+        assert_eq!(m.page_code_gen(page + 1), Some(g0 + 2));
+    }
+
+    #[test]
+    fn permission_change_stamps_generation() {
+        let mut m = mem();
+        let bt = m.layout().branch_table;
+        let page = ((bt.start - m.layout().elrange.start) / PAGE_SIZE) as usize;
+        let g0 = m.code_generation();
+        m.set_region_perm(bt, PagePerm::R);
+        assert_eq!(m.code_generation(), g0 + 1);
+        assert_eq!(m.page_code_gen(page), Some(g0 + 1));
+        assert_eq!(m.page_code_gen(usize::MAX), None);
+    }
+
+    #[test]
+    fn page_straddling_access_matches_single_page_semantics() {
+        let mut m = mem();
+        // A write straddling two heap pages still round-trips and bumps no
+        // code generation (exercises the slow path the fast path skips).
+        let edge = m.layout().heap.start + PAGE_SIZE - 4;
+        let g0 = m.code_generation();
+        m.store(edge, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.load(edge, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.code_generation(), g0);
+        // Straddling into a guard page faults exactly as before.
+        let guard_edge = m.layout().stack.end - 4;
+        assert!(matches!(m.store(guard_edge, 8, 1), Err(Fault::WriteViolation { .. })));
     }
 
     #[test]

@@ -4,9 +4,11 @@
 
 use crate::aex::AexInjector;
 use crate::cpu::{Cpu, StepEvent};
+use crate::icache::{ICache, ICacheStats};
 use crate::mem::Memory;
 use crate::Fault;
-use deflection_isa::Reg;
+use deflection_isa::{Inst, Reg};
+use deflection_telemetry::{LocalHistogram, METRICS};
 
 /// Host services the running enclave can reach.
 ///
@@ -96,6 +98,25 @@ pub struct Vm {
     pub aex: AexInjector,
     /// Execution counters.
     pub stats: ExecStats,
+    /// Predecoded instruction cache (see [`crate::icache`]).
+    icache: ICache,
+    /// When set, every step re-fetches and re-decodes from raw bytes — the
+    /// pre-icache reference semantics differential tests diff against.
+    decode_every_step: bool,
+    /// Local block-length accumulator: the dispatch loop records here with
+    /// no atomics, and `run` folds it into the collector once at exit.
+    block_lens: LocalHistogram,
+}
+
+/// Process-wide default for the reference mode, read once from the
+/// `DEFLECTION_DECODE_EVERY_STEP` environment variable.
+fn decode_every_step_default() -> bool {
+    use std::sync::OnceLock;
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("DEFLECTION_DECODE_EVERY_STEP")
+            .is_ok_and(|v| !v.is_empty() && v != "0" && v != "false")
+    })
 }
 
 impl Vm {
@@ -105,7 +126,16 @@ impl Vm {
     pub fn new(mem: Memory, entry: u64) -> Self {
         let mut cpu = Cpu::new(entry);
         cpu.set(Reg::RSP, mem.layout().initial_rsp());
-        Vm { cpu, mem, aex: AexInjector::none(), stats: ExecStats::default() }
+        let icache = ICache::new(&mem);
+        Vm {
+            cpu,
+            mem,
+            aex: AexInjector::none(),
+            stats: ExecStats::default(),
+            icache,
+            decode_every_step: decode_every_step_default(),
+            block_lens: LocalHistogram::new(),
+        }
     }
 
     /// Replaces the AEX injector.
@@ -113,34 +143,136 @@ impl Vm {
         self.aex = aex;
     }
 
+    /// Switches between icache dispatch (default) and the decode-every-step
+    /// reference mode. Both must be observationally identical; the flag
+    /// exists for differential tests and the `ablation_icache` bench.
+    pub fn set_decode_every_step(&mut self, on: bool) {
+        self.decode_every_step = on;
+    }
+
+    /// Whether the reference (decode-every-step) mode is active.
+    #[must_use]
+    pub fn decode_every_step(&self) -> bool {
+        self.decode_every_step
+    }
+
+    /// Icache event counters accumulated so far.
+    #[must_use]
+    pub fn icache_stats(&self) -> ICacheStats {
+        self.icache.stats
+    }
+
+    /// Seeds the icache with already-decoded instructions — the install
+    /// path feeds it the verifier's own disassembly (patched to the
+    /// post-rewrite immediates) so the first run starts hot.
+    pub fn prewarm_icache(&mut self, entries: impl IntoIterator<Item = (u64, Inst, u8)>) {
+        self.icache.prewarm(&self.mem, entries);
+    }
+
     /// Runs until halt, abort, fault or fuel exhaustion.
     pub fn run(&mut self, fuel: u64, host: &mut dyn VmHost) -> RunExit {
-        let layout = self.mem.layout().clone();
+        let before = self.icache.stats;
+        let exit = if self.decode_every_step {
+            self.run_reference(fuel, host)
+        } else {
+            self.run_cached(fuel, host)
+        };
+        // Flush hardware-model counters once per ECall-like boundary; the
+        // hot loops above never touch the host metrics plane themselves —
+        // block lengths accumulate in a local histogram and fold in here,
+        // after the run, on the host side (see DESIGN.md §5f).
+        let after = self.icache.stats;
+        METRICS.vm_icache_hits.add(after.hits - before.hits);
+        METRICS.vm_icache_fills.add(after.fills - before.fills);
+        METRICS.vm_icache_invalidations.add(after.invalidations - before.invalidations);
+        METRICS.vm_dispatch_block_len.merge(&self.block_lens);
+        self.block_lens.clear();
+        exit
+    }
+
+    /// Block dispatch: between two AEX fire points no per-step schedule
+    /// check is needed, so instructions dispatch straight out of the icache
+    /// in a tight loop, falling back to fetch+decode (and filling the
+    /// cache) only on a miss.
+    fn run_cached(&mut self, fuel: u64, host: &mut dyn VmHost) -> RunExit {
+        let mut remaining = fuel;
+        while remaining > 0 {
+            let (fire, block) = self.aex.plan(self.stats.instructions, remaining);
+            if fire {
+                self.aex.deliver(&self.cpu, &mut self.mem);
+                self.stats.aex_injected += 1;
+            }
+            self.block_lens.observe(block);
+            for _ in 0..block {
+                self.stats.instructions += 1;
+                let event = match self.icache.lookup(self.cpu.pc, &self.mem) {
+                    Some((inst, len)) => {
+                        let next = self.cpu.pc.wrapping_add(len as u64);
+                        self.cpu.execute(inst, next, &mut self.mem)
+                    }
+                    None => self.step_on_miss(),
+                };
+                if let Some(exit) = self.dispatch_event(event, host) {
+                    return exit;
+                }
+            }
+            remaining -= block;
+        }
+        RunExit::OutOfFuel
+    }
+
+    /// Decode slow path: fetch + decode once, fill the cache, execute.
+    fn step_on_miss(&mut self) -> Result<StepEvent, Fault> {
+        let pc = self.cpu.pc;
+        let (inst, len) = self.cpu.fetch_decode(&self.mem)?;
+        self.icache.fill(pc, inst, len, &self.mem);
+        let next = pc.wrapping_add(len as u64);
+        self.cpu.execute(inst, next, &mut self.mem)
+    }
+
+    /// Reference semantics: fetch + decode every instruction, check the
+    /// AEX schedule every instruction.
+    fn run_reference(&mut self, fuel: u64, host: &mut dyn VmHost) -> RunExit {
         for _ in 0..fuel {
             self.stats.instructions += 1;
             if self.aex.should_fire(self.stats.instructions) {
-                self.aex.deliver(&self.cpu, &mut self.mem, &layout);
+                self.aex.deliver(&self.cpu, &mut self.mem);
                 self.stats.aex_injected += 1;
             }
-            match self.cpu.step(&mut self.mem) {
-                Ok(StepEvent::Continue) => {}
-                Ok(StepEvent::Halted) => return RunExit::Halted { exit: self.cpu.get(Reg::RAX) },
-                Ok(StepEvent::PolicyAbort(code)) => return RunExit::PolicyAbort { code },
-                Ok(StepEvent::Ocall(code)) => {
-                    self.stats.ocalls += 1;
-                    if let Err(f) = host.ocall(code, &mut self.cpu, &mut self.mem) {
-                        return RunExit::Fault(f);
-                    }
-                }
-                Ok(StepEvent::AexProbe) => {
-                    self.stats.probes += 1;
-                    let ok = host.aex_probe();
-                    self.cpu.set(Reg::RAX, ok as u64);
-                }
-                Err(f) => return RunExit::Fault(f),
+            let event = self.cpu.step(&mut self.mem);
+            if let Some(exit) = self.dispatch_event(event, host) {
+                return exit;
             }
         }
         RunExit::OutOfFuel
+    }
+
+    /// Folds one step outcome into counters and host service; `Some` means
+    /// the run is over.
+    fn dispatch_event(
+        &mut self,
+        event: Result<StepEvent, Fault>,
+        host: &mut dyn VmHost,
+    ) -> Option<RunExit> {
+        match event {
+            Ok(StepEvent::Continue) => None,
+            Ok(StepEvent::Halted) => Some(RunExit::Halted { exit: self.cpu.get(Reg::RAX) }),
+            Ok(StepEvent::PolicyAbort(code)) => Some(RunExit::PolicyAbort { code }),
+            Ok(StepEvent::Ocall(code)) => {
+                self.stats.ocalls += 1;
+                match host.ocall(code, &mut self.cpu, &mut self.mem) {
+                    Ok(()) => None,
+                    Err(f) => Some(RunExit::Fault(f)),
+                }
+            }
+            Ok(StepEvent::AexProbe) => {
+                self.stats.probes += 1;
+                let ok = host.aex_probe();
+                self.cpu.set(Reg::RAX, ok as u64);
+                None
+            }
+            Err(f) => Some(RunExit::Fault(f)),
+        }
     }
 }
 
@@ -211,6 +343,96 @@ mod tests {
         let _ = vm.run(100, &mut NullHost);
         assert_eq!(vm.stats.aex_injected, 10);
         assert_ne!(vm.mem.peek_u64(layout.ssa_marker_slot()).unwrap(), 0x5A5A);
+    }
+
+    #[test]
+    fn cached_and_reference_execution_agree_under_aex() {
+        // A spin loop with periodic AEX: the block-dispatch path must land
+        // on exactly the same counters and exit as decode-every-step.
+        let build = |rel: i32| {
+            vec![
+                Inst::AluRI { op: deflection_isa::AluOp::Add, dst: Reg::RBX, imm: 1 },
+                Inst::CmpRI { lhs: Reg::RBX, imm: 40 },
+                Inst::Jcc { cc: deflection_isa::CondCode::B, rel },
+                Inst::MovRI { dst: Reg::RAX, imm: 7 },
+                Inst::Halt,
+            ]
+        };
+        let (_, offs) = encode_program(&build(0));
+        let prog = build(-(offs[3] as i32)); // back to the add
+        let run_mode = |reference: bool| {
+            let mut vm = vm_with(&prog);
+            vm.set_decode_every_step(reference);
+            vm.set_aex(AexInjector::new(AexSchedule::Periodic { interval: 13 }));
+            let exit = vm.run(10_000, &mut NullHost);
+            (exit, vm.stats, vm.icache_stats())
+        };
+        let (exit_c, stats_c, icache_c) = run_mode(false);
+        let (exit_r, stats_r, icache_r) = run_mode(true);
+        assert_eq!(exit_c, RunExit::Halted { exit: 7 });
+        assert_eq!(exit_c, exit_r);
+        assert_eq!(stats_c, stats_r);
+        // The cached mode actually cached: the loop body re-dispatched from
+        // predecoded entries; the reference mode never touched the cache.
+        assert!(icache_c.hits > icache_c.fills);
+        assert_eq!(icache_r, crate::icache::ICacheStats::default());
+    }
+
+    #[test]
+    fn self_modifying_code_re_decodes_through_the_icache() {
+        // The program patches the immediate of its own first instruction
+        // (exactly what the in-enclave rewriter does post-verification, here
+        // done by the target itself mid-run) and loops back. Stale cached
+        // decodes would spin forever; coherent ones observe the new value.
+        use deflection_isa::{CondCode, MemOperand};
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let patch_addr = layout.code.start + 2; // MovRI imm bytes live at +2
+        let build = |jcc_rel: i32, jmp_rel: i32| {
+            vec![
+                Inst::MovRI { dst: Reg::RAX, imm: 0x11 },
+                Inst::CmpRI { lhs: Reg::RAX, imm: 0x22 },
+                Inst::Jcc { cc: CondCode::E, rel: jcc_rel },
+                Inst::MovRI { dst: Reg::RBX, imm: 0x22 },
+                Inst::Store { mem: MemOperand::abs(patch_addr as i32), src: Reg::RBX },
+                Inst::Jmp { rel: jmp_rel },
+                Inst::Halt,
+            ]
+        };
+        let (_, offs) = encode_program(&build(0, 0));
+        let prog = build(
+            (offs[6] - offs[3]) as i32,    // Jcc → Halt
+            -((offs[6] - offs[0]) as i32), // Jmp → back to the MovRI
+        );
+        for reference in [false, true] {
+            let mut vm = vm_with(&prog);
+            vm.set_decode_every_step(reference);
+            let exit = vm.run(1000, &mut NullHost);
+            assert_eq!(exit, RunExit::Halted { exit: 0x22 }, "reference={reference}");
+            if !reference {
+                assert!(vm.icache_stats().invalidations >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn prewarmed_icache_needs_no_demand_fills() {
+        let prog = [Inst::MovRI { dst: Reg::RAX, imm: 9 }, Inst::Nop, Inst::Nop, Inst::Halt];
+        let mut vm = vm_with(&prog);
+        let (_, offs) = encode_program(&prog);
+        let base = vm.mem.layout().code.start;
+        let entries: Vec<(u64, Inst, u8)> = prog
+            .iter()
+            .enumerate()
+            .map(|(i, &inst)| {
+                let end = if i + 1 < offs.len() { offs[i + 1] } else { offs[i] + 1 };
+                (base + offs[i] as u64, inst, (end - offs[i]) as u8)
+            })
+            .collect();
+        vm.prewarm_icache(entries);
+        assert_eq!(vm.icache_stats().prewarms, 4);
+        assert_eq!(vm.run(100, &mut NullHost), RunExit::Halted { exit: 9 });
+        assert_eq!(vm.icache_stats().fills, 0);
+        assert_eq!(vm.icache_stats().hits, 4);
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 /// is false.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Count of metric *operations* executed while enabled (one `add`, one
+/// `observe`, one `merge` — regardless of how many events the operation
+/// carries). This is what the telemetry-overhead budget multiplies by the
+/// disabled per-op cost: a counter flushed as `add(delta)` crosses the
+/// collector once, not `delta` times.
+static OPS: AtomicU64 = AtomicU64::new(0);
+
 /// A monotonically increasing event counter.
 #[derive(Debug)]
 pub struct Counter {
@@ -76,6 +83,7 @@ impl Counter {
         if !ENABLED.load(Ordering::Relaxed) {
             return;
         }
+        OPS.fetch_add(1, Ordering::Relaxed);
         self.hits.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -111,6 +119,7 @@ impl Gauge {
         if !ENABLED.load(Ordering::Relaxed) {
             return;
         }
+        OPS.fetch_add(1, Ordering::Relaxed);
         self.value.store(v, Ordering::Relaxed);
     }
 
@@ -163,9 +172,27 @@ impl Histogram {
         if !ENABLED.load(Ordering::Relaxed) {
             return;
         }
+        OPS.fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a [`LocalHistogram`] accumulator in — one collector crossing
+    /// for an entire hot loop's worth of observations. No-op while the
+    /// collector is disabled or when the accumulator is empty.
+    pub fn merge(&self, local: &LocalHistogram) {
+        if local.count == 0 || !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        OPS.fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(local.count, Ordering::Relaxed);
+        self.sum.fetch_add(local.sum, Ordering::Relaxed);
+        for (bucket, &n) in self.buckets.iter().zip(&local.buckets) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Number of recorded observations.
@@ -197,6 +224,51 @@ impl Histogram {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
+    }
+}
+
+/// A plain, non-atomic histogram accumulator for hot loops that must not
+/// cross the collector per observation (e.g. the VM's per-block dispatch
+/// length): observe locally — three integer adds, no atomics, no enable
+/// check — then fold the whole loop into a [`Histogram`] with one
+/// [`Histogram::merge`] at a boundary the host already witnesses.
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl LocalHistogram {
+    /// An empty accumulator.
+    #[must_use]
+    pub const fn new() -> Self {
+        LocalHistogram { count: 0, sum: 0, buckets: [0; HISTOGRAM_BUCKETS] }
+    }
+
+    /// Records one observation locally.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.buckets[Histogram::bucket_index(v)] += 1;
+    }
+
+    /// Number of locally recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Drops all local observations.
+    pub fn clear(&mut self) {
+        *self = LocalHistogram::new();
+    }
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        LocalHistogram::new()
     }
 }
 
@@ -279,6 +351,16 @@ pub struct Metrics {
     /// host-visible metrics plane (see the trust model above).
     pub audit_events: Counter,
     pub audit_exports: Counter,
+    // -- simulated hardware (icache / dispatch) ----------------------------
+    // Hardware-model counters: the events they count (decode-cache
+    // behaviour, interrupt-to-interrupt run lengths) are exactly what real
+    // silicon exposes to the host through performance counters and AEX
+    // itself, so surfacing them adds no covert channel (DESIGN.md §5f).
+    pub vm_icache_hits: Counter,
+    pub vm_icache_fills: Counter,
+    pub vm_icache_invalidations: Counter,
+    pub vm_icache_prewarms: Counter,
+    pub vm_dispatch_block_len: Histogram,
 }
 
 impl Metrics {
@@ -355,6 +437,17 @@ impl Metrics {
             ),
             audit_events: Counter::new("deflection_audit_total", r#"event="decoded""#),
             audit_exports: Counter::new("deflection_audit_total", r#"event="exported""#),
+            vm_icache_hits: Counter::new("deflection_vm_icache_events_total", r#"event="hit""#),
+            vm_icache_fills: Counter::new("deflection_vm_icache_events_total", r#"event="fill""#),
+            vm_icache_invalidations: Counter::new(
+                "deflection_vm_icache_events_total",
+                r#"event="invalidation""#,
+            ),
+            vm_icache_prewarms: Counter::new(
+                "deflection_vm_icache_events_total",
+                r#"event="prewarm""#,
+            ),
+            vm_dispatch_block_len: Histogram::new("deflection_vm_dispatch_block_len", ""),
         }
     }
 
@@ -379,8 +472,16 @@ impl Metrics {
         ]
     }
 
-    fn more_counters(&self) -> [&Counter; 3] {
-        [&self.run_budget_exhaustions, &self.audit_events, &self.audit_exports]
+    fn more_counters(&self) -> [&Counter; 7] {
+        [
+            &self.run_budget_exhaustions,
+            &self.audit_events,
+            &self.audit_exports,
+            &self.vm_icache_hits,
+            &self.vm_icache_fills,
+            &self.vm_icache_invalidations,
+            &self.vm_icache_prewarms,
+        ]
     }
 
     fn gauges(&self) -> [&Gauge; 1] {
@@ -406,6 +507,7 @@ impl Metrics {
     fn all_histograms(&self) -> Vec<&Histogram> {
         let mut v: Vec<&Histogram> = self.histograms().to_vec();
         v.push(&self.run_sent_bytes);
+        v.push(&self.vm_dispatch_block_len);
         v
     }
 
@@ -626,9 +728,20 @@ impl Collector {
         Snapshot { samples, histograms }
     }
 
+    /// Number of metric operations executed while enabled since the last
+    /// [`Collector::reset`] — `add(delta)` and `merge(local)` each count
+    /// once, however many events they carry. This is the multiplicand for
+    /// the disabled-cost budget (`ablation_telemetry`): every one of these
+    /// operations is exactly one relaxed-load-and-return when disabled.
+    #[must_use]
+    pub fn op_count() -> u64 {
+        OPS.load(Ordering::Relaxed)
+    }
+
     /// Zeroes every metric (test/bench isolation). Does not change the
     /// enabled flag.
     pub fn reset() {
+        OPS.store(0, Ordering::SeqCst);
         let m = &METRICS;
         for c in m.all_counters() {
             c.reset();
@@ -658,6 +771,59 @@ mod tests {
         Collector::disable();
         Collector::reset();
         r
+    }
+
+    #[test]
+    fn local_histogram_merge_matches_direct_observation() {
+        with_collector(|| {
+            static DIRECT: Histogram = Histogram::new("test_merge_direct", "");
+            static MERGED: Histogram = Histogram::new("test_merge_folded", "");
+            let values = [0u64, 1, 7, 1024, u64::MAX];
+            let mut local = LocalHistogram::new();
+            for &v in &values {
+                DIRECT.observe(v);
+                local.observe(v);
+            }
+            assert_eq!(local.count(), values.len() as u64);
+            MERGED.merge(&local);
+            assert_eq!(MERGED.count(), DIRECT.count());
+            assert_eq!(MERGED.sum(), DIRECT.sum());
+            for (a, b) in MERGED.buckets.iter().zip(&DIRECT.buckets) {
+                assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+            }
+            local.clear();
+            assert_eq!(local.count(), 0);
+            MERGED.merge(&local); // empty merge is a no-op
+            assert_eq!(MERGED.count(), values.len() as u64);
+        });
+    }
+
+    #[test]
+    fn merge_is_a_no_op_while_disabled() {
+        static H: Histogram = Histogram::new("test_merge_disabled", "");
+        let mut local = LocalHistogram::new();
+        local.observe(42);
+        Collector::disable();
+        H.merge(&local);
+        assert_eq!(H.count(), 0);
+    }
+
+    #[test]
+    fn op_count_tracks_operations_not_events() {
+        with_collector(|| {
+            static C: Counter = Counter::new("test_ops_counter", "");
+            static H: Histogram = Histogram::new("test_ops_hist", "");
+            let base = Collector::op_count();
+            // One add carrying many events is ONE op — the property the
+            // telemetry-overhead budget depends on.
+            C.add(100_000);
+            let mut local = LocalHistogram::new();
+            for v in 0..1_000 {
+                local.observe(v); // local: crosses no collector
+            }
+            H.merge(&local);
+            assert_eq!(Collector::op_count() - base, 2);
+        });
     }
 
     #[test]

@@ -117,6 +117,15 @@ fn main() -> ExitCode {
         }
     }
 
+    // The standalone run doubles as an icache health check: a freshly
+    // installed enclave is pre-warmed from the verifier's decode, so demand
+    // fills here mean the pre-warm missed something.
+    let icache = enclave.icache_stats();
+    println!(
+        "icache: {} pre-warmed, {} hits, {} demand fills, {} invalidations",
+        icache.prewarms, icache.hits, icache.fills, icache.invalidations
+    );
+
     let snapshot = Collector::snapshot();
     println!("\n{}", snapshot.to_prometheus());
     if let Some(path) = output {

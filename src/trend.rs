@@ -412,6 +412,18 @@ mod tests {
     }
 
     #[test]
+    fn icache_bench_enforces_even_on_one_core() {
+        // The icache ablation is single-threaded by construction; it must
+        // never join CORE_GATED_BENCHES, so a 1-core CI host still gates on
+        // it — the property that makes it the first enforceable perf
+        // baseline.
+        assert!(!CORE_GATED_BENCHES.contains(&"ablation_icache"));
+        let prev = [file("ablation_icache", Some(1), "icache/numeric_sort/cached", "1.00 ms")];
+        let slow = [file("ablation_icache", Some(1), "icache/numeric_sort/cached", "9.00 ms")];
+        assert!(TrendReport::build(&slow, &prev, 25.0).has_regression());
+    }
+
+    #[test]
     fn markdown_renders_rows_and_metrics_sections() {
         let prev = [file("fig8_seqgen", Some(4), "seqgen/full", "1.00 ms")];
         let curr = [file("fig8_seqgen", Some(4), "seqgen/full", "2.00 ms")];
