@@ -38,7 +38,7 @@ use crate::cfg::{Cfg, Edge, EdgeKind};
 use crate::interval::Interval;
 use deflection_isa::{AluOp, CondCode, Disassembly, Inst, MemOperand, Reg};
 use deflection_telemetry::{Span, METRICS};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -52,6 +52,11 @@ const FORCE_WIDEN_AFTER: u32 = 64;
 /// Upper bound on tracked frame slots per state (degrades to `Top`
 /// beyond, keeping state sizes bounded on adversarial input).
 const MAX_SLOTS: usize = 512;
+/// Decreasing (narrowing) rounds run after each group fixpoint
+/// converges; two rounds settle every widened counter the guard
+/// refinement can bound (one to pull the head state down, one to
+/// propagate it).
+const NARROW_ROUNDS: u32 = 2;
 
 /// Configuration shared verbatim by producer and verifier — both sides
 /// must analyse under identical parameters to reach identical verdicts.
@@ -64,11 +69,23 @@ pub struct AnalysisConfig {
     /// Initial `rsp` (one past the top of the stack region); the base
     /// all `AVal::Stack` deltas are relative to.
     pub stack_hi: u64,
+    /// Inclusive lower bound of the stack region. A store through a
+    /// *known absolute* address entirely below this line cannot alias
+    /// any frame slot (frame slots live in the stack region; a store
+    /// into the guard page faults, making its post-state unreachable).
+    pub stack_lo: u64,
     /// Immediates the analysis must treat as unknown (`Top`): the
     /// annotation placeholder values the in-enclave rewriter patches
     /// after verification. Treating them as opaque makes one analysis
     /// sound for both the pre-rewrite and post-rewrite binary.
     pub opaque_imms: Vec<u64>,
+    /// The subset of opaque immediates that are additionally known to
+    /// be patched to addresses *outside the stack region* (runtime
+    /// structures: AEX slot, SSA marker, shadow-stack slot, branch
+    /// table). A store through such a pointer cannot alias any frame
+    /// slot, so the abstract stack survives it — without this fact the
+    /// per-block AEX probes would clear every loop counter's slot.
+    pub nonstack_imms: Vec<u64>,
 }
 
 /// An abstract value.
@@ -81,6 +98,19 @@ pub enum AVal {
     Val(Interval),
     /// `stack_hi + d` for some `d` in the interval.
     Stack(Interval),
+    /// Unknown value that, used as an address, lies entirely outside
+    /// the stack region (a placeholder the rewriter patches to a
+    /// runtime-structure address). Stores through it cannot alias
+    /// frame slots; loads through it yield `Top`.
+    NonStack,
+    /// The value `rbp` held at the analysed function's entry. Used only
+    /// by the stack-balance pre-analysis (`balanced_entries`): the
+    /// token is *unforgeable* — no instruction produces it (every
+    /// arithmetic transfer on it degrades to `Top`), it only moves
+    /// through register copies and exact frame-slot round trips — so
+    /// `rbp == EntryRbp` at a `ret` proves the callee restored the
+    /// caller's frame pointer on every path.
+    EntryRbp,
 }
 
 impl AVal {
@@ -96,6 +126,8 @@ impl AVal {
         match (self, other) {
             (AVal::Val(a), AVal::Val(b)) => AVal::Val(a.join(b)),
             (AVal::Stack(a), AVal::Stack(b)) => AVal::Stack(a.join(b)),
+            (AVal::NonStack, AVal::NonStack) => AVal::NonStack,
+            (AVal::EntryRbp, AVal::EntryRbp) => AVal::EntryRbp,
             _ => AVal::Top,
         }
     }
@@ -106,7 +138,26 @@ impl AVal {
         match (self, next) {
             (AVal::Val(a), AVal::Val(b)) => AVal::Val(a.widen(b)),
             (AVal::Stack(a), AVal::Stack(b)) => AVal::Stack(a.widen(b)),
+            (AVal::NonStack, AVal::NonStack) => AVal::NonStack,
+            (AVal::EntryRbp, AVal::EntryRbp) => AVal::EntryRbp,
             _ => AVal::Top,
+        }
+    }
+
+    /// Narrowing operator for the decreasing rounds that follow the
+    /// widened fixpoint: endpoints the widening blew out to ±∞ are
+    /// replaced by the recomputed (sound, post-fixpoint) bound, finite
+    /// endpoints are kept. Mixing components of two sound
+    /// over-approximations stays sound — every concrete state satisfies
+    /// both conjuncts — and only infinite endpoints ever change, so the
+    /// rounds terminate trivially.
+    #[must_use]
+    pub fn narrow(self, recomputed: AVal) -> AVal {
+        match (self, recomputed) {
+            (AVal::Top, r) => r,
+            (AVal::Val(a), AVal::Val(b)) => AVal::Val(a.narrow(b)),
+            (AVal::Stack(a), AVal::Stack(b)) => AVal::Stack(a.narrow(b)),
+            (a, _) => a,
         }
     }
 
@@ -118,7 +169,7 @@ impl AVal {
     #[must_use]
     pub fn abs_range(self, stack_hi: u64) -> Option<(u64, u64)> {
         match self {
-            AVal::Top => None,
+            AVal::Top | AVal::NonStack | AVal::EntryRbp => None,
             AVal::Val(iv) => (iv.lo >= 0).then_some((iv.lo as u64, iv.hi as u64)),
             AVal::Stack(iv) => {
                 let lo = stack_hi as i128 + iv.lo as i128;
@@ -140,19 +191,37 @@ struct Tracked {
     origin: Option<i64>,
 }
 
+/// Upper bound on relational facts tracked per state.
+const MAX_RELS: usize = 8;
+
+/// A symbolic upper bound between two frame slots, learned at a
+/// guarded branch: `slots[sub_slot] <= slots[bound_slot] + add`
+/// (signed). The fact is dropped the moment either slot's content may
+/// change; while it lives, a later refinement of the *bound* slot
+/// transfers to the subject — the difference-bound step that proves
+/// loop counters compared against a runtime-clamped limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct RelFact {
+    sub_slot: i64,
+    bound_slot: i64,
+    add: i64,
+}
+
 /// The per-program-point abstract state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct AbsState {
     regs: [Tracked; 16],
     /// Frame slot delta (relative to `stack_hi`) -> content.
     slots: BTreeMap<i64, Tracked>,
+    /// Sorted, deduplicated difference bounds between frame slots.
+    rels: Vec<RelFact>,
 }
 
 impl AbsState {
     /// State at the program entry point: the runtime zeroes registers
     /// and sets `rsp = stack_hi`; we only rely on the latter.
     fn entry() -> AbsState {
-        let mut s = AbsState { regs: Default::default(), slots: BTreeMap::new() };
+        let mut s = AbsState { regs: Default::default(), slots: BTreeMap::new(), rels: Vec::new() };
         s.regs[RSP] = Tracked { val: AVal::Stack(Interval::exact(0)), origin: None };
         s
     }
@@ -161,7 +230,37 @@ impl AbsState {
     /// stack slot (`pop rbp` and `rsp` pivots included — the shadow
     /// stack pins the return *target*, not the returning frame layout).
     fn havoc() -> AbsState {
-        AbsState { regs: Default::default(), slots: BTreeMap::new() }
+        AbsState { regs: Default::default(), slots: BTreeMap::new(), rels: Vec::new() }
+    }
+
+    /// Seed for the stack-balance pre-analysis of one function: `rsp`
+    /// points at the freshly pushed return address (entry-relative
+    /// offset 0), `rbp` holds the unforgeable caller token, and the
+    /// caller's frame contents are unknown.
+    fn balance_entry() -> AbsState {
+        let mut s = AbsState::havoc();
+        s.regs[RSP] = Tracked { val: AVal::Stack(Interval::exact(0)), origin: None };
+        s.regs[RBP] = Tracked { val: AVal::EntryRbp, origin: None };
+        s
+    }
+
+    /// Records `slots[sub] <= slots[bound] + add`, keeping the fact
+    /// vector sorted, deduplicated and capped.
+    fn add_rel(&mut self, sub: i64, bound: i64, add: i64) {
+        if sub == bound {
+            return;
+        }
+        let fact = RelFact { sub_slot: sub, bound_slot: bound, add };
+        if let Err(at) = self.rels.binary_search(&fact) {
+            if self.rels.len() < MAX_RELS {
+                self.rels.insert(at, fact);
+            }
+        }
+    }
+
+    /// Drops every relational fact that mentions slot `d`.
+    fn scrub_rels(&mut self, d: i64) {
+        self.rels.retain(|f| f.sub_slot != d && f.bound_slot != d);
     }
 
     fn reg(&self, r: Reg) -> Tracked {
@@ -195,7 +294,7 @@ impl AbsState {
         size: i64,
         value: AVal,
         origin: Option<i64>,
-        stack_hi: u64,
+        config: &AnalysisConfig,
     ) {
         // Exact 8-byte stack store: strong update.
         if size == 8 {
@@ -206,8 +305,10 @@ impl AbsState {
                     for k in removed {
                         self.slots.remove(&k);
                         self.clear_origin(k);
+                        self.scrub_rels(k);
                         flags.scrub_slot(k);
                     }
+                    self.scrub_rels(d);
                     let origin = origin.filter(|&o| o != d);
                     if self.slots.len() < MAX_SLOTS {
                         self.slots.insert(d, Tracked { val: value, origin });
@@ -216,18 +317,31 @@ impl AbsState {
                 }
             }
         }
+        // A store through a provably non-stack pointer cannot touch any
+        // frame slot: nothing to invalidate.
+        if addr == AVal::NonStack {
+            return;
+        }
+        // A store through a known absolute address wholly below the
+        // stack region cannot alias any frame slot either (and in the
+        // frame-relative balance analysis, absolute addresses cannot be
+        // compared against entry-relative slot keys at all, so anything
+        // that may reach the stack must clear everything).
+        if let AVal::Val(iv) = addr {
+            if iv.lo >= 0 && (iv.hi as i128 + size as i128) <= config.stack_lo as i128 {
+                return;
+            }
+        }
         // Weak update: invalidate every slot the store may touch.
         let delta_range: Option<(i128, i128)> = match addr {
-            AVal::Top => None,
-            AVal::Val(iv) => {
-                Some((iv.lo as i128 - stack_hi as i128, iv.hi as i128 - stack_hi as i128))
-            }
+            AVal::Top | AVal::NonStack | AVal::EntryRbp | AVal::Val(_) => None,
             AVal::Stack(iv) => Some((iv.lo as i128, iv.hi as i128)),
         };
         match delta_range {
             None => {
                 let removed: Vec<i64> = self.slots.keys().copied().collect();
                 self.slots.clear();
+                self.rels.clear();
                 for k in removed {
                     self.clear_origin(k);
                     flags.scrub_slot(k);
@@ -246,6 +360,7 @@ impl AbsState {
                 for k in removed {
                     self.slots.remove(&k);
                     self.clear_origin(k);
+                    self.scrub_rels(k);
                     flags.scrub_slot(k);
                 }
             }
@@ -265,16 +380,41 @@ impl AbsState {
         Tracked::default()
     }
 
+    /// The register's value, tightened by any relational fact about
+    /// the frame slot it was loaded from: with `reg == slots[s]` and
+    /// `slots[s] <= slots[b] + add`, a finite upper bound on slot `b`
+    /// transfers to the register.
+    fn tightened(&self, r: Reg) -> AVal {
+        let t = self.reg(r);
+        let Some(s) = t.origin else { return t.val };
+        let mut val = t.val;
+        for f in self.rels.iter().filter(|f| f.sub_slot == s) {
+            let Some(AVal::Val(biv)) = self.slots.get(&f.bound_slot).map(|b| b.val) else {
+                continue;
+            };
+            if biv.hi == i64::MAX {
+                continue;
+            }
+            let Some(cons) = bounded_above(biv.hi as i128 + f.add as i128) else { continue };
+            val = match val {
+                AVal::Top => AVal::Val(cons),
+                AVal::Val(civ) => civ.meet(cons).map_or(val, AVal::Val),
+                other => other,
+            };
+        }
+        val
+    }
+
     /// Effective-address evaluation for `base + index*scale + disp`.
     fn eval_addr(&self, mem: &MemOperand) -> AVal {
         let mut acc = AVal::exact(i64::from(mem.disp));
         if let Some(b) = mem.base {
-            acc = aval_add(acc, self.reg(b).val);
+            acc = aval_add(acc, self.tightened(b));
         }
         if let Some((r, scale)) = mem.index {
-            let idx = self.reg(r).val;
+            let idx = self.tightened(r);
             let scaled = match idx {
-                AVal::Top => AVal::Top,
+                AVal::Top | AVal::NonStack | AVal::EntryRbp => AVal::Top,
                 AVal::Val(iv) => iv.mul_const(i64::from(scale)).map_or(AVal::Top, AVal::Val),
                 AVal::Stack(iv) if scale == 1 => AVal::Stack(iv),
                 AVal::Stack(_) => AVal::Top,
@@ -304,7 +444,33 @@ impl AbsState {
                 slots.insert(*k, Tracked { val, origin });
             }
         }
-        AbsState { regs, slots }
+        // Facts are conjuncts: only those that hold on both paths
+        // survive the join (both vectors are sorted, so this is a
+        // linear intersection kept sorted for state equality).
+        let rels =
+            self.rels.iter().filter(|f| incoming.rels.binary_search(f).is_ok()).copied().collect();
+        AbsState { regs, slots, rels }
+    }
+
+    /// One narrowing step: `self` is the widened fixpoint in-state,
+    /// `recomputed` is the same in-state recomputed as a plain join of
+    /// its (sound, post-fixpoint) edge contributions. Component-wise
+    /// [`AVal::narrow`]; slots and facts absent from the recomputation
+    /// keep their widened entry — both states over-approximate every
+    /// concrete state reaching the block, so each kept conjunct stays
+    /// sound.
+    fn narrow(&self, recomputed: &AbsState) -> AbsState {
+        let mut regs = self.regs;
+        for (i, t) in regs.iter_mut().enumerate() {
+            t.val = t.val.narrow(recomputed.regs[i].val);
+        }
+        let mut slots = self.slots.clone();
+        for (k, t) in &mut slots {
+            if let Some(r) = recomputed.slots.get(k) {
+                t.val = t.val.narrow(r.val);
+            }
+        }
+        AbsState { regs, slots, rels: self.rels.clone() }
     }
 }
 
@@ -313,6 +479,15 @@ impl AbsState {
 enum Subject {
     Reg(u8),
     Slot(i64),
+}
+
+impl Subject {
+    fn as_slot(&self) -> Option<i64> {
+        match self {
+            Subject::Slot(d) => Some(*d),
+            Subject::Reg(_) => None,
+        }
+    }
 }
 
 /// Snapshot of one `cmp`: the compared abstract values plus every
@@ -429,12 +604,6 @@ impl Analysis {
             members[g].push(b);
         }
 
-        // Serial pre-pass: whole-program fixpoint over states projected to
-        // rsp/rbp at block boundaries — cheap, and exactly what a callee
-        // inherits across a call edge that the verifier can rely on (the
-        // paper's P2 window argument needs the stack depth, nothing else).
-        let prepass = projected_fixpoint(&cfg, &idom, &config);
-
         // Seed set: the entry block plus every target of a cut edge. Each
         // seed is the pre-pass in-state, which over-approximates the
         // projection of every cross-group flow into that block.
@@ -448,6 +617,19 @@ impl Analysis {
             }
         }
 
+        // Stack-balance pre-analysis: which callees provably restore
+        // `rsp`/`rbp` on every return. Runs first (serially) so both the
+        // projected pre-pass and the per-group fixpoints can keep the
+        // caller's frame pointer alive across calls to proven callees.
+        let balanced =
+            balanced_entries(&cfg, &idom, entries, &group_of, &members, &seeded, &config);
+
+        // Serial pre-pass: whole-program fixpoint over states projected to
+        // rsp/rbp at block boundaries — cheap, and exactly what a callee
+        // inherits across a call edge that the verifier can rely on (the
+        // paper's P2 window argument needs the stack depth, nothing else).
+        let prepass = projected_fixpoint(&cfg, &idom, &config, &balanced);
+
         // Independent per-group fixpoints, scheduled across threads.
         let ctx = GroupCtx {
             cfg: &cfg,
@@ -456,6 +638,7 @@ impl Analysis {
             group_of: &group_of,
             seeded: &seeded,
             prepass: &prepass,
+            balanced: &balanced,
         };
         let results = run_group_fixpoints(&ctx, &members, threads);
 
@@ -466,6 +649,8 @@ impl Analysis {
                 in_states[b] = Some(s);
             }
         }
+        let rel_facts: u64 = in_states.iter().flatten().map(|s| s.rels.len() as u64).sum();
+        METRICS.absint_relational_facts.observe(rel_facts);
         Analysis { cfg, config, in_states }
     }
 
@@ -562,7 +747,16 @@ fn exec_block(
     (state, flags)
 }
 
-/// Maps a block out-state across one outgoing edge.
+/// The direct-call target offset of `from`'s terminator, if any.
+fn call_target(cfg: &Cfg, from: usize) -> Option<usize> {
+    let &(_, Inst::Call { rel }) = cfg.blocks[from].insts.last()? else { return None };
+    Some((cfg.blocks[from].end as i64 + i64::from(rel)) as usize)
+}
+
+/// Maps a block out-state across one outgoing edge. `balanced` holds
+/// the entry offsets of functions proven stack-balanced (see
+/// [`balanced_entries`]); a `CallFall` edge from a direct call to one
+/// of them keeps the caller's `rsp`/`rbp`.
 fn apply_edge(
     cfg: &Cfg,
     from: usize,
@@ -570,6 +764,7 @@ fn apply_edge(
     flags: &LocalFlags,
     edge: &Edge,
     config: &AnalysisConfig,
+    balanced: &BTreeSet<usize>,
 ) -> Option<AbsState> {
     match edge.kind {
         EdgeKind::Fall | EdgeKind::Jump | EdgeKind::Indirect => Some(out.clone()),
@@ -585,11 +780,23 @@ fn apply_edge(
             let mut scratch = LocalFlags::default();
             let rsp = s.reg(Reg::RSP).val;
             let new_rsp = aval_add(rsp, AVal::exact(-8));
-            s.write_mem(&mut scratch, new_rsp, 8, AVal::Top, None, config.stack_hi);
+            s.write_mem(&mut scratch, new_rsp, 8, AVal::Top, None, config);
             s.set_reg(&mut scratch, Reg::RSP, new_rsp, None);
             Some(s)
         }
-        EdgeKind::CallFall => Some(AbsState::havoc()),
+        EdgeKind::CallFall => {
+            // The callee may clobber every register and every stack
+            // slot (its guarded stores may legally reach the whole P1
+            // window, the caller's frame included) — but a callee
+            // separately proven stack-balanced returns with the
+            // caller's `rsp` and `rbp` values intact.
+            let mut s = AbsState::havoc();
+            if call_target(cfg, from).is_some_and(|t| balanced.contains(&t)) {
+                s.regs[RSP] = Tracked { val: out.regs[RSP].val, origin: None };
+                s.regs[RBP] = Tracked { val: out.regs[RBP].val, origin: None };
+            }
+            Some(s)
+        }
     }
 }
 
@@ -599,10 +806,80 @@ fn apply_edge(
 /// frame contents (the original analysis already havocs them on
 /// return, so this loses nothing the queries could observe).
 fn project(s: &AbsState) -> AbsState {
-    let mut p = AbsState { regs: Default::default(), slots: BTreeMap::new() };
+    let mut p = AbsState { regs: Default::default(), slots: BTreeMap::new(), rels: Vec::new() };
     p.regs[RSP] = Tracked { val: s.regs[RSP].val, origin: None };
     p.regs[RBP] = Tracked { val: s.regs[RBP].val, origin: None };
     p
+}
+
+/// Byte offsets of function entries whose bodies provably restore the
+/// stack discipline on every return: at each reachable `ret`, `rsp`
+/// equals its entry value (still pointing at the pushed return
+/// address) and `rbp` carries the caller's [`AVal::EntryRbp`] token,
+/// round-tripped through the frame save slot. The proof runs
+/// *entry-relative* — `Stack(0)` is the callee's own entry `rsp` — so
+/// it holds for every call site at once. It is sound only under CFI
+/// (the P5 shadow stack pins each `ret` to its call site), which is
+/// exactly when the verifier consults analysis verdicts.
+///
+/// Verdicts grow over stratified rounds: round `k` may assume round
+/// `k-1`'s verdicts at internal `CallFall` edges, so a (mutually)
+/// recursive function can never certify itself.
+fn balanced_entries(
+    cfg: &Cfg,
+    idom: &[Option<usize>],
+    entries: &[usize],
+    group_of: &[usize],
+    members: &[Vec<usize>],
+    seeded: &[bool],
+    config: &AnalysisConfig,
+) -> BTreeSet<usize> {
+    let n = cfg.blocks.len();
+    let mut balanced = BTreeSet::new();
+    loop {
+        let mut grew = false;
+        'groups: for (g, mem) in members.iter().enumerate() {
+            let Some(&entry_off) = entries.get(g) else { continue };
+            if balanced.contains(&entry_off) {
+                continue;
+            }
+            let Some(&eb) = mem.iter().find(|&&b| cfg.blocks[b].start == entry_off) else {
+                continue;
+            };
+            // A cut edge into any non-entry member carries flows this
+            // relative fixpoint cannot see; give up on the group.
+            if mem.iter().any(|&b| seeded[b] && b != eb) {
+                continue;
+            }
+            let mut prepass: Vec<Option<AbsState>> = vec![None; n];
+            prepass[eb] = Some(AbsState::balance_entry());
+            let mut bseed = vec![false; n];
+            bseed[eb] = true;
+            let ctx = GroupCtx {
+                cfg,
+                idom,
+                config,
+                group_of,
+                seeded: &bseed,
+                prepass: &prepass,
+                balanced: &balanced,
+            };
+            for (b, state) in group_fixpoint(&ctx, mem) {
+                let Some(&(_, Inst::Ret)) = cfg.blocks[b].insts.last() else { continue };
+                let (out, _) = exec_block(cfg, b, state, config);
+                if out.reg(Reg::RSP).val != AVal::Stack(Interval::exact(0))
+                    || out.reg(Reg::RBP).val != AVal::EntryRbp
+                {
+                    continue 'groups;
+                }
+            }
+            balanced.insert(entry_off);
+            grew = true;
+        }
+        if !grew {
+            return balanced;
+        }
+    }
 }
 
 /// Whole-program fixpoint over *projected* states. Identical worklist,
@@ -616,6 +893,7 @@ fn projected_fixpoint(
     cfg: &Cfg,
     idom: &[Option<usize>],
     config: &AnalysisConfig,
+    balanced: &BTreeSet<usize>,
 ) -> Vec<Option<AbsState>> {
     let n = cfg.blocks.len();
     let mut in_states: Vec<Option<AbsState>> = vec![None; n];
@@ -632,7 +910,7 @@ fn projected_fixpoint(
         let Some(state) = in_states[b].clone() else { continue };
         let (out, flags) = exec_block(cfg, b, state, config);
         for edge in cfg.blocks[b].edges.clone() {
-            let Some(next) = apply_edge(cfg, b, &out, &flags, &edge, config) else {
+            let Some(next) = apply_edge(cfg, b, &out, &flags, &edge, config, balanced) else {
                 continue;
             };
             let next = project(&next);
@@ -680,6 +958,7 @@ struct GroupCtx<'a> {
     group_of: &'a [usize],
     seeded: &'a [bool],
     prepass: &'a [Option<AbsState>],
+    balanced: &'a BTreeSet<usize>,
 }
 
 /// Runs the full-precision fixpoint restricted to one group's blocks.
@@ -720,7 +999,8 @@ fn group_fixpoint(ctx: &GroupCtx<'_>, members: &[usize]) -> Vec<(usize, AbsState
             if is_cut_edge(edge.kind, ctx.group_of[b], ctx.group_of[edge.to]) {
                 continue;
             }
-            let Some(next) = apply_edge(ctx.cfg, b, &out, &flags, &edge, ctx.config) else {
+            let Some(next) = apply_edge(ctx.cfg, b, &out, &flags, &edge, ctx.config, ctx.balanced)
+            else {
                 continue;
             };
             let lt = local(edge.to);
@@ -744,8 +1024,51 @@ fn group_fixpoint(ctx: &GroupCtx<'_>, members: &[usize]) -> Vec<(usize, AbsState
             }
         }
     }
+    // Bounded narrowing: a fixed number of decreasing rounds recompute
+    // every in-state as the plain (unwidened) join of its intra-group
+    // edge contributions — computed Jacobi-style from the converged
+    // states, so the result is schedule-independent — and replace only
+    // the endpoints widening blew out (see [`AVal::narrow`]). This
+    // pulls loop-head counters back from `[0, MAX]` to the guarded
+    // range without re-running the ascending iteration.
+    let mut narrows = 0u64;
+    for _ in 0..NARROW_ROUNDS {
+        let mut recomputed: Vec<Option<AbsState>> = members
+            .iter()
+            .map(|&b| if ctx.seeded[b] { ctx.prepass[b].clone() } else { None })
+            .collect();
+        for (la, &a) in members.iter().enumerate() {
+            let Some(state) = in_states[la].clone() else { continue };
+            let (out, flags) = exec_block(ctx.cfg, a, state, ctx.config);
+            for edge in ctx.cfg.blocks[a].edges.clone() {
+                if is_cut_edge(edge.kind, ctx.group_of[a], ctx.group_of[edge.to]) {
+                    continue;
+                }
+                let Some(next) =
+                    apply_edge(ctx.cfg, a, &out, &flags, &edge, ctx.config, ctx.balanced)
+                else {
+                    continue;
+                };
+                let lt = local(edge.to);
+                recomputed[lt] = Some(match recomputed[lt].take() {
+                    None => next,
+                    Some(acc) => acc.merge(&next, false),
+                });
+            }
+        }
+        for (lt, rec) in recomputed.iter().enumerate() {
+            if let (Some(cur), Some(rec)) = (&in_states[lt], rec) {
+                let narrowed = cur.narrow(rec);
+                if &narrowed != cur {
+                    narrows += 1;
+                    in_states[lt] = Some(narrowed);
+                }
+            }
+        }
+    }
     METRICS.analysis_fixpoint_iters.observe(iters);
     METRICS.analysis_widenings.observe(widens);
+    METRICS.absint_narrowings.observe(narrows);
     members.iter().zip(in_states).filter_map(|(&b, s)| s.map(|s| (b, s))).collect()
 }
 
@@ -805,6 +1128,24 @@ fn refine_with_snap(mut state: AbsState, snap: &CmpSnap, cond: CondCode) -> Opti
             return None;
         }
     }
+    // A strict/affine order between two slot-backed values also yields
+    // a symbolic bound that outlives the compared intervals: refining
+    // the bound slot later (e.g. an in-loop clamp test) transfers to
+    // the subject through [`AbsState::tightened`].
+    let rel = match cond {
+        CondCode::L => Some((&snap.lhs_subs, &snap.rhs_subs, -1)),
+        CondCode::Le => Some((&snap.lhs_subs, &snap.rhs_subs, 0)),
+        CondCode::G => Some((&snap.rhs_subs, &snap.lhs_subs, -1)),
+        CondCode::Ge => Some((&snap.rhs_subs, &snap.lhs_subs, 0)),
+        _ => None,
+    };
+    if let Some((subs, bounds, add)) = rel {
+        for sub in subs.iter().filter_map(Subject::as_slot) {
+            for bound in bounds.iter().filter_map(Subject::as_slot) {
+                state.add_rel(sub, bound, add);
+            }
+        }
+    }
     Some(state)
 }
 
@@ -845,7 +1186,7 @@ fn refine_aval(cur: AVal, cond: CondCode, bound: AVal) -> Refined {
                     Some(m) => Refined::To(AVal::Stack(m)),
                     None => Refined::Infeasible,
                 },
-                AVal::Val(_) => Refined::Unchanged,
+                AVal::Val(_) | AVal::NonStack | AVal::EntryRbp => Refined::Unchanged,
             };
         }
     }
@@ -853,7 +1194,7 @@ fn refine_aval(cur: AVal, cond: CondCode, bound: AVal) -> Refined {
     let cur_iv = match cur {
         AVal::Val(iv) => Some(iv),
         AVal::Top => None,
-        AVal::Stack(_) => return Refined::Unchanged,
+        AVal::Stack(_) | AVal::NonStack | AVal::EntryRbp => return Refined::Unchanged,
     };
     // The constraint interval the subject must meet (signed view), or a
     // direct verdict for the cases that need extra care.
@@ -946,6 +1287,13 @@ fn aval_add(a: AVal, b: AVal) -> AVal {
         (AVal::Val(x), AVal::Val(y)) => x.add(y).map_or(AVal::Top, AVal::Val),
         (AVal::Stack(x), AVal::Val(y)) | (AVal::Val(y), AVal::Stack(x)) => {
             x.add(y).map_or(AVal::Top, AVal::Stack)
+        }
+        // Displacement 0 off a non-stack pointer is still non-stack;
+        // any other offset could land anywhere.
+        (AVal::NonStack, AVal::Val(y)) | (AVal::Val(y), AVal::NonStack)
+            if y.as_exact() == Some(0) =>
+        {
+            AVal::NonStack
         }
         _ => AVal::Top,
     }
@@ -1101,8 +1449,13 @@ fn step(state: &mut AbsState, flags: &mut LocalFlags, inst: &Inst, config: &Anal
             state.set_reg(flags, dst, t.val, t.origin);
         }
         Inst::MovRI { dst, imm } => {
-            let val =
-                if config.opaque_imms.contains(&imm) { AVal::Top } else { AVal::exact(imm as i64) };
+            let val = if config.nonstack_imms.contains(&imm) {
+                AVal::NonStack
+            } else if config.opaque_imms.contains(&imm) {
+                AVal::Top
+            } else {
+                AVal::exact(imm as i64)
+            };
             state.set_reg(flags, dst, val, None);
         }
         Inst::Lea { dst, mem } => {
@@ -1120,7 +1473,7 @@ fn step(state: &mut AbsState, flags: &mut LocalFlags, inst: &Inst, config: &Anal
         Inst::Store { mem, src } => {
             let addr = state.eval_addr(&mem);
             let t = state.reg(src);
-            state.write_mem(flags, addr, 8, t.val, t.origin, config.stack_hi);
+            state.write_mem(flags, addr, 8, t.val, t.origin, config);
             // After an exact stack store the source register equals the
             // freshly written slot.
             if let AVal::Stack(iv) = addr {
@@ -1131,16 +1484,16 @@ fn step(state: &mut AbsState, flags: &mut LocalFlags, inst: &Inst, config: &Anal
         }
         Inst::Store8 { mem, .. } => {
             let addr = state.eval_addr(&mem);
-            state.write_mem(flags, addr, 1, AVal::Top, None, config.stack_hi);
+            state.write_mem(flags, addr, 1, AVal::Top, None, config);
         }
         Inst::StoreImm { mem, imm } => {
             let addr = state.eval_addr(&mem);
-            state.write_mem(flags, addr, 8, AVal::exact(i64::from(imm)), None, config.stack_hi);
+            state.write_mem(flags, addr, 8, AVal::exact(i64::from(imm)), None, config);
         }
         Inst::Push { reg } => {
             let t = state.reg(reg);
             let new_rsp = aval_add(state.reg(Reg::RSP).val, AVal::exact(-8));
-            state.write_mem(flags, new_rsp, 8, t.val, t.origin, config.stack_hi);
+            state.write_mem(flags, new_rsp, 8, t.val, t.origin, config);
             state.set_reg(flags, Reg::RSP, new_rsp, None);
         }
         Inst::Pop { reg } => {
@@ -1213,7 +1566,10 @@ fn step(state: &mut AbsState, flags: &mut LocalFlags, inst: &Inst, config: &Anal
                 _ => None,
             };
             state.set_reg(flags, dst, AVal::Val(Interval::new(0, 1)), None);
-            if let Some((snap, cc)) = pred {
+            if let Some((mut snap, cc)) = pred {
+                // `dst` now holds the boolean, not the compared value.
+                snap.lhs_subs.retain(|s| *s != Subject::Reg(dst.index()));
+                snap.rhs_subs.retain(|s| *s != Subject::Reg(dst.index()));
                 flags.bool_preds.push((dst.index(), snap, cc));
             }
         }
@@ -1337,7 +1693,14 @@ mod tests {
     }
 
     fn config() -> AnalysisConfig {
-        AnalysisConfig { store_lo: 0x1000, store_hi: 0x2000, stack_hi: 0x8000, opaque_imms: vec![] }
+        AnalysisConfig {
+            store_lo: 0x1000,
+            store_hi: 0x2000,
+            stack_hi: 0x8000,
+            stack_lo: 0x7000,
+            opaque_imms: vec![],
+            nonstack_imms: vec![],
+        }
     }
 
     #[test]
@@ -1375,5 +1738,133 @@ mod tests {
         let main_entry = d.function_entries()[1];
         let rsp = a.value_before(main_entry, Reg::RSP).expect("main reachable");
         assert_eq!(a.concrete_range(rsp), Some((0x8000 - 8, 0x8000 - 8)));
+    }
+
+    /// Regression test for the stale-`SetCc`-subject bug: in the codegen
+    /// bool-chain shape `cmp i, N; setcc l, rax; cmp rax, 0; jcc ne head`
+    /// the `setcc` destination *is* the compared register, so the snapshot
+    /// pushed into `bool_preds` must drop `Reg(rax)` as a subject (the
+    /// register now holds the boolean, not `i`). With the stale subject the
+    /// loop-exit refinement intersected `[0,1]` with `[8,+inf)`, proved the
+    /// exit edge infeasible, and everything after the first counted loop
+    /// of every function was analyzed as unreachable.
+    #[test]
+    fn bool_chain_loop_exit_is_reachable_and_narrowed() {
+        let start = vec![I::Call(1), I::R(Inst::Halt)];
+        let f = vec![
+            I::R(Inst::Push { reg: Reg::RBP }),
+            I::R(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP }),
+            I::R(Inst::AluRI { op: AluOp::Sub, dst: Reg::RSP, imm: 16 }),
+            I::R(Inst::MovRI { dst: Reg::RAX, imm: 0 }),
+            I::R(Inst::Store { mem: mem(Some(Reg::RBP), -8), src: Reg::RAX }),
+            // loop head (instruction 5): i += 1; rax = (i < 8); loop while rax != 0
+            I::R(Inst::Load { dst: Reg::RAX, mem: mem(Some(Reg::RBP), -8) }),
+            I::R(Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: 1 }),
+            I::R(Inst::Store { mem: mem(Some(Reg::RBP), -8), src: Reg::RAX }),
+            I::R(Inst::CmpRI { lhs: Reg::RAX, imm: 8 }),
+            I::R(Inst::SetCc { cc: CondCode::L, dst: Reg::RAX }),
+            I::R(Inst::CmpRI { lhs: Reg::RAX, imm: 0 }),
+            I::Jcc(CondCode::Ne, 5),
+            // post-loop (instruction 12): must be reachable with i == 8
+            I::R(Inst::Load { dst: Reg::RAX, mem: mem(Some(Reg::RBP), -8) }),
+            I::R(Inst::MovRI { dst: Reg::RBX, imm: 0x1000 }),
+            I::R(Inst::Store { mem: mem(Some(Reg::RBX), 0), src: Reg::RAX }),
+            I::R(Inst::AluRI { op: AluOp::Add, dst: Reg::RSP, imm: 16 }),
+            I::R(Inst::Pop { reg: Reg::RBP }),
+            I::R(Inst::Ret),
+        ];
+        let code = assemble(&[start, f]);
+        let d = disassemble(&code, 0, &[]).unwrap();
+        let a = Analysis::run(&d, config());
+        let insts = d.insts();
+        let f_first = 2; // start has two instructions
+        let post_loop = insts[f_first + 12].0;
+        let rax = a
+            .value_before(post_loop + encoded_len(&insts[f_first + 12].1), Reg::RAX)
+            .expect("the loop exit edge must be feasible");
+        // Widening overshoots to [0, +inf); bounded narrowing plus the
+        // boolean-predicate exit refinement must recover the exact bound.
+        assert_eq!(a.concrete_range(rax), Some((8, 8)));
+        let store_off = insts[f_first + 14].0;
+        assert!(a.store_safe(store_off), "post-loop store must prove in-window");
+        // The fix must hold identically under the threaded fixpoint.
+        let serial = Analysis::run_threaded(&d, config(), 1);
+        let threaded = Analysis::run_threaded(&d, config(), 4);
+        assert_eq!(serial.in_states, threaded.in_states);
+    }
+
+    /// Difference-bound transfer: `i < n` recorded as a relational fact
+    /// between two stack slots lets a later refinement of `n` tighten `i`
+    /// — the interval domain alone cannot prove the store below, because
+    /// at the compare both operands are unbounded.
+    #[test]
+    fn relational_fact_transfers_bound_refinement_between_slots() {
+        let start = vec![I::Call(1), I::R(Inst::Halt)];
+        let f = vec![
+            I::R(Inst::Push { reg: Reg::RBP }),
+            I::R(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP }),
+            I::R(Inst::AluRI { op: AluOp::Sub, dst: Reg::RSP, imm: 32 }),
+            // i and n arrive opaque (loads from untracked memory).
+            I::R(Inst::MovRI { dst: Reg::RDX, imm: 0x3000 }),
+            I::R(Inst::Load { dst: Reg::RAX, mem: mem(Some(Reg::RDX), 0) }),
+            I::R(Inst::Store { mem: mem(Some(Reg::RBP), -8), src: Reg::RAX }),
+            I::R(Inst::Load { dst: Reg::RCX, mem: mem(Some(Reg::RDX), 8) }),
+            I::R(Inst::Store { mem: mem(Some(Reg::RBP), -16), src: Reg::RCX }),
+            I::R(Inst::Load { dst: Reg::RAX, mem: mem(Some(Reg::RBP), -8) }),
+            I::R(Inst::Load { dst: Reg::RCX, mem: mem(Some(Reg::RBP), -16) }),
+            // i < n: records slot(-8) <= slot(-16) - 1, no interval change.
+            I::R(Inst::CmpRR { lhs: Reg::RAX, rhs: Reg::RCX }),
+            I::Jcc(CondCode::Ge, 18),
+            // n <= 63: refines slot(-16); the relational fact must carry
+            // the new bound over to slot(-8) and its register copy.
+            I::R(Inst::CmpRI { lhs: Reg::RCX, imm: 63 }),
+            I::Jcc(CondCode::G, 18),
+            // i >= 0 closes the range: i in [0, 62].
+            I::R(Inst::CmpRI { lhs: Reg::RAX, imm: 0 }),
+            I::Jcc(CondCode::L, 18),
+            I::R(Inst::MovRI { dst: Reg::RBX, imm: 0x1000 }),
+            I::R(Inst::Store {
+                mem: MemOperand { base: Some(Reg::RBX), index: Some((Reg::RAX, 8)), disp: 0 },
+                src: Reg::RCX,
+            }),
+            // bail target (instruction 18)
+            I::R(Inst::AluRI { op: AluOp::Add, dst: Reg::RSP, imm: 32 }),
+            I::R(Inst::Pop { reg: Reg::RBP }),
+            I::R(Inst::Ret),
+        ];
+        let code = assemble(&[start, f]);
+        let d = disassemble(&code, 0, &[]).unwrap();
+        let a = Analysis::run(&d, config());
+        let insts = d.insts();
+        let store_off = insts[2 + 17].0;
+        assert!(
+            a.store_safe(store_off),
+            "i in [0,62] via the relational fact puts base+8*i inside the window"
+        );
+        let serial = Analysis::run_threaded(&d, config(), 1);
+        let threaded = Analysis::run_threaded(&d, config(), 4);
+        assert_eq!(serial.in_states, threaded.in_states);
+    }
+
+    /// A callee that leaks stack depth (push without pop before `Ret`)
+    /// must fail the balance pre-analysis, so the caller loses its exact
+    /// `rsp` across the call — the soundness half of the leaf-call
+    /// preservation rule.
+    #[test]
+    fn unbalanced_callee_havocs_caller_rsp() {
+        let start = vec![I::Call(1), I::R(Inst::Halt)];
+        let leaky = vec![I::R(Inst::Push { reg: Reg::RBP }), I::R(Inst::Ret)];
+        let code = assemble(&[start, leaky]);
+        let d = disassemble(&code, 0, &[]).unwrap();
+        let a = Analysis::run(&d, config());
+        let halt_off = d.insts()[1].0;
+        match a.value_before(halt_off, Reg::RSP) {
+            None => {}
+            Some(rsp) => assert_eq!(
+                a.concrete_range(rsp),
+                None,
+                "rsp must not survive a call to an unbalanced callee"
+            ),
+        }
     }
 }

@@ -85,6 +85,22 @@ impl Interval {
         }
     }
 
+    /// The narrowing operator, dual to [`Interval::widen`]: a bound
+    /// sitting at an `i64` extreme (i.e. previously widened) is pulled
+    /// back to the recomputed bound; finite bounds are kept. Falls back
+    /// to `self` if the mix would be empty (possible only at
+    /// unreachable points, where any value is sound).
+    #[must_use]
+    pub fn narrow(self, recomputed: Interval) -> Interval {
+        let lo = if self.lo == i64::MIN { recomputed.lo } else { self.lo };
+        let hi = if self.hi == i64::MAX { recomputed.hi } else { self.hi };
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            self
+        }
+    }
+
     /// Checked interval addition (`None` = possible wrap).
     ///
     /// Not `std::ops::Add`: all arithmetic here is checked and returns

@@ -16,7 +16,7 @@
 //! The pipeline is classic and deliberately small, because this code is
 //! in-enclave TCB:
 //!
-//! 1. [`cfg`] — control-flow graph reconstruction over an existing
+//! 1. [`cfg`](mod@cfg) — control-flow graph reconstruction over an existing
 //!    recursive-descent [`deflection_isa::Disassembly`]: basic blocks,
 //!    typed edges (branch/call/fall-through/indirect), predecessors,
 //!    reverse postorder and an iterative dominator tree

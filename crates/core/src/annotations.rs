@@ -74,9 +74,21 @@ pub fn elision_analysis_config(layout: &EnclaveLayout) -> AnalysisConfig {
         store_lo: layout.store_window().start,
         store_hi: layout.store_window().end,
         stack_hi: layout.initial_rsp(),
+        stack_lo: layout.stack_window().start,
         opaque_imms: PLACEHOLDER_IMMS.to_vec(),
+        nonstack_imms: NONSTACK_IMMS.to_vec(),
     }
 }
+
+/// The placeholders the templates dereference as *pointers*, all of which
+/// the rewriter binds to runtime-structure addresses (SSA marker, control
+/// page, branch table) that lie strictly below the heap — never inside the
+/// stack region. The analysis may therefore keep its abstract frame slots
+/// alive across a store through one of these (`AVal::NonStack`): the claim
+/// holds for the pre-rewrite binary too, whose magic values sit far above
+/// the ELRANGE. Without this fact the per-block P6 AEX probes would clear
+/// every loop counter's slot and no in-loop store could ever prove safe.
+pub const NONSTACK_IMMS: [u64; 4] = [PH_BT_BASE, PH_SS_SLOT, PH_SSA_MARKER, PH_AEX_SLOT];
 
 /// The marker value P6 annotations plant in the SSA; an AEX overwrites it
 /// with the saved `rip`, which can never equal this value because the code

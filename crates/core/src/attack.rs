@@ -13,6 +13,7 @@ use crate::producer::{instrument, produce_from_mir, produce_stripped_mir};
 use deflection_isa::{AluOp, CondCode, Inst, MemOperand, Reg};
 use deflection_lang::mir::{MFunction, MInst, MirProgram};
 use deflection_obj::ObjectFile;
+use deflection_sgx_sim::layout::{EnclaveLayout, MemConfig};
 use std::collections::HashSet;
 
 /// A corpus entry: what the attack does and the binary implementing it.
@@ -445,12 +446,200 @@ pub fn elision_rsp_pivot() -> Attack {
     }
 }
 
+/// Elision exploit: a counted loop whose bound is off by one. The store
+/// walks a window-sized table from a base chosen so the *correct* bound
+/// (64 iterations) would stay inside the P1 window — the producer ships
+/// the loop with bound 65 and no guard, betting the verifier's interval
+/// only checks the first iteration. Branch refinement bounds the index at
+/// `[0, 64]`, so the last iteration's address provably crosses `store_hi`
+/// and the analysis must reject.
+#[must_use]
+pub fn elision_off_by_one_bound() -> Attack {
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let window = layout.store_window();
+    let base = window.end - 64 * 8; // 64 slots fit exactly; slot 65 does not
+    let mut main = MFunction::new("__start");
+    let head = main.new_label();
+    main.real(Inst::MovRI { dst: Reg::RBX, imm: base });
+    main.real(Inst::MovRI { dst: Reg::RAX, imm: 0 });
+    main.real(Inst::MovRI { dst: Reg::RCX, imm: 0x5EC2E7 });
+    main.push(MInst::Label(head));
+    // table[i] — guard stripped (site 0).
+    main.real(Inst::Store { mem: MemOperand::base_index(Reg::RBX, Reg::RAX, 8, 0), src: Reg::RCX });
+    main.real(Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: 1 });
+    main.real(Inst::CmpRI { lhs: Reg::RAX, imm: 65 });
+    main.push(MInst::Jcc(CondCode::L, head));
+    main.real(Inst::Halt);
+    let mir = mir_program(vec![main], vec![]);
+    let obj = produce_stripped_mir(
+        &mir,
+        &PolicySet::full().with_elision(),
+        &HashSet::from([0]),
+        &HashSet::new(),
+    )
+    .expect("assembles");
+    Attack {
+        name: "elision-off-by-one-bound",
+        description: "counted-loop store whose bound overshoots the P1 window by one slot",
+        binary: obj,
+        expected: Expected::VerifierReject,
+    }
+}
+
+/// Elision exploit: a counter the analysis widens to `+∞` and can never
+/// narrow back — the loop exit tests memory (`cmpmem`), which leaves no
+/// register snapshot for branch refinement to re-bound. The post-loop
+/// store indexes by the widened counter without a guard; a verifier that
+/// "narrowed" by trusting the exit condition's syntax would accept, the
+/// sound one must keep `+∞` and reject.
+#[must_use]
+pub fn elision_unnarrowed_counter() -> Attack {
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let mut main = MFunction::new("__start");
+    let head = main.new_label();
+    main.real(Inst::MovRI { dst: Reg::RBX, imm: layout.store_window().start });
+    main.real(Inst::MovRI { dst: Reg::RAX, imm: 0 });
+    main.real(Inst::MovRI { dst: Reg::RCX, imm: 0x5EC2E7 });
+    main.push(MInst::Label(head));
+    main.real(Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: 8 });
+    // Exit condition through memory: flags carry no refinable snapshot.
+    main.real(Inst::CmpMem { reg: Reg::RAX, mem: MemOperand::base_disp(Reg::RBX, 0) });
+    main.push(MInst::Jcc(CondCode::Ne, head));
+    // window[rax] with rax ∈ [8, +∞) — guard stripped (site 0).
+    main.real(Inst::Store { mem: MemOperand::base_index(Reg::RBX, Reg::RAX, 1, 0), src: Reg::RCX });
+    main.real(Inst::Halt);
+    let mir = mir_program(vec![main], vec![]);
+    let obj = produce_stripped_mir(
+        &mir,
+        &PolicySet::full().with_elision(),
+        &HashSet::from([0]),
+        &HashSet::new(),
+    )
+    .expect("assembles");
+    Attack {
+        name: "elision-unnarrowed-counter",
+        description: "store indexed by a widened counter no branch refinement can re-bound",
+        binary: obj,
+        expected: Expected::VerifierReject,
+    }
+}
+
+/// Elision exploit: the base pointer of the target store is spilled to a
+/// frame slot, and between the spill and the reload sits a *guarded* store
+/// through an unknown pointer — legal anywhere in the P1 window, the
+/// caller's stack included, so it may overwrite the spilled base. A
+/// verifier that kept the slot fact across the aliasing store would prove
+/// the reloaded base safe; the aliasing rule must havoc the slot and
+/// reject the stripped guard.
+#[must_use]
+pub fn elision_aliased_slot_store() -> Attack {
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let mut main = MFunction::new("__start");
+    main.real(Inst::Push { reg: Reg::RBP });
+    main.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    // Spill an in-window pointer to the frame.
+    main.real(Inst::MovRI { dst: Reg::RBX, imm: layout.store_window().start });
+    main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RBX });
+    // A guarded store through a pointer loaded from data: the guard makes
+    // any in-window address legal — including the spill slot above.
+    main.push(MInst::LoadSymAddr { dst: Reg::RCX, symbol: "__cell".into(), addend: 0 });
+    main.real(Inst::Load { dst: Reg::RCX, mem: MemOperand::base_disp(Reg::RCX, 0) });
+    main.real(Inst::MovRI { dst: Reg::RAX, imm: 0x5EC2E7 });
+    main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RCX, 0), src: Reg::RAX }); // site 0, kept
+                                                                                       // Reload the (possibly clobbered) base and store through it — site 1,
+                                                                                       // stripped.
+    main.real(Inst::Load { dst: Reg::RDX, mem: MemOperand::base_disp(Reg::RBP, -8) });
+    main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RDX, 0), src: Reg::RAX });
+    main.real(Inst::Halt);
+    let mut mir = mir_program(vec![main], vec![]);
+    mir.data.push(deflection_lang::mir::DataDef { name: "__cell".into(), size: 8, init: None });
+    let obj = produce_stripped_mir(
+        &mir,
+        &PolicySet::full().with_elision(),
+        &HashSet::from([1]),
+        &HashSet::new(),
+    )
+    .expect("assembles");
+    Attack {
+        name: "elision-aliased-slot-store",
+        description: "spilled base pointer clobbered by an aliasing guarded store, then reloaded",
+        binary: obj,
+        expected: Expected::VerifierReject,
+    }
+}
+
+/// Elision exploit: a loop counter and its bound both live in frame slots,
+/// and the loop body makes a call. The callee may legally rewrite the
+/// caller's frame (its guarded stores reach the whole P1 window), so the
+/// counter reloaded after the call is unbounded and the relational fact
+/// `i < bound` learned at the loop header no longer covers it. A verifier
+/// that kept slot facts or difference bounds across the call-havoc edge
+/// would accept the stripped in-loop store; the sound one must reject.
+#[must_use]
+pub fn elision_call_clobbered_bound() -> Attack {
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let mut clobber = MFunction::new("clobber");
+    clobber.real(Inst::Push { reg: Reg::RBP });
+    clobber.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    clobber.real(Inst::MovRR { dst: Reg::RSP, src: Reg::RBP });
+    clobber.real(Inst::Pop { reg: Reg::RBP });
+    clobber.push(MInst::Ret);
+    let mut main = MFunction::new("__start");
+    let head = main.new_label();
+    let exit = main.new_label();
+    main.real(Inst::Push { reg: Reg::RBP });
+    main.real(Inst::MovRR { dst: Reg::RBP, src: Reg::RSP });
+    main.real(Inst::MovRI { dst: Reg::RAX, imm: 0 });
+    main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RAX });
+    main.real(Inst::MovRI { dst: Reg::RBX, imm: 64 });
+    main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -16), src: Reg::RBX });
+    main.push(MInst::Label(head));
+    main.real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::RBP, -8) });
+    main.real(Inst::Load { dst: Reg::RBX, mem: MemOperand::base_disp(Reg::RBP, -16) });
+    main.real(Inst::CmpRR { lhs: Reg::RAX, rhs: Reg::RBX });
+    main.push(MInst::Jcc(CondCode::Ge, exit));
+    // The call may clobber both slots through guarded stores.
+    main.push(MInst::CallSym("clobber".into()));
+    main.real(Inst::MovRI { dst: Reg::RBX, imm: layout.store_window().start });
+    main.real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::RBP, -8) });
+    // table[i] with post-call i — guard stripped (site 0).
+    main.real(Inst::Store { mem: MemOperand::base_index(Reg::RBX, Reg::RAX, 8, 0), src: Reg::RAX });
+    main.real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::RBP, -8) });
+    main.real(Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: 1 });
+    main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RAX });
+    main.push(MInst::Jmp(head));
+    main.push(MInst::Label(exit));
+    main.real(Inst::Halt);
+    let mir = mir_program(vec![main, clobber], vec![]);
+    let obj = produce_stripped_mir(
+        &mir,
+        &PolicySet::full().with_elision(),
+        &HashSet::from([0]),
+        &HashSet::new(),
+    )
+    .expect("assembles");
+    Attack {
+        name: "elision-call-clobbered-bound",
+        description: "in-loop store indexed by a counter whose slot a call may rewrite",
+        binary: obj,
+        expected: Expected::VerifierReject,
+    }
+}
+
 /// Attacks specific to guard elision: binaries that ship *without* certain
 /// guards, hoping the eliding verifier's analysis accepts them. Drive these
 /// under a `PolicySet::full().with_elision()` manifest.
 #[must_use]
 pub fn elision_corpus() -> Vec<Attack> {
-    vec![elision_widened_store(), elision_indirect_edge_store(), elision_rsp_pivot()]
+    vec![
+        elision_widened_store(),
+        elision_indirect_edge_store(),
+        elision_rsp_pivot(),
+        elision_off_by_one_bound(),
+        elision_unnarrowed_counter(),
+        elision_aliased_slot_store(),
+        elision_call_clobbered_bound(),
+    ]
 }
 
 /// The complete corpus.

@@ -16,7 +16,7 @@
 //! captured post-rewrite image into the remaining workers concurrently
 //! (sound because the pipeline is deterministic in the
 //! measurement-covered inputs — see
-//! [`PreparedInstall`](crate::runtime::PreparedInstall)). Prepared images
+//! [`PreparedInstall`]). Prepared images
 //! are cached by code hash, so reinstalling a previously seen binary
 //! verifies zero times, and the cache can be sealed to untrusted storage
 //! and re-imported after a restart ([`EnclavePool::export_sealed`] /
@@ -47,7 +47,7 @@
 //! schedule-independent — serving is deterministic per request, a lost
 //! request is retried on a fresh or different worker with an identical
 //! result, and the documented lowest-request-index error rule is enforced
-//! by [`merge_results`] after all threads join. (Record *ciphertexts* do
+//! by `merge_results` after all threads join. (Record *ciphertexts* do
 //! depend on which worker sealed them, since each worker seals in its own
 //! nonce channel under its own monotonic counter.)
 

@@ -241,6 +241,19 @@ fn instrument_inner(
     }
 }
 
+/// Runs the full machine-IR optimizer pipeline on `mir` and feeds the
+/// per-pass rewrite counts to the producer telemetry counters (flushed
+/// with the rest of the producer metrics outside measured runs).
+pub fn optimize_mir(mir: &mut MirProgram) -> deflection_lang::opt::PipelineStats {
+    let stats = deflection_lang::opt::optimize_pipeline(mir);
+    METRICS.producer_opt_peephole.add(stats.peephole as u64);
+    METRICS.producer_opt_const_fold.add(stats.const_folds as u64);
+    METRICS.producer_opt_loop_bound.add(stats.loop_bounds as u64);
+    METRICS.producer_opt_addr_canon.add(stats.addr_canons as u64);
+    METRICS.producer_opt_dce.add(stats.dce as u64);
+    stats
+}
+
 /// The full producer pipeline: compile DCL source, optimize the machine
 /// IR, instrument with `policy`, assemble, and statically link into one
 /// relocatable target binary carrying the indirect-branch list as its
@@ -251,7 +264,20 @@ fn instrument_inner(
 /// Propagates compile, assembly and link errors.
 pub fn produce(source: &str, policy: &PolicySet) -> Result<ObjectFile, ProduceError> {
     let mut mir = deflection_lang::compile(source)?;
-    deflection_lang::opt::optimize(&mut mir);
+    optimize_mir(&mut mir);
+    produce_from_mir(&mir, policy)
+}
+
+/// [`produce`] with the optimizer pipeline disabled: instruments the raw
+/// code-generator output. Exists for the optimizer differential tests,
+/// which compare the observable behavior of optimized and unoptimized
+/// builds of the same source under every policy mix.
+///
+/// # Errors
+///
+/// Propagates compile, assembly and link errors.
+pub fn produce_unoptimized(source: &str, policy: &PolicySet) -> Result<ObjectFile, ProduceError> {
+    let mir = deflection_lang::compile(source)?;
     produce_from_mir(&mir, policy)
 }
 
@@ -416,7 +442,7 @@ pub fn produce_for_layout(
     layout: &EnclaveLayout,
 ) -> Result<ObjectFile, ProduceError> {
     let mut mir = deflection_lang::compile(source)?;
-    deflection_lang::opt::optimize(&mut mir);
+    optimize_mir(&mut mir);
     produce_from_mir_for_layout(&mir, policy, layout)
 }
 
@@ -481,7 +507,7 @@ pub fn produce_stripped(
     rsp_skip: &HashSet<usize>,
 ) -> Result<ObjectFile, ProduceError> {
     let mut mir = deflection_lang::compile(source)?;
-    deflection_lang::opt::optimize(&mut mir);
+    optimize_mir(&mut mir);
     produce_stripped_mir(&mir, policy, store_skip, rsp_skip)
 }
 

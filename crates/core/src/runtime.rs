@@ -252,7 +252,7 @@ fn record_nonce(channel: u32, counter: u64) -> [u8; 12] {
     nonce
 }
 
-/// Channel ids must fit the 24-bit field of [`record_nonce`].
+/// Channel ids must fit the 24-bit field of `record_nonce`.
 pub const MAX_CHANNELS: u32 = 1 << 24;
 
 /// Everything a finished run reports back.
@@ -515,7 +515,7 @@ impl BootstrapEnclave {
         self.host.send_nonce = self.host.send_nonce.max(floor);
     }
 
-    /// The record-nonce channel id (see [`record_nonce`]): `0` for a
+    /// The record-nonce channel id (see `record_nonce`): `0` for a
     /// standalone enclave, the slot index for a pool worker.
     #[must_use]
     pub fn channel(&self) -> u32 {

@@ -1,26 +1,50 @@
-//! Machine-IR peephole optimizations.
+//! Machine-IR optimizer mid-end: a [`Pass`] framework plus the passes the
+//! producer runs before instrumentation.
 //!
 //! The paper's producer is a full LLVM, so the binaries it instruments are
 //! optimized code. Our accumulator-style code generator leaves easy wins on
-//! the table; this pass removes them *before* instrumentation (annotations
-//! attach to whatever stores/branches remain, so optimization composes
-//! cleanly with every policy):
+//! the table; these passes remove them *before* instrumentation
+//! (annotations attach to whatever stores/branches remain, so optimization
+//! composes cleanly with every policy) and, just as importantly, reshape
+//! the code into forms the in-enclave abstract interpreter can prove:
 //!
-//! * `mov r, r` — self-moves;
-//! * `push rax; pop rbx` — adjacent spill/reload pairs become `mov rbx, rax`
-//!   (and `push r; pop r` disappears entirely);
-//! * `jmp L` where `L` is the next instruction — fall-through jumps;
-//! * unreferenced labels (keeps later passes' label scans cheap).
+//! * [`Peephole`] — self-moves, adjacent `push a; pop b` pairs,
+//!   fall-through jumps, unreferenced labels;
+//! * [`ConstFold`] — collapses the accumulator spill around a constant
+//!   operand and folds constant ALU chains, canonicalizing comparisons
+//!   against constants into the `cmp reg, imm` form branch refinement
+//!   understands best;
+//! * [`LoopBound`] — rewrites the materialized-boolean branch shape
+//!   (`setcc; cmp reg, 0; jcc`) into a direct conditional jump, compiling
+//!   counted loops down to the `cmp reg, imm`-bounded shape;
+//! * [`AddrCanon`] — bounds-check-friendly address canonicalization: moves
+//!   the index load of an array store next to the store itself instead of
+//!   spilling it around the value computation, so the store address keeps
+//!   its frame-slot provenance for the analysis;
+//! * [`Dce`] — drops unreachable instructions and dead pure register
+//!   definitions left behind by the other passes.
+//!
+//! # Flag discipline contract
+//!
+//! Rewrites that remove or replace a flag-setting instruction are guarded
+//! by a conservative flags-liveness scan, which assumes the discipline the
+//! code generator guarantees: flags are consumed only by a `jcc`/`setcc`
+//! downstream of their defining compare with no intervening call, return,
+//! or indirect branch. Machine IR that reads flags *across* a call or
+//! return boundary (which the VM technically preserves) is outside the
+//! optimizer's contract; the producer only runs it on code-generator
+//! output, which never does.
 //!
 //! All rewrites are local and control-flow-safe: a `push`/`pop` pair is only
 //! fused when the two instructions are adjacent and no label sits between
 //! them (a branch target between the two would change the stack contract).
 
+use crate::codegen::ARG_REGS;
 use crate::mir::{MFunction, MInst, MirProgram};
-use deflection_isa::Inst;
-use std::collections::HashSet;
+use deflection_isa::{AluOp, CondCode, Inst, MemOperand, Reg};
+use std::collections::{HashMap, HashSet};
 
-/// Statistics from one optimization run.
+/// Statistics from one [`optimize`] (peephole-only) run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OptStats {
     /// `mov r, r` removed.
@@ -41,7 +65,115 @@ impl OptStats {
     }
 }
 
-/// Optimizes every function of `program`, returning the rewrite counts.
+/// Per-pass rewrite counts from one [`optimize_pipeline`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Rewrites applied by [`Peephole`].
+    pub peephole: usize,
+    /// Constant folds and constant-operand canonicalizations ([`ConstFold`]).
+    pub const_folds: usize,
+    /// Materialized-boolean branches collapsed ([`LoopBound`]).
+    pub loop_bounds: usize,
+    /// Array-store index loads canonicalized ([`AddrCanon`]).
+    pub addr_canons: usize,
+    /// Instructions removed as unreachable or dead ([`Dce`]).
+    pub dce: usize,
+}
+
+impl PipelineStats {
+    /// Total rewrites applied across all passes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.peephole + self.const_folds + self.loop_bounds + self.addr_canons + self.dce
+    }
+}
+
+/// One machine-IR optimization pass.
+///
+/// A pass rewrites a single function in place and reports how many
+/// rewrites it applied; the [`Pipeline`] re-runs all passes on a function
+/// until none of them report progress. Every rewrite must strictly reduce
+/// the instruction count (which is what guarantees the fixpoint
+/// terminates) and must preserve the program's observable behavior under
+/// the flag-discipline contract in the module docs.
+pub trait Pass {
+    /// Stable pass name (used for stats aggregation and diagnostics).
+    fn name(&self) -> &'static str;
+    /// Rewrites `f`, returning the number of rewrites applied.
+    fn run(&self, f: &mut MFunction) -> usize;
+}
+
+/// An ordered list of [`Pass`]es run to a joint fixpoint per function.
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// The standard producer pipeline, in the order the passes feed each
+    /// other: peephole cleanups expose constant-operand shapes, constant
+    /// canonicalization exposes the materialized-boolean branch shape,
+    /// and DCE sweeps up the leftovers.
+    #[must_use]
+    pub fn standard() -> Pipeline {
+        Pipeline {
+            passes: vec![
+                Box::new(Peephole),
+                Box::new(ConstFold),
+                Box::new(LoopBound),
+                Box::new(AddrCanon),
+                Box::new(Dce),
+            ],
+        }
+    }
+
+    /// A pipeline over an explicit pass list (used by tests to run and
+    /// measure passes in isolation).
+    #[must_use]
+    pub fn new(passes: Vec<Box<dyn Pass>>) -> Pipeline {
+        Pipeline { passes }
+    }
+
+    /// Optimizes every function of `program` to a fixpoint, returning
+    /// `(pass name, rewrite count)` per pass in pipeline order.
+    pub fn run(&self, program: &mut MirProgram) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> =
+            self.passes.iter().map(|p| (p.name(), 0)).collect();
+        for f in &mut program.functions {
+            loop {
+                let mut changed = 0usize;
+                for (pass, count) in self.passes.iter().zip(counts.iter_mut()) {
+                    let n = pass.run(f);
+                    count.1 += n;
+                    changed += n;
+                }
+                if changed == 0 {
+                    break;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Runs the [`Pipeline::standard`] pipeline and aggregates its counts.
+pub fn optimize_pipeline(program: &mut MirProgram) -> PipelineStats {
+    let mut stats = PipelineStats::default();
+    for (name, n) in Pipeline::standard().run(program) {
+        match name {
+            "peephole" => stats.peephole += n,
+            "const-fold" => stats.const_folds += n,
+            "loop-bound" => stats.loop_bounds += n,
+            "addr-canon" => stats.addr_canons += n,
+            "dce" => stats.dce += n,
+            _ => {}
+        }
+    }
+    stats
+}
+
+/// Optimizes every function of `program` with the peephole pass only,
+/// returning its fine-grained rewrite counts. Kept as the stable minimal
+/// entry point; the producer's full mid-end is [`optimize_pipeline`].
 pub fn optimize(program: &mut MirProgram) -> OptStats {
     let mut stats = OptStats::default();
     for f in &mut program.functions {
@@ -57,6 +189,21 @@ pub fn optimize(program: &mut MirProgram) -> OptStats {
     stats
 }
 
+/// The original peephole cleanups as a [`Pass`].
+pub struct Peephole;
+
+impl Pass for Peephole {
+    fn name(&self) -> &'static str {
+        "peephole"
+    }
+
+    fn run(&self, f: &mut MFunction) -> usize {
+        let mut stats = OptStats::default();
+        optimize_function(f, &mut stats);
+        stats.total()
+    }
+}
+
 fn optimize_function(f: &mut MFunction, stats: &mut OptStats) {
     let mut out: Vec<MInst> = Vec::with_capacity(f.insts.len());
     let mut i = 0;
@@ -67,7 +214,17 @@ fn optimize_function(f: &mut MFunction, stats: &mut OptStats) {
                 stats.self_moves += 1;
                 i += 1;
             }
-            // push a; pop b  (adjacent, no intervening label)
+            // push a; pop b  (adjacent, no intervening label).
+            //
+            // Fallthrough *into* the pair — e.g. from a preceding `jcc` whose
+            // not-taken path runs straight into the push — is safe: the pair
+            // still executes as a unit on that path. The case that would
+            // break fusion is a branch *between* the push and the pop, and in
+            // machine IR that can only exist as an `MInst::Label` separating
+            // the two instructions, which defeats this adjacent match. Each
+            // fused pair is counted exactly once (the cursor skips both
+            // instructions), even though the enclosing driver loops to a
+            // fixpoint.
             (MInst::Real(Inst::Push { reg: a }), Some(MInst::Real(Inst::Pop { reg: b }))) => {
                 if a != b {
                     out.push(MInst::Real(Inst::MovRR { dst: *b, src: *a }));
@@ -102,6 +259,633 @@ fn optimize_function(f: &mut MFunction, stats: &mut OptStats) {
     });
     stats.dead_labels += before - out.len();
     f.insts = out;
+}
+
+/// Mirrors the VM's exact ALU semantics on known constants; `None` for the
+/// faulting cases (divide by zero, `MIN / -1`), which must keep their
+/// original instruction so the fault still fires.
+fn alu_const(op: AluOp, x: u64, y: u64) -> Option<u64> {
+    Some(match op {
+        AluOp::Add => x.wrapping_add(y),
+        AluOp::Sub => x.wrapping_sub(y),
+        AluOp::And => x & y,
+        AluOp::Or => x | y,
+        AluOp::Xor => x ^ y,
+        AluOp::Shl => x.wrapping_shl((y & 63) as u32),
+        AluOp::Shr => x.wrapping_shr((y & 63) as u32),
+        AluOp::Sar => ((x as i64) >> (y & 63)) as u64,
+        AluOp::Mul => x.wrapping_mul(y),
+        AluOp::UDiv => {
+            if y == 0 {
+                return None;
+            }
+            x / y
+        }
+        AluOp::SDiv => {
+            let (a, b) = (x as i64, y as i64);
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return None;
+            }
+            (a / b) as u64
+        }
+        AluOp::URem => {
+            if y == 0 {
+                return None;
+            }
+            x % y
+        }
+        AluOp::SRem => {
+            let (a, b) = (x as i64, y as i64);
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return None;
+            }
+            (a % b) as u64
+        }
+    })
+}
+
+fn mem_reads(m: &MemOperand, reg: Reg) -> bool {
+    m.base == Some(reg) || m.index.is_some_and(|(r, _)| r == reg)
+}
+
+/// Whether the concrete instruction reads `reg` (operands, address
+/// registers, and the implicit `rsp` of the stack instructions). `Ocall`
+/// is treated as reading all its potential argument/result registers.
+fn real_reads(inst: &Inst, reg: Reg) -> bool {
+    match *inst {
+        Inst::MovRR { src, .. } => src == reg,
+        Inst::Lea { ref mem, .. } | Inst::Load { ref mem, .. } | Inst::Load8 { ref mem, .. } => {
+            mem_reads(mem, reg)
+        }
+        Inst::Store { ref mem, src } | Inst::Store8 { ref mem, src } => {
+            src == reg || mem_reads(mem, reg)
+        }
+        Inst::StoreImm { ref mem, .. } => mem_reads(mem, reg),
+        Inst::CmpMem { reg: r, ref mem } => r == reg || mem_reads(mem, reg),
+        Inst::AluRR { dst, src, .. } => dst == reg || src == reg,
+        Inst::AluRI { dst, .. } => dst == reg,
+        Inst::Neg { reg: r } | Inst::Not { reg: r } => r == reg,
+        Inst::CmpRR { lhs, rhs } | Inst::TestRR { lhs, rhs } | Inst::FCmp { lhs, rhs } => {
+            lhs == reg || rhs == reg
+        }
+        Inst::CmpRI { lhs, .. } => lhs == reg,
+        Inst::Push { reg: r } => r == reg || reg == Reg::RSP,
+        Inst::Pop { .. } | Inst::Ret | Inst::Call { .. } => reg == Reg::RSP,
+        Inst::FpuRR { dst, src, .. } => dst == reg || src == reg,
+        Inst::CvtIF { src, .. }
+        | Inst::CvtFI { src, .. }
+        | Inst::FSqrt { src, .. }
+        | Inst::FNeg { src, .. } => src == reg,
+        Inst::JmpInd { reg: r } | Inst::CallInd { reg: r } => r == reg || reg == Reg::RSP,
+        Inst::Ocall { .. } => matches!(reg, Reg::RAX | Reg::RDI | Reg::RSI | Reg::RDX),
+        Inst::MovRI { .. }
+        | Inst::SetCc { .. }
+        | Inst::Jmp { .. }
+        | Inst::Jcc { .. }
+        | Inst::Nop
+        | Inst::Halt
+        | Inst::Abort { .. }
+        | Inst::AexProbe => false,
+    }
+}
+
+/// Whether the concrete instruction overwrites the arithmetic flags.
+fn real_defines_flags(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::AluRR { .. }
+            | Inst::AluRI { .. }
+            | Inst::Neg { .. }
+            | Inst::CmpRR { .. }
+            | Inst::CmpRI { .. }
+            | Inst::CmpMem { .. }
+            | Inst::TestRR { .. }
+            | Inst::FCmp { .. }
+    )
+}
+
+/// Conservative fuel-bounded liveness scans over one function's
+/// instruction list. Liveness is judged against the *current* instruction
+/// vector; passes only query positions in the un-rewritten suffix, and
+/// every rewrite removes reads rather than adding them, so stale answers
+/// err on the "live" (no-rewrite) side.
+struct Liveness<'a> {
+    insts: &'a [MInst],
+    labels: HashMap<u32, usize>,
+}
+
+/// Forward-scan budget shared across branch recursion; enough to cross a
+/// few basic blocks, small enough to keep the sweep linear in practice.
+const LIVENESS_FUEL: u32 = 96;
+
+impl<'a> Liveness<'a> {
+    fn new(insts: &'a [MInst]) -> Liveness<'a> {
+        let labels = insts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| match inst {
+                MInst::Label(l) => Some((l.0, i)),
+                _ => None,
+            })
+            .collect();
+        Liveness { insts, labels }
+    }
+
+    /// Whether `reg` is dead at `pos` (redefined before any read on every
+    /// path). Runs out of fuel or hits an unanalyzable edge → `false`.
+    fn reg_dead_at(&self, mut pos: usize, reg: Reg, fuel: &mut u32) -> bool {
+        loop {
+            if *fuel == 0 {
+                return false;
+            }
+            *fuel -= 1;
+            let Some(inst) = self.insts.get(pos) else {
+                return true;
+            };
+            match inst {
+                MInst::Label(_) => pos += 1,
+                MInst::Jmp(l) => match self.labels.get(&l.0) {
+                    Some(&t) => pos = t,
+                    None => return false,
+                },
+                MInst::Jcc(_, l) => {
+                    let Some(&t) = self.labels.get(&l.0) else {
+                        return false;
+                    };
+                    return self.reg_dead_at(t, reg, fuel) && self.reg_dead_at(pos + 1, reg, fuel);
+                }
+                // Calls read the argument registers and the stack pointers;
+                // the accumulator registers are caller-saved scratch.
+                MInst::CallSym(_) => {
+                    return !(ARG_REGS.contains(&reg) || reg == Reg::RSP || reg == Reg::RBP);
+                }
+                MInst::CallReg(r) => {
+                    return *r != reg
+                        && !(ARG_REGS.contains(&reg) || reg == Reg::RSP || reg == Reg::RBP);
+                }
+                MInst::JmpReg(_) => return false,
+                MInst::Ret => return !matches!(reg, Reg::RAX | Reg::RSP | Reg::RBP),
+                MInst::LoadSymAddr { dst, .. } => {
+                    if *dst == reg {
+                        return true;
+                    }
+                    pos += 1;
+                }
+                MInst::Real(r) => {
+                    if real_reads(r, reg) {
+                        return false;
+                    }
+                    if r.is_terminator() {
+                        return true;
+                    }
+                    if r.written_reg() == Some(reg) {
+                        return true;
+                    }
+                    pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Whether the arithmetic flags are dead at `pos` under the module's
+    /// flag-discipline contract (never live across calls/returns).
+    fn flags_dead_at(&self, mut pos: usize, fuel: &mut u32) -> bool {
+        loop {
+            if *fuel == 0 {
+                return false;
+            }
+            *fuel -= 1;
+            let Some(inst) = self.insts.get(pos) else {
+                return true;
+            };
+            match inst {
+                MInst::Label(_) | MInst::LoadSymAddr { .. } => pos += 1,
+                MInst::Jmp(l) => match self.labels.get(&l.0) {
+                    Some(&t) => pos = t,
+                    None => return false,
+                },
+                MInst::Jcc(..) => return false,
+                MInst::CallSym(_) | MInst::CallReg(_) | MInst::JmpReg(_) | MInst::Ret => {
+                    return true;
+                }
+                MInst::Real(r) => match r {
+                    Inst::SetCc { .. } => return false,
+                    _ if real_defines_flags(r) => return true,
+                    _ if r.is_terminator() => return true,
+                    _ => pos += 1,
+                },
+            }
+        }
+    }
+}
+
+/// Constant folding and constant-operand canonicalization.
+///
+/// Collapses the accumulator spill the code generator emits around a
+/// constant right-hand operand, folds fully-constant ALU chains, and
+/// rewrites register-register ALU/compare instructions whose right operand
+/// is a known dead constant into their immediate forms — in particular
+/// turning `mov rbx, N; cmp rax, rbx` into the `cmp rax, imm` shape the
+/// verifier's branch refinement consumes directly.
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&self, f: &mut MFunction) -> usize {
+        let live = Liveness::new(&f.insts);
+        let insts = &f.insts;
+        let mut out: Vec<MInst> = Vec::with_capacity(insts.len());
+        let mut count = 0usize;
+        let mut i = 0;
+        while i < insts.len() {
+            // push rax; mov rax, C; mov rbx, rax; pop rax  =>  mov rbx, C
+            // (the spilled accumulator is restored unchanged; the transient
+            // stack slot is unobservable between the adjacent push/pop).
+            if let [MInst::Real(Inst::Push { reg: Reg::RAX }), MInst::Real(Inst::MovRI { dst: Reg::RAX, imm }), MInst::Real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }), MInst::Real(Inst::Pop { reg: Reg::RAX })] =
+                window4(insts, i)
+            {
+                out.push(MInst::Real(Inst::MovRI { dst: Reg::RBX, imm: *imm }));
+                count += 1;
+                i += 4;
+                continue;
+            }
+            // mov a, X; mov b, Y; alu a, b  =>  mov b, Y; mov a, fold(X, Y)
+            // when the folded ALU's flags are never consumed. `b`'s
+            // definition is kept (DCE removes it if dead).
+            if let [MInst::Real(Inst::MovRI { dst: da, imm: x }), MInst::Real(Inst::MovRI { dst: db, imm: y }), MInst::Real(Inst::AluRR { op, dst, src })] =
+                window3(insts, i)
+            {
+                if dst == da && src == db && da != db {
+                    if let Some(r) = alu_const(*op, *x, *y) {
+                        let mut fuel = LIVENESS_FUEL;
+                        if live.flags_dead_at(i + 3, &mut fuel) {
+                            out.push(MInst::Real(Inst::MovRI { dst: *db, imm: *y }));
+                            out.push(MInst::Real(Inst::MovRI { dst: *da, imm: r }));
+                            count += 1;
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+            }
+            match window2(insts, i) {
+                // mov r, X; alu r, imm  =>  mov r, fold(X, imm)
+                Some(
+                    [MInst::Real(Inst::MovRI { dst, imm: x }), MInst::Real(Inst::AluRI { op, dst: d2, imm })],
+                ) if dst == d2 => {
+                    if let Some(r) = alu_const(*op, *x, *imm as u64) {
+                        let mut fuel = LIVENESS_FUEL;
+                        if live.flags_dead_at(i + 2, &mut fuel) {
+                            out.push(MInst::Real(Inst::MovRI { dst: *dst, imm: r }));
+                            count += 1;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                // mov b, Y; alu a, b  =>  alu a, Y  (b dead after; flags and
+                // the destination value are identical by construction).
+                Some(
+                    [MInst::Real(Inst::MovRI { dst: db, imm: y }), MInst::Real(Inst::AluRR { op, dst, src })],
+                ) if src == db && dst != db => {
+                    let mut fuel = LIVENESS_FUEL;
+                    if live.reg_dead_at(i + 2, *db, &mut fuel) {
+                        out.push(MInst::Real(Inst::AluRI { op: *op, dst: *dst, imm: *y as i64 }));
+                        count += 1;
+                        i += 2;
+                        continue;
+                    }
+                }
+                // mov b, Y; cmp a, b  =>  cmp a, Y  (b dead after).
+                Some(
+                    [MInst::Real(Inst::MovRI { dst: db, imm: y }), MInst::Real(Inst::CmpRR { lhs, rhs })],
+                ) if rhs == db && lhs != db => {
+                    let mut fuel = LIVENESS_FUEL;
+                    if live.reg_dead_at(i + 2, *db, &mut fuel) {
+                        out.push(MInst::Real(Inst::CmpRI { lhs: *lhs, imm: *y as i64 }));
+                        count += 1;
+                        i += 2;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            out.push(insts[i].clone());
+            i += 1;
+        }
+        f.insts = out;
+        count
+    }
+}
+
+fn window2(insts: &[MInst], i: usize) -> Option<&[MInst; 2]> {
+    insts.get(i..i + 2).and_then(|w| w.try_into().ok())
+}
+
+fn window3(insts: &[MInst], i: usize) -> &[MInst] {
+    insts.get(i..i + 3).unwrap_or(&[])
+}
+
+fn window4(insts: &[MInst], i: usize) -> &[MInst] {
+    insts.get(i..i + 4).unwrap_or(&[])
+}
+
+/// Loop-bound (and branch) materialization.
+///
+/// The code generator evaluates every comparison to a 0/1 value and then
+/// branches on it: `setcc cc, r; cmp r, 0; jcc e/ne, L`. When the
+/// materialized boolean and the intermediate flags are dead, the three
+/// instructions collapse to a single conditional jump on the *original*
+/// flags — compiling a counted loop's `while (i < N)` header down to
+/// `cmp reg, imm; jcc ge, end`, the exact bounded shape the verifier's
+/// relational branch refinement is built around.
+pub struct LoopBound;
+
+impl Pass for LoopBound {
+    fn name(&self) -> &'static str {
+        "loop-bound"
+    }
+
+    fn run(&self, f: &mut MFunction) -> usize {
+        let live = Liveness::new(&f.insts);
+        let insts = &f.insts;
+        let mut out: Vec<MInst> = Vec::with_capacity(insts.len());
+        let mut count = 0usize;
+        let mut i = 0;
+        while i < insts.len() {
+            if let Some(
+                [MInst::Real(Inst::SetCc { cc, dst }), MInst::Real(Inst::CmpRI { lhs, imm: 0 })],
+            ) = window2(insts, i)
+            {
+                if let Some(MInst::Jcc(jcc, target)) = insts.get(i + 2) {
+                    if dst == lhs && matches!(jcc, CondCode::E | CondCode::Ne) {
+                        // `jcc e` takes the branch when the boolean is 0,
+                        // i.e. when `cc` was false.
+                        let direct = if *jcc == CondCode::E { cc.negate() } else { *cc };
+                        let dead = |fuel: &mut u32| {
+                            let Some(&t) = live.labels.get(&target.0) else {
+                                return false;
+                            };
+                            live.reg_dead_at(i + 3, *dst, fuel)
+                                && live.reg_dead_at(t, *dst, fuel)
+                                && live.flags_dead_at(i + 3, fuel)
+                                && live.flags_dead_at(t, fuel)
+                        };
+                        let mut fuel = LIVENESS_FUEL;
+                        if dead(&mut fuel) {
+                            out.push(MInst::Jcc(direct, *target));
+                            count += 1;
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+            }
+            out.push(insts[i].clone());
+            i += 1;
+        }
+        f.insts = out;
+        count
+    }
+}
+
+/// Bounds-check-friendly address canonicalization for indexed stores.
+///
+/// The code generator compiles `arr[i] = e` as: load the index, spill it
+/// with `push rax`, evaluate `e`, then `pop rax` the index back right
+/// before the store. This pass moves the index load *after* the value
+/// computation instead, deleting the spill:
+///
+/// ```text
+/// load rax, [rbp-d]            <value code>
+/// push rax                     mov rbx, rax
+/// <value code>         =>      load rax, [rbp-d]
+/// mov rbx, rax                 <base into rcx>
+/// pop rax                      store [rcx + rax*s], rbx
+/// <base into rcx>
+/// store [rcx + rax*s], rbx
+/// ```
+///
+/// Besides dropping two stack operations per store, the rewritten shape
+/// loads the index directly adjacent to the store, so the store address
+/// keeps its frame-slot provenance through the verifier's abstract
+/// interpretation (a spilled index must instead survive a push/pop round
+/// trip through the abstract stack).
+///
+/// The value code is only crossed when it is provably transparent to the
+/// move: straight-line, call-free, store-free, `rsp`/`rbp`-write-free,
+/// push/pop balanced without underflow, and never reading `rax` before
+/// redefining it.
+pub struct AddrCanon;
+
+/// Whether `insts[from..]` is an expression body the index load can be
+/// moved across; returns the index of the balancing `pop rax` terminator
+/// sequence start (the `mov rbx, rax` position).
+fn value_code_end(insts: &[MInst], from: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut rax_defined = false;
+    let mut i = from;
+    while i < insts.len() {
+        // The candidate tail: `mov rbx, rax; pop rax` at our own depth.
+        if depth == 0 && i > from {
+            if let Some(
+                [MInst::Real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }), MInst::Real(Inst::Pop { reg: Reg::RAX })],
+            ) = window2(insts, i)
+            {
+                return Some(i);
+            }
+        }
+        match &insts[i] {
+            MInst::Real(inst) => {
+                if !rax_defined && real_reads(inst, Reg::RAX) {
+                    return None;
+                }
+                match inst {
+                    Inst::Push { .. } => depth += 1,
+                    Inst::Pop { .. } => {
+                        // A pop at depth 0 that is not our tail would
+                        // consume the spilled index itself.
+                        depth = depth.checked_sub(1)?;
+                    }
+                    Inst::Store { .. }
+                    | Inst::Store8 { .. }
+                    | Inst::StoreImm { .. }
+                    | Inst::Ocall { .. }
+                    | Inst::AexProbe => return None,
+                    _ if inst.is_terminator() => return None,
+                    _ => {}
+                }
+                if mem_of(inst).is_some_and(mem_reads_rsp) {
+                    return None;
+                }
+                match inst.written_reg() {
+                    Some(Reg::RSP | Reg::RBP) => return None,
+                    Some(Reg::RAX) => rax_defined = true,
+                    _ => {}
+                }
+            }
+            MInst::LoadSymAddr { dst, .. } => {
+                if *dst == Reg::RAX {
+                    rax_defined = true;
+                } else if matches!(dst, Reg::RSP | Reg::RBP) {
+                    return None;
+                }
+            }
+            _ => return None, // labels, branches, calls, ret
+        }
+        i += 1;
+    }
+    None
+}
+
+fn mem_of(inst: &Inst) -> Option<&MemOperand> {
+    match inst {
+        Inst::Lea { mem, .. }
+        | Inst::Load { mem, .. }
+        | Inst::Load8 { mem, .. }
+        | Inst::Store { mem, .. }
+        | Inst::Store8 { mem, .. }
+        | Inst::StoreImm { mem, .. }
+        | Inst::CmpMem { mem, .. } => Some(mem),
+        _ => None,
+    }
+}
+
+fn mem_reads_rsp(m: &MemOperand) -> bool {
+    m.base == Some(Reg::RSP) || m.index.is_some_and(|(r, _)| r == Reg::RSP)
+}
+
+/// Whether `inst` is a `place_base_into` product: materializes an array
+/// base into `dst` reading at most `rbp`.
+fn is_base_inst(inst: &MInst, dst: Reg) -> bool {
+    match inst {
+        MInst::LoadSymAddr { dst: d, .. } => *d == dst,
+        MInst::Real(Inst::Lea { dst: d, mem }) | MInst::Real(Inst::Load { dst: d, mem }) => {
+            *d == dst && mem.base == Some(Reg::RBP) && mem.index.is_none()
+        }
+        _ => false,
+    }
+}
+
+impl Pass for AddrCanon {
+    fn name(&self) -> &'static str {
+        "addr-canon"
+    }
+
+    fn run(&self, f: &mut MFunction) -> usize {
+        let insts = &f.insts;
+        let mut out: Vec<MInst> = Vec::with_capacity(insts.len());
+        let mut count = 0usize;
+        let mut i = 0;
+        'scan: while i < insts.len() {
+            if let Some(
+                [MInst::Real(Inst::Load { dst: Reg::RAX, mem: slot }), MInst::Real(Inst::Push { reg: Reg::RAX })],
+            ) = window2(insts, i)
+            {
+                if slot.base == Some(Reg::RBP) && slot.index.is_none() {
+                    if let Some(tail) = value_code_end(insts, i + 2) {
+                        // tail: mov rbx, rax; pop rax; <base>; store
+                        let base = insts.get(tail + 2);
+                        let store = insts.get(tail + 3);
+                        if let (
+                            Some(base),
+                            Some(MInst::Real(
+                                store @ (Inst::Store { mem, .. } | Inst::Store8 { mem, .. }),
+                            )),
+                        ) = (base, store)
+                        {
+                            let indexed_on_rax = mem.index.is_some_and(|(r, _)| r == Reg::RAX);
+                            let base_reg_ok = mem.base.is_some_and(|b| {
+                                b != Reg::RAX && b != Reg::RBX && is_base_inst(base, b)
+                            });
+                            if indexed_on_rax && base_reg_ok {
+                                out.extend(insts[i + 2..tail].iter().cloned());
+                                out.push(insts[tail].clone()); // mov rbx, rax
+                                out.push(MInst::Real(Inst::Load { dst: Reg::RAX, mem: *slot }));
+                                out.push(base.clone());
+                                out.push(MInst::Real(*store));
+                                count += 1;
+                                i = tail + 4;
+                                continue 'scan;
+                            }
+                        }
+                    }
+                }
+            }
+            out.push(insts[i].clone());
+            i += 1;
+        }
+        f.insts = out;
+        count
+    }
+}
+
+/// Dead-code elimination: unreachable instruction sweeping plus dead pure
+/// register definitions (`mov`/`lea`/symbol-address loads whose result is
+/// provably never read). Loads are *not* removed even when dead — a load
+/// may fault, and eliding it would elide the fault.
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, f: &mut MFunction) -> usize {
+        let mut count = 0usize;
+        // Unreachable code: everything after a barrier up to the next label.
+        let mut reachable = true;
+        let before = f.insts.len();
+        f.insts.retain(|inst| {
+            if let MInst::Label(_) = inst {
+                reachable = true;
+                return true;
+            }
+            if !reachable {
+                return false;
+            }
+            let barrier = match inst {
+                MInst::Jmp(_) | MInst::Ret | MInst::JmpReg(_) => true,
+                MInst::Real(r) => r.is_terminator(),
+                _ => false,
+            };
+            if barrier {
+                reachable = false;
+            }
+            true
+        });
+        count += before - f.insts.len();
+
+        // Dead pure definitions.
+        let live = Liveness::new(&f.insts);
+        let mut keep = vec![true; f.insts.len()];
+        for (i, inst) in f.insts.iter().enumerate() {
+            let dst = match inst {
+                MInst::Real(
+                    Inst::MovRI { dst, .. } | Inst::MovRR { dst, .. } | Inst::Lea { dst, .. },
+                )
+                | MInst::LoadSymAddr { dst, .. } => *dst,
+                _ => continue,
+            };
+            if matches!(dst, Reg::RSP | Reg::RBP) {
+                continue;
+            }
+            let mut fuel = LIVENESS_FUEL;
+            if live.reg_dead_at(i + 1, dst, &mut fuel) {
+                keep[i] = false;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            let mut it = keep.iter();
+            f.insts.retain(|_| *it.next().expect("keep mask length"));
+        }
+        count
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +953,37 @@ mod tests {
     }
 
     #[test]
+    fn fuses_push_pop_entered_by_fallthrough_from_branch() {
+        // Regression: a conditional branch immediately before the pair means
+        // the not-taken path *falls through into* the push. That is safe —
+        // the pair still executes as a unit on the fallthrough path, and a
+        // branch into the middle of the pair is impossible without an
+        // intervening label (which defeats the adjacency match). The pair
+        // must fuse, and must be counted exactly once even though the
+        // driver iterates to a fixpoint.
+        let mut p = func(vec![
+            MInst::Real(Inst::CmpRI { lhs: Reg::RCX, imm: 0 }),
+            MInst::Jcc(CondCode::E, Label(7)),
+            MInst::Real(Inst::Push { reg: Reg::RAX }),
+            MInst::Real(Inst::Pop { reg: Reg::RBX }),
+            MInst::Label(Label(7)),
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.push_pop_pairs, 1);
+        assert_eq!(
+            p.functions[0].insts,
+            vec![
+                MInst::Real(Inst::CmpRI { lhs: Reg::RCX, imm: 0 }),
+                MInst::Jcc(CondCode::E, Label(7)),
+                MInst::Real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }),
+                MInst::Label(Label(7)),
+                MInst::Real(Inst::Halt),
+            ]
+        );
+    }
+
+    #[test]
     fn removes_fallthrough_jumps_and_dead_labels() {
         let mut p = func(vec![
             MInst::Jmp(Label(3)),
@@ -209,5 +1024,252 @@ mod tests {
         let stats = optimize(&mut p);
         assert!(stats.total() >= 2);
         assert_eq!(p.functions[0].insts, vec![MInst::Real(Inst::Halt)]);
+    }
+
+    #[test]
+    fn collapses_constant_rhs_spill() {
+        // The binary-expression shape for `rax OP 7`.
+        let mut p = func(vec![
+            MInst::Real(Inst::Push { reg: Reg::RAX }),
+            MInst::Real(Inst::MovRI { dst: Reg::RAX, imm: 7 }),
+            MInst::Real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }),
+            MInst::Real(Inst::Pop { reg: Reg::RAX }),
+            MInst::Real(Inst::AluRR { op: AluOp::Add, dst: Reg::RAX, src: Reg::RBX }),
+            MInst::Real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RAX }),
+            MInst::Ret,
+        ]);
+        let stats = optimize_pipeline(&mut p);
+        assert!(stats.const_folds >= 2, "spill collapse + alu imm fold: {stats:?}");
+        // The whole chain becomes `alu rax, 7` (rbx def removed by DCE).
+        assert_eq!(
+            p.functions[0].insts,
+            vec![
+                MInst::Real(Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: 7 }),
+                MInst::Real(Inst::Store {
+                    mem: MemOperand::base_disp(Reg::RBP, -8),
+                    src: Reg::RAX,
+                }),
+                MInst::Ret,
+            ]
+        );
+    }
+
+    #[test]
+    fn folds_constant_chains() {
+        // 2 + 3 with dead flags folds to a single constant.
+        let mut p = func(vec![
+            MInst::Real(Inst::MovRI { dst: Reg::RAX, imm: 2 }),
+            MInst::Real(Inst::MovRI { dst: Reg::RBX, imm: 3 }),
+            MInst::Real(Inst::AluRR { op: AluOp::Add, dst: Reg::RAX, src: Reg::RBX }),
+            MInst::Real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RAX }),
+            MInst::Ret,
+        ]);
+        let stats = optimize_pipeline(&mut p);
+        assert!(stats.const_folds >= 1);
+        assert!(stats.dce >= 1, "dead rbx constant must be swept: {stats:?}");
+        assert_eq!(
+            p.functions[0].insts,
+            vec![
+                MInst::Real(Inst::MovRI { dst: Reg::RAX, imm: 5 }),
+                MInst::Real(Inst::Store {
+                    mem: MemOperand::base_disp(Reg::RBP, -8),
+                    src: Reg::RAX,
+                }),
+                MInst::Ret,
+            ]
+        );
+    }
+
+    #[test]
+    fn keeps_faulting_division_folds() {
+        // 1 / 0 must keep the faulting instruction.
+        let mut p = func(vec![
+            MInst::Real(Inst::MovRI { dst: Reg::RAX, imm: 1 }),
+            MInst::Real(Inst::MovRI { dst: Reg::RBX, imm: 0 }),
+            MInst::Real(Inst::AluRR { op: AluOp::UDiv, dst: Reg::RAX, src: Reg::RBX }),
+            MInst::Ret,
+        ]);
+        optimize_pipeline(&mut p);
+        assert!(
+            p.functions[0].insts.iter().any(|i| matches!(
+                i,
+                MInst::Real(Inst::AluRR { op: AluOp::UDiv, .. })
+                    | MInst::Real(Inst::AluRI { op: AluOp::UDiv, .. })
+            )),
+            "faulting division must survive: {:?}",
+            p.functions[0].insts
+        );
+    }
+
+    #[test]
+    fn materializes_loop_bound_compare() {
+        // The `while (i < 64)` header after constant canonicalization:
+        // cmp rax, 64; setl rax; cmp rax, 0; je end  =>  cmp rax, 64; jge end
+        let mut p = func(vec![
+            MInst::Label(Label(0)),
+            MInst::Real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::RBP, -8) }),
+            MInst::Real(Inst::Push { reg: Reg::RAX }),
+            MInst::Real(Inst::MovRI { dst: Reg::RAX, imm: 64 }),
+            MInst::Real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }),
+            MInst::Real(Inst::Pop { reg: Reg::RAX }),
+            MInst::Real(Inst::CmpRR { lhs: Reg::RAX, rhs: Reg::RBX }),
+            MInst::Real(Inst::SetCc { cc: CondCode::L, dst: Reg::RAX }),
+            MInst::Real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 }),
+            MInst::Jcc(CondCode::E, Label(1)),
+            // body: i = i + 1
+            MInst::Real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::RBP, -8) }),
+            MInst::Real(Inst::AluRI { op: AluOp::Add, dst: Reg::RAX, imm: 1 }),
+            MInst::Real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RAX }),
+            MInst::Jmp(Label(0)),
+            MInst::Label(Label(1)),
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize_pipeline(&mut p);
+        assert!(stats.const_folds >= 2, "{stats:?}");
+        assert_eq!(stats.loop_bounds, 1, "{stats:?}");
+        assert_eq!(
+            &p.functions[0].insts[..3],
+            &[
+                MInst::Label(Label(0)),
+                MInst::Real(Inst::Load { dst: Reg::RAX, mem: MemOperand::base_disp(Reg::RBP, -8) }),
+                MInst::Real(Inst::CmpRI { lhs: Reg::RAX, imm: 64 }),
+            ]
+        );
+        assert_eq!(p.functions[0].insts[3], MInst::Jcc(CondCode::Ge, Label(1)));
+    }
+
+    #[test]
+    fn loop_bound_blocked_by_live_boolean() {
+        // The materialized boolean is stored after the branch: no rewrite.
+        let mut p = func(vec![
+            MInst::Real(Inst::CmpRI { lhs: Reg::RCX, imm: 3 }),
+            MInst::Real(Inst::SetCc { cc: CondCode::L, dst: Reg::RAX }),
+            MInst::Real(Inst::CmpRI { lhs: Reg::RAX, imm: 0 }),
+            MInst::Jcc(CondCode::E, Label(1)),
+            MInst::Real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RAX }),
+            MInst::Label(Label(1)),
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize_pipeline(&mut p);
+        assert_eq!(stats.loop_bounds, 0, "{stats:?}");
+        assert!(p.functions[0].insts.iter().any(|i| matches!(i, MInst::Real(Inst::SetCc { .. }))));
+    }
+
+    #[test]
+    fn canonicalizes_indexed_store_address() {
+        // arr[i] = i * 3: the index spill around the value code collapses
+        // and the index load lands adjacent to the store.
+        let slot = MemOperand::base_disp(Reg::RBP, -8);
+        let mut p = func(vec![
+            MInst::Real(Inst::Load { dst: Reg::RAX, mem: slot }),
+            MInst::Real(Inst::Push { reg: Reg::RAX }),
+            // value code: i * 3 (already constant-canonicalized)
+            MInst::Real(Inst::Load { dst: Reg::RAX, mem: slot }),
+            MInst::Real(Inst::AluRI { op: AluOp::Mul, dst: Reg::RAX, imm: 3 }),
+            MInst::Real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }),
+            MInst::Real(Inst::Pop { reg: Reg::RAX }),
+            MInst::LoadSymAddr { dst: Reg::RCX, symbol: "arr".into(), addend: 0 },
+            MInst::Real(Inst::Store {
+                mem: MemOperand::base_index(Reg::RCX, Reg::RAX, 8, 0),
+                src: Reg::RBX,
+            }),
+            MInst::Ret,
+        ]);
+        let stats = optimize_pipeline(&mut p);
+        assert_eq!(stats.addr_canons, 1, "{stats:?}");
+        assert_eq!(
+            p.functions[0].insts,
+            vec![
+                MInst::Real(Inst::Load { dst: Reg::RAX, mem: slot }),
+                MInst::Real(Inst::AluRI { op: AluOp::Mul, dst: Reg::RAX, imm: 3 }),
+                MInst::Real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }),
+                MInst::Real(Inst::Load { dst: Reg::RAX, mem: slot }),
+                MInst::LoadSymAddr { dst: Reg::RCX, symbol: "arr".into(), addend: 0 },
+                MInst::Real(Inst::Store {
+                    mem: MemOperand::base_index(Reg::RCX, Reg::RAX, 8, 0),
+                    src: Reg::RBX,
+                }),
+                MInst::Ret,
+            ]
+        );
+    }
+
+    #[test]
+    fn addr_canon_blocked_by_calls_and_stores() {
+        // A call inside the value code must block the rewrite (the callee
+        // could observe or clobber anything).
+        let slot = MemOperand::base_disp(Reg::RBP, -8);
+        let make = |value: Vec<MInst>| {
+            let mut v = vec![
+                MInst::Real(Inst::Load { dst: Reg::RAX, mem: slot }),
+                MInst::Real(Inst::Push { reg: Reg::RAX }),
+            ];
+            v.extend(value);
+            v.extend([
+                MInst::Real(Inst::MovRR { dst: Reg::RBX, src: Reg::RAX }),
+                MInst::Real(Inst::Pop { reg: Reg::RAX }),
+                MInst::LoadSymAddr { dst: Reg::RCX, symbol: "arr".into(), addend: 0 },
+                MInst::Real(Inst::Store {
+                    mem: MemOperand::base_index(Reg::RCX, Reg::RAX, 8, 0),
+                    src: Reg::RBX,
+                }),
+                MInst::Ret,
+            ]);
+            func(v)
+        };
+        let mut with_call = make(vec![
+            MInst::Real(Inst::MovRI { dst: Reg::RDI, imm: 1 }),
+            MInst::CallSym("f".into()),
+        ]);
+        assert_eq!(AddrCanon.run(&mut with_call.functions[0]), 0);
+        let mut with_store = make(vec![
+            MInst::Real(Inst::MovRI { dst: Reg::RDX, imm: 1 }),
+            MInst::Real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -16), src: Reg::RDX }),
+            MInst::Real(Inst::MovRI { dst: Reg::RAX, imm: 2 }),
+        ]);
+        assert_eq!(AddrCanon.run(&mut with_store.functions[0]), 0);
+    }
+
+    #[test]
+    fn dce_sweeps_unreachable_and_dead_defs() {
+        let mut p = func(vec![
+            MInst::Real(Inst::MovRI { dst: Reg::RCX, imm: 9 }), // dead def
+            MInst::Jmp(Label(1)),
+            MInst::Real(Inst::MovRI { dst: Reg::RAX, imm: 1 }), // unreachable
+            MInst::Label(Label(1)),
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize_pipeline(&mut p);
+        assert!(stats.dce >= 2, "{stats:?}");
+        assert!(!p.functions[0].insts.iter().any(|i| matches!(i, MInst::Real(Inst::MovRI { .. }))));
+    }
+
+    #[test]
+    fn dce_keeps_possibly_faulting_loads() {
+        let mut p = func(vec![
+            MInst::Real(Inst::Load { dst: Reg::RCX, mem: MemOperand::abs(0x10) }),
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize_pipeline(&mut p);
+        assert_eq!(stats.dce, 0, "{stats:?}");
+        assert_eq!(p.functions[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn liveness_respects_branch_paths() {
+        // rbx is read on the taken path only: the const-to-imm rewrite must
+        // be blocked.
+        let mut p = func(vec![
+            MInst::Real(Inst::MovRI { dst: Reg::RBX, imm: 4 }),
+            MInst::Real(Inst::CmpRR { lhs: Reg::RAX, rhs: Reg::RBX }),
+            MInst::Jcc(CondCode::L, Label(1)),
+            MInst::Real(Inst::Halt),
+            MInst::Label(Label(1)),
+            MInst::Real(Inst::Store { mem: MemOperand::base_disp(Reg::RBP, -8), src: Reg::RBX }),
+            MInst::Real(Inst::Halt),
+        ]);
+        let stats = optimize_pipeline(&mut p);
+        assert_eq!(stats.const_folds, 0, "{stats:?}");
+        assert!(p.functions[0].insts.iter().any(|i| matches!(i, MInst::Real(Inst::CmpRR { .. }))));
     }
 }

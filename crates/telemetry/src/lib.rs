@@ -313,6 +313,12 @@ pub struct Metrics {
     pub produce_self_verify_ns: Histogram,
     pub produce_elision_fallbacks: Counter,
     pub produce_guards_elided: Counter,
+    // -- producer MIR optimizer (per-pass rewrite counts) ------------------
+    pub producer_opt_peephole: Counter,
+    pub producer_opt_const_fold: Counter,
+    pub producer_opt_loop_bound: Counter,
+    pub producer_opt_addr_canon: Counter,
+    pub producer_opt_dce: Counter,
     // -- in-enclave verifier phases (host-observable timings) -------------
     pub verify_ns: Histogram,
     pub verify_disasm_ns: Histogram,
@@ -324,6 +330,12 @@ pub struct Metrics {
     pub analysis_run_ns: Histogram,
     pub analysis_fixpoint_iters: Histogram,
     pub analysis_widenings: Histogram,
+    /// Widened in-states improved by the bounded narrowing rounds that
+    /// follow each per-function fixpoint.
+    pub absint_narrowings: Histogram,
+    /// Relational (difference-bound) facts live in the final fixpoint
+    /// states of one analysis run.
+    pub absint_relational_facts: Histogram,
     // -- enclave pool ------------------------------------------------------
     pub pool_install_cache_hits: Counter,
     pub pool_install_cache_misses: Counter,
@@ -380,6 +392,26 @@ impl Metrics {
                 "deflection_produce_events_total",
                 r#"event="guard_elided""#,
             ),
+            producer_opt_peephole: Counter::new(
+                "deflection_producer_opt_rewrites_total",
+                r#"pass="peephole""#,
+            ),
+            producer_opt_const_fold: Counter::new(
+                "deflection_producer_opt_rewrites_total",
+                r#"pass="const_fold""#,
+            ),
+            producer_opt_loop_bound: Counter::new(
+                "deflection_producer_opt_rewrites_total",
+                r#"pass="loop_bound""#,
+            ),
+            producer_opt_addr_canon: Counter::new(
+                "deflection_producer_opt_rewrites_total",
+                r#"pass="addr_canon""#,
+            ),
+            producer_opt_dce: Counter::new(
+                "deflection_producer_opt_rewrites_total",
+                r#"pass="dce""#,
+            ),
             verify_ns: Histogram::new("deflection_verify_ns", r#"phase="total""#),
             verify_disasm_ns: Histogram::new("deflection_verify_ns", r#"phase="disasm""#),
             verify_discovery_ns: Histogram::new("deflection_verify_ns", r#"phase="discovery""#),
@@ -389,6 +421,8 @@ impl Metrics {
             analysis_run_ns: Histogram::new("deflection_analysis_run_ns", ""),
             analysis_fixpoint_iters: Histogram::new("deflection_analysis_fixpoint_iters", ""),
             analysis_widenings: Histogram::new("deflection_analysis_widenings", ""),
+            absint_narrowings: Histogram::new("deflection_absint_narrowings", ""),
+            absint_relational_facts: Histogram::new("deflection_absint_relational_facts", ""),
             pool_install_cache_hits: Counter::new(
                 "deflection_pool_events_total",
                 r#"event="install_cache_hit""#,
@@ -472,7 +506,7 @@ impl Metrics {
         ]
     }
 
-    fn more_counters(&self) -> [&Counter; 7] {
+    fn more_counters(&self) -> [&Counter; 12] {
         [
             &self.run_budget_exhaustions,
             &self.audit_events,
@@ -481,6 +515,11 @@ impl Metrics {
             &self.vm_icache_fills,
             &self.vm_icache_invalidations,
             &self.vm_icache_prewarms,
+            &self.producer_opt_peephole,
+            &self.producer_opt_const_fold,
+            &self.producer_opt_loop_bound,
+            &self.producer_opt_addr_canon,
+            &self.producer_opt_dce,
         ]
     }
 
@@ -488,7 +527,7 @@ impl Metrics {
         [&self.run_budget_headroom]
     }
 
-    fn histograms(&self) -> [&Histogram; 11] {
+    fn histograms(&self) -> [&Histogram; 13] {
         [
             &self.produce_ns,
             &self.produce_analysis_ns,
@@ -500,6 +539,8 @@ impl Metrics {
             &self.analysis_run_ns,
             &self.analysis_fixpoint_iters,
             &self.analysis_widenings,
+            &self.absint_narrowings,
+            &self.absint_relational_facts,
             &self.pool_serve_batch_ns,
         ]
     }

@@ -30,6 +30,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
@@ -41,6 +44,18 @@ cargo test -q
 # drops them is caught here.
 echo "==> tier-1: chaos/fault-injection suite (pool_chaos, sealed_install)"
 cargo test -q -p deflection-core --test pool_chaos --test sealed_install
+
+# Elision-precision ratchet: the test regenerates PRECISION.json and fails
+# if any program proves fewer guards than the committed baseline. The diff
+# below closes the other direction — an *improvement* (or any drift) must
+# be committed as the new baseline, or the ratchet quietly stops ratcheting.
+echo "==> tier-1: precision ratchet (PRECISION.json vs PRECISION.baseline.json)"
+cargo test -q --test precision_ratchet
+if ! diff -u PRECISION.baseline.json PRECISION.json; then
+    echo "precision drifted from the committed baseline:" >&2
+    echo "  review the diff, then: cp PRECISION.json PRECISION.baseline.json" >&2
+    exit 1
+fi
 
 if [ "$SMOKE" = "1" ]; then
     echo "==> bench smoke (--quick, one pass per target)"

@@ -1,0 +1,193 @@
+//! Precision-ratchet gate: measures how many P1 store guards and P2 rsp
+//! guards the producer+verifier pair can prove and elide, per program, and
+//! compares the result against the committed `PRECISION.json` baseline.
+//!
+//! The ratchet direction is one-way: a change may *increase* the proven
+//! counts (better analysis, better codegen shapes) but must never decrease
+//! them — losing a proof silently would re-grow the runtime overhead the
+//! paper's Table 2 "elided" column measures. `scripts/ci.sh` runs this test
+//! and additionally diffs the freshly written JSON against the baseline so
+//! an *improvement* that forgets to refresh the baseline is also caught.
+
+use deflection::core::annotations::TemplateKind;
+use deflection::core::consumer::install;
+use deflection::core::policy::{Manifest, PolicySet};
+use deflection::core::producer::{produce, produce_for_layout};
+use deflection::sgx::layout::{EnclaveLayout, MemConfig};
+use deflection::sgx::mem::Memory;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The mixed-store elision corpus program shared with `guard_elision.rs`:
+/// constant global indices, loop-bounded array stores, and a call-bearing
+/// loop body.
+const MIXED_SRC: &str = "
+var flags: [int; 4];
+var acc: [int; 16];
+fn mix(x: int) -> int { return x * 31 + 7; }
+fn main() -> int {
+    flags[0] = 1;
+    flags[1] = 2;
+    flags[2] = 3;
+    var i: int = 0;
+    while (i < 16) {
+        acc[i] = mix(i);
+        i = i + 1;
+    }
+    var s: int = 0;
+    i = 0;
+    while (i < 16) {
+        s = s + acc[i];
+        i = i + 1;
+    }
+    flags[3] = s;
+    log(s);
+    output_byte(0, s & 0xFF);
+    send(1);
+    return s;
+}
+";
+
+/// A counted loop with a call-free body: the shape the loop-bound
+/// materialization pass plus branch refinement must prove.
+const COUNTED_LOOP_SRC: &str = "
+var table: [int; 64];
+fn main() -> int {
+    var i: int = 0;
+    while (i < 64) {
+        table[i] = i * 3 + 1;
+        i = i + 1;
+    }
+    return table[63];
+}
+";
+
+struct Row {
+    name: &'static str,
+    full_store: usize,
+    elided_store: usize,
+    full_rsp: usize,
+    elided_rsp: usize,
+}
+
+impl Row {
+    fn proven_store(&self) -> usize {
+        self.full_store - self.elided_store
+    }
+    fn proven_rsp(&self) -> usize {
+        self.full_rsp - self.elided_rsp
+    }
+}
+
+fn guard_counts(binary: &[u8], manifest: &Manifest) -> (usize, usize) {
+    let mut mem = Memory::new(EnclaveLayout::new(MemConfig::small()));
+    let installed = install(binary, manifest, &mut mem).expect("binary verifies");
+    let stores =
+        installed.verified.instances.iter().filter(|i| i.kind == TemplateKind::StoreGuard).count();
+    let rsps =
+        installed.verified.instances.iter().filter(|i| i.kind == TemplateKind::RspGuard).count();
+    (stores, rsps)
+}
+
+fn measure(name: &'static str, source: &str) -> Row {
+    let layout = EnclaveLayout::new(MemConfig::small());
+    let full = produce(source, &PolicySet::full()).expect("compiles").serialize();
+    let elided = produce_for_layout(source, &PolicySet::full().with_elision(), &layout)
+        .expect("compiles")
+        .serialize();
+    let mut elide_manifest = Manifest::ccaas();
+    elide_manifest.policy = PolicySet::full().with_elision();
+    let (full_store, full_rsp) = guard_counts(&full, &Manifest::ccaas());
+    let (elided_store, elided_rsp) = guard_counts(&elided, &elide_manifest);
+    Row { name, full_store, elided_store, full_rsp, elided_rsp }
+}
+
+fn measure_all() -> Vec<Row> {
+    let mut rows = vec![measure("corpus/mixed_stores", MIXED_SRC)];
+    rows.push({
+        let src = COUNTED_LOOP_SRC.to_string();
+        let leaked: &'static str = Box::leak(src.into_boxed_str());
+        measure("corpus/counted_loop", leaked)
+    });
+    for kernel in deflection::workloads::nbench::all() {
+        let src = (kernel.source)();
+        let leaked: &'static str = Box::leak(src.into_boxed_str());
+        rows.push(measure(kernel.name, leaked));
+    }
+    rows
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"programs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"store_guards_full\": {}, \"store_guards_elided\": {}, \
+             \"store_guards_proven\": {}, \"rsp_guards_full\": {}, \"rsp_guards_elided\": {}, \
+             \"rsp_guards_proven\": {}}}{sep}",
+            r.name,
+            r.full_store,
+            r.elided_store,
+            r.proven_store(),
+            r.full_rsp,
+            r.elided_rsp,
+            r.proven_rsp(),
+        )
+        .expect("string write");
+    }
+    let total_store: usize = rows.iter().map(Row::proven_store).sum();
+    let total_rsp: usize = rows.iter().map(Row::proven_rsp).sum();
+    writeln!(
+        out,
+        "  ],\n  \"total_store_guards_proven\": {total_store},\n  \
+         \"total_rsp_guards_proven\": {total_rsp}\n}}"
+    )
+    .expect("string write");
+    out
+}
+
+/// Pulls `"name": value` pairs out of the baseline without a JSON
+/// dependency: good enough for the fixed shape this test itself writes.
+fn baseline_proven(baseline: &str, program: &str, key: &str) -> Option<usize> {
+    let line = baseline.lines().find(|l| l.contains(&format!("\"name\": \"{program}\"")))?;
+    let tag = format!("\"{key}\": ");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn precision_never_ratchets_down() {
+    let rows = measure_all();
+    let json = render_json(&rows);
+
+    // Always refresh the working copy: ci.sh diffs it against the committed
+    // baseline so improvements must be committed, and regressions fail here.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(root.join("PRECISION.json"), &json).expect("write PRECISION.json");
+
+    let baseline = std::fs::read_to_string(root.join("PRECISION.baseline.json"))
+        .expect("PRECISION.baseline.json must be committed (copy PRECISION.json on improvement)");
+    for r in &rows {
+        let store_floor = baseline_proven(&baseline, r.name, "store_guards_proven")
+            .unwrap_or_else(|| panic!("{}: missing from PRECISION.baseline.json", r.name));
+        let rsp_floor = baseline_proven(&baseline, r.name, "rsp_guards_proven")
+            .unwrap_or_else(|| panic!("{}: missing from PRECISION.baseline.json", r.name));
+        assert!(
+            r.proven_store() >= store_floor,
+            "{}: proven store-guard elisions ratcheted down ({} < baseline {})",
+            r.name,
+            r.proven_store(),
+            store_floor
+        );
+        assert!(
+            r.proven_rsp() >= rsp_floor,
+            "{}: proven rsp-guard elisions ratcheted down ({} < baseline {})",
+            r.name,
+            r.proven_rsp(),
+            rsp_floor
+        );
+    }
+}
