@@ -1,22 +1,30 @@
-//! **Ablation** — predecoded icache + block dispatch vs decode-every-step.
+//! **Ablation** — superblock trace dispatch vs per-instruction block
+//! dispatch vs decode-every-step.
 //!
-//! Runs every nBench kernel under the full P1–P6 policy twice: once with
-//! the VM's default icache block dispatch and once in the
-//! decode-every-step reference mode, and asserts the cached mode is at
-//! least 1.5× faster on at least one kernel. Unlike the parallel-verify
-//! and pool-resilience ablations, this speedup is single-threaded, so the
-//! assertion carries **no core-count gate** — it is the first perf
-//! baseline the trend gate can enforce on any host, including 1-core CI
-//! containers.
+//! Runs every nBench kernel under the full P1–P6 policy in all three VM
+//! dispatch modes and asserts two things:
 //!
-//! Instruction counts must be identical between the two modes (the
+//! * **trace dispatch beats block dispatch on every kernel** — the trace
+//!   layer may never regress the per-instruction cached path it replaced
+//!   as the default;
+//! * **trace dispatch is at least 3× faster than the reference
+//!   interpreter on at least one kernel** (the PR-5 block-dispatch floor
+//!   was 1.5×; traces ratchet it).
+//!
+//! Unlike the parallel-verify and pool-resilience ablations, these
+//! speedups are single-threaded, so the assertions carry **no core-count
+//! gate** — they are enforceable by the trend gate on any host, including
+//! 1-core CI containers.
+//!
+//! Instruction counts must be identical across the three modes (the
 //! differential suite in `tests/icache_differential.rs` proves full
 //! bit-identity; this bench re-checks the cheap invariant).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use deflection_bench::measure_mode;
+use deflection_bench::measure_exec_mode;
 use deflection_core::policy::PolicySet;
 use deflection_sgx_sim::layout::MemConfig;
+use deflection_sgx_sim::vm::ExecMode;
 use deflection_telemetry::{Collector, METRICS};
 use deflection_workloads::nbench;
 use std::time::Duration;
@@ -24,81 +32,102 @@ use std::time::Duration;
 const SCALE: u32 = 3;
 /// Timed samples per kernel per mode (after one warm-up run each).
 const SAMPLES: usize = 5;
+/// Minimum traced-vs-reference speedup required on at least one kernel.
+const TRACED_FLOOR: f64 = 3.0;
 
-fn mean_secs(samples: &[Duration]) -> f64 {
-    samples.iter().map(Duration::as_secs_f64).sum::<f64>() / samples.len() as f64
+/// Minimum over the samples: wall-clock noise on a shared host is strictly
+/// additive, so the minimum is the most stable estimator of the true cost
+/// (and the one the speedup assertions are judged on).
+fn min_secs(samples: &[Duration]) -> f64 {
+    samples.iter().map(Duration::as_secs_f64).fold(f64::INFINITY, f64::min)
 }
 
 fn print_table() {
-    println!("\n=== Ablation: predecoded icache + block dispatch (nBench, P1-P6) ===\n");
+    println!("\n=== Ablation: trace vs block vs decode-every-step (nBench, P1-P6) ===\n");
     println!(
-        "{:<18} {:>12} {:>12} {:>9} {:>12} {:>9}",
-        "Program Name", "cached ms", "reference ms", "speedup", "instrs", "hit rate"
+        "{:<18} {:>10} {:>10} {:>10} {:>8} {:>8} {:>12}",
+        "Program Name", "traced ms", "block ms", "ref ms", "tr/ref", "tr/blk", "instrs"
     );
-    println!("{:-<78}", "");
+    println!("{:-<82}", "");
     let config = MemConfig::small();
     let policy = PolicySet::full();
-    let mut speedups = Vec::new();
+    let mut best = ("", 0.0f64);
     for kernel in nbench::all() {
         let source = (kernel.source)();
         let input = (kernel.input)(SCALE);
-        // Hit-rate probe: one instrumented cached run per kernel. The
-        // collector stays disabled during the timed samples below so they
-        // measure the production configuration.
+        // Telemetry probe: one instrumented traced run per kernel, to show
+        // the trace layer is actually engaged (chained dispatches, no
+        // demand fills). The collector stays disabled during the timed
+        // samples below so they measure the production configuration.
         Collector::reset();
         Collector::enable();
-        let probe = measure_mode(&source, &input, &policy, &config, false);
-        let (hits, fills) = (METRICS.vm_icache_hits.get(), METRICS.vm_icache_fills.get());
+        let probe = measure_exec_mode(&source, &input, &policy, &config, ExecMode::Traced);
+        let chained = METRICS.vm_trace_chained.get();
+        let fills = METRICS.vm_icache_fills.get();
         Collector::disable();
         Collector::reset();
-        let hit_rate = hits as f64 / (hits + fills).max(1) as f64;
+        assert!(chained > 0, "{}: trace dispatch must chain traces", kernel.name);
+        assert_eq!(fills, 0, "{}: install pre-warm must leave no demand fills", kernel.name);
 
         // Interleave the modes so drift (thermal, allocator state) hits
-        // both equally; discard one warm-up pair first.
-        let mut cached = Vec::with_capacity(SAMPLES);
+        // all three equally; discard one warm-up triple first.
+        let mut traced = Vec::with_capacity(SAMPLES);
+        let mut block = Vec::with_capacity(SAMPLES);
         let mut reference = Vec::with_capacity(SAMPLES);
-        let mut instrs = (0u64, 0u64);
+        let mut instrs = (0u64, 0u64, 0u64);
         for i in 0..=SAMPLES {
-            let c = measure_mode(&source, &input, &policy, &config, false);
-            let r = measure_mode(&source, &input, &policy, &config, true);
+            let t = measure_exec_mode(&source, &input, &policy, &config, ExecMode::Traced);
+            let c = measure_exec_mode(&source, &input, &policy, &config, ExecMode::Block);
+            let r = measure_exec_mode(&source, &input, &policy, &config, ExecMode::Reference);
             if i == 0 {
                 continue;
             }
-            cached.push(c.wall);
+            traced.push(t.wall);
+            block.push(c.wall);
             reference.push(r.wall);
-            instrs = (c.instructions, r.instructions);
+            instrs = (t.instructions, c.instructions, r.instructions);
         }
-        assert_eq!(
-            instrs.0, instrs.1,
-            "{}: cached and reference modes must execute identical instruction counts",
+        assert!(
+            instrs.0 == instrs.1 && instrs.1 == instrs.2,
+            "{}: all three modes must execute identical instruction counts ({instrs:?})",
             kernel.name
         );
         assert_eq!(probe.instructions, instrs.0);
-        let (mc, mr) = (mean_secs(&cached), mean_secs(&reference));
-        let speedup = mr / mc;
-        speedups.push((kernel.name, speedup));
+        let (mt, mc, mr) = (min_secs(&traced), min_secs(&block), min_secs(&reference));
+        let (vs_ref, vs_block) = (mr / mt, mc / mt);
+        if vs_ref > best.1 {
+            best = (kernel.name, vs_ref);
+        }
         println!(
-            "{:<18} {:>12.3} {:>12.3} {:>8.2}x {:>12} {:>8.1}%",
+            "{:<18} {:>10.3} {:>10.3} {:>10.3} {:>7.2}x {:>7.2}x {:>12}",
             kernel.name,
+            mt * 1e3,
             mc * 1e3,
             mr * 1e3,
-            speedup,
+            vs_ref,
+            vs_block,
             instrs.0,
-            hit_rate * 100.0
+        );
+        assert!(
+            vs_block > 1.0,
+            "{}: trace dispatch must beat block dispatch on every kernel \
+             (traced {:.3}ms vs block {:.3}ms)",
+            kernel.name,
+            mt * 1e3,
+            mc * 1e3
         );
     }
-    println!("{:-<78}", "");
-    let best = speedups.iter().cloned().fold(("", 0.0f64), |a, b| if b.1 > a.1 { b } else { a });
+    println!("{:-<82}", "");
     println!(
-        "\nbest speedup: {:.2}x on {} — asserted >= 1.5x with NO core-count gate:\n\
-         decode-once dispatch is single-threaded, so this baseline is\n\
+        "\nbest traced speedup: {:.2}x on {} — asserted >= {TRACED_FLOOR}x with NO \
+         core-count gate:\ntrace dispatch is single-threaded, so this baseline is\n\
          enforceable by the trend gate on every host, 1-core CI included.\n",
         best.1, best.0
     );
     assert!(
-        best.1 >= 1.5,
-        "icache block dispatch must deliver >= 1.5x on at least one nBench \
-         kernel (best: {:.2}x on {})",
+        best.1 >= TRACED_FLOOR,
+        "trace dispatch must deliver >= {TRACED_FLOOR}x over decode-every-step on at \
+         least one nBench kernel (best: {:.2}x on {})",
         best.1,
         best.0
     );
@@ -107,8 +136,8 @@ fn print_table() {
 fn bench(c: &mut Criterion) {
     print_table();
     // Trend-tracked Criterion series: cheapest and most store-heavy kernel
-    // in both modes, so a regression in either the fast path or the
-    // reference path is visible.
+    // in all three modes. The `cached`/`reference` labels predate the
+    // trace layer and keep their historical series; `traced` extends them.
     let config = MemConfig::small();
     let policy = PolicySet::full();
     for kernel in nbench::all() {
@@ -117,12 +146,17 @@ fn bench(c: &mut Criterion) {
         }
         let source = (kernel.source)();
         let input = (kernel.input)(1);
-        for (label, reference) in [("cached", false), ("reference", true)] {
+        let modes = [
+            ("traced", ExecMode::Traced),
+            ("cached", ExecMode::Block),
+            ("reference", ExecMode::Reference),
+        ];
+        for (label, mode) in modes {
             let id = format!("icache/{}/{label}", kernel.name.to_lowercase().replace(' ', "_"));
             let src = source.clone();
             let inp = input.clone();
             c.bench_function(&id, move |b| {
-                b.iter(|| measure_mode(&src, &inp, &policy, &config, reference))
+                b.iter(|| measure_exec_mode(&src, &inp, &policy, &config, mode))
             });
         }
     }

@@ -27,7 +27,7 @@ use deflection_core::policy::{Manifest, PolicySet};
 use deflection_core::producer::{produce, produce_for_layout};
 use deflection_core::runtime::BootstrapEnclave;
 use deflection_sgx_sim::layout::{EnclaveLayout, MemConfig};
-use deflection_sgx_sim::vm::RunExit;
+use deflection_sgx_sim::vm::{ExecMode, RunExit};
 use std::time::{Duration, Instant};
 
 /// Result of measuring one workload at one policy level.
@@ -54,8 +54,9 @@ pub fn measure(source: &str, input: &[u8], policy: &PolicySet, config: &MemConfi
 
 /// [`measure`] with an explicit decode mode: `reference = true` forces the
 /// VM's decode-every-step path (the pre-icache semantics), `false` uses the
-/// default icache block dispatch. The `ablation_icache` bench diffs the
-/// two; everything else measures the production configuration.
+/// production default (superblock trace dispatch). Kept for callers that
+/// only care about the cached/uncached split; the `ablation_icache` bench
+/// uses [`measure_exec_mode`] to separate all three dispatch modes.
 ///
 /// # Panics
 ///
@@ -69,6 +70,27 @@ pub fn measure_mode(
     config: &MemConfig,
     reference: bool,
 ) -> Sample {
+    let mode = if reference { ExecMode::Reference } else { ExecMode::Traced };
+    measure_exec_mode(source, input, policy, config, mode)
+}
+
+/// [`measure`] pinned to one of the VM's three dispatch modes: superblock
+/// traces (the production default), per-instruction block dispatch, or the
+/// decode-every-step reference interpreter. The `ablation_icache` bench
+/// diffs all three; everything else measures the production configuration.
+///
+/// # Panics
+///
+/// Panics if the workload does not halt cleanly — benchmark fixtures are
+/// trusted.
+#[must_use]
+pub fn measure_exec_mode(
+    source: &str,
+    input: &[u8],
+    policy: &PolicySet,
+    config: &MemConfig,
+    mode: ExecMode,
+) -> Sample {
     let mut manifest = Manifest::ccaas();
     manifest.policy = *policy;
     let layout = EnclaveLayout::new(*config);
@@ -81,7 +103,7 @@ pub fn measure_mode(
     let mut enclave = BootstrapEnclave::new(layout, manifest);
     enclave.set_owner_session([0xBE; 32]);
     enclave.install_plain(&binary).expect("bench binary verifies");
-    enclave.set_decode_every_step(reference);
+    enclave.set_exec_mode(mode);
     if !input.is_empty() {
         enclave.provide_input(input).expect("installed");
     }

@@ -727,9 +727,14 @@ impl BootstrapEnclave {
         );
         let code_base = self.layout.code.start;
         let warmed = crate::consumer::rewriter::rewritten_insts(&installed.verified, &bindings);
-        vm.prewarm_icache(
-            warmed.into_iter().map(|(off, inst, len)| (code_base + off as u64, inst, len as u8)),
-        );
+        let entries: Vec<(u64, deflection_isa::Inst, u8)> = warmed
+            .into_iter()
+            .map(|(off, inst, len)| (code_base + off as u64, inst, len as u8))
+            .collect();
+        vm.prewarm_icache(entries.iter().copied());
+        // Superblock traces form over the same patched disassembly, so a
+        // full-policy run needs neither demand fills nor demand formations.
+        vm.prewarm_traces(&entries);
         METRICS.vm_icache_prewarms.add(vm.icache_stats().prewarms);
         self.installed = Some(installed);
         self.vm = Some(vm);
@@ -791,6 +796,16 @@ impl BootstrapEnclave {
         self.vm.as_mut().expect("binary installed").set_decode_every_step(on);
     }
 
+    /// Selects the VM dispatch mode (traced / block / reference) —
+    /// differential tests and the `ablation_icache` bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no binary is installed.
+    pub fn set_exec_mode(&mut self, mode: deflection_sgx_sim::vm::ExecMode) {
+        self.vm.as_mut().expect("binary installed").set_exec_mode(mode);
+    }
+
     /// Icache event counters of the installed VM (diagnostics/benches).
     ///
     /// # Panics
@@ -799,6 +814,16 @@ impl BootstrapEnclave {
     #[must_use]
     pub fn icache_stats(&self) -> deflection_sgx_sim::icache::ICacheStats {
         self.vm.as_ref().expect("binary installed").icache_stats()
+    }
+
+    /// Trace-cache event counters of the installed VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no binary is installed.
+    #[must_use]
+    pub fn trace_stats(&self) -> deflection_sgx_sim::icache::TraceStats {
+        self.vm.as_ref().expect("binary installed").trace_stats()
     }
 
     /// Marks whether an attacker occupies the sibling hyper-thread (drives

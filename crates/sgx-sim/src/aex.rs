@@ -206,6 +206,73 @@ mod tests {
         assert_eq!(len, 3);
     }
 
+    use proptest::prelude::*;
+
+    /// A schedule generator covering every variant the VM dispatches on.
+    fn any_schedule() -> impl Strategy<Value = AexSchedule> {
+        prop_oneof![
+            Just(AexSchedule::None),
+            (0u64..64).prop_map(|interval| AexSchedule::Periodic { interval }),
+            (1u64..32).prop_map(|interval| AexSchedule::Attack { interval }),
+            (0u64..600, 0u64..1000).prop_map(|(millis, seed)| AexSchedule::Random {
+                per_inst_prob: millis as f64 / 1000.0,
+                seed,
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+
+        /// Replays the traced dispatcher's consumption pattern against the
+        /// per-instruction reference: plan blocks are consumed in
+        /// arbitrary trace-sized sub-chunks with **no** schedule queries
+        /// in between, the program may halt mid-block (`horizon`), and
+        /// fuel lands at 1, mid-trace, on a trace boundary, or at
+        /// effectively-infinite. Whatever the trace partition, the fire
+        /// points and the total instruction count must be bit-identical
+        /// to calling `should_fire` once per instruction — the trace
+        /// layer must be invisible to the AEX schedule.
+        #[test]
+        fn plan_matches_should_fire_over_any_trace_partition(
+            schedule in any_schedule(),
+            traces in proptest::collection::vec(1u64..=64, 1..8),
+            horizon in 1u64..3_000,
+            fuel in prop_oneof![
+                Just(1u64),                             // exactly one instruction
+                2u64..5_000,                            // lands mid-trace
+                (1u64..64).prop_map(|n| n * 64),        // lands on a trace boundary
+                Just(u64::MAX / 2),                     // effectively infinite
+            ],
+        ) {
+            let end = fuel.min(horizon);
+            let mut step = AexInjector::new(schedule.clone());
+            let step_fires: Vec<u64> = (1..=end).filter(|&i| step.should_fire(i)).collect();
+
+            let mut block = AexInjector::new(schedule);
+            let mut block_fires = Vec::new();
+            let mut executed = 0u64;
+            let mut t = 0usize;
+            while executed < end {
+                let (fire, len) = block.plan(executed, fuel - executed);
+                if fire {
+                    block_fires.push(executed + 1);
+                }
+                // The dispatcher runs the block as a sequence of trace
+                // fragments; the program may halt before the block ends.
+                let mut left = len.min(end - executed);
+                while left > 0 {
+                    let run = traces[t % traces.len()].min(left);
+                    executed += run;
+                    left -= run;
+                    t += 1;
+                }
+            }
+            prop_assert_eq!(executed, end, "blocks must tile the budget exactly");
+            prop_assert_eq!(step_fires, block_fires);
+        }
+    }
+
     #[test]
     fn delivery_clobbers_ssa_marker() {
         let layout = EnclaveLayout::new(MemConfig::small());

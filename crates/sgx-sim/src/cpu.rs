@@ -4,7 +4,57 @@
 
 use crate::mem::Memory;
 use crate::Fault;
-use deflection_isa::{decode, AluOp, Flags, FpuOp, Inst, MemOperand, Reg};
+use deflection_isa::{decode, AluOp, CondCode, Flags, FpuOp, Inst, MemOperand, Reg};
+
+/// A predecoded instruction with its control-flow successors resolved to
+/// absolute addresses — the dense operand form superblock traces dispatch
+/// over. Direct control flow (`Jmp`/`Jcc`/`Call`) stores precomputed
+/// targets so the threaded dispatcher never re-derives `next + rel`;
+/// everything else carries the decoded [`Inst`] plus its fallthrough.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredInst {
+    /// A straight-line instruction (or an indirect branch / terminator the
+    /// trace ends at): execute `inst` whose encoding ends at `next`.
+    Line {
+        /// The decoded instruction.
+        inst: Inst,
+        /// Address of the byte after the encoding (the fallthrough pc).
+        next: u64,
+    },
+    /// An unconditional direct jump to `target`.
+    Jmp {
+        /// Absolute branch target.
+        target: u64,
+    },
+    /// A conditional direct branch with both successors resolved.
+    Jcc {
+        /// The branch condition.
+        cc: CondCode,
+        /// Absolute target when the condition holds.
+        taken: u64,
+        /// Fallthrough address when it does not.
+        fall: u64,
+    },
+    /// A direct call: push `ret`, continue at `target`.
+    Call {
+        /// Absolute call target.
+        target: u64,
+        /// Return address pushed on the stack.
+        ret: u64,
+    },
+}
+
+/// Fetches and decodes the instruction at `pc` without executing it — the
+/// slow half of [`Cpu::step`], shared with the VM's icache miss path and
+/// trace formation so a miss decodes exactly once.
+pub(crate) fn fetch_decode_at(mem: &Memory, pc: u64) -> Result<(Inst, u8), Fault> {
+    let window = mem.fetch_window(pc)?;
+    let (inst, len) = decode(window, 0).map_err(|e| {
+        Fault::Decode(deflection_isa::DecodeError { offset: pc as usize, kind: e.kind })
+    })?;
+    debug_assert!(len <= 16);
+    Ok((inst, len as u8))
+}
 
 /// Architectural CPU state.
 #[derive(Debug, Clone)]
@@ -84,12 +134,41 @@ impl Cpu {
     /// the slow half of [`Cpu::step`], shared with the VM's icache miss
     /// path so a miss decodes exactly once and fills the cache.
     pub(crate) fn fetch_decode(&self, mem: &Memory) -> Result<(Inst, u8), Fault> {
-        let window = mem.fetch_window(self.pc)?;
-        let (inst, len) = decode(window, 0).map_err(|e| {
-            Fault::Decode(deflection_isa::DecodeError { offset: self.pc as usize, kind: e.kind })
-        })?;
-        debug_assert!(len <= 16);
-        Ok((inst, len as u8))
+        fetch_decode_at(mem, self.pc)
+    }
+
+    /// Executes one predecoded trace element. Must only be called when `pc`
+    /// sits at the address the element was decoded from: direct branches
+    /// skip the generic `next + rel` computation and assign their resolved
+    /// successor directly, which is only equivalent under that invariant.
+    ///
+    /// # Errors
+    ///
+    /// Same fault surface as [`Cpu::execute`]; on a fault `pc` still points
+    /// at the faulting instruction (a faulting `Call` push propagates before
+    /// `pc` is updated, exactly like the interpreted path).
+    #[inline]
+    pub(crate) fn execute_pred(
+        &mut self,
+        op: &PredInst,
+        mem: &mut Memory,
+    ) -> Result<StepEvent, Fault> {
+        match *op {
+            PredInst::Line { inst, next } => self.execute(inst, next, mem),
+            PredInst::Jmp { target } => {
+                self.pc = target;
+                Ok(StepEvent::Continue)
+            }
+            PredInst::Jcc { cc, taken, fall } => {
+                self.pc = if cc.eval(self.flags) { taken } else { fall };
+                Ok(StepEvent::Continue)
+            }
+            PredInst::Call { target, ret } => {
+                self.push(ret, mem)?;
+                self.pc = target;
+                Ok(StepEvent::Continue)
+            }
+        }
     }
 
     fn push(&mut self, value: u64, mem: &mut Memory) -> Result<(), Fault> {

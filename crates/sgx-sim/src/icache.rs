@@ -19,12 +19,213 @@
 //! Instructions that straddle a page boundary are deliberately never
 //! cached: a single-page generation check could not prove their trailing
 //! bytes unchanged, so they always take the decode slow path instead.
+//!
+//! # Superblock traces
+//!
+//! On top of the per-instruction map, the cache forms **superblock
+//! traces**: bounded runs of predecoded [`PredInst`] elements that follow
+//! fallthrough *and direct branches* (`Jmp` always, `Jcc` by
+//! backward-taken/forward-not-taken speculation, `Call` into the callee),
+//! so the dispatch loop crosses direct control flow without re-entering
+//! the lookup path. A trace never crosses an executable-page boundary and
+//! never follows an indirect edge (`JmpInd`/`CallInd`/`Ret` end it — their
+//! targets are runtime values no formation-time prediction can certify).
+//! Each trace records the code-write generation of its single page;
+//! elements that can write memory carry a stamp re-check so a store into
+//! the trace's own page kills it *mid-run*, and speculated `Jcc` elements
+//! carry a pc re-check whose mismatch side-exits the trace. See
+//! `DESIGN.md` §5h for the correctness argument.
 
+use crate::cpu::PredInst;
 use crate::layout::PAGE_SIZE;
 use crate::mem::Memory;
 use deflection_isa::Inst;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 const PAGE: usize = PAGE_SIZE as usize;
+
+/// Upper bound on trace length, in instructions. Long enough to swallow
+/// whole nBench loop bodies, short enough that a kill from one stray store
+/// throws away bounded decode work.
+pub(crate) const MAX_TRACE_LEN: usize = 64;
+
+/// After executing this element, re-check that `cpu.pc` equals the
+/// element's predicted successor; mismatch side-exits the trace.
+pub(crate) const CHECK_PC: u8 = 1 << 0;
+/// After executing this element (which may have written memory), re-check
+/// the trace page's code-write stamp; mismatch kills the trace.
+pub(crate) const CHECK_GEN: u8 = 1 << 1;
+/// The trace ends after this element (terminator or indirect edge).
+pub(crate) const END: u8 = 1 << 2;
+
+/// One predecoded element of a superblock trace.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TraceElem {
+    /// Address this element was decoded from — the dispatch invariant is
+    /// `cpu.pc == elem.pc` on entry.
+    pub pc: u64,
+    /// Predicted successor address (the next element's `pc`, when any).
+    pub pred: u64,
+    /// `CHECK_PC` / `CHECK_GEN` / `END` bits.
+    pub flags: u8,
+    /// The predecoded operation.
+    pub op: PredInst,
+}
+
+/// A superblock trace: a single-page run of predecoded instructions,
+/// stamped with the code-write generation it was decoded against.
+#[derive(Debug)]
+pub(crate) struct Trace {
+    /// Entry address (key in the trace map).
+    pub entry: u64,
+    /// ELRANGE page index every element lives on.
+    pub page: usize,
+    /// Code-write generation of `page` at formation time.
+    pub gen: u64,
+    /// The predecoded run, entry first.
+    pub elems: Box<[TraceElem]>,
+    /// Element addresses sorted by pc, for in-trace recovery: a side exit
+    /// or cycle-closing successor whose target lies inside this trace
+    /// re-enters by binary search without leaving the dispatch loop.
+    by_pc: Box<[(u64, u32)]>,
+}
+
+impl Trace {
+    /// The element index holding `pc`, if this trace covers it.
+    #[inline]
+    pub(crate) fn find(&self, pc: u64) -> Option<usize> {
+        self.by_pc.binary_search_by_key(&pc, |&(p, _)| p).ok().map(|i| self.by_pc[i].1 as usize)
+    }
+}
+
+/// Trace-cache event counters. Like [`ICacheStats`] these live outside
+/// `ExecStats` so differential tests can require bit-identical execution
+/// counters across modes while trace behaviour legitimately differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Traces formed on demand during dispatch.
+    pub formed: u64,
+    /// Traces formed at install time from the verifier's disassembly.
+    pub prewarmed: u64,
+    /// Trace-to-trace transitions (including a trace wrapping onto its own
+    /// entry) that never fell back to single-step dispatch.
+    pub chained: u64,
+    /// Mid-trace exits from a `Jcc` speculation mismatch (or a host call
+    /// that moved `pc` off the predicted successor).
+    pub side_exits: u64,
+    /// Traces killed on a code-write stamp mismatch — at lookup or, for
+    /// self-modifying stores into the trace's own page, mid-run.
+    pub invalidated: u64,
+}
+
+/// How far `build_trace` walked and what it decided for one instruction.
+fn classify(inst: Inst, next: u64) -> (PredInst, u64, u8, Option<u64>) {
+    let rel_target = |rel: i32| next.wrapping_add(rel as i64 as u64);
+    match inst {
+        Inst::Jmp { rel } => {
+            let target = rel_target(rel);
+            (PredInst::Jmp { target }, target, 0, Some(target))
+        }
+        Inst::Jcc { cc, rel } => {
+            // Speculation is refined by `build_trace` (which can peek the
+            // fallthrough): this default is backward-taken/forward-not-taken.
+            // Either choice is safe — CHECK_PC side-exits on a miss.
+            let target = rel_target(rel);
+            let pred = if rel < 0 { target } else { next };
+            (PredInst::Jcc { cc, taken: target, fall: next }, pred, CHECK_PC, Some(pred))
+        }
+        Inst::Call { rel } => {
+            // The return-address push can land anywhere — including an
+            // executable page — so the stamp must be re-checked.
+            let target = rel_target(rel);
+            (PredInst::Call { target, ret: next }, target, CHECK_GEN, Some(target))
+        }
+        // Run terminators: the dispatcher exits on their events, END is
+        // only reached if a host ever resumes past them.
+        Inst::Halt | Inst::Abort { .. } => (PredInst::Line { inst, next }, next, END, None),
+        // Indirect edges never extend a trace: their successor is a runtime
+        // value. The trace ends and the dispatcher re-looks-up at the
+        // dynamic target (natural trace-to-trace chaining).
+        Inst::JmpInd { .. } | Inst::Ret => (PredInst::Line { inst, next }, next, END, None),
+        Inst::CallInd { .. } => (PredInst::Line { inst, next }, next, CHECK_GEN | END, None),
+        // The OCall host handler gets `&mut Cpu`/`&mut Memory`: it may poke
+        // executable pages and (in principle) move pc, so both re-checks.
+        Inst::Ocall { .. } => {
+            (PredInst::Line { inst, next }, next, CHECK_GEN | CHECK_PC, Some(next))
+        }
+        Inst::AexProbe => (PredInst::Line { inst, next }, next, CHECK_PC, Some(next)),
+        // Store-capable straight-line instructions: self-modifying code is
+        // legal in the RWX window, so re-check the trace page's stamp.
+        Inst::Store { .. } | Inst::Store8 { .. } | Inst::StoreImm { .. } | Inst::Push { .. } => {
+            (PredInst::Line { inst, next }, next, CHECK_GEN, Some(next))
+        }
+        _ => (PredInst::Line { inst, next }, next, 0, Some(next)),
+    }
+}
+
+/// Forms a trace starting at `entry`, pulling decodes from `fetch` (the
+/// demand path decodes from memory and fills the per-instruction cache;
+/// the prewarm path serves the verifier's disassembly). Returns `None`
+/// when not even the entry instruction is cacheable (out of ELRANGE,
+/// page-straddling, or undecodable) — callers fall back to single-step.
+fn build_trace(
+    entry: u64,
+    mem: &Memory,
+    fetch: &mut dyn FnMut(u64) -> Option<(Inst, u8)>,
+) -> Option<Trace> {
+    let page = mem.page_index(entry)?;
+    let gen = mem.page_code_gen(page)?;
+    let mut elems: Vec<TraceElem> = Vec::new();
+    let mut pc = entry;
+    loop {
+        if elems.len() >= MAX_TRACE_LEN || elems.iter().any(|e| e.pc == pc) {
+            // Length bound, or the walk closed a cycle back into the trace:
+            // stop and let the dispatcher wrap/chain at runtime.
+            break;
+        }
+        if mem.page_index(pc) != Some(page) {
+            break; // crossed the executable-page boundary
+        }
+        let Some((inst, len)) = fetch(pc) else { break };
+        if mem.page_index(pc.wrapping_add(u64::from(len) - 1)) != Some(page) {
+            break; // straddling tail — a single stamp cannot cover it
+        }
+        let next = pc.wrapping_add(u64::from(len));
+        let (op, mut pred, flags, mut cont) = classify(inst, next);
+        if let Inst::Jcc { rel, .. } = inst {
+            // Never speculate into an abort: the annotation guards are all
+            // `jcc ok; abort; ok:` — a forward branch that is taken on
+            // every policy-compliant execution. BTFN alone would predict
+            // the (cold-by-construction) abort arm and side-exit the trace
+            // at every guard, so peek the fallthrough and flip a forward
+            // branch to predicted-taken when it lands on an `Abort`.
+            if rel >= 0 && matches!(fetch(next), Some((Inst::Abort { .. }, _))) {
+                let target = next.wrapping_add(rel as i64 as u64);
+                pred = target;
+                cont = Some(target);
+            }
+        }
+        elems.push(TraceElem { pc, pred, flags, op });
+        match cont {
+            Some(target) => pc = target,
+            None => break,
+        }
+    }
+    if elems.is_empty() {
+        return None;
+    }
+    let mut by_pc: Vec<(u64, u32)> =
+        elems.iter().enumerate().map(|(i, e)| (e.pc, i as u32)).collect();
+    by_pc.sort_unstable_by_key(|&(p, _)| p);
+    Some(Trace {
+        entry,
+        page,
+        gen,
+        elems: elems.into_boxed_slice(),
+        by_pc: by_pc.into_boxed_slice(),
+    })
+}
 
 /// Local (non-atomic) icache event counters. These live outside
 /// [`crate::vm::ExecStats`] on purpose: differential tests assert cached and
@@ -59,6 +260,15 @@ impl CachedPage {
     }
 }
 
+/// Empty sentinel in a [`TracePage`] slot.
+const NO_TRACE: u32 = u32::MAX;
+
+/// Direct-mapped per-page trace index: page-relative byte offset →
+/// `(arena id, element index)`, [`NO_TRACE`] when no live trace covers the
+/// offset. Dense like [`CachedPage`] so the dispatch hot path is two array
+/// loads — no hashing — per trace transition.
+type TracePage = Box<[(u32, u32)]>;
+
 /// The decode-once cache. Indexed by page within ELRANGE; pages allocate
 /// lazily on first fill, so cost scales with code actually executed.
 #[derive(Debug)]
@@ -67,6 +277,18 @@ pub struct ICache {
     pages: Vec<Option<CachedPage>>,
     /// Event counters (reported to telemetry by the VM at run exit).
     pub stats: ICacheStats,
+    /// Live traces, keyed by the arena ids the page slots hold. `None`
+    /// slots are free (recycled through `free_ids`).
+    traces: Vec<Option<Arc<Trace>>>,
+    /// Recycled arena ids.
+    free_ids: Vec<u32>,
+    /// Per-page direct-mapped index over every element address of every
+    /// live trace, so dispatch can enter a trace mid-run — AEX block
+    /// boundaries stop at arbitrary pcs and must not forfeit the rest of
+    /// the trace.
+    trace_pages: Vec<Option<TracePage>>,
+    /// Trace event counters (reported to telemetry by the VM at run exit).
+    pub trace_stats: TraceStats,
 }
 
 impl ICache {
@@ -76,7 +298,17 @@ impl ICache {
         let pages = (mem.layout().elrange.len() / PAGE_SIZE) as usize;
         let mut v = Vec::with_capacity(pages);
         v.resize_with(pages, || None);
-        ICache { base: mem.layout().elrange.start, pages: v, stats: ICacheStats::default() }
+        let mut tp = Vec::with_capacity(pages);
+        tp.resize_with(pages, || None);
+        ICache {
+            base: mem.layout().elrange.start,
+            pages: v,
+            stats: ICacheStats::default(),
+            traces: Vec::new(),
+            free_ids: Vec::new(),
+            trace_pages: tp,
+            trace_stats: TraceStats::default(),
+        }
     }
 
     /// Looks up a predecoded instruction at `pc`, enforcing coherence: a
@@ -117,6 +349,157 @@ impl ICache {
                 self.stats.prewarms += 1;
             }
         }
+    }
+
+    /// Looks up a live trace covering `pc` (at its entry or mid-trace),
+    /// enforcing coherence: a trace whose page stamp trails the current
+    /// code-write generation is killed and the lookup misses.
+    #[inline]
+    pub(crate) fn lookup_trace(&mut self, pc: u64, mem: &Memory) -> Option<(Arc<Trace>, usize)> {
+        let off = pc.checked_sub(self.base)? as usize;
+        let (id, idx) = *self.trace_pages.get(off / PAGE)?.as_ref()?.get(off % PAGE)?;
+        if id == NO_TRACE {
+            return None;
+        }
+        let trace = self.traces[id as usize].as_ref().expect("indexed ids are live");
+        debug_assert_eq!(trace.elems[idx as usize].pc, pc);
+        let (page, gen) = (trace.page, trace.gen);
+        let trace = Arc::clone(trace);
+        if !mem.stamp_current(page, gen) {
+            self.kill_id(id);
+            return None;
+        }
+        Some((trace, idx as usize))
+    }
+
+    /// Forms (and registers) a trace at `entry` on demand, decoding through
+    /// the per-instruction cache — a decode served from a cached entry
+    /// counts a hit, a fresh decode fills the cache, exactly like the
+    /// single-step miss path.
+    pub(crate) fn form_trace(&mut self, entry: u64, mem: &Memory) -> Option<Arc<Trace>> {
+        let trace = build_trace(entry, mem, &mut |pc| {
+            if let Some(hit) = self.lookup(pc, mem) {
+                return Some(hit);
+            }
+            match crate::cpu::fetch_decode_at(mem, pc) {
+                Ok((inst, len)) => {
+                    self.fill(pc, inst, len, mem);
+                    Some((inst, len))
+                }
+                Err(_) => None, // the dispatcher's fallback step surfaces the fault
+            }
+        })?;
+        self.trace_stats.formed += 1;
+        Some(self.insert_trace(trace))
+    }
+
+    /// Forms traces at install time: a greedy cover over the verifier's
+    /// disassembly, one trace per instruction address not already inside a
+    /// live trace. Decodes come exclusively from `entries` (the same
+    /// patched stream [`ICache::prewarm`] was fed), never from raw memory
+    /// and never through the hit-counting demand path — install-time work
+    /// is accounted as `prewarmed`, not as hits or fills. Returns the
+    /// formed trace lengths for the caller to fold into telemetry.
+    pub(crate) fn prewarm_traces(
+        &mut self,
+        mem: &Memory,
+        entries: &[(u64, Inst, u8)],
+    ) -> Vec<usize> {
+        let by_pc: HashMap<u64, (Inst, u8)> =
+            entries.iter().map(|&(pc, inst, len)| (pc, (inst, len))).collect();
+        let mut lens = Vec::new();
+        for &(pc, _, _) in entries {
+            if self.slot(pc).is_some_and(|&(id, _)| id != NO_TRACE) {
+                continue;
+            }
+            let trace = build_trace(pc, mem, &mut |p| by_pc.get(&p).copied());
+            if let Some(trace) = trace {
+                lens.push(trace.elems.len());
+                self.trace_stats.prewarmed += 1;
+                self.insert_trace(trace);
+            }
+        }
+        lens
+    }
+
+    /// Removes the trace whose entry address is `entry` (and every index
+    /// slot pointing at it), counting one invalidation. No-op if `entry`
+    /// is not a live trace's entry.
+    pub(crate) fn kill_trace(&mut self, entry: u64) {
+        // The entry slot is authoritative (`insert_trace` overwrites it),
+        // so it resolves the arena id when the trace is live.
+        if let Some(&(id, idx)) = self.slot(entry) {
+            if id != NO_TRACE
+                && idx == 0
+                && self.traces[id as usize].as_ref().is_some_and(|t| t.entry == entry)
+            {
+                self.kill_id(id);
+            }
+        }
+    }
+
+    /// Removes arena trace `id`, clearing exactly the index slots it owns.
+    fn kill_id(&mut self, id: u32) {
+        let trace = self.traces[id as usize].take().expect("killing a live id");
+        for elem in &trace.elems {
+            if let Some(slot) = self.slot_mut(elem.pc) {
+                if slot.0 == id {
+                    *slot = (NO_TRACE, 0);
+                }
+            }
+        }
+        self.free_ids.push(id);
+        self.trace_stats.invalidated += 1;
+    }
+
+    /// The direct-mapped index slot for `pc`, if its page is materialised.
+    #[inline]
+    fn slot(&self, pc: u64) -> Option<&(u32, u32)> {
+        let off = pc.checked_sub(self.base)? as usize;
+        self.trace_pages.get(off / PAGE)?.as_ref()?.get(off % PAGE)
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, pc: u64) -> Option<&mut (u32, u32)> {
+        let off = pc.checked_sub(self.base)? as usize;
+        self.trace_pages.get_mut(off / PAGE)?.as_mut()?.get_mut(off % PAGE)
+    }
+
+    fn insert_trace(&mut self, trace: Trace) -> Arc<Trace> {
+        debug_assert!(
+            !self.traces.iter().flatten().any(|t| t.entry == trace.entry && t.page == trace.page),
+            "insert over a live trace with the same entry"
+        );
+        let trace = Arc::new(trace);
+        let id = match self.free_ids.pop() {
+            Some(id) => {
+                self.traces[id as usize] = Some(Arc::clone(&trace));
+                id
+            }
+            None => {
+                self.traces.push(Some(Arc::clone(&trace)));
+                (self.traces.len() - 1) as u32
+            }
+        };
+        // Materialise the page's slot array on first use.
+        let page = trace.page;
+        let slots = self.trace_pages[page]
+            .get_or_insert_with(|| vec![(NO_TRACE, 0); PAGE].into_boxed_slice());
+        let page_base = self.base + (page as u64) * PAGE_SIZE;
+        for (i, elem) in trace.elems.iter().enumerate() {
+            let off = (elem.pc - page_base) as usize;
+            if i == 0 {
+                // The entry mapping is authoritative (see kill_trace's
+                // resolution of entry → arena id).
+                slots[off] = (id, 0);
+            } else if slots[off].0 == NO_TRACE {
+                // Overlapping traces may share interior addresses; first
+                // owner wins — both decode identically under the same
+                // generation, so either dispatch is correct.
+                slots[off] = (id, i as u32);
+            }
+        }
+        trace
     }
 
     fn insert(&mut self, pc: u64, inst: Inst, len: u8, mem: &Memory) -> bool {
@@ -225,6 +608,91 @@ mod tests {
         assert_eq!(ic.lookup(pc, &m), Some((Inst::Nop, 1)));
         assert_eq!(ic.lookup(pc + 1, &m), Some((Inst::Halt, 1)));
         assert_eq!(ic.stats.fills, 0);
+    }
+
+    #[test]
+    fn traces_cross_direct_edges_and_stop_at_indirect_ones() {
+        use deflection_isa::Reg;
+        let m = mem();
+        let base = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        // jmp +10 (len 5, target base+15); mov (len 10); ret (len 1).
+        let entries = [
+            (base, Inst::Jmp { rel: 10 }, 5u8),
+            (base + 15, Inst::MovRI { dst: Reg::RAX, imm: 1 }, 10),
+            (base + 25, Inst::Ret, 1),
+        ];
+        let lens = ic.prewarm_traces(&m, &entries);
+        assert_eq!(lens, vec![3], "one trace covers all three instructions");
+        assert_eq!(ic.trace_stats.prewarmed, 1);
+        let (t, idx) = ic.lookup_trace(base, &m).expect("entry lookup");
+        assert_eq!((t.elems.len(), idx), (3, 0));
+        assert_eq!(t.elems[2].flags & END, END, "ret ends the trace");
+        // Mid-trace entry through the index (AEX block boundaries need it).
+        let (_, idx) = ic.lookup_trace(base + 15, &m).expect("mid-trace lookup");
+        assert_eq!(idx, 1);
+        assert!(ic.lookup_trace(base + 1, &m).is_none(), "uncovered pcs miss");
+    }
+
+    #[test]
+    fn backward_jcc_speculates_taken_and_closes_the_loop() {
+        use deflection_isa::{CondCode, Reg};
+        let m = mem();
+        let base = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        // cmp (len 10) then jcc back to the cmp (len 6, rel -16).
+        let entries = [
+            (base, Inst::CmpRI { lhs: Reg::RAX, imm: 3 }, 10u8),
+            (base + 10, Inst::Jcc { cc: CondCode::Ne, rel: -16 }, 6),
+        ];
+        ic.prewarm_traces(&m, &entries);
+        let (t, _) = ic.lookup_trace(base, &m).expect("loop trace");
+        // The walk stops when the predicted successor closes the cycle.
+        assert_eq!(t.elems.len(), 2);
+        let jcc = &t.elems[1];
+        assert_eq!(jcc.flags & CHECK_PC, CHECK_PC);
+        assert_eq!(jcc.pred, base, "backward branch predicts taken");
+    }
+
+    #[test]
+    fn code_write_kills_traces_at_lookup() {
+        let mut m = mem();
+        let base = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        ic.prewarm_traces(&m, &[(base, Inst::Nop, 1), (base + 1, Inst::Halt, 1)]);
+        assert!(ic.lookup_trace(base, &m).is_some());
+        m.store(base + 64, 8, 0x1234).unwrap();
+        assert!(ic.lookup_trace(base, &m).is_none());
+        assert_eq!(ic.trace_stats.invalidated, 1);
+        // The index was purged with the trace: mid-trace pcs miss too.
+        assert!(ic.lookup_trace(base + 1, &m).is_none());
+        assert_eq!(ic.trace_stats.invalidated, 1, "a dead trace dies once");
+    }
+
+    #[test]
+    fn trace_formation_is_length_bounded() {
+        let m = mem();
+        let base = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        let entries: Vec<(u64, Inst, u8)> = (0..200).map(|i| (base + i, Inst::Nop, 1u8)).collect();
+        let lens = ic.prewarm_traces(&m, &entries);
+        assert_eq!(lens[0], MAX_TRACE_LEN);
+        // The greedy cover picks up where the bounded trace stopped.
+        assert!(ic.lookup_trace(base + MAX_TRACE_LEN as u64, &m).is_some());
+    }
+
+    #[test]
+    fn traces_never_cross_an_executable_page_boundary() {
+        let m = mem();
+        let base = m.layout().code.start;
+        let mut ic = ICache::new(&m);
+        let start = base + PAGE_SIZE - 2;
+        let entries: Vec<(u64, Inst, u8)> = (0..4).map(|i| (start + i, Inst::Nop, 1u8)).collect();
+        let lens = ic.prewarm_traces(&m, &entries);
+        // Two single-page traces: [.., page end) and [next page, ..).
+        assert_eq!(lens, vec![2, 2]);
+        let (t, _) = ic.lookup_trace(start, &m).expect("first-page trace");
+        assert_eq!(t.elems.len(), 2);
     }
 
     #[test]

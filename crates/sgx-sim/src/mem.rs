@@ -154,6 +154,35 @@ impl Memory {
         self.page_code_gen.get(page).copied()
     }
 
+    /// The enclave page index containing `addr`, or `None` outside ELRANGE.
+    /// Trace formation keys its coherence stamps by this index.
+    #[must_use]
+    pub fn page_index(&self, addr: u64) -> Option<usize> {
+        if self.layout.elrange.contains(addr) {
+            Some(((addr - self.layout.elrange.start) / PAGE_SIZE) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Trace-region stamp query: the code-write generation of the page
+    /// containing `addr`, or `None` outside ELRANGE. A cached superblock
+    /// trace records this stamp at formation and re-executes only while it
+    /// still matches — the single load the trace dispatcher's mid-run
+    /// self-modifying-code check performs.
+    #[must_use]
+    pub fn code_stamp(&self, addr: u64) -> Option<u64> {
+        self.page_code_gen(self.page_index(addr)?)
+    }
+
+    /// Whether the page stamped `gen` at trace-formation time is still
+    /// unchanged. `page` indexes ELRANGE pages like [`Memory::page_code_gen`].
+    #[inline]
+    #[must_use]
+    pub fn stamp_current(&self, page: usize, gen: u64) -> bool {
+        self.page_code_gen.get(page).copied() == Some(gen)
+    }
+
     /// Stamps every executable page overlapping the enclave-relative byte
     /// range `off..off + len` with a fresh code-write generation.
     fn note_enclave_write(&mut self, off: usize, len: usize) {

@@ -4,11 +4,12 @@
 
 use crate::aex::AexInjector;
 use crate::cpu::{Cpu, StepEvent};
-use crate::icache::{ICache, ICacheStats};
+use crate::icache::{ICache, ICacheStats, Trace, TraceStats, CHECK_GEN, CHECK_PC, END};
 use crate::mem::Memory;
 use crate::Fault;
 use deflection_isa::{Inst, Reg};
 use deflection_telemetry::{LocalHistogram, METRICS};
+use std::sync::Arc;
 
 /// Host services the running enclave can reach.
 ///
@@ -87,6 +88,39 @@ impl RunExit {
     }
 }
 
+/// How the run loop dispatches instructions. All three modes are proven
+/// observationally identical by `tests/icache_differential.rs`; the
+/// non-default modes exist as auditable oracles and ablation baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Superblock trace dispatch (the default): predecoded multi-branch
+    /// traces with trace-to-trace chaining and in-trace side-exit checks.
+    Traced,
+    /// Per-instruction icache dispatch in AEX-sized blocks — the PR-5
+    /// mid-tier, kept as the ablation baseline traces must beat.
+    Block,
+    /// Fetch + decode every step from raw bytes, check the AEX schedule
+    /// every step — the pre-icache reference semantics.
+    Reference,
+}
+
+/// How a trace run ended (other than by ending the whole run).
+enum TraceEnd {
+    /// Ran off the end of the trace (or an `END` element) with `pc` at the
+    /// natural successor — eligible for chaining.
+    Completed,
+    /// A speculated element's pc re-check missed; `pc` holds the actual
+    /// successor.
+    SideExit,
+    /// A stamp re-check caught a write into the trace's own page; the
+    /// caller must kill the trace.
+    Killed,
+    /// The AEX block budget ran out mid-trace.
+    Budget,
+    /// The run is over.
+    Exit(RunExit),
+}
+
 /// A ready-to-run virtual machine.
 #[derive(Debug)]
 pub struct Vm {
@@ -98,24 +132,34 @@ pub struct Vm {
     pub aex: AexInjector,
     /// Execution counters.
     pub stats: ExecStats,
-    /// Predecoded instruction cache (see [`crate::icache`]).
+    /// Predecoded instruction + trace cache (see [`crate::icache`]).
     icache: ICache,
-    /// When set, every step re-fetches and re-decodes from raw bytes — the
-    /// pre-icache reference semantics differential tests diff against.
-    decode_every_step: bool,
+    /// Active dispatch mode.
+    mode: ExecMode,
     /// Local block-length accumulator: the dispatch loop records here with
     /// no atomics, and `run` folds it into the collector once at exit.
     block_lens: LocalHistogram,
+    /// Local trace-length accumulator, folded like `block_lens`.
+    trace_lens: LocalHistogram,
 }
 
-/// Process-wide default for the reference mode, read once from the
-/// `DEFLECTION_DECODE_EVERY_STEP` environment variable.
-fn decode_every_step_default() -> bool {
+/// Process-wide default dispatch mode, read once from the environment:
+/// `DEFLECTION_DECODE_EVERY_STEP` forces [`ExecMode::Reference`],
+/// `DEFLECTION_BLOCK_DISPATCH` forces [`ExecMode::Block`], otherwise
+/// [`ExecMode::Traced`].
+fn exec_mode_default() -> ExecMode {
     use std::sync::OnceLock;
-    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    static DEFAULT: OnceLock<ExecMode> = OnceLock::new();
+    let set =
+        |var: &str| std::env::var(var).is_ok_and(|v| !v.is_empty() && v != "0" && v != "false");
     *DEFAULT.get_or_init(|| {
-        std::env::var("DEFLECTION_DECODE_EVERY_STEP")
-            .is_ok_and(|v| !v.is_empty() && v != "0" && v != "false")
+        if set("DEFLECTION_DECODE_EVERY_STEP") {
+            ExecMode::Reference
+        } else if set("DEFLECTION_BLOCK_DISPATCH") {
+            ExecMode::Block
+        } else {
+            ExecMode::Traced
+        }
     })
 }
 
@@ -133,8 +177,9 @@ impl Vm {
             aex: AexInjector::none(),
             stats: ExecStats::default(),
             icache,
-            decode_every_step: decode_every_step_default(),
+            mode: exec_mode_default(),
             block_lens: LocalHistogram::new(),
+            trace_lens: LocalHistogram::new(),
         }
     }
 
@@ -143,23 +188,41 @@ impl Vm {
         self.aex = aex;
     }
 
-    /// Switches between icache dispatch (default) and the decode-every-step
-    /// reference mode. Both must be observationally identical; the flag
-    /// exists for differential tests and the `ablation_icache` bench.
+    /// Selects the dispatch mode. All modes must be observationally
+    /// identical; the non-default ones exist for differential tests and
+    /// the `ablation_icache` bench.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The active dispatch mode.
+    #[must_use]
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Compatibility shim: `true` selects [`ExecMode::Reference`], `false`
+    /// the default [`ExecMode::Traced`].
     pub fn set_decode_every_step(&mut self, on: bool) {
-        self.decode_every_step = on;
+        self.mode = if on { ExecMode::Reference } else { ExecMode::Traced };
     }
 
     /// Whether the reference (decode-every-step) mode is active.
     #[must_use]
     pub fn decode_every_step(&self) -> bool {
-        self.decode_every_step
+        self.mode == ExecMode::Reference
     }
 
     /// Icache event counters accumulated so far.
     #[must_use]
     pub fn icache_stats(&self) -> ICacheStats {
         self.icache.stats
+    }
+
+    /// Trace-cache event counters accumulated so far.
+    #[must_use]
+    pub fn trace_stats(&self) -> TraceStats {
+        self.icache.trace_stats
     }
 
     /// Seeds the icache with already-decoded instructions — the install
@@ -169,25 +232,193 @@ impl Vm {
         self.icache.prewarm(&self.mem, entries);
     }
 
+    /// Forms superblock traces over the verifier's disassembly at install
+    /// time (greedy cover, one trace per address not already covered), so a
+    /// full-policy run needs no demand formations at all. Decodes come
+    /// exclusively from `entries`; install-time work is accounted as
+    /// `prewarmed`, never as demand hits or fills.
+    pub fn prewarm_traces(&mut self, entries: &[(u64, Inst, u8)]) {
+        let lens = self.icache.prewarm_traces(&self.mem, entries);
+        // Install time is a host-witnessed boundary: fold directly.
+        let mut local = LocalHistogram::new();
+        for len in lens {
+            local.observe(len as u64);
+        }
+        METRICS.vm_trace_len.merge(&local);
+    }
+
     /// Runs until halt, abort, fault or fuel exhaustion.
     pub fn run(&mut self, fuel: u64, host: &mut dyn VmHost) -> RunExit {
         let before = self.icache.stats;
-        let exit = if self.decode_every_step {
-            self.run_reference(fuel, host)
-        } else {
-            self.run_cached(fuel, host)
+        let tbefore = self.icache.trace_stats;
+        let exit = match self.mode {
+            ExecMode::Traced => self.run_traced(fuel, host),
+            ExecMode::Block => self.run_cached(fuel, host),
+            ExecMode::Reference => self.run_reference(fuel, host),
         };
         // Flush hardware-model counters once per ECall-like boundary; the
         // hot loops above never touch the host metrics plane themselves —
-        // block lengths accumulate in a local histogram and fold in here,
-        // after the run, on the host side (see DESIGN.md §5f).
+        // block/trace lengths accumulate in local histograms and fold in
+        // here, after the run, on the host side (see DESIGN.md §5f).
         let after = self.icache.stats;
         METRICS.vm_icache_hits.add(after.hits - before.hits);
         METRICS.vm_icache_fills.add(after.fills - before.fills);
         METRICS.vm_icache_invalidations.add(after.invalidations - before.invalidations);
+        let tafter = self.icache.trace_stats;
+        METRICS.vm_trace_formed.add(tafter.formed - tbefore.formed);
+        METRICS.vm_trace_chained.add(tafter.chained - tbefore.chained);
+        METRICS.vm_trace_side_exits.add(tafter.side_exits - tbefore.side_exits);
+        METRICS.vm_trace_invalidated.add(tafter.invalidated - tbefore.invalidated);
         METRICS.vm_dispatch_block_len.merge(&self.block_lens);
         self.block_lens.clear();
+        METRICS.vm_trace_len.merge(&self.trace_lens);
+        self.trace_lens.clear();
         exit
+    }
+
+    /// Superblock trace dispatch: like the block mode, the AEX plan bounds
+    /// how many instructions run unchecked, but within a block execution
+    /// threads through predecoded traces — crossing direct branches without
+    /// re-entering the lookup path, chaining trace to trace, and falling
+    /// back to single-step dispatch only where no trace can form.
+    fn run_traced(&mut self, fuel: u64, host: &mut dyn VmHost) -> RunExit {
+        let mut remaining = fuel;
+        // Whether the previous trace completed onto its successor without
+        // leaving trace dispatch — the "chained" transition telemetry.
+        let mut completed = false;
+        while remaining > 0 {
+            let (fire, block) = self.aex.plan(self.stats.instructions, remaining);
+            if fire {
+                self.aex.deliver(&self.cpu, &mut self.mem);
+                self.stats.aex_injected += 1;
+            }
+            self.block_lens.observe(block);
+            let mut budget = block;
+            while budget > 0 {
+                let found = self.icache.lookup_trace(self.cpu.pc, &self.mem);
+                let (trace, idx) = match found {
+                    Some((trace, idx)) => {
+                        if completed {
+                            self.icache.trace_stats.chained += 1;
+                        }
+                        (trace, idx)
+                    }
+                    None => match self.icache.form_trace(self.cpu.pc, &self.mem) {
+                        Some(trace) => {
+                            self.trace_lens.observe(trace.elems.len() as u64);
+                            (trace, 0)
+                        }
+                        None => {
+                            // Straddling or undecodable entry: single-step
+                            // (faults surface here with reference-identical
+                            // pc state).
+                            completed = false;
+                            self.stats.instructions += 1;
+                            budget -= 1;
+                            let event = match self.icache.lookup(self.cpu.pc, &self.mem) {
+                                Some((inst, len)) => {
+                                    let next = self.cpu.pc.wrapping_add(u64::from(len));
+                                    self.cpu.execute(inst, next, &mut self.mem)
+                                }
+                                None => self.step_on_miss(),
+                            };
+                            if let Some(exit) = self.dispatch_event(event, host) {
+                                return exit;
+                            }
+                            continue;
+                        }
+                    },
+                };
+                let (executed, end) = self.run_trace(&trace, idx, budget, host);
+                budget -= executed;
+                match end {
+                    TraceEnd::Exit(exit) => return exit,
+                    TraceEnd::Completed => completed = true,
+                    TraceEnd::SideExit => {
+                        self.icache.trace_stats.side_exits += 1;
+                        completed = false;
+                    }
+                    TraceEnd::Killed => {
+                        self.icache.kill_trace(trace.entry);
+                        completed = false;
+                    }
+                    TraceEnd::Budget => completed = false,
+                }
+            }
+            remaining -= block;
+        }
+        RunExit::OutOfFuel
+    }
+
+    /// Executes up to `budget` elements of `trace` starting at `idx`,
+    /// returning how many instructions ran and why the trace ended.
+    fn run_trace(
+        &mut self,
+        trace: &Arc<Trace>,
+        mut idx: usize,
+        budget: u64,
+        host: &mut dyn VmHost,
+    ) -> (u64, TraceEnd) {
+        let elems = &trace.elems;
+        // The architectural instruction counter is flushed at every exit
+        // from this loop rather than bumped per element — nothing inside
+        // the loop observes it (hosts see only `Cpu`/`Memory`).
+        let base = self.stats.instructions;
+        let mut executed = 0u64;
+        let end = 'run: loop {
+            if executed >= budget {
+                break 'run TraceEnd::Budget;
+            }
+            let elem = &elems[idx];
+            debug_assert_eq!(self.cpu.pc, elem.pc, "trace dispatch invariant");
+            executed += 1;
+            let event = self.cpu.execute_pred(&elem.op, &mut self.mem);
+            if !matches!(event, Ok(StepEvent::Continue)) {
+                self.stats.instructions = base + executed;
+                if let Some(exit) = self.dispatch_event(event, host) {
+                    break 'run TraceEnd::Exit(exit);
+                }
+            }
+            let flags = elem.flags;
+            if flags != 0 {
+                if flags & CHECK_GEN != 0 && !self.mem.stamp_current(trace.page, trace.gen) {
+                    break 'run TraceEnd::Killed;
+                }
+                if flags & END != 0 {
+                    break 'run TraceEnd::Completed;
+                }
+                if flags & CHECK_PC != 0 && self.cpu.pc != elem.pred {
+                    // In-trace recovery: a mispredicted branch whose real
+                    // target lies inside this very trace (the common loop
+                    // diamond) re-enters by local search instead of
+                    // bouncing through the dispatcher's lookup.
+                    if let Some(j) = trace.find(self.cpu.pc) {
+                        self.icache.trace_stats.side_exits += 1;
+                        idx = j;
+                        continue;
+                    }
+                    break 'run TraceEnd::SideExit;
+                }
+            }
+            idx += 1;
+            if idx == elems.len() {
+                // The walk ended mid-flow (length bound or a cycle closing
+                // back into the trace): chain in place when the successor
+                // is one of our own elements — the entry wrap (a loop body
+                // that is exactly this trace) is the hot case.
+                if self.cpu.pc == trace.entry {
+                    idx = 0;
+                    self.icache.trace_stats.chained += 1;
+                } else if let Some(j) = trace.find(self.cpu.pc) {
+                    idx = j;
+                    self.icache.trace_stats.chained += 1;
+                } else {
+                    break 'run TraceEnd::Completed;
+                }
+            }
+        };
+        self.stats.instructions = base + executed;
+        (executed, end)
     }
 
     /// Block dispatch: between two AEX fire points no per-step schedule
@@ -346,9 +577,9 @@ mod tests {
     }
 
     #[test]
-    fn cached_and_reference_execution_agree_under_aex() {
-        // A spin loop with periodic AEX: the block-dispatch path must land
-        // on exactly the same counters and exit as decode-every-step.
+    fn all_three_modes_agree_under_aex() {
+        // A loop with periodic AEX: traced, block and reference dispatch
+        // must land on exactly the same counters and exit.
         let build = |rel: i32| {
             vec![
                 Inst::AluRI { op: deflection_isa::AluOp::Add, dst: Reg::RBX, imm: 1 },
@@ -360,22 +591,119 @@ mod tests {
         };
         let (_, offs) = encode_program(&build(0));
         let prog = build(-(offs[3] as i32)); // back to the add
-        let run_mode = |reference: bool| {
+        let run_mode = |mode: ExecMode| {
             let mut vm = vm_with(&prog);
-            vm.set_decode_every_step(reference);
+            vm.set_exec_mode(mode);
             vm.set_aex(AexInjector::new(AexSchedule::Periodic { interval: 13 }));
             let exit = vm.run(10_000, &mut NullHost);
-            (exit, vm.stats, vm.icache_stats())
+            (exit, vm.stats, vm.icache_stats(), vm.trace_stats())
         };
-        let (exit_c, stats_c, icache_c) = run_mode(false);
-        let (exit_r, stats_r, icache_r) = run_mode(true);
-        assert_eq!(exit_c, RunExit::Halted { exit: 7 });
-        assert_eq!(exit_c, exit_r);
-        assert_eq!(stats_c, stats_r);
-        // The cached mode actually cached: the loop body re-dispatched from
-        // predecoded entries; the reference mode never touched the cache.
-        assert!(icache_c.hits > icache_c.fills);
+        let (exit_t, stats_t, _, traces_t) = run_mode(ExecMode::Traced);
+        let (exit_b, stats_b, icache_b, traces_b) = run_mode(ExecMode::Block);
+        let (exit_r, stats_r, icache_r, traces_r) = run_mode(ExecMode::Reference);
+        assert_eq!(exit_t, RunExit::Halted { exit: 7 });
+        assert_eq!(exit_t, exit_b);
+        assert_eq!(exit_t, exit_r);
+        assert_eq!(stats_t, stats_b);
+        assert_eq!(stats_t, stats_r);
+        // Traced mode really traced: the backward Jcc kept the loop inside
+        // one trace (wrapping counts as chaining) and the final fallthrough
+        // side-exited it exactly once.
+        assert!(traces_t.formed >= 1);
+        assert!(traces_t.chained > 0);
+        assert_eq!(traces_t.side_exits, 1);
+        // Block mode really cached, and neither baseline touched traces.
+        assert!(icache_b.hits > icache_b.fills);
+        assert_eq!(traces_b, TraceStats::default());
         assert_eq!(icache_r, crate::icache::ICacheStats::default());
+        assert_eq!(traces_r, TraceStats::default());
+    }
+
+    #[test]
+    fn trace_crosses_direct_branches_in_one_formation() {
+        // jmp over a dead mov, then a call/ret pair: Jmp and Call both stay
+        // inside one trace; Ret ends it and chains back through the index.
+        let build = |jmp_rel: i32, call_rel: i32| {
+            vec![
+                Inst::Jmp { rel: jmp_rel },             // 0: over the dead mov
+                Inst::MovRI { dst: Reg::RAX, imm: 99 }, // 1: dead
+                Inst::Call { rel: call_rel },           // 2
+                Inst::Halt,                             // 3
+                Inst::MovRI { dst: Reg::RAX, imm: 21 }, // 4: callee
+                Inst::Ret,                              // 5
+            ]
+        };
+        let (_, offs) = encode_program(&build(0, 0));
+        let prog = build(
+            (offs[2] - offs[1]) as i32, // jmp → call
+            (offs[4] - offs[3]) as i32, // call → callee
+        );
+        let mut vm = vm_with(&prog);
+        vm.set_exec_mode(ExecMode::Traced);
+        assert_eq!(vm.run(100, &mut NullHost), RunExit::Halted { exit: 21 });
+        let t = vm.trace_stats();
+        // One trace covers jmp→call→mov→ret (crossing two direct edges);
+        // the Ret ends it and the Halt continuation chains or forms anew.
+        assert!(t.formed >= 1);
+        assert!(t.formed <= 2, "direct edges must not fragment the trace: {t:?}");
+        assert_eq!(vm.stats.instructions, 5);
+    }
+
+    #[test]
+    fn store_into_own_trace_page_kills_it_mid_run() {
+        // A store patches the immediate of the *following* instruction in
+        // the same trace. The stamp re-check after the store must kill the
+        // trace before the stale successor executes.
+        use deflection_isa::MemOperand;
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let (_, offs) = encode_program(&[
+            Inst::MovRI { dst: Reg::RBX, imm: 0 },
+            Inst::Store { mem: MemOperand::abs(0), src: Reg::RBX },
+            Inst::MovRI { dst: Reg::RAX, imm: 1 },
+            Inst::Halt,
+        ]);
+        // Patch target: the imm field (at +2) of the MovRI after the store.
+        let patch = layout.code.start + offs[2] as u64 + 2;
+        let prog = [
+            Inst::MovRI { dst: Reg::RBX, imm: 77 },
+            Inst::Store { mem: MemOperand::abs(patch as i32), src: Reg::RBX },
+            Inst::MovRI { dst: Reg::RAX, imm: 1 }, // becomes imm: 77 at runtime
+            Inst::Halt,
+        ];
+        for mode in [ExecMode::Traced, ExecMode::Block, ExecMode::Reference] {
+            let mut vm = vm_with(&prog);
+            vm.set_exec_mode(mode);
+            let exit = vm.run(100, &mut NullHost);
+            assert_eq!(exit, RunExit::Halted { exit: 77 }, "{mode:?}");
+            if mode == ExecMode::Traced {
+                assert!(vm.trace_stats().invalidated >= 1, "store must kill the live trace");
+            }
+        }
+    }
+
+    #[test]
+    fn prewarmed_traces_need_no_demand_formation() {
+        let prog = [Inst::MovRI { dst: Reg::RAX, imm: 9 }, Inst::Nop, Inst::Nop, Inst::Halt];
+        let mut vm = vm_with(&prog);
+        vm.set_exec_mode(ExecMode::Traced);
+        let (_, offs) = encode_program(&prog);
+        let base = vm.mem.layout().code.start;
+        let entries: Vec<(u64, Inst, u8)> = prog
+            .iter()
+            .enumerate()
+            .map(|(i, &inst)| {
+                let end = if i + 1 < offs.len() { offs[i + 1] } else { offs[i] + 1 };
+                (base + offs[i] as u64, inst, (end - offs[i]) as u8)
+            })
+            .collect();
+        vm.prewarm_icache(entries.iter().copied());
+        vm.prewarm_traces(&entries);
+        let warmed = vm.trace_stats();
+        assert!(warmed.prewarmed >= 1);
+        assert_eq!(warmed.formed, 0);
+        assert_eq!(vm.run(100, &mut NullHost), RunExit::Halted { exit: 9 });
+        assert_eq!(vm.trace_stats().formed, 0, "prewarmed cover must serve the whole run");
+        assert_eq!(vm.icache_stats().fills, 0);
     }
 
     #[test]

@@ -373,6 +373,15 @@ pub struct Metrics {
     pub vm_icache_invalidations: Counter,
     pub vm_icache_prewarms: Counter,
     pub vm_dispatch_block_len: Histogram,
+    // Superblock trace cache: formation/chaining/side-exit/kill events and
+    // the length distribution of formed traces (same hardware-observable
+    // argument as the icache counters above — trace formation is decode
+    // activity the host can already time).
+    pub vm_trace_formed: Counter,
+    pub vm_trace_chained: Counter,
+    pub vm_trace_side_exits: Counter,
+    pub vm_trace_invalidated: Counter,
+    pub vm_trace_len: Histogram,
 }
 
 impl Metrics {
@@ -482,6 +491,20 @@ impl Metrics {
                 r#"event="prewarm""#,
             ),
             vm_dispatch_block_len: Histogram::new("deflection_vm_dispatch_block_len", ""),
+            vm_trace_formed: Counter::new("deflection_vm_trace_events_total", r#"event="formed""#),
+            vm_trace_chained: Counter::new(
+                "deflection_vm_trace_events_total",
+                r#"event="chained""#,
+            ),
+            vm_trace_side_exits: Counter::new(
+                "deflection_vm_trace_events_total",
+                r#"event="side_exit""#,
+            ),
+            vm_trace_invalidated: Counter::new(
+                "deflection_vm_trace_events_total",
+                r#"event="invalidated""#,
+            ),
+            vm_trace_len: Histogram::new("deflection_vm_trace_len", ""),
         }
     }
 
@@ -506,7 +529,7 @@ impl Metrics {
         ]
     }
 
-    fn more_counters(&self) -> [&Counter; 12] {
+    fn more_counters(&self) -> [&Counter; 16] {
         [
             &self.run_budget_exhaustions,
             &self.audit_events,
@@ -515,6 +538,10 @@ impl Metrics {
             &self.vm_icache_fills,
             &self.vm_icache_invalidations,
             &self.vm_icache_prewarms,
+            &self.vm_trace_formed,
+            &self.vm_trace_chained,
+            &self.vm_trace_side_exits,
+            &self.vm_trace_invalidated,
             &self.producer_opt_peephole,
             &self.producer_opt_const_fold,
             &self.producer_opt_loop_bound,
@@ -549,6 +576,7 @@ impl Metrics {
         let mut v: Vec<&Histogram> = self.histograms().to_vec();
         v.push(&self.run_sent_bytes);
         v.push(&self.vm_dispatch_block_len);
+        v.push(&self.vm_trace_len);
         v
     }
 

@@ -45,12 +45,23 @@ cargo test -q
 echo "==> tier-1: chaos/fault-injection suite (pool_chaos, sealed_install)"
 cargo test -q -p deflection-core --test pool_chaos --test sealed_install
 
+# The icache differential suite runs under the default (traced) dispatch
+# above; force one pass through the decode-every-step environment switch so
+# the env-var plumbing the CI differential job depends on cannot rot.
+echo "==> tier-1: icache differential with DEFLECTION_DECODE_EVERY_STEP=1"
+DEFLECTION_DECODE_EVERY_STEP=1 cargo test -q --test icache_differential
+
 # Elision-precision ratchet: the test regenerates PRECISION.json and fails
 # if any program proves fewer guards than the committed baseline. The diff
 # below closes the other direction — an *improvement* (or any drift) must
 # be committed as the new baseline, or the ratchet quietly stops ratcheting.
 echo "==> tier-1: precision ratchet (PRECISION.json vs PRECISION.baseline.json)"
-cargo test -q --test precision_ratchet
+cargo test -q --test precision_ratchet || {
+    echo "precision ratchet failed:" >&2
+    echo "  if the regression is intended, review PRECISION.json, then:" >&2
+    echo "  cp PRECISION.json PRECISION.baseline.json" >&2
+    exit 1
+}
 if ! diff -u PRECISION.baseline.json PRECISION.json; then
     echo "precision drifted from the committed baseline:" >&2
     echo "  review the diff, then: cp PRECISION.json PRECISION.baseline.json" >&2

@@ -125,6 +125,13 @@ fn main() -> ExitCode {
         "icache: {} pre-warmed, {} hits, {} demand fills, {} invalidations",
         icache.prewarms, icache.hits, icache.fills, icache.invalidations
     );
+    // Same health check for the trace layer: install forms the trace
+    // cover, so demand formations here mean the cover missed something.
+    let traces = enclave.trace_stats();
+    println!(
+        "traces: {} pre-warmed, {} demand-formed, {} chained, {} side exits, {} invalidated",
+        traces.prewarmed, traces.formed, traces.chained, traces.side_exits, traces.invalidated
+    );
 
     let snapshot = Collector::snapshot();
     println!("\n{}", snapshot.to_prometheus());

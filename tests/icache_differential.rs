@@ -1,12 +1,15 @@
-//! Differential suite for the predecoded instruction cache: the VM's block
-//! dispatch (`icache.rs` + `Vm::run_cached`) must be *bit-identical* to the
-//! decode-every-step reference interpreter — same exit, same counters, same
-//! final memory image, same leak log — on every program shape we can throw
-//! at it: the full attack corpus, the elision corpus, every AEX schedule,
-//! fuel exhaustion mid-block, and proptest-generated programs.
+//! Differential suite for the predecoded instruction + trace caches: all
+//! three VM dispatch modes — superblock traces (`Vm::run_traced`, the
+//! default), per-instruction block dispatch (`Vm::run_cached`) and the
+//! decode-every-step reference interpreter — must be *bit-identical*: same
+//! exit, same counters, same final memory image, same leak log — on every
+//! program shape we can throw at them: the full attack corpus, the elision
+//! corpus, every AEX schedule, fuel exhaustion mid-block and mid-trace,
+//! self-modifying code that patches a live trace, and proptest-generated
+//! programs.
 //!
-//! The cache is a pure performance artifact; any observable divergence is a
-//! soundness bug, so these tests compare whole-machine snapshots rather
+//! The caches are pure performance artifacts; any observable divergence is
+//! a soundness bug, so these tests compare whole-machine snapshots rather
 //! than spot-checking exit codes.
 
 use deflection::core::attack::{corpus, elision_corpus, Expected};
@@ -17,8 +20,10 @@ use deflection::crypto::sha256::sha256;
 use deflection::sgx::aex::{AexInjector, AexSchedule};
 use deflection::sgx::layout::{EnclaveLayout, MemConfig};
 use deflection::sgx::mem::LeakRecord;
-use deflection::sgx::vm::{ExecStats, RunExit};
+use deflection::sgx::vm::{ExecMode, ExecStats, RunExit};
 use proptest::prelude::*;
+
+const ALL_MODES: [ExecMode; 3] = [ExecMode::Traced, ExecMode::Block, ExecMode::Reference];
 
 /// Everything an execution can observably produce. Two runs are equivalent
 /// iff their snapshots are `==`.
@@ -54,7 +59,7 @@ fn snapshot(enclave: &BootstrapEnclave, report: RunReport) -> Snapshot {
     }
 }
 
-/// Installs `binary` and runs it to `fuel` in the requested decode mode.
+/// Installs `binary` and runs it to `fuel` in the requested dispatch mode.
 /// Returns `None` when installation is rejected (mode-independent: the
 /// consumer pipeline never consults the icache).
 fn run_mode(
@@ -63,7 +68,7 @@ fn run_mode(
     input: &[u8],
     aex: AexSchedule,
     fuel: u64,
-    reference: bool,
+    mode: ExecMode,
 ) -> Option<Snapshot> {
     let mut enclave =
         BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest.clone());
@@ -71,7 +76,7 @@ fn run_mode(
     if enclave.install_plain(binary).is_err() {
         return None;
     }
-    enclave.set_decode_every_step(reference);
+    enclave.set_exec_mode(mode);
     enclave.set_aex(AexInjector::new(aex));
     if !input.is_empty() {
         enclave.provide_input(input).expect("installed");
@@ -80,8 +85,8 @@ fn run_mode(
     Some(snapshot(&enclave, report))
 }
 
-/// Asserts cached and reference execution agree, returning the cached
-/// snapshot (if the binary installed at all).
+/// Asserts all three dispatch modes agree, returning the traced snapshot
+/// (if the binary installed at all).
 fn assert_identical(
     name: &str,
     binary: &[u8],
@@ -90,13 +95,15 @@ fn assert_identical(
     aex: &AexSchedule,
     fuel: u64,
 ) -> Option<Snapshot> {
-    let cached = run_mode(binary, manifest, input, aex.clone(), fuel, false);
-    let reference = run_mode(binary, manifest, input, aex.clone(), fuel, true);
-    assert_eq!(
-        cached, reference,
-        "{name}: cached and reference runs diverged ({aex:?}, fuel {fuel})"
-    );
-    cached
+    let traced = run_mode(binary, manifest, input, aex.clone(), fuel, ExecMode::Traced);
+    for mode in [ExecMode::Block, ExecMode::Reference] {
+        let other = run_mode(binary, manifest, input, aex.clone(), fuel, mode);
+        assert_eq!(
+            traced, other,
+            "{name}: traced and {mode:?} runs diverged ({aex:?}, fuel {fuel})"
+        );
+    }
+    traced
 }
 
 /// Every attack in both corpora, under the manifest that lets it execute:
@@ -187,17 +194,88 @@ fn rewriter_coherence_prewarm_serves_patched_decodes() {
     assert_identical("honest", &binary, &manifest, b"", &aex, u64::MAX / 2)
         .expect("honest binary installs");
 
-    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    // Traced mode (the default): the install-time greedy trace cover must
+    // serve the whole run — zero demand fills AND zero demand formations.
+    let mut enclave =
+        BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest.clone());
     enclave.set_owner_session([0x5A; 32]);
     enclave.install_plain(&binary).expect("verifies");
-    enclave.set_aex(AexInjector::new(aex));
+    enclave.set_exec_mode(ExecMode::Traced);
+    enclave.set_aex(AexInjector::new(aex.clone()));
     let report = enclave.run(u64::MAX / 2).expect("installed");
     assert!(matches!(report.exit, RunExit::Halted { .. }));
     let stats = enclave.icache_stats();
     assert!(stats.prewarms > 0, "install must pre-warm the cache");
     assert_eq!(stats.fills, 0, "pre-warm must cover every executed instruction");
     assert_eq!(stats.invalidations, 0, "nothing wrote code after install");
-    assert!(stats.hits > 0);
+    let traces = enclave.trace_stats();
+    assert!(traces.prewarmed > 0, "install must form the trace cover");
+    assert_eq!(traces.formed, 0, "trace cover must need no demand formations");
+    assert_eq!(traces.invalidated, 0, "nothing wrote code after install");
+
+    // Block mode: the same pre-warm serves every per-instruction dispatch.
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), manifest);
+    enclave.set_owner_session([0x5A; 32]);
+    enclave.install_plain(&binary).expect("verifies");
+    enclave.set_exec_mode(ExecMode::Block);
+    enclave.set_aex(AexInjector::new(aex));
+    let report = enclave.run(u64::MAX / 2).expect("installed");
+    assert!(matches!(report.exit, RunExit::Halted { .. }));
+    let stats = enclave.icache_stats();
+    assert!(stats.hits > 0, "block dispatch must serve from the pre-warm");
+    assert_eq!(stats.fills, 0, "pre-warm must cover every executed instruction");
+}
+
+/// The hardest coherence case: code patched *while a formed trace over it
+/// is live*, then re-executed. The corpus' self-modifying attack cannot
+/// exercise this — its baked-in P1 guards abort the store before it lands —
+/// so this builds an *unguarded* variant (produced under `PolicySet::none`,
+/// run under the permissive manifest): call the victim (warming a trace
+/// over its code), store over the victim's first instruction, call it
+/// again. A traced VM replaying the stale trace would run the original
+/// victim and diverge from the reference interpreter; the only sound
+/// behavior is to kill the trace and decode the patched bytes fresh.
+#[test]
+fn self_modifying_store_kills_live_traces_mid_run() {
+    use deflection::core::producer::produce_from_mir;
+    use deflection::isa::{Inst, MemOperand, Reg};
+    use deflection::lang::mir::{MFunction, MInst, MirProgram};
+
+    let mut victim = MFunction::new("victim");
+    victim.real(Inst::MovRI { dst: Reg::RAX, imm: 7 });
+    victim.push(MInst::Ret);
+    let mut main = MFunction::new("__start");
+    main.push(MInst::CallSym("victim".into()));
+    main.push(MInst::LoadSymAddr { dst: Reg::RBX, symbol: "victim".into(), addend: 0 });
+    main.real(Inst::MovRI { dst: Reg::RAX, imm: 0x0101_0101 });
+    main.real(Inst::Store { mem: MemOperand::base_disp(Reg::RBX, 0), src: Reg::RAX });
+    main.push(MInst::CallSym("victim".into()));
+    main.real(Inst::Halt);
+    let mir = MirProgram {
+        entry: "__start".into(),
+        functions: vec![main, victim],
+        data: vec![],
+        indirect_targets: vec![],
+    };
+    let binary = produce_from_mir(&mir, &PolicySet::none()).expect("assembles").serialize();
+
+    let mut permissive = Manifest::ccaas();
+    permissive.policy = PolicySet::none();
+    for aex in [AexSchedule::None, AexSchedule::Periodic { interval: 3 }] {
+        assert_identical("unguarded-smc", &binary, &permissive, b"", &aex, 1_000_000)
+            .expect("permissive manifest lets it run");
+    }
+
+    let mut enclave = BootstrapEnclave::new(EnclaveLayout::new(MemConfig::small()), permissive);
+    enclave.set_owner_session([0x5A; 32]);
+    enclave.install_plain(&binary).expect("installs under no policy");
+    enclave.set_exec_mode(ExecMode::Traced);
+    let _ = enclave.run(1_000_000).expect("installed");
+    assert!(
+        enclave.trace_stats().invalidated >= 1,
+        "the self-modifying store must kill a live trace: {:?}",
+        enclave.trace_stats()
+    );
 }
 
 /// The literal warm → patch → run sequence: pre-warm the cache with the
@@ -230,7 +308,7 @@ fn rewrite_after_warm_is_observed_by_the_cache() {
     let manifest = Manifest::ccaas();
     let binary = produce(LOOP_SRC, &manifest.policy).expect("compiles").serialize();
     let mut outcomes = Vec::new();
-    for reference in [false, true] {
+    for mode in ALL_MODES {
         let layout = EnclaveLayout::new(MemConfig::small());
         let mut mem = Memory::new(layout.clone());
         let installed = install(&binary, &manifest, &mut mem).expect("verifies");
@@ -240,13 +318,16 @@ fn rewrite_after_warm_is_observed_by_the_cache() {
             manifest.aex_threshold,
         );
         let mut vm = Vm::new(mem, installed.program.entry_va);
-        vm.set_decode_every_step(reference);
-        // Warm: the exact pre-warm the runtime's install path performs.
+        vm.set_exec_mode(mode);
+        // Warm: the exact pre-warm the runtime's install path performs,
+        // including the install-time trace cover.
         let code_base = layout.code.start;
-        let warmed = rewritten_insts(&installed.verified, &bindings);
-        vm.prewarm_icache(
-            warmed.into_iter().map(|(off, inst, len)| (code_base + off as u64, inst, len as u8)),
-        );
+        let entries: Vec<_> = rewritten_insts(&installed.verified, &bindings)
+            .into_iter()
+            .map(|(off, inst, len)| (code_base + off as u64, inst, len as u8))
+            .collect();
+        vm.prewarm_icache(entries.iter().copied());
+        vm.prewarm_traces(&entries);
         // Patch through the consumer path: AEX threshold 1000 -> 1.
         let strict = Bindings { aex_max: 1, ..bindings };
         deflection::core::consumer::rewrite(&mut vm.mem, code_base, &installed.verified, &strict);
@@ -255,17 +336,24 @@ fn rewrite_after_warm_is_observed_by_the_cache() {
         assert_eq!(
             exit,
             RunExit::PolicyAbort { code: abort_codes::AEX },
-            "the post-warm patch must take effect (reference={reference})"
+            "the post-warm patch must take effect ({mode:?})"
         );
-        if !reference {
+        if mode != ExecMode::Reference {
             assert!(
                 vm.icache_stats().invalidations > 0,
-                "the rewrite must invalidate warm icache pages"
+                "the rewrite must invalidate warm icache pages ({mode:?})"
+            );
+        }
+        if mode == ExecMode::Traced {
+            assert!(
+                vm.trace_stats().invalidated > 0,
+                "the rewrite must kill the install-time trace cover"
             );
         }
         outcomes.push((exit, vm.stats));
     }
-    assert_eq!(outcomes[0], outcomes[1], "cached and reference runs diverged after the patch");
+    assert_eq!(outcomes[0], outcomes[1], "traced and block runs diverged after the patch");
+    assert_eq!(outcomes[0], outcomes[2], "traced and reference runs diverged after the patch");
 }
 
 /// The reference mode is also reachable through the environment switch the
@@ -283,6 +371,10 @@ fn reference_mode_reports_empty_icache_stats() {
     let stats = enclave.icache_stats();
     assert_eq!(stats.hits, 0, "reference mode must never touch the cache");
     assert_eq!(stats.fills, 0);
+    let traces = enclave.trace_stats();
+    assert_eq!(traces.formed, 0, "reference mode must never form traces");
+    assert_eq!(traces.chained, 0);
+    assert_eq!(traces.side_exits, 0);
 }
 
 /// Renders a random straight-line-in-a-loop program from a compact recipe:
