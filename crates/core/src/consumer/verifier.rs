@@ -32,7 +32,6 @@ use deflection_isa::{disassemble_threaded, DisasmError, Disassembly, Inst, Reg};
 use deflection_sgx_sim::layout::EnclaveLayout;
 use deflection_telemetry::{Span, METRICS};
 use std::collections::HashMap;
-use std::error::Error as StdError;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -141,7 +140,7 @@ impl fmt::Display for VerifyError {
     }
 }
 
-impl StdError for VerifyError {}
+impl std::error::Error for VerifyError {}
 
 impl From<DisasmError> for VerifyError {
     fn from(e: DisasmError) -> Self {
@@ -151,7 +150,7 @@ impl From<DisasmError> for VerifyError {
 
 /// Role of each instruction after template discovery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Role {
+pub(crate) enum Role {
     /// Ordinary program instruction.
     Program,
     /// Inside annotation `id` (not its subject).
@@ -261,32 +260,29 @@ pub fn verify_with_layout_threaded(
 /// itself subject to the P2 rule (guard, chain or analysis proof).
 fn rsp_chain_ok(insts: &[(usize, Inst, usize)], roles: &[Role], idx: usize) -> bool {
     let (off, _, len) = insts[idx];
-    match insts.get(idx + 1) {
-        Some(&(noff, ninst, _)) => {
-            noff == off + len
-                && roles[idx + 1] == Role::Program
-                && ninst.writes_rsp_explicitly()
-                && ninst.stored_mem().is_none()
-        }
-        None => false,
-    }
+    insts.get(idx + 1).is_some_and(|&(noff, ninst, _)| {
+        noff == off + len
+            && roles[idx + 1] == Role::Program
+            && ninst.writes_rsp_explicitly()
+            && ninst.stored_mem().is_none()
+    })
 }
 
 /// Read-only inputs shared by every per-function check worker.
-struct CheckCtx<'a> {
-    insts: &'a [(usize, Inst, usize)],
-    roles: &'a [Role],
-    instances: &'a [Instance],
-    starts_at: &'a HashMap<usize, TemplateKind>,
-    d: &'a Disassembly,
-    policy: &'a PolicySet,
-    elide: Option<&'a EnclaveLayout>,
-    analysis: &'a OnceLock<Analysis>,
-    threads: usize,
+pub(crate) struct CheckCtx<'a> {
+    pub(crate) insts: &'a [(usize, Inst, usize)],
+    pub(crate) roles: &'a [Role],
+    pub(crate) instances: &'a [Instance],
+    pub(crate) starts_at: &'a HashMap<usize, TemplateKind>,
+    pub(crate) d: &'a Disassembly,
+    pub(crate) policy: &'a PolicySet,
+    pub(crate) elide: Option<&'a EnclaveLayout>,
+    pub(crate) analysis: &'a OnceLock<Analysis>,
+    pub(crate) threads: usize,
 }
 
 impl CheckCtx<'_> {
-    fn instance_of(&self, idx: usize) -> Option<usize> {
+    pub(crate) fn instance_of(&self, idx: usize) -> Option<usize> {
         match self.roles[idx] {
             Role::Interior(id) | Role::Subject(id) => Some(id),
             Role::Program => None,
@@ -306,21 +302,21 @@ impl CheckCtx<'_> {
 
 /// First error found per check phase within one function's instruction
 /// range, keyed by instruction index for the deterministic merge.
-#[derive(Default)]
-struct RangeErrors {
+#[derive(Clone, Default)]
+pub(crate) struct RangeErrors {
     /// Phase: branches may not skip into annotations.
-    branch: Option<(usize, VerifyError)>,
+    pub(crate) branch: Option<(usize, VerifyError)>,
     /// Phase: rbp write discipline.
-    rbp: Option<(usize, VerifyError)>,
+    pub(crate) rbp: Option<(usize, VerifyError)>,
     /// Phase: per-policy structural rules.
-    policy: Option<(usize, VerifyError)>,
+    pub(crate) policy: Option<(usize, VerifyError)>,
 }
 
 /// Scans instructions `[lo, hi)` — one function — recording the first
 /// error of each instruction-independent phase. Scanning ascending means
 /// the recorded error per phase is the range's lowest-index one; every
 /// check reads only immutable shared state, so ranges are independent.
-fn check_range(ctx: &CheckCtx<'_>, lo: usize, hi: usize) -> RangeErrors {
+pub(crate) fn check_range(ctx: &CheckCtx<'_>, lo: usize, hi: usize) -> RangeErrors {
     let mut out = RangeErrors::default();
     for idx in lo..hi {
         let (offset, inst, len) = ctx.insts[idx];
@@ -357,9 +353,11 @@ fn check_range(ctx: &CheckCtx<'_>, lo: usize, hi: usize) -> RangeErrors {
             }
         }
         // Each phase records at most one error; stop early once no phase
-        // can improve.
-        let rbp_done = out.rbp.is_some() || !ctx.policy.store_bounds;
-        if out.branch.is_some() && out.policy.is_some() && rbp_done {
+        // can improve (rbp is done when found or not enforced).
+        if out.branch.is_some()
+            && out.policy.is_some()
+            && (out.rbp.is_some() || !ctx.policy.store_bounds)
+        {
             break;
         }
     }
@@ -457,10 +455,10 @@ fn run_range_checks(
 /// Output of the discovery prefix of verification: disassembly, greedily
 /// matched annotation instances, and the per-instruction roles the check
 /// phases consume.
-struct Discovery {
-    disassembly: Disassembly,
-    roles: Vec<Role>,
-    instances: Vec<Instance>,
+pub(crate) struct Discovery {
+    pub(crate) disassembly: Disassembly,
+    pub(crate) roles: Vec<Role>,
+    pub(crate) instances: Vec<Instance>,
 }
 
 /// The discovery prefix shared by [`verify_impl`] and [`discover`]: the
@@ -470,7 +468,7 @@ struct Discovery {
 /// order-sensitive (a match consumes its instructions before the next
 /// candidate is considered) and costs a small fraction of verification.
 /// Everything downstream only reads its output.
-fn discover_impl(
+pub(crate) fn discover_impl(
     code: &[u8],
     entry: usize,
     indirect_targets: &[usize],
@@ -482,8 +480,6 @@ fn discover_impl(
     };
     let _span = Span::start(&METRICS.verify_discovery_ns);
     let insts = disassembly.insts();
-    let code_view = Code { insts };
-
     let mut roles = vec![Role::Program; insts.len()];
     let mut instances: Vec<Instance> = Vec::new();
     let mut i = 0;
@@ -492,7 +488,7 @@ fn discover_impl(
             i += 1;
             continue;
         }
-        if let Some(inst) = match_any(&code_view, i) {
+        if let Some(inst) = match_any(&Code { insts }, i) {
             let id = instances.len();
             roles[inst.start_idx..=inst.end_idx].fill(Role::Interior(id));
             if let Some(s) = inst.subject_idx {
@@ -597,6 +593,21 @@ fn verify_inner(
     // depend on thread timing.
     let ranges = disassembly.function_ranges();
     let results = run_range_checks(&ctx, &ranges, threads);
+    merged_verdict(&ctx, entry, indirect_targets, &results)?;
+    Ok(Verified { insts: insts.to_vec(), disassembly, instances })
+}
+
+/// The deterministic tail of verification: merges the per-function phase
+/// errors (lowest instruction index wins within each phase, phases in the
+/// serial scan's fixed order) and runs the remaining whole-program serial
+/// checks. Shared by the threaded and incremental entry points so the
+/// verdict is bit-identical across all of them.
+pub(crate) fn merged_verdict(
+    ctx: &CheckCtx<'_>,
+    entry: usize,
+    indirect_targets: &[usize],
+    results: &[RangeErrors],
+) -> Result<(), VerifyError> {
     let min_of = |pick: fn(&RangeErrors) -> Option<&(usize, VerifyError)>| {
         results.iter().filter_map(pick).min_by_key(|(k, _)| *k).map(|(_, e)| e.clone())
     };
@@ -606,19 +617,17 @@ fn verify_inner(
         return Err(e);
     }
     for &t in indirect_targets {
-        let target_idx = disassembly.index_of(t).expect("indirect targets are disassembly roots");
+        let target_idx = ctx.d.index_of(t).expect("indirect targets are disassembly roots");
         if let Some(id) = ctx.instance_of(target_idx) {
-            if target_idx != instances[id].start_idx {
+            if target_idx != ctx.instances[id].start_idx {
                 return Err(VerifyError::IndirectTargetIntoAnnotation { target: t });
             }
         }
     }
-    {
-        let entry_idx = disassembly.index_of(entry).expect("entry is a disassembly root");
-        if let Some(id) = ctx.instance_of(entry_idx) {
-            if entry_idx != instances[id].start_idx {
-                return Err(VerifyError::EntryInsideAnnotation);
-            }
+    let entry_idx = ctx.d.index_of(entry).expect("entry is a disassembly root");
+    if let Some(id) = ctx.instance_of(entry_idx) {
+        if entry_idx != ctx.instances[id].start_idx {
+            return Err(VerifyError::EntryInsideAnnotation);
         }
     }
 
@@ -633,9 +642,9 @@ fn verify_inner(
     }
 
     // --- Shadow-stack prologues at every call target (P5). ----------------
-    if policy.cfi {
+    if ctx.policy.cfi {
         let mut call_targets: Vec<usize> = indirect_targets.to_vec();
-        for &(offset, inst, len) in insts {
+        for &(offset, inst, len) in ctx.insts {
             if let Inst::Call { rel } = inst {
                 call_targets.push(((offset + len) as i64 + i64::from(rel)) as usize);
             }
@@ -646,32 +655,30 @@ fn verify_inner(
             if target == entry {
                 continue;
             }
-            let target_idx = disassembly.index_of(target).expect("call targets are disassembled");
-            if starts_at.get(&target_idx) != Some(&TemplateKind::Prologue) {
+            let target_idx = ctx.d.index_of(target).expect("call targets are disassembled");
+            if ctx.starts_at.get(&target_idx) != Some(&TemplateKind::Prologue) {
                 return Err(VerifyError::MissingPrologue { offset: target });
             }
         }
     }
 
     // --- AEX density (P6): inherently a sequential prefix scan. ------------
-    if policy.aex {
-        let slack = 8;
+    if ctx.policy.aex {
+        // 8 instructions of slack over the declared q, matching the rewriter.
         let mut since: u32 = 0;
-        for (idx, &(offset, _, _)) in insts.iter().enumerate() {
-            if starts_at.get(&idx) == Some(&TemplateKind::AexCheck) {
+        for (idx, &(offset, _, _)) in ctx.insts.iter().enumerate() {
+            if ctx.starts_at.get(&idx) == Some(&TemplateKind::AexCheck) {
                 since = 0;
             }
-            if matches!(roles[idx], Role::Program | Role::Subject(_)) {
+            if matches!(ctx.roles[idx], Role::Program | Role::Subject(_)) {
                 since += 1;
-                if since > policy.q + slack {
+                if since > ctx.policy.q + 8 {
                     return Err(VerifyError::AexGapExceeded { offset });
                 }
             }
         }
     }
-
-    let insts = insts.to_vec();
-    Ok(Verified { disassembly, insts, instances })
+    Ok(())
 }
 
 #[cfg(test)]

@@ -51,18 +51,52 @@
 //! depend on which worker sealed them, since each worker seals in its own
 //! nonce channel under its own monotonic counter.)
 
+use crate::consumer::incremental::{
+    install_capture_incremental, IncrementalCache, IncrementalStats,
+};
 use crate::policy::Manifest;
 use crate::runtime::{BootstrapEnclave, EcallError, PreparedInstall, RunReport};
 use deflection_crypto::sha256::sha256;
 use deflection_sgx_sim::layout::EnclaveLayout;
 use deflection_sgx_sim::vm::RunExit;
 use deflection_telemetry::{Span, METRICS};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of times a worker slot may be respawned between
 /// reinstalls before it stays quarantined.
 const DEFAULT_RESPAWN_BUDGET: usize = 8;
+
+/// Default cap on retained prepared images (see
+/// [`EnclavePool::set_prepared_cap`]). Each [`PreparedInstall`] holds a
+/// full enclave memory image, so an unbounded cache is a memory leak on
+/// exactly the high-churn fleet workload the pool exists to serve.
+pub const DEFAULT_PREPARED_CAP: usize = 64;
+
+/// Why [`EnclavePool::export_sealed_for`] could not seal a hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealedExportError {
+    /// The image was installed once but has since been evicted by the
+    /// prepared-cache cap; reinstalling the binary re-captures it.
+    Evicted,
+    /// No binary with this code hash was ever installed in this pool.
+    NeverInstalled,
+}
+
+impl std::fmt::Display for SealedExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealedExportError::Evicted => {
+                write!(f, "prepared image was evicted by the cache cap; reinstall to re-capture")
+            }
+            SealedExportError::NeverInstalled => {
+                write!(f, "no prepared image with this code hash was ever installed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SealedExportError {}
 
 /// Liveness and serving counters for one worker slot.
 #[derive(Debug, Clone, Default)]
@@ -327,6 +361,18 @@ pub struct EnclavePool {
     /// reinstall this image from the cache).
     active: Option<[u8; 32]>,
     respawn_budget: usize,
+    /// Cap on retained prepared images; the active image is never evicted.
+    prepared_cap: usize,
+    /// Monotonic recency stamps backing the LRU eviction order.
+    recency: HashMap<[u8; 32], u64>,
+    tick: u64,
+    /// Hashes that were prepared once but evicted by the cap — kept so
+    /// [`EnclavePool::export_sealed_for`] can distinguish "evicted" from
+    /// "never installed" instead of failing identically for both.
+    evicted: HashSet<[u8; 32]>,
+    /// Per-function verification memo backing
+    /// [`EnclavePool::install_patched`].
+    incremental: IncrementalCache,
 }
 
 impl EnclavePool {
@@ -363,6 +409,11 @@ impl EnclavePool {
             owner_key: None,
             active: None,
             respawn_budget: DEFAULT_RESPAWN_BUDGET,
+            prepared_cap: DEFAULT_PREPARED_CAP,
+            recency: HashMap::new(),
+            tick: 0,
+            evicted: HashSet::new(),
+            incremental: IncrementalCache::new(),
         }
     }
 
@@ -462,6 +513,27 @@ impl EnclavePool {
         Some(blob)
     }
 
+    /// Seals the prepared image with code hash `hash` for untrusted
+    /// storage, whether or not it is the active one.
+    ///
+    /// # Errors
+    ///
+    /// Distinguishes the two failure modes an unbounded cache used to
+    /// conflate: [`SealedExportError::Evicted`] when the image existed
+    /// but was evicted by the cap (reinstalling the binary re-captures
+    /// it), [`SealedExportError::NeverInstalled`] when no binary with
+    /// this hash was ever installed here.
+    pub fn export_sealed_for(&self, hash: &[u8; 32]) -> Result<Vec<u8>, SealedExportError> {
+        match self.prepared.get(hash) {
+            Some(p) => {
+                METRICS.pool_sealed_exports.add(1);
+                Ok(p.seal())
+            }
+            None if self.evicted.contains(hash) => Err(SealedExportError::Evicted),
+            None => Err(SealedExportError::NeverInstalled),
+        }
+    }
+
     /// Imports a sealed prepared image — e.g. into a freshly restarted
     /// pool — and installs it in every worker with **zero**
     /// re-verifications. Fails closed on any tampering, measurement,
@@ -476,7 +548,7 @@ impl EnclavePool {
         let prepared = PreparedInstall::unseal(blob, &self.layout, &self.manifest)?;
         METRICS.pool_sealed_imports.add(1);
         let hash = prepared.code_hash();
-        self.prepared.insert(hash, prepared);
+        self.insert_prepared(hash, prepared);
         let prepared = self.prepared.get(&hash).expect("just inserted").clone();
         self.replay_into_all(&prepared)
     }
@@ -503,28 +575,127 @@ impl EnclavePool {
         let hash = sha256(binary);
         if self.prepared.contains_key(&hash) {
             METRICS.pool_install_cache_hits.add(1);
+            self.touch(hash);
         } else {
             METRICS.pool_install_cache_misses.add(1);
-        }
-        if !self.prepared.contains_key(&hash) {
-            let idx =
-                self.workers.iter().position(|w| !w.health.quarantined && !w.enclave.is_lost());
-            let idx = match idx {
-                Some(idx) => idx,
-                None => {
-                    // Every slot is quarantined: rebuild slot 0 fresh and
-                    // verify there — the full pipeline re-establishes
-                    // trust from scratch.
-                    self.rebuild_fresh(0);
-                    0
-                }
-            };
+            let idx = self.verifying_worker();
             let p = self.workers[idx].enclave.install_capture(binary)?;
             self.verifications += 1;
-            self.prepared.insert(hash, p);
+            self.insert_prepared(hash, p);
         }
         let prepared = self.prepared.get(&hash).expect("present").clone();
         self.replay_into_all(&prepared)
+    }
+
+    /// Installs a (typically patched) target binary in every worker using
+    /// the pool's **incremental** verification memo: discovery re-runs in
+    /// full, but per-instruction checks and abstract-interpretation
+    /// fixpoints are reused for every function whose captured inputs are
+    /// unchanged since the previous install through this pool. The
+    /// verdict is bit-identical to [`EnclavePool::install_all`] — the
+    /// memo only skips recomputation, never checks (see
+    /// [`crate::consumer::incremental`]). Cache hits, replay, respawn and
+    /// eviction behave exactly as in `install_all`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`EnclavePool::install_all`].
+    pub fn install_patched(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
+        let hash = sha256(binary);
+        if self.prepared.contains_key(&hash) {
+            METRICS.pool_install_cache_hits.add(1);
+            self.touch(hash);
+        } else {
+            METRICS.pool_install_cache_misses.add(1);
+            let idx = self.verifying_worker();
+            let p = install_capture_incremental(
+                &mut self.workers[idx].enclave,
+                binary,
+                &mut self.incremental,
+            )?;
+            self.verifications += 1;
+            self.insert_prepared(hash, p);
+        }
+        let prepared = self.prepared.get(&hash).expect("present").clone();
+        self.replay_into_all(&prepared)
+    }
+
+    /// The worker slot a fresh verifying install runs on: the first
+    /// healthy one, or slot 0 rebuilt from scratch when every slot is
+    /// quarantined (the full pipeline re-establishes trust).
+    fn verifying_worker(&mut self) -> usize {
+        let idx = self.workers.iter().position(|w| !w.health.quarantined && !w.enclave.is_lost());
+        match idx {
+            Some(idx) => idx,
+            None => {
+                self.rebuild_fresh(0);
+                0
+            }
+        }
+    }
+
+    /// Memo outcome of the most recent incremental verification run by
+    /// [`EnclavePool::install_patched`].
+    #[must_use]
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.incremental.last_stats()
+    }
+
+    /// Number of prepared images currently retained (bounded by
+    /// [`EnclavePool::set_prepared_cap`]).
+    #[must_use]
+    pub fn prepared_cache_len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Sets the cap on retained prepared images (default
+    /// [`DEFAULT_PREPARED_CAP`]) and evicts immediately down to it,
+    /// least-recently-installed first. The active image — the one
+    /// respawns and sealed exports replay from — is never evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero: the pool must always be able to retain
+    /// the image it is serving from.
+    pub fn set_prepared_cap(&mut self, cap: usize) {
+        assert!(cap > 0, "prepared cache cap must be at least 1");
+        self.prepared_cap = cap;
+        self.evict_to_cap();
+    }
+
+    /// Stamps `hash` most-recently-used.
+    fn touch(&mut self, hash: [u8; 32]) {
+        self.tick += 1;
+        self.recency.insert(hash, self.tick);
+    }
+
+    /// Retains `(hash, image)` in the prepared cache, clearing any
+    /// eviction tombstone. Trimming happens in `replay_into_all`, after
+    /// the new image became active, so the cap can never evict the image
+    /// being installed.
+    fn insert_prepared(&mut self, hash: [u8; 32], p: PreparedInstall) {
+        self.evicted.remove(&hash);
+        self.touch(hash);
+        self.prepared.insert(hash, p);
+    }
+
+    /// Evicts least-recently-used prepared images until the cap holds,
+    /// skipping the active image. Each eviction leaves a tombstone in
+    /// `evicted` and bumps the eviction counter.
+    fn evict_to_cap(&mut self) {
+        while self.prepared.len() > self.prepared_cap {
+            let victim = self
+                .prepared
+                .keys()
+                .filter(|h| Some(**h) != self.active)
+                .min_by_key(|h| self.recency.get(*h).copied().unwrap_or(0))
+                .copied();
+            let Some(victim) = victim else { break };
+            self.prepared.remove(&victim);
+            self.recency.remove(&victim);
+            self.evicted.insert(victim);
+            METRICS.pool_prepared_evictions.add(1);
+        }
     }
 
     /// Installs the binary in every worker with an *independent* full
@@ -593,8 +764,11 @@ impl EnclavePool {
             }
         });
         // Even on partial failure every *usable* worker now holds this
-        // image, so it becomes the active one respawns reinstall.
+        // image, so it becomes the active one respawns reinstall. Only
+        // now is it safe to trim the cache: the just-inserted image is
+        // active and therefore exempt from eviction.
         self.active = Some(prepared.code_hash());
+        self.evict_to_cap();
         let mut first_err = None;
         for (w, outcome) in self.workers.iter_mut().zip(outcomes) {
             if let Err(e) = outcome {
@@ -1096,6 +1270,140 @@ mod tests {
         p.install_all(&binary).unwrap();
         assert_eq!(p.health().quarantined(), 0);
         assert_eq!(p.serve_on(0, b"\x01", 1_000_000).unwrap().exit.exit_value(), Some(1));
+    }
+
+    #[test]
+    fn churn_preserves_nonce_channels_and_audit_seqs() {
+        use crate::runtime::open_record;
+        // High-churn fleet shape: install A, serve, hot-patch to B, serve,
+        // lose a worker mid-way. The per-slot nonce channels must stay
+        // monotonic across the image swap (a reset would repeat a
+        // (key, nonce) pair) and the audit sequence counters must never
+        // regress (a regression would let the host replay an old export).
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::p1();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, 2);
+        let owner_key = [7u8; 32];
+        pool.set_owner_session(owner_key);
+        let a =
+            produce("fn main() -> int { return send(4); }", &manifest.policy).unwrap().serialize();
+        let b =
+            produce("fn main() -> int { return send(9); }", &manifest.policy).unwrap().serialize();
+        pool.install_all(&a).unwrap();
+        let r = pool.serve_on(1, b"", 1_000_000).unwrap();
+        assert!(open_record(&owner_key, 1, 0, &r.records[0]).is_ok());
+        let seqs_after_a: Vec<u64> =
+            pool.workers.iter().map(|w| w.enclave.audit_next_seq()).collect();
+        // Image swap through the incremental path.
+        pool.install_patched(&b).unwrap();
+        let seqs_after_b: Vec<u64> =
+            pool.workers.iter().map(|w| w.enclave.audit_next_seq()).collect();
+        for (before, after) in seqs_after_a.iter().zip(&seqs_after_b) {
+            assert!(after > before, "install must advance, never regress, the audit seq");
+        }
+        // The swapped-in program serves and its record continues the
+        // slot's counter — the swap did not reset the nonce channel.
+        let r = pool.serve_on(1, b"", 1_000_000).unwrap();
+        assert!(open_record(&owner_key, 1, 1, &r.records[0]).is_ok());
+        assert!(open_record(&owner_key, 1, 0, &r.records[0]).is_err(), "not counter 0 again");
+        // Kill worker 1 mid-way: the respawn replays image B and inherits
+        // both counters.
+        pool.chaos_kill_after(1, 0);
+        let r = pool.serve_on(1, b"", 1_000_000).unwrap();
+        assert_eq!(pool.health().workers[1].respawned, 1);
+        assert!(open_record(&owner_key, 1, 2, &r.records[0]).is_ok());
+        assert!(
+            pool.workers[1].enclave.audit_next_seq() >= seqs_after_b[1],
+            "respawn must not regress the audit seq"
+        );
+        // Both prepared images are retained (cap 64 untouched), and the
+        // verification count shows one full + one incremental verify.
+        assert_eq!(pool.prepared_cache_len(), 2);
+        assert_eq!(pool.verification_count(), 2);
+    }
+
+    #[test]
+    fn patched_install_reuses_unchanged_functions() {
+        // Two-function program where only `leaf` changes: the pool's memo
+        // must replay `main`'s checks and re-verify only `leaf`.
+        let src = |k: u64| {
+            format!(
+                "
+                var g: [int; 4];
+                fn leaf(x: int) -> int {{ g[0] = x; return g[0] + {k}; }}
+                fn main() -> int {{ return leaf(2); }}
+                "
+            )
+        };
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::full();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, 1);
+        let a = produce(&src(1), &manifest.policy).unwrap().serialize();
+        let b = produce(&src(2), &manifest.policy).unwrap().serialize();
+        pool.install_patched(&a).unwrap();
+        let cold = pool.incremental_stats();
+        assert_eq!(cold.hits, 0);
+        assert!(cold.misses >= 2, "every function is a first sight");
+        pool.install_patched(&b).unwrap();
+        let warm = pool.incremental_stats();
+        assert!(warm.hits >= 1, "unchanged functions replay from the memo");
+        assert_eq!(warm.hits + warm.misses + warm.invalidated, cold.misses);
+        assert_eq!(pool.serve_on(0, b"", 1_000_000).unwrap().exit.exit_value(), Some(4));
+    }
+
+    #[test]
+    fn prepared_cache_is_bounded_and_never_evicts_active() {
+        let mut manifest = Manifest::ccaas();
+        manifest.policy = PolicySet::p1();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, 1);
+        pool.set_prepared_cap(2);
+        let binaries: Vec<Vec<u8>> = (0..5u64)
+            .map(|i| {
+                produce(&format!("fn main() -> int {{ return {i}; }}"), &manifest.policy)
+                    .unwrap()
+                    .serialize()
+            })
+            .collect();
+        let hashes: Vec<[u8; 32]> = binaries
+            .iter()
+            .map(|b| {
+                let h = pool.install_all(b).unwrap();
+                assert!(pool.prepared_cache_len() <= 2, "cap enforced after every install");
+                h
+            })
+            .collect();
+        // The two most recent installs survive; older ones are tombstoned
+        // as evicted, distinguishable from a hash never seen here.
+        assert!(pool.export_sealed_for(&hashes[4]).is_ok());
+        assert!(pool.export_sealed_for(&hashes[3]).is_ok());
+        assert_eq!(pool.export_sealed_for(&hashes[0]), Err(SealedExportError::Evicted));
+        assert_eq!(pool.export_sealed_for(&[0xAB; 32]), Err(SealedExportError::NeverInstalled));
+        // The active image is exempt even at cap 1.
+        pool.set_prepared_cap(1);
+        assert_eq!(pool.prepared_cache_len(), 1);
+        assert!(pool.export_sealed().is_some(), "active image survived the trim");
+        // Respawn replays the active image from the cache: no re-verify.
+        let before = pool.verification_count();
+        pool.chaos_kill_after(0, 0);
+        assert_eq!(pool.serve_on(0, b"", 1_000_000).unwrap().exit.exit_value(), Some(4));
+        assert_eq!(pool.verification_count(), before);
+        // Reinstalling an evicted binary re-captures it and clears the
+        // tombstone.
+        pool.install_all(&binaries[0]).unwrap();
+        assert!(pool.export_sealed_for(&hashes[0]).is_ok());
+        assert_eq!(pool.serve_on(0, b"", 1_000_000).unwrap().exit.exit_value(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared cache cap must be at least 1")]
+    fn zero_prepared_cap_panics() {
+        let manifest = Manifest::ccaas();
+        let layout = EnclaveLayout::new(MemConfig::small());
+        let mut pool = EnclavePool::new(&layout, &manifest, 1);
+        pool.set_prepared_cap(0);
     }
 
     #[test]

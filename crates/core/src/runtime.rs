@@ -276,8 +276,8 @@ pub struct RunReport {
 /// consumer pipeline and the P0 runtime.
 #[derive(Debug)]
 pub struct BootstrapEnclave {
-    layout: EnclaveLayout,
-    manifest: Manifest,
+    pub(crate) layout: EnclaveLayout,
+    pub(crate) manifest: Manifest,
     vm: Option<Vm>,
     installed: Option<Installed>,
     host: HostState,
@@ -712,7 +712,7 @@ impl BootstrapEnclave {
     /// they all start hot: the verifier already decoded the whole program,
     /// and [`rewritten_insts`] predicts the post-rewrite stream exactly, so
     /// execution never pays for another decode pass.
-    fn adopt(&mut self, mem: Memory, installed: Installed, io: Option<IoPlan>) {
+    pub(crate) fn adopt(&mut self, mem: Memory, installed: Installed, io: Option<IoPlan>) {
         self.host.io = io;
         self.direct_input_pending = false;
         let entry = installed.program.entry_va;

@@ -326,6 +326,13 @@ pub struct Metrics {
     pub verify_checks_ns: Histogram,
     pub verify_accepts: Counter,
     pub verify_rejects: Counter,
+    /// Incremental re-verification memo outcomes, bumped once per
+    /// `verify_incremental` call on the host-side install path (never from
+    /// inside a check phase), so the counter plane leaks no more than the
+    /// install timing the host already observes.
+    pub verify_memo_hits: Counter,
+    pub verify_memo_misses: Counter,
+    pub verify_memo_invalidated: Counter,
     // -- abstract interpreter (guard elision) ------------------------------
     pub analysis_run_ns: Histogram,
     pub analysis_fixpoint_iters: Histogram,
@@ -352,6 +359,8 @@ pub struct Metrics {
     pub pool_respawns: Counter,
     pub pool_quarantines: Counter,
     pub pool_stranded_retries: Counter,
+    /// Prepared-image LRU evictions from the pool's bounded install cache.
+    pub pool_prepared_evictions: Counter,
     pub pool_serve_batch_ns: Histogram,
     // -- bootstrap-enclave runtime (per-run P0 accounting) -----------------
     pub run_reports: Counter,
@@ -427,6 +436,12 @@ impl Metrics {
             verify_checks_ns: Histogram::new("deflection_verify_ns", r#"phase="checks""#),
             verify_accepts: Counter::new("deflection_verify_total", r#"verdict="accept""#),
             verify_rejects: Counter::new("deflection_verify_total", r#"verdict="reject""#),
+            verify_memo_hits: Counter::new("deflection_verify_memo_total", r#"result="hit""#),
+            verify_memo_misses: Counter::new("deflection_verify_memo_total", r#"result="miss""#),
+            verify_memo_invalidated: Counter::new(
+                "deflection_verify_memo_total",
+                r#"result="invalidated""#,
+            ),
             analysis_run_ns: Histogram::new("deflection_analysis_run_ns", ""),
             analysis_fixpoint_iters: Histogram::new("deflection_analysis_fixpoint_iters", ""),
             analysis_widenings: Histogram::new("deflection_analysis_widenings", ""),
@@ -469,6 +484,10 @@ impl Metrics {
             pool_stranded_retries: Counter::new(
                 "deflection_pool_events_total",
                 r#"event="stranded_retry""#,
+            ),
+            pool_prepared_evictions: Counter::new(
+                "deflection_pool_events_total",
+                r#"event="prepared_eviction""#,
             ),
             pool_serve_batch_ns: Histogram::new("deflection_pool_serve_batch_ns", ""),
             run_reports: Counter::new("deflection_run_total", ""),
@@ -529,7 +548,7 @@ impl Metrics {
         ]
     }
 
-    fn more_counters(&self) -> [&Counter; 16] {
+    fn more_counters(&self) -> [&Counter; 20] {
         [
             &self.run_budget_exhaustions,
             &self.audit_events,
@@ -547,6 +566,10 @@ impl Metrics {
             &self.producer_opt_loop_bound,
             &self.producer_opt_addr_canon,
             &self.producer_opt_dce,
+            &self.verify_memo_hits,
+            &self.verify_memo_misses,
+            &self.verify_memo_invalidated,
+            &self.pool_prepared_evictions,
         ]
     }
 

@@ -424,6 +424,18 @@ mod tests {
     }
 
     #[test]
+    fn incremental_bench_enforces_even_on_one_core() {
+        // Both sides of the incremental ablation are single-threaded (the
+        // incremental verifier is serial by design and is compared against
+        // the serial verifier), so it must never join CORE_GATED_BENCHES:
+        // a 1-core CI host still gates on its trend.
+        assert!(!CORE_GATED_BENCHES.contains(&"ablation_incremental"));
+        let prev = [file("ablation_incremental", Some(1), "incremental/patch_warm", "1.00 ms")];
+        let slow = [file("ablation_incremental", Some(1), "incremental/patch_warm", "9.00 ms")];
+        assert!(TrendReport::build(&slow, &prev, 25.0).has_regression());
+    }
+
+    #[test]
     fn markdown_renders_rows_and_metrics_sections() {
         let prev = [file("fig8_seqgen", Some(4), "seqgen/full", "1.00 ms")];
         let curr = [file("fig8_seqgen", Some(4), "seqgen/full", "2.00 ms")];
