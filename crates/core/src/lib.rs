@@ -56,6 +56,7 @@ pub mod annotations;
 pub mod attack;
 pub mod audit;
 pub mod consumer;
+mod flight;
 pub mod policy;
 pub mod pool;
 pub mod producer;

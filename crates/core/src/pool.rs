@@ -59,6 +59,7 @@ use crate::runtime::{BootstrapEnclave, EcallError, PreparedInstall, RunReport};
 use deflection_crypto::sha256::sha256;
 use deflection_sgx_sim::layout::EnclaveLayout;
 use deflection_sgx_sim::vm::RunExit;
+use deflection_telemetry::flightrec::{self, EventKind, TraceId};
 use deflection_telemetry::{Span, METRICS};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -187,6 +188,8 @@ impl PoolHealth {
 struct Worker {
     enclave: BootstrapEnclave,
     health: WorkerHealth,
+    /// Stable slot index, used to attribute flight-recorder events.
+    slot: usize,
     /// Remaining serving-path respawns before the slot stays quarantined.
     respawn_left: usize,
     /// Armed chaos kill: lose the instance right before serving the
@@ -211,6 +214,7 @@ fn respawn_worker(w: &mut Worker, ctx: &RespawnCtx<'_>) -> bool {
     if w.respawn_left == 0 {
         if !w.health.quarantined {
             METRICS.pool_quarantines.add(1);
+            flightrec::record_ambient(EventKind::Quarantine, w.slot as u64, 0);
         }
         w.health.quarantined = true;
         return false;
@@ -234,6 +238,7 @@ fn respawn_worker(w: &mut Worker, ctx: &RespawnCtx<'_>) -> bool {
         if fresh.install_replayed(prepared).is_err() {
             if !w.health.quarantined {
                 METRICS.pool_quarantines.add(1);
+                flightrec::record_ambient(EventKind::Quarantine, w.slot as u64, 0);
             }
             w.health.quarantined = true;
             return false;
@@ -243,6 +248,7 @@ fn respawn_worker(w: &mut Worker, ctx: &RespawnCtx<'_>) -> bool {
     w.health.respawned += 1;
     w.health.quarantined = false;
     METRICS.pool_respawns.add(1);
+    flightrec::record_ambient(EventKind::Respawn, w.slot as u64, 0);
     true
 }
 
@@ -273,6 +279,10 @@ fn serve_once(w: &mut Worker, ctx: &RespawnCtx<'_>, input: &[u8], fuel: u64) -> 
     }
     match w.enclave.provide_input(input).and_then(|()| w.enclave.run(fuel)) {
         Ok(report) => {
+            // The pool is the host-side boundary: the run/seal flight
+            // events are recorded here, from the returned report, so the
+            // runtime itself stays free of recording sites (TCB-counted).
+            crate::flight::record_run_report(&report);
             w.health.served += 1;
             if matches!(report.exit, RunExit::Fault(_)) {
                 // The contained fault is the request's answer, but the
@@ -280,6 +290,7 @@ fn serve_once(w: &mut Worker, ctx: &RespawnCtx<'_>, input: &[u8], fuel: u64) -> 
                 // globals, mid-run buffers) — never let it serve again.
                 w.health.faulted += 1;
                 METRICS.pool_contained_faults.add(1);
+                flightrec::record_ambient(EventKind::Fault, w.slot as u64, 0);
                 respawn_worker(w, ctx);
             }
             Outcome::Report(report)
@@ -287,6 +298,7 @@ fn serve_once(w: &mut Worker, ctx: &RespawnCtx<'_>, input: &[u8], fuel: u64) -> 
         Err(EcallError::EnclaveLost) => {
             w.health.faulted += 1;
             METRICS.pool_lost_instances.add(1);
+            flightrec::record_ambient(EventKind::Fault, w.slot as u64, 1);
             respawn_worker(w, ctx);
             Outcome::Lost
         }
@@ -304,6 +316,7 @@ fn drain_queue<T: AsRef<[u8]>>(
     ctx: &RespawnCtx<'_>,
     next: &AtomicUsize,
     requests: &[T],
+    traces: &[TraceId],
     fuel: u64,
 ) -> Vec<(usize, Result<RunReport, EcallError>)> {
     let mut out = Vec::new();
@@ -319,24 +332,33 @@ fn drain_queue<T: AsRef<[u8]>>(
             return out;
         }
         METRICS.pool_work_queue_claims.add(1);
-        loop {
-            match serve_once(w, ctx, requests[i].as_ref(), fuel) {
-                Outcome::Report(report) => {
-                    out.push((i, Ok(report)));
-                    break;
-                }
-                // Fresh instance after a successful respawn: retry the
-                // same request — serving is deterministic, so the result
-                // is the one the original instance would have produced.
-                Outcome::Lost if !w.health.quarantined => {}
-                // Respawn budget exhausted mid-request: the claim stays
-                // unserved for the stranded retry pass.
-                Outcome::Lost => return out,
-                Outcome::Error(e) => {
-                    out.push((i, Err(e)));
-                    break;
+        // Worker threads are scope-spawned, so the batch's ambient trace
+        // is not inherited — the request's minted ID is re-established
+        // here, making claim/run/seal/fault events land in its lane.
+        let stop = flightrec::with_trace(traces[i], || {
+            flightrec::record(EventKind::Claim, traces[i], i as u64, w.slot as u64);
+            loop {
+                match serve_once(w, ctx, requests[i].as_ref(), fuel) {
+                    Outcome::Report(report) => {
+                        out.push((i, Ok(report)));
+                        return false;
+                    }
+                    // Fresh instance after a successful respawn: retry the
+                    // same request — serving is deterministic, so the result
+                    // is the one the original instance would have produced.
+                    Outcome::Lost if !w.health.quarantined => {}
+                    // Respawn budget exhausted mid-request: the claim stays
+                    // unserved for the stranded retry pass.
+                    Outcome::Lost => return true,
+                    Outcome::Error(e) => {
+                        out.push((i, Err(e)));
+                        return false;
+                    }
                 }
             }
+        });
+        if stop {
+            return out;
         }
         if w.health.quarantined {
             // A contained fault exhausted the budget: the report above is
@@ -395,6 +417,7 @@ impl EnclavePool {
                 Worker {
                     enclave,
                     health: WorkerHealth::default(),
+                    slot: i,
                     respawn_left: DEFAULT_RESPAWN_BUDGET,
                     chaos_kill_after: None,
                 }
@@ -572,19 +595,31 @@ impl EnclavePool {
     /// new image uniformly, and the surfaced error is the lowest-index
     /// worker's.
     pub fn install_all(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
-        let hash = sha256(binary);
-        if self.prepared.contains_key(&hash) {
-            METRICS.pool_install_cache_hits.add(1);
-            self.touch(hash);
-        } else {
-            METRICS.pool_install_cache_misses.add(1);
-            let idx = self.verifying_worker();
-            let p = self.workers[idx].enclave.install_capture(binary)?;
-            self.verifications += 1;
-            self.insert_prepared(hash, p);
-        }
-        let prepared = self.prepared.get(&hash).expect("present").clone();
-        self.replay_into_all(&prepared)
+        // Installs get their own causal ID so verify phases and per-worker
+        // replays group into one lane per install.
+        let tid = TraceId::mint();
+        flightrec::with_trace(tid, || {
+            let hash = sha256(binary);
+            let cached = self.prepared.contains_key(&hash);
+            if cached {
+                METRICS.pool_install_cache_hits.add(1);
+                self.touch(hash);
+            } else {
+                METRICS.pool_install_cache_misses.add(1);
+                let idx = self.verifying_worker();
+                let p = self.workers[idx].enclave.install_capture(binary)?;
+                self.verifications += 1;
+                self.insert_prepared(hash, p);
+            }
+            flightrec::record(
+                EventKind::Install,
+                tid,
+                self.workers.len() as u64,
+                u64::from(cached),
+            );
+            let prepared = self.prepared.get(&hash).expect("present").clone();
+            self.replay_into_all(&prepared)
+        })
     }
 
     /// Installs a (typically patched) target binary in every worker using
@@ -601,23 +636,33 @@ impl EnclavePool {
     ///
     /// Same contract as [`EnclavePool::install_all`].
     pub fn install_patched(&mut self, binary: &[u8]) -> Result<[u8; 32], EcallError> {
-        let hash = sha256(binary);
-        if self.prepared.contains_key(&hash) {
-            METRICS.pool_install_cache_hits.add(1);
-            self.touch(hash);
-        } else {
-            METRICS.pool_install_cache_misses.add(1);
-            let idx = self.verifying_worker();
-            let p = install_capture_incremental(
-                &mut self.workers[idx].enclave,
-                binary,
-                &mut self.incremental,
-            )?;
-            self.verifications += 1;
-            self.insert_prepared(hash, p);
-        }
-        let prepared = self.prepared.get(&hash).expect("present").clone();
-        self.replay_into_all(&prepared)
+        let tid = TraceId::mint();
+        flightrec::with_trace(tid, || {
+            let hash = sha256(binary);
+            let cached = self.prepared.contains_key(&hash);
+            if cached {
+                METRICS.pool_install_cache_hits.add(1);
+                self.touch(hash);
+            } else {
+                METRICS.pool_install_cache_misses.add(1);
+                let idx = self.verifying_worker();
+                let p = install_capture_incremental(
+                    &mut self.workers[idx].enclave,
+                    binary,
+                    &mut self.incremental,
+                )?;
+                self.verifications += 1;
+                self.insert_prepared(hash, p);
+            }
+            flightrec::record(
+                EventKind::Install,
+                tid,
+                self.workers.len() as u64,
+                u64::from(cached),
+            );
+            let prepared = self.prepared.get(&hash).expect("present").clone();
+            self.replay_into_all(&prepared)
+        })
     }
 
     /// The worker slot a fresh verifying install runs on: the first
@@ -754,10 +799,16 @@ impl EnclavePool {
         }
         let mut outcomes: Vec<Result<[u8; 32], EcallError>> =
             Vec::with_capacity(self.workers.len());
+        // Scope-spawned replay threads do not inherit the install's ambient
+        // trace; capture it here and attribute each replay explicitly.
+        let tid = flightrec::ambient();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for w in &mut self.workers {
-                handles.push(scope.spawn(move || w.enclave.install_replayed(prepared)));
+                handles.push(scope.spawn(move || {
+                    flightrec::record(EventKind::InstallReplay, tid, w.slot as u64, 0);
+                    w.enclave.install_replayed(prepared)
+                }));
             }
             for h in handles {
                 outcomes.push(h.join().expect("install thread must not panic"));
@@ -774,6 +825,7 @@ impl EnclavePool {
             if let Err(e) = outcome {
                 if !w.health.quarantined {
                     METRICS.pool_quarantines.add(1);
+                    flightrec::record(EventKind::Quarantine, tid, w.slot as u64, 0);
                 }
                 w.health.quarantined = true;
                 if first_err.is_none() {
@@ -851,6 +903,14 @@ impl EnclavePool {
             owner_key: self.owner_key,
             prepared: self.active.as_ref().and_then(|h| self.prepared.get(h)),
         };
+        // One causal ID per request, minted at batch entry — every later
+        // event for request `i` (claim, run, seal, fault, retry) is
+        // attributed to `traces[i]` regardless of which worker thread
+        // serves it.
+        let traces: Vec<TraceId> = (0..requests.len()).map(|_| TraceId::mint()).collect();
+        for (i, &t) in traces.iter().enumerate() {
+            flightrec::record(EventKind::Enqueue, t, i as u64, requests.len() as u64);
+        }
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Vec<(usize, Result<RunReport, EcallError>)>> = Vec::new();
         std::thread::scope(|scope| {
@@ -858,7 +918,9 @@ impl EnclavePool {
             for w in &mut self.workers {
                 let ctx = &ctx;
                 let next = &next;
-                handles.push(scope.spawn(move || drain_queue(w, ctx, next, requests, fuel)));
+                let traces = &traces;
+                handles
+                    .push(scope.spawn(move || drain_queue(w, ctx, next, requests, traces, fuel)));
             }
             for h in handles {
                 slots.push(h.join().expect("worker thread must not panic"));
@@ -879,23 +941,27 @@ impl EnclavePool {
             METRICS.pool_stranded_retries.add(stranded.len() as u64);
             let mut retried = Vec::with_capacity(stranded.len());
             for i in stranded {
-                let mut entry = Err(EcallError::WorkerQuarantined);
-                for w in &mut self.workers {
-                    if w.health.quarantined && !respawn_worker(w, &ctx) {
-                        continue;
-                    }
-                    match serve_once(w, &ctx, requests[i].as_ref(), fuel) {
-                        Outcome::Report(report) => {
-                            entry = Ok(report);
-                            break;
+                let entry = flightrec::with_trace(traces[i], || {
+                    flightrec::record(EventKind::StrandedRetry, traces[i], i as u64, 0);
+                    let mut entry = Err(EcallError::WorkerQuarantined);
+                    for w in &mut self.workers {
+                        if w.health.quarantined && !respawn_worker(w, &ctx) {
+                            continue;
                         }
-                        Outcome::Lost => {}
-                        Outcome::Error(e) => {
-                            entry = Err(e);
-                            break;
+                        match serve_once(w, &ctx, requests[i].as_ref(), fuel) {
+                            Outcome::Report(report) => {
+                                entry = Ok(report);
+                                break;
+                            }
+                            Outcome::Lost => {}
+                            Outcome::Error(e) => {
+                                entry = Err(e);
+                                break;
+                            }
                         }
                     }
-                }
+                    entry
+                });
                 retried.push((i, entry));
             }
             slots.push(retried);
@@ -923,6 +989,10 @@ impl EnclavePool {
     ) -> Result<Vec<RunReport>, EcallError> {
         let worker_count = self.workers.len();
         METRICS.pool_round_robin_assignments.add(requests.len() as u64);
+        let traces: Vec<TraceId> = (0..requests.len()).map(|_| TraceId::mint()).collect();
+        for (i, &t) in traces.iter().enumerate() {
+            flightrec::record(EventKind::Enqueue, t, i as u64, requests.len() as u64);
+        }
         let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); worker_count];
         for i in 0..requests.len() {
             assignments[i % worker_count].push(i);
@@ -931,13 +1001,21 @@ impl EnclavePool {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (w, idxs) in self.workers.iter_mut().zip(&assignments) {
+                let traces = &traces;
                 let handle = scope.spawn(move || {
                     let mut out = Vec::with_capacity(idxs.len());
                     for &i in idxs {
-                        let result = w
-                            .enclave
-                            .provide_input(requests[i].as_ref())
-                            .and_then(|()| w.enclave.run(fuel));
+                        let result = flightrec::with_trace(traces[i], || {
+                            flightrec::record(EventKind::Claim, traces[i], i as u64, w.slot as u64);
+                            let r = w
+                                .enclave
+                                .provide_input(requests[i].as_ref())
+                                .and_then(|()| w.enclave.run(fuel));
+                            if let Ok(report) = &r {
+                                crate::flight::record_run_report(report);
+                            }
+                            r
+                        });
                         // Same accounting as `serve_once`: a completed run
                         // is served, a contained-fault report also counts
                         // as faulted — keeping PoolHealth comparable

@@ -25,6 +25,7 @@ use deflection_lang::mir::{MFunction, MInst, MirProgram};
 use deflection_lang::CompileError;
 use deflection_obj::{link, LinkError, ObjectFile};
 use deflection_sgx_sim::layout::EnclaveLayout;
+use deflection_telemetry::flightrec::{self, EventKind as FlightEventKind};
 use deflection_telemetry::{Span, METRICS};
 use std::collections::HashSet;
 use std::error::Error as StdError;
@@ -291,7 +292,9 @@ pub fn produce_unoptimized(source: &str, policy: &PolicySet) -> Result<ObjectFil
 pub fn produce_from_mir(mir: &MirProgram, policy: &PolicySet) -> Result<ObjectFile, ProduceError> {
     let instrumented = instrument(mir, policy);
     let obj = deflection_lang::assemble(&instrumented)?;
-    Ok(link(&[obj])?)
+    let linked = link(&[obj])?;
+    flightrec::record_ambient(FlightEventKind::Produce, linked.text.len() as u64, 0);
+    Ok(linked)
 }
 
 /// Relocates `obj` against `layout` and returns `(text, entry, ibt)` as the

@@ -278,7 +278,7 @@ pub struct RunReport {
 pub struct BootstrapEnclave {
     pub(crate) layout: EnclaveLayout,
     pub(crate) manifest: Manifest,
-    vm: Option<Vm>,
+    pub(crate) vm: Option<Vm>,
     installed: Option<Installed>,
     host: HostState,
     provider_key: Option<[u8; 32]>,

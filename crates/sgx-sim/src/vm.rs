@@ -121,6 +121,39 @@ enum TraceEnd {
     Exit(RunExit),
 }
 
+/// Heatmap vectors are capped here so a pathological run (every
+/// instruction a side exit) cannot grow the profile without bound.
+const PROFILE_HEATMAP_CAP: usize = 4096;
+
+/// PC samples and event heatmaps accumulated by the in-run sampling
+/// profiler — a plain local buffer, no atomics, never shared while the run
+/// is live (the same fold-at-exit discipline as [`LocalHistogram`], see
+/// DESIGN.md §5e/§5j): the host retrieves it with [`Vm::take_profile`]
+/// after the run returns, at a boundary it already witnesses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VmProfile {
+    /// `(pc, weight)` samples: each entry attributes `weight` executed
+    /// instructions — the gap since the previous sample — to the code at
+    /// `pc`. Weights sum to exactly the instructions executed while the
+    /// profiler was enabled (the final gap is flushed at run exit), so
+    /// per-function aggregation is exact in total, sampled in placement.
+    pub samples: Vec<(u64, u64)>,
+    /// PCs at trace side exits (mispredicted guards), capped at
+    /// `PROFILE_HEATMAP_CAP` (4096).
+    pub side_exit_pcs: Vec<u64>,
+    /// PCs at guard trips — policy aborts and faults — capped at
+    /// `PROFILE_HEATMAP_CAP` (4096).
+    pub guard_trip_pcs: Vec<u64>,
+}
+
+impl VmProfile {
+    /// Total attributed instruction weight.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.samples.iter().map(|&(_, w)| w).sum()
+    }
+}
+
 /// A ready-to-run virtual machine.
 #[derive(Debug)]
 pub struct Vm {
@@ -141,6 +174,16 @@ pub struct Vm {
     block_lens: LocalHistogram,
     /// Local trace-length accumulator, folded like `block_lens`.
     trace_lens: LocalHistogram,
+    /// Absolute instruction count at which the next profiler sample is
+    /// due; `u64::MAX` means the profiler is off, making the disabled-path
+    /// cost of every dispatch loop a single always-false compare.
+    sample_due: u64,
+    /// Profiler sampling interval in instructions.
+    sample_interval: u64,
+    /// Instruction count already attributed to a sample.
+    last_attributed: u64,
+    /// The accumulating profile (empty while the profiler is off).
+    profile: VmProfile,
 }
 
 /// Process-wide default dispatch mode, read once from the environment:
@@ -180,6 +223,56 @@ impl Vm {
             mode: exec_mode_default(),
             block_lens: LocalHistogram::new(),
             trace_lens: LocalHistogram::new(),
+            sample_due: u64::MAX,
+            sample_interval: u64::MAX,
+            last_attributed: 0,
+            profile: VmProfile::default(),
+        }
+    }
+
+    /// Turns on instruction-count-triggered PC sampling: every `interval`
+    /// executed instructions the profiler attributes the elapsed gap to
+    /// the current pc. Purely observational — execution, counters and
+    /// exits are bit-identical with the profiler on or off — and wall-
+    /// clock-free in-run (the trigger is the architectural instruction
+    /// counter, never a timer).
+    pub fn enable_profiler(&mut self, interval: u64) {
+        let interval = interval.max(1);
+        self.sample_interval = interval;
+        self.last_attributed = self.stats.instructions;
+        self.sample_due = self.stats.instructions.saturating_add(interval);
+    }
+
+    /// Whether the sampling profiler is on.
+    #[must_use]
+    pub fn profiler_enabled(&self) -> bool {
+        self.sample_due != u64::MAX
+    }
+
+    /// Takes the accumulated profile, leaving an empty one in place. Call
+    /// after [`Vm::run`] returns — the profiler flushes its final gap at
+    /// run exit, so the taken samples sum to exactly the instructions
+    /// executed under the profiler so far.
+    pub fn take_profile(&mut self) -> VmProfile {
+        std::mem::take(&mut self.profile)
+    }
+
+    /// Attributes the instructions executed since the last sample to the
+    /// current pc and schedules the next sample.
+    #[cold]
+    fn profile_sample(&mut self) {
+        let gap = self.stats.instructions - self.last_attributed;
+        if gap > 0 {
+            self.profile.samples.push((self.cpu.pc, gap));
+        }
+        self.last_attributed = self.stats.instructions;
+        self.sample_due = self.stats.instructions.saturating_add(self.sample_interval);
+    }
+
+    /// Records `pc` into a heatmap vector, respecting the cap.
+    fn profile_heat(v: &mut Vec<u64>, pc: u64) {
+        if v.len() < PROFILE_HEATMAP_CAP {
+            v.push(pc);
         }
     }
 
@@ -273,6 +366,14 @@ impl Vm {
         self.block_lens.clear();
         METRICS.vm_trace_len.merge(&self.trace_lens);
         self.trace_lens.clear();
+        // Profiler fold-at-exit: attribute the instructions since the last
+        // sample point to the final pc, so the profile's weights sum to
+        // exactly the instructions executed (nothing in-run reads a clock
+        // or touches shared state; this flush happens after the run, at
+        // the boundary the host already witnesses).
+        if self.sample_due != u64::MAX {
+            self.profile_sample();
+        }
         exit
     }
 
@@ -295,6 +396,15 @@ impl Vm {
             self.block_lens.observe(block);
             let mut budget = block;
             while budget > 0 {
+                // Profiler check + budget clamp: the clamp keeps a trace
+                // run from sailing past the next sample point, so traced
+                // dispatch pays no per-element profiler cost — one compare
+                // and one min per trace entry (both no-ops at u64::MAX
+                // when the profiler is off).
+                if self.stats.instructions >= self.sample_due {
+                    self.profile_sample();
+                }
+                let allow = budget.min(self.sample_due.saturating_sub(self.stats.instructions));
                 let found = self.icache.lookup_trace(self.cpu.pc, &self.mem);
                 let (trace, idx) = match found {
                     Some((trace, idx)) => {
@@ -329,13 +439,16 @@ impl Vm {
                         }
                     },
                 };
-                let (executed, end) = self.run_trace(&trace, idx, budget, host);
+                let (executed, end) = self.run_trace(&trace, idx, allow, host);
                 budget -= executed;
                 match end {
                     TraceEnd::Exit(exit) => return exit,
                     TraceEnd::Completed => completed = true,
                     TraceEnd::SideExit => {
                         self.icache.trace_stats.side_exits += 1;
+                        if self.sample_due != u64::MAX {
+                            Self::profile_heat(&mut self.profile.side_exit_pcs, self.cpu.pc);
+                        }
                         completed = false;
                     }
                     TraceEnd::Killed => {
@@ -394,6 +507,9 @@ impl Vm {
                     // bouncing through the dispatcher's lookup.
                     if let Some(j) = trace.find(self.cpu.pc) {
                         self.icache.trace_stats.side_exits += 1;
+                        if self.sample_due != u64::MAX {
+                            Self::profile_heat(&mut self.profile.side_exit_pcs, self.cpu.pc);
+                        }
                         idx = j;
                         continue;
                     }
@@ -435,6 +551,9 @@ impl Vm {
             }
             self.block_lens.observe(block);
             for _ in 0..block {
+                if self.stats.instructions >= self.sample_due {
+                    self.profile_sample();
+                }
                 self.stats.instructions += 1;
                 let event = match self.icache.lookup(self.cpu.pc, &self.mem) {
                     Some((inst, len)) => {
@@ -465,6 +584,9 @@ impl Vm {
     /// AEX schedule every instruction.
     fn run_reference(&mut self, fuel: u64, host: &mut dyn VmHost) -> RunExit {
         for _ in 0..fuel {
+            if self.stats.instructions >= self.sample_due {
+                self.profile_sample();
+            }
             self.stats.instructions += 1;
             if self.aex.should_fire(self.stats.instructions) {
                 self.aex.deliver(&self.cpu, &mut self.mem);
@@ -488,7 +610,12 @@ impl Vm {
         match event {
             Ok(StepEvent::Continue) => None,
             Ok(StepEvent::Halted) => Some(RunExit::Halted { exit: self.cpu.get(Reg::RAX) }),
-            Ok(StepEvent::PolicyAbort(code)) => Some(RunExit::PolicyAbort { code }),
+            Ok(StepEvent::PolicyAbort(code)) => {
+                if self.sample_due != u64::MAX {
+                    Self::profile_heat(&mut self.profile.guard_trip_pcs, self.cpu.pc);
+                }
+                Some(RunExit::PolicyAbort { code })
+            }
             Ok(StepEvent::Ocall(code)) => {
                 self.stats.ocalls += 1;
                 match host.ocall(code, &mut self.cpu, &mut self.mem) {
@@ -502,7 +629,12 @@ impl Vm {
                 self.cpu.set(Reg::RAX, ok as u64);
                 None
             }
-            Err(f) => Some(RunExit::Fault(f)),
+            Err(f) => {
+                if self.sample_due != u64::MAX {
+                    Self::profile_heat(&mut self.profile.guard_trip_pcs, self.cpu.pc);
+                }
+                Some(RunExit::Fault(f))
+            }
         }
     }
 }
@@ -761,6 +893,65 @@ mod tests {
         assert_eq!(vm.run(100, &mut NullHost), RunExit::Halted { exit: 9 });
         assert_eq!(vm.icache_stats().fills, 0);
         assert_eq!(vm.icache_stats().hits, 4);
+    }
+
+    #[test]
+    fn profiler_attribution_sums_to_executed_instructions_in_every_mode() {
+        let build = |rel: i32| {
+            vec![
+                Inst::AluRI { op: deflection_isa::AluOp::Add, dst: Reg::RBX, imm: 1 },
+                Inst::CmpRI { lhs: Reg::RBX, imm: 200 },
+                Inst::Jcc { cc: deflection_isa::CondCode::B, rel },
+                Inst::MovRI { dst: Reg::RAX, imm: 7 },
+                Inst::Halt,
+            ]
+        };
+        let (_, offs) = encode_program(&build(0));
+        let prog = build(-(offs[3] as i32));
+        for mode in [ExecMode::Traced, ExecMode::Block, ExecMode::Reference] {
+            // Baseline without the profiler: identical exit and stats.
+            let mut base = vm_with(&prog);
+            base.set_exec_mode(mode);
+            let base_exit = base.run(10_000, &mut NullHost);
+            let mut vm = vm_with(&prog);
+            vm.set_exec_mode(mode);
+            vm.enable_profiler(17);
+            let exit = vm.run(10_000, &mut NullHost);
+            assert_eq!(exit, base_exit, "{mode:?}: profiler changed the exit");
+            assert_eq!(vm.stats, base.stats, "{mode:?}: profiler changed the counters");
+            let profile = vm.take_profile();
+            assert_eq!(
+                profile.total_weight(),
+                vm.stats.instructions,
+                "{mode:?}: attribution must sum to executed instructions"
+            );
+            assert!(profile.samples.len() > 1, "{mode:?}: interval 17 must sample repeatedly");
+            // Sampled pcs land inside the code window.
+            let code = vm.mem.layout().code;
+            for &(pc, _) in &profile.samples {
+                assert!(code.contains(pc), "{mode:?}: sample pc {pc:#x} outside code");
+            }
+            // A second take is empty (take_profile drains).
+            assert_eq!(vm.take_profile(), VmProfile::default());
+        }
+    }
+
+    #[test]
+    fn profiler_records_guard_trip_heatmap_on_abort() {
+        let mut vm = vm_with(&[Inst::Abort { code: 9 }]);
+        vm.enable_profiler(1000);
+        assert_eq!(vm.run(10, &mut NullHost), RunExit::PolicyAbort { code: 9 });
+        let profile = vm.take_profile();
+        assert_eq!(profile.guard_trip_pcs.len(), 1);
+        assert_eq!(profile.total_weight(), vm.stats.instructions);
+    }
+
+    #[test]
+    fn disabled_profiler_accumulates_nothing() {
+        let mut vm = vm_with(&[Inst::MovRI { dst: Reg::RAX, imm: 1 }, Inst::Halt]);
+        assert!(!vm.profiler_enabled());
+        let _ = vm.run(100, &mut NullHost);
+        assert_eq!(vm.take_profile(), VmProfile::default());
     }
 
     #[test]

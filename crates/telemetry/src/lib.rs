@@ -42,8 +42,214 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flightrec;
+
+pub use flightrec::{
+    chrome_trace, EventKind, FlightEvent, FlightLog, FlightRecorder, Timeline, TimelineLane,
+    TraceId,
+};
+
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Escapes a string for inclusion in a JSON string literal: quotes,
+/// backslashes, and control characters (the latter as `\u00XX`). Every
+/// exporter in this crate routes label values and free-form names through
+/// this, so a hostile binary name can never corrupt an exported document.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A minimal recursive-descent JSON well-formedness check (structure only,
+/// no value model): used by the exporter unit tests and by `ci.sh --smoke`
+/// to validate `TRACE_smoke.json` before publishing it as an artifact.
+#[must_use]
+pub fn json_well_formed(s: &str) -> bool {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+        depth: u32,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+        fn eat(&mut self, c: u8) -> bool {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                true
+            } else {
+                false
+            }
+        }
+        fn string(&mut self) -> bool {
+            if !self.eat(b'"') {
+                return false;
+            }
+            while let Some(c) = self.peek() {
+                self.i += 1;
+                match c {
+                    b'"' => return true,
+                    b'\\' => {
+                        let Some(e) = self.peek() else { return false };
+                        self.i += 1;
+                        match e {
+                            b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                            b'u' => {
+                                for _ in 0..4 {
+                                    let Some(h) = self.peek() else { return false };
+                                    if !h.is_ascii_hexdigit() {
+                                        return false;
+                                    }
+                                    self.i += 1;
+                                }
+                            }
+                            _ => return false,
+                        }
+                    }
+                    c if c < 0x20 => return false,
+                    _ => {}
+                }
+            }
+            false
+        }
+        fn number(&mut self) -> bool {
+            let start = self.i;
+            let _ = self.eat(b'-');
+            let digits = self.i;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+            if self.i == digits {
+                return false;
+            }
+            if self.eat(b'.') {
+                let frac = self.i;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+                if self.i == frac {
+                    return false;
+                }
+            }
+            if self.peek() == Some(b'e') || self.peek() == Some(b'E') {
+                self.i += 1;
+                if self.peek() == Some(b'+') || self.peek() == Some(b'-') {
+                    self.i += 1;
+                }
+                let exp = self.i;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+                if self.i == exp {
+                    return false;
+                }
+            }
+            self.i > start
+        }
+        fn lit(&mut self, word: &[u8]) -> bool {
+            if self.b[self.i..].starts_with(word) {
+                self.i += word.len();
+                true
+            } else {
+                false
+            }
+        }
+        fn value(&mut self) -> bool {
+            if self.depth > 128 {
+                return false;
+            }
+            self.ws();
+            match self.peek() {
+                Some(b'"') => self.string(),
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b't') => self.lit(b"true"),
+                Some(b'f') => self.lit(b"false"),
+                Some(b'n') => self.lit(b"null"),
+                Some(_) => self.number(),
+                None => false,
+            }
+        }
+        fn object(&mut self) -> bool {
+            self.depth += 1;
+            if !self.eat(b'{') {
+                return false;
+            }
+            self.ws();
+            if self.eat(b'}') {
+                self.depth -= 1;
+                return true;
+            }
+            loop {
+                self.ws();
+                if !self.string() {
+                    return false;
+                }
+                self.ws();
+                if !self.eat(b':') || !self.value() {
+                    return false;
+                }
+                self.ws();
+                if self.eat(b',') {
+                    continue;
+                }
+                let ok = self.eat(b'}');
+                self.depth -= 1;
+                return ok;
+            }
+        }
+        fn array(&mut self) -> bool {
+            self.depth += 1;
+            if !self.eat(b'[') {
+                return false;
+            }
+            self.ws();
+            if self.eat(b']') {
+                self.depth -= 1;
+                return true;
+            }
+            loop {
+                if !self.value() {
+                    return false;
+                }
+                self.ws();
+                if self.eat(b',') {
+                    continue;
+                }
+                let ok = self.eat(b']');
+                self.depth -= 1;
+                return ok;
+            }
+        }
+    }
+    let mut p = P { b: s.as_bytes(), i: 0, depth: 0 };
+    if !p.value() {
+        return false;
+    }
+    p.ws();
+    p.i == p.b.len()
+}
 
 /// Number of log-2 histogram buckets: bucket 0 holds exact zeros, bucket
 /// `k >= 1` holds values in `[2^(k-1), 2^k)`, and the last bucket absorbs
@@ -287,6 +493,9 @@ impl Span {
     #[must_use]
     pub fn start(hist: &'static Histogram) -> Span {
         let start = if ENABLED.load(Ordering::Relaxed) { Some(Instant::now()) } else { None };
+        // The flight recorder derives verifier phase events from span
+        // identity (one relaxed load when it is disabled).
+        flightrec::span_phase_marker(hist);
         Span { start, hist }
     }
 }
@@ -640,6 +849,56 @@ pub struct HistogramSample {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSample {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the log-2 buckets by
+    /// linear interpolation inside the target bucket: bucket 0 is exactly
+    /// 0, bucket `k` spans `[2^(k-1), 2^k)`, and the saturated last bucket
+    /// reports its lower bound (no finite upper bound is truthful for it —
+    /// the same honesty rule as the `+Inf`-only exposition). Returns 0 for
+    /// an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                if i == HISTOGRAM_BUCKETS - 1 {
+                    return (1u64 << (i - 1)) as f64;
+                }
+                let lo = (1u64 << (i - 1)) as f64;
+                let hi = (1u64 << i) as f64;
+                let frac = (rank - cum as f64) / n as f64;
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+            cum = next;
+        }
+        // Unreachable when buckets sum to count; be conservative if not.
+        self.buckets.len().checked_sub(1).map_or(0.0, |i| (1u64 << i.min(63)) as f64)
+    }
+
+    /// Median estimate (see [`HistogramSample::percentile`]).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// Tail estimate (see [`HistogramSample::percentile`]).
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
 /// A point-in-time copy of every metric, decoupled from the live atomics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
@@ -690,6 +949,20 @@ impl Snapshot {
         for h in &self.histograms {
             out.push_str(&format!("{}_count{} {}\n", h.name, fmt_labels(h.labels, None), h.count));
             out.push_str(&format!("{}_sum{} {}\n", h.name, fmt_labels(h.labels, None), h.sum));
+            if h.count > 0 {
+                out.push_str(&format!(
+                    "{}_p50{} {:.1}\n",
+                    h.name,
+                    fmt_labels(h.labels, None),
+                    h.p50()
+                ));
+                out.push_str(&format!(
+                    "{}_p99{} {:.1}\n",
+                    h.name,
+                    fmt_labels(h.labels, None),
+                    h.p99()
+                ));
+            }
             let mut cum = 0u64;
             for (i, &b) in h.buckets.iter().enumerate() {
                 cum += b;
@@ -721,18 +994,33 @@ impl Snapshot {
 
     /// Renders the snapshot as a self-describing JSON document (schema
     /// `deflection-metrics-v1`), the format `METRICS_*.json` files use and
-    /// the trend reporter ingests.
+    /// the trend reporter ingests. Label bodies are properly escaped (they
+    /// contain quotes by construction — `event="claim"` — and may embed
+    /// arbitrary caller strings), so the output is always well-formed.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"deflection-metrics-v1\",\n  \"samples\": [");
+        self.to_json_stamped(None)
+    }
+
+    /// [`Snapshot::to_json`] with an optional host stamp
+    /// (`available_parallelism`), which the trend reporter requires before
+    /// it will *enforce* p50/p99 tail regressions — numbers measured on
+    /// different host shapes are reported but never gate.
+    #[must_use]
+    pub fn to_json_stamped(&self, available_parallelism: Option<u64>) -> String {
+        let mut out = String::from("{\n  \"schema\": \"deflection-metrics-v1\",\n");
+        if let Some(cores) = available_parallelism {
+            out.push_str(&format!("  \"host\": {{\"available_parallelism\": {cores}}},\n"));
+        }
+        out.push_str("  \"samples\": [");
         for (i, s) in self.samples.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
                 "\n    {{\"name\": \"{}\", \"labels\": \"{}\", \"value\": {}}}",
-                s.name,
-                s.labels.replace('"', "'"),
+                escape_json(s.name),
+                escape_json(s.labels),
                 s.value
             ));
         }
@@ -743,11 +1031,14 @@ impl Snapshot {
             }
             let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
             out.push_str(&format!(
-                "\n    {{\"name\": \"{}\", \"labels\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
-                h.name,
-                h.labels.replace('"', "'"),
+                "\n    {{\"name\": \"{}\", \"labels\": \"{}\", \"count\": {}, \"sum\": {}, \
+                 \"p50\": {:.1}, \"p99\": {:.1}, \"buckets\": [{}]}}",
+                escape_json(h.name),
+                escape_json(h.labels),
                 h.count,
                 h.sum,
+                h.p50(),
+                h.p99(),
                 buckets.join(", ")
             ));
         }
@@ -1002,6 +1293,114 @@ mod tests {
             assert!(s.start.is_none());
         }
         assert_eq!(METRICS.verify_ns.count(), 0);
+    }
+
+    #[test]
+    fn json_export_escapes_hostile_strings_and_stays_well_formed() {
+        with_collector(|| {
+            METRICS.verify_accepts.add(1);
+            METRICS.verify_ns.observe(1000);
+            let json = Collector::snapshot().to_json();
+            assert!(json_well_formed(&json), "snapshot JSON must be well-formed:\n{json}");
+            // Label bodies contain quotes by construction; they must arrive
+            // escaped, not smuggled or mangled into single quotes.
+            assert!(json.contains(r#""labels": "verdict=\"accept\"""#));
+            let stamped = Collector::snapshot().to_json_stamped(Some(8));
+            assert!(json_well_formed(&stamped));
+            assert!(stamped.contains("\"available_parallelism\": 8"));
+        });
+        // A hostile name (quotes, backslashes, control chars) cannot break
+        // the document.
+        let snap = Snapshot {
+            samples: vec![],
+            histograms: vec![HistogramSample {
+                name: "deflection_test_ns",
+                labels: "bin=\"a\\b\"c\n\u{1}\"",
+                count: 1,
+                sum: 7,
+                buckets: vec![0, 0, 0, 1],
+            }],
+        };
+        assert!(json_well_formed(&snap.to_json()), "hostile label leaked:\n{}", snap.to_json());
+    }
+
+    #[test]
+    fn escape_json_handles_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_well_formed_accepts_valid_and_rejects_broken_documents() {
+        assert!(json_well_formed("{}"));
+        assert!(json_well_formed("[1, 2.5, -3e2, \"x\\n\", true, false, null, {\"a\": []}]"));
+        assert!(json_well_formed("  {\"k\": \"v\"}  "));
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": }",
+            "{\"a\" 1}",
+            "{\"a\": 1} trailing",
+            "\"unterminated",
+            "{\"a\": \"raw\nnewline\"}",
+            "01e",
+            "nulle",
+        ] {
+            assert!(!json_well_formed(bad), "accepted broken JSON: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn percentiles_interpolate_log2_buckets() {
+        let h = |count: u64, buckets: Vec<u64>| HistogramSample {
+            name: "t",
+            labels: "",
+            count,
+            sum: 0,
+            buckets,
+        };
+        // Empty histogram: both quantiles are 0.
+        assert_eq!(h(0, vec![]).p50(), 0.0);
+        // All zeros: bucket 0 is exactly 0.
+        assert_eq!(h(4, vec![4]).p50(), 0.0);
+        // 100 observations spread evenly in [8, 16) (bucket 4): p50 lands
+        // mid-bucket, p99 near the top.
+        let mid = h(100, vec![0, 0, 0, 0, 100]);
+        assert!((mid.p50() - 12.0).abs() < 0.5, "p50={}", mid.p50());
+        assert!(mid.p99() > 15.0 && mid.p99() <= 16.0, "p99={}", mid.p99());
+        // Skewed tail: 99 fast (bucket 1 = [1,2)) + 1 slow (bucket 11 =
+        // [1024, 2048)); p50 stays fast, p99 crosses into... the 99th of
+        // 100 is still the last fast observation, p99.5 would be slow.
+        let skew = h(100, vec![0, 99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        assert!(skew.p50() < 2.0);
+        assert!(skew.percentile(0.995) >= 1024.0);
+        // The saturated last bucket reports its lower bound.
+        let mut sat_buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        sat_buckets[HISTOGRAM_BUCKETS - 1] = 10;
+        let sat = h(10, sat_buckets);
+        assert_eq!(sat.p99(), (1u64 << 62) as f64);
+        // Monotone in q.
+        let m = h(10, vec![1, 2, 3, 4]);
+        assert!(m.percentile(0.1) <= m.percentile(0.5));
+        assert!(m.percentile(0.5) <= m.percentile(0.9));
+    }
+
+    #[test]
+    fn prometheus_exposition_includes_percentile_lines() {
+        with_collector(|| {
+            for v in [10u64, 12, 14, 1000] {
+                METRICS.verify_ns.observe(v);
+            }
+            let text = Collector::snapshot().to_prometheus();
+            assert!(text.contains("deflection_verify_ns_p50{phase=\"total\"}"));
+            assert!(text.contains("deflection_verify_ns_p99{phase=\"total\"}"));
+            // Histograms with no observations emit no percentile lines.
+            assert!(!text.contains("deflection_produce_ns_p50"));
+        });
     }
 
     #[test]

@@ -7,9 +7,11 @@
 # output as target/bench-smoke/BENCH_<name>.json (also copied to the repo
 # root), so CI catches bench bit-rot (panicking asserts, broken tables)
 # without paying for a full measurement run. Each smoke run also writes a
-# telemetry snapshot (target/bench-smoke/METRICS_smoke.json) and prints the
-# trend report against the committed repo-root series; add `--trend` to
-# make a regression past the threshold fail the build.
+# telemetry snapshot (target/bench-smoke/METRICS_smoke.json), a validated
+# chrome://tracing export of the demo batch (TRACE_smoke.json), one
+# sampling-profiler pass (PROFILE_smoke.log), and prints the trend report
+# against the committed repo-root series; add `--trend` to make a
+# regression past the threshold fail the build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -104,14 +106,33 @@ if [ "$SMOKE" = "1" ]; then
         echo "    wrote $json ($count measurements)"
     done
 
-    echo "==> telemetry snapshot (metrics_snapshot)"
+    echo "==> telemetry snapshot (metrics_snapshot, with chrome-trace export)"
     cargo run -q --release --bin metrics_snapshot -- -o target/bench-smoke/METRICS_smoke.json \
+        --trace-out target/bench-smoke/TRACE_smoke.json \
         >target/bench-smoke/METRICS_smoke.log 2>&1 || {
         cat target/bench-smoke/METRICS_smoke.log
         echo "metrics snapshot failed" >&2
         exit 1
     }
-    echo "    wrote target/bench-smoke/METRICS_smoke.json"
+    # metrics_snapshot validates the trace before writing it; re-check here
+    # with an independent parser when one is available.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+            target/bench-smoke/TRACE_smoke.json || {
+            echo "TRACE_smoke.json is not valid JSON" >&2
+            exit 1
+        }
+    fi
+    echo "    wrote target/bench-smoke/METRICS_smoke.json + TRACE_smoke.json"
+
+    echo "==> sampling profiler (profile, one kernel)"
+    cargo run -q --release --bin profile -- --kernel "NUMERIC SORT" \
+        >target/bench-smoke/PROFILE_smoke.log 2>&1 || {
+        cat target/bench-smoke/PROFILE_smoke.log
+        echo "profile smoke failed" >&2
+        exit 1
+    }
+    echo "    wrote target/bench-smoke/PROFILE_smoke.log"
 
     echo "==> trend report (current: target/bench-smoke, previous: repo root)"
     if [ "$TREND_ENFORCE" = "1" ]; then

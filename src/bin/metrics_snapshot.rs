@@ -1,15 +1,18 @@
 //! `metrics_snapshot` — drives one small serving batch with the telemetry
-//! collector enabled and dumps what it saw.
+//! collector and flight recorder enabled and dumps what they saw.
 //!
 //! ```text
-//! metrics_snapshot [-o METRICS_file.json]
+//! metrics_snapshot [-o METRICS_file.json] [--trace-out TRACE_file.json]
 //! ```
 //!
 //! The flow mirrors the serving story: produce an instrumented binary,
-//! install it across an [`EnclavePool`], serve a parallel batch, export the
-//! sealed audit ring from a standalone enclave, then print the collector's
-//! Prometheus-style exposition (and optionally write the JSON snapshot a
-//! `trend` run can ingest).
+//! install it across an [`EnclavePool`], serve a parallel batch with one
+//! chaos-killed worker (so the timeline shows a fault and a respawn),
+//! export the sealed audit ring from a standalone enclave, then print the
+//! collector's Prometheus-style exposition, the per-request causal
+//! timelines, and a profiler hot-function table. `-o` writes the
+//! host-stamped JSON snapshot a `trend` run can ingest; `--trace-out`
+//! writes the chrome://tracing export of the batch.
 //!
 //! [`EnclavePool`]: deflection::core::pool::EnclavePool
 
@@ -18,8 +21,10 @@ use deflection::core::policy::{Manifest, PolicySet};
 use deflection::core::pool::EnclavePool;
 use deflection::core::producer::produce_for_layout;
 use deflection::core::runtime::BootstrapEnclave;
+use deflection::profiling::{profile_nbench, DEFAULT_INTERVAL};
 use deflection::sgx::layout::{EnclaveLayout, MemConfig};
-use deflection::telemetry::Collector;
+use deflection::telemetry::{chrome_trace, json_well_formed, Collector, FlightRecorder, Timeline};
+use deflection::workloads::nbench;
 use std::process::ExitCode;
 
 /// A tiny scoring routine: one pass over the input, one sealed output byte.
@@ -39,18 +44,26 @@ fn main() -> int {
 ";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let output = match args.as_slice() {
-        [] => None,
-        [flag, path] if flag == "-o" || flag == "--output" => Some(path.clone()),
-        _ => {
-            eprintln!("usage:\n  metrics_snapshot [-o METRICS_file.json]");
-            return ExitCode::from(2);
+    let mut output: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match (arg.as_str(), args.next()) {
+            ("-o" | "--output", Some(path)) => output = Some(path),
+            ("--trace-out", Some(path)) => trace_out = Some(path),
+            _ => {
+                eprintln!(
+                    "usage:\n  metrics_snapshot [-o METRICS_file.json] [--trace-out TRACE_file.json]"
+                );
+                return ExitCode::from(2);
+            }
         }
-    };
+    }
 
     Collector::enable();
     Collector::reset();
+    FlightRecorder::reset();
+    FlightRecorder::enable();
 
     // Full policy set with guard elision, so the producer's analysis and
     // self-verification phases show up in the histograms too.
@@ -74,6 +87,11 @@ fn main() -> ExitCode {
         eprintln!("pool install failed: {e}");
         return ExitCode::FAILURE;
     }
+    // One chaos-killed worker makes the timeline demo show the full fault
+    // story: a lost instance, the respawn, and the request completing on
+    // the fresh enclave. Slot 0 is armed because the batch is small enough
+    // that the first worker thread often drains it alone.
+    pool.chaos_kill_after(0, 3);
     let requests: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i, i + 1, i + 2, 40]).collect();
     let reports = match pool.serve_parallel(&requests, 10_000_000) {
         Ok(r) => r,
@@ -83,11 +101,56 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "served {} requests across {} workers ({} verification pass)",
+        "served {} requests across {} workers ({} verification pass, {} fault, {} respawn)",
         reports.len(),
         pool.len(),
-        pool.verification_count()
+        pool.verification_count(),
+        pool.health().total_faulted(),
+        pool.health().total_respawned()
     );
+
+    // Per-request causal timelines reconstructed from the flight ring.
+    let flight = FlightRecorder::drain();
+    let timeline = Timeline::build(&flight);
+    println!(
+        "\nflight recorder: {} events, {} dropped, {} causal lanes",
+        flight.events.len(),
+        flight.dropped,
+        timeline.lanes.len()
+    );
+    println!("{}", timeline.render());
+    if let Some(path) = trace_out {
+        let trace = chrome_trace(&flight);
+        if !json_well_formed(&trace) {
+            eprintln!("chrome trace export is not well-formed JSON");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, &trace) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    FlightRecorder::disable();
+
+    // Profiler demo: one nBench kernel under the sampling profiler, with
+    // exact instruction attribution.
+    let kernels = nbench::all();
+    let kernel = kernels.iter().find(|k| k.name == "NUMERIC SORT").expect("kernel exists");
+    match profile_nbench(kernel, 1, DEFAULT_INTERVAL) {
+        Ok(profile) => {
+            println!(
+                "profiler: {} — {} instructions, all attributed\n{}",
+                profile.kernel,
+                profile.instructions,
+                profile.table()
+            );
+        }
+        Err(e) => {
+            eprintln!("profiler demo failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     // A standalone enclave demonstrates the attested audit-log export: the
     // sealed blob opens under the owner key on (channel 0, the counter in
@@ -136,7 +199,10 @@ fn main() -> ExitCode {
     let snapshot = Collector::snapshot();
     println!("\n{}", snapshot.to_prometheus());
     if let Some(path) = output {
-        if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+        // Host-stamped so the trend gate can tell comparable snapshots
+        // from host-shape changes when enforcing p50/p99 drift.
+        let cores = std::thread::available_parallelism().map(|n| n.get() as u64).ok();
+        if let Err(e) = std::fs::write(&path, snapshot.to_json_stamped(cores)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }

@@ -1,0 +1,118 @@
+//! `profile` — runs nBench kernels under the VM sampling profiler and
+//! prints per-function self-time tables (or flamegraph collapsed stacks).
+//!
+//! ```text
+//! profile [--kernel NAME] [--scale N] [--interval N] [--collapsed] [-o FILE]
+//! ```
+//!
+//! With `--collapsed` the output is flamegraph-ready collapsed-stack
+//! lines (`kernel;function weight`), suitable for piping into
+//! `flamegraph.pl`; `-o` writes that output to a file instead of stdout.
+
+use deflection::profiling::{profile_nbench, ProfileReport, DEFAULT_INTERVAL};
+use deflection::workloads::nbench;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  profile [--kernel NAME] [--scale N] [--interval N] [--collapsed] [-o FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut kernel: Option<String> = None;
+    let mut scale: u32 = 1;
+    let mut interval: u64 = DEFAULT_INTERVAL;
+    let mut collapsed = false;
+    let mut output: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--kernel" => match args.next() {
+                Some(v) => kernel = Some(v),
+                None => return usage(),
+            },
+            "--scale" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale = v,
+                None => return usage(),
+            },
+            "--interval" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => interval = v,
+                None => return usage(),
+            },
+            "--collapsed" => collapsed = true,
+            "-o" | "--output" => match args.next() {
+                Some(v) => output = Some(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let kernels = nbench::all();
+    let selected: Vec<_> = match &kernel {
+        Some(name) => match kernels.iter().find(|k| k.name.eq_ignore_ascii_case(name)) {
+            Some(k) => vec![k],
+            None => {
+                eprintln!("unknown kernel {name:?}; available:");
+                for k in &kernels {
+                    eprintln!("  {}", k.name);
+                }
+                return ExitCode::from(2);
+            }
+        },
+        None => kernels.iter().collect(),
+    };
+
+    let mut reports: Vec<ProfileReport> = Vec::new();
+    for k in selected {
+        match profile_nbench(k, scale, interval) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("{}: {e}", k.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for r in &reports {
+        if collapsed {
+            out.push_str(&r.collapsed());
+        } else {
+            out.push_str(&format!(
+                "=== {} ({} instructions, {} sampled) ===\n{}",
+                r.kernel,
+                r.instructions,
+                r.total_weight,
+                r.table()
+            ));
+            if !r.side_exits.is_empty() {
+                out.push_str("side exits:\n");
+                for h in r.side_exits.iter().take(5) {
+                    out.push_str(&format!("  {}+{:#x} x{}\n", h.function, h.offset, h.count));
+                }
+            }
+            if !r.guard_trips.is_empty() {
+                out.push_str("guard trips:\n");
+                for h in r.guard_trips.iter().take(5) {
+                    out.push_str(&format!("  {}+{:#x} x{}\n", h.function, h.offset, h.count));
+                }
+            }
+            out.push('\n');
+        }
+    }
+
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &out) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{out}"),
+    }
+    ExitCode::SUCCESS
+}

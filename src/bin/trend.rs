@@ -11,7 +11,7 @@
 //! prints a markdown trend table. With `--enforce`, exits 1 when any
 //! enforceable measurement regressed past the threshold (default 25%).
 
-use deflection::trend::{parse_bench_file, parse_metrics_file, BenchFile, TrendReport};
+use deflection::trend::{parse_bench_file, parse_metrics_snapshot, BenchFile, TrendReport};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -91,9 +91,12 @@ fn main() -> ExitCode {
         eprintln!("trend: no BENCH_*.json found in {current}");
         return usage();
     }
-    let metrics = load_dir(Path::new(&current), "METRICS_", |t| Some(parse_metrics_file(t)));
+    let metrics = load_dir(Path::new(&current), "METRICS_", |t| Some(parse_metrics_snapshot(t)));
+    let prev_metrics =
+        load_dir(Path::new(&previous), "METRICS_", |t| Some(parse_metrics_snapshot(t)));
 
-    let report = TrendReport::build(&curr, &prev, threshold);
+    let mut report = TrendReport::build(&curr, &prev, threshold);
+    report.attach_tails(&metrics, &prev_metrics);
     let md = report.to_markdown(&metrics);
     if let Some(path) = output {
         if let Err(e) = std::fs::write(&path, &md) {

@@ -22,6 +22,7 @@
 //! with the full policy set, verifies it inside the bootstrap enclave, and
 //! runs it on attested, encrypted user data.
 
+pub mod profiling;
 pub mod trend;
 
 pub use deflection_attest as attest;

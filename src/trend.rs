@@ -61,6 +61,43 @@ pub struct MetricSample {
     pub value: i64,
 }
 
+/// Percentile estimates pulled from one histogram entry of a
+/// `METRICS_*.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailSample {
+    /// Histogram name.
+    pub name: String,
+    /// Raw label body.
+    pub labels: String,
+    /// Observation count.
+    pub count: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// One fully parsed `METRICS_*.json` collector snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsFile {
+    /// `available_parallelism` of the emitting host, when stamped.
+    pub available_parallelism: Option<u64>,
+    /// Counter/gauge samples.
+    pub samples: Vec<MetricSample>,
+    /// Histogram percentile rows.
+    pub tails: Vec<TailSample>,
+}
+
+/// Floor applied to the tail-regression threshold: the log-2 buckets
+/// quantize percentile estimates, so a one-bucket drift (2×, i.e. +100%)
+/// is quantization noise — only shifts past the *next* bucket enforce.
+pub const TAIL_THRESHOLD_FLOOR_PCT: f64 = 100.0;
+
+/// Minimum observations on both sides before a tail row may enforce: a
+/// p99 estimated from a handful of samples is an outlier detector, not a
+/// trend.
+pub const TAIL_MIN_COUNT: u64 = 4;
+
 /// Parses a duration rendered by the vendored criterion shim
 /// (`fmt_dur`): `{ns} ns`, `{:.2} µs`, `{:.2} ms` or `{:.2} s`.
 #[must_use]
@@ -96,14 +133,33 @@ pub fn parse_measurement(line: &str) -> Option<Measurement> {
 }
 
 /// Extracts the string value of `"key": "value"` from a JSON-shaped line
-/// set (first occurrence). Deliberately line-oriented: the emitter writes
-/// one field per line and never escapes quotes inside values.
+/// set (first occurrence), honoring backslash escapes — collector
+/// snapshots escape label values (e.g. `verdict=\"accept\"`), so the
+/// closing quote is the first *unescaped* one.
 fn json_string_field(text: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":");
     let at = text.find(&pat)? + pat.len();
     let rest = text[at..].trim_start();
     let rest = rest.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = chars.by_ref().take(4).collect();
+                    let v = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
 }
 
 /// Extracts a numeric or boolean field value as text.
@@ -157,6 +213,34 @@ pub fn parse_metrics_file(text: &str) -> Vec<MetricSample> {
         .collect()
 }
 
+/// Parses a full `METRICS_*.json` snapshot: host stamp, counter/gauge
+/// samples, and the p50/p99 histogram rows the tail gate compares.
+#[must_use]
+pub fn parse_metrics_snapshot(text: &str) -> MetricsFile {
+    let available_parallelism = text
+        .lines()
+        .find(|l| l.contains("\"host\""))
+        .and_then(|l| json_raw_field(l, "available_parallelism"))
+        .and_then(|v| v.parse().ok());
+    let tails = text
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim().trim_end_matches(',');
+            if !l.starts_with('{') || !l.contains("\"p50\"") {
+                return None;
+            }
+            Some(TailSample {
+                name: json_string_field(l, "name")?,
+                labels: json_string_field(l, "labels").unwrap_or_default(),
+                count: json_raw_field(l, "count")?.parse().ok()?,
+                p50: json_raw_field(l, "p50")?.parse().ok()?,
+                p99: json_raw_field(l, "p99")?.parse().ok()?,
+            })
+        })
+        .collect();
+    MetricsFile { available_parallelism, samples: parse_metrics_file(text), tails }
+}
+
 /// One row of the trend table: a measurement matched (by bench name and
 /// measurement id) between the previous and current series.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,11 +262,41 @@ pub struct TrendRow {
     pub note: String,
 }
 
+/// One row of the tail-latency table: a histogram's p50/p99 matched (by
+/// snapshot file, histogram name and labels) between the previous and
+/// current metrics series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailRow {
+    /// Snapshot file name both sides were read from.
+    pub file: String,
+    /// Histogram name.
+    pub name: String,
+    /// Raw label body.
+    pub labels: String,
+    /// Previous p50/p99 in nanoseconds (`None` for a new histogram).
+    pub prev_p50: Option<f64>,
+    /// Previous p99 in nanoseconds.
+    pub prev_p99: Option<f64>,
+    /// Current p50 in nanoseconds.
+    pub curr_p50: f64,
+    /// Current p99 in nanoseconds.
+    pub curr_p99: f64,
+    /// Percent delta of the p99 vs. previous, when comparable.
+    pub delta_pct: Option<f64>,
+    /// Whether this row exceeded the tail threshold *and* was eligible
+    /// for enforcement.
+    pub regressed: bool,
+    /// Human-readable annotation.
+    pub note: String,
+}
+
 /// The full trend comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrendReport {
     /// Matched rows, in current-series order.
     pub rows: Vec<TrendRow>,
+    /// Tail-latency rows (populated by [`TrendReport::attach_tails`]).
+    pub tails: Vec<TailRow>,
     /// Regression threshold in percent that was applied.
     pub threshold_pct: f64,
 }
@@ -245,19 +359,95 @@ impl TrendReport {
                 });
             }
         }
-        TrendReport { rows, threshold_pct }
+        TrendReport { rows, tails: Vec::new(), threshold_pct }
     }
 
-    /// Whether any enforceable row exceeded the threshold.
+    /// Matches p50/p99 histogram rows between the current and previous
+    /// metrics snapshots and appends them as tail rows. Enforcement
+    /// follows the same host gating as the mean rows — both snapshots
+    /// must carry equal `available_parallelism` stamps — plus two
+    /// tail-specific rules: only `_ns` latency histograms gate (byte and
+    /// length histograms are workload-shaped, not perf-shaped), both
+    /// sides need at least [`TAIL_MIN_COUNT`] observations, and the
+    /// threshold is floored at [`TAIL_THRESHOLD_FLOOR_PCT`] because the
+    /// log-2 buckets quantize the estimate.
+    pub fn attach_tails(
+        &mut self,
+        current: &[(String, MetricsFile)],
+        previous: &[(String, MetricsFile)],
+    ) {
+        let tail_threshold = self.threshold_pct.max(TAIL_THRESHOLD_FLOOR_PCT);
+        for (fname, curr) in current {
+            let prev_file = previous.iter().find(|(p, _)| p == fname).map(|(_, f)| f);
+            for t in &curr.tails {
+                let prev_t = prev_file.and_then(|f| {
+                    f.tails.iter().find(|p| p.name == t.name && p.labels == t.labels)
+                });
+                let mut note = String::new();
+                let mut enforceable = t.name.ends_with("_ns");
+                let (mut prev_p50, mut prev_p99, mut delta_pct) = (None, None, None);
+                match prev_t {
+                    None => {
+                        note.push_str("new");
+                        enforceable = false;
+                    }
+                    Some(p) => {
+                        prev_p50 = Some(p.p50);
+                        prev_p99 = Some(p.p99);
+                        if p.p99 > 0.0 {
+                            delta_pct = Some((t.p99 - p.p99) / p.p99 * 100.0);
+                        }
+                        match (
+                            curr.available_parallelism,
+                            prev_file.and_then(|f| f.available_parallelism),
+                        ) {
+                            (Some(c), Some(q)) if c == q => {}
+                            (Some(_), Some(_)) => {
+                                enforceable = false;
+                                note.push_str("host cores changed");
+                            }
+                            _ => {
+                                enforceable = false;
+                                note.push_str("unstamped snapshot");
+                            }
+                        }
+                        if t.count < TAIL_MIN_COUNT || p.count < TAIL_MIN_COUNT {
+                            enforceable = false;
+                            if !note.is_empty() {
+                                note.push_str("; ");
+                            }
+                            note.push_str("sparse");
+                        }
+                    }
+                }
+                let regressed = enforceable
+                    && delta_pct.is_some_and(|d| d > tail_threshold && self.threshold_pct >= 0.0);
+                self.tails.push(TailRow {
+                    file: fname.clone(),
+                    name: t.name.clone(),
+                    labels: t.labels.clone(),
+                    prev_p50,
+                    prev_p99,
+                    curr_p50: t.p50,
+                    curr_p99: t.p99,
+                    delta_pct,
+                    regressed,
+                    note,
+                });
+            }
+        }
+    }
+
+    /// Whether any enforceable row (mean or tail) exceeded its threshold.
     #[must_use]
     pub fn has_regression(&self) -> bool {
-        self.rows.iter().any(|r| r.regressed)
+        self.rows.iter().any(|r| r.regressed) || self.tails.iter().any(|r| r.regressed)
     }
 
-    /// Renders the markdown trend table, with an optional metrics-snapshot
-    /// section appended.
+    /// Renders the markdown trend table, with tail-latency and
+    /// metrics-snapshot sections appended.
     #[must_use]
-    pub fn to_markdown(&self, metrics: &[(String, Vec<MetricSample>)]) -> String {
+    pub fn to_markdown(&self, metrics: &[(String, MetricsFile)]) -> String {
         let fmt_ns = |ns: f64| -> String {
             if ns < 1e3 {
                 format!("{ns:.0} ns")
@@ -293,13 +483,48 @@ impl TrendReport {
                 r.note
             );
         }
+        if !self.tails.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n## Tail latency (p50/p99)\n\nTail threshold: +{:.0}% on the p99 of \
+                 enforceable `_ns` rows (floored for log-2 bucket quantization).\n",
+                self.threshold_pct.max(TAIL_THRESHOLD_FLOOR_PCT)
+            );
+            out.push_str("| histogram | labels | p50 | p99 | prev p99 | delta | note |\n");
+            out.push_str("|---|---|---:|---:|---:|---:|---|\n");
+            for r in &self.tails {
+                let prev = r.prev_p99.map_or_else(|| "—".into(), fmt_ns);
+                let delta = r.delta_pct.map_or_else(|| "—".into(), |d| format!("{d:+.1}%"));
+                let mark = if r.regressed { " **REGRESSION**" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {}{} | {} |",
+                    r.name,
+                    r.labels,
+                    fmt_ns(r.curr_p50),
+                    fmt_ns(r.curr_p99),
+                    prev,
+                    delta,
+                    mark,
+                    r.note
+                );
+            }
+        }
         if !metrics.is_empty() {
             out.push_str("\n## Collector snapshots\n\n");
-            for (name, samples) in metrics {
-                let events: i64 =
-                    samples.iter().filter(|s| s.name.ends_with("_total")).map(|s| s.value).sum();
-                let _ =
-                    writeln!(out, "- `{name}`: {} samples, {events} counted events", samples.len());
+            for (name, file) in metrics {
+                let events: i64 = file
+                    .samples
+                    .iter()
+                    .filter(|s| s.name.ends_with("_total"))
+                    .map(|s| s.value)
+                    .sum();
+                let _ = writeln!(
+                    out,
+                    "- `{name}`: {} samples, {} histograms, {events} counted events",
+                    file.samples.len(),
+                    file.tails.len()
+                );
             }
         }
         out
@@ -436,17 +661,32 @@ mod tests {
     }
 
     #[test]
+    fn flightrec_bench_enforces_even_on_one_core() {
+        // The flight-recorder ablation's verify+serve flow is
+        // single-threaded, so it must never join CORE_GATED_BENCHES: a
+        // 1-core CI host still gates on the recorder-disabled budget.
+        assert!(!CORE_GATED_BENCHES.contains(&"ablation_flightrec"));
+        let prev = [file("ablation_flightrec", Some(1), "flightrec/verify_serve/off", "1.00 ms")];
+        let slow = [file("ablation_flightrec", Some(1), "flightrec/verify_serve/off", "9.00 ms")];
+        assert!(TrendReport::build(&slow, &prev, 25.0).has_regression());
+    }
+
+    #[test]
     fn markdown_renders_rows_and_metrics_sections() {
         let prev = [file("fig8_seqgen", Some(4), "seqgen/full", "1.00 ms")];
         let curr = [file("fig8_seqgen", Some(4), "seqgen/full", "2.00 ms")];
         let report = TrendReport::build(&curr, &prev, 25.0);
         let metrics = vec![(
             "METRICS_smoke.json".to_string(),
-            vec![MetricSample {
-                name: "deflection_verify_total".into(),
-                labels: "verdict=\"accept\"".into(),
-                value: 3,
-            }],
+            MetricsFile {
+                available_parallelism: Some(4),
+                samples: vec![MetricSample {
+                    name: "deflection_verify_total".into(),
+                    labels: "verdict=\"accept\"".into(),
+                    value: 3,
+                }],
+                tails: Vec::new(),
+            },
         )];
         let md = report.to_markdown(&metrics);
         assert!(md.contains(
@@ -458,10 +698,90 @@ mod tests {
 
     #[test]
     fn metrics_snapshot_samples_parse() {
-        let json = "{\n  \"schema\": \"deflection-metrics-v1\",\n  \"samples\": [\n    {\"name\": \"deflection_verify_total\", \"labels\": \"verdict='accept'\", \"value\": 5},\n    {\"name\": \"deflection_run_budget_headroom_bytes\", \"labels\": \"\", \"value\": -2}\n  ],\n  \"histograms\": []\n}\n";
+        let json = "{\n  \"schema\": \"deflection-metrics-v1\",\n  \"samples\": [\n    {\"name\": \"deflection_verify_total\", \"labels\": \"verdict=\\\"accept\\\"\", \"value\": 5},\n    {\"name\": \"deflection_run_budget_headroom_bytes\", \"labels\": \"\", \"value\": -2}\n  ],\n  \"histograms\": []\n}\n";
         let samples = parse_metrics_file(json);
         assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].labels, "verdict=\"accept\"");
         assert_eq!(samples[0].value, 5);
         assert_eq!(samples[1].value, -2);
+    }
+
+    fn metrics_snapshot(cores: Option<u64>, name: &str, count: u64, p50: f64, p99: f64) -> String {
+        let host = cores.map_or(String::new(), |c| {
+            format!("  \"host\": {{\"available_parallelism\": {c}}},\n")
+        });
+        format!(
+            "{{\n  \"schema\": \"deflection-metrics-v1\",\n{host}  \"samples\": [\n  ],\n  \
+             \"histograms\": [\n    {{\"name\": \"{name}\", \"labels\": \"\", \"count\": {count}, \
+             \"sum\": 0, \"p50\": {p50:.1}, \"p99\": {p99:.1}, \"buckets\": [0]}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn metrics_snapshot_tails_and_host_stamp_parse() {
+        let f = parse_metrics_snapshot(&metrics_snapshot(
+            Some(8),
+            "deflection_verify_ns",
+            12,
+            1024.0,
+            8192.0,
+        ));
+        assert_eq!(f.available_parallelism, Some(8));
+        assert_eq!(f.tails.len(), 1);
+        assert_eq!(f.tails[0].count, 12);
+        assert!((f.tails[0].p50 - 1024.0).abs() < 0.01);
+        assert!((f.tails[0].p99 - 8192.0).abs() < 0.01);
+        assert_eq!(parse_metrics_snapshot("{}").available_parallelism, None);
+    }
+
+    fn tail_pair(
+        prev: (Option<u64>, u64, f64),
+        curr: (Option<u64>, u64, f64),
+        name: &str,
+    ) -> TrendReport {
+        let prev = vec![(
+            "METRICS_smoke.json".to_string(),
+            parse_metrics_snapshot(&metrics_snapshot(prev.0, name, prev.1, 100.0, prev.2)),
+        )];
+        let curr = vec![(
+            "METRICS_smoke.json".to_string(),
+            parse_metrics_snapshot(&metrics_snapshot(curr.0, name, curr.1, 100.0, curr.2)),
+        )];
+        let mut report = TrendReport::build(&[], &[], 25.0);
+        report.attach_tails(&curr, &prev);
+        report
+    }
+
+    #[test]
+    fn tail_regressions_enforce_past_one_bucket_of_drift() {
+        // 2.5× past the previous p99 (> one log-2 bucket): regression.
+        let r = tail_pair((Some(4), 10, 1000.0), (Some(4), 10, 2500.0), "deflection_verify_ns");
+        assert!(r.has_regression());
+        assert!(r.to_markdown(&[]).contains("**REGRESSION**"));
+        // Exactly one bucket of drift (2×, +100%): quantization noise.
+        let r = tail_pair((Some(4), 10, 1000.0), (Some(4), 10, 2000.0), "deflection_verify_ns");
+        assert!(!r.has_regression());
+    }
+
+    #[test]
+    fn tail_rows_gate_on_cores_counts_and_latency_units() {
+        // Different host shapes: reported, never enforced.
+        let r = tail_pair((Some(2), 10, 1000.0), (Some(4), 10, 9000.0), "deflection_verify_ns");
+        assert!(!r.has_regression());
+        assert!(r.tails[0].note.contains("host cores changed"));
+        // Unstamped side: never enforced.
+        let r = tail_pair((None, 10, 1000.0), (Some(4), 10, 9000.0), "deflection_verify_ns");
+        assert!(!r.has_regression());
+        assert!(r.tails[0].note.contains("unstamped snapshot"));
+        // Too few observations: never enforced.
+        let r = tail_pair((Some(4), 2, 1000.0), (Some(4), 10, 9000.0), "deflection_verify_ns");
+        assert!(!r.has_regression());
+        assert!(r.tails[0].note.contains("sparse"));
+        // Non-latency histograms (bytes, lengths) are workload-shaped.
+        let r = tail_pair((Some(4), 10, 1000.0), (Some(4), 10, 9000.0), "deflection_sent_bytes");
+        assert!(!r.has_regression());
+        // The same drift on a latency histogram with clean stamps gates.
+        let r = tail_pair((Some(4), 10, 1000.0), (Some(4), 10, 9000.0), "deflection_verify_ns");
+        assert!(r.has_regression());
     }
 }
