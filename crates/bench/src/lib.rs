@@ -22,6 +22,7 @@
 
 pub mod queueing;
 pub mod runtime_models;
+pub mod serving;
 
 use deflection_core::policy::{Manifest, PolicySet};
 use deflection_core::producer::{produce, produce_for_layout};

@@ -27,6 +27,9 @@
 //!   P0 OCall wrappers (encryption, fixed-length padding, budgets);
 //! * [`pool`] — concurrent serving across isolated enclave workers
 //!   (the TOCTOU-free reading of the paper's Section VII);
+//! * [`admission`] / [`tenant`] — the untrusted multi-tenant admission
+//!   frontend: bounded queueing, adaptive batching and typed load
+//!   shedding in front of the pool (zero TCB lines);
 //! * [`audit`] — the attested in-enclave audit ring: policy-relevant
 //!   events, exported only as sealed, fixed-size, budget-charged records;
 //! * [`attack`] — the malicious-binary corpus every policy must contain.
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod annotations;
 pub mod attack;
 pub mod audit;
@@ -62,3 +66,4 @@ pub mod pool;
 pub mod producer;
 pub mod runtime;
 pub mod sealed;
+pub mod tenant;

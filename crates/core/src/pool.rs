@@ -452,6 +452,23 @@ impl EnclavePool {
         self.workers.is_empty()
     }
 
+    /// The code hash of the currently active (installed-everywhere)
+    /// binary, or `None` before the first successful install. The
+    /// admission dispatcher compares this against a tenant's registered
+    /// hash to skip redundant [`EnclavePool::install_all`] calls when
+    /// consecutive batches belong to the same tenant.
+    #[must_use]
+    pub fn active_code_hash(&self) -> Option<[u8; 32]> {
+        self.active
+    }
+
+    /// The manifest every worker enclave in this pool was built with.
+    /// Tenant registration validates per-tenant budgets against it.
+    #[must_use]
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
     /// How many times a full (verifying) consumer pipeline has run in
     /// this pool — exactly once per unique binary installed, however many
     /// workers there are, and zero for sealed imports.
@@ -896,13 +913,6 @@ impl EnclavePool {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
-        let _batch_span = Span::start(&METRICS.pool_serve_batch_ns);
-        let ctx = RespawnCtx {
-            layout: &self.layout,
-            manifest: &self.manifest,
-            owner_key: self.owner_key,
-            prepared: self.active.as_ref().and_then(|h| self.prepared.get(h)),
-        };
         // One causal ID per request, minted at batch entry — every later
         // event for request `i` (claim, run, seal, fault, retry) is
         // attributed to `traces[i]` regardless of which worker thread
@@ -911,6 +921,58 @@ impl EnclavePool {
         for (i, &t) in traces.iter().enumerate() {
             flightrec::record(EventKind::Enqueue, t, i as u64, requests.len() as u64);
         }
+        // Collecting per-request verdicts short-circuits at the first
+        // `Err` in request order — exactly the lowest-request-index rule.
+        self.serve_batch(requests, &traces, fuel).into_iter().collect()
+    }
+
+    /// Serves a batch like [`EnclavePool::serve_parallel`] but with
+    /// caller-minted trace IDs and **per-request** verdicts instead of a
+    /// batch-level first-error collapse.
+    ///
+    /// This is the admission frontend's entry point: the dispatcher mints
+    /// each request's [`TraceId`] at *enqueue* (so queueing delay shows up
+    /// as its own lane segment in the flight recorder) and needs every
+    /// request's individual outcome to deliver to the waiting client —
+    /// one tenant's verifier-rejected binary must not eat its
+    /// batch-mates' reports. `traces.len()` must equal `requests.len()`.
+    ///
+    /// Scheduling, respawn, stranded-retry and accounting behavior are
+    /// bit-identical to `serve_parallel`; that method is now a thin
+    /// wrapper that mints traces and collapses this vector with the
+    /// lowest-request-index error rule.
+    pub fn serve_parallel_each_traced<T: AsRef<[u8]> + Sync>(
+        &mut self,
+        requests: &[T],
+        traces: &[TraceId],
+        fuel: u64,
+    ) -> Vec<Result<RunReport, EcallError>> {
+        assert_eq!(requests.len(), traces.len(), "one trace per request");
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        self.serve_batch(requests, traces, fuel)
+    }
+
+    /// The shared work-stealing batch engine behind
+    /// [`EnclavePool::serve_parallel`] and
+    /// [`EnclavePool::serve_parallel_each_traced`]: scoped worker threads
+    /// claim request indices from a shared counter, stranded requests are
+    /// retried serially in index order, and the per-request outcomes are
+    /// returned in request order.
+    fn serve_batch<T: AsRef<[u8]> + Sync>(
+        &mut self,
+        requests: &[T],
+        traces: &[TraceId],
+        fuel: u64,
+    ) -> Vec<Result<RunReport, EcallError>> {
+        let _batch_span = Span::start(&METRICS.pool_serve_batch_ns);
+        let ctx = RespawnCtx {
+            layout: &self.layout,
+            manifest: &self.manifest,
+            owner_key: self.owner_key,
+            prepared: self.active.as_ref().and_then(|h| self.prepared.get(h)),
+        };
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Vec<(usize, Result<RunReport, EcallError>)>> = Vec::new();
         std::thread::scope(|scope| {
@@ -966,7 +1028,16 @@ impl EnclavePool {
             }
             slots.push(retried);
         }
-        merge_results(requests.len(), slots)
+        // Flatten per-worker batches into request order. Every index has
+        // exactly one outcome: the stranded pass above filled any gap.
+        let mut by_request: Vec<Option<Result<RunReport, EcallError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for batch in slots {
+            for (i, result) in batch {
+                by_request[i] = Some(result);
+            }
+        }
+        by_request.into_iter().map(|r| r.expect("every request served")).collect()
     }
 
     /// The pre-work-stealing scheduler: request `i` runs on worker

@@ -1,0 +1,246 @@
+//! Per-tenant registration for the multi-tenant admission frontend.
+//!
+//! A *tenant* is one principal whose verified binary the shared pool
+//! serves: the Confidential-Attestation reading of the paper's CCaaS
+//! setting, where many mutually distrusting users submit code to one
+//! bootstrap enclave fleet. Registration is pure untrusted host
+//! bookkeeping — it validates that the tenant's declared budgets fit
+//! inside the pool manifest the enclaves were built with, pins the
+//! binary by its code hash, and assigns the tenant a private nonce
+//! channel. Nothing here is inside the TCB: a lying registry can only
+//! deny service, never widen what the in-enclave verifier accepts.
+
+use crate::policy::Manifest;
+use deflection_crypto::sha256::sha256;
+
+/// Opaque handle naming a registered tenant. Returned by
+/// [`TenantRegistry::register`]; dense (registration order), so it doubles
+/// as an index into per-tenant tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+/// Everything a principal declares when joining the serving fleet.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Human-readable tenant name (diagnostics only; not a key).
+    pub name: String,
+    /// The tenant's produced binary (object-file serialization). Installed
+    /// on demand when the dispatcher forms a batch for this tenant.
+    pub binary: Vec<u8>,
+    /// The manifest the tenant expects to run under. Must agree with the
+    /// pool manifest on the policy set, and its budgets must not exceed
+    /// the pool's (the enclave enforces the pool manifest; a tenant
+    /// declaring more would silently get less).
+    pub manifest: Manifest,
+    /// Maximum requests this tenant may have queued or executing at once.
+    /// Admission sheds (not blocks) beyond it, so one chatty tenant
+    /// cannot monopolize the bounded queue.
+    pub max_in_flight: usize,
+    /// Optional host-side cap on total output-record plaintext bytes over
+    /// the tenant's lifetime, mirroring the enclave's own
+    /// `lifetime_output_budget` ledger. Admission sheds new requests once
+    /// the delivered-bytes ledger reaches it — a cheap host-side
+    /// circuit breaker in front of the enclave's authoritative one.
+    pub lifetime_output_budget: Option<u64>,
+}
+
+/// Registration error: the tenant's declaration does not fit the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TenantRejected {
+    /// The tenant's policy set differs from the pool manifest's. The
+    /// enclaves verify against the pool policy, so a mismatched tenant
+    /// would be verified under rules it did not ask for.
+    PolicyMismatch,
+    /// The tenant declared a per-run output budget larger than the pool
+    /// manifest's — the enclave would fault the run before the tenant's
+    /// declared budget is reached.
+    BudgetExceedsPool,
+    /// `max_in_flight` was zero: the tenant could never admit anything.
+    ZeroInFlight,
+}
+
+impl std::fmt::Display for TenantRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantRejected::PolicyMismatch => {
+                write!(f, "tenant policy set differs from the pool manifest")
+            }
+            TenantRejected::BudgetExceedsPool => {
+                write!(f, "tenant per-run output budget exceeds the pool's")
+            }
+            TenantRejected::ZeroInFlight => write!(f, "max_in_flight must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for TenantRejected {}
+
+/// Monotonic per-tenant serving counters, maintained by the admission
+/// frontend (enqueue/shed) and dispatcher (admit/complete/output bytes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests accepted into the bounded queue.
+    pub admitted: u64,
+    /// Requests whose verdict (report *or* error) was delivered.
+    pub completed: u64,
+    /// Requests rejected with a typed `Overloaded` error.
+    pub shed: u64,
+    /// Total output-record plaintext bytes delivered to this tenant,
+    /// charged against `lifetime_output_budget` when set.
+    pub output_bytes: u64,
+}
+
+/// One registered tenant: its declaration plus live serving state.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// The declaration given at registration.
+    pub config: TenantConfig,
+    /// SHA-256 of `config.binary` — the dispatcher's install-skip key,
+    /// matching [`crate::pool::EnclavePool::active_code_hash`].
+    pub code_hash: [u8; 32],
+    /// The tenant's reserved nonce-channel namespace (its registration
+    /// index): response nonces for tenant `t` live in channel `t`, so two
+    /// tenants' sealed outputs can never be confused or replayed across
+    /// tenants even by a malicious host scheduler.
+    pub nonce_channel: u32,
+    /// Requests currently queued or executing.
+    pub in_flight: usize,
+    /// Serving counters.
+    pub stats: TenantStats,
+}
+
+/// The tenant table the admission frontend consults on every submit.
+///
+/// Created against the pool manifest; every registration is validated
+/// against it so an admitted request can never reach an enclave whose
+/// manifest contradicts what the tenant declared.
+#[derive(Debug, Clone)]
+pub struct TenantRegistry {
+    pool_manifest: Manifest,
+    tenants: Vec<Tenant>,
+}
+
+impl TenantRegistry {
+    /// Creates an empty registry for a pool built with `pool_manifest`.
+    #[must_use]
+    pub fn new(pool_manifest: &Manifest) -> Self {
+        TenantRegistry { pool_manifest: pool_manifest.clone(), tenants: Vec::new() }
+    }
+
+    /// Registers a tenant, validating its declaration against the pool
+    /// manifest, and returns its dense id.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantRejected`] when the policy sets differ, the tenant's
+    /// per-run output budget exceeds the pool's, or `max_in_flight` is 0.
+    pub fn register(&mut self, config: TenantConfig) -> Result<TenantId, TenantRejected> {
+        if config.manifest.policy != self.pool_manifest.policy {
+            return Err(TenantRejected::PolicyMismatch);
+        }
+        if config.manifest.output_budget > self.pool_manifest.output_budget {
+            return Err(TenantRejected::BudgetExceedsPool);
+        }
+        if config.max_in_flight == 0 {
+            return Err(TenantRejected::ZeroInFlight);
+        }
+        let id = TenantId(u32::try_from(self.tenants.len()).expect("fewer than 2^32 tenants"));
+        let code_hash = sha256(&config.binary);
+        self.tenants.push(Tenant {
+            config,
+            code_hash,
+            nonce_channel: id.0,
+            in_flight: 0,
+            stats: TenantStats::default(),
+        });
+        Ok(id)
+    }
+
+    /// The number of registered tenants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenants are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Looks a tenant up by id.
+    #[must_use]
+    pub fn get(&self, id: TenantId) -> Option<&Tenant> {
+        self.tenants.get(id.0 as usize)
+    }
+
+    /// Mutable lookup (admission/dispatcher bookkeeping).
+    pub fn get_mut(&mut self, id: TenantId) -> Option<&mut Tenant> {
+        self.tenants.get_mut(id.0 as usize)
+    }
+
+    /// Iterates over `(id, tenant)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, &Tenant)> {
+        self.tenants.iter().enumerate().map(|(i, t)| (TenantId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicySet;
+
+    fn config(name: &str) -> TenantConfig {
+        TenantConfig {
+            name: name.to_string(),
+            binary: vec![1, 2, 3],
+            manifest: Manifest::ccaas(),
+            max_in_flight: 4,
+            lifetime_output_budget: None,
+        }
+    }
+
+    #[test]
+    fn register_assigns_dense_ids_and_private_nonce_channels() {
+        let mut reg = TenantRegistry::new(&Manifest::ccaas());
+        let a = reg.register(config("a")).unwrap();
+        let b = reg.register(config("b")).unwrap();
+        assert_eq!(a, TenantId(0));
+        assert_eq!(b, TenantId(1));
+        assert_eq!(reg.get(a).unwrap().nonce_channel, 0);
+        assert_eq!(reg.get(b).unwrap().nonce_channel, 1);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn register_pins_binary_by_code_hash() {
+        let mut reg = TenantRegistry::new(&Manifest::ccaas());
+        let id = reg.register(config("a")).unwrap();
+        assert_eq!(reg.get(id).unwrap().code_hash, sha256(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn policy_mismatch_is_rejected() {
+        let mut reg = TenantRegistry::new(&Manifest::ccaas());
+        let mut c = config("lax");
+        c.manifest.policy = PolicySet::none();
+        assert_eq!(reg.register(c), Err(TenantRejected::PolicyMismatch));
+    }
+
+    #[test]
+    fn oversized_budget_is_rejected() {
+        let mut reg = TenantRegistry::new(&Manifest::ccaas());
+        let mut c = config("greedy");
+        c.manifest.output_budget = Manifest::ccaas().output_budget + 1;
+        assert_eq!(reg.register(c), Err(TenantRejected::BudgetExceedsPool));
+    }
+
+    #[test]
+    fn zero_in_flight_is_rejected() {
+        let mut reg = TenantRegistry::new(&Manifest::ccaas());
+        let mut c = config("idle");
+        c.max_in_flight = 0;
+        assert_eq!(reg.register(c), Err(TenantRejected::ZeroInFlight));
+    }
+}

@@ -200,6 +200,112 @@ fn install_all_fails_closed_on_mismatched_worker() {
 }
 
 #[test]
+fn killed_workers_under_sustained_admission_load_lose_no_verdicts() {
+    use deflection_core::admission::{AdmissionConfig, AdmissionFrontend, Overloaded, Ticket};
+    use deflection_core::tenant::{TenantConfig, TenantRegistry};
+    use std::time::Duration;
+
+    // Sustained load through the admission frontend while every worker is
+    // chaos-killed mid-stream: every accepted request must receive exactly
+    // one verdict, every shed submission exactly one typed `Overloaded`,
+    // at every pool width.
+    const PER_THREAD: usize = 60;
+    const THREADS: usize = 3;
+    for workers in [1usize, 2, 4] {
+        let fe = AdmissionFrontend::new(
+            AdmissionConfig {
+                queue_capacity: 32,
+                // A small high-water mark so sustained submission actually
+                // outruns the pool and sheds fire alongside the kills.
+                high_water: 8,
+                batch_max: 8,
+                batch_wait: Duration::from_micros(200),
+            },
+            TenantRegistry::new(&manifest()),
+        );
+        let binary = produce(ECHO_SUM, &manifest().policy).unwrap().serialize();
+        let tenant = fe
+            .register(TenantConfig {
+                name: "sustained".to_string(),
+                binary,
+                manifest: manifest(),
+                max_in_flight: 32,
+                lifetime_output_budget: None,
+            })
+            .unwrap();
+
+        let mut pool =
+            EnclavePool::new(&EnclaveLayout::new(MemConfig::small()), &manifest(), workers);
+        pool.set_owner_session([1; 32]);
+        // Every worker dies after its 2nd claimed request, so the
+        // fault→respawn→retry machinery runs under live admission traffic.
+        for w in 0..workers {
+            pool.chaos_kill_after(w, 2);
+        }
+
+        let pool_ref = &mut pool;
+        let fe_ref = &fe;
+        let (tickets, shed_count, report) = std::thread::scope(|s| {
+            let submitters: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut tickets: Vec<(usize, usize, Ticket)> = Vec::new();
+                        let mut shed = 0usize;
+                        for i in 0..PER_THREAD {
+                            match fe_ref.submit(tenant, vec![t as u8, i as u8, 7]) {
+                                Ok(ticket) => tickets.push((t, i, ticket)),
+                                Err(
+                                    Overloaded::QueueFull { .. }
+                                    | Overloaded::TenantInFlight { .. },
+                                ) => {
+                                    shed += 1;
+                                    // Closed-loop-ish backoff before the
+                                    // next (distinct) submission.
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                Err(other) => panic!("unexpected shed reason: {other}"),
+                            }
+                        }
+                        (tickets, shed)
+                    })
+                })
+                .collect();
+            let dispatcher = s.spawn(move || fe_ref.run_dispatcher(pool_ref, FUEL));
+            let mut tickets = Vec::new();
+            let mut shed_count = 0usize;
+            for sub in submitters {
+                let (t, shed) = sub.join().expect("submitter thread");
+                tickets.extend(t);
+                shed_count += shed;
+            }
+            fe_ref.close();
+            (tickets, shed_count, dispatcher.join().expect("dispatcher thread"))
+        });
+
+        let accepted = tickets.len();
+        assert_eq!(accepted + shed_count, PER_THREAD * THREADS, "{workers} workers");
+        assert_eq!(report.served, accepted as u64, "{workers} workers");
+        // Exactly one verdict per accepted request, and the right one:
+        // the echo sum is deterministic per payload, kills or not.
+        for (t, i, ticket) in tickets {
+            let run = ticket.wait().unwrap_or_else(|e| {
+                panic!("{workers} workers: request ({t},{i}) lost its verdict: {e:?}")
+            });
+            assert_eq!(run.exit.exit_value(), Some((t + i + 7) as u64), "{workers} workers");
+        }
+        let stats = fe.tenant_stats(tenant).unwrap();
+        assert_eq!(stats.admitted, accepted as u64, "{workers} workers");
+        assert_eq!(stats.completed, accepted as u64, "{workers} workers");
+        assert_eq!(stats.shed, shed_count as u64, "{workers} workers");
+        // The kills actually fired and every one was healed.
+        let health = pool.health();
+        assert!(health.total_faulted() >= 1, "{workers} workers: no chaos kill fired");
+        assert_eq!(health.total_respawned(), health.total_faulted(), "{workers} workers");
+        assert_eq!(health.quarantined(), 0, "{workers} workers");
+    }
+}
+
+#[test]
 fn output_budget_is_per_request_on_a_pool_worker() {
     // Regression: the P0 budget used to accumulate across runs, so a
     // long-lived worker spuriously faulted after budget/len requests.

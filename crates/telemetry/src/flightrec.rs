@@ -132,6 +132,13 @@ pub enum EventKind {
     /// A verified image was installed across the pool (`a` = worker count,
     /// `b` = 1 when served from the prepared-install cache).
     Install = 12,
+    /// The admission dispatcher drained a queued request into a batch
+    /// (`a` = global request id, `b` = batch size).
+    Admit = 13,
+    /// The admission frontend rejected a request under backpressure
+    /// (`a` = queue depth at the decision, `b` = reason: 0 queue past the
+    /// high-water mark, 1 tenant in-flight cap, 2 tenant lifetime budget).
+    Shed = 14,
 }
 
 impl EventKind {
@@ -151,6 +158,8 @@ impl EventKind {
             EventKind::StrandedRetry => "stranded_retry",
             EventKind::Produce => "produce",
             EventKind::Install => "install",
+            EventKind::Admit => "admit",
+            EventKind::Shed => "shed",
         }
     }
 
@@ -168,6 +177,8 @@ impl EventKind {
             10 => EventKind::StrandedRetry,
             11 => EventKind::Produce,
             12 => EventKind::Install,
+            13 => EventKind::Admit,
+            14 => EventKind::Shed,
             _ => return None,
         })
     }
@@ -227,6 +238,15 @@ impl FlightEvent {
             EventKind::Produce => format!("{}(bytes={})", k.name(), self.a),
             EventKind::Install => {
                 format!("{}(workers={}, cached={})", k.name(), self.a, self.b)
+            }
+            EventKind::Admit => format!("{}(request={}, batch={})", k.name(), self.a, self.b),
+            EventKind::Shed => {
+                let reason = match self.b {
+                    0 => "queue_full",
+                    1 => "tenant_in_flight",
+                    _ => "lifetime_budget",
+                };
+                format!("{}(depth={}, reason={reason})", k.name(), self.a)
             }
         }
     }
@@ -666,12 +686,12 @@ mod tests {
 
     #[test]
     fn describe_names_every_kind() {
-        for k in 1..=12 {
+        for k in 1..=14 {
             let kind = EventKind::from_u64(k).unwrap();
             let e = FlightEvent { seq: 0, trace: TraceId::NONE, kind, a: 1, b: 2 };
             assert!(e.describe().starts_with(kind.name()), "{kind:?}");
         }
         assert!(EventKind::from_u64(0).is_none());
-        assert!(EventKind::from_u64(13).is_none());
+        assert!(EventKind::from_u64(15).is_none());
     }
 }

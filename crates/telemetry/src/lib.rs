@@ -571,6 +571,18 @@ pub struct Metrics {
     /// Prepared-image LRU evictions from the pool's bounded install cache.
     pub pool_prepared_evictions: Counter,
     pub pool_serve_batch_ns: Histogram,
+    // -- admission frontend (untrusted host-side serving layer) -----------
+    // Queue depth, shed decisions and batch shapes are host scheduling
+    // state the untrusted dispatcher computes itself; exposing them leaks
+    // nothing an enclave ever witnessed (DESIGN.md §5k).
+    pub admission_enqueued: Counter,
+    pub admission_admitted: Counter,
+    pub admission_shed_queue_full: Counter,
+    pub admission_shed_tenant_in_flight: Counter,
+    pub admission_shed_lifetime_budget: Counter,
+    pub admission_queue_depth: Gauge,
+    pub admission_batch_size: Histogram,
+    pub admission_wait_ns: Histogram,
     // -- bootstrap-enclave runtime (per-run P0 accounting) -----------------
     pub run_reports: Counter,
     pub run_sent_bytes: Histogram,
@@ -699,6 +711,29 @@ impl Metrics {
                 r#"event="prepared_eviction""#,
             ),
             pool_serve_batch_ns: Histogram::new("deflection_pool_serve_batch_ns", ""),
+            admission_enqueued: Counter::new(
+                "deflection_admission_events_total",
+                r#"event="enqueue""#,
+            ),
+            admission_admitted: Counter::new(
+                "deflection_admission_events_total",
+                r#"event="admit""#,
+            ),
+            admission_shed_queue_full: Counter::new(
+                "deflection_admission_events_total",
+                r#"event="shed_queue_full""#,
+            ),
+            admission_shed_tenant_in_flight: Counter::new(
+                "deflection_admission_events_total",
+                r#"event="shed_tenant_in_flight""#,
+            ),
+            admission_shed_lifetime_budget: Counter::new(
+                "deflection_admission_events_total",
+                r#"event="shed_lifetime_budget""#,
+            ),
+            admission_queue_depth: Gauge::new("deflection_admission_queue_depth", ""),
+            admission_batch_size: Histogram::new("deflection_admission_batch_size", ""),
+            admission_wait_ns: Histogram::new("deflection_admission_wait_ns", ""),
             run_reports: Counter::new("deflection_run_total", ""),
             run_sent_bytes: Histogram::new("deflection_run_sent_bytes", ""),
             run_budget_headroom: Gauge::new("deflection_run_budget_headroom_bytes", ""),
@@ -757,8 +792,13 @@ impl Metrics {
         ]
     }
 
-    fn more_counters(&self) -> [&Counter; 20] {
+    fn more_counters(&self) -> [&Counter; 25] {
         [
+            &self.admission_enqueued,
+            &self.admission_admitted,
+            &self.admission_shed_queue_full,
+            &self.admission_shed_tenant_in_flight,
+            &self.admission_shed_lifetime_budget,
             &self.run_budget_exhaustions,
             &self.audit_events,
             &self.audit_exports,
@@ -782,12 +822,13 @@ impl Metrics {
         ]
     }
 
-    fn gauges(&self) -> [&Gauge; 1] {
-        [&self.run_budget_headroom]
+    fn gauges(&self) -> [&Gauge; 2] {
+        [&self.run_budget_headroom, &self.admission_queue_depth]
     }
 
-    fn histograms(&self) -> [&Histogram; 13] {
+    fn histograms(&self) -> [&Histogram; 14] {
         [
+            &self.admission_wait_ns,
             &self.produce_ns,
             &self.produce_analysis_ns,
             &self.produce_self_verify_ns,
@@ -809,6 +850,9 @@ impl Metrics {
         v.push(&self.run_sent_bytes);
         v.push(&self.vm_dispatch_block_len);
         v.push(&self.vm_trace_len);
+        // Batch sizes are workload-shaped, not timings: excluded from the
+        // `_ns` tail gating like the other value histograms here.
+        v.push(&self.admission_batch_size);
         v
     }
 

@@ -1,0 +1,242 @@
+//! A stateful KV/session service — the workload shaped unlike the others.
+//!
+//! Every other workload is a pure function of its request bytes; this one
+//! carries **session state across requests**: the store lives in DCL
+//! globals, which persist for the lifetime of the enclave instance (runs
+//! on the same worker observe earlier runs' writes; a respawned or
+//! different worker starts empty — exactly the isolation the
+//! `workers_are_isolated` pool test pins down). Each GET stages its
+//! result into the output buffer and `send`s fixed 64-byte records, so a
+//! sustained session exercises the P0 per-run budget, the lifetime
+//! output ledger and the audit ring the way a long-lived service does.
+//!
+//! The Rust mirror is [`KvSession`]: replaying the same request sequence
+//! through [`KvSession::apply`] yields bit-exact per-request checksums
+//! for a single enclave instance serving that sequence in order.
+
+use crate::nbench::read_ints;
+use crate::{encode_ints, with_prelude};
+
+/// Maximum distinct keys the in-enclave store holds (global array size).
+pub const STORE_CAP: usize = 256;
+
+/// Opcode for "store `val` under `key`".
+pub const OP_PUT: i64 = 0;
+/// Opcode for "look `key` up and emit the value (or -1) as output".
+pub const OP_GET: i64 = 1;
+
+/// Session handler. Input: `[n_ops, (op, key, val) × n_ops]`. State
+/// (store and op counter) lives in globals and survives across runs on
+/// the same instance. PUTs insert-or-update; GETs fold the found value
+/// (or -1) into the checksum and stage it for sending in 64-byte
+/// records. Returns a checksum over this request's ops mixed with the
+/// session-lifetime op counter, so identical requests at different
+/// session positions produce different exits.
+const BODY: &str = "
+var kv_keys: [int; 256];
+var kv_vals: [int; 256];
+var kv_len: int;
+var kv_ops: int;
+
+fn kv_find(key: int) -> int {
+    var i: int = 0;
+    while (i < kv_len) {
+        if (kv_keys[i] == key) { return i; }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+fn main() -> int {
+    var n: int = geti(0);
+    var acc: int = 0;
+    var widx: int = 0;
+    var j: int = 0;
+    while (j < n) {
+        var op: int = geti(1 + j * 3);
+        var key: int = geti(2 + j * 3);
+        var val: int = geti(3 + j * 3);
+        var at: int = kv_find(key);
+        if (op == 0) {
+            if (at < 0) {
+                if (kv_len < 256) {
+                    kv_keys[kv_len] = key;
+                    kv_vals[kv_len] = val;
+                    kv_len = kv_len + 1;
+                }
+            } else {
+                kv_vals[at] = val;
+            }
+            acc = (acc * 31 + key + val) & 0xFFFFFFF;
+        } else {
+            var got: int = 0 - 1;
+            if (at >= 0) { got = kv_vals[at]; }
+            acc = (acc * 31 + got) & 0xFFFFFFF;
+            output_word(widx, got);
+            widx = widx + 1;
+            if (widx == 8) {
+                send(64);
+                widx = 0;
+            }
+        }
+        kv_ops = kv_ops + 1;
+        j = j + 1;
+    }
+    if (widx > 0) { send(widx * 8); }
+    return (acc * 31 + kv_ops) & 0xFFFFFFF;
+}
+";
+
+/// DCL source of the session handler.
+#[must_use]
+pub fn source() -> String {
+    with_prelude(BODY)
+}
+
+/// Encodes one request from `(op, key, val)` triples.
+#[must_use]
+pub fn request(ops: &[(i64, i64, i64)]) -> Vec<u8> {
+    let mut ints = Vec::with_capacity(1 + ops.len() * 3);
+    ints.push(ops.len() as i64);
+    for &(op, key, val) in ops {
+        ints.push(op);
+        ints.push(key);
+        ints.push(val);
+    }
+    encode_ints(&ints)
+}
+
+/// A deterministic mixed session for the load generator: request `i` of a
+/// session seeded with `seed` PUTs a couple of keys then GETs a mix of
+/// hot and cold ones, touching at most [`STORE_CAP`] distinct keys.
+#[must_use]
+pub fn session_request(seed: i64, i: i64) -> Vec<u8> {
+    let k = |x: i64| (seed.wrapping_mul(131).wrapping_add(x)) & 0x7F;
+    request(&[
+        (OP_PUT, k(i), i.wrapping_mul(97)),
+        (OP_PUT, k(i + 1), i.wrapping_mul(89).wrapping_add(1)),
+        (OP_GET, k(i), 0),
+        (OP_GET, k(i.wrapping_sub(3)), 0),
+        (OP_GET, 0x7FFF, 0), // always-missing key
+    ])
+}
+
+/// Bit-exact Rust mirror of the in-enclave session state. One
+/// `KvSession` corresponds to one enclave instance; [`KvSession::apply`]
+/// corresponds to one run on it, in order.
+#[derive(Debug, Clone, Default)]
+pub struct KvSession {
+    keys: Vec<i64>,
+    vals: Vec<i64>,
+    ops: i64,
+}
+
+impl KvSession {
+    /// A fresh session (matches a freshly spawned enclave's zeroed
+    /// globals).
+    #[must_use]
+    pub fn new() -> Self {
+        KvSession::default()
+    }
+
+    /// Applies one request and returns the expected exit value, mutating
+    /// the session state exactly as the enclave run would.
+    #[must_use]
+    pub fn apply(&mut self, input: &[u8]) -> u64 {
+        let ints = read_ints(input);
+        let n = ints[0] as usize;
+        let mut acc: i64 = 0;
+        for j in 0..n {
+            let (op, key, val) = (ints[1 + j * 3], ints[2 + j * 3], ints[3 + j * 3]);
+            let at = self.keys.iter().position(|&k| k == key);
+            if op == OP_PUT {
+                match at {
+                    Some(i) => self.vals[i] = val,
+                    None if self.keys.len() < STORE_CAP => {
+                        self.keys.push(key);
+                        self.vals.push(val);
+                    }
+                    None => {}
+                }
+                acc = (acc.wrapping_mul(31).wrapping_add(key).wrapping_add(val)) & 0xFFF_FFFF;
+            } else {
+                let got = at.map_or(-1, |i| self.vals[i]);
+                acc = (acc.wrapping_mul(31).wrapping_add(got)) & 0xFFF_FFFF;
+            }
+            self.ops += 1;
+        }
+        (acc.wrapping_mul(31).wrapping_add(self.ops) & 0xFFF_FFFF) as u64
+    }
+
+    /// How many GET results the run for `input` sends (for record-count
+    /// assertions: `ceil(gets/8)` 64-byte records, with a short tail).
+    #[must_use]
+    pub fn records_for(input: &[u8]) -> usize {
+        let ints = read_ints(input);
+        let n = ints[0] as usize;
+        let gets = (0..n).filter(|&j| ints[1 + j * 3] == OP_GET).count();
+        gets.div_ceil(8).max(usize::from(gets > 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Prepared, DEFAULT_FUEL};
+    use deflection_core::policy::PolicySet;
+    use deflection_sgx_sim::layout::MemConfig;
+
+    #[test]
+    fn single_request_matches_reference() {
+        let req = request(&[
+            (OP_PUT, 5, 100),
+            (OP_GET, 5, 0),
+            (OP_GET, 6, 0),
+            (OP_PUT, 5, 200),
+            (OP_GET, 5, 0),
+        ]);
+        let expected = KvSession::new().apply(&req);
+        for policy in [PolicySet::none(), PolicySet::full()] {
+            let mut p = Prepared::new(&source(), &policy, MemConfig::small());
+            p.input(&req);
+            let report = p.run(DEFAULT_FUEL);
+            assert_eq!(report.exit.exit_value(), Some(expected));
+        }
+    }
+
+    #[test]
+    fn state_persists_across_runs_on_one_instance() {
+        // The same PUT-free request returns different results depending
+        // on what earlier runs stored — the property no other workload
+        // has, and what the admission layer's per-instance serving must
+        // preserve.
+        let mut session = KvSession::new();
+        let mut p = Prepared::new(&source(), &PolicySet::full(), MemConfig::small());
+        for i in 0..4i64 {
+            let req = session_request(42, i);
+            let expected = session.apply(&req);
+            p.input(&req);
+            let report = p.run(DEFAULT_FUEL);
+            assert_eq!(report.exit.exit_value(), Some(expected), "request {i}");
+        }
+        // A *fresh* instance diverges on the same fourth request: state
+        // is per-instance, not per-request.
+        let req = session_request(42, 3);
+        let fresh_expected = KvSession::new().apply(&req);
+        let mut fresh = Prepared::new(&source(), &PolicySet::full(), MemConfig::small());
+        fresh.input(&req);
+        let fresh_report = fresh.run(DEFAULT_FUEL);
+        assert_eq!(fresh_report.exit.exit_value(), Some(fresh_expected));
+        assert_ne!(fresh_expected, session.clone().apply(&req));
+    }
+
+    #[test]
+    fn gets_send_fixed_records() {
+        let req = request(&[(OP_PUT, 1, 11), (OP_GET, 1, 0), (OP_GET, 2, 0), (OP_GET, 1, 0)]);
+        let mut p = Prepared::new(&source(), &PolicySet::full(), MemConfig::small());
+        p.input(&req);
+        let report = p.run(DEFAULT_FUEL);
+        assert_eq!(report.records.len(), KvSession::records_for(&req));
+        assert!(!report.records.is_empty());
+    }
+}

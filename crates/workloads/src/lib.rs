@@ -11,7 +11,9 @@
 //! * [`genome`] — Needleman–Wunsch alignment (Fig. 7) and FASTA sequence
 //!   generation (Fig. 8);
 //! * [`credit`] — the BP-neural-network credit scorer (Fig. 9);
-//! * [`server`] — the HTTPS-style request handler behind Fig. 10/11.
+//! * [`server`] — the HTTPS-style request handler behind Fig. 10/11;
+//! * [`kv`] — a stateful KV/session service whose store lives in enclave
+//!   globals across requests (the admission-layer load-mix outlier).
 //!
 //! Every workload couples a DCL source string with a Rust function
 //! computing the same result from the same input bytes; the test suite runs
@@ -24,6 +26,7 @@
 
 pub mod credit;
 pub mod genome;
+pub mod kv;
 pub mod nbench;
 pub mod runner;
 pub mod server;

@@ -134,6 +134,16 @@ if [ "$SMOKE" = "1" ]; then
     }
     echo "    wrote target/bench-smoke/PROFILE_smoke.log"
 
+    echo "==> closed-loop load harness (loadgen --quick, >=10^5 simulated clients)"
+    cargo run -q --release --bin loadgen -- --quick \
+        --metrics-out target/bench-smoke/METRICS_loadgen.json \
+        >target/bench-smoke/LOADGEN_smoke.log 2>&1 || {
+        cat target/bench-smoke/LOADGEN_smoke.log
+        echo "loadgen smoke failed (bounded-tail acceptance or harness error)" >&2
+        exit 1
+    }
+    echo "    wrote target/bench-smoke/METRICS_loadgen.json + LOADGEN_smoke.log"
+
     echo "==> trend report (current: target/bench-smoke, previous: repo root)"
     if [ "$TREND_ENFORCE" = "1" ]; then
         cargo run -q --release --bin trend -- --enforce

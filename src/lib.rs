@@ -26,6 +26,7 @@ pub mod profiling;
 pub mod trend;
 
 pub use deflection_attest as attest;
+pub use deflection_bench as bench;
 pub use deflection_core as core;
 pub use deflection_crypto as crypto;
 pub use deflection_isa as isa;

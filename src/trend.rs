@@ -672,6 +672,24 @@ mod tests {
     }
 
     #[test]
+    fn fig_serving_bench_enforces_even_on_one_core() {
+        // The serving bench's headline series (`admission_1w`, the
+        // single-worker saturation floor, and `sim_closed_100k`, the
+        // deterministic 10^5-client simulation) are single-worker or
+        // simulated by construction; fig_serving must never join
+        // CORE_GATED_BENCHES so a 1-core CI host still gates on them.
+        // The >=4-core `admission_4w` series protects itself by not
+        // registering (no row, nothing to gate) on smaller hosts.
+        assert!(!CORE_GATED_BENCHES.contains(&"fig_serving"));
+        let prev = [file("fig_serving", Some(1), "fig_serving/admission_1w", "1.00 ms")];
+        let slow = [file("fig_serving", Some(1), "fig_serving/admission_1w", "9.00 ms")];
+        assert!(TrendReport::build(&slow, &prev, 25.0).has_regression());
+        let prev = [file("fig_serving", Some(1), "fig_serving/sim_closed_100k", "1.00 ms")];
+        let slow = [file("fig_serving", Some(1), "fig_serving/sim_closed_100k", "9.00 ms")];
+        assert!(TrendReport::build(&slow, &prev, 25.0).has_regression());
+    }
+
+    #[test]
     fn markdown_renders_rows_and_metrics_sections() {
         let prev = [file("fig8_seqgen", Some(4), "seqgen/full", "1.00 ms")];
         let curr = [file("fig8_seqgen", Some(4), "seqgen/full", "2.00 ms")];

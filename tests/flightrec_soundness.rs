@@ -256,6 +256,91 @@ fn pooled_batch_with_faults_reconstructs_complete_causal_timelines() {
 }
 
 #[test]
+fn admission_lanes_show_enqueue_admit_claim_ordering() {
+    use deflection::core::admission::{AdmissionConfig, AdmissionFrontend, Overloaded};
+    use deflection::core::tenant::{TenantConfig, TenantRegistry};
+
+    let _guard = lock();
+    let policy = PolicySet::full();
+    let binary = produce(HONEST, &policy).expect("compiles").serialize();
+    let mut manifest = Manifest::ccaas();
+    manifest.policy = PolicySet::full();
+
+    FlightRecorder::reset();
+    FlightRecorder::enable();
+
+    let fe = AdmissionFrontend::new(
+        AdmissionConfig {
+            queue_capacity: 8,
+            high_water: 4,
+            batch_max: 4,
+            batch_wait: std::time::Duration::from_micros(200),
+        },
+        TenantRegistry::new(&manifest),
+    );
+    let tenant = fe
+        .register(TenantConfig {
+            name: "honest".to_string(),
+            binary,
+            manifest: manifest.clone(),
+            max_in_flight: 8,
+            lifetime_output_budget: None,
+        })
+        .expect("tenant registers");
+
+    // Four accepted requests — each trace is minted at enqueue, before any
+    // dispatcher or worker has touched the request.
+    let tickets: Vec<_> = (0..4u8)
+        .map(|i| fe.submit(tenant, vec![i, 2 * i, 100]).expect("below high water"))
+        .collect();
+    // Depth is now at the high-water mark: the fifth submission is shed,
+    // which must surface as an *unattributed* Shed event (no trace was
+    // ever minted for it).
+    assert!(matches!(fe.submit(tenant, vec![9, 9, 9]), Err(Overloaded::QueueFull { .. })));
+    fe.close();
+
+    let mut pool = EnclavePool::new(&EnclaveLayout::new(MemConfig::small()), &manifest, 2);
+    pool.set_owner_session([0x5E; 32]);
+    let report = fe.run_dispatcher(&mut pool, 10_000_000);
+    let flight = FlightRecorder::drain();
+    FlightRecorder::disable();
+
+    assert_eq!(report.served, 4);
+    assert_eq!(flight.dropped, 0, "a small batch must fit the ring");
+    let timeline = Timeline::build(&flight);
+
+    for t in tickets {
+        let (trace, global_id) = (t.trace, t.global_id);
+        let lane = timeline.lane(trace).expect("every accepted request has a lane");
+        let pos = |kind: EventKind| lane.events.iter().position(|e| e.kind == kind);
+        let enqueue = pos(EventKind::Enqueue).expect("lane records its enqueue");
+        let admit = pos(EventKind::Admit).expect("lane records its admission");
+        let claim = pos(EventKind::Claim).expect("lane records its worker claim");
+        // Minted at enqueue means the lane *begins* in the queue: the
+        // Enqueue→Admit gap is the request's queueing delay, rendered as
+        // its own leading segment.
+        assert_eq!(enqueue, 0, "{}", timeline.render());
+        assert!(
+            enqueue < admit && admit < claim,
+            "lane must order Enqueue -> Admit -> Claim: {}",
+            timeline.render()
+        );
+        // Both admission events carry the global request id.
+        assert_eq!(lane.events[enqueue].a, global_id);
+        assert_eq!(lane.events[admit].a, global_id);
+        t.wait().expect("request serves");
+    }
+
+    // Exactly one shed decision, unattributed, at the high-water depth,
+    // with the queue-full reason code.
+    let sheds: Vec<_> = flight.events.iter().filter(|e| e.kind == EventKind::Shed).collect();
+    assert_eq!(sheds.len(), 1);
+    assert_eq!(sheds[0].trace, deflection::telemetry::TraceId::NONE);
+    assert_eq!(sheds[0].a, 4, "depth observed at the shed decision");
+    assert_eq!(sheds[0].b, 0, "reason code 0 = queue full");
+}
+
+#[test]
 fn ring_wraparound_keeps_newest_events_with_exact_drop_count() {
     let _guard = lock();
     FlightRecorder::reset();
